@@ -1,0 +1,48 @@
+//! Criterion bench regenerating Table 1: Q1–Q4 × D1–D4 × three
+//! approaches. `cargo bench -p sxv-bench --bench table1`.
+//!
+//! The D3/D4 datasets are large; sample counts are kept small so the full
+//! grid completes in minutes. For the human-readable table, use the
+//! `table1` binary instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sxv_bench::{AdexWorkload, DATASETS};
+use sxv_core::Approach;
+
+fn table1(c: &mut Criterion) {
+    let workload = AdexWorkload::new();
+    let docs: Vec<_> = DATASETS
+        .iter()
+        .map(|&(name, branch)| {
+            let (doc, annotated) = workload.dataset(branch, 0xADE0 + branch as u64);
+            (name, doc, annotated)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for q in &workload.queries {
+        for (name, doc, annotated) in &docs {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-naive", q.name), name),
+                &(),
+                |b, _| b.iter(|| black_box(workload.run(q, Approach::Naive, annotated))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-rewrite", q.name), name),
+                &(),
+                |b, _| b.iter(|| black_box(workload.run(q, Approach::Rewrite, doc))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-optimize", q.name), name),
+                &(),
+                |b, _| b.iter(|| black_box(workload.run(q, Approach::Optimize, doc))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

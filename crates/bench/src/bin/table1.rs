@@ -1,0 +1,110 @@
+//! Regenerate Table 1 of the paper: evaluation time (milliseconds) of the
+//! naive / rewrite / optimize approaches for queries Q1–Q4 over datasets
+//! D1–D4 generated from the Adex DTD.
+//!
+//! ```text
+//! cargo run -p sxv-bench --bin table1 --release [-- --quick]
+//! ```
+//!
+//! `--quick` runs smaller datasets (for smoke-testing the harness).
+//! Answers are cross-checked between the approaches before timing.
+
+use std::time::Instant;
+use sxv_bench::{AdexWorkload, DATASETS};
+use sxv_core::Approach;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let datasets: Vec<(&str, usize)> = if quick {
+        vec![("D1", 12), ("D2", 20)]
+    } else {
+        DATASETS.to_vec()
+    };
+
+    let workload = AdexWorkload::new();
+    println!("Security view DTD exposed to the user:");
+    for line in workload.view.view_dtd_to_string().lines() {
+        println!("    {line}");
+    }
+    println!();
+    println!("Translated queries:");
+    for q in &workload.queries {
+        println!("  {}: {}", q.name, q.view_query);
+        println!("      naive    = {}", q.naive);
+        println!("      rewrite  = {}", q.rewritten);
+        println!("      optimize = {}", q.optimized);
+    }
+    println!();
+
+    // Generate all datasets up front (the paper's documents are fixed
+    // inputs, not part of the measured time).
+    let mut docs = Vec::new();
+    for &(name, branch) in &datasets {
+        let start = Instant::now();
+        let (doc, annotated) = workload.dataset(branch, 0xADE0 + branch as u64);
+        println!(
+            "{name}: max_branch={branch}, {} nodes ({} elements), ~{:.1} MB serialized, generated in {:.1?}",
+            doc.len(),
+            doc.element_count(),
+            sxv_xml::to_string(&doc).len() as f64 / 1e6,
+            start.elapsed()
+        );
+        docs.push((name, doc, annotated));
+    }
+    println!();
+
+    // Correctness cross-check (on the smallest dataset to keep it cheap).
+    {
+        let (_, doc, annotated) = &docs[0];
+        for q in &workload.queries {
+            let naive = workload.run(q, Approach::Naive, annotated);
+            let rewritten = workload.run(q, Approach::Rewrite, doc);
+            let optimized = workload.run(q, Approach::Optimize, doc);
+            assert_eq!(rewritten, optimized, "{} answers disagree", q.name);
+            assert_eq!(naive, rewritten, "{} answers disagree", q.name);
+        }
+        println!("answer cross-check: naive = rewrite = optimize on {}", docs[0].0);
+        println!();
+    }
+
+    println!(
+        "{:<6} {:<9} {:>12} {:>12} {:>12} {:>9} {:>9} {:>12} {:>12}",
+        "Query", "Data Set", "Naive(ms)", "Rewrite(ms)", "Optimize(ms)", "N/R", "R/O",
+        "N-touched", "R-touched"
+    );
+    for q in &workload.queries {
+        for (name, doc, annotated) in &docs {
+            let naive_ms = time_ms(|| workload.run(q, Approach::Naive, annotated));
+            let rewrite_ms = time_ms(|| workload.run(q, Approach::Rewrite, doc));
+            let optimize_ms = time_ms(|| workload.run(q, Approach::Optimize, doc));
+            // Machine-independent work counters.
+            let (_, naive_stats) =
+                sxv_xpath::eval_at_root_with_stats(annotated, &q.naive);
+            let (_, rewrite_stats) =
+                sxv_xpath::eval_at_root_with_stats(doc, &q.rewritten);
+            // The paper prints "-" where optimize cannot improve on
+            // rewrite (Q1/Q2: identical translated queries).
+            let same = q.optimized == q.rewritten;
+            let opt_cell = if same { "-".to_string() } else { format!("{optimize_ms:.2}") };
+            let n_over_r = naive_ms / rewrite_ms.max(1e-9);
+            let r_over_o = if same { 1.0 } else { rewrite_ms / optimize_ms.max(1e-9) };
+            println!(
+                "{:<6} {:<9} {:>12.2} {:>12.2} {:>12} {:>8.1}x {:>8.1}x {:>12} {:>12}",
+                q.name, name, naive_ms, rewrite_ms, opt_cell, n_over_r, r_over_o,
+                naive_stats.nodes_touched, rewrite_stats.nodes_touched
+            );
+        }
+    }
+}
+
+/// Median-of-5 wall-clock milliseconds.
+fn time_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[2]
+}

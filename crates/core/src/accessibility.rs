@@ -1,0 +1,294 @@
+//! Document-node accessibility — §3.2 of the paper.
+//!
+//! Given an instance `T` of `D` and a specification `S = (D, ann)`, a node
+//! `v` (with parent label `A`, own label `B`, so `ann(v) = ann(A, B)`) is
+//! **accessible** iff
+//!
+//! 1. `ann(v) = Y`, or `ann(v) = [q]` and `q` holds at `v`, **and** for
+//!    every ancestor `v'` with `ann(v') = [q']`, `q'` holds at `v'`; or
+//! 2. `ann(v)` is not explicitly defined and `v`'s parent is accessible.
+//!
+//! The root is accessible (annotated `Y` by default). Note that `N` does
+//! *not* poison a subtree — an explicitly allowed descendant of a denied
+//! node is accessible (that is what makes short-cutting in `derive`
+//! meaningful) — but a *false qualifier* does, because rule 1 requires all
+//! ancestor qualifiers to hold.
+
+use crate::spec::{AccessSpec, Annotation};
+use sxv_xml::{Document, NodeId};
+use sxv_xpath::eval_qualifier;
+
+/// Per-node accessibility, indexed by [`NodeId::index`].
+#[derive(Debug, Clone)]
+pub struct Accessibility {
+    flags: Vec<bool>,
+}
+
+impl Accessibility {
+    /// Is `id` accessible?
+    pub fn is_accessible(&self, id: NodeId) -> bool {
+        self.flags[id.index()]
+    }
+
+    /// Ids of all accessible nodes, in document order.
+    pub fn accessible_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Number of accessible nodes.
+    pub fn count(&self) -> usize {
+        self.flags.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Compute the accessibility of every node of `doc` w.r.t. `spec`
+/// (Prop. 3.1: uniquely defined for every node).
+pub fn compute(spec: &AccessSpec, doc: &Document) -> Accessibility {
+    let mut flags = vec![false; doc.len()];
+    let Some(root) = doc.root_opt() else {
+        return Accessibility { flags };
+    };
+    // Stack entries: (node, parent_accessible, ancestor_qualifiers_ok).
+    let mut stack: Vec<(NodeId, bool, bool)> = vec![(root, true, true)];
+    // The root itself: annotated Y by default, no ancestors.
+    while let Some((v, parent_accessible, anc_ok)) = stack.pop() {
+        let (accessible, own_qual_ok) = classify(spec, doc, v, parent_accessible, anc_ok);
+        flags[v.index()] = accessible;
+        let child_anc_ok = anc_ok && own_qual_ok;
+        for &c in doc.children(v) {
+            stack.push((c, accessible, child_anc_ok));
+        }
+    }
+    Accessibility { flags }
+}
+
+/// Returns `(accessible, own qualifier holds or absent)`.
+fn classify(
+    spec: &AccessSpec,
+    doc: &Document,
+    v: NodeId,
+    parent_accessible: bool,
+    anc_ok: bool,
+) -> (bool, bool) {
+    let Some(parent) = doc.parent(v) else {
+        // Root: Y by default.
+        return (true, true);
+    };
+    // Text nodes inherit from their element parent (the paper's `str`
+    // children carry no annotation key of their own in our model).
+    let Some(label) = doc.label_opt(v) else {
+        return (parent_accessible, true);
+    };
+    let parent_label = doc.label_opt(parent).unwrap_or_default();
+    match spec.annotation(parent_label, label) {
+        None => (parent_accessible, true),
+        Some(Annotation::Allow) => (anc_ok, true),
+        Some(Annotation::Deny) => (false, true),
+        Some(Annotation::Cond(q)) => {
+            let holds = eval_qualifier(doc, q, v);
+            (anc_ok && holds, holds)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AccessSpec;
+    use sxv_dtd::parse_dtd;
+    use sxv_xml::parse as parse_xml;
+
+    fn hospital_dtd() -> sxv_dtd::Dtd {
+        parse_dtd(
+            r#"
+<!ELEMENT hospital (dept*)>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient*)>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff*)>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT doctor (name)>
+<!ELEMENT nurse (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+"#,
+            "hospital",
+        )
+        .unwrap()
+    }
+
+    fn nurse_spec(ward: &str) -> AccessSpec {
+        AccessSpec::builder(&hospital_dtd())
+            .bind("wardNo", ward)
+            .cond_str("hospital", "dept", "*/patient/wardNo=$wardNo")
+            .unwrap()
+            .deny("dept", "clinicalTrial")
+            .allow("clinicalTrial", "patientInfo")
+            .deny("clinicalTrial", "test")
+            .deny("treatment", "trial")
+            .deny("treatment", "regular")
+            .allow("trial", "bill")
+            .allow("regular", "bill")
+            .allow("regular", "medication")
+            .build()
+            .unwrap()
+    }
+
+    fn doc() -> Document {
+        parse_xml(
+            r#"<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>Ann</name><wardNo>6</wardNo>
+          <treatment><trial><bill>100</bill></trial></treatment>
+        </patient>
+      </patientInfo>
+      <test>t1</test>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>Bob</name><wardNo>6</wardNo>
+        <treatment><regular><bill>70</bill><medication>m1</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><nurse><name>Sue</name></nurse></staff></staffInfo>
+  </dept>
+  <dept>
+    <clinicalTrial><patientInfo/><test>t2</test></clinicalTrial>
+    <patientInfo>
+      <patient><name>Cat</name><wardNo>7</wardNo>
+        <treatment><regular><bill>30</bill><medication>m2</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo/>
+  </dept>
+</hospital>"#,
+        )
+        .unwrap()
+    }
+
+    fn find(doc: &Document, label: &str) -> Vec<NodeId> {
+        doc.all_ids().filter(|&i| doc.label_opt(i) == Some(label)).collect()
+    }
+
+    #[test]
+    fn root_always_accessible() {
+        let d = doc();
+        let acc = compute(&nurse_spec("6"), &d);
+        assert!(acc.is_accessible(d.root().unwrap()));
+    }
+
+    #[test]
+    fn deny_blocks_node_but_not_allowed_descendants() {
+        let d = doc();
+        let acc = compute(&nurse_spec("6"), &d);
+        let trials = find(&d, "clinicalTrial");
+        // First dept matches ward 6; its clinicalTrial node itself is N.
+        assert!(!acc.is_accessible(trials[0]));
+        // But the patientInfo *inside* it is explicitly Y → accessible.
+        let inner_pi = d
+            .children(trials[0])
+            .iter()
+            .copied()
+            .find(|&c| d.label_opt(c) == Some("patientInfo"))
+            .unwrap();
+        assert!(acc.is_accessible(inner_pi));
+        // test is N with no accessible descendants.
+        let inner_test = d
+            .children(trials[0])
+            .iter()
+            .copied()
+            .find(|&c| d.label_opt(c) == Some("test"))
+            .unwrap();
+        assert!(!acc.is_accessible(inner_test));
+    }
+
+    #[test]
+    fn false_ancestor_qualifier_poisons_subtree() {
+        let d = doc();
+        let acc = compute(&nurse_spec("6"), &d);
+        let depts = find(&d, "dept");
+        assert!(acc.is_accessible(depts[0]), "ward-6 dept matches the qualifier");
+        assert!(!acc.is_accessible(depts[1]), "ward-7 dept fails the qualifier");
+        // Everything under the failing dept is inaccessible, even nodes
+        // whose own annotation is Y (clinicalTrial/patientInfo).
+        let trials = find(&d, "clinicalTrial");
+        let second_pi = d
+            .children(trials[1])
+            .iter()
+            .copied()
+            .find(|&c| d.label_opt(c) == Some("patientInfo"))
+            .unwrap();
+        assert!(!acc.is_accessible(second_pi));
+        let cat = find(&d, "name").iter().copied().find(|&n| d.string_value(n) == "Cat");
+        assert!(!acc.is_accessible(cat.unwrap()));
+    }
+
+    #[test]
+    fn inheritance_follows_parent() {
+        let d = doc();
+        let acc = compute(&nurse_spec("6"), &d);
+        // staffInfo has no annotation anywhere → inherits dept.
+        let staff_infos = find(&d, "staffInfo");
+        assert!(acc.is_accessible(staff_infos[0]));
+        assert!(!acc.is_accessible(staff_infos[1]));
+        // trial/regular are denied; their bill children are Y.
+        for trial in find(&d, "trial") {
+            assert!(!acc.is_accessible(trial));
+        }
+        let bills = find(&d, "bill");
+        assert!(acc.is_accessible(bills[0]), "bill under accessible dept");
+        assert!(acc.is_accessible(bills[1]));
+        assert!(!acc.is_accessible(bills[2]), "bill under ward-7 dept");
+    }
+
+    #[test]
+    fn text_nodes_inherit_parent() {
+        let d = doc();
+        let acc = compute(&nurse_spec("6"), &d);
+        let bills = find(&d, "bill");
+        let text = d.children(bills[0])[0];
+        assert!(acc.is_accessible(text));
+        let blocked_text = d.children(bills[2])[0];
+        assert!(!acc.is_accessible(blocked_text));
+    }
+
+    #[test]
+    fn accessible_ids_sorted_and_counted() {
+        let d = doc();
+        let acc = compute(&nurse_spec("6"), &d);
+        let ids: Vec<_> = acc.accessible_ids().collect();
+        assert_eq!(ids.len(), acc.count());
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+        assert!(acc.count() > 0);
+        assert!(acc.count() < d.len());
+    }
+
+    #[test]
+    fn empty_spec_grants_everything() {
+        let d = doc();
+        let spec = AccessSpec::builder(&hospital_dtd()).build().unwrap();
+        let acc = compute(&spec, &d);
+        assert_eq!(acc.count(), d.len());
+    }
+
+    #[test]
+    fn empty_document_handled() {
+        let spec = AccessSpec::builder(&hospital_dtd()).build().unwrap();
+        let acc = compute(&spec, &Document::new());
+        assert_eq!(acc.count(), 0);
+    }
+}

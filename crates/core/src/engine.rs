@@ -1,0 +1,233 @@
+//! End-to-end secure query answering — the framework of Fig. 3.
+//!
+//! [`SecureEngine`] wires the pieces together for one access policy: a
+//! view query comes in, is rewritten (and optionally optimized) against
+//! the hidden σ annotations and the document DTD, and the translated query
+//! is evaluated over the original document. The security view itself is
+//! never materialized on this path.
+
+use crate::error::Result;
+use crate::naive::NaiveBaseline;
+use crate::optimize::{optimize, optimize_with_height};
+use crate::rewrite::{rewrite, rewrite_with_height};
+use crate::spec::AccessSpec;
+use crate::view::def::SecurityView;
+use sxv_xml::{DocIndex, Document, NodeId};
+use sxv_xpath::{eval_at_root, Path};
+
+/// Query evaluation strategy (the three columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Element-level annotations, child→descendant widening (§6 baseline).
+    Naive,
+    /// DTD-based query rewriting (Fig. 6).
+    Rewrite,
+    /// Rewriting plus DTD-constraint optimization (Fig. 10).
+    Optimize,
+}
+
+/// A query engine bound to one access policy.
+pub struct SecureEngine<'a> {
+    spec: &'a AccessSpec,
+    view: &'a SecurityView,
+}
+
+impl<'a> SecureEngine<'a> {
+    /// Bind a specification and its derived view.
+    pub fn new(spec: &'a AccessSpec, view: &'a SecurityView) -> Self {
+        SecureEngine { spec, view }
+    }
+
+    /// The view DTD text exposed to users of this policy.
+    pub fn exposed_view_dtd(&self) -> String {
+        self.view.view_dtd_to_string()
+    }
+
+    /// Translate a view query to a document query.
+    ///
+    /// `doc_height` is only consulted for recursive views (§4.2 unfolding).
+    pub fn translate(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
+        match approach {
+            Approach::Naive => Ok(NaiveBaseline::rewrite(p)),
+            Approach::Rewrite | Approach::Optimize => {
+                let recursive = self.view.is_recursive();
+                let rewritten = if recursive {
+                    rewrite_with_height(self.view, p, doc_height)?
+                } else {
+                    rewrite(self.view, p)?
+                };
+                if approach == Approach::Optimize {
+                    if sxv_dtd::DtdGraph::new(self.spec.dtd()).is_recursive() {
+                        optimize_with_height(self.spec.dtd(), &rewritten, doc_height)
+                    } else {
+                        optimize(self.spec.dtd(), &rewritten)
+                    }
+                } else {
+                    Ok(rewritten)
+                }
+            }
+        }
+    }
+
+    /// Answer a view query over `doc` with the default strategy
+    /// (rewrite + optimize). Returns document nodes the user may access.
+    pub fn answer(&self, doc: &Document, p: &Path) -> Result<Vec<NodeId>> {
+        self.answer_with(doc, p, Approach::Optimize)
+    }
+
+    /// Answer using a prepared structural index ([`DocIndex`]) for the
+    /// final evaluation: `//label` steps of the translated query become
+    /// interval lookups. The index must have been built for `doc`.
+    pub fn answer_indexed(
+        &self,
+        doc: &Document,
+        index: &DocIndex,
+        p: &Path,
+    ) -> Result<Vec<NodeId>> {
+        let q = self.translate(p, Approach::Optimize, doc.height())?;
+        Ok(sxv_xpath::eval_at_root_indexed(doc, index, &q))
+    }
+
+    /// Answer with an explicit strategy. For [`Approach::Naive`], the
+    /// document is annotated on the fly — benchmarks should pre-annotate
+    /// with [`NaiveBaseline::annotate`] and evaluate directly, as the
+    /// paper's setup does.
+    pub fn answer_with(&self, doc: &Document, p: &Path, approach: Approach) -> Result<Vec<NodeId>> {
+        match approach {
+            Approach::Naive => {
+                let annotated = NaiveBaseline::annotate(self.spec, doc);
+                let q = NaiveBaseline::rewrite(p);
+                Ok(eval_at_root(&annotated, &q))
+            }
+            _ => {
+                let q = self.translate(p, approach, doc.height())?;
+                Ok(eval_at_root(doc, &q))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::derive::derive_view;
+    use sxv_dtd::parse_dtd;
+    use sxv_xml::parse as parse_xml;
+    use sxv_xpath::parse;
+
+    fn setup() -> (AccessSpec, SecurityView, Document) {
+        let dtd = parse_dtd(
+            r#"
+<!ELEMENT hospital (dept*)>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient*)>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff*)>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT doctor (name)>
+<!ELEMENT nurse (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+"#,
+            "hospital",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd)
+            .bind("wardNo", "6")
+            .cond_str("hospital", "dept", "*/patient/wardNo=$wardNo")
+            .unwrap()
+            .deny("dept", "clinicalTrial")
+            .allow("clinicalTrial", "patientInfo")
+            .deny("clinicalTrial", "test")
+            .deny("treatment", "trial")
+            .deny("treatment", "regular")
+            .allow("trial", "bill")
+            .allow("regular", "bill")
+            .allow("regular", "medication")
+            .build()
+            .unwrap();
+        let view = derive_view(&spec).unwrap();
+        let doc = parse_xml(
+            r#"<hospital><dept>
+<clinicalTrial><patientInfo><patient><name>Ann</name><wardNo>6</wardNo>
+<treatment><trial><bill>100</bill></trial></treatment></patient></patientInfo><test>t</test></clinicalTrial>
+<patientInfo><patient><name>Bob</name><wardNo>6</wardNo>
+<treatment><regular><bill>70</bill><medication>m</medication></regular></treatment></patient></patientInfo>
+<staffInfo/></dept></hospital>"#,
+        )
+        .unwrap();
+        (spec, view, doc)
+    }
+
+    #[test]
+    fn all_approaches_agree_on_paper_queries() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        for q in ["//patient/name", "//bill", "dept/patientInfo/patient", "//name"] {
+            let p = parse(q).unwrap();
+            let rewrite_ans = engine.answer_with(&doc, &p, Approach::Rewrite).unwrap();
+            let optimize_ans = engine.answer_with(&doc, &p, Approach::Optimize).unwrap();
+            let naive_ans = engine.answer_with(&doc, &p, Approach::Naive).unwrap();
+            assert_eq!(rewrite_ans, optimize_ans, "{q}");
+            // Naive evaluates on an annotated *copy*: same arena layout, so
+            // NodeIds are directly comparable.
+            assert_eq!(rewrite_ans, naive_ans, "{q}");
+        }
+    }
+
+    #[test]
+    fn sensitive_data_unreachable() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        for q in ["//clinicalTrial", "//trial", "//test", "//regular"] {
+            let ans = engine.answer(&doc, &parse(q).unwrap()).unwrap();
+            assert!(ans.is_empty(), "{q} leaked {} nodes", ans.len());
+        }
+        // But the *content* the nurse may see under those regions flows.
+        let bills = engine.answer(&doc, &parse("//bill").unwrap()).unwrap();
+        assert_eq!(bills.len(), 2);
+    }
+
+    #[test]
+    fn exposed_dtd_hides_sigma_and_labels() {
+        let (spec, view, _) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let exposed = engine.exposed_view_dtd();
+        assert!(exposed.contains("dept"));
+        assert!(!exposed.contains("clinicalTrial"));
+        assert!(!exposed.contains("wardNo='6'"), "σ qualifier must not leak");
+    }
+
+    #[test]
+    fn indexed_answers_match() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).expect("parsed docs are in document order");
+        for q in ["//patient/name", "//bill", "//clinicalTrial", "dept/*"] {
+            let p = parse(q).unwrap();
+            assert_eq!(
+                engine.answer(&doc, &p).unwrap(),
+                engine.answer_indexed(&doc, &index, &p).unwrap(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_answer_uses_optimize() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient").unwrap();
+        assert_eq!(
+            engine.answer(&doc, &p).unwrap(),
+            engine.answer_with(&doc, &p, Approach::Optimize).unwrap()
+        );
+    }
+}

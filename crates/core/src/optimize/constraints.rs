@@ -1,0 +1,590 @@
+//! Qualifier evaluation against DTD structural constraints — §5.1,
+//! Example 5.1 and cases (7)–(8).
+//!
+//! Three families of constraints are read off the productions of the
+//! document DTD:
+//!
+//! * **co-existence** — in `A → B1, …, Bn` every `Bi` child exists, so a
+//!   qualifier `[Bi]` (or `[Bi ∧ Bj]`) is *true* at `A`;
+//! * **exclusiveness** — in `A → B1 + … + Bn` exactly one alternative
+//!   exists, so `[Bi ∧ Bj]` (i ≠ j) is *false* at `A`;
+//! * **non-existence** — a label that is not a child type of `A` makes
+//!   `[l]` *false* at `A`.
+//!
+//! [`Certainty`] generalizes these to arbitrary paths: `cert(p, A)` says
+//! whether `v⟦p⟧` is non-empty in *every* instance (`Always`), in *no*
+//! instance (`Never`), or unknown (`Maybe`). [`QualEval::evaluate`] then rewrites a
+//! qualifier to an equivalent simplified one, using the certainty analysis
+//! plus containment-based conjunct elimination (`[q1 ∧ q2] → [q1]` when
+//! `q1 ⟹ q2`, tested with the Prop. 5.1 simulation).
+
+use crate::optimize::image::{branches, image, qual_images};
+use crate::optimize::simulate::simulated_by;
+use crate::rewrite::ViewGraph;
+use std::collections::BTreeSet;
+use sxv_dtd::{Dtd, NormalContent};
+use sxv_xpath::{Path, Qualifier};
+
+/// Three-valued certainty of `[p]` at a DTD node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certainty {
+    /// Non-empty in every instance.
+    Always,
+    /// Empty in every instance.
+    Never,
+    /// Depends on the instance.
+    Maybe,
+}
+
+/// Evaluation context: the DTD graph plus production lookups.
+pub struct QualEval<'a> {
+    /// The DTD graph queries are "evaluated" over.
+    pub graph: &'a ViewGraph,
+    /// Production lookups for the constraint analysis.
+    pub dtd: &'a Dtd,
+}
+
+impl<'a> QualEval<'a> {
+    /// The production connective at a graph node (None at the virtual
+    /// document node).
+    fn production(&self, node: usize) -> Option<&NormalContent> {
+        let label = self.graph.label_of(node);
+        if label.is_empty() {
+            None
+        } else {
+            self.dtd.production(label)
+        }
+    }
+
+    /// `cert(p, node)` plus the set of reachable nodes.
+    pub fn certainty(&self, p: &Path, node: usize) -> (Certainty, BTreeSet<usize>) {
+        match p {
+            Path::Empty => (Certainty::Always, BTreeSet::from([node])),
+            Path::EmptySet => (Certainty::Never, BTreeSet::new()),
+            Path::Doc => (Certainty::Always, BTreeSet::from([self.graph.doc_node()])),
+            Path::Label(l) => {
+                let targets: BTreeSet<usize> = self
+                    .graph
+                    .children_of(node)
+                    .filter(|&c| self.graph.label_of(c) == l)
+                    .collect();
+                if targets.is_empty() {
+                    // Non-existence constraint.
+                    return (Certainty::Never, targets);
+                }
+                let cert = match self.production(node) {
+                    // Co-existence: every listed child exists.
+                    Some(NormalContent::Seq(items)) if items.iter().any(|b| b == l) => {
+                        Certainty::Always
+                    }
+                    // Document node: the root always exists.
+                    None => Certainty::Always,
+                    _ => Certainty::Maybe,
+                };
+                (cert, targets)
+            }
+            // text(): possibly non-empty at str-production nodes (PCDATA
+            // admits zero text children, so never Always); it reaches no
+            // *element* node, hence the empty reach set.
+            Path::Text => {
+                let cert = if self.graph.has_text(node) {
+                    Certainty::Maybe
+                } else {
+                    Certainty::Never
+                };
+                (cert, BTreeSet::new())
+            }
+            Path::Wildcard => {
+                let targets: BTreeSet<usize> = self.graph.children_of(node).collect();
+                if targets.is_empty() {
+                    return (Certainty::Never, targets);
+                }
+                // Case (7): concatenation or disjunction always has a
+                // child; a star may be empty.
+                let cert = match self.production(node) {
+                    Some(NormalContent::Seq(_)) | Some(NormalContent::Choice(_)) | None => {
+                        Certainty::Always
+                    }
+                    _ => Certainty::Maybe,
+                };
+                (cert, targets)
+            }
+            Path::Step(p1, p2) => {
+                let (c1, reach1) = self.certainty(p1, node);
+                if c1 == Certainty::Never {
+                    return (Certainty::Never, BTreeSet::new());
+                }
+                let mut targets = BTreeSet::new();
+                let mut all_always = true;
+                let mut all_never = true;
+                for &b in &reach1 {
+                    let (c2, reach2) = self.certainty(p2, b);
+                    targets.extend(reach2);
+                    match c2 {
+                        Certainty::Always => all_never = false,
+                        Certainty::Never => all_always = false,
+                        Certainty::Maybe => {
+                            all_always = false;
+                            all_never = false;
+                        }
+                    }
+                }
+                let cert = if reach1.is_empty() {
+                    // p1 only reached text (its element reach is empty but
+                    // its certainty is not Never): the continuation cannot
+                    // be analyzed element-wise — stay conservative.
+                    Certainty::Maybe
+                } else if all_never {
+                    Certainty::Never
+                } else if c1 == Certainty::Always && all_always {
+                    Certainty::Always
+                } else {
+                    Certainty::Maybe
+                };
+                (cert, targets)
+            }
+            Path::Descendant(p1) => {
+                let reach = self.graph.descendants_or_self(node);
+                let mut targets = BTreeSet::new();
+                let mut any_possible = false;
+                // `//p1` includes p1 at the context itself, which gives the
+                // only cheap Always case.
+                let (self_cert, _) = self.certainty(p1, node);
+                for &b in &reach {
+                    let (c, r) = self.certainty(p1, b);
+                    targets.extend(r);
+                    if c != Certainty::Never {
+                        any_possible = true;
+                    }
+                }
+                let cert = if !any_possible {
+                    Certainty::Never
+                } else if self_cert == Certainty::Always {
+                    Certainty::Always
+                } else {
+                    Certainty::Maybe
+                };
+                (cert, targets)
+            }
+            Path::Union(p1, p2) => {
+                let (c1, r1) = self.certainty(p1, node);
+                let (c2, r2) = self.certainty(p2, node);
+                let mut targets = r1;
+                targets.extend(r2);
+                let cert = match (c1, c2) {
+                    (Certainty::Always, _) | (_, Certainty::Always) => Certainty::Always,
+                    (Certainty::Never, Certainty::Never) => Certainty::Never,
+                    _ => Certainty::Maybe,
+                };
+                (cert, targets)
+            }
+            Path::Filter(base, q) => {
+                let (cb, reachb) = self.certainty(base, node);
+                if cb == Certainty::Never {
+                    return (Certainty::Never, BTreeSet::new());
+                }
+                let mut all_true = true;
+                let mut all_false = true;
+                for &b in &reachb {
+                    match self.truth(q, b) {
+                        Some(true) => all_false = false,
+                        Some(false) => all_true = false,
+                        None => {
+                            all_true = false;
+                            all_false = false;
+                        }
+                    }
+                }
+                if all_false {
+                    (Certainty::Never, BTreeSet::new())
+                } else if cb == Certainty::Always && all_true {
+                    (Certainty::Always, reachb)
+                } else {
+                    (Certainty::Maybe, reachb)
+                }
+            }
+        }
+    }
+
+    /// `bool([q], node)` — `Some(b)` when the DTD forces the truth value.
+    pub fn truth(&self, q: &Qualifier, node: usize) -> Option<bool> {
+        match q {
+            Qualifier::True => Some(true),
+            Qualifier::False => Some(false),
+            Qualifier::Path(p) => match self.certainty(p, node).0 {
+                Certainty::Always => Some(true),
+                Certainty::Never => Some(false),
+                Certainty::Maybe => None,
+            },
+            // Content equality can never be forced true by the DTD, only
+            // forced false by non-existence.
+            Qualifier::Eq(p, _) => match self.certainty(p, node).0 {
+                Certainty::Never => Some(false),
+                _ => None,
+            },
+            // Attributes are invisible to the DTD model.
+            Qualifier::Attr(_) | Qualifier::AttrEq(..) => None,
+            Qualifier::And(a, b) => {
+                match (self.truth(a, node), self.truth(b, node)) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), tb) => tb,
+                    (ta, Some(true)) => ta,
+                    _ => {
+                        // Exclusive constraint (Example 5.1, case 8): two
+                        // conjuncts demanding distinct alternatives of a
+                        // disjunctive production cannot both hold.
+                        if self.exclusive_conflict(a, b, node) {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Qualifier::Or(a, b) => match (self.truth(a, node), self.truth(b, node)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), tb) => tb,
+                (ta, Some(false)) => ta,
+                _ => None,
+            },
+            Qualifier::Not(inner) => self.truth(inner, node).map(|b| !b),
+        }
+    }
+
+    /// Do `a` and `b` require distinct alternatives of a disjunction?
+    fn exclusive_conflict(&self, a: &Qualifier, b: &Qualifier, node: usize) -> bool {
+        let Some(NormalContent::Choice(alts)) = self.production(node) else {
+            return false;
+        };
+        let ra = self.required_first_labels(a);
+        let rb = self.required_first_labels(b);
+        for la in &ra {
+            for lb in &rb {
+                if la != lb && alts.contains(la) && alts.contains(lb) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Child labels whose existence directly under the context is required
+    /// by `q` (first steps of required paths).
+    fn required_first_labels(&self, q: &Qualifier) -> BTreeSet<String> {
+        fn first_label(p: &Path) -> Option<String> {
+            match p {
+                Path::Label(l) => Some(l.clone()),
+                Path::Step(p1, _) => first_label(p1),
+                Path::Filter(base, _) => first_label(base),
+                _ => None,
+            }
+        }
+        match q {
+            Qualifier::Path(p) | Qualifier::Eq(p, _) => {
+                first_label(p).into_iter().collect()
+            }
+            Qualifier::And(a, b) => {
+                let mut out = self.required_first_labels(a);
+                out.extend(self.required_first_labels(b));
+                out
+            }
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// `evaluate([q], node)` — rewrite a qualifier to an equivalent,
+    /// simplified one (`opt([q], A)` of §5.1).
+    pub fn evaluate(&self, q: &Qualifier, node: usize) -> Qualifier {
+        if let Some(b) = self.truth(q, node) {
+            return if b { Qualifier::True } else { Qualifier::False };
+        }
+        match q {
+            Qualifier::And(a, b) => {
+                let ea = self.evaluate(a, node);
+                let eb = self.evaluate(b, node);
+                // Containment-based elimination: q1 ⟹ q2 ⟹ keep q1.
+                if self.qual_implies(&ea, &eb, node) {
+                    return ea;
+                }
+                if self.qual_implies(&eb, &ea, node) {
+                    return eb;
+                }
+                Qualifier::and(ea, eb)
+            }
+            Qualifier::Or(a, b) => {
+                let ea = self.evaluate(a, node);
+                let eb = self.evaluate(b, node);
+                if self.qual_implies(&ea, &eb, node) {
+                    return eb;
+                }
+                if self.qual_implies(&eb, &ea, node) {
+                    return ea;
+                }
+                Qualifier::or(ea, eb)
+            }
+            Qualifier::Not(inner) => Qualifier::not(self.evaluate(inner, node)),
+            other => other.clone(),
+        }
+    }
+
+    /// Sound implication check between qualifiers at a node, via the
+    /// Prop. 5.1 simulation on their images.
+    pub fn qual_implies(&self, a: &Qualifier, b: &Qualifier, node: usize) -> bool {
+        if a == &Qualifier::False || b == &Qualifier::True {
+            return true;
+        }
+        let (Some(ia), Some(ib)) =
+            (qual_images(self.graph, a, node), qual_images(self.graph, b, node))
+        else {
+            return false;
+        };
+        // Conjunction lists: a implies b iff every conjunct of b is
+        // implied by some conjunct of a.
+        ib.iter().all(|y| {
+            ia.iter().any(|x| {
+                let consts_ok = match (&y.eq_const, &x.eq_const) {
+                    (None, _) => true,
+                    (Some(cy), Some(cx)) => cy == cx,
+                    (Some(_), None) => false,
+                };
+                consts_ok && simulated_by(&x.graph, &y.graph)
+            })
+        })
+    }
+
+    /// Sound containment test `p1 ⊆ p2` at `node` (∀ branch of p1
+    /// ∃ branch of p2 with a simulation). Queries with `text()` steps have
+    /// no DTD-node image and are never certified.
+    pub fn contained_in(&self, p1: &Path, p2: &Path, node: usize) -> bool {
+        if contains_text(p1) || contains_text(p2) {
+            return p1 == p2;
+        }
+        let (Some(b1), Some(b2)) = (branches(p1), branches(p2)) else {
+            return false;
+        };
+        b1.iter().all(|x| {
+            let ix = image(self.graph, x, node);
+            match ix {
+                // An empty branch is contained in anything.
+                None => true,
+                Some(ix) => b2.iter().any(|y| {
+                    image(self.graph, y, node)
+                        .map(|iy| simulated_by(&ix, &iy))
+                        .unwrap_or(false)
+                }),
+            }
+        })
+    }
+}
+
+/// Does the path contain a `text()` step anywhere (including qualifiers)?
+fn contains_text(p: &Path) -> bool {
+    match p {
+        Path::Text => true,
+        Path::Step(a, b) | Path::Union(a, b) => contains_text(a) || contains_text(b),
+        Path::Descendant(i) => contains_text(i),
+        Path::Filter(base, q) => contains_text(base) || qual_contains_text(q),
+        _ => false,
+    }
+}
+
+fn qual_contains_text(q: &Qualifier) -> bool {
+    match q {
+        Qualifier::Path(p) | Qualifier::Eq(p, _) => contains_text(p),
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            qual_contains_text(a) || qual_contains_text(b)
+        }
+        Qualifier::Not(i) => qual_contains_text(i),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_dtd::parse_dtd;
+    use sxv_xpath::parse;
+
+    fn ctx(src: &str, root: &str) -> (Dtd, ViewGraph) {
+        let dtd = parse_dtd(src, root).unwrap();
+        let graph = ViewGraph::from_dtd(&dtd);
+        (dtd, graph)
+    }
+
+    fn qual(s: &str) -> Qualifier {
+        match parse(&format!(".[{s}]")).unwrap() {
+            Path::Filter(_, q) => *q,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Example 5.1, first case: concatenation ⟹ [b ∧ c] is true at a.
+    #[test]
+    fn coexistence_constraint() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        assert_eq!(e.truth(&qual("b and c"), a), Some(true));
+        assert_eq!(e.evaluate(&qual("b and c"), a), Qualifier::True);
+    }
+
+    /// Example 5.1, second case: disjunction ⟹ [b ∧ c] is false at a.
+    #[test]
+    fn exclusive_constraint() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        assert_eq!(e.truth(&qual("b and c"), a), Some(false));
+        // Single alternatives stay unknown.
+        assert_eq!(e.truth(&qual("b"), a), None);
+    }
+
+    /// Example 5.1, third case: non-existence ⟹ [c] is false at b.
+    #[test]
+    fn nonexistence_constraint() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (#PCDATA)><!ELEMENT d EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let b = g.node_by_label("b").unwrap();
+        assert_eq!(e.truth(&qual("c"), b), Some(false));
+        assert_eq!(e.truth(&qual("d"), b), Some(true));
+    }
+
+    #[test]
+    fn certainty_through_paths() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d*)><!ELEMENT d (#PCDATA)>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        assert_eq!(e.certainty(&parse("b/d").unwrap(), a).0, Certainty::Always);
+        assert_eq!(e.certainty(&parse("c/d").unwrap(), a).0, Certainty::Maybe);
+        assert_eq!(e.certainty(&parse("b/zzz").unwrap(), a).0, Certainty::Never);
+        assert_eq!(e.certainty(&parse("b/d | c/zzz").unwrap(), a).0, Certainty::Always);
+        assert_eq!(e.certainty(&parse("//d").unwrap(), a).0, Certainty::Maybe);
+        assert_eq!(e.certainty(&parse("//b").unwrap(), a).0, Certainty::Always);
+    }
+
+    #[test]
+    fn wildcard_certainty_by_connective() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b | c)><!ELEMENT b (d*)><!ELEMENT c (#PCDATA)><!ELEMENT d EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        assert_eq!(
+            e.certainty(&parse("*").unwrap(), g.node_by_label("a").unwrap()).0,
+            Certainty::Always,
+            "disjunction always has one child"
+        );
+        assert_eq!(
+            e.certainty(&parse("*").unwrap(), g.node_by_label("b").unwrap()).0,
+            Certainty::Maybe,
+            "star may be empty"
+        );
+        assert_eq!(
+            e.certainty(&parse("*").unwrap(), g.node_by_label("c").unwrap()).0,
+            Certainty::Never,
+            "text content has no element children"
+        );
+    }
+
+    #[test]
+    fn eq_never_forced_true() {
+        let (dtd, g) = ctx("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>", "a");
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        assert_eq!(e.truth(&qual("b='x'"), a), None);
+        assert_eq!(e.truth(&qual("zzz='x'"), a), Some(false));
+    }
+
+    #[test]
+    fn boolean_folding() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        assert_eq!(e.truth(&qual("b or zzz"), a), Some(true));
+        assert_eq!(e.truth(&qual("zzz or yyy"), a), Some(false));
+        assert_eq!(e.truth(&qual("not(zzz)"), a), Some(true));
+        assert_eq!(e.truth(&qual("not(b)"), a), Some(false));
+        // Partial knowledge simplifies.
+        let (dtd2, g2) = ctx("<!ELEMENT a (b*)><!ELEMENT b EMPTY>", "a");
+        let e2 = QualEval { graph: &g2, dtd: &dtd2 };
+        let a2 = g2.node_by_label("a").unwrap();
+        assert_eq!(e2.truth(&qual("b"), a2), None);
+        assert_eq!(e2.evaluate(&qual("b and not(zzz)"), a2), qual("b"));
+    }
+
+    #[test]
+    fn and_containment_elimination() {
+        // [b/d ∧ b]: b/d implies b (prefix containment? no — result sets
+        // differ; implication is about non-emptiness: [b/d] ⟹ [b]).
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b*)><!ELEMENT b (d*)><!ELEMENT d EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        // As qualifier graphs: [b/d] has targets {d}, [b] has {b}; the
+        // flipped simulation requires image(b/d) ⊑ image(b) which fails on
+        // targets — so the conservative test keeps both. Equal conjuncts
+        // do get folded by the smart constructor:
+        assert_eq!(e.evaluate(&qual("b and b"), a), qual("b"));
+        // And subsumed unions inside one conjunct simplify via truth:
+        assert_eq!(e.evaluate(&qual("b and zzz"), a), Qualifier::False);
+    }
+
+    #[test]
+    fn path_containment_test() {
+        let (dtd, g) = ctx(
+            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d)><!ELEMENT d EMPTY>",
+            "a",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let a = g.node_by_label("a").unwrap();
+        assert!(e.contained_in(&parse("b/d").unwrap(), &parse("*/d").unwrap(), a));
+        assert!(!e.contained_in(&parse("*/d").unwrap(), &parse("b/d").unwrap(), a));
+        assert!(e.contained_in(
+            &parse("b/d | c/d").unwrap(),
+            &parse("*/d").unwrap(),
+            a
+        ));
+        assert!(e.contained_in(&parse("b").unwrap(), &parse("b").unwrap(), a));
+        assert!(!e.contained_in(&parse("b").unwrap(), &parse("c").unwrap(), a));
+    }
+
+    #[test]
+    fn spurious_cross_product_rejected() {
+        // The soundness fix: a/x/d must NOT be contained in
+        // a/x/b ∪ c/x/d even though the paper's merged image would say so.
+        let (dtd, g) = ctx(
+            "<!ELEMENT r (a, c)><!ELEMENT a (x)><!ELEMENT c (x)>\
+             <!ELEMENT x (b, d)><!ELEMENT b EMPTY><!ELEMENT d EMPTY>",
+            "r",
+        );
+        let e = QualEval { graph: &g, dtd: &dtd };
+        let r = g.node_by_label("r").unwrap();
+        assert!(!e.contained_in(
+            &parse("a/x/d").unwrap(),
+            &parse("a/x/b | c/x/d").unwrap(),
+            r
+        ));
+        assert!(e.contained_in(
+            &parse("a/x/d").unwrap(),
+            &parse("a/x/d | c/x/d").unwrap(),
+            r
+        ));
+    }
+}

@@ -1,0 +1,442 @@
+//! Image graphs — §5.1 of the paper.
+//!
+//! `image(p, A)` is the subgraph of the DTD graph rooted at `A` consisting
+//! of all nodes reached from `A` via `p` together with the paths leading
+//! to them; qualifiers hang off their context node as `'[]'`-labelled
+//! children (cases 1–8 of §5.1).
+//!
+//! **Deviation for soundness** (documented in DESIGN.md): the paper merges
+//! the image graphs of union branches by node identity, which can create
+//! spurious cross-product paths (`a/x/b ∪ c/x/d` admits `a/x/d` in the
+//! merged graph), making Proposition 5.1 unsound as stated. We instead
+//! decompose a query into *union-free branches* ([`branches`], with a cap
+//! to avoid blow-up), build one image per branch, and test containment as
+//! `∀ branch₁ ∃ branch₂ : image₁ ⊑ image₂`. Within a union-free branch,
+//! per-target merging of step compositions cannot create spurious paths,
+//! so branch images are exact path descriptions and the simulation test
+//! stays sound.
+
+use crate::rewrite::ViewGraph;
+use sxv_xpath::{Path, Qualifier};
+
+/// One qualifier attached to an image-graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualImage {
+    /// `Some(c)` for `[p = c]`; a `⟨opaque:…⟩` marker for qualifiers
+    /// outside the conjunctive fragment (compared by equality only).
+    pub eq_const: Option<String>,
+    /// Image of the qualifier's path at its context node.
+    pub graph: ImageGraph,
+}
+
+/// An image graph: a sub-DAG of the DTD graph (node = DTD node index in a
+/// [`ViewGraph`]) plus attached qualifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ImageGraph {
+    /// The context node the image is rooted at.
+    pub root: usize,
+    /// DTD edges on included paths.
+    pub edges: Vec<(usize, usize)>,
+    /// Qualifiers attached at nodes.
+    pub quals: Vec<(usize, QualImage)>,
+    /// Nodes reached by the query itself (its result types).
+    pub targets: Vec<usize>,
+}
+
+impl ImageGraph {
+    fn single(root: usize) -> ImageGraph {
+        ImageGraph { root, edges: Vec::new(), quals: Vec::new(), targets: vec![root] }
+    }
+
+    fn push_edge(&mut self, from: usize, to: usize) {
+        if !self.edges.contains(&(from, to)) {
+            self.edges.push((from, to));
+        }
+    }
+
+    /// Children of `n` within this image.
+    pub fn children(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().filter(move |&&(f, _)| f == n).map(|&(_, t)| t)
+    }
+
+    /// Qualifiers attached at `n`.
+    pub fn quals_at(&self, n: usize) -> impl Iterator<Item = &QualImage> + '_ {
+        self.quals.iter().filter(move |&&(at, _)| at == n).map(|(_, q)| q)
+    }
+
+    /// All nodes mentioned by the image.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut out = vec![self.root];
+        for &(f, t) in &self.edges {
+            if !out.contains(&f) {
+                out.push(f);
+            }
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Size bound check helper (`|image(p, A)| ≤ |D|·|p|`, §5.1).
+    pub fn size(&self) -> usize {
+        1 + self.edges.len()
+            + self
+                .quals
+                .iter()
+                .map(|(_, q)| 1 + q.graph.size())
+                .sum::<usize>()
+    }
+}
+
+/// Cap on the number of union-free branches enumerated per query; beyond
+/// it the containment test simply gives up (returns "unknown").
+pub const BRANCH_CAP: usize = 64;
+
+/// Decompose `p` into union-free branches (distributing `∪` over `/`,
+/// `//`, and `[·]`). Returns `None` when the cap is exceeded.
+pub fn branches(p: &Path) -> Option<Vec<Path>> {
+    let out = match p {
+        Path::Empty
+        | Path::EmptySet
+        | Path::Doc
+        | Path::Label(_)
+        | Path::Wildcard
+        | Path::Text => vec![p.clone()],
+        Path::Union(a, b) => {
+            let mut out = branches(a)?;
+            out.extend(branches(b)?);
+            out
+        }
+        Path::Step(a, b) => {
+            let left = branches(a)?;
+            let right = branches(b)?;
+            let mut out = Vec::new();
+            for l in &left {
+                for r in &right {
+                    out.push(Path::step(l.clone(), r.clone()));
+                }
+            }
+            out
+        }
+        Path::Descendant(inner) => branches(inner)?
+            .into_iter()
+            .map(Path::descendant)
+            .collect(),
+        // Qualifiers are not decomposed: they become attached subgraphs.
+        Path::Filter(base, q) => branches(base)?
+            .into_iter()
+            .map(|b| Path::filter(b, (**q).clone()))
+            .collect(),
+    };
+    (out.len() <= BRANCH_CAP).then_some(out)
+}
+
+/// Build the image of a union-free branch at `node`. `None` = empty image
+/// (the query reaches nothing from `node` in the DTD).
+pub fn image(graph: &ViewGraph, p: &Path, node: usize) -> Option<ImageGraph> {
+    match p {
+        // text() has no DTD-node image; containment involving it is never
+        // certified (callers check `contains_text` first).
+        Path::Text => None,
+        // Case (6)-adjacent: ε keeps the context node.
+        Path::Empty => Some(ImageGraph::single(node)),
+        Path::EmptySet => None,
+        Path::Doc => Some(ImageGraph::single(graph.doc_node())),
+        // Case (1): a single labelled edge.
+        Path::Label(l) => {
+            let mut img = ImageGraph::single(node);
+            img.targets.clear();
+            for c in graph.children_of(node) {
+                if graph.label_of(c) == l {
+                    img.push_edge(node, c);
+                    img.targets.push(c);
+                }
+            }
+            (!img.targets.is_empty()).then_some(img)
+        }
+        // Case (2): all children.
+        Path::Wildcard => {
+            let mut img = ImageGraph::single(node);
+            img.targets.clear();
+            for c in graph.children_of(node) {
+                img.push_edge(node, c);
+                img.targets.push(c);
+            }
+            (!img.targets.is_empty()).then_some(img)
+        }
+        // Case (3): compose, merging at the shared B nodes.
+        Path::Step(p1, p2) => {
+            let first = image(graph, p1, node)?;
+            let mut combined: Option<ImageGraph> = None;
+            for &b in &first.targets {
+                if let Some(second) = image(graph, p2, b) {
+                    let merged = combined.get_or_insert_with(|| ImageGraph {
+                        root: first.root,
+                        edges: first.edges.clone(),
+                        quals: first.quals.clone(),
+                        targets: Vec::new(),
+                    });
+                    for (f, t) in second.edges {
+                        merged.push_edge(f, t);
+                    }
+                    for q in second.quals {
+                        if !merged.quals.contains(&q) {
+                            merged.quals.push(q);
+                        }
+                    }
+                    for t in second.targets {
+                        if !merged.targets.contains(&t) {
+                            merged.targets.push(t);
+                        }
+                    }
+                }
+            }
+            combined.filter(|c| !c.targets.is_empty())
+        }
+        // Case (4): all paths from the context, then p1 at every node.
+        Path::Descendant(p1) => {
+            let reach = graph.descendants_or_self(node);
+            let mut img = ImageGraph::single(node);
+            img.targets.clear();
+            // Paths leading to every reachable node.
+            for &x in &reach {
+                for c in graph.children_of(x) {
+                    if reach.contains(&c) {
+                        img.push_edge(x, c);
+                    }
+                }
+            }
+            let mut any = false;
+            for &b in &reach {
+                if let Some(sub) = image(graph, p1, b) {
+                    any = true;
+                    for (f, t) in sub.edges {
+                        img.push_edge(f, t);
+                    }
+                    for q in sub.quals {
+                        if !img.quals.contains(&q) {
+                            img.quals.push(q);
+                        }
+                    }
+                    for t in sub.targets {
+                        if !img.targets.contains(&t) {
+                            img.targets.push(t);
+                        }
+                    }
+                }
+            }
+            (any && !img.targets.is_empty()).then_some(img)
+        }
+        // Case (5): merge by node identity — this is the paper's merge and
+        // can over-approximate the path set, which is why the *sound*
+        // containment test ([`branches`]) never feeds unions here; merged
+        // images are still used inside qualifiers, where the simulation
+        // direction keeps them conservative.
+        Path::Union(p1, p2) => {
+            let i1 = image(graph, p1, node);
+            let i2 = image(graph, p2, node);
+            match (i1, i2) {
+                (None, i) | (i, None) => i,
+                (Some(mut a), Some(b)) => {
+                    for (f, t) in b.edges {
+                        a.push_edge(f, t);
+                    }
+                    for q in b.quals {
+                        if !a.quals.contains(&q) {
+                            a.quals.push(q);
+                        }
+                    }
+                    for t in b.targets {
+                        if !a.targets.contains(&t) {
+                            a.targets.push(t);
+                        }
+                    }
+                    Some(a)
+                }
+            }
+        }
+        // Case (6): attach the qualifier image at each target of the base.
+        Path::Filter(base, q) => {
+            let mut img = image(graph, base, node)?;
+            let targets = img.targets.clone();
+            for &t in &targets {
+                for qi in qual_images(graph, q, t)? {
+                    if !img.quals.contains(&(t, qi.clone())) {
+                        img.quals.push((t, qi));
+                    }
+                }
+            }
+            Some(img)
+        }
+    }
+}
+
+/// Images of a qualifier at a node: a conjunction list (cases 7–8).
+/// `None` = the qualifier is unsatisfiable at this node (empty image of a
+/// required path).
+pub fn qual_images(graph: &ViewGraph, q: &Qualifier, node: usize) -> Option<Vec<QualImage>> {
+    match q {
+        Qualifier::True => Some(Vec::new()),
+        Qualifier::False => None,
+        Qualifier::Path(p) => {
+            // Union inside a qualifier: merge branch images (the
+            // conservative direction for qualifier usage is handled in the
+            // simulation, which only matches structurally equal or
+            // simulated qualifier graphs).
+            let img = merged_image(graph, p, node)?;
+            Some(vec![QualImage { eq_const: None, graph: img }])
+        }
+        Qualifier::Eq(p, c) => {
+            let img = merged_image(graph, p, node)?;
+            Some(vec![QualImage { eq_const: Some(c.clone()), graph: img }])
+        }
+        Qualifier::And(a, b) => {
+            let mut out = qual_images(graph, a, node)?;
+            out.extend(qual_images(graph, b, node)?);
+            Some(out)
+        }
+        // Outside the conjunctive fragment (or DTD-invisible): opaque
+        // marker compared by equality only.
+        Qualifier::Or(..) | Qualifier::Not(_) | Qualifier::Attr(_) | Qualifier::AttrEq(..) => {
+            Some(vec![QualImage {
+                eq_const: Some(format!("⟨opaque:{q}⟩")),
+                graph: ImageGraph::single(node),
+            }])
+        }
+    }
+}
+
+/// Image over the full query including unions (merged by node identity).
+fn merged_image(graph: &ViewGraph, p: &Path, node: usize) -> Option<ImageGraph> {
+    image(graph, p, node)
+}
+
+#[cfg(test)]
+trait QualifierOf {
+    fn qualifier(&self) -> Qualifier;
+}
+
+#[cfg(test)]
+impl QualifierOf for Path {
+    fn qualifier(&self) -> Qualifier {
+        match self {
+            Path::Filter(_, q) => (**q).clone(),
+            _ => panic!("expected a filter"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::ViewGraph;
+    use sxv_dtd::parse_dtd;
+    use sxv_xpath::parse;
+
+    /// Fig. 9(a)'s DTD: a → b, c; b → d; c → d; d → e, f; e → g; f → g.
+    fn fig9_graph() -> ViewGraph {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d)>\
+             <!ELEMENT d (e, f)><!ELEMENT e (g)><!ELEMENT f (g)><!ELEMENT g EMPTY>",
+            "a",
+        )
+        .unwrap();
+        ViewGraph::from_dtd(&dtd)
+    }
+
+    fn node(g: &ViewGraph, name: &str) -> usize {
+        g.node_by_label(name).unwrap()
+    }
+
+    #[test]
+    fn label_image() {
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let img = image(&g, &parse("b").unwrap(), a).unwrap();
+        assert_eq!(img.edges, vec![(a, node(&g, "b"))]);
+        assert_eq!(img.targets, vec![node(&g, "b")]);
+        assert!(image(&g, &parse("zzz").unwrap(), a).is_none());
+    }
+
+    #[test]
+    fn wildcard_image_covers_children() {
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let img = image(&g, &parse("*").unwrap(), a).unwrap();
+        assert_eq!(img.targets.len(), 2);
+    }
+
+    #[test]
+    fn step_image_composes() {
+        // Example 5.2: p1 = a-context */d/*/g over Fig. 9(a).
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let img = image(&g, &parse("*/d/*/g").unwrap(), a).unwrap();
+        // The whole DTD below a is covered (Fig. 9(a) itself).
+        assert_eq!(img.targets, vec![node(&g, "g")]);
+        assert!(img.edges.contains(&(node(&g, "b"), node(&g, "d"))));
+        assert!(img.edges.contains(&(node(&g, "c"), node(&g, "d"))));
+        assert!(img.edges.contains(&(node(&g, "e"), node(&g, "g"))));
+        assert!(img.edges.contains(&(node(&g, "f"), node(&g, "g"))));
+    }
+
+    #[test]
+    fn qualifier_attaches_at_context() {
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let img = image(&g, &parse(".[b]/c").unwrap(), a).unwrap();
+        assert_eq!(img.quals.len(), 1);
+        assert_eq!(img.quals[0].0, a);
+        assert!(img.quals[0].1.eq_const.is_none());
+    }
+
+    #[test]
+    fn eq_qualifier_carries_constant() {
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let img = image(&g, &parse(".[b='1']").unwrap(), a).unwrap();
+        assert_eq!(img.quals[0].1.eq_const.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn descendant_image_covers_reachable_subgraph() {
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let img = image(&g, &parse("//g").unwrap(), a).unwrap();
+        assert_eq!(img.targets, vec![node(&g, "g")]);
+        assert!(img.size() >= 8, "all paths included");
+    }
+
+    #[test]
+    fn branches_distribute_unions() {
+        let p = parse("(a | b)/c").unwrap();
+        let bs = branches(&p).unwrap();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].to_string(), "a/c");
+        assert_eq!(bs[1].to_string(), "b/c");
+        let nested = parse("(a | b)/(c | d)").unwrap();
+        assert_eq!(branches(&nested).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn branch_cap_respected() {
+        // 2^7 = 128 > 64 branches.
+        let mut q = String::from("(a | b)");
+        for _ in 0..6 {
+            q.push_str("/(a | b)");
+        }
+        let p = parse(&q).unwrap();
+        assert!(branches(&p).is_none());
+    }
+
+    #[test]
+    fn opaque_qualifiers_marked() {
+        let g = fig9_graph();
+        let a = node(&g, "a");
+        let qi = qual_images(&g, &parse(".[not(b)]").unwrap().qualifier(), a)
+            .unwrap();
+        assert!(qi[0].eq_const.as_deref().unwrap().starts_with("⟨opaque:"));
+    }
+}
+

@@ -1,0 +1,542 @@
+//! Algorithm `optimize` — §5.2, Fig. 10 of the paper.
+//!
+//! Rewrites an XPath query into an equivalent but cheaper query over
+//! instances of a document DTD, by "evaluating" the query over the DTD
+//! graph (cases 1–7 of Fig. 10):
+//!
+//! * dead sub-queries prune to `∅` (non-existence constraints — the §6
+//!   example Q4 collapses to the empty query via the exclusive
+//!   constraint);
+//! * wildcards and `//` expand into the precise label paths the DTD
+//!   allows (`recProc`, shared with the rewriting module);
+//! * qualifiers simplify against co-existence / exclusive / non-existence
+//!   constraints ([`constraints::QualEval::evaluate`] — the §6 example Q3
+//!   drops its qualifier entirely);
+//! * union arms that are (approximately but soundly) contained in their
+//!   sibling are dropped, using the Prop. 5.1 simulation on image graphs.
+//!
+//! Like the rewriting module, the dynamic program tables results *per
+//! target node* rather than merging all reached nodes into one expression
+//! (see the `crate::rewrite` module docs for why the merged
+//! combination can be unsound).
+//!
+//! Recursive document DTDs are outside Fig. 10's DAG setting (§5.1
+//! restricts to non-recursive DTDs and refers back to §4.2); [`optimize`]
+//! returns the query unchanged for them, and [`optimize_with_height`]
+//! handles them by unfolding to the concrete document's height.
+
+pub mod constraints;
+pub mod image;
+pub mod simulate;
+
+use crate::error::Result;
+use crate::rewrite::{continue_from_text, Target, ViewGraph};
+use constraints::QualEval;
+use std::collections::{BTreeMap, HashMap};
+use sxv_dtd::{Dtd, DtdGraph};
+use sxv_xpath::{Path, Qualifier};
+
+/// Optimize `p` for evaluation at the root of instances of `dtd`.
+pub fn optimize(dtd: &Dtd, p: &Path) -> Result<Path> {
+    if DtdGraph::new(dtd).is_recursive() {
+        // §5 assumes a DAG DTD; recursive DTDs need a concrete instance
+        // height — use [`optimize_with_height`] (§4.2 unfolding).
+        return Ok(p.clone());
+    }
+    let graph = ViewGraph::from_dtd(dtd);
+    optimize_over(dtd, &graph, p)
+}
+
+/// Optimize over a *recursive* document DTD by unfolding it to the height
+/// of the concrete document (§4.2 applied to the optimization side).
+/// Also valid for DAG DTDs, where it simply bounds path lengths.
+pub fn optimize_with_height(dtd: &Dtd, p: &Path, height: usize) -> Result<Path> {
+    let graph = ViewGraph::from_dtd_unfolded(dtd, height)?;
+    optimize_over(dtd, &graph, p)
+}
+
+/// Approximate XPath containment in the presence of a (DAG) DTD —
+/// Prop. 5.1 as a standalone test: `true` certifies `p1 ⊆ p2` at the DTD
+/// root over every instance; `false` means "not certified" (the test is
+/// sound but incomplete, as Example 5.3 illustrates).
+pub fn approx_contained(dtd: &Dtd, p1: &Path, p2: &Path) -> bool {
+    if DtdGraph::new(dtd).is_recursive() {
+        return false;
+    }
+    let graph = ViewGraph::from_dtd(dtd);
+    let eval = QualEval { graph: &graph, dtd };
+    eval.contained_in(p1, p2, graph.root_node())
+}
+
+fn optimize_over(dtd: &Dtd, graph: &ViewGraph, p: &Path) -> Result<Path> {
+    let normalized = normalize_filters(p);
+    let mut o = Optimizer {
+        eval: QualEval { graph, dtd },
+        graph,
+        memo: HashMap::new(),
+        rec: HashMap::new(),
+    };
+    let table = o.opt(&normalized, graph.root_node());
+    Ok(Path::union_all(table.into_values()))
+}
+
+/// Rewrite `p[q]` (general base) to `p/ε[q]`, so the DP only meets
+/// qualifiers at `ε` (Fig. 10 case 7 is stated for `ε[q]`).
+fn normalize_filters(p: &Path) -> Path {
+    match p {
+        Path::Empty
+        | Path::EmptySet
+        | Path::Doc
+        | Path::Label(_)
+        | Path::Wildcard
+        | Path::Text => p.clone(),
+        Path::Step(a, b) => Path::step(normalize_filters(a), normalize_filters(b)),
+        Path::Descendant(inner) => Path::descendant(normalize_filters(inner)),
+        Path::Union(a, b) => Path::union(normalize_filters(a), normalize_filters(b)),
+        Path::Filter(base, q) => {
+            let nq = normalize_qual(q);
+            match &**base {
+                Path::Empty => Path::filter(Path::Empty, nq),
+                _ => Path::step(
+                    normalize_filters(base),
+                    Path::Filter(Box::new(Path::Empty), Box::new(nq)),
+                ),
+            }
+        }
+    }
+}
+
+fn normalize_qual(q: &Qualifier) -> Qualifier {
+    match q {
+        Qualifier::Path(p) => Qualifier::path(normalize_filters(p)),
+        Qualifier::Eq(p, c) => Qualifier::Eq(normalize_filters(p), c.clone()),
+        Qualifier::And(a, b) => Qualifier::and(normalize_qual(a), normalize_qual(b)),
+        Qualifier::Or(a, b) => Qualifier::or(normalize_qual(a), normalize_qual(b)),
+        Qualifier::Not(inner) => Qualifier::not(normalize_qual(inner)),
+        other => other.clone(),
+    }
+}
+
+type Table = BTreeMap<Target, Path>;
+
+struct Optimizer<'a> {
+    eval: QualEval<'a>,
+    graph: &'a ViewGraph,
+    memo: HashMap<(usize, usize), Table>,
+    rec: HashMap<usize, HashMap<usize, Path>>,
+}
+
+impl<'a> Optimizer<'a> {
+    /// `opt(p', A)` as a per-target table.
+    fn opt(&mut self, p: &Path, node: usize) -> Table {
+        let key = (p as *const Path as usize, node);
+        if let Some(hit) = self.memo.get(&key) {
+            return hit.clone();
+        }
+        let mut out = Table::new();
+        match p {
+            // Case (1).
+            Path::Empty => {
+                out.insert(Target::Node(node), Path::Empty);
+            }
+            Path::EmptySet => {}
+            Path::Doc => {
+                out.insert(Target::Node(self.graph.doc_node()), Path::Doc);
+            }
+            // Case (2): prune labels the DTD forbids.
+            Path::Label(l) => {
+                for c in self.graph.children_of(node) {
+                    if self.graph.label_of(c) == l {
+                        out.insert(Target::Node(c), Path::label(l.clone()));
+                    }
+                }
+            }
+            // Case (3): expand the wildcard into the allowed labels.
+            Path::Wildcard => {
+                for c in self.graph.children_of(node) {
+                    out.insert(Target::Node(c), Path::label(self.graph.label_of(c).to_string()));
+                }
+            }
+            // text() survives only at str-production nodes.
+            Path::Text => {
+                if self.graph.has_text(node) {
+                    out.insert(Target::TextOf(node), Path::Text);
+                }
+            }
+            // Case (4).
+            Path::Step(p1, p2) => {
+                let first = self.opt(p1, node);
+                for (t, q1) in first {
+                    match t {
+                        Target::Node(v) => {
+                            for (w, q2) in self.opt(p2, v) {
+                                merge(&mut out, w, Path::step(q1.clone(), q2));
+                            }
+                        }
+                        Target::TextOf(_) => {
+                            let q2 = continue_from_text(p2);
+                            let composed = Path::step(q1, q2);
+                            if !composed.is_empty_set() {
+                                merge(&mut out, t, composed);
+                            }
+                        }
+                    }
+                }
+            }
+            // Case (5): expand `//` through the precomputed recrw paths.
+            Path::Descendant(p1) => {
+                let recrw = self.rec_info(node).clone();
+                let reach: Vec<usize> = recrw.keys().copied().collect();
+                for b in reach {
+                    let prefix = recrw[&b].clone();
+                    if prefix.is_empty_set() {
+                        continue;
+                    }
+                    for (w, q) in self.opt(p1, b) {
+                        merge(&mut out, w, Path::step(prefix.clone(), q));
+                    }
+                }
+            }
+            // Case (6): containment-based union reduction.
+            Path::Union(p1, p2) => {
+                let t1 = self.opt(p1, node);
+                let t2 = self.opt(p2, node);
+                let o1 = Path::union_all(t1.values().cloned());
+                let o2 = Path::union_all(t2.values().cloned());
+                if self.eval.contained_in(&o1, &o2, node) {
+                    out = t2;
+                } else if self.eval.contained_in(&o2, &o1, node) {
+                    out = t1;
+                } else {
+                    out = t1;
+                    for (w, q) in t2 {
+                        merge(&mut out, w, q);
+                    }
+                }
+            }
+            // Case (7): qualifier evaluation against DTD constraints.
+            Path::Filter(base, q) => {
+                debug_assert!(matches!(**base, Path::Empty), "filters normalized to ε[q]");
+                let opt_q = self.opt_qual(q, node);
+                match opt_q {
+                    Qualifier::False => {}
+                    Qualifier::True => {
+                        out.insert(Target::Node(node), Path::Empty);
+                    }
+                    simplified => {
+                        out.insert(Target::Node(node), Path::filter(Path::Empty, simplified));
+                    }
+                }
+            }
+        }
+        self.memo.insert(key, out.clone());
+        out
+    }
+
+    /// Optimize a qualifier: recursively optimize its paths (pruning dead
+    /// branches), then apply the constraint/containment simplifications.
+    fn opt_qual(&mut self, q: &Qualifier, node: usize) -> Qualifier {
+        let structural = match q {
+            Qualifier::Path(p) => {
+                let t = self.opt(p, node);
+                Qualifier::path(Path::union_all(t.into_values()))
+            }
+            Qualifier::Eq(p, c) => {
+                let t = self.opt(p, node);
+                let u = Path::union_all(t.into_values());
+                if u.is_empty_set() {
+                    Qualifier::False
+                } else {
+                    Qualifier::Eq(u, c.clone())
+                }
+            }
+            Qualifier::And(a, b) => {
+                Qualifier::and(self.opt_qual(a, node), self.opt_qual(b, node))
+            }
+            Qualifier::Or(a, b) => {
+                Qualifier::or(self.opt_qual(a, node), self.opt_qual(b, node))
+            }
+            Qualifier::Not(inner) => Qualifier::not(self.opt_qual(inner, node)),
+            other => other.clone(),
+        };
+        // `evaluate` re-runs truth analysis on the *original* shape too —
+        // co-existence facts are easier to see before path expansion — so
+        // try both and prefer a definite answer.
+        match self.eval.truth(q, node) {
+            Some(true) => Qualifier::True,
+            Some(false) => Qualifier::False,
+            None => self.eval.evaluate(&structural, node),
+        }
+    }
+
+    /// Factored `recrw(node, ·)` over the document-DTD graph, computed via
+    /// the shared `recProc` and cached.
+    fn rec_info(&mut self, node: usize) -> &HashMap<usize, Path> {
+        if !self.rec.contains_key(&node) {
+            let (_, recrw) = self.graph.rec_proc_public(node);
+            self.rec.insert(node, recrw);
+        }
+        &self.rec[&node]
+    }
+}
+
+fn merge(table: &mut Table, target: Target, q: Path) {
+    match table.get(&target) {
+        Some(existing) => {
+            let merged = Path::union(existing.clone(), q);
+            table.insert(target, merged);
+        }
+        None => {
+            table.insert(target, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_dtd::parse_dtd;
+    use sxv_xml::parse as parse_xml;
+    use sxv_xpath::{eval_at_root, parse};
+
+    fn fig9_dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d)>\
+             <!ELEMENT d (e, f)><!ELEMENT e (g)><!ELEMENT f (g)><!ELEMENT g EMPTY>",
+            "a",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wildcards_expand_to_labels() {
+        let dtd = fig9_dtd();
+        let o = optimize(&dtd, &parse("*/d").unwrap()).unwrap();
+        let s = o.to_string();
+        assert!(s.contains('b') && s.contains('c'), "{s}");
+        assert!(!s.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn dead_labels_prune_to_empty() {
+        let dtd = fig9_dtd();
+        let o = optimize(&dtd, &parse("b/zzz").unwrap()).unwrap();
+        assert!(o.is_empty_set());
+        let o2 = optimize(&dtd, &parse("(b/zzz | c)/d").unwrap()).unwrap();
+        assert_eq!(o2.to_string(), "c/d");
+    }
+
+    /// Example 5.4's shape: a union where one side is contained in the
+    /// other collapses to the container.
+    #[test]
+    fn union_containment_reduction() {
+        let dtd = fig9_dtd();
+        let p = parse("*/d | b/d[e]").unwrap();
+        let o = optimize(&dtd, &p).unwrap();
+        // b/d[e] ⊆ */d, and [e] is forced true at d anyway (co-existence).
+        let doc = parse_xml(
+            "<a><b><d><e><g/></e><f><g/></f></d></b><c><d><e><g/></e><f><g/></f></d></c></a>",
+        )
+        .unwrap();
+        assert_eq!(
+            eval_at_root(&doc, &o),
+            eval_at_root(&doc, &p),
+            "optimized ≠ original: {o}"
+        );
+        let s = o.to_string();
+        assert!(!s.contains('['), "qualifier eliminated: {s}");
+    }
+
+    /// §6's Q3 pattern: co-existence drops the qualifier.
+    #[test]
+    fn coexistence_drops_qualifier() {
+        let dtd = parse_dtd(
+            "<!ELEMENT adex (head)><!ELEMENT head (buyer-info)>\
+             <!ELEMENT buyer-info (company-id, contact-info)>\
+             <!ELEMENT company-id (#PCDATA)><!ELEMENT contact-info (#PCDATA)>",
+            "adex",
+        )
+        .unwrap();
+        let p = parse("head/buyer-info[company-id and contact-info]").unwrap();
+        let o = optimize(&dtd, &p).unwrap();
+        assert_eq!(o.to_string(), "head/buyer-info");
+    }
+
+    /// §6's Q4 pattern: the exclusive constraint empties the query.
+    #[test]
+    fn exclusive_constraint_empties_query() {
+        let dtd = parse_dtd(
+            "<!ELEMENT real-estate (house | apartment)>\
+             <!ELEMENT house (price)><!ELEMENT apartment (unit)>\
+             <!ELEMENT price (#PCDATA)><!ELEMENT unit (#PCDATA)>",
+            "real-estate",
+        )
+        .unwrap();
+        let p = parse(".[house/price and apartment/unit]").unwrap();
+        let o = optimize(&dtd, &p).unwrap();
+        assert!(o.is_empty_set(), "got {o}");
+    }
+
+    #[test]
+    fn descendant_expands_precisely() {
+        let dtd = parse_dtd(
+            "<!ELEMENT adex (head, body)><!ELEMENT head (buyer-info)>\
+             <!ELEMENT body (#PCDATA)>\
+             <!ELEMENT buyer-info (contact-info)><!ELEMENT contact-info (#PCDATA)>",
+            "adex",
+        )
+        .unwrap();
+        // Q1 pattern: //buyer-info/contact-info → head/buyer-info/contact-info.
+        let o = optimize(&dtd, &parse("//buyer-info/contact-info").unwrap()).unwrap();
+        assert_eq!(o.to_string(), "head/buyer-info/contact-info");
+    }
+
+    #[test]
+    fn equivalence_preserved_on_samples() {
+        let dtd = fig9_dtd();
+        let doc = parse_xml(
+            "<a><b><d><e><g/></e><f><g/></f></d></b><c><d><e><g/></e><f><g/></f></d></c></a>",
+        )
+        .unwrap();
+        for q in [
+            "//g",
+            "*/d/*/g",
+            "b/d/e/g | b/d/f/g",
+            ".[b]/c/d",
+            "b[d]/d/e",
+            "//d[e and f]",
+            "//*",
+            "b/d | c/d",
+            ".[b and c]/b",
+        ] {
+            let p = parse(q).unwrap();
+            let o = optimize(&dtd, &p).unwrap();
+            assert_eq!(
+                eval_at_root(&doc, &p),
+                eval_at_root(&doc, &o),
+                "{q} optimized to {o} changed semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_dtd_left_unchanged_without_height() {
+        let dtd = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        let p = parse("//b").unwrap();
+        assert_eq!(optimize(&dtd, &p).unwrap(), p);
+    }
+
+    #[test]
+    fn recursive_dtd_optimized_with_height() {
+        // a → a | b: //b over an instance of height ≤ 3 expands into the
+        // bounded chains, and dead labels still prune.
+        let dtd = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        let doc = parse_xml("<a><a><a><b/></a></a></a>").unwrap();
+        let p = parse("//b").unwrap();
+        let o = optimize_with_height(&dtd, &p, doc.height()).unwrap();
+        assert_eq!(
+            eval_at_root(&doc, &p),
+            eval_at_root(&doc, &o),
+            "optimized ≠ original: {o}"
+        );
+        let dead = optimize_with_height(&dtd, &parse("//zzz").unwrap(), doc.height()).unwrap();
+        assert!(dead.is_empty_set());
+        // Qualifier simplification works at unfolded nodes too: a's
+        // production is a disjunction, so [a and b] is false everywhere.
+        let excl = optimize_with_height(&dtd, &parse("//.[a and b]").unwrap(), doc.height());
+        assert!(excl.unwrap().is_empty_set());
+    }
+
+    #[test]
+    fn absolute_queries_optimized() {
+        let dtd = fig9_dtd();
+        let o = optimize(&dtd, &parse("/a/b/d").unwrap()).unwrap();
+        let doc = parse_xml(
+            "<a><b><d><e><g/></e><f><g/></f></d></b><c><d><e><g/></e><f><g/></f></d></c></a>",
+        )
+        .unwrap();
+        use sxv_xpath::eval_at_document;
+        assert_eq!(
+            eval_at_document(&doc, &o),
+            eval_at_document(&doc, &parse("/a/b/d").unwrap())
+        );
+    }
+
+    /// Prop. 5.1 as a public API, on Example 5.2's queries.
+    #[test]
+    fn approx_containment_public_api() {
+        let dtd = fig9_dtd();
+        let p1 = parse("*/d/*/g").unwrap();
+        let p3 = parse("b/d/e/g | b/d/f/g").unwrap();
+        assert!(approx_contained(&dtd, &p3, &p1));
+        assert!(!approx_contained(&dtd, &p1, &p3));
+        // Sound but incomplete: recursive DTDs are never certified.
+        let rec = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        assert!(!approx_contained(&rec, &parse("b").unwrap(), &parse("b").unwrap()));
+    }
+
+    #[test]
+    fn wildcard_at_text_element_prunes() {
+        // g has (#PCDATA)-like EMPTY content: */anything below it is dead.
+        let dtd = fig9_dtd();
+        let o = optimize(&dtd, &parse("b/d/e/g/*").unwrap()).unwrap();
+        assert!(o.is_empty_set());
+    }
+
+    #[test]
+    fn eq_on_dead_path_prunes() {
+        let dtd = fig9_dtd();
+        let o = optimize(&dtd, &parse("b[zzz='1']").unwrap()).unwrap();
+        assert!(o.is_empty_set());
+        // Eq on a live path stays.
+        let o2 = optimize(&dtd, &parse("b[d='1']").unwrap()).unwrap();
+        assert!(o2.to_string().contains("d='1'"), "{o2}");
+    }
+
+    #[test]
+    fn opaque_boolean_qualifiers_preserved() {
+        let dtd = fig9_dtd();
+        let p = parse("b[not(d/e)]").unwrap();
+        let o = optimize(&dtd, &p).unwrap();
+        // d/e always exists (co-existence chain) ⇒ not(d/e) is false ⇒ ∅.
+        assert!(o.is_empty_set(), "{o}");
+        // A genuinely unknown negation survives.
+        let dtd2 = parse_dtd("<!ELEMENT a (b*)><!ELEMENT b EMPTY>", "a").unwrap();
+        let o2 = optimize(&dtd2, &parse(".[not(b)]").unwrap()).unwrap();
+        assert!(o2.to_string().contains("not"), "{o2}");
+    }
+
+    #[test]
+    fn text_selector_optimizes_equivalently() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (c)><!ELEMENT c (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let doc = parse_xml("<r><a>x</a><b><c>y</c></b></r>").unwrap();
+        for q in ["//text()", "a/text()", "//c/text()", "b/text()", ".[a/text()='x']/b"] {
+            let p = parse(q).unwrap();
+            let o = optimize(&dtd, &p).unwrap();
+            assert_eq!(eval_at_root(&doc, &p), eval_at_root(&doc, &o), "{q} → {o}");
+        }
+        // text() at an element-content node prunes.
+        let dead = optimize(&dtd, &parse("b/text()").unwrap()).unwrap();
+        assert!(dead.is_empty_set(), "{dead}");
+    }
+
+    #[test]
+    fn union_of_identical_arms_collapses() {
+        let dtd = fig9_dtd();
+        let o = optimize(&dtd, &parse("b/d | b/d").unwrap()).unwrap();
+        assert_eq!(o.to_string(), "b/d");
+    }
+
+    #[test]
+    fn nested_qualifier_paths_pruned() {
+        let dtd = fig9_dtd();
+        // [b/zzz or c] → [c] (zzz cannot exist).
+        let o = optimize(&dtd, &parse(".[b/zzz or c]/b").unwrap()).unwrap();
+        // c is forced by co-existence: whole qualifier true.
+        assert_eq!(o.to_string(), "b");
+    }
+}

@@ -1,0 +1,154 @@
+//! Multi-policy management — the full framework of Fig. 3.
+//!
+//! The paper's motivating setting is *multiple* user groups querying the
+//! same document under different access policies, each with its own
+//! automatically derived security view. [`PolicyRegistry`] packages that:
+//! register one [`AccessSpec`] per user group, and the registry derives
+//! and caches the view, exposes the per-group view DTD, and answers
+//! queries — all against a single shared document, with no view ever
+//! materialized.
+
+use crate::error::{Error, Result};
+use crate::rewrite::{rewrite, rewrite_with_height};
+use crate::optimize::optimize;
+use crate::spec::AccessSpec;
+use crate::view::def::SecurityView;
+use crate::view::derive::derive_view;
+use std::collections::BTreeMap;
+use sxv_xml::{Document, NodeId};
+use sxv_xpath::{eval_at_root, Path};
+
+/// One registered user-group policy.
+struct Policy {
+    spec: AccessSpec,
+    view: SecurityView,
+}
+
+/// A set of named access policies over one document DTD.
+pub struct PolicyRegistry {
+    policies: BTreeMap<String, Policy>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PolicyRegistry { policies: BTreeMap::new() }
+    }
+
+    /// Register a user group's policy; the security view is derived
+    /// immediately (Fig. 5) and cached.
+    pub fn register(&mut self, group: impl Into<String>, spec: AccessSpec) -> Result<()> {
+        let view = derive_view(&spec)?;
+        self.policies.insert(group.into(), Policy { spec, view });
+        Ok(())
+    }
+
+    /// Registered group names.
+    pub fn groups(&self) -> impl Iterator<Item = &str> {
+        self.policies.keys().map(String::as_str)
+    }
+
+    /// The view DTD text exposed to a group (σ stays hidden).
+    pub fn exposed_view_dtd(&self, group: &str) -> Result<String> {
+        Ok(self.policy(group)?.view.view_dtd_to_string())
+    }
+
+    /// The derived security view of a group (for inspection).
+    pub fn view(&self, group: &str) -> Result<&SecurityView> {
+        Ok(&self.policy(group)?.view)
+    }
+
+    /// Translate a group's view query into a document query
+    /// (rewrite + optimize; recursive views unfold to `doc_height`).
+    pub fn translate(&self, group: &str, p: &Path, doc_height: usize) -> Result<Path> {
+        let policy = self.policy(group)?;
+        let rewritten = if policy.view.is_recursive() {
+            rewrite_with_height(&policy.view, p, doc_height)?
+        } else {
+            rewrite(&policy.view, p)?
+        };
+        optimize(policy.spec.dtd(), &rewritten)
+    }
+
+    /// Answer a group's query over the shared document.
+    pub fn answer(&self, group: &str, doc: &Document, p: &Path) -> Result<Vec<NodeId>> {
+        let translated = self.translate(group, p, doc.height())?;
+        Ok(eval_at_root(doc, &translated))
+    }
+
+    fn policy(&self, group: &str) -> Result<&Policy> {
+        self.policies
+            .get(group)
+            .ok_or_else(|| Error::NoView(format!("no policy registered for group {group:?}")))
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        PolicyRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_dtd::parse_dtd;
+    use sxv_xml::parse as parse_xml;
+    use sxv_xpath::parse;
+
+    fn dtd() -> sxv_dtd::Dtd {
+        parse_dtd(
+            "<!ELEMENT r (pub, sec, fin)>\
+             <!ELEMENT pub (#PCDATA)><!ELEMENT sec (#PCDATA)><!ELEMENT fin (#PCDATA)>",
+            "r",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_get_disjoint_slices() {
+        let dtd = dtd();
+        let doc = parse_xml("<r><pub>p</pub><sec>s</sec><fin>f</fin></r>").unwrap();
+        let mut reg = PolicyRegistry::new();
+        reg.register(
+            "public",
+            AccessSpec::builder(&dtd).deny("r", "sec").deny("r", "fin").build().unwrap(),
+        )
+        .unwrap();
+        reg.register(
+            "finance",
+            AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reg.groups().collect::<Vec<_>>(), ["finance", "public"]);
+
+        let q = parse("*").unwrap();
+        let public = reg.answer("public", &doc, &q).unwrap();
+        let finance = reg.answer("finance", &doc, &q).unwrap();
+        assert_eq!(public.len(), 1);
+        assert_eq!(finance.len(), 2);
+        // View DTDs differ per group.
+        assert!(!reg.exposed_view_dtd("public").unwrap().contains("fin"));
+        assert!(reg.exposed_view_dtd("finance").unwrap().contains("fin"));
+    }
+
+    #[test]
+    fn unknown_group_errors() {
+        let reg = PolicyRegistry::new();
+        assert!(reg.exposed_view_dtd("ghost").is_err());
+        let doc = parse_xml("<r/>").unwrap();
+        assert!(reg.answer("ghost", &doc, &Path::Wildcard).is_err());
+    }
+
+    #[test]
+    fn reregistering_replaces_policy() {
+        let dtd = dtd();
+        let doc = parse_xml("<r><pub>p</pub><sec>s</sec><fin>f</fin></r>").unwrap();
+        let mut reg = PolicyRegistry::new();
+        reg.register("g", AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap())
+            .unwrap();
+        assert_eq!(reg.answer("g", &doc, &parse("*").unwrap()).unwrap().len(), 2);
+        reg.register("g", AccessSpec::builder(&dtd).build().unwrap()).unwrap();
+        assert_eq!(reg.answer("g", &doc, &parse("*").unwrap()).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,456 @@
+//! Access specifications — §3.2 of the paper.
+//!
+//! An access specification `S = (D, ann)` extends a document DTD `D` with a
+//! partial map `ann(A, B) ∈ {Y, [q], N}` over parent→child DTD edges:
+//!
+//! * `Y` — the `B` children of `A` elements are accessible;
+//! * `[q]` — conditionally accessible (XPath qualifier, evaluated at the
+//!   `B` element);
+//! * `N` — inaccessible.
+//!
+//! Unannotated edges inherit the parent's accessibility; explicit
+//! annotations override it. The root is annotated `Y` by default.
+//! Qualifiers may refer to `$parameters` (e.g. the paper's `$wardNo`),
+//! bound per user class via [`AccessSpecBuilder::bind`].
+
+use crate::error::{Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use sxv_dtd::Dtd;
+use sxv_xpath::{Path, Qualifier};
+
+/// A security annotation on one DTD edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `Y` — accessible.
+    Allow,
+    /// `N` — inaccessible.
+    Deny,
+    /// `[q]` — conditionally accessible.
+    Cond(Qualifier),
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::Allow => write!(f, "Y"),
+            Annotation::Deny => write!(f, "N"),
+            Annotation::Cond(q) => write!(f, "[{q}]"),
+        }
+    }
+}
+
+/// An access specification `S = (D, ann)`.
+#[derive(Debug, Clone)]
+pub struct AccessSpec {
+    dtd: Dtd,
+    /// `(parent, child) → annotation`, qualifiers with parameters already
+    /// substituted.
+    ann: BTreeMap<(String, String), Annotation>,
+    /// `(element, attribute) → annotation` — attribute-level access
+    /// control (the paper's "attributes can be easily incorporated").
+    /// Only `Y`/`N`; unannotated attributes inherit their element.
+    attr_ann: BTreeMap<(String, String), Annotation>,
+}
+
+impl AccessSpec {
+    /// Start building a specification over a document DTD.
+    pub fn builder(dtd: &Dtd) -> AccessSpecBuilder {
+        AccessSpecBuilder {
+            dtd: dtd.clone(),
+            ann: BTreeMap::new(),
+            attr_ann: BTreeMap::new(),
+            params: HashMap::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Parse the paper's textual annotation syntax (Example 3.1), plus
+    /// attribute-level rules (`@`-prefixed child):
+    ///
+    /// ```text
+    /// # comments and blank lines are skipped
+    /// ann(hospital, dept) = [*/patient/wardNo=$wardNo]
+    /// ann(dept, clinicalTrial) = N
+    /// ann(clinicalTrial, patientInfo) = Y
+    /// ann(account, @rating) = N
+    /// ```
+    pub fn parse(dtd: &Dtd, text: &str, params: &[(&str, &str)]) -> Result<AccessSpec> {
+        let mut builder = AccessSpec::builder(dtd);
+        for (name, value) in params {
+            builder = builder.bind(*name, *value);
+        }
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+                continue;
+            }
+            let err = |message: &str| Error::SpecParse {
+                line: lineno + 1,
+                message: message.to_string(),
+            };
+            let rest = line
+                .strip_prefix("ann(")
+                .ok_or_else(|| err("expected `ann(parent, child) = Y|N|[q]`"))?;
+            let (args, value) = rest.split_once(')').ok_or_else(|| err("expected ')'"))?;
+            let (parent, child) = args.split_once(',').ok_or_else(|| err("expected ','"))?;
+            let value = value.trim().strip_prefix('=').ok_or_else(|| err("expected '='"))?;
+            let parent = parent.trim();
+            let child = child.trim();
+            let value = value.trim();
+            builder = if let Some(attr) = child.strip_prefix('@') {
+                match value {
+                    "Y" => builder.allow_attr(parent, attr),
+                    "N" => builder.deny_attr(parent, attr),
+                    _ => return Err(err("attribute annotations must be Y or N")),
+                }
+            } else {
+                match value {
+                    "Y" => builder.allow(parent, child),
+                    "N" => builder.deny(parent, child),
+                    q if q.starts_with('[') && q.ends_with(']') => {
+                        builder.cond_str(parent, child, &q[1..q.len() - 1])?
+                    }
+                    _ => return Err(err("annotation must be Y, N, or [qualifier]")),
+                }
+            };
+        }
+        builder.build()
+    }
+
+    /// The document DTD `D`.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The annotation on the `(parent, child)` edge, if explicitly defined.
+    pub fn annotation(&self, parent: &str, child: &str) -> Option<&Annotation> {
+        self.ann.get(&(parent.to_string(), child.to_string()))
+    }
+
+    /// The annotation on an `(element, attribute)` pair, if explicit.
+    pub fn attribute_annotation(&self, elem: &str, attr: &str) -> Option<&Annotation> {
+        self.attr_ann.get(&(elem.to_string(), attr.to_string()))
+    }
+
+    /// Is the attribute visible on (accessible instances of) `elem`?
+    pub fn attribute_visible(&self, elem: &str, attr: &str) -> bool {
+        !matches!(self.attribute_annotation(elem, attr), Some(Annotation::Deny))
+    }
+
+    /// All explicit annotations.
+    pub fn annotations(&self) -> impl Iterator<Item = (&str, &str, &Annotation)> {
+        self.ann.iter().map(|((p, c), a)| (p.as_str(), c.as_str(), a))
+    }
+
+    /// Number of explicit annotations.
+    pub fn len(&self) -> usize {
+        self.ann.len()
+    }
+
+    /// True iff no edges are explicitly annotated (everything accessible).
+    pub fn is_empty(&self) -> bool {
+        self.ann.is_empty()
+    }
+}
+
+/// Builder for [`AccessSpec`] (errors are accumulated and reported at
+/// [`AccessSpecBuilder::build`], so chains stay ergonomic).
+pub struct AccessSpecBuilder {
+    dtd: Dtd,
+    ann: BTreeMap<(String, String), Annotation>,
+    attr_ann: BTreeMap<(String, String), Annotation>,
+    params: HashMap<String, String>,
+    errors: Vec<Error>,
+}
+
+impl AccessSpecBuilder {
+    /// Bind a `$parameter` value used in conditional annotations.
+    pub fn bind(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+
+    /// Annotate `(parent, child)` with `Y`.
+    pub fn allow(self, parent: &str, child: &str) -> Self {
+        self.set(parent, child, Annotation::Allow)
+    }
+
+    /// Annotate `(parent, child)` with `N`.
+    pub fn deny(self, parent: &str, child: &str) -> Self {
+        self.set(parent, child, Annotation::Deny)
+    }
+
+    /// Hide an attribute of an element type (attribute-level `N`).
+    pub fn deny_attr(self, elem: &str, attr: &str) -> Self {
+        self.set_attr(elem, attr, Annotation::Deny)
+    }
+
+    /// Explicitly expose an attribute (attribute-level `Y`; the default
+    /// is to inherit the element's accessibility).
+    pub fn allow_attr(self, elem: &str, attr: &str) -> Self {
+        self.set_attr(elem, attr, Annotation::Allow)
+    }
+
+    fn set_attr(mut self, elem: &str, attr: &str, ann: Annotation) -> Self {
+        let declared = self
+            .dtd
+            .attribute_defs(elem)
+            .iter()
+            .any(|d| d.name == attr);
+        if !declared {
+            self.errors.push(Error::UnknownEdge {
+                parent: elem.to_string(),
+                child: format!("@{attr}"),
+            });
+            return self;
+        }
+        self.attr_ann.insert((elem.to_string(), attr.to_string()), ann);
+        self
+    }
+
+    /// Annotate `(parent, child)` with `[q]`.
+    pub fn cond(self, parent: &str, child: &str, q: Qualifier) -> Self {
+        self.set(parent, child, Annotation::Cond(q))
+    }
+
+    /// Annotate with a qualifier given as text, e.g.
+    /// `"*/patient/wardNo=$wardNo"`.
+    pub fn cond_str(self, parent: &str, child: &str, q: &str) -> Result<Self> {
+        let path = sxv_xpath::parse(&format!(".[{q}]"))?;
+        match path {
+            Path::Filter(_, qual) => Ok(self.cond(parent, child, *qual)),
+            _ => unreachable!("`.[q]` always parses to a filter"),
+        }
+    }
+
+    fn set(mut self, parent: &str, child: &str, ann: Annotation) -> Self {
+        if !self.dtd.is_child_type(parent, child) {
+            self.errors.push(Error::UnknownEdge {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            });
+            return self;
+        }
+        self.ann.insert((parent.to_string(), child.to_string()), ann);
+        self
+    }
+
+    /// Finish: validate edges and substitute all `$parameters`.
+    pub fn build(mut self) -> Result<AccessSpec> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        for annotation in self.ann.values_mut() {
+            if let Annotation::Cond(q) = annotation {
+                *q = substitute_qual(q, &self.params)?;
+            }
+        }
+        Ok(AccessSpec { dtd: self.dtd, ann: self.ann, attr_ann: self.attr_ann })
+    }
+}
+
+/// Replace `$name` literals in a path with bound parameter values.
+pub fn substitute_path(p: &Path, params: &HashMap<String, String>) -> Result<Path> {
+    Ok(match p {
+        Path::Empty
+        | Path::EmptySet
+        | Path::Doc
+        | Path::Label(_)
+        | Path::Wildcard
+        | Path::Text => p.clone(),
+        Path::Step(a, b) => Path::step(substitute_path(a, params)?, substitute_path(b, params)?),
+        Path::Descendant(inner) => Path::descendant(substitute_path(inner, params)?),
+        Path::Union(a, b) => Path::union(substitute_path(a, params)?, substitute_path(b, params)?),
+        Path::Filter(base, q) => {
+            Path::filter(substitute_path(base, params)?, substitute_qual(q, params)?)
+        }
+    })
+}
+
+/// Replace `$name` literals in a qualifier with bound parameter values.
+pub fn substitute_qual(q: &Qualifier, params: &HashMap<String, String>) -> Result<Qualifier> {
+    Ok(match q {
+        Qualifier::True | Qualifier::False | Qualifier::Attr(_) => q.clone(),
+        Qualifier::Path(p) => Qualifier::path(substitute_path(p, params)?),
+        Qualifier::Eq(p, c) => {
+            Qualifier::Eq(substitute_path(p, params)?, substitute_value(c, params)?)
+        }
+        Qualifier::AttrEq(a, v) => Qualifier::AttrEq(a.clone(), substitute_value(v, params)?),
+        Qualifier::And(a, b) => {
+            Qualifier::and(substitute_qual(a, params)?, substitute_qual(b, params)?)
+        }
+        Qualifier::Or(a, b) => {
+            Qualifier::or(substitute_qual(a, params)?, substitute_qual(b, params)?)
+        }
+        Qualifier::Not(inner) => Qualifier::not(substitute_qual(inner, params)?),
+    })
+}
+
+fn substitute_value(value: &str, params: &HashMap<String, String>) -> Result<String> {
+    match value.strip_prefix('$') {
+        None => Ok(value.to_string()),
+        Some(name) => params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnboundParameter(name.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_dtd::parse_dtd;
+
+    fn hospital_dtd() -> Dtd {
+        parse_dtd(
+            r#"
+<!ELEMENT hospital (dept*)>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient*)>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff*)>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT doctor (name)>
+<!ELEMENT nurse (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+"#,
+            "hospital",
+        )
+        .unwrap()
+    }
+
+    /// The paper's Example 3.1 nurse specification.
+    pub(crate) fn nurse_spec(ward: &str) -> AccessSpec {
+        AccessSpec::builder(&hospital_dtd())
+            .bind("wardNo", ward)
+            .cond_str("hospital", "dept", "*/patient/wardNo=$wardNo")
+            .unwrap()
+            .deny("dept", "clinicalTrial")
+            .allow("clinicalTrial", "patientInfo")
+            .deny("clinicalTrial", "test")
+            .deny("treatment", "trial")
+            .deny("treatment", "regular")
+            .allow("trial", "bill")
+            .allow("regular", "bill")
+            .allow("regular", "medication")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_constructs_nurse_spec() {
+        let s = nurse_spec("6");
+        assert_eq!(s.annotation("dept", "clinicalTrial"), Some(&Annotation::Deny));
+        assert_eq!(s.annotation("clinicalTrial", "patientInfo"), Some(&Annotation::Allow));
+        assert_eq!(s.annotation("dept", "patientInfo"), None, "inherited, not explicit");
+        match s.annotation("hospital", "dept") {
+            Some(Annotation::Cond(q)) => {
+                assert!(q.to_string().contains("wardNo='6'"), "{q}");
+            }
+            other => panic!("expected conditional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_edge_rejected() {
+        let e = AccessSpec::builder(&hospital_dtd())
+            .deny("hospital", "patient")
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::UnknownEdge { .. }));
+    }
+
+    #[test]
+    fn unbound_parameter_rejected() {
+        let e = AccessSpec::builder(&hospital_dtd())
+            .cond_str("hospital", "dept", "*/patient/wardNo=$wardNo")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::UnboundParameter(p) if p == "wardNo"));
+    }
+
+    #[test]
+    fn parse_textual_spec() {
+        let text = r#"
+# nurse policy (Example 3.1)
+ann(hospital, dept) = [*/patient/wardNo=$wardNo]
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+ann(clinicalTrial, test) = N
+ann(treatment, trial) = N
+ann(treatment, regular) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+ann(regular, medication) = Y
+"#;
+        let s = AccessSpec::parse(&hospital_dtd(), text, &[("wardNo", "6")]).unwrap();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.annotation("treatment", "trial"), Some(&Annotation::Deny));
+    }
+
+    #[test]
+    fn parse_attribute_annotations() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>\n<!ATTLIST a id CDATA #REQUIRED>\n<!ATTLIST a secret CDATA #IMPLIED>",
+            "r",
+        )
+        .unwrap();
+        let s = AccessSpec::parse(&dtd, "ann(a, @secret) = N\nann(a, @id) = Y", &[]).unwrap();
+        assert!(!s.attribute_visible("a", "secret"));
+        assert!(s.attribute_visible("a", "id"));
+        // Conditional attribute annotations are rejected.
+        assert!(AccessSpec::parse(&dtd, "ann(a, @secret) = [x]", &[]).is_err());
+        // Unknown attribute rejected.
+        assert!(AccessSpec::parse(&dtd, "ann(a, @ghost) = N", &[]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        let dtd = hospital_dtd();
+        for bad in [
+            "nonsense",
+            "ann(hospital dept) = Y",
+            "ann(hospital, dept) Y",
+            "ann(hospital, dept) = MAYBE",
+        ] {
+            let e = AccessSpec::parse(&dtd, bad, &[]).unwrap_err();
+            assert!(matches!(e, Error::SpecParse { .. }), "{bad} should fail, got {e:?}");
+        }
+    }
+
+    #[test]
+    fn annotations_iterator_sorted() {
+        let s = nurse_spec("6");
+        let list: Vec<_> = s.annotations().map(|(p, c, _)| format!("{p}/{c}")).collect();
+        let mut sorted = list.clone();
+        sorted.sort();
+        assert_eq!(list, sorted);
+        assert_eq!(list.len(), 9);
+    }
+
+    #[test]
+    fn annotation_display() {
+        assert_eq!(Annotation::Allow.to_string(), "Y");
+        assert_eq!(Annotation::Deny.to_string(), "N");
+        let q = Qualifier::path(sxv_xpath::parse("a").unwrap());
+        assert_eq!(Annotation::Cond(q).to_string(), "[a]");
+    }
+
+    #[test]
+    fn substitute_in_nested_positions() {
+        let params: HashMap<String, String> = [("x".to_string(), "7".to_string())].into();
+        let p = sxv_xpath::parse("a[b=$x or not(c=$x)]").unwrap();
+        let out = substitute_path(&p, &params).unwrap();
+        assert_eq!(out.to_string(), "a[b='7' or not(c='7')]");
+    }
+}

@@ -1,0 +1,428 @@
+//! Security-view definitions — §3.3 syntax.
+//!
+//! A security view `V : S → D_v` is a pair `(D_v, σ)`: a view DTD exposed
+//! to authorized users, plus hidden XPath annotations `σ(A, B)` that
+//! extract, from the original document, the `B` children of an `A` element
+//! of the view. `σ(r_v) = r` maps the view root to the document root.
+//!
+//! View productions use [`ViewContent`], a superset of the paper's normal
+//! form that admits the paper's own "more compact form" (Example 3.4
+//! compacts `patientInfo, patientInfo` to `patientInfo*`) and optional
+//! choices (needed for soundness when an entire disjunct of the document
+//! DTD is inaccessible with no accessible descendants).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use sxv_dtd::{AttDef, Content, GeneralDtd};
+use sxv_xpath::Path;
+
+/// One particle in a view concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewItem {
+    /// Exactly one `B` child (σ must select exactly one accessible node).
+    One(String),
+    /// Zero or more `B` children (σ selects all of them).
+    Many(String),
+}
+
+impl ViewItem {
+    /// The element-type name of this particle.
+    pub fn name(&self) -> &str {
+        match self {
+            ViewItem::One(n) | ViewItem::Many(n) => n,
+        }
+    }
+}
+
+/// A view-DTD production right-hand side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewContent {
+    /// `str`.
+    Str,
+    /// `ε`.
+    Empty,
+    /// Concatenation of particles (possibly starred — the compact form).
+    Seq(Vec<ViewItem>),
+    /// Disjunction. `optional` marks choices where a document may satisfy
+    /// *no* alternative because an entire inaccessible disjunct was pruned
+    /// (extension beyond Fig. 5 that keeps such views sound).
+    Choice {
+        /// The alternative element types.
+        alternatives: Vec<String>,
+        /// True when a hidden branch was pruned (zero children allowed).
+        optional: bool,
+    },
+    /// `B*`.
+    Star(String),
+}
+
+impl ViewContent {
+    /// The element types appearing in this production, in order, deduped.
+    pub fn child_types(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        match self {
+            ViewContent::Str | ViewContent::Empty => {}
+            ViewContent::Seq(items) => {
+                for item in items {
+                    if !out.contains(&item.name()) {
+                        out.push(item.name());
+                    }
+                }
+            }
+            ViewContent::Choice { alternatives, .. } => {
+                for a in alternatives {
+                    if !out.contains(&a.as_str()) {
+                        out.push(a);
+                    }
+                }
+            }
+            ViewContent::Star(n) => out.push(n),
+        }
+        out
+    }
+}
+
+impl fmt::Display for ViewContent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewContent::Str => write!(f, "str"),
+            ViewContent::Empty => write!(f, "ε"),
+            ViewContent::Seq(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match item {
+                        ViewItem::One(n) => write!(f, "{n}")?,
+                        ViewItem::Many(n) => write!(f, "{n}*")?,
+                    }
+                }
+                Ok(())
+            }
+            ViewContent::Choice { alternatives, optional } => {
+                write!(f, "{}", alternatives.join(" + "))?;
+                if *optional {
+                    write!(f, " + ε")?;
+                }
+                Ok(())
+            }
+            ViewContent::Star(n) => write!(f, "{n}*"),
+        }
+    }
+}
+
+/// A security view definition `V = (D_v, σ)`.
+#[derive(Debug, Clone)]
+pub struct SecurityView {
+    root: String,
+    /// View-DTD productions in derivation order.
+    productions: Vec<(String, ViewContent)>,
+    index: BTreeMap<String, usize>,
+    /// `σ(A, B)` — hidden from view users.
+    sigma: BTreeMap<(String, String), Path>,
+    /// Visible attributes per view element type (attribute-level access
+    /// control; dummies expose none).
+    attributes: BTreeMap<String, Vec<String>>,
+}
+
+impl SecurityView {
+    /// Assemble a view (used by `derive`; library users normally call
+    /// [`crate::derive_view`]).
+    pub fn new(
+        root: String,
+        productions: Vec<(String, ViewContent)>,
+        sigma: BTreeMap<(String, String), Path>,
+    ) -> Self {
+        let index = productions
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i))
+            .collect();
+        SecurityView { root, productions, index, sigma, attributes: BTreeMap::new() }
+    }
+
+    /// Attach the visible-attribute sets (used by `derive`).
+    pub fn with_attributes(mut self, attributes: BTreeMap<String, Vec<String>>) -> Self {
+        self.attributes = attributes;
+        self
+    }
+
+    /// Visible attributes of a view element type.
+    pub fn visible_attributes(&self, label: &str) -> &[String] {
+        self.attributes.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is `attr` visible on view elements labelled `label`?
+    pub fn attribute_visible(&self, label: &str, attr: &str) -> bool {
+        self.visible_attributes(label).iter().any(|a| a == attr)
+    }
+
+    /// The view root type `r_v` (same label as the document root `r`).
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// The view production for `name`.
+    pub fn production(&self, name: &str) -> Option<&ViewContent> {
+        self.index.get(name).map(|&i| &self.productions[i].1)
+    }
+
+    /// All view productions in derivation order.
+    pub fn productions(&self) -> &[(String, ViewContent)] {
+        &self.productions
+    }
+
+    /// The hidden annotation `σ(parent, child)`.
+    pub fn sigma(&self, parent: &str, child: &str) -> Option<&Path> {
+        self.sigma.get(&(parent.to_string(), child.to_string()))
+    }
+
+    /// All σ entries (for inspection/tests).
+    pub fn sigma_entries(&self) -> impl Iterator<Item = (&str, &str, &Path)> {
+        self.sigma.iter().map(|((p, c), q)| (p.as_str(), c.as_str(), q))
+    }
+
+    /// Number of view element types.
+    pub fn len(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// True iff the view exposes no element types (not produced by
+    /// `derive`, which always emits the root).
+    pub fn is_empty(&self) -> bool {
+        self.productions.is_empty()
+    }
+
+    /// True iff `name` is a generated dummy label (hides an inaccessible
+    /// element type's name, §3.4).
+    pub fn is_dummy(name: &str) -> bool {
+        name.starts_with("dummy")
+    }
+
+    /// True iff the view DTD is recursive (some type reachable from
+    /// itself), requiring §4.2 unfolding for query rewriting.
+    pub fn is_recursive(&self) -> bool {
+        // Tarjan-free check: DFS from each node over view children.
+        let n = self.productions.len();
+        let children: Vec<Vec<usize>> = self
+            .productions
+            .iter()
+            .map(|(_, c)| {
+                c.child_types()
+                    .iter()
+                    .filter_map(|t| self.index.get(*t).copied())
+                    .collect()
+            })
+            .collect();
+        // Colors: 0 = white, 1 = on stack, 2 = done.
+        let mut color = vec![0u8; n];
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = 1;
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci < children[v].len() {
+                    let w = children[v][*ci];
+                    *ci += 1;
+                    match color[w] {
+                        0 => {
+                            color[w] = 1;
+                            stack.push((w, 0));
+                        }
+                        1 => return true,
+                        _ => {}
+                    }
+                } else {
+                    color[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Export the view DTD as a standard [`GeneralDtd`], suitable for
+    /// handing to users as a real `<!ELEMENT …>` file (visible attributes
+    /// are exported as optional CDATA — requiredness belongs to the
+    /// hidden document DTD). Materialized views conform to this DTD.
+    pub fn view_general_dtd(&self) -> GeneralDtd {
+        let declarations = self
+            .productions
+            .iter()
+            .map(|(name, content)| {
+                let c = match content {
+                    ViewContent::Str => Content::PcData,
+                    ViewContent::Empty => Content::Empty,
+                    ViewContent::Seq(items) => Content::seq(
+                        items
+                            .iter()
+                            .map(|item| match item {
+                                ViewItem::One(b) => Content::Name(b.clone()),
+                                ViewItem::Many(b) => {
+                                    Content::Star(Box::new(Content::Name(b.clone())))
+                                }
+                            })
+                            .collect(),
+                    ),
+                    ViewContent::Choice { alternatives, optional } => {
+                        let choice = Content::choice(
+                            alternatives.iter().map(|a| Content::Name(a.clone())).collect(),
+                        );
+                        if *optional {
+                            Content::Opt(Box::new(choice))
+                        } else {
+                            choice
+                        }
+                    }
+                    ViewContent::Star(b) => Content::Star(Box::new(Content::Name(b.clone()))),
+                };
+                (name.clone(), c)
+            })
+            .collect();
+        GeneralDtd::new(self.root.clone(), declarations)
+            .expect("view productions are closed over view types")
+            .with_attributes(self.attributes.iter().map(|(elem, attrs)| {
+                (elem.clone(), attrs.iter().map(AttDef::optional).collect())
+            }))
+            .expect("attribute element types are view types")
+    }
+
+    /// The exported view DTD as `<!ELEMENT …>` source text.
+    pub fn to_dtd_source(&self) -> String {
+        self.view_general_dtd().to_string()
+    }
+
+    /// Render the view DTD (the part exposed to users — σ is *not*
+    /// included, matching the paper's information hiding).
+    pub fn view_dtd_to_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "/* view root: {} */", self.root);
+        for (name, content) in &self.productions {
+            let _ = writeln!(out, "{name} -> {content}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_view() -> SecurityView {
+        let mut sigma = BTreeMap::new();
+        sigma.insert(("r".to_string(), "a".to_string()), sxv_xpath::parse("x/a").unwrap());
+        SecurityView::new(
+            "r".into(),
+            vec![
+                ("r".into(), ViewContent::Star("a".into())),
+                ("a".into(), ViewContent::Str),
+            ],
+            sigma,
+        )
+    }
+
+    #[test]
+    fn lookup() {
+        let v = tiny_view();
+        assert_eq!(v.root(), "r");
+        assert_eq!(v.production("r"), Some(&ViewContent::Star("a".into())));
+        assert_eq!(v.sigma("r", "a").unwrap().to_string(), "x/a");
+        assert!(v.sigma("a", "r").is_none());
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let v = tiny_view();
+        assert!(!v.is_recursive());
+        let mut sigma = BTreeMap::new();
+        sigma.insert(("a".into(), "a".into()), Path::label("a"));
+        let rec = SecurityView::new(
+            "a".into(),
+            vec![(
+                "a".into(),
+                ViewContent::Choice { alternatives: vec!["a".into(), "b".into()], optional: false },
+            ), ("b".into(), ViewContent::Empty)],
+            sigma,
+        );
+        assert!(rec.is_recursive());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ViewContent::Seq(vec![
+                ViewItem::Many("patientInfo".into()),
+                ViewItem::One("staffInfo".into())
+            ])
+            .to_string(),
+            "patientInfo*, staffInfo"
+        );
+        assert_eq!(
+            ViewContent::Choice {
+                alternatives: vec!["dummy1".into(), "dummy2".into()],
+                optional: false
+            }
+            .to_string(),
+            "dummy1 + dummy2"
+        );
+        assert_eq!(
+            ViewContent::Choice { alternatives: vec!["a".into()], optional: true }.to_string(),
+            "a + ε"
+        );
+    }
+
+    #[test]
+    fn child_types_dedupe() {
+        let c = ViewContent::Seq(vec![
+            ViewItem::One("a".into()),
+            ViewItem::Many("a".into()),
+            ViewItem::One("b".into()),
+        ]);
+        assert_eq!(c.child_types(), ["a", "b"]);
+    }
+
+    #[test]
+    fn dummy_names() {
+        assert!(SecurityView::is_dummy("dummy1"));
+        assert!(!SecurityView::is_dummy("patient"));
+    }
+
+    #[test]
+    fn dtd_export_roundtrips() {
+        let v = tiny_view();
+        let src = v.to_dtd_source();
+        assert!(src.contains("<!ELEMENT r (a*)>"), "{src}");
+        assert!(src.contains("<!ELEMENT a (#PCDATA)>"), "{src}");
+        let reparsed = sxv_dtd::parse_general_dtd(&src, "r").unwrap();
+        assert_eq!(reparsed.root(), "r");
+    }
+
+    #[test]
+    fn optional_choice_exports_as_opt_group() {
+        let view = SecurityView::new(
+            "t".into(),
+            vec![
+                (
+                    "t".into(),
+                    ViewContent::Choice { alternatives: vec!["y".into()], optional: true },
+                ),
+                ("y".into(), ViewContent::Empty),
+            ],
+            BTreeMap::new(),
+        );
+        let src = view.to_dtd_source();
+        assert!(src.contains("<!ELEMENT t (y?)>") || src.contains("<!ELEMENT t ((y)?)>"), "{src}");
+    }
+
+    #[test]
+    fn view_dtd_rendering_omits_sigma() {
+        let v = tiny_view();
+        let s = v.view_dtd_to_string();
+        assert!(s.contains("r -> a*"));
+        assert!(!s.contains("x/a"), "σ must stay hidden");
+    }
+}

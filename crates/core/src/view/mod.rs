@@ -1,0 +1,6 @@
+//! Security views: definition, derivation (Fig. 5) and materialization
+//! semantics (§3.3).
+
+pub mod def;
+pub mod derive;
+pub mod materialize;

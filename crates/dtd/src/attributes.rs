@@ -1,0 +1,149 @@
+//! Attribute-list declarations (`<!ATTLIST …>`).
+//!
+//! The paper scopes attributes out ("they can be easily incorporated");
+//! this module incorporates them: declarations parse into [`AttDef`]s
+//! attached to element types, instances validate against them, and the
+//! security layer in `sxv-core` builds attribute-level access control on
+//! top.
+//!
+//! Supported declaration forms (types are not enforced beyond presence —
+//! the paper's model has no typed values):
+//!
+//! ```text
+//! <!ATTLIST elem attr CDATA #REQUIRED>
+//! <!ATTLIST elem attr CDATA #IMPLIED>
+//! <!ATTLIST elem attr (yes | no) "no">
+//! <!ATTLIST elem attr CDATA #FIXED "v">
+//! ```
+
+use crate::error::{Error, Result};
+use crate::model::GeneralDtd;
+use sxv_xml::{Document, NodeId};
+
+/// One declared attribute of an element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// `#REQUIRED` — the attribute must be present on every instance.
+    pub required: bool,
+    /// Default (or `#FIXED`) value, if declared.
+    pub default: Option<String>,
+    /// Allowed values for enumerated types (`(yes | no)`); empty = any.
+    pub allowed: Vec<String>,
+}
+
+impl AttDef {
+    /// A plain optional CDATA attribute.
+    pub fn optional(name: impl Into<String>) -> AttDef {
+        AttDef { name: name.into(), required: false, default: None, allowed: Vec::new() }
+    }
+
+    /// A required CDATA attribute.
+    pub fn required(name: impl Into<String>) -> AttDef {
+        AttDef { name: name.into(), required: true, default: None, allowed: Vec::new() }
+    }
+}
+
+/// Validate the attributes of every element of `doc` against the
+/// declarations of `dtd`: required attributes present, enumerated values
+/// in range, and no undeclared attributes.
+pub fn validate_attributes(dtd: &GeneralDtd, doc: &Document) -> Result<()> {
+    for id in doc.all_ids() {
+        let Some(label) = doc.label_opt(id) else { continue };
+        let defs = dtd.attribute_defs(label);
+        for def in defs {
+            match doc.attribute(id, &def.name) {
+                None if def.required => {
+                    return Err(invalid(doc, id, format!("missing required attribute {}", def.name)));
+                }
+                Some(v) if !def.allowed.is_empty() && !def.allowed.iter().any(|a| a == v) => {
+                    return Err(invalid(
+                        doc,
+                        id,
+                        format!("attribute {}=\"{v}\" not in {:?}", def.name, def.allowed),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for (name, _) in doc.attributes(id) {
+            if !defs.iter().any(|d| &d.name == name) {
+                return Err(invalid(doc, id, format!("undeclared attribute {name}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn invalid(doc: &Document, id: NodeId, message: String) -> Error {
+    Error::Invalid {
+        node: format!("<{}>", doc.label_opt(id).unwrap_or("#text")),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_general_dtd;
+    use sxv_xml::parse as parse_xml;
+
+    fn dtd() -> GeneralDtd {
+        parse_general_dtd(
+            r#"<!ELEMENT r (a*)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST r version CDATA #REQUIRED>
+<!ATTLIST a id CDATA #REQUIRED>
+<!ATTLIST a kind (big | small) "small">
+<!ATTLIST a note CDATA #IMPLIED>"#,
+            "r",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attlist_parses_into_defs() {
+        let d = dtd();
+        let r_defs = d.attribute_defs("r");
+        assert_eq!(r_defs.len(), 1);
+        assert!(r_defs[0].required);
+        let a_defs = d.attribute_defs("a");
+        assert_eq!(a_defs.len(), 3);
+        let kind = a_defs.iter().find(|x| x.name == "kind").unwrap();
+        assert_eq!(kind.default.as_deref(), Some("small"));
+        assert_eq!(kind.allowed, ["big", "small"]);
+        assert!(d.attribute_defs("zzz").is_empty());
+    }
+
+    #[test]
+    fn valid_attributes_pass() {
+        let d = dtd();
+        let doc = parse_xml(r#"<r version="1"><a id="x" kind="big">t</a><a id="y">u</a></r>"#)
+            .unwrap();
+        validate_attributes(&d, &doc).unwrap();
+    }
+
+    #[test]
+    fn missing_required_fails() {
+        let d = dtd();
+        let doc = parse_xml(r#"<r><a id="x">t</a></r>"#).unwrap();
+        let e = validate_attributes(&d, &doc).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+    }
+
+    #[test]
+    fn enumerated_value_checked() {
+        let d = dtd();
+        let doc = parse_xml(r#"<r version="1"><a id="x" kind="huge">t</a></r>"#).unwrap();
+        assert!(validate_attributes(&d, &doc).is_err());
+    }
+
+    #[test]
+    fn undeclared_attribute_fails() {
+        let d = dtd();
+        let doc = parse_xml(r#"<r version="1" bogus="1"/>"#).unwrap();
+        let e = validate_attributes(&d, &doc).unwrap_err();
+        assert!(e.to_string().contains("bogus"), "{e}");
+    }
+}

@@ -1,0 +1,389 @@
+//! General regular-expression content models and Brzozowski derivatives.
+//!
+//! [`Content`] mirrors what `<!ELEMENT …>` declarations can express:
+//! `EMPTY`, `(#PCDATA)`, names, sequences, choices and the `?`/`*`/`+`
+//! postfix operators. Matching a children-label sequence against a content
+//! model uses Brzozowski derivatives, which keeps validation simple,
+//! allocation-light and obviously correct (no NFA construction needed).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Token label used for text children when matching content models.
+pub const PCDATA_LABEL: &str = "#PCDATA";
+
+/// A general element content model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Content {
+    /// `EMPTY` — no children allowed.
+    Empty,
+    /// `(#PCDATA)` — zero or more text children, no element children.
+    PcData,
+    /// A single element-type name.
+    Name(String),
+    /// `(a, b, …)` — concatenation, in order.
+    Seq(Vec<Content>),
+    /// `(a | b | …)` — disjunction.
+    Choice(Vec<Content>),
+    /// `x*` — zero or more.
+    Star(Box<Content>),
+    /// `x+` — one or more.
+    Plus(Box<Content>),
+    /// `x?` — zero or one.
+    Opt(Box<Content>),
+}
+
+impl Content {
+    /// True iff the empty sequence matches this model.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Content::Empty | Content::PcData => true,
+            Content::Name(_) => false,
+            Content::Seq(items) => items.iter().all(Content::nullable),
+            Content::Choice(items) => items.iter().any(Content::nullable),
+            Content::Star(_) | Content::Opt(_) => true,
+            Content::Plus(inner) => inner.nullable(),
+        }
+    }
+
+    /// Brzozowski derivative of the model with respect to `label`.
+    ///
+    /// The result matches exactly the suffixes `w` such that `label·w`
+    /// matches `self`. `Content::Choice(vec![])` is the empty language.
+    pub fn derivative(&self, label: &str) -> Content {
+        match self {
+            Content::Empty => Content::none(),
+            Content::PcData => {
+                if label == PCDATA_LABEL {
+                    Content::PcData
+                } else {
+                    Content::none()
+                }
+            }
+            Content::Name(n) => {
+                if n == label {
+                    Content::Empty
+                } else {
+                    Content::none()
+                }
+            }
+            Content::Seq(items) => {
+                // d(xy) = d(x)y  |  (x nullable ? d(y) : ∅), generalized.
+                let mut alternatives = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    let d = item.derivative(label);
+                    if !d.is_none() {
+                        let mut rest = vec![d];
+                        rest.extend(items[i + 1..].iter().cloned());
+                        alternatives.push(Content::seq(rest));
+                    }
+                    if !item.nullable() {
+                        break;
+                    }
+                }
+                Content::choice(alternatives)
+            }
+            Content::Choice(items) => {
+                Content::choice(items.iter().map(|i| i.derivative(label)).collect())
+            }
+            Content::Star(inner) => {
+                let d = inner.derivative(label);
+                if d.is_none() {
+                    Content::none()
+                } else {
+                    Content::seq(vec![d, Content::Star(inner.clone())])
+                }
+            }
+            Content::Plus(inner) => {
+                // x+ = x x*
+                let d = inner.derivative(label);
+                if d.is_none() {
+                    Content::none()
+                } else {
+                    Content::seq(vec![d, Content::Star(inner.clone())])
+                }
+            }
+            Content::Opt(inner) => inner.derivative(label),
+        }
+    }
+
+    /// Match a full sequence of child labels against this model.
+    pub fn matches<'a>(&self, labels: impl IntoIterator<Item = &'a str>) -> bool {
+        let mut current = self.clone();
+        for label in labels {
+            current = current.derivative(label);
+            if current.is_none() {
+                return false;
+            }
+        }
+        current.nullable()
+    }
+
+    /// The empty language (no word matches).
+    pub fn none() -> Content {
+        Content::Choice(Vec::new())
+    }
+
+    /// True iff this is the canonical empty language.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Content::Choice(v) if v.is_empty())
+    }
+
+    /// Smart sequence constructor: flattens, drops `Empty` units,
+    /// propagates the empty language.
+    pub fn seq(items: Vec<Content>) -> Content {
+        let mut out = Vec::new();
+        for item in items {
+            if item.is_none() {
+                return Content::none();
+            }
+            match item {
+                Content::Empty => {}
+                Content::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Content::Empty,
+            1 => out.pop().unwrap(),
+            _ => Content::Seq(out),
+        }
+    }
+
+    /// Smart choice constructor: flattens nested choices, removes exact
+    /// duplicates, drops empty-language branches.
+    pub fn choice(items: Vec<Content>) -> Content {
+        let mut out: Vec<Content> = Vec::new();
+        for item in items {
+            match item {
+                Content::Choice(inner) => {
+                    for i in inner {
+                        if !out.contains(&i) {
+                            out.push(i);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Content::none(),
+            1 => out.pop().unwrap(),
+            _ => Content::Choice(out),
+        }
+    }
+
+    /// All element-type names referenced by this model (excludes `#PCDATA`).
+    pub fn referenced_names(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Content::Empty | Content::PcData => {}
+            Content::Name(n) => {
+                out.insert(n.as_str());
+            }
+            Content::Seq(items) | Content::Choice(items) => {
+                for i in items {
+                    i.collect_names(out);
+                }
+            }
+            Content::Star(i) | Content::Plus(i) | Content::Opt(i) => i.collect_names(out),
+        }
+    }
+
+    /// True iff this model can produce text children.
+    pub fn allows_text(&self) -> bool {
+        match self {
+            Content::PcData => true,
+            Content::Empty | Content::Name(_) => false,
+            Content::Seq(items) | Content::Choice(items) => items.iter().any(Content::allows_text),
+            Content::Star(i) | Content::Plus(i) | Content::Opt(i) => i.allows_text(),
+        }
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Content::Empty => write!(f, "EMPTY"),
+            Content::PcData => write!(f, "(#PCDATA)"),
+            Content::Name(n) => write!(f, "{n}"),
+            Content::Seq(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Content::Choice(items) if items.is_empty() => write!(f, "<none>"),
+            Content::Choice(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Content::Star(i) => write!(f, "{i}*"),
+            Content::Plus(i) => write!(f, "{i}+"),
+            Content::Opt(i) => write!(f, "{i}?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Content {
+        Content::Name(n.into())
+    }
+
+    #[test]
+    fn nullable_basics() {
+        assert!(Content::Empty.nullable());
+        assert!(Content::PcData.nullable());
+        assert!(!name("a").nullable());
+        assert!(Content::Star(Box::new(name("a"))).nullable());
+        assert!(Content::Opt(Box::new(name("a"))).nullable());
+        assert!(!Content::Plus(Box::new(name("a"))).nullable());
+        assert!(!Content::none().nullable());
+    }
+
+    #[test]
+    fn seq_matching() {
+        let m = Content::Seq(vec![name("a"), name("b")]);
+        assert!(m.matches(["a", "b"]));
+        assert!(!m.matches(["a"]));
+        assert!(!m.matches(["b", "a"]));
+        assert!(!m.matches(["a", "b", "b"]));
+        assert!(!m.matches([]));
+    }
+
+    #[test]
+    fn choice_matching() {
+        let m = Content::Choice(vec![name("a"), name("b")]);
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["b"]));
+        assert!(!m.matches(["c"]));
+        assert!(!m.matches(["a", "b"]));
+        assert!(!m.matches([]));
+    }
+
+    #[test]
+    fn star_matching() {
+        let m = Content::Star(Box::new(name("a")));
+        assert!(m.matches([]));
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["a", "a", "a"]));
+        assert!(!m.matches(["a", "b"]));
+    }
+
+    #[test]
+    fn plus_matching() {
+        let m = Content::Plus(Box::new(name("a")));
+        assert!(!m.matches([]));
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["a", "a"]));
+    }
+
+    #[test]
+    fn opt_matching() {
+        let m = Content::Opt(Box::new(name("a")));
+        assert!(m.matches([]));
+        assert!(m.matches(["a"]));
+        assert!(!m.matches(["a", "a"]));
+    }
+
+    #[test]
+    fn nested_model_matching() {
+        // (a, (b | c)*, d?)
+        let m = Content::Seq(vec![
+            name("a"),
+            Content::Star(Box::new(Content::Choice(vec![name("b"), name("c")]))),
+            Content::Opt(Box::new(name("d"))),
+        ]);
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["a", "b", "c", "b"]));
+        assert!(m.matches(["a", "d"]));
+        assert!(m.matches(["a", "c", "d"]));
+        assert!(!m.matches(["b"]));
+        assert!(!m.matches(["a", "d", "b"]));
+    }
+
+    #[test]
+    fn pcdata_matching() {
+        let m = Content::PcData;
+        assert!(m.matches([]));
+        assert!(m.matches([PCDATA_LABEL]));
+        assert!(m.matches([PCDATA_LABEL, PCDATA_LABEL]));
+        assert!(!m.matches(["a"]));
+    }
+
+    #[test]
+    fn empty_model_rejects_children() {
+        assert!(Content::Empty.matches([]));
+        assert!(!Content::Empty.matches(["a"]));
+        assert!(!Content::Empty.matches([PCDATA_LABEL]));
+    }
+
+    #[test]
+    fn ambiguous_seq_with_nullable_prefix() {
+        // (a?, a) — matches "a" and "a a".
+        let m = Content::Seq(vec![Content::Opt(Box::new(name("a"))), name("a")]);
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["a", "a"]));
+        assert!(!m.matches([]));
+        assert!(!m.matches(["a", "a", "a"]));
+    }
+
+    #[test]
+    fn referenced_names_collects_all() {
+        let m = Content::Seq(vec![
+            name("a"),
+            Content::Star(Box::new(Content::Choice(vec![name("b"), name("c")]))),
+        ]);
+        let names: Vec<&str> = m.referenced_names().into_iter().collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = Content::Seq(vec![
+            name("a"),
+            Content::Star(Box::new(Content::Choice(vec![name("b"), name("c")]))),
+        ]);
+        assert_eq!(m.to_string(), "(a, (b | c)*)");
+        assert_eq!(Content::PcData.to_string(), "(#PCDATA)");
+        assert_eq!(Content::Empty.to_string(), "EMPTY");
+    }
+
+    #[test]
+    fn smart_constructors_canonicalize() {
+        assert_eq!(Content::seq(vec![]), Content::Empty);
+        assert_eq!(Content::seq(vec![name("a")]), name("a"));
+        assert_eq!(Content::seq(vec![name("a"), Content::none()]), Content::none());
+        assert_eq!(Content::choice(vec![name("a"), name("a")]), name("a"));
+        assert_eq!(Content::choice(vec![]), Content::none());
+    }
+
+    #[test]
+    fn allows_text() {
+        assert!(Content::PcData.allows_text());
+        assert!(!name("a").allows_text());
+        assert!(Content::Seq(vec![name("a"), Content::PcData]).allows_text());
+    }
+}

@@ -1,0 +1,233 @@
+//! One-unambiguity (determinism) checking for content models.
+//!
+//! The XML standard requires content models to be *deterministic* (1-
+//! unambiguous): while matching children left to right, the next child
+//! label must identify a unique position in the expression. The paper
+//! leans on this ("DTD D must be unambiguous by the XML standard") for
+//! Prop. 3.1 — each element is parsed by a unique production position, so
+//! node accessibility is well defined.
+//!
+//! The classical test (Brüggemann-Klein & Wood): build the Glushkov
+//! position automaton and check that no state has two outgoing
+//! transitions on the same label. Equivalently, over marked positions:
+//!
+//! * `first(e)` must not contain two positions with the same label;
+//! * for every position `x`, `follow(e, x)` must not contain two
+//!   positions with the same label.
+
+use crate::content::Content;
+use crate::error::{Error, Result};
+use crate::model::GeneralDtd;
+use std::collections::{BTreeSet, HashMap};
+
+/// Position-annotated view of a content model: every `Name`/`PcData` leaf
+/// gets a unique index.
+struct Marked<'a> {
+    /// label per position.
+    labels: Vec<&'a str>,
+}
+
+/// first/last/follow sets over positions.
+struct Sets {
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+}
+
+impl Content {
+    /// Check 1-unambiguity. Returns the offending label on failure.
+    pub fn check_deterministic(&self) -> std::result::Result<(), String> {
+        let mut marked = Marked { labels: Vec::new() };
+        let mut follow: Vec<BTreeSet<usize>> = Vec::new();
+        let sets = build(self, &mut marked, &mut follow);
+        // Competing labels in first(e)?
+        if let Some(label) = competing(&sets.first, &marked) {
+            return Err(format!(
+                "content model {self} is ambiguous: two ways to start with <{label}>"
+            ));
+        }
+        for (x, f) in follow.iter().enumerate() {
+            if let Some(label) = competing(f, &marked) {
+                return Err(format!(
+                    "content model {self} is ambiguous: after <{}>, two ways to continue with <{label}>",
+                    marked.labels[x]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn competing(set: &BTreeSet<usize>, marked: &Marked) -> Option<String> {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for &p in set {
+        if let Some(&other) = seen.get(marked.labels[p]) {
+            if other != p {
+                return Some(marked.labels[p].to_string());
+            }
+        }
+        seen.insert(marked.labels[p], p);
+    }
+    None
+}
+
+fn build<'a>(c: &'a Content, marked: &mut Marked<'a>, follow: &mut Vec<BTreeSet<usize>>) -> Sets {
+    match c {
+        Content::Empty => Sets { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() },
+        Content::PcData => {
+            // (#PCDATA) is a starred text position.
+            let p = marked.labels.len();
+            marked.labels.push("#PCDATA");
+            follow.push(BTreeSet::from([p]));
+            Sets { nullable: true, first: BTreeSet::from([p]), last: BTreeSet::from([p]) }
+        }
+        Content::Name(n) => {
+            let p = marked.labels.len();
+            marked.labels.push(n);
+            follow.push(BTreeSet::new());
+            Sets { nullable: false, first: BTreeSet::from([p]), last: BTreeSet::from([p]) }
+        }
+        Content::Seq(items) => {
+            let mut acc = Sets { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() };
+            for item in items {
+                let s = build(item, marked, follow);
+                // follow(last(acc)) ∪= first(s)
+                for &x in &acc.last {
+                    follow[x].extend(s.first.iter().copied());
+                }
+                if acc.nullable {
+                    acc.first.extend(s.first.iter().copied());
+                }
+                if s.nullable {
+                    acc.last.extend(s.last.iter().copied());
+                } else {
+                    acc.last = s.last;
+                }
+                acc.nullable &= s.nullable;
+            }
+            acc
+        }
+        Content::Choice(items) => {
+            let mut acc = Sets { nullable: false, first: BTreeSet::new(), last: BTreeSet::new() };
+            if items.is_empty() {
+                return acc;
+            }
+            for item in items {
+                let s = build(item, marked, follow);
+                acc.nullable |= s.nullable;
+                acc.first.extend(s.first);
+                acc.last.extend(s.last);
+            }
+            acc
+        }
+        Content::Star(inner) | Content::Plus(inner) => {
+            let s = build(inner, marked, follow);
+            // follow(last) ∪= first (the loop-back edge).
+            for &x in s.last.iter() {
+                let firsts: Vec<usize> = s.first.iter().copied().collect();
+                follow[x].extend(firsts);
+            }
+            Sets {
+                nullable: s.nullable || matches!(c, Content::Star(_)),
+                first: s.first,
+                last: s.last,
+            }
+        }
+        Content::Opt(inner) => {
+            let s = build(inner, marked, follow);
+            Sets { nullable: true, first: s.first, last: s.last }
+        }
+    }
+}
+
+impl GeneralDtd {
+    /// Check that every declared content model is deterministic
+    /// (1-unambiguous), as the XML standard requires.
+    pub fn check_deterministic(&self) -> Result<()> {
+        for (name, content) in self.declarations() {
+            content.check_deterministic().map_err(|message| Error::Invalid {
+                node: format!("<!ELEMENT {name} …>"),
+                message,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_content_model, parse_general_dtd};
+
+    fn det(s: &str) -> std::result::Result<(), String> {
+        parse_content_model(s).unwrap().check_deterministic()
+    }
+
+    #[test]
+    fn deterministic_models_pass() {
+        for m in [
+            "(a, b, c)",
+            "(a | b | c)",
+            "(a*)",
+            "(a, b?, c*)",
+            "((a | b)*, c)",
+            "(#PCDATA)",
+            "EMPTY",
+            "(a, (b | c), d+)",
+        ] {
+            det(m).unwrap_or_else(|e| panic!("{m} should be deterministic: {e}"));
+        }
+    }
+
+    #[test]
+    fn classic_ambiguous_models_fail() {
+        // (a, a?) — after the first a, the next a could be either position?
+        // No: (a, a?) IS deterministic (position 2 is the only continuation).
+        det("(a, a?)").unwrap();
+        // (a?, a) — an initial a is ambiguous between the two positions.
+        assert!(det("(a?, a)").is_err());
+        // ((a, b) | (a, c)) — the first a is ambiguous.
+        assert!(det("((a, b) | (a, c))").is_err());
+        // (a | b)* followed by a — after an a, the next a is ambiguous.
+        assert!(det("((a | b)*, a)").is_err());
+        // (a*, a) — ambiguous.
+        assert!(det("(a*, a)").is_err());
+    }
+
+    #[test]
+    fn star_loop_follow_checked() {
+        // ((a, b?)*) — after b, a continues the loop: fine.
+        det("((a, b?)*)").unwrap();
+        // ((a?, b)*) — after b, an a or... still unique positions: fine.
+        det("((a?, b)*)").unwrap();
+        // ((a, b?) | (b))* — after a: b-in-group vs loop to b-alone: two
+        // b positions reachable after a? follow(a) = {b@1, a@1, b@2}: two
+        // b positions → ambiguous.
+        assert!(det("(((a, b?) | b)*)").is_err());
+    }
+
+    #[test]
+    fn dtd_level_check() {
+        let good = parse_general_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
+            "r",
+        )
+        .unwrap();
+        good.check_deterministic().unwrap();
+        let bad = parse_general_dtd(
+            "<!ELEMENT r (a?, a)><!ELEMENT a (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let e = bad.check_deterministic().unwrap_err();
+        assert!(e.to_string().contains("ambiguous"), "{e}");
+    }
+
+    #[test]
+    fn normal_form_productions_always_deterministic() {
+        // Paper-normal-form productions are trivially deterministic —
+        // names in a concatenation may repeat (positions are consecutive),
+        // but a disjunction with a repeated name is ambiguous.
+        det("(a, a, b)").unwrap();
+        assert!(det("(a | a)").is_err());
+    }
+}

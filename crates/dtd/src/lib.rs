@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # sxv-dtd — DTD substrate
+//!
+//! Document Type Definitions as defined in §2 of *Secure XML Querying with
+//! Security Views* (SIGMOD 2004):
+//!
+//! > a DTD is `(Ele, Rg, r)` where `Rg(A)` is a regular expression of the
+//! > form `α ::= str | ε | B1,…,Bn | B1+…+Bn | B1*`.
+//!
+//! This crate provides:
+//!
+//! * a **general content model** ([`Content`]) matching real
+//!   `<!ELEMENT …>` declarations (sequences, choices, `?`/`*`/`+`,
+//!   `#PCDATA`, `EMPTY`), with a parser ([`parse_general_dtd`]);
+//! * the **paper normal form** ([`NormalContent`], [`Dtd`]) and a
+//!   normalizer that rewrites any general DTD into it by introducing fresh
+//!   element types (the paper's footnote "all DTDs can be expressed in this
+//!   form by introducing new element types");
+//! * **validation** of documents against general content models using
+//!   Brzozowski derivatives ([`validate()`](validate::validate)), and **determinism**
+//!   (1-unambiguity) checking per the XML standard
+//!   ([`determinism`], used by Prop. 3.1's well-definedness argument);
+//! * the **DTD graph** (§2): children, reachability, recursion detection,
+//!   topological order ([`graph::DtdGraph`]);
+//! * **bounded unfolding** of recursive DTDs (§4.2) used for query
+//!   rewriting over recursive security views ([`unfold`]).
+
+pub mod attributes;
+pub mod content;
+pub mod determinism;
+pub mod error;
+pub mod graph;
+pub mod model;
+pub mod normal;
+pub mod parser;
+pub mod unfold;
+pub mod validate;
+
+pub use attributes::{validate_attributes, AttDef};
+pub use content::Content;
+pub use error::{Error, Result};
+pub use graph::DtdGraph;
+pub use model::GeneralDtd;
+pub use normal::{Dtd, NormalContent};
+pub use parser::{parse_content_model, parse_dtd, parse_general_dtd};
+pub use unfold::{UnfoldedContent, UnfoldedDtd, UnfoldedNodeId};
+pub use validate::{validate, validate_subtree};

@@ -1,0 +1,208 @@
+//! The general DTD model: element declarations with arbitrary regular
+//! expression content (as parsed from `<!ELEMENT …>` syntax).
+
+use crate::attributes::AttDef;
+use crate::content::Content;
+use crate::error::{Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A DTD with general regular-expression content models.
+///
+/// This is what [`crate::parse_general_dtd`] produces. The security-view
+/// algorithms operate on the paper normal form ([`crate::Dtd`]); convert
+/// with [`GeneralDtd::normalize`].
+#[derive(Debug, Clone)]
+pub struct GeneralDtd {
+    root: String,
+    declarations: Vec<(String, Content)>,
+    index: HashMap<String, usize>,
+    /// `<!ATTLIST …>` declarations per element type (ordered, so
+    /// `Display` output is deterministic).
+    attributes: BTreeMap<String, Vec<AttDef>>,
+}
+
+impl GeneralDtd {
+    /// Assemble a DTD from declarations and a root type, checking that the
+    /// root and every referenced type are declared exactly once.
+    pub fn new(root: impl Into<String>, declarations: Vec<(String, Content)>) -> Result<Self> {
+        let root = root.into();
+        let mut index = HashMap::with_capacity(declarations.len());
+        for (i, (name, _)) in declarations.iter().enumerate() {
+            if index.insert(name.clone(), i).is_some() {
+                return Err(Error::DuplicateDeclaration(name.clone()));
+            }
+        }
+        if !index.contains_key(&root) {
+            return Err(Error::MissingRoot(root));
+        }
+        for (name, content) in &declarations {
+            for referenced in content.referenced_names() {
+                if !index.contains_key(referenced) {
+                    return Err(Error::UndeclaredElement {
+                        referenced_by: name.clone(),
+                        name: referenced.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(GeneralDtd { root, declarations, index, attributes: BTreeMap::new() })
+    }
+
+    /// Attach attribute declarations (replacing any previous set for the
+    /// mentioned element types). Unknown element types are rejected.
+    pub fn with_attributes(
+        mut self,
+        attlists: impl IntoIterator<Item = (String, Vec<AttDef>)>,
+    ) -> Result<Self> {
+        for (elem, defs) in attlists {
+            if !self.index.contains_key(&elem) {
+                return Err(Error::UndeclaredElement {
+                    referenced_by: "<!ATTLIST>".into(),
+                    name: elem,
+                });
+            }
+            self.attributes.entry(elem).or_default().extend(defs);
+        }
+        Ok(self)
+    }
+
+    /// Declared attributes of an element type (empty slice if none).
+    pub fn attribute_defs(&self, elem: &str) -> &[AttDef] {
+        self.attributes.get(elem).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All element types with attribute declarations.
+    pub fn attlisted_types(&self) -> impl Iterator<Item = (&str, &[AttDef])> {
+        self.attributes.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// The root element type.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Content model of `name`, if declared.
+    pub fn content(&self, name: &str) -> Option<&Content> {
+        self.index.get(name).map(|&i| &self.declarations[i].1)
+    }
+
+    /// All declarations in declaration order.
+    pub fn declarations(&self) -> &[(String, Content)] {
+        &self.declarations
+    }
+
+    /// Number of declared element types.
+    pub fn len(&self) -> usize {
+        self.declarations.len()
+    }
+
+    /// True iff no element types are declared (never constructible via
+    /// [`GeneralDtd::new`], which requires the root).
+    pub fn is_empty(&self) -> bool {
+        self.declarations.is_empty()
+    }
+}
+
+impl fmt::Display for GeneralDtd {
+    /// Serialize back to `<!ELEMENT …>`/`<!ATTLIST …>` syntax; the output
+    /// re-parses to an equivalent DTD.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, content) in &self.declarations {
+            match content {
+                Content::Empty => writeln!(f, "<!ELEMENT {name} EMPTY>")?,
+                Content::PcData => writeln!(f, "<!ELEMENT {name} (#PCDATA)>")?,
+                // Non-group content needs wrapping parens in DTD syntax.
+                Content::Name(_) | Content::Star(_) | Content::Plus(_) | Content::Opt(_) => {
+                    writeln!(f, "<!ELEMENT {name} ({content})>")?
+                }
+                _ => writeln!(f, "<!ELEMENT {name} {content}>")?,
+            }
+        }
+        for (elem, defs) in &self.attributes {
+            for def in defs {
+                let ty = if def.allowed.is_empty() {
+                    "CDATA".to_string()
+                } else {
+                    format!("({})", def.allowed.join(" | "))
+                };
+                let default = if def.required {
+                    "#REQUIRED".to_string()
+                } else {
+                    match &def.default {
+                        Some(d) => format!("\"{d}\""),
+                        None => "#IMPLIED".to_string(),
+                    }
+                };
+                writeln!(f, "<!ATTLIST {elem} {} {ty} {default}>", def.name)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Content {
+        Content::Name(n.into())
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let d = GeneralDtd::new(
+            "r",
+            vec![
+                ("r".into(), Content::Seq(vec![name("a"), name("b")])),
+                ("a".into(), Content::PcData),
+                ("b".into(), Content::PcData),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.root(), "r");
+        assert_eq!(d.content("a"), Some(&Content::PcData));
+        assert_eq!(d.content("zzz"), None);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn missing_root_rejected() {
+        let e = GeneralDtd::new("r", vec![("a".into(), Content::PcData)]).unwrap_err();
+        assert!(matches!(e, Error::MissingRoot(_)));
+    }
+
+    #[test]
+    fn undeclared_reference_rejected() {
+        let e = GeneralDtd::new("r", vec![("r".into(), name("ghost"))]).unwrap_err();
+        assert!(matches!(e, Error::UndeclaredElement { .. }));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let src = r#"<!ELEMENT r (a, (b | c)*, d?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c (a+)>
+<!ELEMENT d EMPTY>
+<!ATTLIST r version CDATA #REQUIRED>
+<!ATTLIST a kind (x | y) "x">"#;
+        let d = crate::parser::parse_general_dtd(src, "r").unwrap();
+        let printed = d.to_string();
+        let reparsed = crate::parser::parse_general_dtd(&printed, "r")
+            .unwrap_or_else(|e| panic!("printed DTD failed to reparse: {e}\n{printed}"));
+        assert_eq!(reparsed.to_string(), printed);
+        assert_eq!(reparsed.attribute_defs("r").len(), 1);
+        assert_eq!(reparsed.attribute_defs("a")[0].allowed, ["x", "y"]);
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = GeneralDtd::new(
+            "r",
+            vec![("r".into(), Content::Empty), ("r".into(), Content::PcData)],
+        )
+        .unwrap_err();
+        assert!(matches!(e, Error::DuplicateDeclaration(_)));
+    }
+}

@@ -1,0 +1,437 @@
+//! The paper's DTD normal form (§2):
+//!
+//! ```text
+//! α ::= str | ε | B1,…,Bn | B1+…+Bn | B1*
+//! ```
+//!
+//! Every production is either text, empty, a concatenation of element-type
+//! names, a disjunction of names, or a starred name. The security-view
+//! algorithms (`derive`, `rewrite`, `optimize`) all operate on this form.
+//!
+//! [`GeneralDtd::normalize`] rewrites any general DTD into normal form by
+//! introducing fresh element types, as the paper's footnote prescribes.
+//! Instances of the normalized DTD carry the fresh types as real wrapper
+//! elements — the normal form is a *different schema* that encodes the same
+//! nesting structure, which is exactly what "introducing new element types
+//! (entities)" means.
+
+use crate::attributes::AttDef;
+use crate::content::Content;
+use crate::error::{Error, Result};
+use crate::model::GeneralDtd;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A production right-hand side in paper normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalContent {
+    /// `str` — one PCDATA text child.
+    Str,
+    /// `ε` — no children.
+    Empty,
+    /// `B1, …, Bn` — concatenation of names (n ≥ 1).
+    Seq(Vec<String>),
+    /// `B1 + … + Bn` — disjunction of names (n ≥ 2).
+    Choice(Vec<String>),
+    /// `B*` — zero or more.
+    Star(String),
+}
+
+impl NormalContent {
+    /// The subelement types appearing in this production, in order,
+    /// without deduplication.
+    pub fn child_types(&self) -> Vec<&str> {
+        match self {
+            NormalContent::Str | NormalContent::Empty => Vec::new(),
+            NormalContent::Seq(names) | NormalContent::Choice(names) => {
+                names.iter().map(String::as_str).collect()
+            }
+            NormalContent::Star(name) => vec![name.as_str()],
+        }
+    }
+
+    /// Equivalent general content model (used for validation/generation).
+    pub fn to_content(&self) -> Content {
+        match self {
+            NormalContent::Str => Content::PcData,
+            NormalContent::Empty => Content::Empty,
+            NormalContent::Seq(names) => {
+                Content::seq(names.iter().map(|n| Content::Name(n.clone())).collect())
+            }
+            NormalContent::Choice(names) => {
+                Content::choice(names.iter().map(|n| Content::Name(n.clone())).collect())
+            }
+            NormalContent::Star(name) => Content::Star(Box::new(Content::Name(name.clone()))),
+        }
+    }
+}
+
+impl fmt::Display for NormalContent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalContent::Str => write!(f, "str"),
+            NormalContent::Empty => write!(f, "ε"),
+            NormalContent::Star(name) => write!(f, "{name}*"),
+            _ => write!(f, "{}", self.to_content()),
+        }
+    }
+}
+
+/// A DTD in paper normal form: `(Ele, Rg, r)`.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    root: String,
+    productions: Vec<(String, NormalContent)>,
+    index: HashMap<String, usize>,
+    /// Attribute declarations per element type (carried over from the
+    /// general DTD; fresh normalization wrappers have none).
+    attributes: BTreeMap<String, Vec<AttDef>>,
+}
+
+impl Dtd {
+    /// Assemble from productions and a root, checking declaration
+    /// consistency (root declared, references declared, no duplicates).
+    pub fn new(root: impl Into<String>, productions: Vec<(String, NormalContent)>) -> Result<Self> {
+        let root = root.into();
+        let mut index = HashMap::with_capacity(productions.len());
+        for (i, (name, _)) in productions.iter().enumerate() {
+            if index.insert(name.clone(), i).is_some() {
+                return Err(Error::DuplicateDeclaration(name.clone()));
+            }
+        }
+        if !index.contains_key(&root) {
+            return Err(Error::MissingRoot(root));
+        }
+        for (name, content) in &productions {
+            for child in content.child_types() {
+                if !index.contains_key(child) {
+                    return Err(Error::UndeclaredElement {
+                        referenced_by: name.clone(),
+                        name: child.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Dtd { root, productions, index, attributes: BTreeMap::new() })
+    }
+
+    /// Attach attribute declarations (used by normalization; unknown
+    /// element types are rejected).
+    pub fn with_attributes(
+        mut self,
+        attlists: impl IntoIterator<Item = (String, Vec<AttDef>)>,
+    ) -> Result<Self> {
+        for (elem, defs) in attlists {
+            if !self.index.contains_key(&elem) {
+                return Err(Error::UndeclaredElement {
+                    referenced_by: "<!ATTLIST>".into(),
+                    name: elem,
+                });
+            }
+            self.attributes.entry(elem).or_default().extend(defs);
+        }
+        Ok(self)
+    }
+
+    /// Declared attributes of an element type (empty slice if none).
+    pub fn attribute_defs(&self, elem: &str) -> &[AttDef] {
+        self.attributes.get(elem).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The root element type `r`.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// The production `Rg(name)`, if declared.
+    pub fn production(&self, name: &str) -> Option<&NormalContent> {
+        self.index.get(name).map(|&i| &self.productions[i].1)
+    }
+
+    /// All productions in declaration order.
+    pub fn productions(&self) -> &[(String, NormalContent)] {
+        &self.productions
+    }
+
+    /// True iff `name` is a declared element type.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Number of element types `|Ele|`.
+    pub fn len(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// Always false for a constructed DTD (the root must be declared).
+    pub fn is_empty(&self) -> bool {
+        self.productions.is_empty()
+    }
+
+    /// Size `|D|` as used in the paper's complexity bounds: the total
+    /// number of symbols across all productions.
+    pub fn size(&self) -> usize {
+        self.productions
+            .iter()
+            .map(|(_, c)| 1 + c.child_types().len())
+            .sum()
+    }
+
+    /// True iff `child` appears in the production of `parent`.
+    pub fn is_child_type(&self, parent: &str, child: &str) -> bool {
+        self.production(parent)
+            .map(|c| c.child_types().contains(&child))
+            .unwrap_or(false)
+    }
+
+    /// View this DTD as a general DTD (for validation and generation).
+    pub fn to_general(&self) -> GeneralDtd {
+        let decls = self
+            .productions
+            .iter()
+            .map(|(n, c)| (n.clone(), c.to_content()))
+            .collect();
+        GeneralDtd::new(self.root.clone(), decls)
+            .expect("normal-form DTD is consistent by construction")
+            .with_attributes(self.attributes.iter().map(|(k, v)| (k.clone(), v.clone())))
+            .expect("attribute element types exist by construction")
+    }
+}
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "/* root: {} */", self.root)?;
+        for (name, content) in &self.productions {
+            writeln!(f, "{name} -> {content}")?;
+        }
+        Ok(())
+    }
+}
+
+impl GeneralDtd {
+    /// Rewrite into paper normal form, introducing fresh element types
+    /// (`_gN`) for nested subexpressions.
+    ///
+    /// * `x+` becomes `x, _g*` (exact);
+    /// * `x?` becomes `x + _gε` where `_gε → ε` is a fresh empty marker
+    ///   element (exact w.r.t. the new schema: the marker element appears
+    ///   in instances where the optional part is absent);
+    /// * nested sequences/choices/stars get fresh wrapper types.
+    pub fn normalize(&self) -> Result<Dtd> {
+        let mut out: Vec<(String, NormalContent)> = Vec::new();
+        let mut counter = 0usize;
+        let mut fresh = |counter: &mut usize| {
+            *counter += 1;
+            format!("_g{counter}")
+        };
+
+        // Queue of (name, general content) to convert; extended as fresh
+        // types are minted.
+        let mut queue: Vec<(String, Content)> = self
+            .declarations()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.clone()))
+            .collect();
+
+        let mut i = 0;
+        while i < queue.len() {
+            let (name, content) = queue[i].clone();
+            i += 1;
+            let normal = convert_top(&content, &mut queue, &mut counter, &mut fresh)?;
+            out.push((name, normal));
+        }
+        Dtd::new(self.root().to_string(), out)?.with_attributes(
+            self.attlisted_types().map(|(n, d)| (n.to_string(), d.to_vec())),
+        )
+    }
+}
+
+/// Convert a content model to a normal production, pushing fresh
+/// declarations onto `queue` as needed.
+fn convert_top(
+    content: &Content,
+    queue: &mut Vec<(String, Content)>,
+    counter: &mut usize,
+    fresh: &mut impl FnMut(&mut usize) -> String,
+) -> Result<NormalContent> {
+    Ok(match content {
+        Content::Empty => NormalContent::Empty,
+        Content::PcData => NormalContent::Str,
+        Content::Name(n) => NormalContent::Seq(vec![n.clone()]),
+        Content::Seq(items) => NormalContent::Seq(
+            items
+                .iter()
+                .map(|it| atomize(it, queue, counter, fresh))
+                .collect::<Result<_>>()?,
+        ),
+        Content::Choice(items) if items.is_empty() => {
+            return Err(Error::Unsupported("empty choice (no content can match)".into()))
+        }
+        Content::Choice(items) if items.len() == 1 => {
+            NormalContent::Seq(vec![atomize(&items[0], queue, counter, fresh)?])
+        }
+        Content::Choice(items) => NormalContent::Choice(
+            items
+                .iter()
+                .map(|it| atomize(it, queue, counter, fresh))
+                .collect::<Result<_>>()?,
+        ),
+        Content::Star(inner) => NormalContent::Star(atomize(inner, queue, counter, fresh)?),
+        Content::Plus(inner) => {
+            // x+  =  x, x*
+            let atom = atomize(inner, queue, counter, fresh)?;
+            let star = fresh(counter);
+            queue.push((star.clone(), Content::Star(Box::new(Content::Name(atom.clone())))));
+            NormalContent::Seq(vec![atom, star])
+        }
+        Content::Opt(inner) => {
+            // x?  =  x + _gε   with a fresh empty-marker element.
+            let atom = atomize(inner, queue, counter, fresh)?;
+            let eps = fresh(counter);
+            queue.push((eps.clone(), Content::Empty));
+            NormalContent::Choice(vec![atom, eps])
+        }
+    })
+}
+
+/// Reduce a content subexpression to a single element-type name,
+/// minting a fresh wrapper type when it is not already a name.
+fn atomize(
+    content: &Content,
+    queue: &mut Vec<(String, Content)>,
+    counter: &mut usize,
+    fresh: &mut impl FnMut(&mut usize) -> String,
+) -> Result<String> {
+    match content {
+        Content::Name(n) => Ok(n.clone()),
+        other => {
+            let name = fresh(counter);
+            queue.push((name.clone(), other.clone()));
+            Ok(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_general_dtd;
+
+    fn nc_seq(names: &[&str]) -> NormalContent {
+        NormalContent::Seq(names.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let d = Dtd::new(
+            "r",
+            vec![
+                ("r".into(), nc_seq(&["a", "b"])),
+                ("a".into(), NormalContent::Str),
+                ("b".into(), NormalContent::Empty),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.root(), "r");
+        assert!(d.contains("a"));
+        assert!(!d.contains("z"));
+        assert!(d.is_child_type("r", "a"));
+        assert!(!d.is_child_type("a", "r"));
+        assert_eq!(d.size(), 3 + 1 + 1);
+    }
+
+    #[test]
+    fn consistency_checks() {
+        assert!(matches!(
+            Dtd::new("r", vec![("a".into(), NormalContent::Empty)]),
+            Err(Error::MissingRoot(_))
+        ));
+        assert!(matches!(
+            Dtd::new("r", vec![("r".into(), nc_seq(&["ghost"]))]),
+            Err(Error::UndeclaredElement { .. })
+        ));
+    }
+
+    #[test]
+    fn already_normal_dtd_unchanged_in_shape() {
+        let g = parse_general_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
+            "r",
+        )
+        .unwrap();
+        let d = g.normalize().unwrap();
+        assert_eq!(d.production("r"), Some(&nc_seq(&["a", "b"])));
+        assert_eq!(d.production("a"), Some(&NormalContent::Str));
+        assert_eq!(d.production("b"), Some(&NormalContent::Empty));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn star_of_choice_gets_wrapper() {
+        let g = parse_general_dtd(
+            "<!ELEMENT r ((a | b)*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
+            "r",
+        )
+        .unwrap();
+        let d = g.normalize().unwrap();
+        match d.production("r").unwrap() {
+            NormalContent::Star(w) => {
+                assert!(w.starts_with("_g"), "wrapper expected, got {w}");
+                assert_eq!(
+                    d.production(w),
+                    Some(&NormalContent::Choice(vec!["a".into(), "b".into()]))
+                );
+            }
+            other => panic!("expected star, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plus_expands_to_seq_with_star() {
+        let g = parse_general_dtd("<!ELEMENT r (a+)><!ELEMENT a EMPTY>", "r").unwrap();
+        let d = g.normalize().unwrap();
+        match d.production("r").unwrap() {
+            NormalContent::Seq(items) => {
+                assert_eq!(items[0], "a");
+                assert_eq!(d.production(&items[1]), Some(&NormalContent::Star("a".into())));
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opt_expands_to_choice_with_empty_marker() {
+        let g = parse_general_dtd("<!ELEMENT r (a?)><!ELEMENT a EMPTY>", "r").unwrap();
+        let d = g.normalize().unwrap();
+        match d.production("r").unwrap() {
+            NormalContent::Choice(items) => {
+                assert_eq!(items[0], "a");
+                assert_eq!(d.production(&items[1]), Some(&NormalContent::Empty));
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_general_roundtrip_validates() {
+        let d = Dtd::new(
+            "r",
+            vec![
+                ("r".into(), NormalContent::Star("a".into())),
+                ("a".into(), NormalContent::Str),
+            ],
+        )
+        .unwrap();
+        let g = d.to_general();
+        assert_eq!(g.root(), "r");
+        assert!(g.content("r").unwrap().matches(["a", "a"]));
+    }
+
+    #[test]
+    fn display_shows_productions() {
+        let d = Dtd::new("r", vec![("r".into(), NormalContent::Star("a".into())), ("a".into(), NormalContent::Str)]).unwrap();
+        let s = d.to_string();
+        assert!(s.contains("r -> a*"));
+        assert!(s.contains("a -> str"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Bounded unfolding of (possibly recursive) DTDs — §4.2 of the paper.
+//!
+//! Query rewriting over a *recursive* view DTD cannot directly translate
+//! `//` (infinitely many paths). The paper's solution: since the height of
+//! the concrete document `T` is known, unfold recursive nodes level by
+//! level into a DAG that `T` is guaranteed to conform to, then run the
+//! non-recursive rewriting algorithm over the DAG.
+//!
+//! [`UnfoldedDtd::new`] performs that unfolding: nodes are
+//! `(element type, depth)` pairs with depth `≤ height`; at the cutoff the
+//! *non-recursive rules* apply — choice alternatives that cannot complete
+//! within the remaining height are dropped and stars fall back to zero
+//! occurrences — guided by the [`crate::DtdGraph::min_heights`] analysis.
+
+use crate::graph::DtdGraph;
+use crate::normal::{Dtd, NormalContent};
+use std::collections::HashMap;
+
+/// Index of a node in an [`UnfoldedDtd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnfoldedNodeId(pub usize);
+
+/// The production of an unfolded node, mirroring [`NormalContent`] but with
+/// children resolved to unfolded nodes at the next depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnfoldedContent {
+    /// `str`.
+    Str,
+    /// `ε`.
+    Empty,
+    /// Concatenation; all listed children exist within the height bound.
+    Seq(Vec<UnfoldedNodeId>),
+    /// Disjunction over the alternatives that fit within the height bound.
+    Choice(Vec<UnfoldedNodeId>),
+    /// `B*`; `None` when no occurrence fits (the star collapses to zero
+    /// occurrences at the cutoff depth).
+    Star(Option<UnfoldedNodeId>),
+}
+
+/// A DAG unfolding of a DTD to a fixed instance height.
+#[derive(Debug, Clone)]
+pub struct UnfoldedDtd {
+    /// `(type index in the graph, depth)` per node.
+    nodes: Vec<(usize, usize)>,
+    labels: Vec<String>,
+    content: Vec<UnfoldedContent>,
+    root: UnfoldedNodeId,
+    height: usize,
+}
+
+impl UnfoldedDtd {
+    /// Unfold `dtd` so that any instance of height ≤ `height` (counting
+    /// edges from the root, text leaves excluded) embeds into the result.
+    ///
+    /// Returns `None` if even the root cannot produce an instance within
+    /// `height` levels (e.g. height 0 for a DTD whose root requires
+    /// children).
+    pub fn new(dtd: &Dtd, height: usize) -> Option<Self> {
+        let graph = DtdGraph::new(dtd);
+        let min_heights = graph.min_heights(dtd);
+        let root_type = graph.root();
+        let fits = |ty: usize, depth: usize| {
+            min_heights[ty] != usize::MAX && depth + min_heights[ty] <= height
+        };
+        if !fits(root_type, 0) {
+            return None;
+        }
+
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+        let get = |nodes: &mut Vec<(usize, usize)>,
+                       index: &mut HashMap<(usize, usize), usize>,
+                       key: (usize, usize)| {
+            *index.entry(key).or_insert_with(|| {
+                nodes.push(key);
+                nodes.len() - 1
+            })
+        };
+
+        let root = get(&mut nodes, &mut index, (root_type, 0));
+        let mut content: Vec<Option<UnfoldedContent>> = vec![None];
+        let mut work = vec![root];
+        while let Some(n) = work.pop() {
+            if content[n].is_some() {
+                continue;
+            }
+            let (ty, depth) = nodes[n];
+            let name = graph.name_of(ty);
+            let production = dtd.production(name).expect("declared");
+            let resolve = |nodes: &mut Vec<(usize, usize)>,
+                               index: &mut HashMap<(usize, usize), usize>,
+                               content: &mut Vec<Option<UnfoldedContent>>,
+                               work: &mut Vec<usize>,
+                               child: &str|
+             -> UnfoldedNodeId {
+                let cty = graph.index_of(child).expect("declared");
+                let id = get(nodes, index, (cty, depth + 1));
+                if id == content.len() {
+                    content.push(None);
+                }
+                work.push(id);
+                UnfoldedNodeId(id)
+            };
+            let c = match production {
+                NormalContent::Str => UnfoldedContent::Str,
+                NormalContent::Empty => UnfoldedContent::Empty,
+                NormalContent::Seq(items) => UnfoldedContent::Seq(
+                    items
+                        .iter()
+                        .map(|b| resolve(&mut nodes, &mut index, &mut content, &mut work, b))
+                        .collect(),
+                ),
+                NormalContent::Choice(items) => {
+                    let kept: Vec<UnfoldedNodeId> = items
+                        .iter()
+                        .filter(|b| fits(graph.index_of(b).expect("declared"), depth + 1))
+                        .map(|b| resolve(&mut nodes, &mut index, &mut content, &mut work, b))
+                        .collect();
+                    debug_assert!(
+                        !kept.is_empty(),
+                        "node creation guarantees at least one alternative fits"
+                    );
+                    UnfoldedContent::Choice(kept)
+                }
+                NormalContent::Star(b) => {
+                    if fits(graph.index_of(b).expect("declared"), depth + 1) {
+                        UnfoldedContent::Star(Some(resolve(
+                            &mut nodes,
+                            &mut index,
+                            &mut content,
+                            &mut work,
+                            b,
+                        )))
+                    } else {
+                        UnfoldedContent::Star(None)
+                    }
+                }
+            };
+            content[n] = Some(c);
+        }
+
+        let labels = nodes.iter().map(|&(ty, _)| graph.name_of(ty).to_string()).collect();
+        Some(UnfoldedDtd {
+            nodes,
+            labels,
+            content: content.into_iter().map(|c| c.expect("all reachable nodes filled")).collect(),
+            root: UnfoldedNodeId(root),
+            height,
+        })
+    }
+
+    /// Root node (the DTD root at depth 0).
+    pub fn root(&self) -> UnfoldedNodeId {
+        self.root
+    }
+
+    /// Number of unfolded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff no nodes exist (never: construction requires a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Original element-type label of an unfolded node.
+    pub fn label(&self, id: UnfoldedNodeId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// Depth of an unfolded node.
+    pub fn depth(&self, id: UnfoldedNodeId) -> usize {
+        self.nodes[id.0].1
+    }
+
+    /// Production of an unfolded node.
+    pub fn content(&self, id: UnfoldedNodeId) -> &UnfoldedContent {
+        &self.content[id.0]
+    }
+
+    /// Unique child node ids, in production order.
+    pub fn children(&self, id: UnfoldedNodeId) -> Vec<UnfoldedNodeId> {
+        let mut out = Vec::new();
+        let push = |c: UnfoldedNodeId, out: &mut Vec<UnfoldedNodeId>| {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        match &self.content[id.0] {
+            UnfoldedContent::Str | UnfoldedContent::Empty | UnfoldedContent::Star(None) => {}
+            UnfoldedContent::Seq(items) | UnfoldedContent::Choice(items) => {
+                for &c in items {
+                    push(c, &mut out);
+                }
+            }
+            UnfoldedContent::Star(Some(c)) => push(*c, &mut out),
+        }
+        out
+    }
+
+    /// The height bound this DTD was unfolded to.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> impl Iterator<Item = UnfoldedNodeId> {
+        (0..self.nodes.len()).map(UnfoldedNodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+
+    #[test]
+    fn non_recursive_unfold_mirrors_dag() {
+        let d = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a EMPTY><!ELEMENT b (a)>", "r").unwrap();
+        let u = UnfoldedDtd::new(&d, 5).unwrap();
+        assert_eq!(u.label(u.root()), "r");
+        // r@0, a@1, b@1, a@2
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn recursive_unfold_bounded() {
+        // a -> a | b (the paper's Fig. 7(b) pattern, simplified).
+        let d = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        let u = UnfoldedDtd::new(&d, 3).unwrap();
+        // a@0,a@1,a@2, b@1,b@2,b@3, and a@3? min_height(a)=1 so a@3 cannot
+        // complete within height 3 => dropped from the choice at a@2.
+        let deepest_a = u
+            .ids()
+            .filter(|&i| u.label(i) == "a")
+            .map(|i| u.depth(i))
+            .max()
+            .unwrap();
+        assert_eq!(deepest_a, 2);
+        let a2 = u.ids().find(|&i| u.label(i) == "a" && u.depth(i) == 2).unwrap();
+        match u.content(a2) {
+            UnfoldedContent::Choice(alts) => {
+                assert_eq!(alts.len(), 1, "recursive alternative dropped at cutoff");
+                assert_eq!(u.label(alts[0]), "b");
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_collapses_at_cutoff() {
+        let d = parse_dtd("<!ELEMENT a (b*)><!ELEMENT b (a)>", "a").unwrap();
+        let u = UnfoldedDtd::new(&d, 2).unwrap();
+        // a@0 -> b@1 -> a@2 -> (b* with no room) Star(None)
+        let a2 = u.ids().find(|&i| u.label(i) == "a" && u.depth(i) == 2).unwrap();
+        assert_eq!(u.content(a2), &UnfoldedContent::Star(None));
+        assert!(u.children(a2).is_empty());
+    }
+
+    #[test]
+    fn impossible_height_returns_none() {
+        // root requires a child chain of length 2.
+        let d = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY>", "r").unwrap();
+        assert!(UnfoldedDtd::new(&d, 1).is_none());
+        assert!(UnfoldedDtd::new(&d, 2).is_some());
+    }
+
+    #[test]
+    fn inconsistent_dtd_returns_none() {
+        let d = parse_dtd("<!ELEMENT a (a, b)><!ELEMENT b EMPTY>", "a").unwrap();
+        assert!(UnfoldedDtd::new(&d, 100).is_none());
+    }
+
+    #[test]
+    fn depths_strictly_increase_along_edges() {
+        let d = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        let u = UnfoldedDtd::new(&d, 4).unwrap();
+        for id in u.ids() {
+            for c in u.children(id) {
+                assert_eq!(u.depth(c), u.depth(id) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unfolded_node_count_bounded_by_types_times_height() {
+        let d = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        for h in [1usize, 4, 16, 64] {
+            let u = UnfoldedDtd::new(&d, h).unwrap();
+            assert!(u.len() <= 2 * (h + 1), "h={h}: {} nodes", u.len());
+            assert_eq!(u.height(), h);
+        }
+    }
+
+    #[test]
+    fn seq_duplicate_children_share_node() {
+        let d = parse_dtd("<!ELEMENT r (a, a)><!ELEMENT a EMPTY>", "r").unwrap();
+        let u = UnfoldedDtd::new(&d, 3).unwrap();
+        match u.content(u.root()) {
+            UnfoldedContent::Seq(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], items[1], "same (type, depth) shares a node");
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+        assert_eq!(u.children(u.root()).len(), 1);
+    }
+}

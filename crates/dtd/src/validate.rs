@@ -1,0 +1,192 @@
+//! Document validation against a DTD (conformance test of §2).
+//!
+//! A tree `T` conforms to `D` iff the root is labelled `r`, every element's
+//! children-label sequence is in the language of its production, and text
+//! nodes appear only where the content model allows PCDATA.
+
+use crate::content::PCDATA_LABEL;
+use crate::error::{Error, Result};
+use crate::model::GeneralDtd;
+use crate::normal::Dtd;
+use sxv_xml::{Document, NodeId};
+
+/// Validate a whole document against a general DTD.
+pub fn validate(dtd: &GeneralDtd, doc: &Document) -> Result<()> {
+    let root = doc.root().map_err(|_| Error::Invalid {
+        node: "<document>".into(),
+        message: "document is empty".into(),
+    })?;
+    let label = doc.label(root).map_err(|_| Error::Invalid {
+        node: "<root>".into(),
+        message: "root is not an element".into(),
+    })?;
+    if label != dtd.root() {
+        return Err(Error::Invalid {
+            node: format!("root <{label}>"),
+            message: format!("expected root element type {:?}", dtd.root()),
+        });
+    }
+    validate_subtree(dtd, doc, root)
+}
+
+/// Validate the subtree rooted at `node` (its label must be declared).
+pub fn validate_subtree(dtd: &GeneralDtd, doc: &Document, node: NodeId) -> Result<()> {
+    // Iterative: the stack holds element nodes still to check.
+    let mut stack = vec![node];
+    while let Some(id) = stack.pop() {
+        let label = match doc.label_opt(id) {
+            Some(l) => l,
+            None => continue, // text nodes are checked via their parent
+        };
+        let content = dtd.content(label).ok_or_else(|| Error::Invalid {
+            node: format!("<{label}>"),
+            message: "element type not declared in DTD".into(),
+        })?;
+        let child_labels: Vec<&str> = doc
+            .children(id)
+            .iter()
+            .map(|&c| doc.label_opt(c).unwrap_or(PCDATA_LABEL))
+            .collect();
+        if !content.matches(child_labels.iter().copied()) {
+            return Err(Error::Invalid {
+                node: format!("<{label}>"),
+                message: format!(
+                    "children [{}] do not match content model {content}",
+                    child_labels.join(", ")
+                ),
+            });
+        }
+        if !content.allows_text() {
+            if let Some(&t) = doc.children(id).iter().find(|&&c| doc.node(c).is_text()) {
+                return Err(Error::Invalid {
+                    node: format!("<{label}>"),
+                    message: format!(
+                        "text content {:?} not allowed by content model {content}",
+                        doc.text_opt(t).unwrap_or_default()
+                    ),
+                });
+            }
+        }
+        for &c in doc.children(id) {
+            if doc.node(c).is_element() {
+                stack.push(c);
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Dtd {
+    /// Validate a document against this normal-form DTD.
+    pub fn validate(&self, doc: &Document) -> Result<()> {
+        validate(&self.to_general(), doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_general_dtd;
+    use sxv_xml::parse;
+
+    fn dtd() -> GeneralDtd {
+        parse_general_dtd(
+            "<!ELEMENT r (a, b*)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
+            "r",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conforming_document_passes() {
+        let doc = parse("<r><a>hi</a><b/><b/></r>").unwrap();
+        validate(&dtd(), &doc).unwrap();
+    }
+
+    #[test]
+    fn missing_required_child_fails() {
+        let doc = parse("<r><b/></r>").unwrap();
+        let e = validate(&dtd(), &doc).unwrap_err();
+        assert!(e.to_string().contains("<r>"), "{e}");
+    }
+
+    #[test]
+    fn wrong_order_fails() {
+        let doc = parse("<r><b/><a>hi</a></r>").unwrap();
+        assert!(validate(&dtd(), &doc).is_err());
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let doc = parse("<a>hi</a>").unwrap();
+        let e = validate(&dtd(), &doc).unwrap_err();
+        assert!(e.to_string().contains("expected root"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_element_fails() {
+        let doc = parse("<r><a>hi</a><zzz/></r>").unwrap();
+        assert!(validate(&dtd(), &doc).is_err());
+    }
+
+    #[test]
+    fn text_in_element_content_fails() {
+        let doc = parse("<r><a>hi</a>stray<b/></r>").unwrap();
+        assert!(validate(&dtd(), &doc).is_err());
+    }
+
+    #[test]
+    fn empty_element_with_text_fails() {
+        let doc = parse("<r><a>hi</a><b>oops</b></r>").unwrap();
+        assert!(validate(&dtd(), &doc).is_err());
+    }
+
+    #[test]
+    fn pcdata_element_with_element_child_fails() {
+        let doc = parse("<r><a><b/></a></r>").unwrap();
+        assert!(validate(&dtd(), &doc).is_err());
+    }
+
+    #[test]
+    fn empty_document_fails() {
+        let doc = Document::new();
+        assert!(validate(&dtd(), &doc).is_err());
+    }
+
+    #[test]
+    fn normal_dtd_validate_wrapper() {
+        let d = crate::parser::parse_dtd(
+            "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let doc = parse("<r><a>1</a><a>2</a></r>").unwrap();
+        d.validate(&doc).unwrap();
+        let bad = parse("<r><r/></r>").unwrap();
+        assert!(d.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn choice_content_validates_either_branch() {
+        let g = parse_general_dtd(
+            "<!ELEMENT t (x | y)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>",
+            "t",
+        )
+        .unwrap();
+        validate(&g, &parse("<t><x/></t>").unwrap()).unwrap();
+        validate(&g, &parse("<t><y/></t>").unwrap()).unwrap();
+        assert!(validate(&g, &parse("<t><x/><y/></t>").unwrap()).is_err());
+        assert!(validate(&g, &parse("<t/>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn recursive_dtd_validates() {
+        let g = parse_general_dtd(
+            "<!ELEMENT a (b, a?)><!ELEMENT b EMPTY>",
+            "a",
+        )
+        .unwrap();
+        validate(&g, &parse("<a><b/><a><b/></a></a>").unwrap()).unwrap();
+        assert!(validate(&g, &parse("<a><a><b/></a></a>").unwrap()).is_err());
+    }
+}

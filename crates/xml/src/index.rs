@@ -1,0 +1,146 @@
+//! Structural document index: preorder intervals + label inverted lists.
+//!
+//! Documents built by this crate's parser and builders allocate nodes in
+//! pre-order ([`Document::in_document_order`]), so the subtree of node `v`
+//! occupies the *contiguous id range* `[v, subtree_end(v)]`. That turns
+//! descendant tests into interval checks and `//label` steps into binary
+//! searches over per-label occurrence lists — the classic structural-join
+//! layout used by XML query engines.
+
+use crate::node::{Document, NodeId};
+use std::collections::HashMap;
+
+/// An immutable structural index over one document.
+///
+/// Invalidated by any mutation of the document; rebuild after changes.
+#[derive(Debug, Clone)]
+pub struct DocIndex {
+    /// `subtree_end[v]` = largest node id inside the subtree rooted at `v`.
+    subtree_end: Vec<u32>,
+    /// Element occurrences per label, in document order.
+    by_label: HashMap<String, Vec<NodeId>>,
+    /// Text-node occurrences in document order.
+    text_nodes: Vec<NodeId>,
+}
+
+impl DocIndex {
+    /// Build the index. Returns `None` for documents whose id order is not
+    /// document order (never the case for parser/builder-built trees).
+    pub fn new(doc: &Document) -> Option<DocIndex> {
+        if !doc.in_document_order() {
+            return None;
+        }
+        let n = doc.len();
+        let mut subtree_end = vec![0u32; n];
+        let mut by_label: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut text_nodes = Vec::new();
+        // Ids are pre-order, so iterating in reverse sees children before
+        // parents: the subtree end is the max over self and children ends.
+        for i in (0..n).rev() {
+            let id = NodeId::from_index(i);
+            let mut end = i as u32;
+            for &c in doc.children(id) {
+                end = end.max(subtree_end[c.index()]);
+            }
+            subtree_end[i] = end;
+        }
+        for id in doc.all_ids() {
+            match doc.label_opt(id) {
+                Some(l) => by_label.entry(l.to_string()).or_default().push(id),
+                None => text_nodes.push(id),
+            }
+        }
+        Some(DocIndex { subtree_end, by_label, text_nodes })
+    }
+
+    /// Largest node id inside the subtree of `v`.
+    pub fn subtree_end(&self, v: NodeId) -> NodeId {
+        NodeId::from_index(self.subtree_end[v.index()] as usize)
+    }
+
+    /// O(1) proper-descendant test.
+    pub fn is_descendant(&self, maybe_desc: NodeId, anc: NodeId) -> bool {
+        maybe_desc > anc && maybe_desc <= self.subtree_end(anc)
+    }
+
+    /// All `label` elements strictly inside the subtree of `v`
+    /// (`v` itself excluded — matching `//label`'s child-step semantics),
+    /// in document order.
+    pub fn labelled_descendants<'a>(&'a self, label: &str, v: NodeId) -> &'a [NodeId] {
+        match self.by_label.get(label) {
+            None => &[],
+            Some(list) => slice_in_range(list, v, self.subtree_end(v)),
+        }
+    }
+
+    /// All text nodes inside the subtree of `v`, in document order.
+    pub fn text_descendants(&self, v: NodeId) -> &[NodeId] {
+        slice_in_range(&self.text_nodes, v, self.subtree_end(v))
+    }
+
+    /// Total occurrences of a label in the document.
+    pub fn label_count(&self, label: &str) -> usize {
+        self.by_label.get(label).map(Vec::len).unwrap_or(0)
+    }
+}
+
+/// Subslice of a sorted id list with ids in `(v, end]`.
+fn slice_in_range(list: &[NodeId], v: NodeId, end: NodeId) -> &[NodeId] {
+    let lo = list.partition_point(|&x| x <= v);
+    let hi = list.partition_point(|&x| x <= end);
+    &list[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn doc() -> Document {
+        parse("<r><a><b>x</b><a><b>y</b></a></a><b>z</b></r>").unwrap()
+    }
+
+    #[test]
+    fn subtree_ranges() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(idx.subtree_end(root).index(), d.len() - 1);
+        let a = d.children(root)[0];
+        // a's subtree: a, b, x, a, b, y = ids 1..=6.
+        assert_eq!(idx.subtree_end(a).index(), 6);
+        assert!(idx.is_descendant(NodeId::from_index(4), a));
+        assert!(!idx.is_descendant(NodeId::from_index(7), a));
+        assert!(!idx.is_descendant(a, a), "proper descendants only");
+    }
+
+    #[test]
+    fn labelled_descendants_by_range() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(idx.labelled_descendants("b", root).len(), 3);
+        let outer_a = d.children(root)[0];
+        assert_eq!(idx.labelled_descendants("b", outer_a).len(), 2);
+        assert_eq!(idx.labelled_descendants("a", outer_a).len(), 1, "nested a only");
+        assert_eq!(idx.labelled_descendants("zzz", root).len(), 0);
+        assert_eq!(idx.label_count("b"), 3);
+    }
+
+    #[test]
+    fn text_descendants_by_range() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(idx.text_descendants(root).len(), 3);
+        let outer_a = d.children(root)[0];
+        assert_eq!(idx.text_descendants(outer_a).len(), 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new();
+        let idx = DocIndex::new(&d).unwrap();
+        assert_eq!(idx.label_count("a"), 0);
+    }
+}

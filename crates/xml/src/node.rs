@@ -1,0 +1,478 @@
+//! Arena-based XML tree.
+//!
+//! A [`Document`] owns every node; [`NodeId`]s are plain indices into the
+//! arena. Construction APIs append nodes in pre-order, so comparing two
+//! `NodeId`s compares document order for trees built by this crate's parser
+//! and builders (see [`Document::in_document_order`]).
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Index of a node inside a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index value (useful for dense side tables keyed by node).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a `NodeId` from a raw index. The caller must ensure the index
+    /// belongs to the intended document.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The payload of a node: an element with a label, or a text leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node labelled with an element-type name.
+    Element {
+        /// Element-type name (the paper's `Ele` labels).
+        label: String,
+        /// Attributes in definition order. Small enough that a vec of pairs
+        /// beats a map for the handful of attributes we ever carry.
+        attributes: Vec<(String, String)>,
+    },
+    /// A text node carrying PCDATA. Always a leaf.
+    Text(String),
+}
+
+impl NodeKind {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            NodeKind::Element { .. } => "element",
+            NodeKind::Text(_) => "text",
+        }
+    }
+}
+
+/// A single tree node: payload plus structural links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's payload.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// True iff this is an element node.
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+
+    /// True iff this is a text node.
+    pub fn is_text(&self) -> bool {
+        matches!(self.kind, NodeKind::Text(_))
+    }
+}
+
+/// An XML document: a node arena plus the root id.
+///
+/// Nodes are appended in pre-order by the parser and by the
+/// [`Document::append_element`]/[`Document::append_text`] builders, so
+/// `NodeId` order is document order for such trees.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Document {
+    /// Create an empty document (no root yet).
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Number of nodes (elements + text) in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root element id, or an error for an empty document.
+    pub fn root(&self) -> Result<NodeId> {
+        self.root.ok_or(Error::NoRoot)
+    }
+
+    /// The root element id if one exists.
+    pub fn root_opt(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds — ids must come from this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Checked lookup variant of [`Document::node`].
+    pub fn try_node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.index()).ok_or(Error::InvalidNodeId(id.index()))
+    }
+
+    /// Create the root element. Fails if a root already exists.
+    pub fn create_root(&mut self, label: impl Into<String>) -> Result<NodeId> {
+        if self.root.is_some() {
+            return Err(Error::Parse { offset: 0, message: "document already has a root".into() });
+        }
+        let id = self.push(Node {
+            kind: NodeKind::Element { label: label.into(), attributes: Vec::new() },
+            parent: None,
+            children: Vec::new(),
+        });
+        self.root = Some(id);
+        Ok(id)
+    }
+
+    /// Append a new element child under `parent`, returning its id.
+    pub fn append_element(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        let id = self.push(Node {
+            kind: NodeKind::Element { label: label.into(), attributes: Vec::new() },
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Append a new text child under `parent`, returning its id.
+    pub fn append_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        let id = self.push(Node {
+            kind: NodeKind::Text(value.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Element label of `id`, or an error for text nodes.
+    pub fn label(&self, id: NodeId) -> Result<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { label, .. } => Ok(label),
+            other => Err(Error::WrongNodeKind { expected: "element", found: other.kind_name() }),
+        }
+    }
+
+    /// Element label if `id` is an element, `None` for text nodes.
+    pub fn label_opt(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { label, .. } => Some(label),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Text value of `id`, or an error for element nodes.
+    pub fn text(&self, id: NodeId) -> Result<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Ok(t),
+            other => Err(Error::WrongNodeKind { expected: "text", found: other.kind_name() }),
+        }
+    }
+
+    /// Text value if `id` is a text node.
+    pub fn text_opt(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Parent of `id` (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Attribute value lookup on an element node.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => {
+                attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+            }
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Set (or replace) an attribute on an element node.
+    pub fn set_attribute(
+        &mut self,
+        id: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<()> {
+        let name = name.into();
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attributes, .. } => {
+                if let Some(slot) = attributes.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value.into();
+                } else {
+                    attributes.push((name, value.into()));
+                }
+                Ok(())
+            }
+            other => Err(Error::WrongNodeKind { expected: "element", found: other.kind_name() }),
+        }
+    }
+
+    /// All attributes of an element in definition order (empty for text).
+    pub fn attributes(&self, id: NodeId) -> &[(String, String)] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`
+    /// (the XPath `string-value` of an element).
+    pub fn string_value(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Depth of `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the tree (a single root is height 0); 0 for empty docs.
+    pub fn height(&self) -> usize {
+        match self.root_opt() {
+            None => 0,
+            Some(r) => self.subtree_height(r),
+        }
+    }
+
+    fn subtree_height(&self, id: NodeId) -> usize {
+        self.children(id)
+            .iter()
+            .map(|&c| 1 + self.subtree_height(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True iff `anc` is a proper ancestor of `id`.
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Verify that `NodeId` ordering coincides with pre-order document
+    /// order: every parent precedes its children and siblings are
+    /// monotonically increasing. Trees built through the parser or the
+    /// append builders always satisfy this.
+    pub fn in_document_order(&self) -> bool {
+        let Some(root) = self.root_opt() else { return true };
+        let mut expected = Vec::with_capacity(self.len());
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            expected.push(id);
+            for &c in self.children(id).iter().rev() {
+                stack.push(c);
+            }
+        }
+        expected.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Count of element nodes (excludes text leaves).
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_element()).count()
+    }
+
+    /// Ids of every node in the arena, in arena (= document) order.
+    pub fn all_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// All elements with the given label, in document order (linear scan;
+    /// use [`crate::DocIndex`] for repeated lookups).
+    pub fn elements_with_label<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.all_ids().filter(move |&id| self.label_opt(id) == Some(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_doc() -> (Document, NodeId, NodeId, NodeId, NodeId) {
+        // <a x="1"><b>hi</b><c/></a>
+        let mut d = Document::new();
+        let a = d.create_root("a").unwrap();
+        d.set_attribute(a, "x", "1").unwrap();
+        let b = d.append_element(a, "b");
+        let t = d.append_text(b, "hi");
+        let c = d.append_element(a, "c");
+        (d, a, b, t, c)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, a, b, t, c) = small_doc();
+        assert_eq!(d.root().unwrap(), a);
+        assert_eq!(d.children(a), &[b, c]);
+        assert_eq!(d.parent(b), Some(a));
+        assert_eq!(d.parent(a), None);
+        assert_eq!(d.label(a).unwrap(), "a");
+        assert_eq!(d.text(t).unwrap(), "hi");
+        assert_eq!(d.attribute(a, "x"), Some("1"));
+        assert_eq!(d.attribute(a, "y"), None);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.element_count(), 3);
+    }
+
+    #[test]
+    fn double_root_rejected() {
+        let mut d = Document::new();
+        d.create_root("a").unwrap();
+        assert!(d.create_root("b").is_err());
+    }
+
+    #[test]
+    fn label_of_text_node_errors() {
+        let (d, _, _, t, _) = small_doc();
+        assert!(matches!(d.label(t), Err(Error::WrongNodeKind { .. })));
+        assert_eq!(d.label_opt(t), None);
+    }
+
+    #[test]
+    fn text_of_element_errors() {
+        let (d, a, ..) = small_doc();
+        assert!(d.text(a).is_err());
+        assert_eq!(d.text_opt(a), None);
+    }
+
+    #[test]
+    fn string_value_concatenates_subtree_text() {
+        let mut d = Document::new();
+        let a = d.create_root("a").unwrap();
+        let b = d.append_element(a, "b");
+        d.append_text(b, "x");
+        let c = d.append_element(a, "c");
+        d.append_text(c, "y");
+        assert_eq!(d.string_value(a), "xy");
+        assert_eq!(d.string_value(b), "x");
+    }
+
+    #[test]
+    fn depth_and_height() {
+        let (d, a, b, t, c) = small_doc();
+        assert_eq!(d.depth(a), 0);
+        assert_eq!(d.depth(b), 1);
+        assert_eq!(d.depth(t), 2);
+        assert_eq!(d.depth(c), 1);
+        assert_eq!(d.height(), 2);
+        assert_eq!(Document::new().height(), 0);
+    }
+
+    #[test]
+    fn ancestor_check() {
+        let (d, a, b, t, c) = small_doc();
+        assert!(d.is_ancestor(a, t));
+        assert!(d.is_ancestor(b, t));
+        assert!(!d.is_ancestor(c, t));
+        assert!(!d.is_ancestor(t, a));
+        assert!(!d.is_ancestor(a, a), "ancestor relation is proper");
+    }
+
+    #[test]
+    fn document_order_invariant_holds_for_builders() {
+        let (d, ..) = small_doc();
+        assert!(d.in_document_order());
+    }
+
+    #[test]
+    fn set_attribute_replaces_existing() {
+        let (mut d, a, ..) = small_doc();
+        d.set_attribute(a, "x", "2").unwrap();
+        assert_eq!(d.attribute(a, "x"), Some("2"));
+        assert_eq!(d.attributes(a).len(), 1);
+    }
+
+    #[test]
+    fn set_attribute_on_text_errors() {
+        let (mut d, _, _, t, _) = small_doc();
+        assert!(d.set_attribute(t, "x", "2").is_err());
+    }
+
+    #[test]
+    fn empty_document_has_no_root() {
+        let d = Document::new();
+        assert!(matches!(d.root(), Err(Error::NoRoot)));
+        assert!(d.is_empty());
+        assert!(d.in_document_order());
+    }
+
+    #[test]
+    fn elements_with_label_scans_in_order() {
+        let d = crate::parser::parse("<a><b/><c><b/></c></a>").unwrap();
+        let bs: Vec<_> = d.elements_with_label("b").collect();
+        assert_eq!(bs.len(), 2);
+        assert!(bs[0] < bs[1]);
+        assert_eq!(d.elements_with_label("zzz").count(), 0);
+    }
+
+    #[test]
+    fn try_node_bounds_check() {
+        let (d, ..) = small_doc();
+        assert!(d.try_node(NodeId::from_index(99)).is_err());
+        assert!(d.try_node(NodeId::from_index(0)).is_ok());
+    }
+}

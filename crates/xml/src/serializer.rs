@@ -1,0 +1,139 @@
+//! Serialize a [`Document`] back to XML text.
+
+use crate::node::{Document, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Serialize compactly (no added whitespace). Round-trips through
+/// [`crate::parse`] for documents without mixed whitespace content.
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_opt() {
+        write_node(doc, root, &mut out, None, 0);
+    }
+    out
+}
+
+/// Serialize with two-space indentation. Elements whose only child is a
+/// single text node are kept on one line so the output re-parses to an
+/// identical tree (indentation never introduces significant text).
+pub fn to_string_pretty(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_opt() {
+        write_node(doc, root, &mut out, Some(0), 0);
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    match doc.node(id).kind() {
+        NodeKind::Text(t) => {
+            escape_text(t, out);
+        }
+        NodeKind::Element { label, attributes } => {
+            if let Some(width) = indent {
+                if depth > 0 {
+                    out.push('\n');
+                }
+                for _ in 0..width * depth {
+                    out.push(' ');
+                }
+            }
+            out.push('<');
+            out.push_str(label);
+            for (name, value) in attributes {
+                let _ = write!(out, " {name}=\"");
+                escape_attr(value, out);
+                out.push('"');
+            }
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let only_text = children.len() == 1 && doc.node(children[0]).is_text();
+            for &c in children {
+                let child_indent = if only_text { None } else { indent };
+                write_node(doc, c, out, child_indent, depth + 1);
+            }
+            if indent.is_some() && !only_text {
+                out.push('\n');
+                for _ in 0..indent.unwrap_or(0) * depth {
+                    out.push(' ');
+                }
+            }
+            out.push_str("</");
+            out.push_str(label);
+            out.push('>');
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = r#"<a x="1"><b>hi</b><c/></a>"#;
+        let d = parse(src).unwrap();
+        assert_eq!(to_string(&d), src);
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let mut d = Document::new();
+        let a = d.create_root("a").unwrap();
+        d.set_attribute(a, "k", "a\"<&").unwrap();
+        d.append_text(a, "x<&>y");
+        let s = to_string(&d);
+        let d2 = parse(&s).unwrap();
+        assert_eq!(d2.attribute(d2.root().unwrap(), "k"), Some("a\"<&"));
+        assert_eq!(d2.string_value(d2.root().unwrap()), "x<&>y");
+    }
+
+    #[test]
+    fn pretty_reparses_to_same_tree() {
+        let src = "<a><b>hi</b><c><d>1</d><e/></c></a>";
+        let d = parse(src).unwrap();
+        let pretty = to_string_pretty(&d);
+        assert!(pretty.contains('\n'));
+        let d2 = parse(&pretty).unwrap();
+        assert_eq!(to_string(&d2), src);
+    }
+
+    #[test]
+    fn empty_document_serializes_empty() {
+        assert_eq!(to_string(&Document::new()), "");
+    }
+
+    #[test]
+    fn text_only_element_stays_inline_in_pretty() {
+        let d = parse("<a><b>hi</b></a>").unwrap();
+        let pretty = to_string_pretty(&d);
+        assert!(pretty.contains("<b>hi</b>"), "{pretty}");
+    }
+}

@@ -1,0 +1,462 @@
+#![warn(missing_docs)]
+//! # sxv-gen — DTD-driven random document generator
+//!
+//! The paper's evaluation (§6) generates its data sets with IBM's XML
+//! Generator (reference \[12\] of the paper), varying the *maximum branching factor* to obtain
+//! documents D1–D4 of increasing size. This crate plays the same role:
+//! given any DTD it produces random conforming documents, with
+//!
+//! * a seeded RNG for reproducibility,
+//! * a maximum branching factor (`*`/`+` repetition counts),
+//! * a recursion depth bound (recursive DTDs switch to their
+//!   non-recursive rules at the bound, so generation always terminates),
+//! * per-element value pools so content-based qualifiers (e.g. the
+//!   paper's `wardNo = $wardNo`) select known fractions of the data.
+//!
+//! Every generated document conforms to the input DTD — this is enforced
+//! by property tests against the `sxv-dtd` validator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use sxv_dtd::{Content, Dtd, GeneralDtd};
+use sxv_xml::{Document, NodeId};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed: same seed + same DTD + same config → same document.
+    pub seed: u64,
+    /// Upper bound for `x*` repetition counts (inclusive); `x+` uses
+    /// `max(1, min_branch)..=max_branch`.
+    pub max_branch: usize,
+    /// Lower bound for `x*` repetition counts (default 0). Benchmarks set
+    /// this to `max_branch / 2` for stable dataset sizes.
+    pub min_branch: usize,
+    /// Element-depth budget. Recursive content falls back to its cheapest
+    /// alternatives once the budget is exhausted.
+    pub max_depth: usize,
+    /// Probability (0..=1) that an optional (`x?`) particle is present.
+    pub opt_probability: f64,
+    /// Candidate text values per element name. Elements without a pool get
+    /// a synthetic `"<name>-<n>"` value.
+    pub value_pools: HashMap<String, Vec<String>>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0xC0FFEE,
+            max_branch: 3,
+            min_branch: 0,
+            max_depth: 30,
+            opt_probability: 0.5,
+            value_pools: HashMap::new(),
+        }
+    }
+}
+
+impl GenConfig {
+    /// Start from defaults with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        GenConfig { seed, ..GenConfig::default() }
+    }
+
+    /// Set the maximum branching factor (the paper's D1–D4 knob).
+    pub fn with_max_branch(mut self, max_branch: usize) -> Self {
+        self.max_branch = max_branch;
+        self
+    }
+
+    /// Set the minimum `x*` repetition count (clamped to the maximum).
+    pub fn with_min_branch(mut self, min_branch: usize) -> Self {
+        self.min_branch = min_branch;
+        self
+    }
+
+    /// Set the element-depth budget.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Register a text value pool for an element name.
+    pub fn with_values(
+        mut self,
+        element: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.value_pools
+            .insert(element.into(), values.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+/// A document generator bound to one DTD.
+pub struct Generator {
+    dtd: GeneralDtd,
+    config: GenConfig,
+    /// Minimum element-depth needed below an element of each type.
+    min_depth: HashMap<String, usize>,
+    text_counter: u64,
+}
+
+impl Generator {
+    /// Build a generator for a general DTD.
+    pub fn new(dtd: &GeneralDtd, config: GenConfig) -> Self {
+        let min_depth = compute_min_depths(dtd);
+        Generator { dtd: dtd.clone(), config, min_depth, text_counter: 0 }
+    }
+
+    /// Build a generator for a normal-form DTD.
+    pub fn for_dtd(dtd: &Dtd, config: GenConfig) -> Self {
+        Generator::new(&dtd.to_general(), config)
+    }
+
+    /// Generate one conforming document.
+    ///
+    /// Returns `None` when the DTD has no instance within the configured
+    /// depth budget (e.g. an inconsistent recursive DTD like `a → a, b`).
+    pub fn generate(&mut self) -> Option<Document> {
+        let root_min = *self.min_depth.get(self.dtd.root())?;
+        if root_min == usize::MAX || root_min > self.config.max_depth {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.config.seed = self.config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut doc = Document::new();
+        let root_label = self.dtd.root().to_string();
+        let root = doc.create_root(&root_label).expect("fresh document");
+        self.fill(&mut doc, root, &root_label, self.config.max_depth, &mut rng);
+        Some(doc)
+    }
+
+    /// Generate children for `node` of type `label` with `budget` depth
+    /// levels available below it.
+    fn fill(&mut self, doc: &mut Document, node: NodeId, label: &str, budget: usize, rng: &mut StdRng) {
+        self.emit_attributes(doc, node, label, rng);
+        let content = self.dtd.content(label).expect("validated at construction").clone();
+        self.emit(doc, node, &content, budget, rng);
+    }
+
+    /// Emit declared attributes: required always, optional with the
+    /// configured probability; values come from a `"label@attr"` pool,
+    /// the declared default, the enumerated set, or a synthetic value.
+    fn emit_attributes(&mut self, doc: &mut Document, node: NodeId, label: &str, rng: &mut StdRng) {
+        let defs = self.dtd.attribute_defs(label).to_vec();
+        for def in defs {
+            if !def.required && !rng.gen_bool(self.config.opt_probability) {
+                continue;
+            }
+            let pool_key = format!("{label}@{}", def.name);
+            let value = if let Some(pool) =
+                self.config.value_pools.get(&pool_key).filter(|p| !p.is_empty())
+            {
+                pool[rng.gen_range(0..pool.len())].clone()
+            } else if !def.allowed.is_empty() {
+                def.allowed[rng.gen_range(0..def.allowed.len())].clone()
+            } else if let Some(d) = &def.default {
+                d.clone()
+            } else {
+                self.text_counter += 1;
+                format!("{}-{}", def.name, self.text_counter)
+            };
+            doc.set_attribute(node, &def.name, value).expect("element node");
+        }
+    }
+
+    fn emit(&mut self, doc: &mut Document, parent: NodeId, content: &Content, budget: usize, rng: &mut StdRng) {
+        match content {
+            Content::Empty => {}
+            Content::PcData => {
+                let label = doc.label(parent).expect("parent is an element").to_string();
+                let value = self.sample_text(&label, rng);
+                doc.append_text(parent, value);
+            }
+            Content::Name(name) => {
+                let child = doc.append_element(parent, name.clone());
+                let name = name.clone();
+                self.fill(doc, child, &name, budget - 1, rng);
+            }
+            Content::Seq(items) => {
+                for item in items {
+                    self.emit(doc, parent, item, budget, rng);
+                }
+            }
+            Content::Choice(items) => {
+                let viable: Vec<&Content> = items
+                    .iter()
+                    .filter(|item| self.content_min(item) <= budget)
+                    .collect();
+                let pick = viable[rng.gen_range(0..viable.len())].clone();
+                self.emit(doc, parent, &pick, budget, rng);
+            }
+            Content::Star(inner) => {
+                let count = if self.content_min(inner) <= budget {
+                    let lo = self.config.min_branch.min(self.config.max_branch);
+                    rng.gen_range(lo..=self.config.max_branch)
+                } else {
+                    0
+                };
+                for _ in 0..count {
+                    self.emit(doc, parent, inner, budget, rng);
+                }
+            }
+            Content::Plus(inner) => {
+                // Viability is guaranteed by the parent's budget check.
+                let lo = self.config.min_branch.clamp(1, self.config.max_branch.max(1));
+                let count = rng.gen_range(lo..=self.config.max_branch.max(1));
+                for _ in 0..count {
+                    self.emit(doc, parent, inner, budget, rng);
+                }
+            }
+            Content::Opt(inner) => {
+                if self.content_min(inner) <= budget && rng.gen_bool(self.config.opt_probability) {
+                    self.emit(doc, parent, inner, budget, rng);
+                }
+            }
+        }
+    }
+
+    /// Minimum depth budget needed to emit `content` under some element.
+    fn content_min(&self, content: &Content) -> usize {
+        content_min_with(content, &self.min_depth)
+    }
+
+    fn sample_text(&mut self, label: &str, rng: &mut StdRng) -> String {
+        if let Some(pool) = self.config.value_pools.get(label) {
+            if !pool.is_empty() {
+                return pool[rng.gen_range(0..pool.len())].clone();
+            }
+        }
+        self.text_counter += 1;
+        format!("{label}-{}", self.text_counter)
+    }
+}
+
+/// Fixpoint of minimum element-depth below each element type:
+/// `min_depth(A) = content_min(content(A))`, `usize::MAX` when no finite
+/// instance exists.
+fn compute_min_depths(dtd: &GeneralDtd) -> HashMap<String, usize> {
+    let mut depths: HashMap<String, usize> =
+        dtd.declarations().iter().map(|(n, _)| (n.clone(), usize::MAX)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (name, content) in dtd.declarations() {
+            let candidate = content_min_with(content, &depths);
+            if candidate < depths[name] {
+                depths.insert(name.clone(), candidate);
+                changed = true;
+            }
+        }
+    }
+    depths
+}
+
+fn content_min_with(content: &Content, depths: &HashMap<String, usize>) -> usize {
+    match content {
+        Content::Empty | Content::PcData => 0,
+        Content::Name(n) => {
+            let d = depths.get(n).copied().unwrap_or(usize::MAX);
+            d.saturating_add(1)
+        }
+        Content::Seq(items) => items
+            .iter()
+            .map(|i| content_min_with(i, depths))
+            .max()
+            .unwrap_or(0),
+        Content::Choice(items) => items
+            .iter()
+            .map(|i| content_min_with(i, depths))
+            .min()
+            .unwrap_or(usize::MAX),
+        Content::Plus(inner) => content_min_with(inner, depths),
+        Content::Star(_) | Content::Opt(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_dtd::{parse_general_dtd, validate};
+
+    fn hospital_dtd() -> GeneralDtd {
+        parse_general_dtd(
+            r#"
+<!ELEMENT hospital (dept*)>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient*)>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff*)>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT doctor (name)>
+<!ELEMENT nurse (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+"#,
+            "hospital",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_document_conforms() {
+        let dtd = hospital_dtd();
+        let mut g = Generator::new(&dtd, GenConfig::seeded(7).with_max_branch(4));
+        let doc = g.generate().unwrap();
+        validate(&dtd, &doc).unwrap();
+        assert_eq!(doc.label(doc.root().unwrap()).unwrap(), "hospital");
+    }
+
+    #[test]
+    fn same_seed_same_document() {
+        let dtd = hospital_dtd();
+        let d1 = Generator::new(&dtd, GenConfig::seeded(42)).generate().unwrap();
+        let d2 = Generator::new(&dtd, GenConfig::seeded(42)).generate().unwrap();
+        assert_eq!(sxv_xml::to_string(&d1), sxv_xml::to_string(&d2));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let dtd = hospital_dtd();
+        let d1 = Generator::new(&dtd, GenConfig::seeded(1).with_max_branch(5)).generate().unwrap();
+        let d2 = Generator::new(&dtd, GenConfig::seeded(2).with_max_branch(5)).generate().unwrap();
+        assert_ne!(sxv_xml::to_string(&d1), sxv_xml::to_string(&d2));
+    }
+
+    #[test]
+    fn successive_generates_differ() {
+        let dtd = hospital_dtd();
+        let mut g = Generator::new(&dtd, GenConfig::seeded(1).with_max_branch(5));
+        let d1 = g.generate().unwrap();
+        let d2 = g.generate().unwrap();
+        assert_ne!(sxv_xml::to_string(&d1), sxv_xml::to_string(&d2));
+    }
+
+    #[test]
+    fn branching_factor_grows_documents() {
+        let dtd = hospital_dtd();
+        let small = Generator::new(&dtd, GenConfig::seeded(3).with_max_branch(2))
+            .generate()
+            .unwrap();
+        let large = Generator::new(&dtd, GenConfig::seeded(3).with_max_branch(12))
+            .generate()
+            .unwrap();
+        assert!(
+            large.len() > small.len() * 2,
+            "max_branch 12 ({}) should far exceed max_branch 2 ({})",
+            large.len(),
+            small.len()
+        );
+    }
+
+    #[test]
+    fn value_pools_used() {
+        let dtd = hospital_dtd();
+        let config = GenConfig::seeded(9)
+            .with_max_branch(4)
+            .with_values("wardNo", ["6", "7"]);
+        let doc = Generator::new(&dtd, config).generate().unwrap();
+        let mut seen_ward = false;
+        for id in doc.all_ids() {
+            if doc.label_opt(id) == Some("wardNo") {
+                seen_ward = true;
+                let v = doc.string_value(id);
+                assert!(v == "6" || v == "7", "pool value expected, got {v}");
+            }
+        }
+        // With branching 4 the chance of zero patients is negligible for
+        // this seed; guard the assertion so the test is meaningful.
+        assert!(seen_ward, "seed 9 produces at least one patient");
+    }
+
+    #[test]
+    fn recursive_dtd_terminates_and_conforms() {
+        let dtd = parse_general_dtd(
+            "<!ELEMENT a (b, a?)><!ELEMENT b (#PCDATA)>",
+            "a",
+        )
+        .unwrap();
+        let mut g = Generator::new(
+            &dtd,
+            GenConfig::seeded(11).with_max_depth(6).with_max_branch(2),
+        );
+        let doc = g.generate().unwrap();
+        validate(&dtd, &doc).unwrap();
+        assert!(doc.height() <= 2 * 6 + 2, "depth bounded");
+    }
+
+    #[test]
+    fn deeply_recursive_choice_respects_budget() {
+        let dtd = parse_general_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
+        let mut g = Generator::new(&dtd, GenConfig::seeded(5).with_max_depth(4));
+        let doc = g.generate().unwrap();
+        validate(&dtd, &doc).unwrap();
+        assert!(doc.height() <= 4);
+    }
+
+    #[test]
+    fn inconsistent_dtd_yields_none() {
+        let dtd = parse_general_dtd("<!ELEMENT a (a, b)><!ELEMENT b EMPTY>", "a").unwrap();
+        assert!(Generator::new(&dtd, GenConfig::default()).generate().is_none());
+    }
+
+    #[test]
+    fn depth_budget_too_small_yields_none() {
+        let dtd = parse_general_dtd(
+            "<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY>",
+            "r",
+        )
+        .unwrap();
+        assert!(Generator::new(&dtd, GenConfig::seeded(1).with_max_depth(1))
+            .generate()
+            .is_none());
+        assert!(Generator::new(&dtd, GenConfig::seeded(1).with_max_depth(2))
+            .generate()
+            .is_some());
+    }
+
+    #[test]
+    fn attributes_emitted_and_valid() {
+        let dtd = parse_general_dtd(
+            r#"<!ELEMENT r (a*)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST r version CDATA #REQUIRED>
+<!ATTLIST a id CDATA #REQUIRED>
+<!ATTLIST a kind (big | small) "small">"#,
+            "r",
+        )
+        .unwrap();
+        let config = GenConfig::seeded(13)
+            .with_max_branch(5)
+            .with_values("a@id", ["i1", "i2", "i3"]);
+        let doc = Generator::new(&dtd, config).generate().unwrap();
+        sxv_dtd::validate_attributes(&dtd, &doc).unwrap();
+        let root = doc.root().unwrap();
+        assert!(doc.attribute(root, "version").is_some());
+        for id in doc.all_ids() {
+            if doc.label_opt(id) == Some("a") {
+                let v = doc.attribute(id, "id").unwrap();
+                assert!(["i1", "i2", "i3"].contains(&v), "pool value expected, got {v}");
+                if let Some(kind) = doc.attribute(id, "kind") {
+                    assert!(kind == "big" || kind == "small");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normal_dtd_entry_point() {
+        let d = sxv_dtd::parse_dtd("<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>", "r").unwrap();
+        let doc = Generator::for_dtd(&d, GenConfig::seeded(2)).generate().unwrap();
+        d.validate(&doc).unwrap();
+    }
+}

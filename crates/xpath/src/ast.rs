@@ -1,0 +1,308 @@
+//! Abstract syntax for the XPath fragment `C`, with simplifying smart
+//! constructors.
+//!
+//! The paper treats `∅` as a first-class query with the identities
+//! `∅ ∪ p ≡ p` and `p/∅/p' ≡ ∅`; the smart constructors apply these (and
+//! the analogous `ε` unit laws) so that the rewriting and optimization
+//! algorithms can compose sub-results without producing noise.
+
+/// An XPath query in the paper's class `C`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// `ε` — the empty path: stays at the context node.
+    Empty,
+    /// `∅` — matches nothing on any tree.
+    EmptySet,
+    /// The document node (absolute-path marker, written as a leading `/`).
+    /// Only meaningful as the leftmost factor of a query.
+    Doc,
+    /// `l` — a child step to elements labelled `l`.
+    Label(String),
+    /// `*` — a child step to any element.
+    Wildcard,
+    /// `text()` — a step to the text children of the context element
+    /// (the paper's queries "return the set of nodes (or str data)";
+    /// this selector makes the str-data case first-class).
+    Text,
+    /// `p1/p2` — composition along the child axis.
+    Step(Box<Path>, Box<Path>),
+    /// `//p` — descendant-or-self, then `p`.
+    Descendant(Box<Path>),
+    /// `p1 ∪ p2` — union.
+    Union(Box<Path>, Box<Path>),
+    /// `p[q]` — `p` filtered by qualifier `q`.
+    Filter(Box<Path>, Box<Qualifier>),
+}
+
+/// A qualifier `[q]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Qualifier {
+    /// Always true (produced by the optimizer when DTD constraints force a
+    /// qualifier; not part of the surface grammar).
+    True,
+    /// Always false.
+    False,
+    /// `[p]` — some node is reachable via `p`.
+    Path(Path),
+    /// `[p = 'c']` — some node reachable via `p` has string value `c`.
+    Eq(Path, String),
+    /// `[@a]` — the context element has attribute `a`.
+    Attr(String),
+    /// `[@a = 'v']` — attribute equality.
+    AttrEq(String, String),
+    /// `[q1 and q2]`.
+    And(Box<Qualifier>, Box<Qualifier>),
+    /// `[q1 or q2]`.
+    Or(Box<Qualifier>, Box<Qualifier>),
+    /// `[not(q)]`.
+    Not(Box<Qualifier>),
+}
+
+impl Path {
+    /// A child step to label `l`.
+    pub fn label(l: impl Into<String>) -> Path {
+        Path::Label(l.into())
+    }
+
+    /// `p1/p2` with the unit/zero laws applied:
+    /// `ε/p ≡ p/ε ≡ p`, `∅/p ≡ p/∅ ≡ ∅`.
+    pub fn step(p1: Path, p2: Path) -> Path {
+        match (p1, p2) {
+            (Path::EmptySet, _) | (_, Path::EmptySet) => Path::EmptySet,
+            (Path::Empty, p) | (p, Path::Empty) => p,
+            (p1, p2) => Path::Step(Box::new(p1), Box::new(p2)),
+        }
+    }
+
+    /// `p1 ∪ p2` with `∅ ∪ p ≡ p ∪ ∅ ≡ p` and idempotence `p ∪ p ≡ p`.
+    pub fn union(p1: Path, p2: Path) -> Path {
+        match (p1, p2) {
+            (Path::EmptySet, p) | (p, Path::EmptySet) => p,
+            (p1, p2) if p1 == p2 => p1,
+            (p1, p2) => Path::Union(Box::new(p1), Box::new(p2)),
+        }
+    }
+
+    /// Union of many alternatives (`∅` if none survive).
+    pub fn union_all(paths: impl IntoIterator<Item = Path>) -> Path {
+        paths.into_iter().fold(Path::EmptySet, Path::union)
+    }
+
+    /// `//p`, with `//∅ ≡ ∅`.
+    pub fn descendant(p: Path) -> Path {
+        match p {
+            Path::EmptySet => Path::EmptySet,
+            p => Path::Descendant(Box::new(p)),
+        }
+    }
+
+    /// `p[q]`, with `∅[q] ≡ ∅`, `p[true] ≡ p` and `p[false] ≡ ∅`.
+    pub fn filter(p: Path, q: Qualifier) -> Path {
+        match (p, q) {
+            (Path::EmptySet, _) => Path::EmptySet,
+            (p, Qualifier::True) => p,
+            (_, Qualifier::False) => Path::EmptySet,
+            (p, q) => Path::Filter(Box::new(p), Box::new(q)),
+        }
+    }
+
+    /// True iff this is the canonical `∅`.
+    pub fn is_empty_set(&self) -> bool {
+        matches!(self, Path::EmptySet)
+    }
+
+    /// Syntactic size (number of AST nodes), the `|p|` of the paper's
+    /// complexity bounds.
+    pub fn size(&self) -> usize {
+        match self {
+            Path::Empty
+            | Path::EmptySet
+            | Path::Doc
+            | Path::Label(_)
+            | Path::Wildcard
+            | Path::Text => 1,
+            Path::Step(a, b) | Path::Union(a, b) => 1 + a.size() + b.size(),
+            Path::Descendant(p) => 1 + p.size(),
+            Path::Filter(p, q) => 1 + p.size() + q.size(),
+        }
+    }
+
+    /// True iff the query contains a descendant (`//`) axis anywhere.
+    pub fn has_descendant(&self) -> bool {
+        match self {
+            Path::Descendant(_) => true,
+            Path::Step(a, b) | Path::Union(a, b) => a.has_descendant() || b.has_descendant(),
+            Path::Filter(p, q) => p.has_descendant() || q.has_descendant(),
+            _ => false,
+        }
+    }
+}
+
+impl Qualifier {
+    /// `q1 ∧ q2` with constant folding.
+    pub fn and(q1: Qualifier, q2: Qualifier) -> Qualifier {
+        match (q1, q2) {
+            (Qualifier::False, _) | (_, Qualifier::False) => Qualifier::False,
+            (Qualifier::True, q) | (q, Qualifier::True) => q,
+            (q1, q2) if q1 == q2 => q1,
+            (q1, q2) => Qualifier::And(Box::new(q1), Box::new(q2)),
+        }
+    }
+
+    /// `q1 ∨ q2` with constant folding.
+    pub fn or(q1: Qualifier, q2: Qualifier) -> Qualifier {
+        match (q1, q2) {
+            (Qualifier::True, _) | (_, Qualifier::True) => Qualifier::True,
+            (Qualifier::False, q) | (q, Qualifier::False) => q,
+            (q1, q2) if q1 == q2 => q1,
+            (q1, q2) => Qualifier::Or(Box::new(q1), Box::new(q2)),
+        }
+    }
+
+    /// `¬q` with constant folding and double-negation elimination.
+    /// (Deliberately named like the logical operation; this is a static
+    /// constructor, not `std::ops::Not`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(q: Qualifier) -> Qualifier {
+        match q {
+            Qualifier::True => Qualifier::False,
+            Qualifier::False => Qualifier::True,
+            Qualifier::Not(inner) => *inner,
+            q => Qualifier::Not(Box::new(q)),
+        }
+    }
+
+    /// A `[p]` existence qualifier with `[∅] ≡ false`.
+    pub fn path(p: Path) -> Qualifier {
+        if p.is_empty_set() {
+            Qualifier::False
+        } else {
+            Qualifier::Path(p)
+        }
+    }
+
+    /// Syntactic size (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Qualifier::True | Qualifier::False | Qualifier::Attr(_) | Qualifier::AttrEq(..) => 1,
+            Qualifier::Path(p) => 1 + p.size(),
+            Qualifier::Eq(p, _) => 1 + p.size(),
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => 1 + a.size() + b.size(),
+            Qualifier::Not(q) => 1 + q.size(),
+        }
+    }
+
+    /// True iff the qualifier only uses the conjunctive sub-grammar of the
+    /// paper's `C⁻` fragment (§5.1): paths, equality, `∧` (and attribute
+    /// tests, which behave like label existence tests).
+    pub fn is_conjunctive(&self) -> bool {
+        match self {
+            Qualifier::True | Qualifier::False => true,
+            Qualifier::Path(_) | Qualifier::Eq(..) | Qualifier::Attr(_) | Qualifier::AttrEq(..) => {
+                true
+            }
+            Qualifier::And(a, b) => a.is_conjunctive() && b.is_conjunctive(),
+            Qualifier::Or(..) | Qualifier::Not(_) => false,
+        }
+    }
+
+    fn has_descendant(&self) -> bool {
+        match self {
+            Qualifier::Path(p) | Qualifier::Eq(p, _) => p.has_descendant(),
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => a.has_descendant() || b.has_descendant(),
+            Qualifier::Not(q) => q.has_descendant(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_laws() {
+        let a = Path::label("a");
+        assert_eq!(Path::step(Path::Empty, a.clone()), a);
+        assert_eq!(Path::step(a.clone(), Path::Empty), a);
+        assert_eq!(Path::step(Path::EmptySet, a.clone()), Path::EmptySet);
+        assert_eq!(Path::step(a.clone(), Path::EmptySet), Path::EmptySet);
+        assert_eq!(
+            Path::step(a.clone(), Path::label("b")),
+            Path::Step(Box::new(a), Box::new(Path::label("b")))
+        );
+    }
+
+    #[test]
+    fn union_laws() {
+        let a = Path::label("a");
+        assert_eq!(Path::union(Path::EmptySet, a.clone()), a);
+        assert_eq!(Path::union(a.clone(), Path::EmptySet), a);
+        assert_eq!(Path::union(a.clone(), a.clone()), a);
+        assert_eq!(Path::union_all(vec![]), Path::EmptySet);
+        assert_eq!(Path::union_all(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn descendant_and_filter_laws() {
+        assert_eq!(Path::descendant(Path::EmptySet), Path::EmptySet);
+        assert_eq!(Path::filter(Path::EmptySet, Qualifier::True), Path::EmptySet);
+        let a = Path::label("a");
+        assert_eq!(Path::filter(a.clone(), Qualifier::True), a);
+        assert_eq!(Path::filter(a.clone(), Qualifier::False), Path::EmptySet);
+    }
+
+    #[test]
+    fn qualifier_constant_folding() {
+        let q = Qualifier::path(Path::label("a"));
+        assert_eq!(Qualifier::and(Qualifier::True, q.clone()), q);
+        assert_eq!(Qualifier::and(Qualifier::False, q.clone()), Qualifier::False);
+        assert_eq!(Qualifier::or(Qualifier::True, q.clone()), Qualifier::True);
+        assert_eq!(Qualifier::or(Qualifier::False, q.clone()), q);
+        assert_eq!(Qualifier::not(Qualifier::True), Qualifier::False);
+        assert_eq!(Qualifier::not(Qualifier::not(q.clone())), q);
+        assert_eq!(Qualifier::path(Path::EmptySet), Qualifier::False);
+        assert_eq!(Qualifier::and(q.clone(), q.clone()), q);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        // //a[b]/c : Step(Descendant(Filter(a, Path(b))), c)
+        let p = Path::step(
+            Path::descendant(Path::filter(
+                Path::label("a"),
+                Qualifier::path(Path::label("b")),
+            )),
+            Path::label("c"),
+        );
+        // Step(1) + Descendant(1) + Filter(1) + a(1) + Path-qual(1) + b(1) + c(1)
+        assert_eq!(p.size(), 7);
+    }
+
+    #[test]
+    fn conjunctive_classification() {
+        let conj = Qualifier::and(
+            Qualifier::path(Path::label("a")),
+            Qualifier::Eq(Path::label("b"), "1".into()),
+        );
+        assert!(conj.is_conjunctive());
+        let neg = Qualifier::not(Qualifier::path(Path::label("a")));
+        assert!(!neg.is_conjunctive());
+        let disj = Qualifier::or(
+            Qualifier::path(Path::label("a")),
+            Qualifier::path(Path::label("b")),
+        );
+        assert!(!disj.is_conjunctive());
+    }
+
+    #[test]
+    fn has_descendant_detection() {
+        assert!(Path::descendant(Path::label("a")).has_descendant());
+        assert!(!Path::step(Path::label("a"), Path::label("b")).has_descendant());
+        let in_qualifier = Path::filter(
+            Path::label("a"),
+            Qualifier::path(Path::descendant(Path::label("b"))),
+        );
+        assert!(in_qualifier.has_descendant());
+    }
+}

@@ -1,0 +1,266 @@
+//! Pretty-printer producing text that re-parses to the same AST.
+
+use crate::ast::{Path, Qualifier};
+use std::fmt;
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Path::Empty => write!(f, "."),
+            Path::EmptySet => write!(f, "∅"),
+            Path::Doc => write!(f, "/."),
+            Path::Label(l) => write!(f, "{l}"),
+            Path::Wildcard => write!(f, "*"),
+            Path::Text => write!(f, "text()"),
+            Path::Step(a, b) => {
+                if matches!(**a, Path::Doc) {
+                    // Absolute path: `/rest`.
+                    match &**b {
+                        Path::Descendant(inner) => {
+                            write!(f, "//")?;
+                            write_descendant_operand(f, inner)
+                        }
+                        other if starts_with_descendant(other) => {
+                            // `/(//a/b)` — the leading `//` of the operand
+                            // would swallow the absolute `/`.
+                            write!(f, "/({other})")
+                        }
+                        other => {
+                            write!(f, "/")?;
+                            write_step_operand(f, other)
+                        }
+                    }
+                } else {
+                    write_step_operand(f, a)?;
+                    match &**b {
+                        Path::Descendant(inner) => {
+                            write!(f, "//")?;
+                            write_descendant_operand(f, inner)
+                        }
+                        other if starts_with_descendant(other) => {
+                            // `a` + `//x/y` — the operand's own leading
+                            // `//` serves as the separator (re-associates
+                            // but stays equivalent).
+                            write!(f, "{other}")
+                        }
+                        other => {
+                            write!(f, "/")?;
+                            write_step_operand(f, other)
+                        }
+                    }
+                }
+            }
+            Path::Descendant(p) => {
+                write!(f, "//")?;
+                write_descendant_operand(f, p)
+            }
+            Path::Union(a, b) => write!(f, "{a} | {b}"),
+            Path::Filter(p, q) => {
+                write_filter_base(f, p)?;
+                write!(f, "[{q}]")
+            }
+        }
+    }
+}
+
+/// An operand of `/` must bind tighter than `/`: parenthesize unions.
+/// (`Step` operands are fine: `/` is associative for composition.)
+fn write_step_operand(f: &mut fmt::Formatter<'_>, p: &Path) -> fmt::Result {
+    match p {
+        Path::Union(..) => write!(f, "({p})"),
+        _ => write!(f, "{p}"),
+    }
+}
+
+/// True iff the leftmost step factor of `p` is a descendant axis (such a
+/// path prints with a leading `//`).
+fn starts_with_descendant(p: &Path) -> bool {
+    match p {
+        Path::Descendant(_) => true,
+        Path::Step(a, _) => starts_with_descendant(a),
+        _ => false,
+    }
+}
+
+/// The operand of `//` reparses as a single step, so anything composite
+/// must be parenthesized for an exact round-trip
+/// (`//(a/b)` ≠ `//a/b` structurally, though they are equivalent).
+fn write_descendant_operand(f: &mut fmt::Formatter<'_>, p: &Path) -> fmt::Result {
+    match p {
+        Path::Union(..) | Path::Step(..) | Path::Descendant(..) | Path::Doc => {
+            write!(f, "({p})")
+        }
+        _ => write!(f, "{p}"),
+    }
+}
+
+/// The base of `p[q]` must be a primary, otherwise the qualifier would
+/// re-attach to the last step on re-parse.
+fn write_filter_base(f: &mut fmt::Formatter<'_>, p: &Path) -> fmt::Result {
+    match p {
+        Path::Empty
+        | Path::EmptySet
+        | Path::Label(_)
+        | Path::Wildcard
+        | Path::Text
+        | Path::Filter(..) => write!(f, "{p}"),
+        _ => write!(f, "({p})"),
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_qual(f, self, 0)
+    }
+}
+
+impl Qualifier {
+    fn precedence(&self) -> u8 {
+        match self {
+            Qualifier::Or(..) => 0,
+            Qualifier::And(..) => 1,
+            _ => 2,
+        }
+    }
+}
+
+fn write_qual(f: &mut fmt::Formatter<'_>, q: &Qualifier, parent_prec: u8) -> fmt::Result {
+    let prec = q.precedence();
+    let need_parens = prec < parent_prec;
+    if need_parens {
+        write!(f, "(")?;
+    }
+    match q {
+        Qualifier::True => write!(f, "true()")?,
+        Qualifier::False => write!(f, "false()")?,
+        Qualifier::Path(p) => write!(f, "{p}")?,
+        Qualifier::Eq(p, c) => {
+            write!(f, "{p}=")?;
+            write_literal(f, c)?;
+        }
+        Qualifier::Attr(a) => write!(f, "@{a}")?,
+        Qualifier::AttrEq(a, v) => {
+            write!(f, "@{a}=")?;
+            write_literal(f, v)?;
+        }
+        Qualifier::And(a, b) => {
+            write_qual(f, a, 1)?;
+            write!(f, " and ")?;
+            write_qual(f, b, 1)?;
+        }
+        Qualifier::Or(a, b) => {
+            write_qual(f, a, 0)?;
+            write!(f, " or ")?;
+            write_qual(f, b, 0)?;
+        }
+        Qualifier::Not(inner) => {
+            write!(f, "not(")?;
+            write_qual(f, inner, 0)?;
+            write!(f, ")")?;
+        }
+    }
+    if need_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn write_literal(f: &mut fmt::Formatter<'_>, value: &str) -> fmt::Result {
+    if let Some(param) = value.strip_prefix('$') {
+        // Spec parameter: printed verbatim so it re-parses as a parameter.
+        write!(f, "${param}")
+    } else if value.contains('\'') {
+        write!(f, "\"{value}\"")
+    } else {
+        write!(f, "'{value}'")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p = parse(src).unwrap();
+        let printed = p.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form {printed:?} failed to parse: {e}"));
+        assert_eq!(p, reparsed, "roundtrip changed AST for {src:?} → {printed:?}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            "a",
+            "a/b/c",
+            "//a",
+            "a//b",
+            "//a//b",
+            "/a/b",
+            "a | b | c",
+            "(a | b)/c",
+            "a[b]",
+            "a[b and c]",
+            "a[b or c and d]",
+            "a[not(b)]",
+            "a[b='x']",
+            "a[@accessibility='1']",
+            ".[a]",
+            "*",
+            "a/*/b",
+            "dept[*/patient/wardNo=$wardNo]",
+            "//house[//r-e.asking-price and //r-e.unit-type]",
+            "(clinicalTrial | .)/patientInfo",
+            "a[(b or c) and d]",
+            "a[b][c]",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn filter_on_composite_base_parenthesized() {
+        let p = Path::filter(
+            Path::step(Path::label("a"), Path::label("b")),
+            Qualifier::path(Path::label("c")),
+        );
+        assert_eq!(p.to_string(), "(a/b)[c]");
+        assert_eq!(parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn union_operand_of_step_parenthesized() {
+        let p = Path::step(
+            Path::union(Path::label("a"), Path::Empty),
+            Path::label("c"),
+        );
+        assert_eq!(p.to_string(), "(a | .)/c");
+        assert_eq!(parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn literal_with_single_quote_uses_double() {
+        let q = Qualifier::Eq(Path::label("a"), "it's".into());
+        let p = Path::filter(Path::label("x"), q);
+        assert_eq!(p.to_string(), "x[a=\"it's\"]");
+        assert_eq!(parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_set_display() {
+        assert_eq!(Path::EmptySet.to_string(), "∅");
+        assert_eq!(parse("∅").unwrap(), Path::EmptySet);
+    }
+
+    #[test]
+    fn true_false_display_and_reparse() {
+        // True/False are optimizer-internal but must still print parseably.
+        let p = Path::Filter(
+            Box::new(Path::label("a")),
+            Box::new(Qualifier::True),
+        );
+        assert_eq!(p.to_string(), "a[true()]");
+        assert_eq!(parse("a[true()]").unwrap(), Path::label("a")); // smart ctor folds
+    }
+}

@@ -1,0 +1,644 @@
+//! Set-at-a-time evaluation of fragment-`C` queries over `sxv-xml` trees.
+//!
+//! `v⟦p⟧` follows §2 of the paper: the result of `p` at a context node `v`
+//! is the set of nodes reachable via `p` from `v`; a qualifier `[p]` holds
+//! iff `v⟦p⟧` is non-empty, and `[p = c]` holds iff `v⟦p⟧` contains a node
+//! whose string value equals `c` (for elements, the string value is the
+//! concatenated text of the subtree, as in XPath).
+//!
+//! Evaluation is *set-at-a-time*: each step maps a context node-set to a
+//! result node-set with per-step deduplication, so query evaluation is
+//! polynomial (the same complexity class as the Gottlob–Koch–Pichler
+//! evaluator the paper benchmarks with, which is what keeps the relative
+//! timings of §6 meaningful).
+
+use crate::ast::{Path, Qualifier};
+use std::collections::BTreeSet;
+use sxv_xml::{DocIndex, Document, NodeId};
+
+/// A context/result set: document-order-sorted node ids, plus a flag for
+/// the virtual *document node* (the parent of the root element, used for
+/// absolute paths).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    /// The virtual document node is in the set.
+    pub doc: bool,
+    /// Element/text nodes in the set.
+    pub nodes: BTreeSet<NodeId>,
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        NodeSet::default()
+    }
+
+    /// A singleton set of one tree node.
+    pub fn single(id: NodeId) -> Self {
+        NodeSet { doc: false, nodes: BTreeSet::from([id]) }
+    }
+
+    /// The singleton set of the virtual document node.
+    pub fn document() -> Self {
+        NodeSet { doc: true, nodes: BTreeSet::new() }
+    }
+
+    /// True iff nothing (not even the document node) is in the set.
+    pub fn is_empty(&self) -> bool {
+        !self.doc && self.nodes.is_empty()
+    }
+
+    fn union_with(&mut self, other: NodeSet) {
+        self.doc |= other.doc;
+        self.nodes.extend(other.nodes);
+    }
+}
+
+/// Work counters for one evaluation — a machine-independent cost measure
+/// (the benchmark harness reports these alongside wall-clock times).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Context/result nodes touched by axis steps.
+    pub nodes_touched: u64,
+    /// Qualifier evaluations performed.
+    pub qualifier_checks: u64,
+}
+
+/// Evaluate `p` with an explicit context node list. Returns the result in
+/// document order (the virtual document node, if reached, is dropped).
+pub fn eval(doc: &Document, p: &Path, context: &[NodeId]) -> Vec<NodeId> {
+    let ctx = NodeSet { doc: false, nodes: context.iter().copied().collect() };
+    let mut stats = EvalStats::default();
+    eval_impl(doc, None, p, &ctx, &mut stats).nodes.into_iter().collect()
+}
+
+/// Evaluate at the root element using a structural index: `//label`,
+/// `//text()` and `//*` steps become interval lookups instead of full
+/// subtree scans (the structural-join technique of XML query engines).
+pub fn eval_at_root_indexed(doc: &Document, index: &DocIndex, p: &Path) -> Vec<NodeId> {
+    let mut stats = EvalStats::default();
+    match doc.root_opt() {
+        Some(root) => {
+            let ctx = NodeSet::single(root);
+            eval_impl(doc, Some(index), p, &ctx, &mut stats)
+                .nodes
+                .into_iter()
+                .collect()
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Evaluate at the root element, also returning work counters.
+pub fn eval_at_root_with_stats(doc: &Document, p: &Path) -> (Vec<NodeId>, EvalStats) {
+    let mut stats = EvalStats::default();
+    let result = match doc.root_opt() {
+        Some(root) => {
+            let ctx = NodeSet::single(root);
+            eval_set_counting(doc, p, &ctx, &mut stats).nodes.into_iter().collect()
+        }
+        None => Vec::new(),
+    };
+    (result, stats)
+}
+
+/// Evaluate `p` at the root *element* — the context the paper's rewriting
+/// algorithm assumes (`rw(p, r)` is a query at the root of the view).
+pub fn eval_at_root(doc: &Document, p: &Path) -> Vec<NodeId> {
+    match doc.root_opt() {
+        Some(root) => eval(doc, p, &[root]),
+        None => Vec::new(),
+    }
+}
+
+/// Evaluate `p` at the virtual document node, giving standard XPath
+/// document-level semantics to absolute (`/a/b`) and descendant (`//a`)
+/// queries alike.
+pub fn eval_at_document(doc: &Document, p: &Path) -> Vec<NodeId> {
+    let mut stats = EvalStats::default();
+    eval_set_counting(doc, p, &NodeSet::document(), &mut stats)
+        .nodes
+        .into_iter()
+        .collect()
+}
+
+/// Evaluate a qualifier at a single context node.
+pub fn eval_qualifier(doc: &Document, q: &Qualifier, v: NodeId) -> bool {
+    let mut stats = EvalStats::default();
+    qual_holds(doc, q, &NodeSet::single(v), &mut stats)
+}
+
+/// Core evaluator: context set → result set.
+pub fn eval_set(doc: &Document, p: &Path, ctx: &NodeSet) -> NodeSet {
+    let mut stats = EvalStats::default();
+    eval_impl(doc, None, p, ctx, &mut stats)
+}
+
+/// Core evaluator with work counters.
+pub fn eval_set_counting(doc: &Document, p: &Path, ctx: &NodeSet, stats: &mut EvalStats) -> NodeSet {
+    eval_impl(doc, None, p, ctx, stats)
+}
+
+/// Shared evaluator body; `index` enables the structural fast path.
+fn eval_impl(
+    doc: &Document,
+    index: Option<&DocIndex>,
+    p: &Path,
+    ctx: &NodeSet,
+    stats: &mut EvalStats,
+) -> NodeSet {
+    if ctx.is_empty() {
+        return NodeSet::empty();
+    }
+    match p {
+        Path::Empty => ctx.clone(),
+        Path::EmptySet => NodeSet::empty(),
+        Path::Doc => NodeSet::document(),
+        Path::Label(l) => child_step(doc, ctx, Some(l), stats),
+        Path::Wildcard => child_step(doc, ctx, None, stats),
+        Path::Text => {
+            let mut out = NodeSet::empty();
+            stats.nodes_touched += ctx.nodes.len() as u64;
+            for &v in &ctx.nodes {
+                for &c in doc.children(v) {
+                    if doc.node(c).is_text() {
+                        out.nodes.insert(c);
+                    }
+                }
+            }
+            out
+        }
+        Path::Step(p1, p2) => {
+            let mid = eval_impl(doc, index, p1, ctx, stats);
+            eval_impl(doc, index, p2, &mid, stats)
+        }
+        Path::Descendant(p1) => {
+            if let Some(idx) = index {
+                if let Some(out) = indexed_descendant(doc, idx, p1, ctx, stats) {
+                    return out;
+                }
+            }
+            let mut expanded = NodeSet::empty();
+            expanded.doc = ctx.doc;
+            if ctx.doc {
+                if let Some(root) = doc.root_opt() {
+                    expanded.nodes.extend(doc.descendants_or_self(root));
+                }
+            }
+            for &v in &ctx.nodes {
+                expanded.nodes.extend(doc.descendants_or_self(v));
+            }
+            stats.nodes_touched += expanded.nodes.len() as u64;
+            eval_impl(doc, index, p1, &expanded, stats)
+        }
+        Path::Union(p1, p2) => {
+            let mut out = eval_impl(doc, index, p1, ctx, stats);
+            out.union_with(eval_impl(doc, index, p2, ctx, stats));
+            out
+        }
+        Path::Filter(p1, q) => {
+            let base = eval_impl(doc, index, p1, ctx, stats);
+            let nodes = base
+                .nodes
+                .into_iter()
+                .filter(|&v| {
+                    stats.qualifier_checks += 1;
+                    qual_holds(doc, q, &NodeSet::single(v), stats)
+                })
+                .collect();
+            let doc_kept = base.doc && qual_holds(doc, q, &NodeSet::document(), stats);
+            NodeSet { doc: doc_kept, nodes }
+        }
+    }
+}
+
+/// One child-axis step from every context node; `label == None` is `*`.
+fn child_step(doc: &Document, ctx: &NodeSet, label: Option<&str>, stats: &mut EvalStats) -> NodeSet {
+    let mut out = NodeSet::empty();
+    stats.nodes_touched += ctx.nodes.len() as u64;
+    if ctx.doc {
+        if let Some(root) = doc.root_opt() {
+            if label.is_none_or(|l| doc.label_opt(root) == Some(l)) {
+                out.nodes.insert(root);
+            }
+        }
+    }
+    for &v in &ctx.nodes {
+        for &c in doc.children(v) {
+            match (label, doc.label_opt(c)) {
+                (None, Some(_)) => {
+                    out.nodes.insert(c);
+                }
+                (Some(l), Some(cl)) if l == cl => {
+                    out.nodes.insert(c);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Structural fast path for `//p1`: handles the shapes where the first
+/// step can be answered by interval lookup (`//l…`, `//*…`, `//text()`,
+/// filters and unions thereof). Returns `None` to fall back to the scan.
+fn indexed_descendant(
+    doc: &Document,
+    idx: &DocIndex,
+    p1: &Path,
+    ctx: &NodeSet,
+    stats: &mut EvalStats,
+) -> Option<NodeSet> {
+    // Resolve the effective context roots (the document node expands to
+    // the root element's subtree plus the root itself as a `//` child).
+    let mut roots: Vec<NodeId> = ctx.nodes.iter().copied().collect();
+    if ctx.doc {
+        // descendant-or-self of the doc node = every tree node; a child
+        // step from those = everything including the root element. The
+        // interval of the root element covers all but the root itself, so
+        // handle the root separately below via `include_self_of_doc`.
+        roots.clear();
+        roots.push(doc.root_opt()?);
+    }
+    let include_root_match = ctx.doc;
+    match p1 {
+        Path::Label(l) => {
+            let mut out = NodeSet::empty();
+            for &v in &roots {
+                let hits = idx.labelled_descendants(l, v);
+                stats.nodes_touched += hits.len() as u64;
+                out.nodes.extend(hits.iter().copied());
+                if include_root_match && doc.label_opt(v) == Some(l) {
+                    out.nodes.insert(v);
+                }
+            }
+            Some(out)
+        }
+        Path::Wildcard => {
+            let mut out = NodeSet::empty();
+            for &v in &roots {
+                let end = idx.subtree_end(v);
+                for i in v.index() + 1..=end.index() {
+                    let id = NodeId::from_index(i);
+                    if doc.node(id).is_element() {
+                        out.nodes.insert(id);
+                    }
+                }
+                stats.nodes_touched += (end.index() - v.index()) as u64;
+                if include_root_match {
+                    out.nodes.insert(v);
+                }
+            }
+            Some(out)
+        }
+        Path::Text => {
+            let mut out = NodeSet::empty();
+            for &v in &roots {
+                let hits = idx.text_descendants(v);
+                stats.nodes_touched += hits.len() as u64;
+                out.nodes.extend(hits.iter().copied());
+            }
+            Some(out)
+        }
+        Path::Step(a, b) => {
+            let first = indexed_descendant(doc, idx, a, ctx, stats)?;
+            Some(eval_impl(doc, Some(idx), b, &first, stats))
+        }
+        Path::Union(a, b) => {
+            let mut out = indexed_descendant(doc, idx, a, ctx, stats)?;
+            out.union_with(indexed_descendant(doc, idx, b, ctx, stats)?);
+            Some(out)
+        }
+        Path::Filter(base, q) => {
+            let base_set = indexed_descendant(doc, idx, base, ctx, stats)?;
+            let nodes = base_set
+                .nodes
+                .into_iter()
+                .filter(|&v| {
+                    stats.qualifier_checks += 1;
+                    qual_holds(doc, q, &NodeSet::single(v), stats)
+                })
+                .collect();
+            Some(NodeSet { doc: false, nodes })
+        }
+        // ε / nested // / ∅ / Doc: fall back to the generic scan.
+        _ => None,
+    }
+}
+
+fn qual_holds(doc: &Document, q: &Qualifier, ctx: &NodeSet, stats: &mut EvalStats) -> bool {
+    match q {
+        Qualifier::True => true,
+        Qualifier::False => false,
+        Qualifier::Path(p) => !eval_set_counting(doc, p, ctx, stats).is_empty(),
+        Qualifier::Eq(p, c) => {
+            let result = eval_set_counting(doc, p, ctx, stats);
+            result.nodes.iter().any(|&n| doc.string_value(n) == *c)
+        }
+        Qualifier::Attr(name) => ctx
+            .nodes
+            .iter()
+            .next()
+            .map(|&v| doc.attribute(v, name).is_some())
+            .unwrap_or(false),
+        Qualifier::AttrEq(name, value) => ctx
+            .nodes
+            .iter()
+            .next()
+            .map(|&v| doc.attribute(v, name) == Some(value.as_str()))
+            .unwrap_or(false),
+        Qualifier::And(a, b) => {
+            qual_holds(doc, a, ctx, stats) && qual_holds(doc, b, ctx, stats)
+        }
+        Qualifier::Or(a, b) => {
+            qual_holds(doc, a, ctx, stats) || qual_holds(doc, b, ctx, stats)
+        }
+        Qualifier::Not(inner) => !qual_holds(doc, inner, ctx, stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use sxv_xml::parse as parse_xml;
+
+    fn labels(doc: &Document, ids: &[NodeId]) -> Vec<String> {
+        ids.iter()
+            .map(|&i| doc.label_opt(i).map(str::to_string).unwrap_or_else(|| "#text".into()))
+            .collect()
+    }
+
+    fn hospital() -> Document {
+        parse_xml(
+            r#"<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>Ann</name><wardNo>6</wardNo></patient>
+      </patientInfo>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>Bob</name><wardNo>6</wardNo></patient>
+      <patient><name>Cat</name><wardNo>7</wardNo></patient>
+    </patientInfo>
+  </dept>
+</hospital>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn label_step() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("dept").unwrap());
+        assert_eq!(labels(&d, &r), ["dept"]);
+        let none = eval_at_root(&d, &parse("patient").unwrap());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn path_composition() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("dept/patientInfo/patient").unwrap());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn descendant_finds_all() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("//patient").unwrap());
+        assert_eq!(r.len(), 3);
+        // The paper's Example 1.1 inference pair:
+        let p1 = eval_at_root(&d, &parse("//dept//patientInfo/patient/name").unwrap());
+        let p2 = eval_at_root(&d, &parse("//dept/patientInfo/patient/name").unwrap());
+        assert_eq!(p1.len(), 3, "all patients");
+        assert_eq!(p2.len(), 2, "only non-trial patients");
+    }
+
+    #[test]
+    fn descendant_is_a_child_step_from_descendants_or_self() {
+        // `//l` ≡ descendant-or-self::node()/child::l, so `//hospital` at the
+        // hospital element matches nothing (no node has a hospital *child*),
+        // while at the document node it matches the root element.
+        let d = hospital();
+        assert!(eval_at_root(&d, &parse("//hospital").unwrap()).is_empty());
+        assert_eq!(eval_at_document(&d, &parse("//hospital").unwrap()).len(), 1);
+        // `//.` at the context includes the context itself.
+        let selfs = eval_at_root(&d, &parse("//.").unwrap());
+        assert!(selfs.contains(&d.root().unwrap()));
+    }
+
+    #[test]
+    fn wildcard() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("dept/*").unwrap());
+        assert_eq!(labels(&d, &r), ["clinicalTrial", "patientInfo"]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("dept | dept").unwrap());
+        assert_eq!(r.len(), 1);
+        let r2 = eval_at_root(&d, &parse("(clinicalTrial | .)/patientInfo").unwrap());
+        // over dept context this would be 2; at root, only via '.' → none.
+        assert!(r2.is_empty());
+        let depts = eval_at_root(&d, &parse("dept").unwrap());
+        let r3 = eval(&d, &parse("(clinicalTrial | .)/patientInfo").unwrap(), &depts);
+        assert_eq!(r3.len(), 2, "patientInfo both under dept and under its clinicalTrial");
+    }
+
+    #[test]
+    fn qualifier_existence() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("//patient[name]").unwrap());
+        assert_eq!(r.len(), 3);
+        let none = eval_at_root(&d, &parse("//patient[treatment]").unwrap());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn qualifier_equality() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("//patient[wardNo='6']").unwrap());
+        assert_eq!(r.len(), 2);
+        let r7 = eval_at_root(&d, &parse("//patient[wardNo='7']/name").unwrap());
+        assert_eq!(r7.len(), 1);
+    }
+
+    #[test]
+    fn qualifier_boolean_ops() {
+        let d = hospital();
+        let both = eval_at_root(&d, &parse("//patient[name and wardNo]").unwrap());
+        assert_eq!(both.len(), 3);
+        let not6 = eval_at_root(&d, &parse("//patient[not(wardNo='6')]").unwrap());
+        assert_eq!(not6.len(), 1);
+        let either = eval_at_root(&d, &parse("//patient[wardNo='6' or wardNo='7']").unwrap());
+        assert_eq!(either.len(), 3);
+    }
+
+    #[test]
+    fn attribute_qualifiers() {
+        let mut d = parse_xml("<r><a/><a/></r>").unwrap();
+        let first = d.children(d.root().unwrap())[0];
+        d.set_attribute(first, "accessibility", "1").unwrap();
+        let r = eval_at_root(&d, &parse("a[@accessibility='1']").unwrap());
+        assert_eq!(r, vec![first]);
+        let has = eval_at_root(&d, &parse("a[@accessibility]").unwrap());
+        assert_eq!(has, vec![first]);
+        let eq0 = eval_at_root(&d, &parse("a[@accessibility='0']").unwrap());
+        assert!(eq0.is_empty());
+    }
+
+    #[test]
+    fn absolute_path_at_document() {
+        let d = hospital();
+        let r = eval_at_document(&d, &parse("/hospital/dept").unwrap());
+        assert_eq!(r.len(), 1);
+        let wrong = eval_at_document(&d, &parse("/dept").unwrap());
+        assert!(wrong.is_empty());
+        // // at document node reaches everything.
+        let all = eval_at_document(&d, &parse("//patient").unwrap());
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_query() {
+        let d = hospital();
+        assert!(eval_at_root(&d, &Path::EmptySet).is_empty());
+        assert!(eval_at_root(&d, &parse("∅").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn empty_path_is_identity() {
+        let d = hospital();
+        let root = d.root().unwrap();
+        assert_eq!(eval(&d, &Path::Empty, &[root]), vec![root]);
+    }
+
+    #[test]
+    fn epsilon_qualifier() {
+        let d = hospital();
+        let depts = eval_at_root(&d, &parse("dept").unwrap());
+        let with = eval(&d, &parse(".[clinicalTrial]").unwrap(), &depts);
+        assert_eq!(with, depts);
+        let without = eval(&d, &parse(".[missing]").unwrap(), &depts);
+        assert!(without.is_empty());
+    }
+
+    #[test]
+    fn results_in_document_order() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("//patient/name").unwrap());
+        let mut sorted = r.clone();
+        sorted.sort();
+        assert_eq!(r, sorted);
+        let values: Vec<String> = r.iter().map(|&n| d.string_value(n)).collect();
+        assert_eq!(values, ["Ann", "Bob", "Cat"]);
+    }
+
+    #[test]
+    fn descendant_into_qualifier() {
+        let d = hospital();
+        let r = eval_at_root(&d, &parse("dept[//wardNo='7']").unwrap());
+        assert_eq!(r.len(), 1);
+        let none = eval_at_root(&d, &parse("dept[//wardNo='9']").unwrap());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn text_nodes_reachable_via_descendant() {
+        let d = parse_xml("<r><a>hello</a></r>").unwrap();
+        let all = eval_at_root(&d, &parse("//.").unwrap());
+        // root, a, text
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn text_selector_selects_text_children() {
+        let d = parse_xml("<r><a>x</a><b><c>y</c></b>tail</r>").unwrap();
+        let direct = eval_at_root(&d, &parse("text()").unwrap());
+        assert_eq!(direct.len(), 1, "only the root's own text child");
+        assert_eq!(d.text(direct[0]).unwrap(), "tail");
+        let a_text = eval_at_root(&d, &parse("a/text()").unwrap());
+        assert_eq!(a_text.len(), 1);
+        assert_eq!(d.text(a_text[0]).unwrap(), "x");
+        let all = eval_at_root(&d, &parse("//text()").unwrap());
+        assert_eq!(all.len(), 3);
+        // text nodes have no children: further steps yield nothing.
+        assert!(eval_at_root(&d, &parse("a/text()/a").unwrap()).is_empty());
+        // Eq on the text itself.
+        let x = eval_at_root(&d, &parse("//text()[.='y']").unwrap());
+        assert_eq!(x.len(), 1);
+    }
+
+    #[test]
+    fn indexed_evaluation_matches_scan() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        for q in [
+            "//patient",
+            "//patient/name",
+            "//dept//patientInfo/patient/name",
+            "//patient[wardNo='6']",
+            "//name | //wardNo",
+            "//text()",
+            "//*",
+            "dept//patient",
+            "//patientInfo//name",
+            "//.",
+            "//dept/*",
+        ] {
+            let p = parse(q).unwrap();
+            assert_eq!(
+                eval_at_root(&d, &p),
+                eval_at_root_indexed(&d, &idx, &p),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_evaluation_touches_fewer_nodes() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let p = parse("//wardNo").unwrap();
+        let (r1, scan) = eval_at_root_with_stats(&d, &p);
+        let mut stats = EvalStats::default();
+        let ctx = NodeSet::single(d.root().unwrap());
+        let r2 = eval_impl(&d, Some(&idx), &p, &ctx, &mut stats);
+        assert_eq!(r1, r2.nodes.into_iter().collect::<Vec<_>>());
+        assert!(
+            stats.nodes_touched < scan.nodes_touched,
+            "indexed {} vs scan {}",
+            stats.nodes_touched,
+            scan.nodes_touched
+        );
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let d = hospital();
+        let (r, cheap) = eval_at_root_with_stats(&d, &parse("dept/patientInfo/patient").unwrap());
+        assert_eq!(r.len(), 2);
+        let (r2, expensive) = eval_at_root_with_stats(&d, &parse("//patient[name]").unwrap());
+        assert_eq!(r2.len(), 3);
+        assert!(
+            expensive.nodes_touched > cheap.nodes_touched,
+            "descendant scan touches more nodes ({} vs {})",
+            expensive.nodes_touched,
+            cheap.nodes_touched
+        );
+        assert!(expensive.qualifier_checks >= 3);
+        assert_eq!(cheap.qualifier_checks, 0);
+    }
+
+    #[test]
+    fn equality_on_element_string_value() {
+        // string value concatenates nested text.
+        let d = parse_xml("<r><a><b>x</b><c>y</c></a></r>").unwrap();
+        let r = eval_at_root(&d, &parse(".[a='xy']").unwrap());
+        assert_eq!(r.len(), 1);
+    }
+}

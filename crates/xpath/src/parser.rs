@@ -1,0 +1,547 @@
+//! Parser for the concrete text syntax of the fragment `C`.
+//!
+//! ```text
+//! query     := path ('|' path)*                 // union (paper's ∪)
+//! path      := ('/' | '//')? step (('/' | '//') step)*
+//! step      := primary ('[' qual ']')*
+//! primary   := '.' | '*' | name | '(' query ')'
+//! qual      := qor
+//! qor       := qand ('or' qand)*
+//! qand      := qnot ('and' qnot)*
+//! qnot      := 'not' '(' qual ')' | '(' qual ')' | atom
+//! atom      := '@' name ('=' literal)?
+//!            | query ('=' literal)?
+//! literal   := '"…"' | "'…'" | '$' name        // $var: spec parameter
+//! ```
+//!
+//! `.` is the paper's `ε`; a leading `/` is the absolute-path marker
+//! ([`Path::Doc`]); `p1//p2` parses to `p1/(//p2)` as in the paper.
+
+use crate::ast::{Path, Qualifier};
+use crate::error::{Error, Result};
+
+/// Parse a query string.
+pub fn parse(input: &str) -> Result<Path> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let path = p.parse_union()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(path)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// `kw` followed by a non-name character (so `and` ≠ `android`).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.starts_with(kw) {
+            let after = self.input.get(self.pos + kw.len()).copied();
+            let boundary = !matches!(
+                after,
+                Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.')
+            );
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_union(&mut self) -> Result<Path> {
+        let mut acc = self.parse_path()?;
+        loop {
+            self.skip_ws();
+            // Accept both `|` and the paper's `∪`.
+            if self.eat("|") || self.eat("∪") {
+                self.skip_ws();
+                let rhs = self.parse_path()?;
+                acc = Path::union(acc, rhs);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<Path> {
+        self.skip_ws();
+        let mut acc = if self.eat("//") {
+            Path::descendant(self.parse_step()?)
+        } else if self.eat("/") {
+            Path::step(Path::Doc, self.parse_step()?)
+        } else {
+            self.parse_step()?
+        };
+        loop {
+            if self.eat("//") {
+                acc = Path::step(acc, Path::descendant(self.parse_step()?));
+            } else if self.eat("/") {
+                acc = Path::step(acc, self.parse_step()?);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_step(&mut self) -> Result<Path> {
+        self.skip_ws();
+        let mut primary = if self.starts_with("text()") {
+            self.pos += "text()".len();
+            Path::Text
+        } else if self.eat(".") {
+            Path::Empty
+        } else if self.eat("*") {
+            Path::Wildcard
+        } else if self.eat("∅") {
+            Path::EmptySet
+        } else if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let inner = self.parse_union()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            inner
+        } else {
+            Path::Label(self.parse_name()?)
+        };
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'[') {
+                self.pos += 1;
+                let q = self.parse_qual()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return Err(self.err("expected ']'"));
+                }
+                primary = Path::filter(primary, q);
+            } else {
+                return Ok(primary);
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                // `.` only continues a name if a name has started (so `.` the
+                // ε-step and `a.b` names both work) and is not followed by
+                // a path separator context; names in our DTDs use dots
+                // internally (`r-e.warranty`).
+                if b == b'.' && self.pos == start {
+                    break;
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+        if name.as_bytes()[0].is_ascii_digit() {
+            return Err(self.err(format!("name {name:?} may not start with a digit")));
+        }
+        Ok(name.to_string())
+    }
+
+    fn parse_qual(&mut self) -> Result<Qualifier> {
+        self.parse_qor()
+    }
+
+    fn parse_qor(&mut self) -> Result<Qualifier> {
+        let mut acc = self.parse_qand()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("or") {
+                let rhs = self.parse_qand()?;
+                acc = Qualifier::or(acc, rhs);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_qand(&mut self) -> Result<Qualifier> {
+        let mut acc = self.parse_qnot()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("and") {
+                let rhs = self.parse_qnot()?;
+                acc = Qualifier::and(acc, rhs);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_qnot(&mut self) -> Result<Qualifier> {
+        self.skip_ws();
+        if self.starts_with("true()") {
+            self.pos += "true()".len();
+            return Ok(Qualifier::True);
+        }
+        if self.starts_with("false()") {
+            self.pos += "false()".len();
+            return Ok(Qualifier::False);
+        }
+        if self.eat_keyword("not") {
+            self.skip_ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after not"));
+            }
+            let inner = self.parse_qual()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Qualifier::not(inner));
+        }
+        if self.peek() == Some(b'(') {
+            // Could be a parenthesized qualifier or a parenthesized path
+            // (e.g. `[(a | b)/c]`). Try qualifier first by lookahead: a
+            // path can always be read as the atom, so parse the atom path
+            // which itself handles parens.
+            // Disambiguation: attempt qualifier-group parse, fall back.
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.parse_qual() {
+                self.skip_ws();
+                if self.eat(")") {
+                    self.skip_ws();
+                    // Must not be followed by path continuation or '='.
+                    if !matches!(self.peek(), Some(b'/' | b'=' | b'[' | b'|')) {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.parse_qatom()
+    }
+
+    fn parse_qatom(&mut self) -> Result<Qualifier> {
+        self.skip_ws();
+        if self.eat("@") {
+            let name = self.parse_name()?;
+            self.skip_ws();
+            if self.eat("=") {
+                let value = self.parse_literal()?;
+                return Ok(Qualifier::AttrEq(name, value));
+            }
+            return Ok(Qualifier::Attr(name));
+        }
+        let path = self.parse_union()?;
+        self.skip_ws();
+        if self.eat("=") {
+            let value = self.parse_literal()?;
+            return Ok(Qualifier::Eq(path, value));
+        }
+        Ok(Qualifier::path(path))
+    }
+
+    fn parse_literal(&mut self) -> Result<String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek() != Some(q) {
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("literal is not valid UTF-8"))?
+                    .to_string();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(b'$') => {
+                // Spec parameter: kept verbatim (including `$`) so the
+                // access-specification layer can substitute it later.
+                self.pos += 1;
+                let name = self.parse_name()?;
+                Ok(format!("${name}"))
+            }
+            Some(b) if b.is_ascii_digit() => {
+                // Bare numeric literal.
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.') {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string())
+            }
+            _ => Err(self.err("expected a string literal, number, or $parameter")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Path {
+        Path::label(s)
+    }
+
+    #[test]
+    fn simple_paths() {
+        assert_eq!(parse("a").unwrap(), l("a"));
+        assert_eq!(parse("a/b").unwrap(), Path::step(l("a"), l("b")));
+        assert_eq!(parse("*").unwrap(), Path::Wildcard);
+        assert_eq!(parse(".").unwrap(), Path::Empty);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        assert_eq!(parse("//a").unwrap(), Path::descendant(l("a")));
+        assert_eq!(
+            parse("a//b").unwrap(),
+            Path::step(l("a"), Path::descendant(l("b")))
+        );
+        assert_eq!(
+            parse("//a//b").unwrap(),
+            Path::step(Path::descendant(l("a")), Path::descendant(l("b")))
+        );
+    }
+
+    #[test]
+    fn absolute_paths() {
+        assert_eq!(parse("/a/b").unwrap(), Path::step(Path::step(Path::Doc, l("a")), l("b")));
+    }
+
+    #[test]
+    fn union_forms() {
+        let expected = Path::union(l("a"), l("b"));
+        assert_eq!(parse("a | b").unwrap(), expected);
+        assert_eq!(parse("a ∪ b").unwrap(), expected);
+        assert_eq!(parse("(a | b)/c").unwrap(), Path::step(expected, l("c")));
+    }
+
+    #[test]
+    fn qualifiers() {
+        assert_eq!(
+            parse("a[b]").unwrap(),
+            Path::filter(l("a"), Qualifier::path(l("b")))
+        );
+        assert_eq!(
+            parse("a[b and c]").unwrap(),
+            Path::filter(
+                l("a"),
+                Qualifier::and(Qualifier::path(l("b")), Qualifier::path(l("c")))
+            )
+        );
+        assert_eq!(
+            parse("a[not(b) or c]").unwrap(),
+            Path::filter(
+                l("a"),
+                Qualifier::or(
+                    Qualifier::not(Qualifier::path(l("b"))),
+                    Qualifier::path(l("c"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn equality_qualifiers() {
+        assert_eq!(
+            parse("a[b='x']").unwrap(),
+            Path::filter(l("a"), Qualifier::Eq(l("b"), "x".into()))
+        );
+        assert_eq!(
+            parse("a[b=\"x\"]").unwrap(),
+            Path::filter(l("a"), Qualifier::Eq(l("b"), "x".into()))
+        );
+        assert_eq!(
+            parse("a[b=42]").unwrap(),
+            Path::filter(l("a"), Qualifier::Eq(l("b"), "42".into()))
+        );
+    }
+
+    #[test]
+    fn parameter_literal() {
+        assert_eq!(
+            parse("dept[*/patient/wardNo=$wardNo]").unwrap(),
+            Path::filter(
+                l("dept"),
+                Qualifier::Eq(
+                    Path::step(Path::step(Path::Wildcard, l("patient")), l("wardNo")),
+                    "$wardNo".into()
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn attribute_qualifiers() {
+        assert_eq!(
+            parse("a[@accessibility='1']").unwrap(),
+            Path::filter(l("a"), Qualifier::AttrEq("accessibility".into(), "1".into()))
+        );
+        assert_eq!(parse("a[@id]").unwrap(), Path::filter(l("a"), Qualifier::Attr("id".into())));
+    }
+
+    #[test]
+    fn nested_qualifier_with_descendant() {
+        let p = parse("//house[//r-e.asking-price and //r-e.unit-type]").unwrap();
+        match p {
+            Path::Descendant(inner) => match *inner {
+                Path::Filter(base, q) => {
+                    assert_eq!(*base, l("house"));
+                    assert!(matches!(*q, Qualifier::And(..)));
+                }
+                other => panic!("expected filter, got {other:?}"),
+            },
+            other => panic!("expected descendant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dotted_names() {
+        assert_eq!(
+            parse("//house/r-e.warranty | //apartment/r-e.warranty").unwrap(),
+            Path::union(
+                Path::step(Path::descendant(l("house")), l("r-e.warranty")),
+                Path::step(Path::descendant(l("apartment")), l("r-e.warranty")),
+            )
+        );
+    }
+
+    #[test]
+    fn multiple_qualifiers_conjoin() {
+        // a[b][c] — successive filters.
+        let p = parse("a[b][c]").unwrap();
+        assert_eq!(
+            p,
+            Path::filter(
+                Path::filter(l("a"), Qualifier::path(l("b"))),
+                Qualifier::path(l("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn parenthesized_qualifier_group() {
+        let p = parse("a[(b or c) and d]").unwrap();
+        assert_eq!(
+            p,
+            Path::filter(
+                l("a"),
+                Qualifier::and(
+                    Qualifier::or(Qualifier::path(l("b")), Qualifier::path(l("c"))),
+                    Qualifier::path(l("d"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn parenthesized_path_in_qualifier() {
+        let p = parse("a[(b | c)/d]").unwrap();
+        assert_eq!(
+            p,
+            Path::filter(
+                l("a"),
+                Qualifier::path(Path::step(Path::union(l("b"), l("c")), l("d")))
+            )
+        );
+    }
+
+    #[test]
+    fn epsilon_with_qualifier() {
+        assert_eq!(
+            parse(".[a]").unwrap(),
+            Path::filter(Path::Empty, Qualifier::path(l("a")))
+        );
+    }
+
+    #[test]
+    fn keyword_prefix_names_ok() {
+        // Names beginning with `and`/`or`/`not` must not be eaten as keywords.
+        assert_eq!(
+            parse("a[android and order and nothing]").unwrap(),
+            Path::filter(
+                l("a"),
+                Qualifier::and(
+                    Qualifier::and(
+                        Qualifier::path(l("android")),
+                        Qualifier::path(l("order"))
+                    ),
+                    Qualifier::path(l("nothing"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn text_selector() {
+        assert_eq!(parse("text()").unwrap(), Path::Text);
+        assert_eq!(
+            parse("a/text()").unwrap(),
+            Path::step(Path::label("a"), Path::Text)
+        );
+        assert_eq!(parse("//text()").unwrap(), Path::descendant(Path::Text));
+        // A name that merely starts with "text" stays a name.
+        assert_eq!(parse("textual").unwrap(), Path::label("textual"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a[").is_err());
+        assert!(parse("a]").is_err());
+        assert!(parse("a[b='unclosed]").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a | ").is_err());
+        assert!(parse("1name").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            parse("  a / b [ c = '1' ] ").unwrap(),
+            Path::step(
+                l("a"),
+                Path::filter(l("b"), Qualifier::Eq(l("c"), "1".into()))
+            )
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Query simplification: smart-constructor laws plus union factoring.
+//!
+//! [`simplify`] normalizes a query by re-applying the `∅`/`ε` identities
+//! bottom-up, deduplicating union arms, and factoring common prefixes and
+//! suffixes of union arms over `/`
+//! (`p/x/s ∪ p/y/s → p/(x ∪ y)/s`). Factoring is what keeps `recProc`
+//! translations linear on series-parallel DAGs (the paper's symbolic `Z_x`
+//! sharing produces exactly the `(l_b ∪ ε)/l_c/(l_e ∪ l_f)/l_g` form for
+//! Fig. 7(a)); it is exposed here both for that use and for cleaning up
+//! rewritten queries before display.
+
+use crate::ast::{Path, Qualifier};
+
+/// Normalize a query: smart-constructor laws, union dedup, and
+/// prefix/suffix factoring of union arms. The result is equivalent to the
+/// input on every tree.
+pub fn simplify(p: &Path) -> Path {
+    match p {
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard
+        | Path::Text => p.clone(),
+        Path::Step(a, b) => Path::step(simplify(a), simplify(b)),
+        Path::Descendant(inner) => Path::descendant(simplify(inner)),
+        Path::Union(..) => {
+            let mut arms = Vec::new();
+            collect_union(p, &mut arms);
+            factored_union(arms)
+        }
+        Path::Filter(base, q) => Path::filter(simplify(base), simplify_qual(q)),
+    }
+}
+
+/// Normalize a qualifier (recursing into its paths).
+pub fn simplify_qual(q: &Qualifier) -> Qualifier {
+    match q {
+        Qualifier::True | Qualifier::False | Qualifier::Attr(_) | Qualifier::AttrEq(..) => {
+            q.clone()
+        }
+        Qualifier::Path(p) => Qualifier::path(simplify(p)),
+        Qualifier::Eq(p, c) => {
+            let s = simplify(p);
+            if s.is_empty_set() {
+                Qualifier::False
+            } else {
+                Qualifier::Eq(s, c.clone())
+            }
+        }
+        Qualifier::And(a, b) => Qualifier::and(simplify_qual(a), simplify_qual(b)),
+        Qualifier::Or(a, b) => Qualifier::or(simplify_qual(a), simplify_qual(b)),
+        Qualifier::Not(inner) => Qualifier::not(simplify_qual(inner)),
+    }
+}
+
+fn collect_union(p: &Path, out: &mut Vec<Path>) {
+    match p {
+        Path::Union(a, b) => {
+            collect_union(a, out);
+            collect_union(b, out);
+        }
+        other => out.push(simplify(other)),
+    }
+}
+
+/// Union of paths with common prefix *and* suffix factoring on their
+/// `/`-factor lists: `p/x/s ∪ p/y/s → p/(x ∪ y)/s`, applied recursively.
+pub fn factored_union(paths: Vec<Path>) -> Path {
+    let mut lists: Vec<Vec<Path>> = paths.into_iter().map(flatten_steps).collect();
+    lists.dedup();
+    Path::union_all(factor_lists(&mut lists))
+}
+
+fn flatten_steps(p: Path) -> Vec<Path> {
+    match p {
+        Path::Step(a, b) => {
+            let mut out = flatten_steps(*a);
+            out.extend(flatten_steps(*b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn rebuild_steps(factors: Vec<Path>) -> Path {
+    factors.into_iter().fold(Path::Empty, Path::step)
+}
+
+/// Factor the factor-lists into a (small) set of alternatives.
+fn factor_lists(lists: &mut Vec<Vec<Path>>) -> Vec<Path> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    if lists.len() == 1 {
+        return vec![rebuild_steps(lists.pop().expect("len checked"))];
+    }
+    // Common prefix?
+    let share_first = lists.iter().all(|l| !l.is_empty() && l[0] == lists[0][0]);
+    if share_first {
+        let head = lists[0][0].clone();
+        let mut tails: Vec<Vec<Path>> = lists.iter().map(|l| l[1..].to_vec()).collect();
+        let rest = Path::union_all(factor_lists(&mut tails));
+        return vec![match rest {
+            Path::Empty => head,
+            r => Path::step(head, r),
+        }];
+    }
+    // Common suffix?
+    let share_last = lists
+        .iter()
+        .all(|l| !l.is_empty() && l.last() == lists[0].last());
+    if share_last {
+        let tail = lists[0].last().expect("non-empty").clone();
+        let mut inits: Vec<Vec<Path>> = lists.iter().map(|l| l[..l.len() - 1].to_vec()).collect();
+        let front = Path::union_all(factor_lists(&mut inits));
+        return vec![match front {
+            Path::Empty => tail,
+            f => Path::step(f, tail),
+        }];
+    }
+    // Group by first factor and factor each group independently.
+    let mut groups: Vec<(Option<Path>, Vec<Vec<Path>>)> = Vec::new();
+    for list in lists.drain(..) {
+        let key = list.first().cloned();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(list),
+            None => groups.push((key, vec![list])),
+        }
+    }
+    if groups.len() == 1 {
+        // Defensive: a single group that shares neither prefix nor suffix
+        // uniformly (only possible with empty factor lists).
+        let (_, group) = groups.pop().expect("len checked");
+        return group.into_iter().map(rebuild_steps).collect();
+    }
+    let mut out = Vec::new();
+    for (_, mut group) in groups {
+        out.extend(factor_lists(&mut group));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn s(src: &str) -> String {
+        simplify(&parse(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn common_prefix_factored() {
+        assert_eq!(s("a/b | a/c"), "a/(b | c)");
+        assert_eq!(s("a/b/c | a/b/d"), "a/b/(c | d)");
+    }
+
+    #[test]
+    fn common_suffix_factored() {
+        assert_eq!(s("a/c | b/c"), "(a | b)/c");
+        // Suffix factoring recurses into the inits: (a|b)/x/c, not (a/x|b/x)/c.
+        assert_eq!(s("a/x/c | b/x/c"), "(a | b)/x/c");
+    }
+
+    #[test]
+    fn prefix_and_suffix_together() {
+        assert_eq!(s("p/x/t | p/y/t"), "p/(x | y)/t");
+    }
+
+    #[test]
+    fn duplicate_arms_removed() {
+        assert_eq!(s("a/b | a/b"), "a/b");
+        assert_eq!(s("a | a | b"), "a | b");
+    }
+
+    #[test]
+    fn unrelated_arms_kept() {
+        assert_eq!(s("a/b | c/d"), "a/b | c/d");
+    }
+
+    #[test]
+    fn grouping_by_prefix() {
+        // Two groups factor independently.
+        assert_eq!(s("a/x | a/y | b/z"), "a/(x | y) | b/z");
+    }
+
+    #[test]
+    fn recursive_into_qualifiers_and_filters() {
+        assert_eq!(s("e[a/b | a/c]"), "e[a/(b | c)]");
+        assert_eq!(s("(a/b | a/c)[d]"), "(a/(b | c))[d]");
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        use crate::eval::eval_at_root;
+        let doc = sxv_xml::parse(
+            "<r><a><b/><c/><x><t/></x></a><b><x><t/></x></b><p><x><t/></x><y><t/></y></p></r>",
+        )
+        .unwrap();
+        for q in [
+            "a/b | a/c",
+            "a/x/t | b/x/t",
+            "p/x/t | p/y/t",
+            "a | a | b",
+            "a/b | c/d",
+            "//t | a/b",
+        ] {
+            let p = parse(q).unwrap();
+            assert_eq!(
+                eval_at_root(&doc, &p),
+                eval_at_root(&doc, &simplify(&p)),
+                "{q} simplified to {}",
+                simplify(&p)
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Sub-query enumeration for the dynamic programs of §4 and §5.
+//!
+//! The paper's Algorithm `rewrite` iterates over "the ascending list `Q` of
+//! sub-queries of `p`, such that all sub-queries of `p'` precede `p'`".
+//! [`postorder`] produces exactly that list; each occurrence of a
+//! sub-expression gets its own entry (identified positionally), matching
+//! the parse-tree formulation in the paper.
+
+use crate::ast::{Path, Qualifier};
+
+/// A sub-expression of a query: either a path or a qualifier node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubExpr<'a> {
+    /// A path sub-query.
+    Path(&'a Path),
+    /// A qualifier sub-query.
+    Qual(&'a Qualifier),
+}
+
+/// Post-order (ascending) enumeration of all sub-expressions of `p`:
+/// children precede parents; the last entry is `p` itself.
+pub fn postorder(p: &Path) -> Vec<SubExpr<'_>> {
+    let mut out = Vec::new();
+    visit_path(p, &mut out);
+    out
+}
+
+fn visit_path<'a>(p: &'a Path, out: &mut Vec<SubExpr<'a>>) {
+    match p {
+        Path::Empty
+        | Path::EmptySet
+        | Path::Doc
+        | Path::Label(_)
+        | Path::Wildcard
+        | Path::Text => {}
+        Path::Step(a, b) | Path::Union(a, b) => {
+            visit_path(a, out);
+            visit_path(b, out);
+        }
+        Path::Descendant(inner) => visit_path(inner, out),
+        Path::Filter(base, q) => {
+            visit_path(base, out);
+            visit_qual(q, out);
+        }
+    }
+    out.push(SubExpr::Path(p));
+}
+
+fn visit_qual<'a>(q: &'a Qualifier, out: &mut Vec<SubExpr<'a>>) {
+    match q {
+        Qualifier::True | Qualifier::False | Qualifier::Attr(_) | Qualifier::AttrEq(..) => {}
+        Qualifier::Path(p) | Qualifier::Eq(p, _) => visit_path(p, out),
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            visit_qual(a, out);
+            visit_qual(b, out);
+        }
+        Qualifier::Not(inner) => visit_qual(inner, out),
+    }
+    out.push(SubExpr::Qual(q));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn postorder_children_first() {
+        let p = parse("//a[b]/c").unwrap();
+        let subs = postorder(&p);
+        // Ascending order: every sub-expression precedes its parent.
+        let last = subs.last().unwrap();
+        assert!(matches!(last, SubExpr::Path(q) if **q == p));
+        // Positions of `a` and `a[b]`:
+        let pos_a = subs
+            .iter()
+            .position(|s| matches!(s, SubExpr::Path(Path::Label(l)) if l == "a"))
+            .unwrap();
+        let pos_filter = subs
+            .iter()
+            .position(|s| matches!(s, SubExpr::Path(Path::Filter(..))))
+            .unwrap();
+        assert!(pos_a < pos_filter);
+    }
+
+    #[test]
+    fn qualifier_subexpressions_included() {
+        let p = parse("a[b and not(c='1')]").unwrap();
+        let subs = postorder(&p);
+        let quals = subs.iter().filter(|s| matches!(s, SubExpr::Qual(_))).count();
+        // [b], [c='1'], not(..), and(..) => 4 qualifier nodes
+        assert_eq!(quals, 4);
+        let paths = subs.iter().filter(|s| matches!(s, SubExpr::Path(_))).count();
+        // b, c, a, a[...] => 4 path nodes
+        assert_eq!(paths, 4);
+    }
+
+    #[test]
+    fn list_length_linear_in_size() {
+        let p = parse("a/b/c/d/e").unwrap();
+        let subs = postorder(&p);
+        assert_eq!(subs.len(), p.size());
+    }
+}

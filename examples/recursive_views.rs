@@ -1,0 +1,68 @@
+//! Recursive security views (§4.2): rewriting `//` over a cyclic view DTD
+//! by unfolding to the concrete document's height.
+//!
+//! ```text
+//! cargo run --example recursive_views
+//! ```
+
+use secure_xml_views::core::{materialize, rewrite, rewrite_with_height, Error};
+use secure_xml_views::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A recursive DTD: a message thread where replies nest arbitrarily.
+    let dtd = parse_dtd(
+        r#"
+<!ELEMENT thread (message)>
+<!ELEMENT message (author, text, moderation, replies)>
+<!ELEMENT replies (message*)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT moderation (#PCDATA)>
+"#,
+        "thread",
+    )?;
+    // Hide moderation notes at every nesting level.
+    let spec = AccessSpec::builder(&dtd).deny("message", "moderation").build()?;
+    let view = derive_view(&spec)?;
+    assert!(view.is_recursive(), "replies/message recursion survives in the view");
+    println!("recursive view DTD:\n{}", view.view_dtd_to_string());
+
+    let doc = parse_xml(
+        "<thread><message><author>ann</author><text>hi</text><moderation>ok</moderation>\
+         <replies>\
+           <message><author>bob</author><text>hey</text><moderation>flagged</moderation>\
+             <replies>\
+               <message><author>cat</author><text>yo</text><moderation>ok</moderation><replies/></message>\
+             </replies>\
+           </message>\
+         </replies></message></thread>",
+    )?;
+
+    // Direct rewriting refuses: `//` over a cyclic view DTD would need
+    // infinitely many paths (Fig. 7(b) argument).
+    let p = parse_xpath("//author")?;
+    match rewrite(&view, &p) {
+        Err(Error::RecursiveView) => println!("direct rewrite: RecursiveView (as §4.2 predicts)"),
+        other => panic!("expected RecursiveView, got {other:?}"),
+    }
+
+    // Unfolding to the document height makes it work.
+    let translated = rewrite_with_height(&view, &p, doc.height())?;
+    println!("\n//author unfolded to height {}:\n  {translated}", doc.height());
+    let authors = secure_xml_views::xpath::eval_at_root(&doc, &translated);
+    let names: Vec<String> = authors.iter().map(|&n| doc.string_value(n)).collect();
+    println!("authors at every nesting level: {names:?}");
+    assert_eq!(names, ["ann", "bob", "cat"]);
+
+    // Moderation notes are invisible at every depth.
+    let blocked = rewrite_with_height(&view, &parse_xpath("//moderation")?, doc.height())?;
+    assert!(secure_xml_views::xpath::eval_at_root(&doc, &blocked).is_empty());
+    println!("//moderation rewrites to a query with no matches: {blocked}");
+
+    // Cross-check against the materialized view semantics.
+    let m = materialize(&spec, &view, &doc)?;
+    let over_view = secure_xml_views::xpath::eval_at_root(&m.doc, &p);
+    assert_eq!(m.sources_of(&over_view), authors, "rewrite ≡ view semantics");
+    println!("\nrewrite answers match the materialized view exactly.");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Reproduce every result in EXPERIMENTS.md from scratch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1. build =="
+cargo build --workspace --release
+
+echo "== 2. correctness: full test suite (incl. property tests) =="
+cargo test --workspace --release
+
+echo "== 3. Table 1 (naive / rewrite / optimize over D1–D4) =="
+cargo run -p sxv-bench --bin table1 --release
+
+echo "== 4. maintenance ablation (virtual vs materialized views) =="
+cargo run -p sxv-bench --bin maintenance --release
+
+echo "== 5. algorithm scaling benches (Criterion) =="
+cargo bench -p sxv-bench
+
+echo "== 6. examples =="
+for e in quickstart hospital_inference adex_classifieds recursive_views policy_registry auction_site; do
+  echo "--- example: $e ---"
+  cargo run --release --example "$e" > /dev/null
+  echo "ok"
+done
+
+echo "all reproduction steps completed."

@@ -1,0 +1,224 @@
+//! `sxv` — command-line front end for secure-xml-views.
+//!
+//! ```text
+//! sxv derive      --dtd hospital.dtd --root hospital --spec nurse.spec [--bind wardNo=6] [--show-sigma]
+//! sxv materialize --dtd … --root … --spec … --doc data.xml
+//! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
+//! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize]
+//! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
+//! sxv validate    --dtd … --root … --doc data.xml
+//! ```
+//!
+//! All subcommands read the document DTD (with `--root` naming the root
+//! element type) and, where applicable, a specification file in the
+//! paper's `ann(parent, child) = Y|N|[q]` syntax with `--bind` supplying
+//! `$parameter` values.
+
+use secure_xml_views::core::{
+    derive_view, materialize, optimize, rewrite, rewrite_with_height, AccessSpec, Approach,
+    SecureEngine,
+};
+use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
+use secure_xml_views::gen::{GenConfig, Generator};
+use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, Document};
+use secure_xml_views::xpath::parse as parse_xpath;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sxv: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed command-line options (flag → values, in order).
+struct Options {
+    command: String,
+    flags: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut args = std::env::args().skip(1);
+        let command = args.next().ok_or_else(usage)?;
+        let mut flags = Vec::new();
+        while let Some(flag) = args.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, found {flag:?}"))?
+                .to_string();
+            // Boolean flags take no value.
+            if matches!(name.as_str(), "show-sigma" | "no-optimize") {
+                flags.push((name, String::new()));
+                continue;
+            }
+            let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name, value));
+        }
+        Ok(Options { command, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    fn binds(&self) -> Vec<(String, String)> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == "bind")
+            .filter_map(|(_, v)| v.split_once('=').map(|(k, w)| (k.to_string(), w.to_string())))
+            .collect()
+    }
+}
+
+fn usage() -> String {
+    "usage: sxv <derive|materialize|rewrite|query|generate|validate> --dtd FILE --root NAME …\n\
+     run with a subcommand; see the crate docs for flags"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let opts = Options::parse()?;
+    match opts.command.as_str() {
+        "derive" => cmd_derive(&opts),
+        "materialize" => cmd_materialize(&opts),
+        "rewrite" => cmd_rewrite(&opts),
+        "query" => cmd_query(&opts),
+        "generate" => cmd_generate(&opts),
+        "validate" => cmd_validate(&opts),
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn load_dtd(opts: &Options) -> Result<Dtd, String> {
+    let path = opts.require("dtd")?;
+    let root = opts.require("root")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_dtd(&text, root).map_err(|e| e.to_string())
+}
+
+fn load_spec(opts: &Options, dtd: &Dtd) -> Result<AccessSpec, String> {
+    let path = opts.require("spec")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let binds = opts.binds();
+    let params: Vec<(&str, &str)> =
+        binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    AccessSpec::parse(dtd, &text, &params).map_err(|e| e.to_string())
+}
+
+fn load_doc(opts: &Options) -> Result<Document, String> {
+    let path = opts.require("doc")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_xml(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_derive(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let spec = load_spec(opts, &dtd)?;
+    let view = derive_view(&spec).map_err(|e| e.to_string())?;
+    print!("{}", view.view_dtd_to_string());
+    if opts.has("show-sigma") {
+        println!("/* hidden σ annotations: */");
+        for (parent, child, q) in view.sigma_entries() {
+            println!("σ({parent}, {child}) = {q}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_materialize(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let spec = load_spec(opts, &dtd)?;
+    let doc = load_doc(opts)?;
+    let view = derive_view(&spec).map_err(|e| e.to_string())?;
+    let m = materialize(&spec, &view, &doc).map_err(|e| e.to_string())?;
+    println!("{}", to_string_pretty(&m.doc));
+    Ok(())
+}
+
+fn cmd_rewrite(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let spec = load_spec(opts, &dtd)?;
+    let query = parse_xpath(opts.require("query")?).map_err(|e| e.to_string())?;
+    let view = derive_view(&spec).map_err(|e| e.to_string())?;
+    let translated = if view.is_recursive() {
+        let height: usize = opts
+            .get("height")
+            .ok_or("recursive view: pass --height (the document height, §4.2)")?
+            .parse()
+            .map_err(|e| format!("--height: {e}"))?;
+        rewrite_with_height(&view, &query, height).map_err(|e| e.to_string())?
+    } else {
+        rewrite(&view, &query).map_err(|e| e.to_string())?
+    };
+    if opts.has("no-optimize") {
+        println!("{translated}");
+    } else {
+        let optimized = optimize(spec.dtd(), &translated).map_err(|e| e.to_string())?;
+        println!("{optimized}");
+    }
+    Ok(())
+}
+
+fn cmd_query(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let spec = load_spec(opts, &dtd)?;
+    let doc = load_doc(opts)?;
+    let query = parse_xpath(opts.require("query")?).map_err(|e| e.to_string())?;
+    let approach = match opts.get("approach").unwrap_or("optimize") {
+        "naive" => Approach::Naive,
+        "rewrite" => Approach::Rewrite,
+        "optimize" => Approach::Optimize,
+        other => return Err(format!("unknown approach {other:?}")),
+    };
+    let view = derive_view(&spec).map_err(|e| e.to_string())?;
+    let engine = SecureEngine::new(&spec, &view);
+    let answer = engine.answer_with(&doc, &query, approach).map_err(|e| e.to_string())?;
+    eprintln!("{} result(s)", answer.len());
+    for node in answer {
+        match doc.label_opt(node) {
+            Some(label) => println!("<{label}> {}", doc.string_value(node)),
+            None => println!("#text {}", doc.string_value(node)),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let parse_flag = |name: &str, default: usize| -> Result<usize, String> {
+        match opts.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    };
+    let config = GenConfig::seeded(parse_flag("seed", 1)? as u64)
+        .with_max_branch(parse_flag("branch", 4)?)
+        .with_max_depth(parse_flag("depth", 30)?);
+    let doc = Generator::for_dtd(&dtd, config)
+        .generate()
+        .ok_or("the DTD has no instance within the depth budget")?;
+    println!("{}", to_string_pretty(&doc));
+    Ok(())
+}
+
+fn cmd_validate(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let doc = load_doc(opts)?;
+    let general = dtd.to_general();
+    validate(&general, &doc).map_err(|e| e.to_string())?;
+    validate_attributes(&general, &doc).map_err(|e| e.to_string())?;
+    println!("valid: {} nodes conform", doc.len());
+    Ok(())
+}

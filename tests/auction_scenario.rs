@@ -1,0 +1,134 @@
+//! The auction-site scenario end to end: derived view shape, oracle
+//! equivalence on generated documents, hidden-region probes, and the
+//! attribute behaviour of the pruned regions.
+
+use secure_xml_views::core::{derive_view, materialize, rewrite, AccessSpec, SecureEngine};
+use secure_xml_views::dtd::parse_dtd;
+use secure_xml_views::gen::{GenConfig, Generator};
+use secure_xml_views::xpath::{eval_at_root, parse as parse_xpath};
+
+const AUCTION_DTD: &str = include_str!("../assets/auction.dtd");
+const BIDDER_SPEC: &str = include_str!("../assets/auction_bidder.spec");
+
+fn setup() -> (secure_xml_views::dtd::Dtd, AccessSpec) {
+    let dtd = parse_dtd(AUCTION_DTD, "site").unwrap();
+    let spec = AccessSpec::parse(&dtd, BIDDER_SPEC, &[]).unwrap();
+    (dtd, spec)
+}
+
+fn document(seed: u64, branch: usize) -> secure_xml_views::xml::Document {
+    let (dtd, _) = setup();
+    let config = GenConfig::seeded(seed).with_max_branch(branch).with_max_depth(16);
+    Generator::for_dtd(&dtd, config).generate().unwrap()
+}
+
+#[test]
+fn bidder_view_shape() {
+    let (_, spec) = setup();
+    let view = derive_view(&spec).unwrap();
+    // people is pruned entirely: site loses the child.
+    let site = view.production("site").unwrap().to_string();
+    assert_eq!(site, "open-auctions, closed-auctions, categories");
+    // open-auction loses seller and reserve.
+    assert_eq!(
+        view.production("open-auction").unwrap().to_string(),
+        "item-ref, bids, current"
+    );
+    // bid loses the bidder identity but keeps amount and time.
+    assert_eq!(view.production("bid").unwrap().to_string(), "amount, bid-time");
+    // closed-auction loses the buyer.
+    assert_eq!(
+        view.production("closed-auction").unwrap().to_string(),
+        "item-ref, final-price"
+    );
+    // person/person-ref/reserve do not exist as view types.
+    for hidden in ["person", "person-ref", "reserve", "seller", "bidder", "buyer"] {
+        assert!(view.production(hidden).is_none(), "{hidden} leaked");
+    }
+    // id attributes on surviving types stay visible.
+    assert!(view.attribute_visible("open-auction", "id"));
+    assert!(view.attribute_visible("category", "id"));
+}
+
+#[test]
+fn oracle_equivalence_on_generated_sites() {
+    let (_, spec) = setup();
+    let view = derive_view(&spec).unwrap();
+    for seed in [1u64, 2, 3] {
+        let doc = document(seed, 5);
+        let m = materialize(&spec, &view, &doc).unwrap();
+        for q in [
+            "//bid/amount",
+            "//open-auction[current]/item-ref",
+            "//closed-auction/final-price",
+            "//category/cat-name",
+            "open-auctions/open-auction/bids/bid",
+            "//open-auction[@id]",
+            "//*",
+        ] {
+            let p = parse_xpath(q).unwrap();
+            let pt = rewrite(&view, &p).unwrap();
+            let mut over_view = m.sources_of(&eval_at_root(&m.doc, &p)
+                .into_iter()
+                .filter(|&n| m.doc.node(n).is_element())
+                .collect::<Vec<_>>());
+            over_view.sort();
+            over_view.dedup();
+            let over_doc: Vec<_> = eval_at_root(&doc, &pt)
+                .into_iter()
+                .filter(|&n| doc.node(n).is_element())
+                .collect();
+            assert_eq!(over_view, over_doc, "seed {seed}: {q} → {pt}");
+        }
+    }
+}
+
+#[test]
+fn hidden_regions_and_inference_probes() {
+    let (_, spec) = setup();
+    let view = derive_view(&spec).unwrap();
+    let doc = document(7, 6);
+    let engine = SecureEngine::new(&spec, &view);
+    for probe in [
+        "//reserve",
+        "//seller",
+        "//bidder",
+        "//buyer",
+        "//person",
+        "//creditcard",
+        "//emailaddress",
+        "//person-ref",
+        // structural probes trying to reach hidden data sideways
+        "//open-auction/*/person-ref",
+        "//bid[bidder]",
+        "//open-auction[reserve='200']",
+        "//open-auction[seller/person-ref='p1']",
+    ] {
+        let ans = engine.answer(&doc, &parse_xpath(probe).unwrap()).unwrap();
+        assert!(ans.is_empty(), "{probe} leaked {} nodes", ans.len());
+    }
+    // Negated hidden qualifiers must not discriminate either: every
+    // visible bid satisfies not([bidder]) — the qualifier is vacuous.
+    let all_bids = engine.answer(&doc, &parse_xpath("//bid").unwrap()).unwrap();
+    let not_bidder = engine
+        .answer(&doc, &parse_xpath("//bid[not(bidder)]").unwrap())
+        .unwrap();
+    assert_eq!(all_bids, not_bidder, "negation over a hidden label must be vacuous");
+}
+
+#[test]
+fn naive_rewrite_optimize_agree_on_auction_queries() {
+    use secure_xml_views::core::Approach;
+    let (_, spec) = setup();
+    let view = derive_view(&spec).unwrap();
+    let doc = document(11, 5);
+    let engine = SecureEngine::new(&spec, &view);
+    for q in ["//bid/amount", "//final-price", "//category/cat-name", "//item-ref"] {
+        let p = parse_xpath(q).unwrap();
+        let naive = engine.answer_with(&doc, &p, Approach::Naive).unwrap();
+        let rewritten = engine.answer_with(&doc, &p, Approach::Rewrite).unwrap();
+        let optimized = engine.answer_with(&doc, &p, Approach::Optimize).unwrap();
+        assert_eq!(naive, rewritten, "{q}");
+        assert_eq!(rewritten, optimized, "{q}");
+    }
+}

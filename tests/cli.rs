@@ -1,0 +1,157 @@
+//! Integration tests for the `sxv` command-line front end, driving the
+//! real binary over the shipped assets.
+
+use std::io::Write;
+use std::process::Command;
+
+fn sxv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sxv"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = sxv().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const DTD_ARGS: [&str; 4] = ["--dtd", "assets/hospital.dtd", "--root", "hospital"];
+
+#[test]
+fn derive_prints_view_dtd_without_sigma() {
+    let mut args = vec!["derive"];
+    args.extend(DTD_ARGS);
+    args.extend(["--spec", "assets/hospital_nurse.spec", "--bind", "wardNo=6"]);
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("hospital -> dept*"), "{stdout}");
+    assert!(stdout.contains("dummy1"), "{stdout}");
+    assert!(!stdout.contains("clinicalTrial"), "hidden label leaked:\n{stdout}");
+    assert!(!stdout.contains("σ("), "σ printed without --show-sigma:\n{stdout}");
+
+    args.push("--show-sigma");
+    let (with_sigma, _, ok) = run(&args);
+    assert!(ok);
+    assert!(with_sigma.contains("σ(hospital, dept) = dept[*/patient/wardNo='6']"), "{with_sigma}");
+}
+
+#[test]
+fn rewrite_translates_and_optimizes() {
+    let mut args = vec!["rewrite"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//clinicalTrial",
+    ]);
+    let (stdout, _, ok) = run(&args);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "∅", "hidden label must translate to the empty query");
+
+    let mut args2 = vec!["rewrite"];
+    args2.extend(DTD_ARGS);
+    args2.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//patient/name",
+        "--no-optimize",
+    ]);
+    let (raw, _, ok) = run(&args2);
+    assert!(ok);
+    assert!(raw.contains("patient/name"), "{raw}");
+}
+
+#[test]
+fn generate_validate_query_pipeline() {
+    let dir = std::env::temp_dir().join(format!("sxv-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("hospital.xml");
+
+    let mut gen_args = vec!["generate"];
+    gen_args.extend(DTD_ARGS);
+    gen_args.extend(["--branch", "3", "--seed", "11"]);
+    let (xml, stderr, ok) = run(&gen_args);
+    assert!(ok, "{stderr}");
+    std::fs::File::create(&doc_path)
+        .unwrap()
+        .write_all(xml.as_bytes())
+        .unwrap();
+
+    let doc_str = doc_path.to_str().unwrap();
+    let mut val_args = vec!["validate"];
+    val_args.extend(DTD_ARGS);
+    val_args.extend(["--doc", doc_str]);
+    let (v_out, v_err, ok) = run(&val_args);
+    assert!(ok, "{v_err}");
+    assert!(v_out.contains("valid"), "{v_out}");
+
+    let mut q_args = vec!["query"];
+    q_args.extend(DTD_ARGS);
+    q_args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--doc",
+        doc_str,
+        "--query",
+        "//test",
+    ]);
+    let (q_out, q_err, ok) = run(&q_args);
+    assert!(ok, "{q_err}");
+    assert!(q_err.contains("0 result(s)"), "hidden test data leaked: {q_out}{q_err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn materialize_strips_hidden_content() {
+    let dir = std::env::temp_dir().join(format!("sxv-cli-mat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("h.xml");
+    std::fs::write(
+        &doc_path,
+        "<hospital><dept><clinicalTrial><patientInfo/><test>t</test></clinicalTrial>\
+         <patientInfo><patient><name>A</name><wardNo>6</wardNo>\
+         <treatment><trial><bill>9</bill></trial></treatment></patient></patientInfo>\
+         <staffInfo/></dept></hospital>",
+    )
+    .unwrap();
+    let mut args = vec!["materialize"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--doc",
+        doc_path.to_str().unwrap(),
+    ]);
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("<dummy1>"), "{stdout}");
+    assert!(!stdout.contains("trial"), "hidden label leaked:\n{stdout}");
+    assert!(!stdout.contains("<test>"), "hidden element leaked:\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+    let (_, stderr, ok) = run(&["derive", "--dtd", "assets/hospital.dtd"]);
+    assert!(!ok);
+    assert!(stderr.contains("--root"), "{stderr}");
+    let (_, stderr, ok) = run(&["derive", "--dtd", "/nonexistent", "--root", "x", "--spec", "y"]);
+    assert!(!ok);
+    assert!(stderr.contains("/nonexistent"), "{stderr}");
+}
