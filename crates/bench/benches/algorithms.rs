@@ -94,12 +94,10 @@ fn bench_optimize(c: &mut Criterion) {
     // Ablation: evaluation with vs without the optimization pass (the
     // co-existence constraint drops the [name and wardNo] qualifier).
     let optimized = optimize(hospital.spec.dtd(), &rewritten).unwrap();
-    group.bench_function("eval-rewritten", |b| {
-        b.iter(|| black_box(eval_at_root(&doc, &rewritten)))
-    });
-    group.bench_function("eval-optimized", |b| {
-        b.iter(|| black_box(eval_at_root(&doc, &optimized)))
-    });
+    group
+        .bench_function("eval-rewritten", |b| b.iter(|| black_box(eval_at_root(&doc, &rewritten))));
+    group
+        .bench_function("eval-optimized", |b| b.iter(|| black_box(eval_at_root(&doc, &optimized))));
     group.finish();
 }
 

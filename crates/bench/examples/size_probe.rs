@@ -2,6 +2,10 @@ fn main() {
     let w = sxv_bench::AdexWorkload::new();
     for b in [24usize, 42, 64, 74] {
         let (d, _) = w.dataset(b, 7);
-        println!("branch {b}: {} nodes, {:.2} MB", d.len(), sxv_xml::to_string(&d).len() as f64/1e6);
+        println!(
+            "branch {b}: {} nodes, {:.2} MB",
+            d.len(),
+            sxv_xml::to_string(&d).len() as f64 / 1e6
+        );
     }
 }

@@ -21,19 +21,12 @@ use sxv_xpath::parse;
 fn main() {
     let w = HospitalWorkload::new();
     let doc = w.document(20, 9);
-    println!(
-        "document: {} nodes; policy: Example 3.1 nurse view\n",
-        doc.len()
-    );
-    let queries: Vec<_> = [
-        "//patient/name",
-        "//bill",
-        "dept/patientInfo/patient[wardNo='6']",
-        "//medication",
-    ]
-    .iter()
-    .map(|q| parse(q).expect("query parses"))
-    .collect();
+    println!("document: {} nodes; policy: Example 3.1 nurse view\n", doc.len());
+    let queries: Vec<_> =
+        ["//patient/name", "//bill", "dept/patientInfo/patient[wardNo='6']", "//medication"]
+            .iter()
+            .map(|q| parse(q).expect("query parses"))
+            .collect();
 
     let engine = SecureEngine::new(&w.spec, &w.view);
     const OPS: usize = 400;

@@ -32,11 +32,7 @@ impl Accessibility {
 
     /// Ids of all accessible nodes, in document order.
     pub fn accessible_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.flags
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a)
-            .map(|(i, _)| NodeId::from_index(i))
+        self.flags.iter().enumerate().filter(|&(_, &a)| a).map(|(i, _)| NodeId::from_index(i))
     }
 
     /// Number of accessible nodes.

@@ -66,11 +66,8 @@ mod tests {
     use sxv_xpath::parse;
 
     fn setup() -> (AccessSpec, SecurityView, Document) {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+            .unwrap();
         let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
         let view = derive_view(&spec).unwrap();
         let doc = parse_xml("<r><a>pub</a><b>sec</b></r>").unwrap();
@@ -84,11 +81,7 @@ mod tests {
         let engine = crate::engine::SecureEngine::new(&spec, &view);
         for q in ["//a", "//b", "*", "a"] {
             let p = parse(q).unwrap();
-            assert_eq!(
-                mat.answer(&doc, &p).unwrap(),
-                engine.answer(&doc, &p).unwrap(),
-                "{q}"
-            );
+            assert_eq!(mat.answer(&doc, &p).unwrap(), engine.answer(&doc, &p).unwrap(), "{q}");
         }
     }
 

@@ -63,11 +63,8 @@ impl<'a> QualEval<'a> {
             Path::EmptySet => (Certainty::Never, BTreeSet::new()),
             Path::Doc => (Certainty::Always, BTreeSet::from([self.graph.doc_node()])),
             Path::Label(l) => {
-                let targets: BTreeSet<usize> = self
-                    .graph
-                    .children_of(node)
-                    .filter(|&c| self.graph.label_of(c) == l)
-                    .collect();
+                let targets: BTreeSet<usize> =
+                    self.graph.children_of(node).filter(|&c| self.graph.label_of(c) == l).collect();
                 if targets.is_empty() {
                     // Non-existence constraint.
                     return (Certainty::Never, targets);
@@ -87,11 +84,8 @@ impl<'a> QualEval<'a> {
             // admits zero text children, so never Always); it reaches no
             // *element* node, hence the empty reach set.
             Path::Text => {
-                let cert = if self.graph.has_text(node) {
-                    Certainty::Maybe
-                } else {
-                    Certainty::Never
-                };
+                let cert =
+                    if self.graph.has_text(node) { Certainty::Maybe } else { Certainty::Never };
                 (cert, BTreeSet::new())
             }
             Path::Wildcard => {
@@ -280,9 +274,7 @@ impl<'a> QualEval<'a> {
             }
         }
         match q {
-            Qualifier::Path(p) | Qualifier::Eq(p, _) => {
-                first_label(p).into_iter().collect()
-            }
+            Qualifier::Path(p) | Qualifier::Eq(p, _) => first_label(p).into_iter().collect(),
             Qualifier::And(a, b) => {
                 let mut out = self.required_first_labels(a);
                 out.extend(self.required_first_labels(b));
@@ -368,9 +360,7 @@ impl<'a> QualEval<'a> {
                 // An empty branch is contained in anything.
                 None => true,
                 Some(ix) => b2.iter().any(|y| {
-                    image(self.graph, y, node)
-                        .map(|iy| simulated_by(&ix, &iy))
-                        .unwrap_or(false)
+                    image(self.graph, y, node).map(|iy| simulated_by(&ix, &iy)).unwrap_or(false)
                 }),
             }
         })
@@ -421,10 +411,7 @@ mod tests {
     /// Example 5.1, first case: concatenation ⟹ [b ∧ c] is true at a.
     #[test]
     fn coexistence_constraint() {
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
-            "a",
-        );
+        let (dtd, g) = ctx("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let a = g.node_by_label("a").unwrap();
         assert_eq!(e.truth(&qual("b and c"), a), Some(true));
@@ -434,10 +421,7 @@ mod tests {
     /// Example 5.1, second case: disjunction ⟹ [b ∧ c] is false at a.
     #[test]
     fn exclusive_constraint() {
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
-            "a",
-        );
+        let (dtd, g) = ctx("<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let a = g.node_by_label("a").unwrap();
         assert_eq!(e.truth(&qual("b and c"), a), Some(false));
@@ -448,10 +432,8 @@ mod tests {
     /// Example 5.1, third case: non-existence ⟹ [c] is false at b.
     #[test]
     fn nonexistence_constraint() {
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (#PCDATA)><!ELEMENT d EMPTY>",
-            "a",
-        );
+        let (dtd, g) =
+            ctx("<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (#PCDATA)><!ELEMENT d EMPTY>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let b = g.node_by_label("b").unwrap();
         assert_eq!(e.truth(&qual("c"), b), Some(false));
@@ -460,10 +442,8 @@ mod tests {
 
     #[test]
     fn certainty_through_paths() {
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d*)><!ELEMENT d (#PCDATA)>",
-            "a",
-        );
+        let (dtd, g) =
+            ctx("<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d*)><!ELEMENT d (#PCDATA)>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let a = g.node_by_label("a").unwrap();
         assert_eq!(e.certainty(&parse("b/d").unwrap(), a).0, Certainty::Always);
@@ -509,10 +489,7 @@ mod tests {
 
     #[test]
     fn boolean_folding() {
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
-            "a",
-        );
+        let (dtd, g) = ctx("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let a = g.node_by_label("a").unwrap();
         assert_eq!(e.truth(&qual("b or zzz"), a), Some(true));
@@ -531,10 +508,7 @@ mod tests {
     fn and_containment_elimination() {
         // [b/d ∧ b]: b/d implies b (prefix containment? no — result sets
         // differ; implication is about non-emptiness: [b/d] ⟹ [b]).
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b*)><!ELEMENT b (d*)><!ELEMENT d EMPTY>",
-            "a",
-        );
+        let (dtd, g) = ctx("<!ELEMENT a (b*)><!ELEMENT b (d*)><!ELEMENT d EMPTY>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let a = g.node_by_label("a").unwrap();
         // As qualifier graphs: [b/d] has targets {d}, [b] has {b}; the
@@ -548,19 +522,13 @@ mod tests {
 
     #[test]
     fn path_containment_test() {
-        let (dtd, g) = ctx(
-            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d)><!ELEMENT d EMPTY>",
-            "a",
-        );
+        let (dtd, g) =
+            ctx("<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c (d)><!ELEMENT d EMPTY>", "a");
         let e = QualEval { graph: &g, dtd: &dtd };
         let a = g.node_by_label("a").unwrap();
         assert!(e.contained_in(&parse("b/d").unwrap(), &parse("*/d").unwrap(), a));
         assert!(!e.contained_in(&parse("*/d").unwrap(), &parse("b/d").unwrap(), a));
-        assert!(e.contained_in(
-            &parse("b/d | c/d").unwrap(),
-            &parse("*/d").unwrap(),
-            a
-        ));
+        assert!(e.contained_in(&parse("b/d | c/d").unwrap(), &parse("*/d").unwrap(), a));
         assert!(e.contained_in(&parse("b").unwrap(), &parse("b").unwrap(), a));
         assert!(!e.contained_in(&parse("b").unwrap(), &parse("c").unwrap(), a));
     }
@@ -576,15 +544,7 @@ mod tests {
         );
         let e = QualEval { graph: &g, dtd: &dtd };
         let r = g.node_by_label("r").unwrap();
-        assert!(!e.contained_in(
-            &parse("a/x/d").unwrap(),
-            &parse("a/x/b | c/x/d").unwrap(),
-            r
-        ));
-        assert!(e.contained_in(
-            &parse("a/x/d").unwrap(),
-            &parse("a/x/d | c/x/d").unwrap(),
-            r
-        ));
+        assert!(!e.contained_in(&parse("a/x/d").unwrap(), &parse("a/x/b | c/x/d").unwrap(), r));
+        assert!(e.contained_in(&parse("a/x/d").unwrap(), &parse("a/x/d | c/x/d").unwrap(), r));
     }
 }

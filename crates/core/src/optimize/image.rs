@@ -80,12 +80,7 @@ impl ImageGraph {
 
     /// Size bound check helper (`|image(p, A)| ≤ |D|·|p|`, §5.1).
     pub fn size(&self) -> usize {
-        1 + self.edges.len()
-            + self
-                .quals
-                .iter()
-                .map(|(_, q)| 1 + q.graph.size())
-                .sum::<usize>()
+        1 + self.edges.len() + self.quals.iter().map(|(_, q)| 1 + q.graph.size()).sum::<usize>()
     }
 }
 
@@ -97,12 +92,9 @@ pub const BRANCH_CAP: usize = 64;
 /// `//`, and `[·]`). Returns `None` when the cap is exceeded.
 pub fn branches(p: &Path) -> Option<Vec<Path>> {
     let out = match p {
-        Path::Empty
-        | Path::EmptySet
-        | Path::Doc
-        | Path::Label(_)
-        | Path::Wildcard
-        | Path::Text => vec![p.clone()],
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard | Path::Text => {
+            vec![p.clone()]
+        }
         Path::Union(a, b) => {
             let mut out = branches(a)?;
             out.extend(branches(b)?);
@@ -119,15 +111,11 @@ pub fn branches(p: &Path) -> Option<Vec<Path>> {
             }
             out
         }
-        Path::Descendant(inner) => branches(inner)?
-            .into_iter()
-            .map(Path::descendant)
-            .collect(),
+        Path::Descendant(inner) => branches(inner)?.into_iter().map(Path::descendant).collect(),
         // Qualifiers are not decomposed: they become attached subgraphs.
-        Path::Filter(base, q) => branches(base)?
-            .into_iter()
-            .map(|b| Path::filter(b, (**q).clone()))
-            .collect(),
+        Path::Filter(base, q) => {
+            branches(base)?.into_iter().map(|b| Path::filter(b, (**q).clone())).collect()
+        }
     };
     (out.len() <= BRANCH_CAP).then_some(out)
 }
@@ -434,9 +422,7 @@ mod tests {
     fn opaque_qualifiers_marked() {
         let g = fig9_graph();
         let a = node(&g, "a");
-        let qi = qual_images(&g, &parse(".[not(b)]").unwrap().qualifier(), a)
-            .unwrap();
+        let qi = qual_images(&g, &parse(".[not(b)]").unwrap().qualifier(), a).unwrap();
         assert!(qi[0].eq_const.as_deref().unwrap().starts_with("⟨opaque:"));
     }
 }
-

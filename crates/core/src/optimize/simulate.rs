@@ -34,11 +34,7 @@ pub fn simulated_by(g1: &ImageGraph, g2: &ImageGraph) -> bool {
     // by node n of g2". Start optimistic, remove violations.
     let nodes = g1.nodes();
     let g2_nodes: BTreeSet<usize> = g2.nodes().into_iter().collect();
-    let mut sim: BTreeSet<usize> = nodes
-        .iter()
-        .copied()
-        .filter(|n| g2_nodes.contains(n))
-        .collect();
+    let mut sim: BTreeSet<usize> = nodes.iter().copied().filter(|n| g2_nodes.contains(n)).collect();
     loop {
         let mut changed = false;
         let current = sim.clone();

@@ -9,8 +9,8 @@
 //! materialized.
 
 use crate::error::{Error, Result};
-use crate::rewrite::{rewrite, rewrite_with_height};
 use crate::optimize::optimize;
+use crate::rewrite::{rewrite, rewrite_with_height};
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
 use crate::view::derive::derive_view;
@@ -115,11 +115,8 @@ mod tests {
             AccessSpec::builder(&dtd).deny("r", "sec").deny("r", "fin").build().unwrap(),
         )
         .unwrap();
-        reg.register(
-            "finance",
-            AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap(),
-        )
-        .unwrap();
+        reg.register("finance", AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap())
+            .unwrap();
         assert_eq!(reg.groups().collect::<Vec<_>>(), ["finance", "public"]);
 
         let q = parse("*").unwrap();
@@ -145,8 +142,7 @@ mod tests {
         let dtd = dtd();
         let doc = parse_xml("<r><pub>p</pub><sec>s</sec><fin>f</fin></r>").unwrap();
         let mut reg = PolicyRegistry::new();
-        reg.register("g", AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap())
-            .unwrap();
+        reg.register("g", AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap()).unwrap();
         assert_eq!(reg.answer("g", &doc, &parse("*").unwrap()).unwrap().len(), 2);
         reg.register("g", AccessSpec::builder(&dtd).build().unwrap()).unwrap();
         assert_eq!(reg.answer("g", &doc, &parse("*").unwrap()).unwrap().len(), 3);

@@ -85,10 +85,8 @@ impl AccessSpec {
             if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
                 continue;
             }
-            let err = |message: &str| Error::SpecParse {
-                line: lineno + 1,
-                message: message.to_string(),
-            };
+            let err =
+                |message: &str| Error::SpecParse { line: lineno + 1, message: message.to_string() };
             let rest = line
                 .strip_prefix("ann(")
                 .ok_or_else(|| err("expected `ann(parent, child) = Y|N|[q]`"))?;
@@ -193,16 +191,10 @@ impl AccessSpecBuilder {
     }
 
     fn set_attr(mut self, elem: &str, attr: &str, ann: Annotation) -> Self {
-        let declared = self
-            .dtd
-            .attribute_defs(elem)
-            .iter()
-            .any(|d| d.name == attr);
+        let declared = self.dtd.attribute_defs(elem).iter().any(|d| d.name == attr);
         if !declared {
-            self.errors.push(Error::UnknownEdge {
-                parent: elem.to_string(),
-                child: format!("@{attr}"),
-            });
+            self.errors
+                .push(Error::UnknownEdge { parent: elem.to_string(), child: format!("@{attr}") });
             return self;
         }
         self.attr_ann.insert((elem.to_string(), attr.to_string()), ann);
@@ -226,10 +218,8 @@ impl AccessSpecBuilder {
 
     fn set(mut self, parent: &str, child: &str, ann: Annotation) -> Self {
         if !self.dtd.is_child_type(parent, child) {
-            self.errors.push(Error::UnknownEdge {
-                parent: parent.to_string(),
-                child: child.to_string(),
-            });
+            self.errors
+                .push(Error::UnknownEdge { parent: parent.to_string(), child: child.to_string() });
             return self;
         }
         self.ann.insert((parent.to_string(), child.to_string()), ann);
@@ -253,12 +243,9 @@ impl AccessSpecBuilder {
 /// Replace `$name` literals in a path with bound parameter values.
 pub fn substitute_path(p: &Path, params: &HashMap<String, String>) -> Result<Path> {
     Ok(match p {
-        Path::Empty
-        | Path::EmptySet
-        | Path::Doc
-        | Path::Label(_)
-        | Path::Wildcard
-        | Path::Text => p.clone(),
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard | Path::Text => {
+            p.clone()
+        }
         Path::Step(a, b) => Path::step(substitute_path(a, params)?, substitute_path(b, params)?),
         Path::Descendant(inner) => Path::descendant(substitute_path(inner, params)?),
         Path::Union(a, b) => Path::union(substitute_path(a, params)?, substitute_path(b, params)?),
@@ -290,10 +277,9 @@ pub fn substitute_qual(q: &Qualifier, params: &HashMap<String, String>) -> Resul
 fn substitute_value(value: &str, params: &HashMap<String, String>) -> Result<String> {
     match value.strip_prefix('$') {
         None => Ok(value.to_string()),
-        Some(name) => params
-            .get(name)
-            .cloned()
-            .ok_or_else(|| Error::UnboundParameter(name.to_string())),
+        Some(name) => {
+            params.get(name).cloned().ok_or_else(|| Error::UnboundParameter(name.to_string()))
+        }
     }
 }
 
@@ -362,10 +348,8 @@ mod tests {
 
     #[test]
     fn unknown_edge_rejected() {
-        let e = AccessSpec::builder(&hospital_dtd())
-            .deny("hospital", "patient")
-            .build()
-            .unwrap_err();
+        let e =
+            AccessSpec::builder(&hospital_dtd()).deny("hospital", "patient").build().unwrap_err();
         assert!(matches!(e, Error::UnknownEdge { .. }));
     }
 

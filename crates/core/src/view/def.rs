@@ -133,11 +133,7 @@ impl SecurityView {
         productions: Vec<(String, ViewContent)>,
         sigma: BTreeMap<(String, String), Path>,
     ) -> Self {
-        let index = productions
-            .iter()
-            .enumerate()
-            .map(|(i, (n, _))| (n.clone(), i))
-            .collect();
+        let index = productions.iter().enumerate().map(|(i, (n, _))| (n.clone(), i)).collect();
         SecurityView { root, productions, index, sigma, attributes: BTreeMap::new() }
     }
 
@@ -208,10 +204,7 @@ impl SecurityView {
             .productions
             .iter()
             .map(|(_, c)| {
-                c.child_types()
-                    .iter()
-                    .filter_map(|t| self.index.get(*t).copied())
-                    .collect()
+                c.child_types().iter().filter_map(|t| self.index.get(*t).copied()).collect()
             })
             .collect();
         // Colors: 0 = white, 1 = on stack, 2 = done.
@@ -283,9 +276,11 @@ impl SecurityView {
             .collect();
         GeneralDtd::new(self.root.clone(), declarations)
             .expect("view productions are closed over view types")
-            .with_attributes(self.attributes.iter().map(|(elem, attrs)| {
-                (elem.clone(), attrs.iter().map(AttDef::optional).collect())
-            }))
+            .with_attributes(
+                self.attributes.iter().map(|(elem, attrs)| {
+                    (elem.clone(), attrs.iter().map(AttDef::optional).collect())
+                }),
+            )
             .expect("attribute element types are view types")
     }
 
@@ -316,10 +311,7 @@ mod tests {
         sigma.insert(("r".to_string(), "a".to_string()), sxv_xpath::parse("x/a").unwrap());
         SecurityView::new(
             "r".into(),
-            vec![
-                ("r".into(), ViewContent::Star("a".into())),
-                ("a".into(), ViewContent::Str),
-            ],
+            vec![("r".into(), ViewContent::Star("a".into())), ("a".into(), ViewContent::Str)],
             sigma,
         )
     }
@@ -342,10 +334,16 @@ mod tests {
         sigma.insert(("a".into(), "a".into()), Path::label("a"));
         let rec = SecurityView::new(
             "a".into(),
-            vec![(
-                "a".into(),
-                ViewContent::Choice { alternatives: vec!["a".into(), "b".into()], optional: false },
-            ), ("b".into(), ViewContent::Empty)],
+            vec![
+                (
+                    "a".into(),
+                    ViewContent::Choice {
+                        alternatives: vec!["a".into(), "b".into()],
+                        optional: false,
+                    },
+                ),
+                ("b".into(), ViewContent::Empty),
+            ],
             sigma,
         );
         assert!(rec.is_recursive());

@@ -50,9 +50,7 @@ pub fn materialize(spec: &AccessSpec, view: &SecurityView, doc: &Document) -> Re
         message: "document is empty".into(),
     })?;
     let mut out = Document::new();
-    let view_root = out
-        .create_root(view.root())
-        .expect("fresh document has no root");
+    let view_root = out.create_root(view.root()).expect("fresh document has no root");
     let mut m = Materializer { view, doc, access, out, source: vec![source_root] };
     m.copy_attributes(view_root, view.root(), source_root);
     m.expand(view_root, view.root(), source_root)?;
@@ -102,7 +100,10 @@ impl<'a> Materializer<'a> {
                             if extracted.len() != 1 {
                                 return Err(self.abort(
                                     label,
-                                    format!("σ({label}, {b}) selected {} nodes, expected 1", extracted.len()),
+                                    format!(
+                                        "σ({label}, {b}) selected {} nodes, expected 1",
+                                        extracted.len()
+                                    ),
                                 ));
                             }
                             self.attach(v, b, extracted[0])?;
@@ -281,8 +282,7 @@ mod tests {
         assert_eq!(depts.len(), 1);
         // dept has two patientInfo children (direct + ex-clinicalTrial) and
         // one staffInfo.
-        let labels: Vec<&str> =
-            v.children(depts[0]).iter().map(|&c| v.label(c).unwrap()).collect();
+        let labels: Vec<&str> = v.children(depts[0]).iter().map(|&c| v.label(c).unwrap()).collect();
         assert_eq!(labels, ["patientInfo", "patientInfo", "staffInfo"]);
         // No clinicalTrial / trial / regular / test labels anywhere.
         for id in v.all_ids() {
@@ -294,10 +294,8 @@ mod tests {
             }
         }
         // Treatments exist and contain dummies wrapping bill/medication.
-        let treatments: Vec<_> = v
-            .all_ids()
-            .filter(|&i| v.label_opt(i) == Some("treatment"))
-            .collect();
+        let treatments: Vec<_> =
+            v.all_ids().filter(|&i| v.label_opt(i) == Some("treatment")).collect();
         assert_eq!(treatments.len(), 2, "Ann and Bob");
         for t in &treatments {
             let kids = v.children(*t);
@@ -329,11 +327,7 @@ mod tests {
         use std::collections::BTreeSet;
         let mut view_sources: BTreeSet<NodeId> = BTreeSet::new();
         for id in m.doc.all_ids() {
-            let is_dummy_elem = m
-                .doc
-                .label_opt(id)
-                .map(SecurityView::is_dummy)
-                .unwrap_or(false);
+            let is_dummy_elem = m.doc.label_opt(id).map(SecurityView::is_dummy).unwrap_or(false);
             if !is_dummy_elem {
                 view_sources.insert(m.source_of(id));
             }
@@ -368,11 +362,9 @@ mod tests {
 
     #[test]
     fn optional_choice_tolerates_hidden_branch() {
-        let dtd = parse_dtd(
-            "<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>",
-            "t",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>", "t")
+                .unwrap();
         let spec = AccessSpec::builder(&dtd).deny("t", "x").build().unwrap();
         let view = derive_view(&spec).unwrap();
         // Document that took the hidden branch: view t has no children.
@@ -399,16 +391,10 @@ mod tests {
     /// failing the qualifier make materialization abort (§3.3 case 3).
     #[test]
     fn required_child_with_false_qualifier_aborts() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .cond_str("r", "a", ".='keep'")
-            .unwrap()
-            .build()
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
             .unwrap();
+        let spec =
+            AccessSpec::builder(&dtd).cond_str("r", "a", ".='keep'").unwrap().build().unwrap();
         let view = derive_view(&spec).unwrap();
         // Qualifier holds: fine.
         let good = parse_xml("<r><a>keep</a><b>x</b></r>").unwrap();
@@ -416,10 +402,7 @@ mod tests {
         // Qualifier fails: the view production r → a, b cannot be filled.
         let bad = parse_xml("<r><a>drop</a><b>x</b></r>").unwrap();
         let e = materialize(&spec, &view, &bad).unwrap_err();
-        assert!(
-            matches!(e, Error::MaterializeAbort { .. }),
-            "expected abort, got {e:?}"
-        );
+        assert!(matches!(e, Error::MaterializeAbort { .. }), "expected abort, got {e:?}");
         assert!(e.to_string().contains("expected 1"), "{e}");
     }
 
@@ -427,11 +410,9 @@ mod tests {
     /// case 4).
     #[test]
     fn choice_with_conditional_alternatives_aborts_when_none_match() {
-        let dtd = parse_dtd(
-            "<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>",
-            "t",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>", "t")
+                .unwrap();
         let spec = AccessSpec::builder(&dtd)
             .cond_str("t", "x", ".='ok'")
             .unwrap()
@@ -447,16 +428,10 @@ mod tests {
 
     #[test]
     fn conditional_annotation_filters_at_materialization() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a*)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .cond_str("r", "a", "b='keep'")
-            .unwrap()
-            .build()
-            .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT r (a*)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>", "r").unwrap();
+        let spec =
+            AccessSpec::builder(&dtd).cond_str("r", "a", "b='keep'").unwrap().build().unwrap();
         let view = derive_view(&spec).unwrap();
         let doc = parse_xml("<r><a><b>keep</b></a><a><b>drop</b></a></r>").unwrap();
         let m = materialize(&spec, &view, &doc).unwrap();

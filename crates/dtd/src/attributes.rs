@@ -55,7 +55,11 @@ pub fn validate_attributes(dtd: &GeneralDtd, doc: &Document) -> Result<()> {
         for def in defs {
             match doc.attribute(id, &def.name) {
                 None if def.required => {
-                    return Err(invalid(doc, id, format!("missing required attribute {}", def.name)));
+                    return Err(invalid(
+                        doc,
+                        id,
+                        format!("missing required attribute {}", def.name),
+                    ));
                 }
                 Some(v) if !def.allowed.is_empty() && !def.allowed.iter().any(|a| a == v) => {
                     return Err(invalid(
@@ -77,10 +81,7 @@ pub fn validate_attributes(dtd: &GeneralDtd, doc: &Document) -> Result<()> {
 }
 
 fn invalid(doc: &Document, id: NodeId, message: String) -> Error {
-    Error::Invalid {
-        node: format!("<{}>", doc.label_opt(id).unwrap_or("#text")),
-        message,
-    }
+    Error::Invalid { node: format!("<{}>", doc.label_opt(id).unwrap_or("#text")), message }
 }
 
 #[cfg(test)]
@@ -119,8 +120,8 @@ mod tests {
     #[test]
     fn valid_attributes_pass() {
         let d = dtd();
-        let doc = parse_xml(r#"<r version="1"><a id="x" kind="big">t</a><a id="y">u</a></r>"#)
-            .unwrap();
+        let doc =
+            parse_xml(r#"<r version="1"><a id="x" kind="big">t</a><a id="y">u</a></r>"#).unwrap();
         validate_attributes(&d, &doc).unwrap();
     }
 

@@ -207,17 +207,11 @@ mod tests {
 
     #[test]
     fn dtd_level_check() {
-        let good = parse_general_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
-            "r",
-        )
-        .unwrap();
+        let good =
+            parse_general_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>", "r")
+                .unwrap();
         good.check_deterministic().unwrap();
-        let bad = parse_general_dtd(
-            "<!ELEMENT r (a?, a)><!ELEMENT a (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
+        let bad = parse_general_dtd("<!ELEMENT r (a?, a)><!ELEMENT a (#PCDATA)>", "r").unwrap();
         let e = bad.check_deterministic().unwrap_err();
         assert!(e.to_string().contains("ambiguous"), "{e}");
     }

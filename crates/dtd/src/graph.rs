@@ -114,8 +114,7 @@ impl DtdGraph {
                 indegree[j] += 1;
             }
         }
-        let mut queue: Vec<usize> =
-            (0..self.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.len()).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(n) = queue.pop() {
             order.push(n);
@@ -149,9 +148,7 @@ impl DtdGraph {
                         items
                             .iter()
                             .map(|c| h[self.index[c]])
-                            .try_fold(0usize, |acc, ch| {
-                                (ch != usize::MAX).then(|| acc.max(ch))
-                            })
+                            .try_fold(0usize, |acc, ch| (ch != usize::MAX).then(|| acc.max(ch)))
                             .map(|m| m + 1)
                     }
                     NormalContent::Choice(items) => {
@@ -247,8 +244,7 @@ fn find_recursive(children: &[Vec<usize>]) -> Vec<bool> {
                                 break;
                             }
                         }
-                        let cyclic = scc.len() > 1
-                            || children[v].contains(&v);
+                        let cyclic = scc.len() > 1 || children[v].contains(&v);
                         if cyclic {
                             for w in scc {
                                 recursive[w] = true;
@@ -278,10 +274,7 @@ mod tests {
 
     #[test]
     fn children_and_parents() {
-        let (_, g) = graph(
-            "<!ELEMENT r (a, b)><!ELEMENT a (b)><!ELEMENT b EMPTY>",
-            "r",
-        );
+        let (_, g) = graph("<!ELEMENT r (a, b)><!ELEMENT a (b)><!ELEMENT b EMPTY>", "r");
         let r = g.index_of("r").unwrap();
         let a = g.index_of("a").unwrap();
         let b = g.index_of("b").unwrap();
@@ -301,14 +294,11 @@ mod tests {
 
     #[test]
     fn non_recursive_dag() {
-        let (_, g) = graph(
-            "<!ELEMENT r (a, b)><!ELEMENT a (c)><!ELEMENT b (c)><!ELEMENT c EMPTY>",
-            "r",
-        );
+        let (_, g) =
+            graph("<!ELEMENT r (a, b)><!ELEMENT a (c)><!ELEMENT b (c)><!ELEMENT c EMPTY>", "r");
         assert!(!g.is_recursive());
         let order = g.topological_order().unwrap();
-        let pos: HashMap<usize, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for i in 0..g.len() {
             for &j in g.children(i) {
                 assert!(pos[&i] < pos[&j], "topological order violated");
@@ -342,10 +332,8 @@ mod tests {
 
     #[test]
     fn reachability() {
-        let (_, g) = graph(
-            "<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY><!ELEMENT z EMPTY>",
-            "r",
-        );
+        let (_, g) =
+            graph("<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY><!ELEMENT z EMPTY>", "r");
         let r = g.index_of("r").unwrap();
         let reach = g.reachable_from(r);
         assert!(reach.contains(&g.index_of("a").unwrap()));

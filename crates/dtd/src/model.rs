@@ -198,11 +198,9 @@ mod tests {
 
     #[test]
     fn duplicate_declaration_rejected() {
-        let e = GeneralDtd::new(
-            "r",
-            vec![("r".into(), Content::Empty), ("r".into(), Content::PcData)],
-        )
-        .unwrap_err();
+        let e =
+            GeneralDtd::new("r", vec![("r".into(), Content::Empty), ("r".into(), Content::PcData)])
+                .unwrap_err();
         assert!(matches!(e, Error::DuplicateDeclaration(_)));
     }
 }

@@ -171,26 +171,17 @@ impl Dtd {
     /// Size `|D|` as used in the paper's complexity bounds: the total
     /// number of symbols across all productions.
     pub fn size(&self) -> usize {
-        self.productions
-            .iter()
-            .map(|(_, c)| 1 + c.child_types().len())
-            .sum()
+        self.productions.iter().map(|(_, c)| 1 + c.child_types().len()).sum()
     }
 
     /// True iff `child` appears in the production of `parent`.
     pub fn is_child_type(&self, parent: &str, child: &str) -> bool {
-        self.production(parent)
-            .map(|c| c.child_types().contains(&child))
-            .unwrap_or(false)
+        self.production(parent).map(|c| c.child_types().contains(&child)).unwrap_or(false)
     }
 
     /// View this DTD as a general DTD (for validation and generation).
     pub fn to_general(&self) -> GeneralDtd {
-        let decls = self
-            .productions
-            .iter()
-            .map(|(n, c)| (n.clone(), c.to_content()))
-            .collect();
+        let decls = self.productions.iter().map(|(n, c)| (n.clone(), c.to_content())).collect();
         GeneralDtd::new(self.root.clone(), decls)
             .expect("normal-form DTD is consistent by construction")
             .with_attributes(self.attributes.iter().map(|(k, v)| (k.clone(), v.clone())))
@@ -227,11 +218,8 @@ impl GeneralDtd {
 
         // Queue of (name, general content) to convert; extended as fresh
         // types are minted.
-        let mut queue: Vec<(String, Content)> = self
-            .declarations()
-            .iter()
-            .map(|(n, c)| (n.clone(), c.clone()))
-            .collect();
+        let mut queue: Vec<(String, Content)> =
+            self.declarations().iter().map(|(n, c)| (n.clone(), c.clone())).collect();
 
         let mut i = 0;
         while i < queue.len() {
@@ -240,9 +228,8 @@ impl GeneralDtd {
             let normal = convert_top(&content, &mut queue, &mut counter, &mut fresh)?;
             out.push((name, normal));
         }
-        Dtd::new(self.root().to_string(), out)?.with_attributes(
-            self.attlisted_types().map(|(n, d)| (n.to_string(), d.to_vec())),
-        )
+        Dtd::new(self.root().to_string(), out)?
+            .with_attributes(self.attlisted_types().map(|(n, d)| (n.to_string(), d.to_vec())))
     }
 }
 
@@ -259,10 +246,7 @@ fn convert_top(
         Content::PcData => NormalContent::Str,
         Content::Name(n) => NormalContent::Seq(vec![n.clone()]),
         Content::Seq(items) => NormalContent::Seq(
-            items
-                .iter()
-                .map(|it| atomize(it, queue, counter, fresh))
-                .collect::<Result<_>>()?,
+            items.iter().map(|it| atomize(it, queue, counter, fresh)).collect::<Result<_>>()?,
         ),
         Content::Choice(items) if items.is_empty() => {
             return Err(Error::Unsupported("empty choice (no content can match)".into()))
@@ -271,10 +255,7 @@ fn convert_top(
             NormalContent::Seq(vec![atomize(&items[0], queue, counter, fresh)?])
         }
         Content::Choice(items) => NormalContent::Choice(
-            items
-                .iter()
-                .map(|it| atomize(it, queue, counter, fresh))
-                .collect::<Result<_>>()?,
+            items.iter().map(|it| atomize(it, queue, counter, fresh)).collect::<Result<_>>()?,
         ),
         Content::Star(inner) => NormalContent::Star(atomize(inner, queue, counter, fresh)?),
         Content::Plus(inner) => {
@@ -354,11 +335,9 @@ mod tests {
 
     #[test]
     fn already_normal_dtd_unchanged_in_shape() {
-        let g = parse_general_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
-            "r",
-        )
-        .unwrap();
+        let g =
+            parse_general_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>", "r")
+                .unwrap();
         let d = g.normalize().unwrap();
         assert_eq!(d.production("r"), Some(&nc_seq(&["a", "b"])));
         assert_eq!(d.production("a"), Some(&NormalContent::Str));
@@ -368,11 +347,9 @@ mod tests {
 
     #[test]
     fn star_of_choice_gets_wrapper() {
-        let g = parse_general_dtd(
-            "<!ELEMENT r ((a | b)*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
-            "r",
-        )
-        .unwrap();
+        let g =
+            parse_general_dtd("<!ELEMENT r ((a | b)*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>", "r")
+                .unwrap();
         let d = g.normalize().unwrap();
         match d.production("r").unwrap() {
             NormalContent::Star(w) => {
@@ -416,10 +393,7 @@ mod tests {
     fn to_general_roundtrip_validates() {
         let d = Dtd::new(
             "r",
-            vec![
-                ("r".into(), NormalContent::Star("a".into())),
-                ("a".into(), NormalContent::Str),
-            ],
+            vec![("r".into(), NormalContent::Star("a".into())), ("a".into(), NormalContent::Str)],
         )
         .unwrap();
         let g = d.to_general();
@@ -429,7 +403,11 @@ mod tests {
 
     #[test]
     fn display_shows_productions() {
-        let d = Dtd::new("r", vec![("r".into(), NormalContent::Star("a".into())), ("a".into(), NormalContent::Str)]).unwrap();
+        let d = Dtd::new(
+            "r",
+            vec![("r".into(), NormalContent::Star("a".into())), ("a".into(), NormalContent::Str)],
+        )
+        .unwrap();
         let s = d.to_string();
         assert!(s.contains("r -> a*"));
         assert!(s.contains("a -> str"));

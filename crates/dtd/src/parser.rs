@@ -446,11 +446,8 @@ mod tests {
 
     #[test]
     fn attlist_for_unknown_element_rejected() {
-        let e = parse_general_dtd(
-            "<!ELEMENT r EMPTY><!ATTLIST ghost id CDATA #IMPLIED>",
-            "r",
-        )
-        .unwrap_err();
+        let e = parse_general_dtd("<!ELEMENT r EMPTY><!ATTLIST ghost id CDATA #IMPLIED>", "r")
+            .unwrap_err();
         assert!(matches!(e, Error::UndeclaredElement { .. }));
     }
 
@@ -468,11 +465,8 @@ mod tests {
 
     #[test]
     fn parse_dtd_normalizes() {
-        let d = parse_dtd(
-            "<!ELEMENT r ((a | b)+)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
-            "r",
-        )
-        .unwrap();
+        let d =
+            parse_dtd("<!ELEMENT r ((a | b)+)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>", "r").unwrap();
         // (a|b)+ => wrapper W -> a+b ; r -> W, W*
         assert!(d.len() >= 4);
         assert!(d.contains("r"));

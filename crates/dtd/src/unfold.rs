@@ -69,8 +69,8 @@ impl UnfoldedDtd {
         let mut nodes: Vec<(usize, usize)> = Vec::new();
         let mut index: HashMap<(usize, usize), usize> = HashMap::new();
         let get = |nodes: &mut Vec<(usize, usize)>,
-                       index: &mut HashMap<(usize, usize), usize>,
-                       key: (usize, usize)| {
+                   index: &mut HashMap<(usize, usize), usize>,
+                   key: (usize, usize)| {
             *index.entry(key).or_insert_with(|| {
                 nodes.push(key);
                 nodes.len() - 1
@@ -88,10 +88,10 @@ impl UnfoldedDtd {
             let name = graph.name_of(ty);
             let production = dtd.production(name).expect("declared");
             let resolve = |nodes: &mut Vec<(usize, usize)>,
-                               index: &mut HashMap<(usize, usize), usize>,
-                               content: &mut Vec<Option<UnfoldedContent>>,
-                               work: &mut Vec<usize>,
-                               child: &str|
+                           index: &mut HashMap<(usize, usize), usize>,
+                           content: &mut Vec<Option<UnfoldedContent>>,
+                           work: &mut Vec<usize>,
+                           child: &str|
              -> UnfoldedNodeId {
                 let cty = graph.index_of(child).expect("declared");
                 let id = get(nodes, index, (cty, depth + 1));
@@ -231,12 +231,7 @@ mod tests {
         let u = UnfoldedDtd::new(&d, 3).unwrap();
         // a@0,a@1,a@2, b@1,b@2,b@3, and a@3? min_height(a)=1 so a@3 cannot
         // complete within height 3 => dropped from the choice at a@2.
-        let deepest_a = u
-            .ids()
-            .filter(|&i| u.label(i) == "a")
-            .map(|i| u.depth(i))
-            .max()
-            .unwrap();
+        let deepest_a = u.ids().filter(|&i| u.label(i) == "a").map(|i| u.depth(i)).max().unwrap();
         assert_eq!(deepest_a, 2);
         let a2 = u.ids().find(|&i| u.label(i) == "a" && u.depth(i) == 2).unwrap();
         match u.content(a2) {

@@ -42,11 +42,8 @@ pub fn validate_subtree(dtd: &GeneralDtd, doc: &Document, node: NodeId) -> Resul
             node: format!("<{label}>"),
             message: "element type not declared in DTD".into(),
         })?;
-        let child_labels: Vec<&str> = doc
-            .children(id)
-            .iter()
-            .map(|&c| doc.label_opt(c).unwrap_or(PCDATA_LABEL))
-            .collect();
+        let child_labels: Vec<&str> =
+            doc.children(id).iter().map(|&c| doc.label_opt(c).unwrap_or(PCDATA_LABEL)).collect();
         if !content.matches(child_labels.iter().copied()) {
             return Err(Error::Invalid {
                 node: format!("<{label}>"),
@@ -90,11 +87,8 @@ mod tests {
     use sxv_xml::parse;
 
     fn dtd() -> GeneralDtd {
-        parse_general_dtd(
-            "<!ELEMENT r (a, b*)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
-            "r",
-        )
-        .unwrap()
+        parse_general_dtd("<!ELEMENT r (a, b*)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>", "r")
+            .unwrap()
     }
 
     #[test]
@@ -155,11 +149,7 @@ mod tests {
 
     #[test]
     fn normal_dtd_validate_wrapper() {
-        let d = crate::parser::parse_dtd(
-            "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
+        let d = crate::parser::parse_dtd("<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>", "r").unwrap();
         let doc = parse("<r><a>1</a><a>2</a></r>").unwrap();
         d.validate(&doc).unwrap();
         let bad = parse("<r><r/></r>").unwrap();
@@ -168,11 +158,8 @@ mod tests {
 
     #[test]
     fn choice_content_validates_either_branch() {
-        let g = parse_general_dtd(
-            "<!ELEMENT t (x | y)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>",
-            "t",
-        )
-        .unwrap();
+        let g = parse_general_dtd("<!ELEMENT t (x | y)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>", "t")
+            .unwrap();
         validate(&g, &parse("<t><x/></t>").unwrap()).unwrap();
         validate(&g, &parse("<t><y/></t>").unwrap()).unwrap();
         assert!(validate(&g, &parse("<t><x/><y/></t>").unwrap()).is_err());
@@ -181,11 +168,7 @@ mod tests {
 
     #[test]
     fn recursive_dtd_validates() {
-        let g = parse_general_dtd(
-            "<!ELEMENT a (b, a?)><!ELEMENT b EMPTY>",
-            "a",
-        )
-        .unwrap();
+        let g = parse_general_dtd("<!ELEMENT a (b, a?)><!ELEMENT b EMPTY>", "a").unwrap();
         validate(&g, &parse("<a><b/><a><b/></a></a>").unwrap()).unwrap();
         assert!(validate(&g, &parse("<a><a><b/></a></a>").unwrap()).is_err());
     }

@@ -99,9 +99,7 @@ mod tests {
         let d = doc();
         let labels: Vec<String> = d
             .descendants_or_self(d.root().unwrap())
-            .map(|id| {
-                d.label_opt(id).map(str::to_string).unwrap_or_else(|| "#text".into())
-            })
+            .map(|id| d.label_opt(id).map(str::to_string).unwrap_or_else(|| "#text".into()))
             .collect();
         assert_eq!(labels, ["a", "b", "d", "#text", "c"]);
     }

@@ -292,11 +292,7 @@ impl Document {
     }
 
     fn subtree_height(&self, id: NodeId) -> usize {
-        self.children(id)
-            .iter()
-            .map(|&c| 1 + self.subtree_height(c))
-            .max()
-            .unwrap_or(0)
+        self.children(id).iter().map(|&c| 1 + self.subtree_height(c)).max().unwrap_or(0)
     }
 
     /// True iff `anc` is a proper ancestor of `id`.
@@ -340,10 +336,7 @@ impl Document {
 
     /// All elements with the given label, in document order (linear scan;
     /// use [`crate::DocIndex`] for repeated lookups).
-    pub fn elements_with_label<'a>(
-        &'a self,
-        label: &'a str,
-    ) -> impl Iterator<Item = NodeId> + 'a {
+    pub fn elements_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = NodeId> + 'a {
         self.all_ids().filter(move |&id| self.label_opt(id) == Some(label))
     }
 }

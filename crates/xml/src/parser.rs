@@ -249,10 +249,7 @@ fn flush_text(doc: &mut Document, parent: NodeId, text: &mut String) -> Result<(
 }
 
 fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|i| i + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|i| i + from)
 }
 
 /// Decode the predefined entities and character references in `raw`.
@@ -280,22 +277,19 @@ fn decode_entities(raw: &str, base_offset: usize) -> Result<String> {
             "apos" => '\'',
             "quot" => '"',
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                u32::from_str_radix(&ent[2..], 16)
-                    .ok()
-                    .and_then(char::from_u32)
-                    .ok_or(Error::Parse {
+                u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32).ok_or(
+                    Error::Parse {
                         offset: base_offset + i,
                         message: format!("bad character reference &{ent};"),
-                    })?
+                    },
+                )?
             }
-            _ if ent.starts_with('#') => ent[1..]
-                .parse::<u32>()
-                .ok()
-                .and_then(char::from_u32)
-                .ok_or(Error::Parse {
+            _ if ent.starts_with('#') => {
+                ent[1..].parse::<u32>().ok().and_then(char::from_u32).ok_or(Error::Parse {
                     offset: base_offset + i,
                     message: format!("bad character reference &{ent};"),
-                })?,
+                })?
+            }
             _ => {
                 return Err(Error::Parse {
                     offset: base_offset + i,

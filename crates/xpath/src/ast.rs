@@ -269,10 +269,7 @@ mod tests {
     fn size_counts_nodes() {
         // //a[b]/c : Step(Descendant(Filter(a, Path(b))), c)
         let p = Path::step(
-            Path::descendant(Path::filter(
-                Path::label("a"),
-                Qualifier::path(Path::label("b")),
-            )),
+            Path::descendant(Path::filter(Path::label("a"), Qualifier::path(Path::label("b")))),
             Path::label("c"),
         );
         // Step(1) + Descendant(1) + Filter(1) + a(1) + Path-qual(1) + b(1) + c(1)
@@ -288,10 +285,8 @@ mod tests {
         assert!(conj.is_conjunctive());
         let neg = Qualifier::not(Qualifier::path(Path::label("a")));
         assert!(!neg.is_conjunctive());
-        let disj = Qualifier::or(
-            Qualifier::path(Path::label("a")),
-            Qualifier::path(Path::label("b")),
-        );
+        let disj =
+            Qualifier::or(Qualifier::path(Path::label("a")), Qualifier::path(Path::label("b")));
         assert!(!disj.is_conjunctive());
     }
 
@@ -299,10 +294,8 @@ mod tests {
     fn has_descendant_detection() {
         assert!(Path::descendant(Path::label("a")).has_descendant());
         assert!(!Path::step(Path::label("a"), Path::label("b")).has_descendant());
-        let in_qualifier = Path::filter(
-            Path::label("a"),
-            Qualifier::path(Path::descendant(Path::label("b"))),
-        );
+        let in_qualifier =
+            Path::filter(Path::label("a"), Qualifier::path(Path::descendant(Path::label("b"))));
         assert!(in_qualifier.has_descendant());
     }
 }

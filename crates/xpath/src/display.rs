@@ -231,10 +231,7 @@ mod tests {
 
     #[test]
     fn union_operand_of_step_parenthesized() {
-        let p = Path::step(
-            Path::union(Path::label("a"), Path::Empty),
-            Path::label("c"),
-        );
+        let p = Path::step(Path::union(Path::label("a"), Path::Empty), Path::label("c"));
         assert_eq!(p.to_string(), "(a | .)/c");
         assert_eq!(parse(&p.to_string()).unwrap(), p);
     }
@@ -256,10 +253,7 @@ mod tests {
     #[test]
     fn true_false_display_and_reparse() {
         // True/False are optimizer-internal but must still print parseably.
-        let p = Path::Filter(
-            Box::new(Path::label("a")),
-            Box::new(Qualifier::True),
-        );
+        let p = Path::Filter(Box::new(Path::label("a")), Box::new(Qualifier::True));
         assert_eq!(p.to_string(), "a[true()]");
         assert_eq!(parse("a[true()]").unwrap(), Path::label("a")); // smart ctor folds
     }

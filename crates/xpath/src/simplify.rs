@@ -16,8 +16,9 @@ use crate::ast::{Path, Qualifier};
 /// input on every tree.
 pub fn simplify(p: &Path) -> Path {
     match p {
-        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard
-        | Path::Text => p.clone(),
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard | Path::Text => {
+            p.clone()
+        }
         Path::Step(a, b) => Path::step(simplify(a), simplify(b)),
         Path::Descendant(inner) => Path::descendant(simplify(inner)),
         Path::Union(..) => {
@@ -103,9 +104,7 @@ fn factor_lists(lists: &mut Vec<Vec<Path>>) -> Vec<Path> {
         }];
     }
     // Common suffix?
-    let share_last = lists
-        .iter()
-        .all(|l| !l.is_empty() && l.last() == lists[0].last());
+    let share_last = lists.iter().all(|l| !l.is_empty() && l.last() == lists[0].last());
     if share_last {
         let tail = lists[0].last().expect("non-empty").clone();
         let mut inits: Vec<Vec<Path>> = lists.iter().map(|l| l[..l.len() - 1].to_vec()).collect();
@@ -194,14 +193,9 @@ mod tests {
             "<r><a><b/><c/><x><t/></x></a><b><x><t/></x></b><p><x><t/></x><y><t/></y></p></r>",
         )
         .unwrap();
-        for q in [
-            "a/b | a/c",
-            "a/x/t | b/x/t",
-            "p/x/t | p/y/t",
-            "a | a | b",
-            "a/b | c/d",
-            "//t | a/b",
-        ] {
+        for q in
+            ["a/b | a/c", "a/x/t | b/x/t", "p/x/t | p/y/t", "a | a | b", "a/b | c/d", "//t | a/b"]
+        {
             let p = parse(q).unwrap();
             assert_eq!(
                 eval_at_root(&doc, &p),

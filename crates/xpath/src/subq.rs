@@ -27,12 +27,8 @@ pub fn postorder(p: &Path) -> Vec<SubExpr<'_>> {
 
 fn visit_path<'a>(p: &'a Path, out: &mut Vec<SubExpr<'a>>) {
     match p {
-        Path::Empty
-        | Path::EmptySet
-        | Path::Doc
-        | Path::Label(_)
-        | Path::Wildcard
-        | Path::Text => {}
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard | Path::Text => {
+        }
         Path::Step(a, b) | Path::Union(a, b) => {
             visit_path(a, out);
             visit_path(b, out);
@@ -76,10 +72,8 @@ mod tests {
             .iter()
             .position(|s| matches!(s, SubExpr::Path(Path::Label(l)) if l == "a"))
             .unwrap();
-        let pos_filter = subs
-            .iter()
-            .position(|s| matches!(s, SubExpr::Path(Path::Filter(..))))
-            .unwrap();
+        let pos_filter =
+            subs.iter().position(|s| matches!(s, SubExpr::Path(Path::Filter(..)))).unwrap();
         assert!(pos_a < pos_filter);
     }
 

@@ -48,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let translated = engine.translate(&p, approach, doc.height())?;
             let start = Instant::now();
             let answer = match approach {
-                Approach::Naive => {
-                    secure_xml_views::xpath::eval_at_root(&annotated, &translated)
-                }
+                Approach::Naive => secure_xml_views::xpath::eval_at_root(&annotated, &translated),
                 _ => secure_xml_views::xpath::eval_at_root(&doc, &translated),
             };
             let elapsed = start.elapsed();

@@ -7,8 +7,8 @@
 //! cargo run --example hospital_inference
 //! ```
 
-use secure_xml_views::prelude::*;
 use secure_xml_views::core::materialize;
+use secure_xml_views::prelude::*;
 
 const HOSPITAL_DTD: &str = include_str!("../assets/hospital.dtd");
 const NURSE_SPEC: &str = include_str!("../assets/hospital_nurse.spec");
@@ -58,11 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p2 = parse_xpath("//dept/patientInfo/patient/name")?;
     let all = secure_xml_views::xpath::eval_at_root(&doc, &p1);
     let non_trial = secure_xml_views::xpath::eval_at_root(&doc, &p2);
-    let leaked: Vec<String> = all
-        .iter()
-        .filter(|n| !non_trial.contains(n))
-        .map(|&n| doc.string_value(n))
-        .collect();
+    let leaked: Vec<String> =
+        all.iter().filter(|n| !non_trial.contains(n)).map(|&n| doc.string_value(n)).collect();
     println!("\n=== Example 1.1 against the RAW document (what the paper prevents) ===");
     println!("p1 \\ p2 = {leaked:?}   <-- trial patients inferred!");
     assert_eq!(leaked, ["Ann"]);

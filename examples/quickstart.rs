@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. An access policy: peers may see names, but not salaries or
     //    reviews (annotations attach to DTD edges, §3.2 of the paper).
-    let spec = AccessSpec::builder(&dtd)
-        .deny("employee", "salary")
-        .deny("employee", "review")
-        .build()?;
+    let spec =
+        AccessSpec::builder(&dtd).deny("employee", "salary").deny("employee", "review").build()?;
 
     // 3. Derive the security view (Fig. 5). Users get the view DTD; the σ
     //    annotations stay hidden.

@@ -92,22 +92,14 @@ fn qualifiers_over_hidden_attributes_are_neutralized() {
 
     // Probing the hidden flag must not select anything — otherwise the
     // flag's value would be inferable from the result set.
-    for probe in [
-        "//entry[@flagged='yes']",
-        "//entry[@flagged]",
-        "//account[@rating='AAA']",
-    ] {
+    for probe in ["//entry[@flagged='yes']", "//entry[@flagged]", "//account[@rating='AAA']"] {
         let ans = engine.answer(&doc, &parse_xpath(probe).unwrap()).unwrap();
         assert!(ans.is_empty(), "{probe} leaked {} nodes", ans.len());
     }
     // Visible attributes keep working.
-    let anns = engine
-        .answer(&doc, &parse_xpath("//account[@owner='ann']/entry").unwrap())
-        .unwrap();
+    let anns = engine.answer(&doc, &parse_xpath("//account[@owner='ann']/entry").unwrap()).unwrap();
     assert_eq!(anns.len(), 2);
-    let big = engine
-        .answer(&doc, &parse_xpath("//entry[@amount='999']").unwrap())
-        .unwrap();
+    let big = engine.answer(&doc, &parse_xpath("//entry[@amount='999']").unwrap()).unwrap();
     assert_eq!(big.len(), 1);
 }
 

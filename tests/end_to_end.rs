@@ -255,9 +255,10 @@ fn materialized_views_conform_to_exported_view_dtd() {
         .build()
         .unwrap();
     let aview = derive_view(&aspec).unwrap();
-    let adoc = Generator::for_dtd(&adex, GenConfig::seeded(8).with_max_branch(7).with_max_depth(64))
-        .generate()
-        .unwrap();
+    let adoc =
+        Generator::for_dtd(&adex, GenConfig::seeded(8).with_max_branch(7).with_max_depth(64))
+            .generate()
+            .unwrap();
     let am = materialize(&aspec, &aview, &adoc).unwrap();
     validate(&aview.view_general_dtd(), &am.doc).unwrap();
     // The exported source parses as a real DTD file.
