@@ -12,11 +12,13 @@ use crate::optimize::{optimize, optimize_with_height};
 use crate::rewrite::{rewrite, rewrite_with_height};
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
+use std::collections::HashMap;
+use std::sync::Mutex;
 use sxv_xml::{DocIndex, Document, NodeId};
-use sxv_xpath::{eval_at_root, Path};
+use sxv_xpath::{simplify, EvalStats, Path};
 
 /// Query evaluation strategy (the three columns of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Approach {
     /// Element-level annotations, child→descendant widening (§6 baseline).
     Naive,
@@ -26,16 +28,121 @@ pub enum Approach {
     Optimize,
 }
 
+/// Default number of translated queries kept by the engine's cache.
+pub const DEFAULT_TRANSLATION_CACHE_CAPACITY: usize = 64;
+
+/// Key of one translation cache entry: the *normalized* view query (so
+/// `a | a` and `a` share an entry), the strategy, and the unfolding
+/// height — which is part of the translation's meaning only for
+/// recursive views/DTDs and is normalized to 0 otherwise.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    query: Path,
+    approach: Approach,
+    height: usize,
+}
+
+/// Bounded LRU map of translated queries. Capacity is small and lookups
+/// dominate, so eviction does a linear minimum scan over last-use ticks
+/// instead of maintaining an intrusive list.
+#[derive(Debug, Default)]
+struct TranslationCache {
+    cap: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    map: HashMap<CacheKey, (Result<Path>, u64)>,
+}
+
+impl TranslationCache {
+    fn lookup(&mut self, key: &CacheKey) -> Option<Result<Path>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((p, t)) => {
+                *t = self.tick;
+                self.hits += 1;
+                Some(p.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, translated: Result<Path>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (translated, self.tick));
+    }
+}
+
+/// Cumulative translation-cache counters, readable at any time via
+/// [`SecureEngine::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Translations served from the cache.
+    pub hits: u64,
+    /// Translations computed (and inserted) on miss.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// Work report for one answered query: where the translation came from,
+/// what it was, and the evaluator's machine-independent cost counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport {
+    /// The translated (document-side) query that was evaluated.
+    pub translated: Path,
+    /// The translation was served from the cache.
+    pub cache_hit: bool,
+    /// Evaluator work counters (`index_lookups` is non-zero only on the
+    /// indexed path).
+    pub eval: EvalStats,
+}
+
 /// A query engine bound to one access policy.
 pub struct SecureEngine<'a> {
     spec: &'a AccessSpec,
     view: &'a SecurityView,
+    /// `Mutex` for interior mutability: answering queries takes `&self`.
+    cache: Mutex<TranslationCache>,
+    /// The engine only needs the height for recursive unfoldings; cache
+    /// keys normalize it to 0 otherwise so documents of different heights
+    /// share entries.
+    height_sensitive: bool,
 }
 
 impl<'a> SecureEngine<'a> {
     /// Bind a specification and its derived view.
     pub fn new(spec: &'a AccessSpec, view: &'a SecurityView) -> Self {
-        SecureEngine { spec, view }
+        Self::with_cache_capacity(spec, view, DEFAULT_TRANSLATION_CACHE_CAPACITY)
+    }
+
+    /// Bind with an explicit translation-cache capacity (0 disables).
+    pub fn with_cache_capacity(
+        spec: &'a AccessSpec,
+        view: &'a SecurityView,
+        capacity: usize,
+    ) -> Self {
+        let height_sensitive =
+            view.is_recursive() || sxv_dtd::DtdGraph::new(spec.dtd()).is_recursive();
+        SecureEngine {
+            spec,
+            view,
+            cache: Mutex::new(TranslationCache { cap: capacity, ..TranslationCache::default() }),
+            height_sensitive,
+        }
     }
 
     /// The view DTD text exposed to users of this policy.
@@ -43,10 +150,32 @@ impl<'a> SecureEngine<'a> {
         self.view.view_dtd_to_string()
     }
 
+    /// Cumulative cache counters since the engine was built.
+    pub fn cache_stats(&self) -> CacheStats {
+        let c = self.cache.lock().unwrap();
+        CacheStats { hits: c.hits, misses: c.misses, entries: c.map.len() }
+    }
+
     /// Translate a view query to a document query.
     ///
     /// `doc_height` is only consulted for recursive views (§4.2 unfolding).
+    /// Results are memoized in a bounded LRU keyed by the normalized
+    /// query, the approach, and (for recursive views only) the height.
     pub fn translate(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
+        let key = CacheKey {
+            query: simplify(p),
+            approach,
+            height: if self.height_sensitive { doc_height } else { 0 },
+        };
+        if let Some(cached) = self.cache.lock().unwrap().lookup(&key) {
+            return cached;
+        }
+        let translated = self.translate_uncached(&key.query, approach, doc_height);
+        self.cache.lock().unwrap().insert(key, translated.clone());
+        translated
+    }
+
+    fn translate_uncached(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
         match approach {
             Approach::Naive => Ok(NaiveBaseline::rewrite(p)),
             Approach::Rewrite | Approach::Optimize => {
@@ -76,16 +205,17 @@ impl<'a> SecureEngine<'a> {
     }
 
     /// Answer using a prepared structural index ([`DocIndex`]) for the
-    /// final evaluation: `//label` steps of the translated query become
-    /// interval lookups. The index must have been built for `doc`.
+    /// final evaluation: `//label` steps *and qualifier probes* of the
+    /// translated query become interval lookups, and `[p = c]` string
+    /// values come from the index's memoized text buffer. The index must
+    /// have been built for `doc`.
     pub fn answer_indexed(
         &self,
         doc: &Document,
         index: &DocIndex,
         p: &Path,
     ) -> Result<Vec<NodeId>> {
-        let q = self.translate(p, Approach::Optimize, doc.height())?;
-        Ok(sxv_xpath::eval_at_root_indexed(doc, index, &q))
+        self.answer_report(doc, Some(index), p, Approach::Optimize).map(|(ans, _)| ans)
     }
 
     /// Answer with an explicit strategy. For [`Approach::Naive`], the
@@ -93,17 +223,34 @@ impl<'a> SecureEngine<'a> {
     /// with [`NaiveBaseline::annotate`] and evaluate directly, as the
     /// paper's setup does.
     pub fn answer_with(&self, doc: &Document, p: &Path, approach: Approach) -> Result<Vec<NodeId>> {
-        match approach {
-            Approach::Naive => {
+        self.answer_report(doc, None, p, approach).map(|(ans, _)| ans)
+    }
+
+    /// Answer and report the work done: the translated query, whether the
+    /// translation was a cache hit, and evaluator counters. Passing an
+    /// index enables the structural fast path end to end (axis steps,
+    /// qualifier probes, string values). [`Approach::Naive`] evaluates
+    /// over an on-the-fly annotated copy, so the given index (built for
+    /// `doc`, not the copy) is ignored on that path.
+    pub fn answer_report(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        p: &Path,
+        approach: Approach,
+    ) -> Result<(Vec<NodeId>, QueryReport)> {
+        let hits_before = self.cache.lock().unwrap().hits;
+        let q = self.translate(p, approach, doc.height())?;
+        let cache_hit = self.cache.lock().unwrap().hits > hits_before;
+        let (answer, eval) = match (approach, index) {
+            (Approach::Naive, _) => {
                 let annotated = NaiveBaseline::annotate(self.spec, doc);
-                let q = NaiveBaseline::rewrite(p);
-                Ok(eval_at_root(&annotated, &q))
+                sxv_xpath::eval_at_root_with_stats(&annotated, &q)
             }
-            _ => {
-                let q = self.translate(p, approach, doc.height())?;
-                Ok(eval_at_root(doc, &q))
-            }
-        }
+            (_, Some(idx)) => sxv_xpath::eval_at_root_indexed_with_stats(doc, idx, &q),
+            (_, None) => sxv_xpath::eval_at_root_with_stats(doc, &q),
+        };
+        Ok((answer, QueryReport { translated: q, cache_hit, eval }))
     }
 }
 
@@ -216,6 +363,112 @@ mod tests {
                 engine.answer(&doc, &p).unwrap(),
                 engine.answer_indexed(&doc, &index, &p).unwrap(),
                 "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn translation_cache_hits_on_repeat_and_normalized_queries() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient/name").unwrap();
+        let first = engine.answer(&doc, &p).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+        let second = engine.answer(&doc, &p).unwrap();
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // Normalization: an equivalent-after-simplification query shares
+        // the entry instead of retranslating.
+        let p2 = parse("//patient/name | //patient/name").unwrap();
+        engine.answer(&doc, &p2).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+
+        // Different approach = different entry.
+        engine.answer_with(&doc, &p, Approach::Rewrite).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
+    }
+
+    #[test]
+    fn translation_cache_reports_hit_per_query() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//bill").unwrap();
+        let (_, report) = engine.answer_report(&doc, None, &p, Approach::Optimize).unwrap();
+        assert!(!report.cache_hit);
+        let (_, report) = engine.answer_report(&doc, None, &p, Approach::Optimize).unwrap();
+        assert!(report.cache_hit);
+        assert_eq!(
+            report.translated,
+            engine.translate(&p, Approach::Optimize, doc.height()).unwrap()
+        );
+    }
+
+    #[test]
+    fn translation_cache_evicts_least_recently_used() {
+        let (spec, view, _) = setup();
+        let engine = SecureEngine::with_cache_capacity(&spec, &view, 2);
+        let a = parse("//bill").unwrap();
+        let b = parse("//name").unwrap();
+        let c = parse("//patient").unwrap();
+        engine.translate(&a, Approach::Optimize, 0).unwrap();
+        engine.translate(&b, Approach::Optimize, 0).unwrap();
+        engine.translate(&a, Approach::Optimize, 0).unwrap(); // refresh a
+        engine.translate(&c, Approach::Optimize, 0).unwrap(); // evicts b
+        let before = engine.cache_stats();
+        engine.translate(&a, Approach::Optimize, 0).unwrap(); // still cached
+        assert_eq!(engine.cache_stats().hits, before.hits + 1);
+        engine.translate(&b, Approach::Optimize, 0).unwrap(); // was evicted
+        assert_eq!(engine.cache_stats().misses, before.misses + 1);
+        assert!(engine.cache_stats().entries <= 2);
+    }
+
+    #[test]
+    fn indexed_report_counts_index_work_and_agrees() {
+        // Rewriting eliminates view-level `//` on non-recursive views, so
+        // the structural index earns its keep inside *qualifiers*: use a σ
+        // condition with a descendant probe so the translated query keeps
+        // one, then check the indexed path does strictly less axis work.
+        let (base, _, doc) = setup();
+        let spec = AccessSpec::builder(base.dtd())
+            .bind("wardNo", "6")
+            .cond_str("hospital", "dept", "//wardNo=$wardNo")
+            .unwrap()
+            .deny("dept", "clinicalTrial")
+            .allow("clinicalTrial", "patientInfo")
+            .deny("clinicalTrial", "test")
+            .deny("treatment", "trial")
+            .deny("treatment", "regular")
+            .allow("trial", "bill")
+            .allow("regular", "bill")
+            .allow("regular", "medication")
+            .build()
+            .unwrap();
+        let view = derive_view(&spec).unwrap();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).unwrap();
+        // `Rewrite` keeps σ qualifiers verbatim (`Optimize` may simplify
+        // the descendant probe into child paths, leaving nothing for the
+        // index to accelerate).
+        for q in ["//patient[name='Bob']/name", "//patient/name", "//bill"] {
+            let p = parse(q).unwrap();
+            let (scan_ans, scan) = engine.answer_report(&doc, None, &p, Approach::Rewrite).unwrap();
+            let (idx_ans, idx) =
+                engine.answer_report(&doc, Some(&index), &p, Approach::Rewrite).unwrap();
+            assert_eq!(scan_ans, idx_ans, "{q}");
+            assert!(!scan_ans.is_empty(), "{q} should select something");
+            assert_eq!(scan.eval.index_lookups, 0, "{q}");
+            assert!(idx.eval.index_lookups > 0, "{q}: indexed path must probe the index");
+            assert!(
+                idx.eval.nodes_touched < scan.eval.nodes_touched,
+                "{q}: indexed {} vs scan {}",
+                idx.eval.nodes_touched,
+                scan.eval.nodes_touched
             );
         }
     }

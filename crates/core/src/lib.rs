@@ -55,7 +55,7 @@ pub mod rewrite;
 pub mod spec;
 pub mod view;
 
-pub use engine::{Approach, SecureEngine};
+pub use engine::{Approach, CacheStats, QueryReport, SecureEngine};
 pub use error::{Error, Result};
 pub use materialized_baseline::MaterializedBaseline;
 pub use naive::NaiveBaseline;

@@ -38,8 +38,7 @@ impl NaiveBaseline {
         for id in doc.all_ids() {
             if doc.node(id).is_element() {
                 let flag = if access.is_accessible(id) { "1" } else { "0" };
-                out.set_attribute(id, ACCESS_ATTR, flag)
-                    .expect("element node accepts attributes");
+                out.set_attribute(id, ACCESS_ATTR, flag).expect("element node accepts attributes");
             }
         }
         out
@@ -47,10 +46,7 @@ impl NaiveBaseline {
 
     /// Rewrite a view query with the paper's two rules.
     pub fn rewrite(p: &Path) -> Path {
-        Path::filter(
-            widen(p),
-            Qualifier::AttrEq(ACCESS_ATTR.to_string(), "1".to_string()),
-        )
+        Path::filter(widen(p), Qualifier::AttrEq(ACCESS_ATTR.to_string(), "1".to_string()))
     }
 }
 
@@ -99,10 +95,7 @@ mod tests {
         //     //buyer-info//contact-info[@accessibility="1"]
         let p = parse("//buyer-info/contact-info").unwrap();
         let n = NaiveBaseline::rewrite(&p);
-        assert_eq!(
-            n.to_string(),
-            "(//buyer-info//contact-info)[@accessibility='1']"
-        );
+        assert_eq!(n.to_string(), "(//buyer-info//contact-info)[@accessibility='1']");
     }
 
     #[test]
@@ -124,11 +117,8 @@ mod tests {
 
     #[test]
     fn annotation_flags_elements() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+            .unwrap();
         let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
         let doc = parse_xml("<r><a>pub</a><b>sec</b></r>").unwrap();
         let annotated = NaiveBaseline::annotate(&spec, &doc);
@@ -144,11 +134,8 @@ mod tests {
 
     #[test]
     fn naive_answers_filter_inaccessible() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+            .unwrap();
         let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
         let doc = parse_xml("<r><a>pub</a><b>sec</b></r>").unwrap();
         let annotated = NaiveBaseline::annotate(&spec, &doc);

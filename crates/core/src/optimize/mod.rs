@@ -84,12 +84,9 @@ fn optimize_over(dtd: &Dtd, graph: &ViewGraph, p: &Path) -> Result<Path> {
 /// qualifiers at `ε` (Fig. 10 case 7 is stated for `ε[q]`).
 fn normalize_filters(p: &Path) -> Path {
     match p {
-        Path::Empty
-        | Path::EmptySet
-        | Path::Doc
-        | Path::Label(_)
-        | Path::Wildcard
-        | Path::Text => p.clone(),
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard | Path::Text => {
+            p.clone()
+        }
         Path::Step(a, b) => Path::step(normalize_filters(a), normalize_filters(b)),
         Path::Descendant(inner) => Path::descendant(normalize_filters(inner)),
         Path::Union(a, b) => Path::union(normalize_filters(a), normalize_filters(b)),
@@ -187,6 +184,10 @@ impl<'a> Optimizer<'a> {
             Path::Descendant(p1) => {
                 let recrw = self.rec_info(node).clone();
                 let reach: Vec<usize> = recrw.keys().copied().collect();
+                // descendant-or-self includes text nodes: a nullable `p1`
+                // keeps them, so str-production nodes contribute their text
+                // children too (mirrors the rewrite module's `//` case).
+                let text_cont = continue_from_text(p1);
                 for b in reach {
                     let prefix = recrw[&b].clone();
                     if prefix.is_empty_set() {
@@ -194,6 +195,13 @@ impl<'a> Optimizer<'a> {
                     }
                     for (w, q) in self.opt(p1, b) {
                         merge(&mut out, w, Path::step(prefix.clone(), q));
+                    }
+                    if self.graph.has_text(b) && !text_cont.is_empty_set() {
+                        merge(
+                            &mut out,
+                            Target::TextOf(b),
+                            Path::step(prefix, Path::step(Path::Text, text_cont.clone())),
+                        );
                     }
                 }
             }
@@ -250,12 +258,8 @@ impl<'a> Optimizer<'a> {
                     Qualifier::Eq(u, c.clone())
                 }
             }
-            Qualifier::And(a, b) => {
-                Qualifier::and(self.opt_qual(a, node), self.opt_qual(b, node))
-            }
-            Qualifier::Or(a, b) => {
-                Qualifier::or(self.opt_qual(a, node), self.opt_qual(b, node))
-            }
+            Qualifier::And(a, b) => Qualifier::and(self.opt_qual(a, node), self.opt_qual(b, node)),
+            Qualifier::Or(a, b) => Qualifier::or(self.opt_qual(a, node), self.opt_qual(b, node)),
             Qualifier::Not(inner) => Qualifier::not(self.opt_qual(inner, node)),
             other => other.clone(),
         };
@@ -338,11 +342,7 @@ mod tests {
             "<a><b><d><e><g/></e><f><g/></f></d></b><c><d><e><g/></e><f><g/></f></d></c></a>",
         )
         .unwrap();
-        assert_eq!(
-            eval_at_root(&doc, &o),
-            eval_at_root(&doc, &p),
-            "optimized ≠ original: {o}"
-        );
+        assert_eq!(eval_at_root(&doc, &o), eval_at_root(&doc, &p), "optimized ≠ original: {o}");
         let s = o.to_string();
         assert!(!s.contains('['), "qualifier eliminated: {s}");
     }
@@ -434,11 +434,7 @@ mod tests {
         let doc = parse_xml("<a><a><a><b/></a></a></a>").unwrap();
         let p = parse("//b").unwrap();
         let o = optimize_with_height(&dtd, &p, doc.height()).unwrap();
-        assert_eq!(
-            eval_at_root(&doc, &p),
-            eval_at_root(&doc, &o),
-            "optimized ≠ original: {o}"
-        );
+        assert_eq!(eval_at_root(&doc, &p), eval_at_root(&doc, &o), "optimized ≠ original: {o}");
         let dead = optimize_with_height(&dtd, &parse("//zzz").unwrap(), doc.height()).unwrap();
         assert!(dead.is_empty_set());
         // Qualifier simplification works at unfolded nodes too: a's
@@ -456,10 +452,7 @@ mod tests {
         )
         .unwrap();
         use sxv_xpath::eval_at_document;
-        assert_eq!(
-            eval_at_document(&doc, &o),
-            eval_at_document(&doc, &parse("/a/b/d").unwrap())
-        );
+        assert_eq!(eval_at_document(&doc, &o), eval_at_document(&doc, &parse("/a/b/d").unwrap()));
     }
 
     /// Prop. 5.1 as a public API, on Example 5.2's queries.

@@ -105,14 +105,9 @@ impl ViewGraph {
                 sigma.insert((a, b), q);
             }
         }
-        let attrs = labels
-            .iter()
-            .map(|l| view.visible_attributes(l).to_vec())
-            .collect();
-        let has_text = labels
-            .iter()
-            .map(|l| matches!(view.production(l), Some(ViewContent::Str)))
-            .collect();
+        let attrs = labels.iter().map(|l| view.visible_attributes(l).to_vec()).collect();
+        let has_text =
+            labels.iter().map(|l| matches!(view.production(l), Some(ViewContent::Str))).collect();
         Ok(ViewGraph { labels, children, sigma, attrs, has_text, doc_node: 0, root })
     }
 
@@ -120,10 +115,7 @@ impl ViewGraph {
     pub fn unfolded(view: &SecurityView, height: usize) -> Result<Self> {
         let min_heights = view_min_heights(view);
         let fits = |name: &str, depth: usize| {
-            min_heights
-                .get(name)
-                .map(|&h| h != usize::MAX && depth + h <= height)
-                .unwrap_or(false)
+            min_heights.get(name).map(|&h| h != usize::MAX && depth + h <= height).unwrap_or(false)
         };
         if !fits(view.root(), 0) {
             return Err(Error::UnfoldImpossible { height });
@@ -168,14 +160,9 @@ impl ViewGraph {
                 sigma.insert((n, id), q);
             }
         }
-        let attrs = labels
-            .iter()
-            .map(|l| view.visible_attributes(l).to_vec())
-            .collect();
-        let has_text = labels
-            .iter()
-            .map(|l| matches!(view.production(l), Some(ViewContent::Str)))
-            .collect();
+        let attrs = labels.iter().map(|l| view.visible_attributes(l).to_vec()).collect();
+        let has_text =
+            labels.iter().map(|l| matches!(view.production(l), Some(ViewContent::Str))).collect();
         Ok(ViewGraph { labels, children, sigma, attrs, has_text, doc_node: 0, root: 1 })
     }
 
@@ -223,8 +210,8 @@ impl ViewGraph {
     /// the *document* side — used to optimize queries over recursive
     /// document DTDs). Identity σ, labels repeat across depths.
     pub fn from_dtd_unfolded(dtd: &sxv_dtd::Dtd, height: usize) -> Result<Self> {
-        let unfolded = sxv_dtd::UnfoldedDtd::new(dtd, height)
-            .ok_or(Error::UnfoldImpossible { height })?;
+        let unfolded =
+            sxv_dtd::UnfoldedDtd::new(dtd, height).ok_or(Error::UnfoldImpossible { height })?;
         let n = unfolded.len();
         // Node 0 = document node; unfolded node i → graph node i + 1.
         let mut labels = vec![String::new()];
@@ -366,8 +353,7 @@ impl ViewGraph {
         }
         // `a` can have nonzero indegree only through cycles; the graph is
         // a DAG by construction here.
-        let mut queue: Vec<usize> =
-            reach.iter().copied().filter(|n| indegree[n] == 0).collect();
+        let mut queue: Vec<usize> = reach.iter().copied().filter(|n| indegree[n] == 0).collect();
         let mut order = Vec::with_capacity(reach.len());
         while let Some(x) = queue.pop() {
             order.push(x);
@@ -420,9 +406,7 @@ impl ViewGraph {
 pub(crate) fn continue_from_text(p: &Path) -> Path {
     match p {
         Path::Empty => Path::Empty,
-        Path::EmptySet | Path::Label(_) | Path::Wildcard | Path::Text | Path::Doc => {
-            Path::EmptySet
-        }
+        Path::EmptySet | Path::Label(_) | Path::Wildcard | Path::Text | Path::Doc => Path::EmptySet,
         Path::Step(a, b) => Path::step(continue_from_text(a), continue_from_text(b)),
         // descendant-or-self of a leaf is the leaf itself.
         Path::Descendant(inner) => continue_from_text(inner),
@@ -456,11 +440,8 @@ pub(crate) fn text_qual(q: &Qualifier) -> Qualifier {
 /// Compute minimum instance heights for view types (the unfolding's
 /// non-recursive-rule analysis, mirroring `DtdGraph::min_heights`).
 fn view_min_heights(view: &SecurityView) -> HashMap<String, usize> {
-    let mut h: HashMap<String, usize> = view
-        .productions()
-        .iter()
-        .map(|(n, _)| (n.clone(), usize::MAX))
-        .collect();
+    let mut h: HashMap<String, usize> =
+        view.productions().iter().map(|(n, _)| (n.clone(), usize::MAX)).collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -594,6 +575,12 @@ impl<'a> Rewriter<'a> {
             Path::Descendant(p1) => {
                 let (reach, recrw) = self.rec_info(node).clone();
                 let mut branches: BTreeMap<Target, Vec<Path>> = BTreeMap::new();
+                // `//` expands to descendant-or-self, which includes *text*
+                // nodes; when `p1` is nullable (e.g. `//(l | ε)`) those text
+                // nodes stay in the answer, so every reachable str-production
+                // node also contributes its text children, continued through
+                // the leaf-restricted form of `p1`.
+                let text_cont = continue_from_text(p1);
                 for b in reach {
                     let prefix = recrw[&b].clone();
                     if prefix.is_empty_set() {
@@ -601,6 +588,12 @@ impl<'a> Rewriter<'a> {
                     }
                     for (w, q) in self.rw_path(p1, b)? {
                         branches.entry(w).or_default().push(Path::step(prefix.clone(), q));
+                    }
+                    if self.graph.has_text[b] && !text_cont.is_empty_set() {
+                        branches
+                            .entry(Target::TextOf(b))
+                            .or_default()
+                            .push(Path::step(prefix, Path::step(Path::Text, text_cont.clone())));
                     }
                 }
                 for (w, alts) in branches {
@@ -656,12 +649,8 @@ impl<'a> Rewriter<'a> {
                     Qualifier::Eq(union, c.clone())
                 }
             }
-            Qualifier::And(a, b) => {
-                Qualifier::and(self.rw_qual(a, node)?, self.rw_qual(b, node)?)
-            }
-            Qualifier::Or(a, b) => {
-                Qualifier::or(self.rw_qual(a, node)?, self.rw_qual(b, node)?)
-            }
+            Qualifier::And(a, b) => Qualifier::and(self.rw_qual(a, node)?, self.rw_qual(b, node)?),
+            Qualifier::Or(a, b) => Qualifier::or(self.rw_qual(a, node)?, self.rw_qual(b, node)?),
             Qualifier::Not(inner) => Qualifier::not(self.rw_qual(inner, node)?),
         })
     }
@@ -997,10 +986,8 @@ mod tests {
         let p = parse("//b").unwrap();
         assert!(matches!(rewrite(&view, &p), Err(Error::RecursiveView)));
         // With the document height known, unfolding makes it work (§4.2).
-        let doc = parse_xml(
-            "<a><b>1</b><clist><c><a><b>2</b><clist/></a></c></clist></a>",
-        )
-        .unwrap();
+        let doc =
+            parse_xml("<a><b>1</b><clist><c><a><b>2</b><clist/></a></c></clist></a>").unwrap();
         let pt = rewrite_with_height(&view, &p, doc.height()).unwrap();
         let r = eval_at_root(&doc, &pt);
         assert_eq!(r.len(), 2, "both b's found: {pt}");
@@ -1017,11 +1004,7 @@ mod tests {
             "a",
         )
         .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("a", "clist")
-            .allow("c", "a")
-            .build()
-            .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("a", "clist").allow("c", "a").build().unwrap();
         let view = derive_view(&spec).unwrap();
         assert!(view.is_recursive(), "recursion retained through the hidden region");
         let doc = parse_xml(
@@ -1066,7 +1049,10 @@ mod tests {
         let view = SecurityView::new(
             "r".into(),
             vec![
-                ("r".into(), ViewContent::Seq(vec![ViewItem::One("a".into()), ViewItem::One("b".into())])),
+                (
+                    "r".into(),
+                    ViewContent::Seq(vec![ViewItem::One("a".into()), ViewItem::One("b".into())]),
+                ),
                 ("a".into(), ViewContent::Star("c".into())),
                 ("b".into(), ViewContent::Star("c".into())),
                 ("c".into(), ViewContent::Star("t".into())),
@@ -1113,8 +1099,7 @@ mod tests {
         assert!(view.is_recursive());
         let hidden = rewrite_with_height(&view, &parse("//n[@secret='x']").unwrap(), 6).unwrap();
         assert!(hidden.is_empty_set(), "hidden attribute test must be false: {hidden}");
-        let visible =
-            rewrite_with_height(&view, &parse("//n[@public='x']").unwrap(), 6).unwrap();
+        let visible = rewrite_with_height(&view, &parse("//n[@public='x']").unwrap(), 6).unwrap();
         assert!(!visible.is_empty_set());
         assert!(visible.to_string().contains("@public"), "{visible}");
     }
@@ -1158,11 +1143,7 @@ mod tests {
         let p = parse("//patient[not(treatment/trial)]/name").unwrap();
         let pt = rewrite(&view, &p).unwrap();
         let m = materialize(&spec, &view, &doc).unwrap();
-        assert_eq!(
-            m.sources_of(&eval_at_root(&m.doc, &p)),
-            eval_at_root(&doc, &pt),
-            "{pt}"
-        );
+        assert_eq!(m.sources_of(&eval_at_root(&m.doc, &p)), eval_at_root(&doc, &pt), "{pt}");
         // All visible patients qualify: trial's label does not exist in
         // the view, so the qualifier cannot discriminate.
         assert_eq!(eval_at_root(&doc, &pt).len(), 2);

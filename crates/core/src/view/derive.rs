@@ -57,6 +57,7 @@ pub fn derive_view(spec: &AccessSpec) -> Result<SecurityView> {
         path_map: HashMap::new(),
         dummy_counter: 0,
         cycle_dummy: HashMap::new(),
+        type_dummy: HashMap::new(),
     };
     let root = spec.dtd().root().to_string();
     deriver.proc_acc(&root);
@@ -106,6 +107,13 @@ struct Deriver<'a> {
     dummy_counter: usize,
     /// Dummy label assigned to a recursive inaccessible type.
     cycle_dummy: HashMap<String, String>,
+    /// Dummy label assigned to a completed inaccessible type. One dummy
+    /// per document type: σ cannot distinguish occurrences of the same
+    /// label, so a repeated inaccessible child must map every occurrence
+    /// to the *same* dummy (compacted to `dummy*`), not one dummy each —
+    /// distinct dummies would each extract all occurrences and break
+    /// materialization (and `//*` answers) on `A → B, …, B`.
+    type_dummy: HashMap<String, String>,
 }
 
 impl<'a> Deriver<'a> {
@@ -265,8 +273,7 @@ impl<'a> Deriver<'a> {
             }
             reg_b @ ViewContent::Choice { .. } => {
                 // Shape mismatch: rename to a dummy.
-                let dummy = self.fresh_dummy();
-                self.emit_dummy(&dummy, b, reg_b);
+                let dummy = self.dummy_for_type(b, reg_b);
                 out.push((ViewItem::One(dummy), Path::label(b)));
             }
         }
@@ -300,8 +307,7 @@ impl<'a> Deriver<'a> {
                             }
                         }
                         reg_b @ (ViewContent::Seq(_) | ViewContent::Star(_)) => {
-                            let dummy = self.fresh_dummy();
-                            self.emit_dummy(&dummy, b, reg_b);
+                            let dummy = self.dummy_for_type(b, reg_b);
                             alternatives.push((dummy, Path::label(b)));
                         }
                     }
@@ -323,10 +329,7 @@ impl<'a> Deriver<'a> {
         for (name, q) in &merged {
             self.record(acc_ctx, a, name, q.clone());
         }
-        ViewContent::Choice {
-            alternatives: merged.into_iter().map(|(n, _)| n).collect(),
-            optional,
-        }
+        ViewContent::Choice { alternatives: merged.into_iter().map(|(n, _)| n).collect(), optional }
     }
 
     /// Handle `A → B*` (case 3 of Fig. 5).
@@ -359,8 +362,7 @@ impl<'a> Deriver<'a> {
                         ViewContent::Star(c)
                     }
                     reg_b => {
-                        let dummy = self.fresh_dummy();
-                        self.emit_dummy(&dummy, b, reg_b);
+                        let dummy = self.dummy_for_type(b, reg_b);
                         self.record(acc_ctx, a, &dummy, Path::label(b));
                         ViewContent::Star(dummy)
                     }
@@ -371,12 +373,7 @@ impl<'a> Deriver<'a> {
 
     /// Compact duplicate labels in a concatenation (Example 3.4's "more
     /// compact form") and record the extraction queries.
-    fn emit_items(
-        &mut self,
-        a: &str,
-        items: Vec<(ViewItem, Path)>,
-        acc_ctx: bool,
-    ) -> ViewContent {
+    fn emit_items(&mut self, a: &str, items: Vec<(ViewItem, Path)>, acc_ctx: bool) -> ViewContent {
         if items.is_empty() {
             return ViewContent::Empty;
         }
@@ -395,6 +392,23 @@ impl<'a> Deriver<'a> {
             self.record(acc_ctx, a, item.name(), q.clone());
         }
         ViewContent::Seq(merged.into_iter().map(|(i, _)| i).collect())
+    }
+
+    /// The dummy renaming an inaccessible type `B`, minting (and emitting
+    /// the `dummy → reg(B)` production) on first use. Reuses the cycle
+    /// dummy when recursion already named `B`, whose production is emitted
+    /// by `proc_inacc` on completion.
+    fn dummy_for_type(&mut self, b: &str, reg_b: ViewContent) -> String {
+        if let Some(d) = self.cycle_dummy.get(b) {
+            return d.clone();
+        }
+        if let Some(d) = self.type_dummy.get(b) {
+            return d.clone();
+        }
+        let d = self.fresh_dummy();
+        self.type_dummy.insert(b.to_string(), d.clone());
+        self.emit_dummy(&d, b, reg_b);
+        d
     }
 
     /// Add the view production `dummy → reg(B)` with σ from `path[B, ·]`.
@@ -539,17 +553,11 @@ mod tests {
 
     #[test]
     fn deny_leaf_without_accessible_descendants_pruned() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+            .unwrap();
         let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
         let view = derive_view(&spec).unwrap();
-        assert_eq!(
-            view.production("r"),
-            Some(&ViewContent::Seq(vec![ViewItem::One("a".into())]))
-        );
+        assert_eq!(view.production("r"), Some(&ViewContent::Seq(vec![ViewItem::One("a".into())])));
         assert!(view.production("b").is_none());
         assert!(view.sigma("r", "b").is_none());
     }
@@ -563,16 +571,9 @@ mod tests {
             "r",
         )
         .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("r", "x")
-            .allow("y", "a")
-            .build()
-            .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "x").allow("y", "a").build().unwrap();
         let view = derive_view(&spec).unwrap();
-        assert_eq!(
-            view.production("r"),
-            Some(&ViewContent::Seq(vec![ViewItem::One("a".into())]))
-        );
+        assert_eq!(view.production("r"), Some(&ViewContent::Seq(vec![ViewItem::One("a".into())])));
         assert_eq!(view.sigma("r", "a").unwrap().to_string(), "x/y/a");
         assert!(view.production("x").is_none());
         assert!(view.production("y").is_none());
@@ -581,11 +582,9 @@ mod tests {
     #[test]
     fn pruned_choice_branch_becomes_optional() {
         // t → x + y; x denied with no accessible descendants.
-        let dtd = parse_dtd(
-            "<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>",
-            "t",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>", "t")
+                .unwrap();
         let spec = AccessSpec::builder(&dtd).deny("t", "x").build().unwrap();
         let view = derive_view(&spec).unwrap();
         assert_eq!(
@@ -623,16 +622,9 @@ mod tests {
     #[test]
     fn star_with_single_accessible_descendant_collapses() {
         // r → x*; x (N) → a: r → a* with σ = x/a.
-        let dtd = parse_dtd(
-            "<!ELEMENT r (x*)><!ELEMENT x (a)><!ELEMENT a (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("r", "x")
-            .allow("x", "a")
-            .build()
-            .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT r (x*)><!ELEMENT x (a)><!ELEMENT a (#PCDATA)>", "r").unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "x").allow("x", "a").build().unwrap();
         let view = derive_view(&spec).unwrap();
         assert_eq!(view.production("r"), Some(&ViewContent::Star("a".into())));
         assert_eq!(view.sigma("r", "a").unwrap().to_string(), "x/a");
@@ -698,20 +690,13 @@ mod tests {
             "a",
         )
         .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("a", "b")
-            .allow("b", "a")
-            .build()
-            .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("a", "b").allow("b", "a").build().unwrap();
         let view = derive_view(&spec).unwrap();
         // reg(b) = (a) with path b→a = a; d inherits inaccessibility and is
         // pruned; the shortcut into a's concatenation keeps the recursion:
         assert_eq!(
             view.production("a"),
-            Some(&ViewContent::Seq(vec![
-                ViewItem::One("a".into()),
-                ViewItem::One("c".into()),
-            ]))
+            Some(&ViewContent::Seq(vec![ViewItem::One("a".into()), ViewItem::One("c".into()),]))
         );
         assert_eq!(view.sigma("a", "a").unwrap().to_string(), "b/a");
         assert!(view.is_recursive());
@@ -726,11 +711,7 @@ mod tests {
             "a",
         )
         .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("a", "x")
-            .allow("x", "d")
-            .build()
-            .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("a", "x").allow("x", "d").build().unwrap();
         let view = derive_view(&spec).unwrap();
         // x's reg: choice of (via y: cycle dummy for x) and d.
         // The dummy for the cycle must exist as a view production.
@@ -746,16 +727,11 @@ mod tests {
 
     #[test]
     fn conditional_child_under_choice_parent() {
-        let dtd = parse_dtd(
-            "<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>",
-            "t",
-        )
-        .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .cond_str("t", "x", ".='keep'")
-            .unwrap()
-            .build()
-            .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT t (x | y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>", "t")
+                .unwrap();
+        let spec =
+            AccessSpec::builder(&dtd).cond_str("t", "x", ".='keep'").unwrap().build().unwrap();
         let view = derive_view(&spec).unwrap();
         assert_eq!(view.sigma("t", "x").unwrap().to_string(), "x[.='keep']");
         assert_eq!(view.sigma("t", "y").unwrap().to_string(), "y");
@@ -763,16 +739,9 @@ mod tests {
 
     #[test]
     fn conditional_child_under_star_parent() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a*)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .cond_str("r", "a", "b='v'")
-            .unwrap()
-            .build()
-            .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT r (a*)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>", "r").unwrap();
+        let spec = AccessSpec::builder(&dtd).cond_str("r", "a", "b='v'").unwrap().build().unwrap();
         let view = derive_view(&spec).unwrap();
         assert_eq!(view.production("r"), Some(&ViewContent::Star("a".into())));
         assert_eq!(view.sigma("r", "a").unwrap().to_string(), "a[b='v']");
@@ -780,16 +749,9 @@ mod tests {
 
     #[test]
     fn deny_everything_leaves_empty_root() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
-            "r",
-        )
-        .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("r", "a")
-            .deny("r", "b")
-            .build()
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
             .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "a").deny("r", "b").build().unwrap();
         let view = derive_view(&spec).unwrap();
         assert_eq!(view.production("r"), Some(&ViewContent::Empty));
         assert_eq!(view.len(), 1, "only the root type survives");
@@ -811,20 +773,85 @@ mod tests {
             "r",
         )
         .unwrap();
-        let spec = AccessSpec::builder(&dtd)
-            .deny("r", "x")
-            .allow("x", "a")
+        let spec = AccessSpec::builder(&dtd).deny("r", "x").allow("x", "a").build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        assert_eq!(
+            view.production("r"),
+            Some(&ViewContent::Seq(vec![ViewItem::Many("a".into()), ViewItem::One("c".into())]))
+        );
+        assert_eq!(view.sigma("r", "a").unwrap().to_string(), "x/a");
+    }
+
+    #[test]
+    fn shortcut_through_denied_clinical_trial_keeps_all_descendants() {
+        // The `//*` regression spec: dept's clinicalTrial is denied but its
+        // patientInfo and test children are re-allowed. Proc_InAcc must
+        // splice both into dept's concatenation (merging the duplicate
+        // patientInfo into a starred particle) without dropping `test` or
+        // leaking `clinicalTrial`.
+        let spec = AccessSpec::builder(&hospital_dtd())
+            .deny("dept", "clinicalTrial")
+            .allow("clinicalTrial", "patientInfo")
+            .allow("clinicalTrial", "test")
             .build()
             .unwrap();
         let view = derive_view(&spec).unwrap();
         assert_eq!(
-            view.production("r"),
+            view.production("dept"),
             Some(&ViewContent::Seq(vec![
-                ViewItem::Many("a".into()),
-                ViewItem::One("c".into())
+                ViewItem::Many("patientInfo".into()),
+                ViewItem::One("test".into()),
+                ViewItem::One("staffInfo".into()),
             ]))
         );
-        assert_eq!(view.sigma("r", "a").unwrap().to_string(), "x/a");
+        assert_eq!(
+            view.sigma("dept", "patientInfo").unwrap().to_string(),
+            "clinicalTrial/patientInfo | patientInfo"
+        );
+        assert_eq!(view.sigma("dept", "test").unwrap().to_string(), "clinicalTrial/test");
+        assert!(view.production("clinicalTrial").is_none(), "denied label must be hidden");
+        // Every accessible type is reachable in the view — nothing dropped.
+        for kept in ["patientInfo", "patient", "test", "staffInfo", "treatment"] {
+            assert!(view.production(kept).is_some(), "{kept} dropped from view");
+        }
+    }
+
+    #[test]
+    fn repeated_inaccessible_child_shares_one_dummy() {
+        // r → x, x with x denied and reg(x) a choice: σ cannot tell the two
+        // x occurrences apart, so both must rename to the *same* dummy,
+        // compacted to `dummy*`. Per-occurrence dummies would each extract
+        // both occurrences — materialization aborts and `//*` answers
+        // diverge.
+        let dtd = parse_dtd(
+            "<!ELEMENT r (x, x)><!ELEMENT x (a | b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd)
+            .deny("r", "x")
+            .allow("x", "a")
+            .allow("x", "b")
+            .build()
+            .unwrap();
+        let view = derive_view(&spec).unwrap();
+        let dummies: Vec<&str> = view
+            .productions()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| SecurityView::is_dummy(n))
+            .collect();
+        assert_eq!(dummies.len(), 1, "one dummy per hidden type, got {dummies:?}");
+        let d = dummies[0];
+        assert_eq!(view.production("r"), Some(&ViewContent::Seq(vec![ViewItem::Many(d.into())])));
+        assert_eq!(view.sigma("r", d).unwrap().to_string(), "x");
+        assert_eq!(
+            view.production(d),
+            Some(&ViewContent::Choice {
+                alternatives: vec!["a".into(), "b".into()],
+                optional: false
+            })
+        );
     }
 
     #[test]

@@ -351,6 +351,29 @@ mod tests {
     }
 
     #[test]
+    fn nullable_plus_over_nullable_inner() {
+        // Regression (tests/property_substrate.proptest-regressions):
+        // (ε+, ε) must match the empty word — ε+ denotes {ε}, so the
+        // whole sequence is nullable. A Plus that hard-codes
+        // non-nullability breaks this; nullability of x+ is exactly
+        // nullability of x.
+        let m = Content::Seq(vec![Content::Plus(Box::new(Content::Empty)), Content::Empty]);
+        assert!(m.nullable());
+        assert!(m.matches([]));
+        assert!(!m.matches(["a"]));
+
+        // ε+ alone.
+        let p = Content::Plus(Box::new(Content::Empty));
+        assert!(p.nullable());
+        assert!(p.matches([]));
+
+        // (a*)+ is nullable, ∅+ is not (∅+ = ∅ has no words at all).
+        assert!(Content::Plus(Box::new(Content::Star(Box::new(name("a"))))).nullable());
+        assert!(!Content::Plus(Box::new(Content::none())).nullable());
+        assert!(!Content::Plus(Box::new(Content::none())).matches([]));
+    }
+
+    #[test]
     fn referenced_names_collects_all() {
         let m = Content::Seq(vec![
             name("a"),

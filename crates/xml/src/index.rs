@@ -21,6 +21,13 @@ pub struct DocIndex {
     by_label: HashMap<String, Vec<NodeId>>,
     /// Text-node occurrences in document order.
     text_nodes: Vec<NodeId>,
+    /// All text content concatenated in document order; because subtrees
+    /// are contiguous id ranges, the string value of *any* element is a
+    /// contiguous slice of this buffer.
+    text_buf: String,
+    /// `text_offsets[i]` = byte offset of `text_nodes[i]`'s content in
+    /// `text_buf` (one trailing sentinel = `text_buf.len()`).
+    text_offsets: Vec<usize>,
 }
 
 impl DocIndex {
@@ -44,13 +51,22 @@ impl DocIndex {
             }
             subtree_end[i] = end;
         }
+        let mut text_buf = String::new();
+        let mut text_offsets = Vec::new();
         for id in doc.all_ids() {
             match doc.label_opt(id) {
                 Some(l) => by_label.entry(l.to_string()).or_default().push(id),
-                None => text_nodes.push(id),
+                None => {
+                    text_offsets.push(text_buf.len());
+                    if let Ok(t) = doc.text(id) {
+                        text_buf.push_str(t);
+                    }
+                    text_nodes.push(id);
+                }
             }
         }
-        Some(DocIndex { subtree_end, by_label, text_nodes })
+        text_offsets.push(text_buf.len());
+        Some(DocIndex { subtree_end, by_label, text_nodes, text_buf, text_offsets })
     }
 
     /// Largest node id inside the subtree of `v`.
@@ -81,6 +97,22 @@ impl DocIndex {
     /// Total occurrences of a label in the document.
     pub fn label_count(&self, label: &str) -> usize {
         self.by_label.get(label).map(Vec::len).unwrap_or(0)
+    }
+
+    /// XPath string value of `v` without walking the subtree: the text
+    /// nodes of `v`'s subtree occupy a contiguous run of `text_nodes`
+    /// (pre-order ids), so the answer is one slice of the precomputed
+    /// buffer, located by two binary searches. For a text node this is
+    /// its own content; for an element, the concatenated subtree text.
+    ///
+    /// Agrees with [`Document::string_value`] but is O(log n) and
+    /// allocation-free instead of O(|subtree|).
+    pub fn string_value(&self, v: NodeId) -> &str {
+        let end = self.subtree_end(v);
+        // `< v` (not `<= v`) keeps `v` itself in range when it is a text node.
+        let lo = self.text_nodes.partition_point(|&x| x < v);
+        let hi = self.text_nodes.partition_point(|&x| x <= end);
+        &self.text_buf[self.text_offsets[lo]..self.text_offsets[hi]]
     }
 }
 
@@ -135,6 +167,22 @@ mod tests {
         assert_eq!(idx.text_descendants(root).len(), 3);
         let outer_a = d.children(root)[0];
         assert_eq!(idx.text_descendants(outer_a).len(), 2);
+    }
+
+    #[test]
+    fn string_values_from_text_intervals() {
+        let d = parse("<r><a><b>x</b><a><b>y</b></a></a><b>z</b>tail</r>").unwrap();
+        let idx = DocIndex::new(&d).unwrap();
+        for id in d.all_ids() {
+            assert_eq!(
+                idx.string_value(id),
+                d.string_value(id),
+                "node {:?} ({:?})",
+                id,
+                d.label_opt(id)
+            );
+        }
+        assert_eq!(idx.string_value(d.root().unwrap()), "xyztail");
     }
 
     #[test]

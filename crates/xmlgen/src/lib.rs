@@ -86,8 +86,7 @@ impl GenConfig {
         element: impl Into<String>,
         values: impl IntoIterator<Item = impl Into<String>>,
     ) -> Self {
-        self.value_pools
-            .insert(element.into(), values.into_iter().map(Into::into).collect());
+        self.value_pools.insert(element.into(), values.into_iter().map(Into::into).collect());
         self
     }
 }
@@ -133,7 +132,14 @@ impl Generator {
 
     /// Generate children for `node` of type `label` with `budget` depth
     /// levels available below it.
-    fn fill(&mut self, doc: &mut Document, node: NodeId, label: &str, budget: usize, rng: &mut StdRng) {
+    fn fill(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+        budget: usize,
+        rng: &mut StdRng,
+    ) {
         self.emit_attributes(doc, node, label, rng);
         let content = self.dtd.content(label).expect("validated at construction").clone();
         self.emit(doc, node, &content, budget, rng);
@@ -165,7 +171,14 @@ impl Generator {
         }
     }
 
-    fn emit(&mut self, doc: &mut Document, parent: NodeId, content: &Content, budget: usize, rng: &mut StdRng) {
+    fn emit(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+        content: &Content,
+        budget: usize,
+        rng: &mut StdRng,
+    ) {
         match content {
             Content::Empty => {}
             Content::PcData => {
@@ -184,10 +197,8 @@ impl Generator {
                 }
             }
             Content::Choice(items) => {
-                let viable: Vec<&Content> = items
-                    .iter()
-                    .filter(|item| self.content_min(item) <= budget)
-                    .collect();
+                let viable: Vec<&Content> =
+                    items.iter().filter(|item| self.content_min(item) <= budget).collect();
                 let pick = viable[rng.gen_range(0..viable.len())].clone();
                 self.emit(doc, parent, &pick, budget, rng);
             }
@@ -261,16 +272,10 @@ fn content_min_with(content: &Content, depths: &HashMap<String, usize>) -> usize
             let d = depths.get(n).copied().unwrap_or(usize::MAX);
             d.saturating_add(1)
         }
-        Content::Seq(items) => items
-            .iter()
-            .map(|i| content_min_with(i, depths))
-            .max()
-            .unwrap_or(0),
-        Content::Choice(items) => items
-            .iter()
-            .map(|i| content_min_with(i, depths))
-            .min()
-            .unwrap_or(usize::MAX),
+        Content::Seq(items) => items.iter().map(|i| content_min_with(i, depths)).max().unwrap_or(0),
+        Content::Choice(items) => {
+            items.iter().map(|i| content_min_with(i, depths)).min().unwrap_or(usize::MAX)
+        }
         Content::Plus(inner) => content_min_with(inner, depths),
         Content::Star(_) | Content::Opt(_) => 0,
     }
@@ -344,12 +349,10 @@ mod tests {
     #[test]
     fn branching_factor_grows_documents() {
         let dtd = hospital_dtd();
-        let small = Generator::new(&dtd, GenConfig::seeded(3).with_max_branch(2))
-            .generate()
-            .unwrap();
-        let large = Generator::new(&dtd, GenConfig::seeded(3).with_max_branch(12))
-            .generate()
-            .unwrap();
+        let small =
+            Generator::new(&dtd, GenConfig::seeded(3).with_max_branch(2)).generate().unwrap();
+        let large =
+            Generator::new(&dtd, GenConfig::seeded(3).with_max_branch(12)).generate().unwrap();
         assert!(
             large.len() > small.len() * 2,
             "max_branch 12 ({}) should far exceed max_branch 2 ({})",
@@ -361,34 +364,29 @@ mod tests {
     #[test]
     fn value_pools_used() {
         let dtd = hospital_dtd();
-        let config = GenConfig::seeded(9)
-            .with_max_branch(4)
-            .with_values("wardNo", ["6", "7"]);
-        let doc = Generator::new(&dtd, config).generate().unwrap();
         let mut seen_ward = false;
-        for id in doc.all_ids() {
-            if doc.label_opt(id) == Some("wardNo") {
-                seen_ward = true;
-                let v = doc.string_value(id);
-                assert!(v == "6" || v == "7", "pool value expected, got {v}");
+        // Sweep a few seeds so the test doesn't depend on one particular
+        // RNG stream producing a patient.
+        for seed in 0..16 {
+            let config =
+                GenConfig::seeded(seed).with_max_branch(4).with_values("wardNo", ["6", "7"]);
+            let doc = Generator::new(&dtd, config).generate().unwrap();
+            for id in doc.all_ids() {
+                if doc.label_opt(id) == Some("wardNo") {
+                    seen_ward = true;
+                    let v = doc.string_value(id);
+                    assert!(v == "6" || v == "7", "pool value expected, got {v}");
+                }
             }
         }
-        // With branching 4 the chance of zero patients is negligible for
-        // this seed; guard the assertion so the test is meaningful.
-        assert!(seen_ward, "seed 9 produces at least one patient");
+        assert!(seen_ward, "no seed in 0..16 produces a patient");
     }
 
     #[test]
     fn recursive_dtd_terminates_and_conforms() {
-        let dtd = parse_general_dtd(
-            "<!ELEMENT a (b, a?)><!ELEMENT b (#PCDATA)>",
-            "a",
-        )
-        .unwrap();
-        let mut g = Generator::new(
-            &dtd,
-            GenConfig::seeded(11).with_max_depth(6).with_max_branch(2),
-        );
+        let dtd = parse_general_dtd("<!ELEMENT a (b, a?)><!ELEMENT b (#PCDATA)>", "a").unwrap();
+        let mut g =
+            Generator::new(&dtd, GenConfig::seeded(11).with_max_depth(6).with_max_branch(2));
         let doc = g.generate().unwrap();
         validate(&dtd, &doc).unwrap();
         assert!(doc.height() <= 2 * 6 + 2, "depth bounded");
@@ -411,17 +409,10 @@ mod tests {
 
     #[test]
     fn depth_budget_too_small_yields_none() {
-        let dtd = parse_general_dtd(
-            "<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY>",
-            "r",
-        )
-        .unwrap();
-        assert!(Generator::new(&dtd, GenConfig::seeded(1).with_max_depth(1))
-            .generate()
-            .is_none());
-        assert!(Generator::new(&dtd, GenConfig::seeded(1).with_max_depth(2))
-            .generate()
-            .is_some());
+        let dtd =
+            parse_general_dtd("<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY>", "r").unwrap();
+        assert!(Generator::new(&dtd, GenConfig::seeded(1).with_max_depth(1)).generate().is_none());
+        assert!(Generator::new(&dtd, GenConfig::seeded(1).with_max_depth(2)).generate().is_some());
     }
 
     #[test]
@@ -435,9 +426,8 @@ mod tests {
             "r",
         )
         .unwrap();
-        let config = GenConfig::seeded(13)
-            .with_max_branch(5)
-            .with_values("a@id", ["i1", "i2", "i3"]);
+        let config =
+            GenConfig::seeded(13).with_max_branch(5).with_values("a@id", ["i1", "i2", "i3"]);
         let doc = Generator::new(&dtd, config).generate().unwrap();
         sxv_dtd::validate_attributes(&dtd, &doc).unwrap();
         let root = doc.root().unwrap();

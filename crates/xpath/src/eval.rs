@@ -62,6 +62,18 @@ pub struct EvalStats {
     pub nodes_touched: u64,
     /// Qualifier evaluations performed.
     pub qualifier_checks: u64,
+    /// Structural-index probes (interval lookups and memoized
+    /// string-value reads) that replaced subtree scans.
+    pub index_lookups: u64,
+}
+
+impl EvalStats {
+    /// Accumulate another evaluation's counters into this one.
+    pub fn absorb(&mut self, other: EvalStats) {
+        self.nodes_touched += other.nodes_touched;
+        self.qualifier_checks += other.qualifier_checks;
+        self.index_lookups += other.index_lookups;
+    }
 }
 
 /// Evaluate `p` with an explicit context node list. Returns the result in
@@ -80,10 +92,7 @@ pub fn eval_at_root_indexed(doc: &Document, index: &DocIndex, p: &Path) -> Vec<N
     match doc.root_opt() {
         Some(root) => {
             let ctx = NodeSet::single(root);
-            eval_impl(doc, Some(index), p, &ctx, &mut stats)
-                .nodes
-                .into_iter()
-                .collect()
+            eval_impl(doc, Some(index), p, &ctx, &mut stats).nodes.into_iter().collect()
         }
         None => Vec::new(),
     }
@@ -91,11 +100,30 @@ pub fn eval_at_root_indexed(doc: &Document, index: &DocIndex, p: &Path) -> Vec<N
 
 /// Evaluate at the root element, also returning work counters.
 pub fn eval_at_root_with_stats(doc: &Document, p: &Path) -> (Vec<NodeId>, EvalStats) {
+    eval_at_root_counting(doc, None, p)
+}
+
+/// Indexed evaluation at the root element with work counters — the
+/// serving-path entry point: axis steps *and* qualifier probes use the
+/// structural index.
+pub fn eval_at_root_indexed_with_stats(
+    doc: &Document,
+    index: &DocIndex,
+    p: &Path,
+) -> (Vec<NodeId>, EvalStats) {
+    eval_at_root_counting(doc, Some(index), p)
+}
+
+fn eval_at_root_counting(
+    doc: &Document,
+    index: Option<&DocIndex>,
+    p: &Path,
+) -> (Vec<NodeId>, EvalStats) {
     let mut stats = EvalStats::default();
     let result = match doc.root_opt() {
         Some(root) => {
             let ctx = NodeSet::single(root);
-            eval_set_counting(doc, p, &ctx, &mut stats).nodes.into_iter().collect()
+            eval_impl(doc, index, p, &ctx, &mut stats).nodes.into_iter().collect()
         }
         None => Vec::new(),
     };
@@ -116,16 +144,24 @@ pub fn eval_at_root(doc: &Document, p: &Path) -> Vec<NodeId> {
 /// queries alike.
 pub fn eval_at_document(doc: &Document, p: &Path) -> Vec<NodeId> {
     let mut stats = EvalStats::default();
-    eval_set_counting(doc, p, &NodeSet::document(), &mut stats)
-        .nodes
-        .into_iter()
-        .collect()
+    eval_set_counting(doc, p, &NodeSet::document(), &mut stats).nodes.into_iter().collect()
 }
 
 /// Evaluate a qualifier at a single context node.
 pub fn eval_qualifier(doc: &Document, q: &Qualifier, v: NodeId) -> bool {
+    eval_qualifier_indexed(doc, None, q, v)
+}
+
+/// Evaluate a qualifier at a single context node, using the structural
+/// index (when given) for its path probes and `[p = c]` string values.
+pub fn eval_qualifier_indexed(
+    doc: &Document,
+    index: Option<&DocIndex>,
+    q: &Qualifier,
+    v: NodeId,
+) -> bool {
     let mut stats = EvalStats::default();
-    qual_holds(doc, q, &NodeSet::single(v), &mut stats)
+    qual_holds(doc, index, q, &NodeSet::single(v), &mut stats)
 }
 
 /// Core evaluator: context set → result set.
@@ -135,8 +171,24 @@ pub fn eval_set(doc: &Document, p: &Path, ctx: &NodeSet) -> NodeSet {
 }
 
 /// Core evaluator with work counters.
-pub fn eval_set_counting(doc: &Document, p: &Path, ctx: &NodeSet, stats: &mut EvalStats) -> NodeSet {
+pub fn eval_set_counting(
+    doc: &Document,
+    p: &Path,
+    ctx: &NodeSet,
+    stats: &mut EvalStats,
+) -> NodeSet {
     eval_impl(doc, None, p, ctx, stats)
+}
+
+/// Core evaluator with work counters and an optional structural index.
+pub fn eval_set_counting_indexed(
+    doc: &Document,
+    index: Option<&DocIndex>,
+    p: &Path,
+    ctx: &NodeSet,
+    stats: &mut EvalStats,
+) -> NodeSet {
+    eval_impl(doc, index, p, ctx, stats)
 }
 
 /// Shared evaluator body; `index` enables the structural fast path.
@@ -203,17 +255,22 @@ fn eval_impl(
                 .into_iter()
                 .filter(|&v| {
                     stats.qualifier_checks += 1;
-                    qual_holds(doc, q, &NodeSet::single(v), stats)
+                    qual_holds(doc, index, q, &NodeSet::single(v), stats)
                 })
                 .collect();
-            let doc_kept = base.doc && qual_holds(doc, q, &NodeSet::document(), stats);
+            let doc_kept = base.doc && qual_holds(doc, index, q, &NodeSet::document(), stats);
             NodeSet { doc: doc_kept, nodes }
         }
     }
 }
 
 /// One child-axis step from every context node; `label == None` is `*`.
-fn child_step(doc: &Document, ctx: &NodeSet, label: Option<&str>, stats: &mut EvalStats) -> NodeSet {
+fn child_step(
+    doc: &Document,
+    ctx: &NodeSet,
+    label: Option<&str>,
+    stats: &mut EvalStats,
+) -> NodeSet {
     let mut out = NodeSet::empty();
     stats.nodes_touched += ctx.nodes.len() as u64;
     if ctx.doc {
@@ -266,6 +323,7 @@ fn indexed_descendant(
             let mut out = NodeSet::empty();
             for &v in &roots {
                 let hits = idx.labelled_descendants(l, v);
+                stats.index_lookups += 1;
                 stats.nodes_touched += hits.len() as u64;
                 out.nodes.extend(hits.iter().copied());
                 if include_root_match && doc.label_opt(v) == Some(l) {
@@ -278,6 +336,7 @@ fn indexed_descendant(
             let mut out = NodeSet::empty();
             for &v in &roots {
                 let end = idx.subtree_end(v);
+                stats.index_lookups += 1;
                 for i in v.index() + 1..=end.index() {
                     let id = NodeId::from_index(i);
                     if doc.node(id).is_element() {
@@ -295,6 +354,7 @@ fn indexed_descendant(
             let mut out = NodeSet::empty();
             for &v in &roots {
                 let hits = idx.text_descendants(v);
+                stats.index_lookups += 1;
                 stats.nodes_touched += hits.len() as u64;
                 out.nodes.extend(hits.iter().copied());
             }
@@ -316,7 +376,7 @@ fn indexed_descendant(
                 .into_iter()
                 .filter(|&v| {
                     stats.qualifier_checks += 1;
-                    qual_holds(doc, q, &NodeSet::single(v), stats)
+                    qual_holds(doc, Some(idx), q, &NodeSet::single(v), stats)
                 })
                 .collect();
             Some(NodeSet { doc: false, nodes })
@@ -326,21 +386,33 @@ fn indexed_descendant(
     }
 }
 
-fn qual_holds(doc: &Document, q: &Qualifier, ctx: &NodeSet, stats: &mut EvalStats) -> bool {
+fn qual_holds(
+    doc: &Document,
+    index: Option<&DocIndex>,
+    q: &Qualifier,
+    ctx: &NodeSet,
+    stats: &mut EvalStats,
+) -> bool {
     match q {
         Qualifier::True => true,
         Qualifier::False => false,
-        Qualifier::Path(p) => !eval_set_counting(doc, p, ctx, stats).is_empty(),
+        Qualifier::Path(p) => !eval_impl(doc, index, p, ctx, stats).is_empty(),
         Qualifier::Eq(p, c) => {
-            let result = eval_set_counting(doc, p, ctx, stats);
-            result.nodes.iter().any(|&n| doc.string_value(n) == *c)
+            let result = eval_impl(doc, index, p, ctx, stats);
+            match index {
+                // Memoized string values: one O(log n) slice of the
+                // index's text buffer per candidate instead of an
+                // O(|subtree|) walk-and-concatenate.
+                Some(idx) => result.nodes.iter().any(|&n| {
+                    stats.index_lookups += 1;
+                    idx.string_value(n) == *c
+                }),
+                None => result.nodes.iter().any(|&n| doc.string_value(n) == *c),
+            }
         }
-        Qualifier::Attr(name) => ctx
-            .nodes
-            .iter()
-            .next()
-            .map(|&v| doc.attribute(v, name).is_some())
-            .unwrap_or(false),
+        Qualifier::Attr(name) => {
+            ctx.nodes.iter().next().map(|&v| doc.attribute(v, name).is_some()).unwrap_or(false)
+        }
         Qualifier::AttrEq(name, value) => ctx
             .nodes
             .iter()
@@ -348,12 +420,12 @@ fn qual_holds(doc: &Document, q: &Qualifier, ctx: &NodeSet, stats: &mut EvalStat
             .map(|&v| doc.attribute(v, name) == Some(value.as_str()))
             .unwrap_or(false),
         Qualifier::And(a, b) => {
-            qual_holds(doc, a, ctx, stats) && qual_holds(doc, b, ctx, stats)
+            qual_holds(doc, index, a, ctx, stats) && qual_holds(doc, index, b, ctx, stats)
         }
         Qualifier::Or(a, b) => {
-            qual_holds(doc, a, ctx, stats) || qual_holds(doc, b, ctx, stats)
+            qual_holds(doc, index, a, ctx, stats) || qual_holds(doc, index, b, ctx, stats)
         }
-        Qualifier::Not(inner) => !qual_holds(doc, inner, ctx, stats),
+        Qualifier::Not(inner) => !qual_holds(doc, index, inner, ctx, stats),
     }
 }
 
@@ -591,11 +663,7 @@ mod tests {
             "//dept/*",
         ] {
             let p = parse(q).unwrap();
-            assert_eq!(
-                eval_at_root(&d, &p),
-                eval_at_root_indexed(&d, &idx, &p),
-                "{q}"
-            );
+            assert_eq!(eval_at_root(&d, &p), eval_at_root_indexed(&d, &idx, &p), "{q}");
         }
     }
 

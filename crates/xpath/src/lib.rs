@@ -33,7 +33,11 @@ pub mod subq;
 
 pub use ast::{Path, Qualifier};
 pub use error::{Error, Result};
-pub use eval::{eval, eval_at_document, eval_at_root, eval_at_root_indexed, eval_at_root_with_stats, eval_qualifier, EvalStats};
+pub use eval::{
+    eval, eval_at_document, eval_at_root, eval_at_root_indexed, eval_at_root_indexed_with_stats,
+    eval_at_root_with_stats, eval_qualifier, eval_qualifier_indexed, eval_set_counting,
+    eval_set_counting_indexed, EvalStats,
+};
 pub use parser::parse;
 pub use simplify::{factored_union, simplify};
 pub use subq::{postorder, SubExpr};

@@ -89,7 +89,12 @@ impl<'a> Parser<'a> {
             if self.eat("|") || self.eat("∪") {
                 self.skip_ws();
                 let rhs = self.parse_path()?;
-                acc = Path::union(acc, rhs);
+                // Keep the raw node: the parser must be faithful to the
+                // written query. `Path::union`'s idempotence law would
+                // collapse `a | a | aa` to `a | aa` and break the
+                // display/parse roundtrip; simplification is opt-in via
+                // the smart constructors, not part of parsing.
+                acc = Path::Union(Box::new(acc), Box::new(rhs));
             } else {
                 return Ok(acc);
             }
@@ -332,10 +337,7 @@ mod tests {
     #[test]
     fn descendant_axis() {
         assert_eq!(parse("//a").unwrap(), Path::descendant(l("a")));
-        assert_eq!(
-            parse("a//b").unwrap(),
-            Path::step(l("a"), Path::descendant(l("b")))
-        );
+        assert_eq!(parse("a//b").unwrap(), Path::step(l("a"), Path::descendant(l("b"))));
         assert_eq!(
             parse("//a//b").unwrap(),
             Path::step(Path::descendant(l("a")), Path::descendant(l("b")))
@@ -357,25 +359,16 @@ mod tests {
 
     #[test]
     fn qualifiers() {
-        assert_eq!(
-            parse("a[b]").unwrap(),
-            Path::filter(l("a"), Qualifier::path(l("b")))
-        );
+        assert_eq!(parse("a[b]").unwrap(), Path::filter(l("a"), Qualifier::path(l("b"))));
         assert_eq!(
             parse("a[b and c]").unwrap(),
-            Path::filter(
-                l("a"),
-                Qualifier::and(Qualifier::path(l("b")), Qualifier::path(l("c")))
-            )
+            Path::filter(l("a"), Qualifier::and(Qualifier::path(l("b")), Qualifier::path(l("c"))))
         );
         assert_eq!(
             parse("a[not(b) or c]").unwrap(),
             Path::filter(
                 l("a"),
-                Qualifier::or(
-                    Qualifier::not(Qualifier::path(l("b"))),
-                    Qualifier::path(l("c"))
-                )
+                Qualifier::or(Qualifier::not(Qualifier::path(l("b"))), Qualifier::path(l("c")))
             )
         );
     }
@@ -451,10 +444,7 @@ mod tests {
         let p = parse("a[b][c]").unwrap();
         assert_eq!(
             p,
-            Path::filter(
-                Path::filter(l("a"), Qualifier::path(l("b"))),
-                Qualifier::path(l("c"))
-            )
+            Path::filter(Path::filter(l("a"), Qualifier::path(l("b"))), Qualifier::path(l("c")))
         );
     }
 
@@ -478,19 +468,13 @@ mod tests {
         let p = parse("a[(b | c)/d]").unwrap();
         assert_eq!(
             p,
-            Path::filter(
-                l("a"),
-                Qualifier::path(Path::step(Path::union(l("b"), l("c")), l("d")))
-            )
+            Path::filter(l("a"), Qualifier::path(Path::step(Path::union(l("b"), l("c")), l("d"))))
         );
     }
 
     #[test]
     fn epsilon_with_qualifier() {
-        assert_eq!(
-            parse(".[a]").unwrap(),
-            Path::filter(Path::Empty, Qualifier::path(l("a")))
-        );
+        assert_eq!(parse(".[a]").unwrap(), Path::filter(Path::Empty, Qualifier::path(l("a"))));
     }
 
     #[test]
@@ -501,10 +485,7 @@ mod tests {
             Path::filter(
                 l("a"),
                 Qualifier::and(
-                    Qualifier::and(
-                        Qualifier::path(l("android")),
-                        Qualifier::path(l("order"))
-                    ),
+                    Qualifier::and(Qualifier::path(l("android")), Qualifier::path(l("order"))),
                     Qualifier::path(l("nothing"))
                 )
             )
@@ -514,10 +495,7 @@ mod tests {
     #[test]
     fn text_selector() {
         assert_eq!(parse("text()").unwrap(), Path::Text);
-        assert_eq!(
-            parse("a/text()").unwrap(),
-            Path::step(Path::label("a"), Path::Text)
-        );
+        assert_eq!(parse("a/text()").unwrap(), Path::step(Path::label("a"), Path::Text));
         assert_eq!(parse("//text()").unwrap(), Path::descendant(Path::Text));
         // A name that merely starts with "text" stays a name.
         assert_eq!(parse("textual").unwrap(), Path::label("textual"));
@@ -538,10 +516,7 @@ mod tests {
     fn whitespace_tolerated() {
         assert_eq!(
             parse("  a / b [ c = '1' ] ").unwrap(),
-            Path::step(
-                l("a"),
-                Path::filter(l("b"), Qualifier::Eq(l("c"), "1".into()))
-            )
+            Path::step(l("a"), Path::filter(l("b"), Qualifier::Eq(l("c"), "1".into())))
         );
     }
 }

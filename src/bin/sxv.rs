@@ -5,6 +5,7 @@
 //! sxv materialize --dtd … --root … --spec … --doc data.xml
 //! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
 //! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize]
+//!                 [--indexed] [--stats] [--repeat N]
 //! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
 //! sxv validate    --dtd … --root … --doc data.xml
 //! ```
@@ -20,7 +21,7 @@ use secure_xml_views::core::{
 };
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
-use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, Document};
+use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
 use secure_xml_views::xpath::parse as parse_xpath;
 use std::process::ExitCode;
 
@@ -51,7 +52,7 @@ impl Options {
                 .ok_or_else(|| format!("expected a --flag, found {flag:?}"))?
                 .to_string();
             // Boolean flags take no value.
-            if matches!(name.as_str(), "show-sigma" | "no-optimize") {
+            if matches!(name.as_str(), "show-sigma" | "no-optimize" | "stats" | "indexed") {
                 flags.push((name, String::new()));
                 continue;
             }
@@ -112,8 +113,7 @@ fn load_spec(opts: &Options, dtd: &Dtd) -> Result<AccessSpec, String> {
     let path = opts.require("spec")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let binds = opts.binds();
-    let params: Vec<(&str, &str)> =
-        binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let params: Vec<(&str, &str)> = binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
     AccessSpec::parse(dtd, &text, &params).map_err(|e| e.to_string())
 }
 
@@ -182,9 +182,48 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         "optimize" => Approach::Optimize,
         other => return Err(format!("unknown approach {other:?}")),
     };
+    let repeat: usize = match opts.get("repeat") {
+        None => 1,
+        Some(v) => v.parse().map_err(|e| format!("--repeat: {e}"))?,
+    };
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    let index = if opts.has("indexed") {
+        Some(DocIndex::new(&doc).ok_or("--indexed: document ids are not in document order")?)
+    } else {
+        None
+    };
     let view = derive_view(&spec).map_err(|e| e.to_string())?;
     let engine = SecureEngine::new(&spec, &view);
-    let answer = engine.answer_with(&doc, &query, approach).map_err(|e| e.to_string())?;
+    let mut answer = Vec::new();
+    let mut last_report = None;
+    for _ in 0..repeat {
+        let (ans, report) = engine
+            .answer_report(&doc, index.as_ref(), &query, approach)
+            .map_err(|e| e.to_string())?;
+        answer = ans;
+        last_report = Some(report);
+    }
+    if opts.has("stats") {
+        let report = last_report.expect("repeat >= 1");
+        let cache = engine.cache_stats();
+        eprintln!("translated query: {}", report.translated);
+        eprintln!(
+            "evaluation: nodes_touched={} qualifier_checks={} index_lookups={}{}",
+            report.eval.nodes_touched,
+            report.eval.qualifier_checks,
+            report.eval.index_lookups,
+            if index.is_some() { " (indexed)" } else { "" },
+        );
+        eprintln!(
+            "translation cache: hits={} misses={} entries={} (last query: {})",
+            cache.hits,
+            cache.misses,
+            cache.entries,
+            if report.cache_hit { "hit" } else { "miss" },
+        );
+    }
     eprintln!("{} result(s)", answer.len());
     for node in answer {
         match doc.label_opt(node) {

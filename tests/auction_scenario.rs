@@ -30,17 +30,11 @@ fn bidder_view_shape() {
     let site = view.production("site").unwrap().to_string();
     assert_eq!(site, "open-auctions, closed-auctions, categories");
     // open-auction loses seller and reserve.
-    assert_eq!(
-        view.production("open-auction").unwrap().to_string(),
-        "item-ref, bids, current"
-    );
+    assert_eq!(view.production("open-auction").unwrap().to_string(), "item-ref, bids, current");
     // bid loses the bidder identity but keeps amount and time.
     assert_eq!(view.production("bid").unwrap().to_string(), "amount, bid-time");
     // closed-auction loses the buyer.
-    assert_eq!(
-        view.production("closed-auction").unwrap().to_string(),
-        "item-ref, final-price"
-    );
+    assert_eq!(view.production("closed-auction").unwrap().to_string(), "item-ref, final-price");
     // person/person-ref/reserve do not exist as view types.
     for hidden in ["person", "person-ref", "reserve", "seller", "bidder", "buyer"] {
         assert!(view.production(hidden).is_none(), "{hidden} leaked");
@@ -68,16 +62,16 @@ fn oracle_equivalence_on_generated_sites() {
         ] {
             let p = parse_xpath(q).unwrap();
             let pt = rewrite(&view, &p).unwrap();
-            let mut over_view = m.sources_of(&eval_at_root(&m.doc, &p)
-                .into_iter()
-                .filter(|&n| m.doc.node(n).is_element())
-                .collect::<Vec<_>>());
+            let mut over_view = m.sources_of(
+                &eval_at_root(&m.doc, &p)
+                    .into_iter()
+                    .filter(|&n| m.doc.node(n).is_element())
+                    .collect::<Vec<_>>(),
+            );
             over_view.sort();
             over_view.dedup();
-            let over_doc: Vec<_> = eval_at_root(&doc, &pt)
-                .into_iter()
-                .filter(|&n| doc.node(n).is_element())
-                .collect();
+            let over_doc: Vec<_> =
+                eval_at_root(&doc, &pt).into_iter().filter(|&n| doc.node(n).is_element()).collect();
             assert_eq!(over_view, over_doc, "seed {seed}: {q} → {pt}");
         }
     }
@@ -110,10 +104,44 @@ fn hidden_regions_and_inference_probes() {
     // Negated hidden qualifiers must not discriminate either: every
     // visible bid satisfies not([bidder]) — the qualifier is vacuous.
     let all_bids = engine.answer(&doc, &parse_xpath("//bid").unwrap()).unwrap();
-    let not_bidder = engine
-        .answer(&doc, &parse_xpath("//bid[not(bidder)]").unwrap())
-        .unwrap();
+    let not_bidder = engine.answer(&doc, &parse_xpath("//bid[not(bidder)]").unwrap()).unwrap();
     assert_eq!(all_bids, not_bidder, "negation over a hidden label must be vacuous");
+}
+
+#[test]
+fn indexed_and_unindexed_agree_on_auction_documents() {
+    use secure_xml_views::core::Approach;
+    use secure_xml_views::xml::DocIndex;
+    let (_, spec) = setup();
+    let view = derive_view(&spec).unwrap();
+    let engine = SecureEngine::new(&spec, &view);
+    for seed in [3u64, 11, 17] {
+        let doc = document(seed, 5);
+        let index = DocIndex::new(&doc).expect("generated docs are in document order");
+        for q in [
+            "//bid/amount",
+            "//open-auction[current]/item-ref",
+            "//closed-auction/final-price",
+            "//category/cat-name",
+            "//open-auction[@id]",
+            "//bid[amount]/bid-time",
+            "//*",
+        ] {
+            let p = parse_xpath(q).unwrap();
+            for approach in [Approach::Rewrite, Approach::Optimize] {
+                let (plain, plain_report) = engine.answer_report(&doc, None, &p, approach).unwrap();
+                let (indexed, _) = engine.answer_report(&doc, Some(&index), &p, approach).unwrap();
+                assert_eq!(plain, indexed, "seed {seed}: {q} ({approach:?})");
+                assert_eq!(plain_report.eval.index_lookups, 0, "{q}");
+            }
+        }
+    }
+    // Repeated queries above must have been served from the translation
+    // cache: each (query, approach) pair is translated on first use, then
+    // hit on the remaining plain+indexed calls (2 per seed × 3 seeds).
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 7 * 2);
+    assert_eq!(stats.hits, 7 * 2 * (3 * 2 - 1));
 }
 
 #[test]

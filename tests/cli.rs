@@ -80,10 +80,7 @@ fn generate_validate_query_pipeline() {
     gen_args.extend(["--branch", "3", "--seed", "11"]);
     let (xml, stderr, ok) = run(&gen_args);
     assert!(ok, "{stderr}");
-    std::fs::File::create(&doc_path)
-        .unwrap()
-        .write_all(xml.as_bytes())
-        .unwrap();
+    std::fs::File::create(&doc_path).unwrap().write_all(xml.as_bytes()).unwrap();
 
     let doc_str = doc_path.to_str().unwrap();
     let mut val_args = vec!["validate"];
@@ -109,6 +106,54 @@ fn generate_validate_query_pipeline() {
     assert!(ok, "{q_err}");
     assert!(q_err.contains("0 result(s)"), "hidden test data leaked: {q_out}{q_err}");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_stats_reports_cache_and_eval_counters() {
+    let dir = std::env::temp_dir().join(format!("sxv-cli-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("h.xml");
+    std::fs::write(
+        &doc_path,
+        "<hospital><dept><clinicalTrial><patientInfo/><test>t</test></clinicalTrial>\
+         <patientInfo><patient><name>A</name><wardNo>6</wardNo>\
+         <treatment><trial><bill>9</bill></trial></treatment></patient></patientInfo>\
+         <staffInfo/></dept></hospital>",
+    )
+    .unwrap();
+    let doc_str = doc_path.to_str().unwrap();
+    let base = [
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--doc",
+        doc_str,
+        "--query",
+        "//patient/name",
+        "--stats",
+        "--repeat",
+        "3",
+    ];
+    let mut args = vec!["query"];
+    args.extend(DTD_ARGS);
+    args.extend(base);
+    let (_, stderr, ok) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("translated query:"), "{stderr}");
+    assert!(stderr.contains("nodes_touched="), "{stderr}");
+    assert!(stderr.contains("hits=2 misses=1"), "three repeats = 1 miss + 2 hits: {stderr}");
+    assert!(stderr.contains("last query: hit"), "{stderr}");
+    assert!(stderr.contains("1 result(s)"), "{stderr}");
+
+    // Indexed evaluation must agree and report index probes when the
+    // translated query exercises the index.
+    args.push("--indexed");
+    let (_, idx_err, ok) = run(&args);
+    assert!(ok, "{idx_err}");
+    assert!(idx_err.contains("(indexed)"), "{idx_err}");
+    assert!(idx_err.contains("1 result(s)"), "{idx_err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -65,11 +65,8 @@ fn example_1_1_attack_works_on_raw_document() {
     let p2 = parse_xpath("//dept/patientInfo/patient/name").unwrap();
     let all = eval_at_root(&doc, &p1);
     let non_trial = eval_at_root(&doc, &p2);
-    let leaked: Vec<String> = all
-        .iter()
-        .filter(|n| !non_trial.contains(n))
-        .map(|&n| doc.string_value(n))
-        .collect();
+    let leaked: Vec<String> =
+        all.iter().filter(|n| !non_trial.contains(n)).map(|&n| doc.string_value(n)).collect();
     assert_eq!(leaked, ["Ann"], "the paper's inference succeeds without views");
 }
 
@@ -79,12 +76,9 @@ fn example_1_1_attack_fails_through_view() {
     let (spec, view) = hospital_setup();
     let doc = hospital_doc();
     let engine = SecureEngine::new(&spec, &view);
-    let r1 = engine
-        .answer(&doc, &parse_xpath("//dept//patientInfo/patient/name").unwrap())
-        .unwrap();
-    let r2 = engine
-        .answer(&doc, &parse_xpath("//dept/patientInfo/patient/name").unwrap())
-        .unwrap();
+    let r1 =
+        engine.answer(&doc, &parse_xpath("//dept//patientInfo/patient/name").unwrap()).unwrap();
+    let r2 = engine.answer(&doc, &parse_xpath("//dept/patientInfo/patient/name").unwrap()).unwrap();
     assert_eq!(r1, r2, "no query distinguishes trial from non-trial patients");
 }
 
@@ -109,10 +103,7 @@ fn example_3_2_view_definition() {
     let (_, view) = hospital_setup();
     // hospital → dept* with σ = dept[q1].
     assert_eq!(view.production("hospital"), Some(&ViewContent::Star("dept".into())));
-    assert_eq!(
-        view.sigma("hospital", "dept").unwrap().to_string(),
-        "dept[*/patient/wardNo='6']"
-    );
+    assert_eq!(view.sigma("hospital", "dept").unwrap().to_string(), "dept[*/patient/wardNo='6']");
     // dept → patientInfo*, staffInfo; σ(dept, patientInfo) ≡ the paper's
     // (clinicalTrial ∪ ε)/patientInfo.
     assert_eq!(
@@ -158,8 +149,7 @@ fn example_3_3_materialization() {
     // Ann's treatment holds a dummy with her bill; Bob's dummy also holds
     // medication. The document DTD guarantees one of trial/regular, so
     // each treatment has exactly one dummy child (case 4 of §3.3).
-    let treatments: Vec<_> =
-        v.all_ids().filter(|&i| v.label_opt(i) == Some("treatment")).collect();
+    let treatments: Vec<_> = v.all_ids().filter(|&i| v.label_opt(i) == Some("treatment")).collect();
     assert_eq!(treatments.len(), 2);
     for &t in &treatments {
         assert_eq!(v.children(t).len(), 1);
@@ -291,4 +281,35 @@ fn section_6_naive_rules() {
         NaiveBaseline::rewrite(&q1).to_string(),
         "(//buyer-info//contact-info)[@accessibility='1']"
     );
+}
+
+/// Serving-path check: the indexed evaluator returns exactly the scan
+/// evaluator's answers for translated queries over the hospital document,
+/// and repeated queries hit the engine's translation cache.
+#[test]
+fn indexed_and_unindexed_agree_on_hospital_document() {
+    use secure_xml_views::core::Approach;
+    use secure_xml_views::xml::DocIndex;
+    let (spec, view) = hospital_setup();
+    let doc = hospital_doc();
+    let engine = SecureEngine::new(&spec, &view);
+    let index = DocIndex::new(&doc).expect("parsed docs are in document order");
+    for q in [
+        "//patient/name",
+        "//bill",
+        "//patient[wardNo='6']/name",
+        "dept/patientInfo/patient",
+        "//name",
+        "//*",
+    ] {
+        let p = parse_xpath(q).unwrap();
+        for approach in [Approach::Rewrite, Approach::Optimize] {
+            let (plain, _) = engine.answer_report(&doc, None, &p, approach).unwrap();
+            let (indexed, _) = engine.answer_report(&doc, Some(&index), &p, approach).unwrap();
+            assert_eq!(plain, indexed, "{q} ({approach:?})");
+        }
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 6 * 2, "one translation per (query, approach)");
+    assert_eq!(stats.hits, 6 * 2, "second call of each pair is cached");
 }

@@ -112,11 +112,7 @@ fn eq_qual_strategy() -> impl Strategy<Value = Qualifier> {
         proptest::bool::ANY,
     )
         .prop_map(|(label, value, deep)| {
-            let p = if deep {
-                Path::descendant(Path::label(label))
-            } else {
-                Path::label(label)
-            };
+            let p = if deep { Path::descendant(Path::label(label)) } else { Path::label(label) };
             Qualifier::Eq(p, value.to_string())
         })
 }
@@ -374,5 +370,132 @@ proptest! {
             eval_at_root(&doc, &o),
             "query {} optimized to {}", p, o
         );
+    }
+}
+
+/// The checked-in `property_security.proptest-regressions` seeds,
+/// promoted to deterministic tests. Each reproduces the exact shrunk
+/// case upstream proptest recorded (the ASTs are built from raw enum
+/// variants so smart-constructor normalization cannot mask the bug),
+/// so the regressions stay covered independently of any RNG stream.
+mod promoted_seeds {
+    use super::*;
+    use secure_xml_views::core::rewrite;
+
+    fn empty_spec() -> AccessSpec {
+        AccessSpec::builder(&hospital_dtd()).build().unwrap()
+    }
+
+    /// The body of `rewrite_is_equivalent` for a pinned case.
+    fn check_rewrite_equivalent(spec: &AccessSpec, p: &Path, seed: u64, branch: usize) {
+        let doc = hospital_doc(seed, branch);
+        let view = derive_view(spec).unwrap();
+        let Ok(m) = materialize(spec, &view, &doc) else {
+            return;
+        };
+        let pt = rewrite(&view, p).unwrap();
+        let mut over_view = m.sources_of(&eval_at_root(&m.doc, p));
+        over_view.sort();
+        over_view.dedup();
+        let over_doc = eval_at_root(&doc, &pt);
+        assert_eq!(over_view, over_doc, "query {p} rewritten to {pt}");
+    }
+
+    /// The body of `optimize_is_equivalent` for a pinned case.
+    fn check_optimize_equivalent(p: &Path, seed: u64, branch: usize) {
+        let dtd = hospital_dtd();
+        let doc = hospital_doc(seed, branch);
+        let o = optimize(&dtd, p).unwrap();
+        assert_eq!(eval_at_root(&doc, p), eval_at_root(&doc, &o), "query {p} optimized to {o}");
+    }
+
+    /// The body of `no_inaccessible_node_leaks` for a pinned case.
+    fn check_no_leaks(spec: &AccessSpec, p: &Path, seed: u64, branch: usize) {
+        let doc = hospital_doc(seed, branch);
+        let view = derive_view(spec).unwrap();
+        let Ok(m) = materialize(spec, &view, &doc) else {
+            return;
+        };
+        use std::collections::BTreeSet;
+        let dummy_sources: BTreeSet<_> = m
+            .doc
+            .all_ids()
+            .filter(|&id| m.doc.label_opt(id).map(|l| l.starts_with("dummy")).unwrap_or(false))
+            .map(|id| m.source_of(id))
+            .collect();
+        let access = accessibility::compute(spec, &doc);
+        let pt = rewrite(&view, p).unwrap();
+        for node in eval_at_root(&doc, &pt) {
+            assert!(
+                access.is_accessible(node) || dummy_sources.contains(&node),
+                "query {p} translated to {pt} leaked node {node}"
+            );
+        }
+    }
+
+    fn label(l: &str) -> Path {
+        Path::Label(l.to_string())
+    }
+
+    /// `//(hospital | (ε | hospital))` at seed 8, branch 1 (cc c3c76…).
+    #[test]
+    fn optimize_descendant_union_with_nested_empty_branch() {
+        let p = Path::Descendant(Box::new(Path::Union(
+            Box::new(label("hospital")),
+            Box::new(Path::Union(Box::new(Path::Empty), Box::new(label("hospital")))),
+        )));
+        check_optimize_equivalent(&p, 8, 1);
+    }
+
+    /// `(//(ε | hospital)) | hospital` under the empty annotation at
+    /// seed 41, branch 2 (cc c693d…).
+    #[test]
+    fn rewrite_union_of_descendant_with_empty_branch() {
+        let p = Path::Union(
+            Box::new(Path::Descendant(Box::new(Path::Union(
+                Box::new(Path::Empty),
+                Box::new(label("hospital")),
+            )))),
+            Box::new(label("hospital")),
+        );
+        check_rewrite_equivalent(&empty_spec(), &p, 41, 2);
+    }
+
+    /// `//*` with `ann = {(dept, clinicalTrial): N,
+    /// (clinicalTrial, patientInfo): Y, (clinicalTrial, test): Y}` at
+    /// seed 196, branch 1 (cc 430f6…) — exercises Proc_InAcc's
+    /// short-cut/dummy handling under a full wildcard sweep.
+    #[test]
+    fn rewrite_descendant_wildcard_under_denied_clinical_trial() {
+        let spec = AccessSpec::builder(&hospital_dtd())
+            .deny("dept", "clinicalTrial")
+            .allow("clinicalTrial", "patientInfo")
+            .allow("clinicalTrial", "test")
+            .build()
+            .unwrap();
+        let p = Path::Descendant(Box::new(Path::Wildcard));
+        check_rewrite_equivalent(&spec, &p, 196, 1);
+        check_no_leaks(&spec, &p, 196, 1);
+    }
+
+    /// `//(hospital | ε)` under the empty annotation at seed 1, branch 1
+    /// (cc c8898…).
+    #[test]
+    fn rewrite_descendant_union_with_empty_branch() {
+        let p = Path::Descendant(Box::new(Path::Union(
+            Box::new(label("hospital")),
+            Box::new(Path::Empty),
+        )));
+        check_rewrite_equivalent(&empty_spec(), &p, 1, 1);
+    }
+
+    /// `//(hospital | ε)` at seed 196, branch 1 (cc 6f49b…).
+    #[test]
+    fn optimize_descendant_union_with_empty_branch() {
+        let p = Path::Descendant(Box::new(Path::Union(
+            Box::new(label("hospital")),
+            Box::new(Path::Empty),
+        )));
+        check_optimize_equivalent(&p, 196, 1);
     }
 }

@@ -89,9 +89,8 @@ fn root_element(spec: TreeSpec) -> TreeSpec {
 
 fn xpath_label() -> impl Strategy<Value = String> {
     // Exclude names that collide with qualifier keywords at boundaries.
-    "[a-z][a-z0-9_.-]{0,6}".prop_filter("keyword", |s| {
-        !matches!(s.as_str(), "and" | "or" | "not" | "true" | "false")
-    })
+    "[a-z][a-z0-9_.-]{0,6}"
+        .prop_filter("keyword", |s| !matches!(s.as_str(), "and" | "or" | "not" | "true" | "false"))
 }
 
 fn xpath_strategy() -> impl Strategy<Value = Path> {
@@ -208,10 +207,8 @@ fn content_strategy() -> impl Strategy<Value = Content> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Content::Seq(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Content::Choice(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Content::Seq(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Content::Choice(vec![a, b])),
             inner.clone().prop_map(|i| Content::Star(Box::new(i))),
             inner.clone().prop_map(|i| Content::Plus(Box::new(i))),
             inner.prop_map(|i| Content::Opt(Box::new(i))),
@@ -230,9 +227,8 @@ fn naive_matches(c: &Content, word: &[&str]) -> bool {
         Content::Choice(items) => items.iter().any(|i| naive_matches(i, word)),
         Content::Star(inner) => {
             word.is_empty()
-                || (1..=word.len()).any(|k| {
-                    naive_matches(inner, &word[..k]) && naive_matches(c, &word[k..])
-                })
+                || (1..=word.len())
+                    .any(|k| naive_matches(inner, &word[..k]) && naive_matches(c, &word[k..]))
         }
         Content::Plus(inner) => {
             // x+ matches ε iff x does; for non-empty words the first
@@ -336,5 +332,70 @@ proptest! {
         );
         let doc = g.generate().expect("consistent DTD");
         validate(&dtd, &doc).unwrap();
+    }
+}
+
+/// Deterministic promotions of every seed recorded in
+/// `tests/property_substrate.proptest-regressions`. The proptest runs
+/// above re-explore the space randomly; these pin the exact shrunken
+/// counter-examples so they are exercised on every `cargo test`,
+/// independent of RNG stream or seed-replay support.
+mod promoted_seeds {
+    use super::{left_assoc, naive_matches};
+    use secure_xml_views::dtd::Content;
+    use secure_xml_views::xpath::{parse as parse_xpath, Path};
+
+    fn label(l: &str) -> Path {
+        Path::Label(l.to_string())
+    }
+
+    /// Display → parse must be the identity modulo `/`-associativity.
+    fn assert_roundtrips(p: Path) {
+        let printed = p.to_string();
+        let reparsed =
+            parse_xpath(&printed).unwrap_or_else(|e| panic!("{printed:?} failed to reparse: {e}"));
+        assert_eq!(left_assoc(&reparsed), left_assoc(&p), "printed form: {printed}");
+    }
+
+    // cc 9e4c704e…: right-nested step chain `a/(a/a)`.
+    #[test]
+    fn seed_step_chain_roundtrip() {
+        assert_roundtrips(Path::step(label("a"), Path::step(label("a"), label("a"))));
+    }
+
+    // cc 5cb26384…: descendant over a step, `//(a/a)`.
+    #[test]
+    fn seed_descendant_of_step_roundtrip() {
+        assert_roundtrips(Path::Descendant(Box::new(Path::step(label("a"), label("a")))));
+    }
+
+    // cc 3c978b05…: right-nested union `a | (a | aa)`.
+    #[test]
+    fn seed_nested_union_roundtrip() {
+        assert_roundtrips(Path::Union(
+            Box::new(label("a")),
+            Box::new(Path::Union(Box::new(label("a")), Box::new(label("aa")))),
+        ));
+    }
+
+    // cc f6a3d045…: step whose middle segment is a descendant, `a/(//a/a)`.
+    #[test]
+    fn seed_step_around_descendant_roundtrip() {
+        assert_roundtrips(Path::step(
+            label("a"),
+            Path::step(Path::Descendant(Box::new(label("a"))), label("a")),
+        ));
+    }
+
+    // cc 9519cb04…: `(ε+, ε)` against the empty word — both the
+    // derivative-based matcher and the backtracking reference must say
+    // yes (ε+ = {ε}, so the sequence is nullable).
+    #[test]
+    fn seed_plus_empty_seq_matches_empty_word() {
+        let c = Content::Seq(vec![Content::Plus(Box::new(Content::Empty)), Content::Empty]);
+        let word: [&str; 0] = [];
+        assert!(c.matches(word.iter().copied()), "derivative matcher");
+        assert!(naive_matches(&c, &word), "backtracking reference");
+        assert_eq!(c.matches(["a"]), naive_matches(&c, &["a"]), "non-empty word must agree too");
     }
 }

@@ -1,0 +1,71 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size arguments for [`vec`]: a fixed `usize` or a range.
+pub trait IntoSizeRange {
+    /// Inclusive `(min, max)` bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Generate a `Vec` whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let span = (self.max - self.min) as u64 + 1;
+        let len = self.min + runner.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let mut r = TestRunner::from_name("collection::tests");
+        let s = vec(0u8..10, 2..5);
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!((2..=4).contains(&v.len()), "len {}", v.len());
+        }
+        let fixed = vec(0u8..10, 3usize);
+        assert_eq!(fixed.new_value(&mut r).len(), 3);
+    }
+}

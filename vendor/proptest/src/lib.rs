@@ -1,0 +1,220 @@
+//! Offline substitute for the `proptest` 1.x API subset used by this
+//! workspace (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators, generation macros and assertion
+//! macros that the `tests/property_*.rs` suites rely on. Design
+//! differences from upstream proptest:
+//!
+//! * **No shrinking.** A failing case is reported verbatim (every bound
+//!   variable's `Debug` form) instead of being minimized. The repo
+//!   additionally promotes each known regression seed to a plain,
+//!   deterministic `#[test]`, which is sturdier than opaque persisted
+//!   seeds anyway.
+//! * **No persistence.** `*.proptest-regressions` files are ignored
+//!   (their `cc` hashes are meaningful only to upstream's RNG).
+//! * **Deterministic by default.** The RNG seed is derived from the test
+//!   name, so runs are reproducible; set `PROPTEST_SEED` to explore and
+//!   `PROPTEST_CASES` to override the case count globally.
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Strategies over `bool` (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Uniform `true`/`false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn name(x in strategy, …) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body, which
+/// may use `prop_assert*!` / `prop_assume!` and `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.effective_cases();
+                let mut __runner = $crate::test_runner::TestRunner::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __cases {
+                    __attempts += 1;
+                    if __attempts > __cases.saturating_mul(16).saturating_add(256) {
+                        panic!(
+                            "proptest: too many rejected cases in {} ({} accepted of {})",
+                            stringify!($name), __accepted, __cases
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __runner);)+
+                    let __case: ::std::string::String = [
+                        $(::std::format!(concat!("  ", stringify!($arg), " = {:?}"), &$arg)),+
+                    ].join("\n");
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        ::std::result::Result::Err(__payload) => {
+                            eprintln!(
+                                "proptest: panic in {} on case:\n{}",
+                                stringify!($name), __case
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                            __accepted += 1;
+                        }
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        )) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        )) => {
+                            panic!(
+                                "proptest: test failed in {}: {}\ncase:\n{}",
+                                stringify!($name), __msg, __case
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the test case with a report instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::std::stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, via [`prop_assert!`] semantics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: left == right\n  left: {:?}\n right: {:?}",
+                    __left, __right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: left == right\n  left: {:?}\n right: {:?}\n  {}",
+                    __left, __right, ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, via [`prop_assert!`] semantics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: left != right\n  both: {:?}", __left,),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+}

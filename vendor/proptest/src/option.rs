@@ -1,0 +1,25 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Generate `None` or `Some(value)` with equal probability.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(runner))
+        }
+    }
+}

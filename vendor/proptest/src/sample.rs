@@ -1,0 +1,69 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::fmt::Debug;
+
+/// Inputs [`select`] accepts: slices (cloned up front) and vectors.
+pub trait Selectable {
+    /// The element type produced by the resulting strategy.
+    type Item;
+    /// Take ownership of the candidate list.
+    fn into_items(self) -> Vec<Self::Item>;
+}
+
+impl<T: Clone> Selectable for &[T] {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T: Clone, const N: usize> Selectable for &[T; N] {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T> Selectable for Vec<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self
+    }
+}
+
+/// Uniformly pick one element of a non-empty list.
+pub fn select<L: Selectable>(list: L) -> Select<L::Item> {
+    let items = list.into_items();
+    assert!(!items.is_empty(), "select: empty candidate list");
+    Select { items }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.items[runner.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items() {
+        let mut r = TestRunner::from_name("sample::tests");
+        let s = select(vec!["x", "y", "z"]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.new_value(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

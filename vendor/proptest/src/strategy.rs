@@ -1,0 +1,311 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRunner;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy is simply a deterministic function of the runner's RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (regenerating on rejection).
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), f }
+    }
+
+    /// Build recursive values: `self` generates leaves, and `recurse`
+    /// lifts a strategy for depth-`d` values to one for depth-`d+1`
+    /// values. `depth` bounds the nesting; the size hints are accepted
+    /// for compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            depth,
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.0.new_value(runner)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}): rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    depth: u32,
+    #[allow(clippy::type_complexity)]
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: Debug + 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        // Random nesting budget per case, so sizes vary from leaves up
+        // to the full depth.
+        let levels = runner.below(self.depth as u64 + 1) as u32;
+        let mut strat = self.leaf.clone();
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.new_value(runner)
+    }
+}
+
+/// Weighted choice between strategies of one value type (the
+/// `prop_oneof!` backing type).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs; weights must not all be 0.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof!: all weights are zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let mut pick = runner.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.new_value(runner);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(runner.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return runner.next_u64() as $t;
+                }
+                lo.wrapping_add(runner.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// String literals act as simple-regex string strategies
+/// (see [`crate::string`] for the supported pattern subset).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        crate::string::generate(self, runner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::from_name("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let v = (3usize..9).new_value(&mut r);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_filter_recursive_compose() {
+        #[derive(Debug)]
+        enum T {
+            Leaf(#[allow(dead_code)] u64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u64..10).prop_map(T::Leaf).prop_recursive(3, 16, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut r = runner();
+        let mut max_depth = 0;
+        for _ in 0..100 {
+            max_depth = max_depth.max(depth(&strat.new_value(&mut r)));
+        }
+        assert!(max_depth >= 1, "recursion never fired");
+        assert!(max_depth <= 3, "depth bound violated: {max_depth}");
+    }
+
+    #[test]
+    fn filter_applies() {
+        let mut r = runner();
+        let even = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(even.new_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms() {
+        let mut r = runner();
+        let u = Union::new_weighted(vec![
+            (1, Strategy::boxed(Just(1u64))),
+            (3, Strategy::boxed(Just(2u64))),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

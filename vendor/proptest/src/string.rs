@@ -1,0 +1,154 @@
+//! String generation from simple regex patterns.
+//!
+//! Supports the pattern subset the workspace's test suites use:
+//! sequences of literal characters and `[…]` character classes (with
+//! `a-z` ranges; `-` last in the class is literal), each optionally
+//! quantified by `{n}`, `{m,n}`, `?`, `*`, or `+` (the unbounded
+//! quantifiers are capped at 8 repetitions). No alternation, grouping,
+//! anchors, or negated classes.
+
+use crate::test_runner::TestRunner;
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut set = Vec::new();
+                if chars.peek() == Some(&'^') {
+                    panic!("string strategy: negated classes unsupported in {pattern:?}");
+                }
+                loop {
+                    let Some(member) = chars.next() else {
+                        panic!("string strategy: unterminated class in {pattern:?}");
+                    };
+                    if member == ']' {
+                        break;
+                    }
+                    let member = if member == '\\' {
+                        chars.next().unwrap_or_else(|| {
+                            panic!("string strategy: dangling escape in {pattern:?}")
+                        })
+                    } else {
+                        member
+                    };
+                    // `x-y` range, unless `-` is the last class member.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&']') | None => set.push(member),
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                assert!(member <= hi, "bad range in {pattern:?}");
+                                set.extend(member..=hi);
+                            }
+                        }
+                    } else {
+                        set.push(member);
+                    }
+                }
+                set
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("string strategy: dangling escape in {pattern:?}"));
+                vec![escaped]
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!("string strategy: unsupported regex feature {c:?} in {pattern:?}")
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for b in chars.by_ref() {
+                    if b == '}' {
+                        break;
+                    }
+                    body.push(b);
+                }
+                match body.split_once(',') {
+                    None => {
+                        let n = body.parse().expect("quantifier number");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "empty quantifier in {pattern:?}");
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        atoms.push(Atom { chars: set, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, runner: &mut TestRunner) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let span = (atom.max - atom.min) as u64 + 1;
+        let reps = atom.min + runner.below(span) as usize;
+        for _ in 0..reps {
+            out.push(atom.chars[runner.below(atom.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_strings_match_shape() {
+        let mut r = TestRunner::from_name("string::tests");
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_.-]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || matches!(c, '_' | '.' | '-')));
+        }
+        for _ in 0..50 {
+            let s = generate("[a-zA-Z0-9<>&'\"=]{1,12}", &mut r);
+            assert!((1..=12).contains(&s.len()));
+        }
+        // `-` escaped and literal-last, fixed counts, ?/*/+.
+        assert_eq!(generate("abc", &mut r), "abc");
+        let s = generate("x{3}", &mut r);
+        assert_eq!(s, "xxx");
+        let s = generate("[ab]+", &mut r);
+        assert!((1..=8).contains(&s.len()));
+    }
+}
