@@ -34,6 +34,16 @@ pub enum Error {
     /// No sound and complete security view exists for the specification
     /// (Theorem 3.2 is an if-and-only-if).
     NoView(String),
+    /// The static view audit found a soundness/completeness violation
+    /// (see [`crate::analysis::audit_view`]).
+    AuditFailed(String),
+    /// A view-definition file could not be parsed.
+    ViewParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What failed to parse.
+        message: String,
+    },
     /// The operation requires a non-recursive view DTD; call the
     /// `*_with_height` variant for recursive views (§4.2).
     RecursiveView,
@@ -66,6 +76,12 @@ impl fmt::Display for Error {
                 write!(f, "view materialization aborted at {node}: {message}")
             }
             Error::NoView(why) => write!(f, "no sound and complete security view exists: {why}"),
+            Error::AuditFailed(findings) => {
+                write!(f, "view audit failed: {findings}")
+            }
+            Error::ViewParse { line, message } => {
+                write!(f, "view definition parse error on line {line}: {message}")
+            }
             Error::RecursiveView => {
                 write!(f, "operation requires a non-recursive view DTD (use the unfolding variant)")
             }

@@ -45,6 +45,7 @@
 //! DTDs without shared child labels (e.g. every example in the paper).
 
 pub mod accessibility;
+pub mod analysis;
 pub mod engine;
 pub mod error;
 pub mod materialized_baseline;
@@ -55,6 +56,7 @@ pub mod rewrite;
 pub mod spec;
 pub mod view;
 
+pub use analysis::{audit_view, AuditFinding, TypeAccessibility};
 pub use engine::{Approach, CacheStats, QueryReport, SecureEngine};
 pub use error::{Error, Result};
 pub use materialized_baseline::MaterializedBaseline;
@@ -62,7 +64,9 @@ pub use naive::NaiveBaseline;
 pub use optimize::{approx_contained, optimize, optimize_with_height};
 pub use registry::PolicyRegistry;
 pub use rewrite::{rewrite, rewrite_paper_merge, rewrite_with_height, ViewGraph};
+pub use spec::{parse_spec_rules, RawRule, RawValue};
 pub use spec::{AccessSpec, AccessSpecBuilder, Annotation};
 pub use view::def::{SecurityView, ViewContent, ViewItem};
 pub use view::derive::derive_view;
 pub use view::materialize::{materialize, Materialized};
+pub use view::parse::parse_view_text;

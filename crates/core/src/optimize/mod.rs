@@ -468,6 +468,81 @@ mod tests {
         assert!(!approx_contained(&rec, &parse("b").unwrap(), &parse("b").unwrap()));
     }
 
+    /// Recursive-DTD bound: Prop. 5.1 assumes a DAG, so recursion refuses
+    /// certification for *every* pair — even syntactically identical or
+    /// text-targeted ones (the `p1 == p2` shortcut is DAG-only).
+    #[test]
+    fn approx_containment_recursive_dtd_bounds() {
+        let rec = parse_dtd(
+            "<!ELEMENT part (part-id, sub-parts)><!ELEMENT sub-parts (part*)>\
+             <!ELEMENT part-id (#PCDATA)>",
+            "part",
+        )
+        .unwrap();
+        for q in ["part-id", "//part-id", "//text()", "sub-parts/part | //part"] {
+            let p = parse(q).unwrap();
+            assert!(!approx_contained(&rec, &p, &p), "recursive DTD certified {q}");
+        }
+    }
+
+    /// `text()` targets fall back to syntactic equality (image graphs are
+    /// element-only, so the simulation cannot speak for text nodes).
+    #[test]
+    fn approx_containment_text_targets() {
+        let dtd = fig9_dtd();
+        assert!(approx_contained(&dtd, &parse("//text()").unwrap(), &parse("//text()").unwrap()));
+        // Semantically b/d//text() ⊆ //text(), but text targets are only
+        // certified when identical — sound, not complete.
+        assert!(!approx_contained(
+            &dtd,
+            &parse("b/d//text()").unwrap(),
+            &parse("//text()").unwrap()
+        ));
+        // A text-bearing qualifier keeps the *path* certifiable…
+        assert!(!approx_contained(&dtd, &parse("//text()").unwrap(), &parse("//*").unwrap()));
+    }
+
+    /// Qualifier-bearing arms: narrowing a path with `[q]` keeps it
+    /// contained; the reverse only holds when the DTD forces `q`.
+    #[test]
+    fn approx_containment_qualifier_arms() {
+        // `a`'s content is a *choice*, so [c] is genuinely uncertain at `a`.
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a*)><!ELEMENT a (c | d)>\
+             <!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let a = parse("a").unwrap();
+        let a_c = parse("a[c]").unwrap();
+        let a_c1 = parse("a[c='1']").unwrap();
+        let a_c2 = parse("a[c='2']").unwrap();
+        assert!(approx_contained(&dtd, &a_c, &a), "a[c] ⊆ a");
+        assert!(!approx_contained(&dtd, &a, &a_c), "a ⊄ a[c]: the choice may pick d");
+        assert!(approx_contained(&dtd, &a_c1, &a_c), "a[c='1'] ⊆ a[c]");
+        assert!(!approx_contained(&dtd, &a_c1, &a_c2), "different constants");
+        // Incompleteness bound: in Fig. 9 every `b` has a `d` child, so
+        // semantically b ⊆ b[d] — but the simulation compares qualifier
+        // sets structurally and does not discharge [d] against the DTD.
+        let fig9 = fig9_dtd();
+        assert!(!approx_contained(&fig9, &parse("b").unwrap(), &parse("b[d]").unwrap()));
+    }
+
+    /// Union arms on both sides of the containment.
+    #[test]
+    fn approx_containment_union_arms() {
+        let fig9 = fig9_dtd();
+        assert!(approx_contained(&fig9, &parse("b/d | c/d").unwrap(), &parse("*/d").unwrap()));
+        // Incompleteness bound (the Example 5.3 shape): each left branch
+        // must be simulated by a *single* right branch, so `*/d` — whose
+        // one image spans both b/d and c/d — is not certified against the
+        // union even though the containment holds semantically.
+        assert!(!approx_contained(&fig9, &parse("*/d").unwrap(), &parse("b/d | c/d").unwrap()));
+        assert!(!approx_contained(&fig9, &parse("b/d | c/d").unwrap(), &parse("b/d").unwrap()));
+        // A qualifier-bearing arm inside a union.
+        assert!(approx_contained(&fig9, &parse("b/d[e] | c/d").unwrap(), &parse("*/d").unwrap()));
+    }
+
     #[test]
     fn wildcard_at_text_element_prunes() {
         // g has (#PCDATA)-like EMPTY content: */anything below it is dead.

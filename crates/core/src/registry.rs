@@ -8,6 +8,7 @@
 //! queries — all against a single shared document, with no view ever
 //! materialized.
 
+use crate::analysis::audit_view;
 use crate::error::{Error, Result};
 use crate::optimize::optimize;
 use crate::rewrite::{rewrite, rewrite_with_height};
@@ -36,9 +37,32 @@ impl PolicyRegistry {
     }
 
     /// Register a user group's policy; the security view is derived
-    /// immediately (Fig. 5) and cached.
+    /// immediately (Fig. 5), re-checked by the static audit
+    /// ([`audit_view`] — defense in depth; `derive` output always
+    /// passes), and cached.
     pub fn register(&mut self, group: impl Into<String>, spec: AccessSpec) -> Result<()> {
         let view = derive_view(&spec)?;
+        self.register_view(group, spec, view)
+    }
+
+    /// Register a policy with an explicitly supplied (e.g. hand-authored)
+    /// view definition. The static audit gates registration: views with
+    /// soundness or completeness violations are rejected, so a bad view
+    /// fails at load time rather than at query time.
+    pub fn register_view(
+        &mut self,
+        group: impl Into<String>,
+        spec: AccessSpec,
+        view: SecurityView,
+    ) -> Result<()> {
+        let errors: Vec<String> = audit_view(&spec, &view)
+            .iter()
+            .filter(|f| f.is_error())
+            .map(|f| f.to_string())
+            .collect();
+        if !errors.is_empty() {
+            return Err(Error::AuditFailed(errors.join("; ")));
+        }
         self.policies.insert(group.into(), Policy { spec, view });
         Ok(())
     }
@@ -135,6 +159,42 @@ mod tests {
         assert!(reg.exposed_view_dtd("ghost").is_err());
         let doc = parse_xml("<r/>").unwrap();
         assert!(reg.answer("ghost", &doc, &Path::Wildcard).is_err());
+    }
+
+    #[test]
+    fn leaky_hand_authored_view_rejected_at_load() {
+        use crate::view::def::{ViewContent, ViewItem};
+        let dtd = dtd();
+        let spec = AccessSpec::builder(&dtd).deny("r", "sec").build().unwrap();
+        // A hand-written view that exposes the denied `sec` type.
+        let mut sigma = std::collections::BTreeMap::new();
+        for child in ["pub", "sec", "fin"] {
+            sigma.insert(("r".to_string(), child.to_string()), parse(child).unwrap());
+        }
+        let view = crate::view::def::SecurityView::new(
+            "r".into(),
+            vec![
+                (
+                    "r".into(),
+                    ViewContent::Seq(vec![
+                        ViewItem::One("pub".into()),
+                        ViewItem::One("sec".into()),
+                        ViewItem::One("fin".into()),
+                    ]),
+                ),
+                ("pub".into(), ViewContent::Str),
+                ("sec".into(), ViewContent::Str),
+                ("fin".into(), ViewContent::Str),
+            ],
+            sigma,
+        );
+        let mut reg = PolicyRegistry::new();
+        let err = reg.register_view("leaky", spec.clone(), view).unwrap_err();
+        assert!(matches!(err, Error::AuditFailed(_)), "{err:?}");
+        assert!(err.to_string().contains("sec"), "{err}");
+        // The derived view for the same spec is accepted.
+        let derived = derive_view(&spec).unwrap();
+        reg.register_view("ok", spec, derived).unwrap();
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl AccessSpec {
             attr_ann: BTreeMap::new(),
             params: HashMap::new(),
             errors: Vec::new(),
+            keep_unbound: false,
         }
     }
 
@@ -80,38 +81,8 @@ impl AccessSpec {
         for (name, value) in params {
             builder = builder.bind(*name, *value);
         }
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
-                continue;
-            }
-            let err =
-                |message: &str| Error::SpecParse { line: lineno + 1, message: message.to_string() };
-            let rest = line
-                .strip_prefix("ann(")
-                .ok_or_else(|| err("expected `ann(parent, child) = Y|N|[q]`"))?;
-            let (args, value) = rest.split_once(')').ok_or_else(|| err("expected ')'"))?;
-            let (parent, child) = args.split_once(',').ok_or_else(|| err("expected ','"))?;
-            let value = value.trim().strip_prefix('=').ok_or_else(|| err("expected '='"))?;
-            let parent = parent.trim();
-            let child = child.trim();
-            let value = value.trim();
-            builder = if let Some(attr) = child.strip_prefix('@') {
-                match value {
-                    "Y" => builder.allow_attr(parent, attr),
-                    "N" => builder.deny_attr(parent, attr),
-                    _ => return Err(err("attribute annotations must be Y or N")),
-                }
-            } else {
-                match value {
-                    "Y" => builder.allow(parent, child),
-                    "N" => builder.deny(parent, child),
-                    q if q.starts_with('[') && q.ends_with(']') => {
-                        builder.cond_str(parent, child, &q[1..q.len() - 1])?
-                    }
-                    _ => return Err(err("annotation must be Y, N, or [qualifier]")),
-                }
-            };
+        for rule in parse_spec_rules(text)? {
+            builder = builder.apply_raw(&rule)?;
         }
         builder.build()
     }
@@ -152,6 +123,87 @@ impl AccessSpec {
     }
 }
 
+/// The right-hand side of one raw specification line, before edge
+/// validation or parameter substitution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawValue {
+    /// `Y`.
+    Allow,
+    /// `N`.
+    Deny,
+    /// `[q]` — the qualifier text between the brackets, unparsed.
+    Cond(String),
+}
+
+/// One syntactically valid `ann(parent, child) = …` line. The `child` is
+/// `@`-prefixed for attribute rules. Produced by [`parse_spec_rules`];
+/// consumers (the linter) can inspect rules that the strict
+/// [`AccessSpec::parse`] would reject for referencing unknown edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRule {
+    /// 1-based source line.
+    pub line: usize,
+    /// Parent element type.
+    pub parent: String,
+    /// Child element type, or `@attribute`.
+    pub child: String,
+    /// The annotation value.
+    pub value: RawValue,
+}
+
+impl RawRule {
+    /// True iff this is an `ann(elem, @attr)` rule.
+    pub fn is_attribute(&self) -> bool {
+        self.child.starts_with('@')
+    }
+}
+
+/// Parse specification text into raw rules — syntax only, no DTD
+/// validation and no `$parameter` substitution.
+pub fn parse_spec_rules(text: &str) -> Result<Vec<RawRule>> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let err =
+            |message: &str| Error::SpecParse { line: lineno + 1, message: message.to_string() };
+        let rest = line
+            .strip_prefix("ann(")
+            .ok_or_else(|| err("expected `ann(parent, child) = Y|N|[q]`"))?;
+        let (args, value) = rest.split_once(')').ok_or_else(|| err("expected ')'"))?;
+        let (parent, child) = args.split_once(',').ok_or_else(|| err("expected ','"))?;
+        let value = value.trim().strip_prefix('=').ok_or_else(|| err("expected '='"))?;
+        let parent = parent.trim();
+        let child = child.trim();
+        let value = value.trim();
+        let value = if child.starts_with('@') {
+            match value {
+                "Y" => RawValue::Allow,
+                "N" => RawValue::Deny,
+                _ => return Err(err("attribute annotations must be Y or N")),
+            }
+        } else {
+            match value {
+                "Y" => RawValue::Allow,
+                "N" => RawValue::Deny,
+                q if q.starts_with('[') && q.ends_with(']') => {
+                    RawValue::Cond(q[1..q.len() - 1].to_string())
+                }
+                _ => return Err(err("annotation must be Y, N, or [qualifier]")),
+            }
+        };
+        out.push(RawRule {
+            line: lineno + 1,
+            parent: parent.to_string(),
+            child: child.to_string(),
+            value,
+        });
+    }
+    Ok(out)
+}
+
 /// Builder for [`AccessSpec`] (errors are accumulated and reported at
 /// [`AccessSpecBuilder::build`], so chains stay ergonomic).
 pub struct AccessSpecBuilder {
@@ -160,6 +212,7 @@ pub struct AccessSpecBuilder {
     attr_ann: BTreeMap<(String, String), Annotation>,
     params: HashMap<String, String>,
     errors: Vec<Error>,
+    keep_unbound: bool,
 }
 
 impl AccessSpecBuilder {
@@ -226,10 +279,49 @@ impl AccessSpecBuilder {
         self
     }
 
+    /// Apply one [`RawRule`] (see [`parse_spec_rules`]).
+    pub fn apply_raw(self, rule: &RawRule) -> Result<Self> {
+        Ok(if let Some(attr) = rule.child.strip_prefix('@') {
+            match rule.value {
+                RawValue::Allow => self.allow_attr(&rule.parent, attr),
+                RawValue::Deny => self.deny_attr(&rule.parent, attr),
+                RawValue::Cond(_) => unreachable!("rejected by parse_spec_rules"),
+            }
+        } else {
+            match &rule.value {
+                RawValue::Allow => self.allow(&rule.parent, &rule.child),
+                RawValue::Deny => self.deny(&rule.parent, &rule.child),
+                RawValue::Cond(q) => self.cond_str(&rule.parent, &rule.child, q)?,
+            }
+        })
+    }
+
+    /// Keep unbound `$parameters` as literal `$name` values instead of
+    /// failing at [`AccessSpecBuilder::build`]. Used by the linter, which
+    /// analyzes specifications without a concrete user session; the
+    /// opaque literal never compares equal to real data, so qualifier
+    /// lints stay conservative.
+    pub fn keep_unbound_params(mut self) -> Self {
+        self.keep_unbound = true;
+        self
+    }
+
     /// Finish: validate edges and substitute all `$parameters`.
     pub fn build(mut self) -> Result<AccessSpec> {
         if let Some(e) = self.errors.into_iter().next() {
             return Err(e);
+        }
+        if self.keep_unbound {
+            // Bind every still-unbound parameter to its own `$name`.
+            let mut names = std::collections::BTreeSet::new();
+            for annotation in self.ann.values() {
+                if let Annotation::Cond(q) = annotation {
+                    collect_param_names(q, &mut names);
+                }
+            }
+            for name in names {
+                self.params.entry(name.clone()).or_insert(format!("${name}"));
+            }
         }
         for annotation in self.ann.values_mut() {
             if let Annotation::Cond(q) = annotation {
@@ -272,6 +364,46 @@ pub fn substitute_qual(q: &Qualifier, params: &HashMap<String, String>) -> Resul
         }
         Qualifier::Not(inner) => Qualifier::not(substitute_qual(inner, params)?),
     })
+}
+
+/// Collect `$parameter` names occurring in comparison values.
+fn collect_param_names(q: &Qualifier, out: &mut std::collections::BTreeSet<String>) {
+    match q {
+        Qualifier::True | Qualifier::False | Qualifier::Attr(_) => {}
+        Qualifier::Path(p) => collect_param_names_path(p, out),
+        Qualifier::Eq(p, c) => {
+            collect_param_names_path(p, out);
+            if let Some(name) = c.strip_prefix('$') {
+                out.insert(name.to_string());
+            }
+        }
+        Qualifier::AttrEq(_, v) => {
+            if let Some(name) = v.strip_prefix('$') {
+                out.insert(name.to_string());
+            }
+        }
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            collect_param_names(a, out);
+            collect_param_names(b, out);
+        }
+        Qualifier::Not(inner) => collect_param_names(inner, out),
+    }
+}
+
+fn collect_param_names_path(p: &Path, out: &mut std::collections::BTreeSet<String>) {
+    match p {
+        Path::Empty | Path::EmptySet | Path::Doc | Path::Label(_) | Path::Wildcard | Path::Text => {
+        }
+        Path::Step(a, b) | Path::Union(a, b) => {
+            collect_param_names_path(a, out);
+            collect_param_names_path(b, out);
+        }
+        Path::Descendant(inner) => collect_param_names_path(inner, out),
+        Path::Filter(base, q) => {
+            collect_param_names_path(base, out);
+            collect_param_names(q, out);
+        }
+    }
 }
 
 fn substitute_value(value: &str, params: &HashMap<String, String>) -> Result<String> {
@@ -409,6 +541,47 @@ ann(regular, medication) = Y
         ] {
             let e = AccessSpec::parse(&dtd, bad, &[]).unwrap_err();
             assert!(matches!(e, Error::SpecParse { .. }), "{bad} should fail, got {e:?}");
+        }
+    }
+
+    #[test]
+    fn raw_rules_parse_without_validation() {
+        let rules = parse_spec_rules(
+            "# c\nann(hospital, dept) = [*/wardNo=$w]\nann(ghost, spook) = N\nann(a, @id) = Y",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].value, RawValue::Cond("*/wardNo=$w".into()));
+        assert_eq!(rules[0].line, 2);
+        assert_eq!((rules[1].parent.as_str(), rules[1].child.as_str()), ("ghost", "spook"));
+        assert!(rules[2].is_attribute());
+        assert!(parse_spec_rules("ann(a, @id) = [q]").is_err());
+        assert!(parse_spec_rules("nonsense").is_err());
+    }
+
+    #[test]
+    fn keep_unbound_params_substitutes_literal() {
+        let s = AccessSpec::builder(&hospital_dtd())
+            .keep_unbound_params()
+            .cond_str("hospital", "dept", "*/patient/wardNo=$wardNo")
+            .unwrap()
+            .build()
+            .unwrap();
+        match s.annotation("hospital", "dept") {
+            Some(Annotation::Cond(q)) => assert!(q.to_string().contains("$wardNo"), "{q}"),
+            other => panic!("expected conditional, got {other:?}"),
+        }
+        // Explicit bindings still win.
+        let s = AccessSpec::builder(&hospital_dtd())
+            .keep_unbound_params()
+            .bind("wardNo", "6")
+            .cond_str("hospital", "dept", "*/patient/wardNo=$wardNo")
+            .unwrap()
+            .build()
+            .unwrap();
+        match s.annotation("hospital", "dept") {
+            Some(Annotation::Cond(q)) => assert!(q.to_string().contains("'6'"), "{q}"),
+            other => panic!("expected conditional, got {other:?}"),
         }
     }
 

@@ -4,3 +4,4 @@
 pub mod def;
 pub mod derive;
 pub mod materialize;
+pub mod parse;

@@ -1,0 +1,260 @@
+//! Parse a textual view definition back into a [`SecurityView`].
+//!
+//! The format is the one printed by
+//! [`SecurityView::view_dtd_to_string`] plus optional σ lines (as shown
+//! by `sxv derive --show-sigma`):
+//!
+//! ```text
+//! /* view root: hospital */
+//! hospital -> dept*
+//! dept -> patientInfo*, staffInfo
+//! σ(hospital, dept) = dept[*/patient/wardNo='6']
+//! ```
+//!
+//! `sigma(A, B) = …` is accepted as an ASCII spelling of `σ(A, B) = …`,
+//! and an edge without a σ line defaults to selecting the child's own
+//! label (`σ(A, B) = B`). This exists for hand-authoring and auditing
+//! view definitions (`sxv lint --view`); `derive` never round-trips
+//! through text.
+
+use crate::error::{Error, Result};
+use crate::view::def::{SecurityView, ViewContent, ViewItem};
+use std::collections::BTreeMap;
+use sxv_xpath::Path;
+
+/// Parse a textual view definition. See the module docs for the format.
+pub fn parse_view_text(text: &str) -> Result<SecurityView> {
+    let mut root: Option<String> = None;
+    let mut productions: Vec<(String, ViewContent)> = Vec::new();
+    let mut sigma: BTreeMap<(String, String), Path> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |message: String| Error::ViewParse { line: lineno + 1, message };
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("/*") {
+            let comment = comment.strip_suffix("*/").unwrap_or(comment).trim();
+            if let Some(name) = comment.strip_prefix("view root:") {
+                root = Some(name.trim().to_string());
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("σ(").or_else(|| line.strip_prefix("sigma(")) {
+            let (args, value) = rest
+                .split_once(')')
+                .ok_or_else(|| err("expected `σ(parent, child) = path`".into()))?;
+            let (parent, child) = args.split_once(',').ok_or_else(|| err("expected ','".into()))?;
+            let value = value
+                .trim()
+                .strip_prefix('=')
+                .ok_or_else(|| err("expected '=' after σ(parent, child)".into()))?;
+            let path = sxv_xpath::parse(value.trim())
+                .map_err(|e| err(format!("σ path does not parse: {e}")))?;
+            sigma.insert((parent.trim().to_string(), child.trim().to_string()), path);
+            continue;
+        }
+        let (name, rhs) = line
+            .split_once("->")
+            .ok_or_else(|| err("expected `name -> content` or `σ(parent, child) = path`".into()))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(err(format!("bad element type name {name:?}")));
+        }
+        let content = parse_content(rhs.trim()).map_err(&err)?;
+        if productions.iter().any(|(n, _)| n == name) {
+            return Err(err(format!("duplicate production for `{name}`")));
+        }
+        productions.push((name.to_string(), content));
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match productions.first() {
+            Some((n, _)) => n.clone(),
+            None => {
+                return Err(Error::ViewParse { line: 1, message: "empty view definition".into() })
+            }
+        },
+    };
+    // Closure checks: every referenced type declared, every σ on a real edge.
+    let declared = |n: &str| productions.iter().any(|(name, _)| name == n);
+    if !declared(&root) {
+        return Err(Error::ViewParse {
+            line: 1,
+            message: format!("view root `{root}` has no production"),
+        });
+    }
+    for (name, content) in &productions {
+        for child in content.child_types() {
+            if !declared(child) {
+                return Err(Error::ViewParse {
+                    line: 1,
+                    message: format!("`{name}` references undeclared type `{child}`"),
+                });
+            }
+        }
+    }
+    for (parent, child) in sigma.keys() {
+        let on_edge = productions
+            .iter()
+            .any(|(name, c)| name == parent && c.child_types().contains(&child.as_str()));
+        if !on_edge {
+            return Err(Error::ViewParse {
+                line: 1,
+                message: format!("σ({parent}, {child}) does not match any view edge"),
+            });
+        }
+    }
+    Ok(SecurityView::new(root, productions, sigma))
+}
+
+/// Parse one production right-hand side.
+fn parse_content(rhs: &str) -> std::result::Result<ViewContent, String> {
+    match rhs {
+        "" => return Err("empty content".into()),
+        "str" => return Ok(ViewContent::Str),
+        "ε" | "empty" | "EMPTY" => return Ok(ViewContent::Empty),
+        _ => {}
+    }
+    if rhs.contains('+') {
+        let mut alternatives = Vec::new();
+        let mut optional = false;
+        for (i, alt) in rhs.split('+').enumerate() {
+            let alt = alt.trim();
+            match alt {
+                "ε" | "empty" => optional = true,
+                _ => {
+                    check_name(alt)?;
+                    if i > 0 && optional {
+                        return Err("ε must be the last choice alternative".into());
+                    }
+                    alternatives.push(alt.to_string());
+                }
+            }
+        }
+        if alternatives.is_empty() {
+            return Err("choice needs at least one named alternative".into());
+        }
+        return Ok(ViewContent::Choice { alternatives, optional });
+    }
+    let mut items = Vec::new();
+    for item in rhs.split(',') {
+        let item = item.trim();
+        match item.strip_suffix('*') {
+            Some(base) => {
+                let base = base.trim();
+                check_name(base)?;
+                items.push(ViewItem::Many(base.to_string()));
+            }
+            None => {
+                check_name(item)?;
+                items.push(ViewItem::One(item.to_string()));
+            }
+        }
+    }
+    match items.as_slice() {
+        [ViewItem::Many(b)] => Ok(ViewContent::Star(b.clone())),
+        _ => Ok(ViewContent::Seq(items)),
+    }
+}
+
+fn check_name(name: &str) -> std::result::Result<(), String> {
+    if name.is_empty() || name.contains(char::is_whitespace) || name.contains(['[', ']', '(']) {
+        return Err(format!("bad element type name {name:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::derive::derive_view;
+    use crate::AccessSpec;
+    use sxv_dtd::parse_dtd;
+
+    #[test]
+    fn parses_printed_view_back() {
+        let text = "/* view root: hospital */\n\
+                    hospital -> dept*\n\
+                    dept -> patientInfo*, staffInfo\n\
+                    patientInfo -> patient*\n\
+                    patient -> name, wardNo, treatment\n\
+                    treatment -> dummy1 + dummy2\n\
+                    dummy1 -> bill\n\
+                    dummy2 -> bill, medication\n\
+                    staffInfo -> staff*\n\
+                    staff -> doctor + nurse\n\
+                    doctor -> name\n\
+                    nurse -> name\n\
+                    name -> str\n\
+                    wardNo -> str\n\
+                    bill -> str\n\
+                    medication -> str\n\
+                    σ(hospital, dept) = dept[*/patient/wardNo='6']\n\
+                    sigma(dummy1, bill) = trial/bill\n";
+        let view = parse_view_text(text).unwrap();
+        assert_eq!(view.root(), "hospital");
+        assert_eq!(view.production("hospital"), Some(&ViewContent::Star("dept".into())));
+        assert_eq!(
+            view.production("treatment"),
+            Some(&ViewContent::Choice {
+                alternatives: vec!["dummy1".into(), "dummy2".into()],
+                optional: false
+            })
+        );
+        assert_eq!(
+            view.sigma("hospital", "dept").unwrap().to_string(),
+            "dept[*/patient/wardNo='6']"
+        );
+        assert_eq!(view.sigma("dummy1", "bill").unwrap().to_string(), "trial/bill");
+        assert!(view.sigma("dept", "staffInfo").is_none(), "defaults are left implicit");
+    }
+
+    #[test]
+    fn optional_choice_and_empty() {
+        let view = parse_view_text("r -> a + ε\na -> empty\n").unwrap();
+        assert_eq!(
+            view.production("r"),
+            Some(&ViewContent::Choice { alternatives: vec!["a".into()], optional: true })
+        );
+        assert_eq!(view.production("a"), Some(&ViewContent::Empty));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for (bad, why) in [
+            ("r -> a\n", "undeclared type"),
+            ("r -> a[]\na -> str\n", "bad name"),
+            ("r -> str\nr -> str\n", "duplicate"),
+            ("σ(r, a) = b\nr -> str\n", "σ off-edge"),
+            ("r -> str\nσ(r, a) = ((\n", "σ path"),
+            ("just words\n", "no arrow"),
+            ("", "empty"),
+            ("/* view root: z */\nr -> str\n", "root undeclared"),
+        ] {
+            let e = parse_view_text(bad);
+            assert!(matches!(e, Err(Error::ViewParse { .. })), "{why}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn derive_output_roundtrips_through_text() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (c*)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        let mut text = view.view_dtd_to_string();
+        for (p, c, q) in view.sigma_entries() {
+            text.push_str(&format!("σ({p}, {c}) = {q}\n"));
+        }
+        let reparsed = parse_view_text(&text).unwrap();
+        assert_eq!(reparsed.root(), view.root());
+        assert_eq!(reparsed.productions(), view.productions());
+        for (p, c, q) in view.sigma_entries() {
+            assert_eq!(reparsed.sigma(p, c).map(|x| x.to_string()), Some(q.to_string()));
+        }
+    }
+}

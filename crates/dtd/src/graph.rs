@@ -103,6 +103,30 @@ impl DtdGraph {
         out
     }
 
+    /// Per-node flags: reachable from the root (the root itself included).
+    /// Types outside this set can never occur in a valid instance.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        seen[self.root] = true;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            for &c in &self.children[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Per-node flags: the type has at least one finite instance
+    /// (non-productive types arise only in inconsistent recursive DTDs,
+    /// e.g. `a → (a, b)`).
+    pub fn productive(&self, dtd: &Dtd) -> Vec<bool> {
+        self.min_heights(dtd).into_iter().map(|h| h != usize::MAX).collect()
+    }
+
     /// Topological order of a DAG DTD (root first). `None` if recursive.
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         if self.is_recursive() {
@@ -372,6 +396,23 @@ mod tests {
         let (d, g) = graph("<!ELEMENT a (a, b)><!ELEMENT b EMPTY>", "a");
         let h = g.min_heights(&d);
         assert_eq!(h[g.index_of("a").unwrap()], usize::MAX);
+    }
+
+    #[test]
+    fn reachable_and_productive_flags() {
+        let (d, g) = graph(
+            "<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b EMPTY><!ELEMENT z EMPTY>\
+             <!ELEMENT w (w, b)>",
+            "r",
+        );
+        let reach = g.reachable();
+        assert!(reach[g.index_of("r").unwrap()], "root is reachable from itself");
+        assert!(reach[g.index_of("b").unwrap()]);
+        assert!(!reach[g.index_of("z").unwrap()]);
+        assert!(!reach[g.index_of("w").unwrap()]);
+        let prod = g.productive(&d);
+        assert!(prod[g.index_of("r").unwrap()]);
+        assert!(!prod[g.index_of("w").unwrap()], "w requires itself forever");
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! The diagnostics framework: [`Diagnostic`], the rule registry
+//! ([`RULES`]), per-code level overrides ([`LintConfig`]) and the
+//! [`Report`] renderer (text and JSON).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// How bad a finding is, before per-code overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong; exit 0 unless `--deny-warnings`.
+    Warning,
+    /// Provably wrong (unsound view, unknown edge, …); exit 2.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A per-rule-code level override (`--allow C`, `--warn C`, `--deny C`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Drop findings for this code entirely.
+    Allow,
+    /// Report findings for this code as warnings.
+    Warn,
+    /// Report findings for this code as errors.
+    Deny,
+}
+
+impl FromStr for Level {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "allow" => Ok(Level::Allow),
+            "warn" => Ok(Level::Warn),
+            "deny" => Ok(Level::Deny),
+            other => Err(format!("unknown lint level {other:?} (allow|warn|deny)")),
+        }
+    }
+}
+
+/// One finding produced by a lint rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code (`SXV…`); always one of [`RULES`].
+    pub code: &'static str,
+    /// Effective severity (the rule default until a [`LintConfig`] is
+    /// applied by [`Report::build`]).
+    pub severity: Severity,
+    /// What the finding is about — an edge, a σ annotation, a type, a
+    /// query.
+    pub subject: String,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// An optional replacement or next step.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A finding for `code` at its registry-default severity.
+    pub fn new(code: &'static str, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        let severity = rule(code).map(|r| r.default).unwrap_or(Severity::Error);
+        Diagnostic {
+            code,
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.code, self.subject, self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A registered lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable code, `SXVnnn`.
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Default severity.
+    pub default: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Where in the paper the rule's semantics come from.
+    pub paper: &'static str,
+}
+
+/// Every rule `sxv lint` can fire, in code order. `SXV0xx` audit the
+/// access specification, `SXV1xx` audit a view definition against the
+/// specification, `SXV2xx` audit view queries against the view DTD.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "SXV001",
+        name: "spec-parse-error",
+        default: Severity::Error,
+        summary: "the specification text does not parse",
+        paper: "§3.2",
+    },
+    Rule {
+        code: "SXV002",
+        name: "unknown-edge",
+        default: Severity::Error,
+        summary: "annotation on an edge or attribute the document DTD does not have",
+        paper: "§3.2",
+    },
+    Rule {
+        code: "SXV003",
+        name: "unreachable-annotation",
+        default: Severity::Warning,
+        summary: "annotation on an element type unreachable from the DTD root",
+        paper: "§3.2",
+    },
+    Rule {
+        code: "SXV004",
+        name: "non-productive-annotation",
+        default: Severity::Warning,
+        summary: "annotation on a non-productive element type (no finite instance)",
+        paper: "§3.2",
+    },
+    Rule {
+        code: "SXV005",
+        name: "redundant-annotation",
+        default: Severity::Warning,
+        summary: "annotation repeats what §3.2 inheritance already implies",
+        paper: "§3.2",
+    },
+    Rule {
+        code: "SXV006",
+        name: "unsatisfiable-qualifier",
+        default: Severity::Warning,
+        summary: "[q] is statically false on every instance — equivalent to N",
+        paper: "§5 (Fig. 10)",
+    },
+    Rule {
+        code: "SXV007",
+        name: "tautological-qualifier",
+        default: Severity::Warning,
+        summary: "[q] is statically true on every instance — equivalent to Y",
+        paper: "§5 (Fig. 10)",
+    },
+    Rule {
+        code: "SXV101",
+        name: "view-unsound",
+        default: Severity::Error,
+        summary: "a σ path can reach a node whose type is definitely inaccessible",
+        paper: "§3.3–3.4 (Thm 3.3, soundness)",
+    },
+    Rule {
+        code: "SXV102",
+        name: "view-label-mismatch",
+        default: Severity::Error,
+        summary: "a σ path reaches nodes not labelled with the view child's type",
+        paper: "§3.3 (Def. 3.2)",
+    },
+    Rule {
+        code: "SXV103",
+        name: "view-incomplete",
+        default: Severity::Error,
+        summary: "an accessible document type is missing from the view DTD",
+        paper: "§3.4 (Thm 3.3, completeness)",
+    },
+    Rule {
+        code: "SXV104",
+        name: "view-dead-sigma",
+        default: Severity::Warning,
+        summary: "a σ path reaches nothing in any reachable context",
+        paper: "§3.3",
+    },
+    Rule {
+        code: "SXV105",
+        name: "view-orphan-type",
+        default: Severity::Warning,
+        summary: "a view production is unreachable from the view root",
+        paper: "§3.3",
+    },
+    Rule {
+        code: "SXV106",
+        name: "dummy-single-expansion",
+        default: Severity::Warning,
+        summary: "a dummy with a single expansion reveals the hidden structure it masks",
+        paper: "§3.4",
+    },
+    Rule {
+        code: "SXV107",
+        name: "dummy-choice-distinguishable",
+        default: Severity::Warning,
+        summary: "distinguishable dummy alternatives can leak which hidden branch was taken",
+        paper: "§1 (Ex. 1.1)",
+    },
+    Rule {
+        code: "SXV108",
+        name: "dummy-cardinality",
+        default: Severity::Warning,
+        summary: "a starred dummy exposes the cardinality of a hidden region",
+        paper: "§3.4",
+    },
+    Rule {
+        code: "SXV201",
+        name: "query-unknown-name",
+        default: Severity::Error,
+        summary: "the query references an element type not in the view DTD",
+        paper: "§4",
+    },
+    Rule {
+        code: "SXV202",
+        name: "query-empty",
+        default: Severity::Warning,
+        summary: "the query is provably empty on every document conforming to the DTD",
+        paper: "§5 (Fig. 10)",
+    },
+    Rule {
+        code: "SXV203",
+        name: "query-redundant-union-arm",
+        default: Severity::Warning,
+        summary: "a union arm is contained in its sibling arms",
+        paper: "§5 (Prop. 5.1)",
+    },
+];
+
+/// Look a rule up by code.
+pub fn rule(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Per-code level overrides.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    levels: BTreeMap<String, Level>,
+}
+
+impl LintConfig {
+    /// No overrides: every rule at its default severity.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Override `code` (e.g. `"SXV107"`) to `level`. Errs on unknown codes.
+    pub fn set_level(&mut self, code: &str, level: Level) -> Result<(), String> {
+        if rule(code).is_none() {
+            return Err(format!("unknown lint code {code:?}"));
+        }
+        self.levels.insert(code.to_string(), level);
+        Ok(())
+    }
+
+    /// The override for `code`, if any.
+    pub fn level_of(&self, code: &str) -> Option<Level> {
+        self.levels.get(code).copied()
+    }
+}
+
+/// The outcome of a lint run: diagnostics with overrides applied.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The surviving diagnostics, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Apply `config` to raw diagnostics: `allow`ed codes are dropped,
+    /// `warn`/`deny` overrides re-level the rest.
+    pub fn build(diagnostics: Vec<Diagnostic>, config: &LintConfig) -> Report {
+        let diagnostics = diagnostics
+            .into_iter()
+            .filter_map(|mut d| {
+                match config.level_of(d.code) {
+                    Some(Level::Allow) => return None,
+                    Some(Level::Warn) => d.severity = Severity::Warning,
+                    Some(Level::Deny) => d.severity = Severity::Error,
+                    None => {}
+                }
+                Some(d)
+            })
+            .collect();
+        Report { diagnostics }
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// True iff nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The `sxv lint` exit code: 2 on errors, 1 on warnings under
+    /// `--deny-warnings`, 0 otherwise.
+    pub fn exit_code(&self, deny_warnings: bool) -> u8 {
+        if self.errors() > 0 {
+            2
+        } else if deny_warnings && self.warnings() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Render as human-readable text, one finding per paragraph, ending
+    /// with a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} error(s), {} warning(s)\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Render as a single JSON object (hand-rolled; no serde in-tree).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"severity\":{},\"subject\":{},\"message\":{},\"suggestion\":{}}}",
+                json_string(d.code),
+                json_string(&d.severity.to_string()),
+                json_string(&d.subject),
+                json_string(&d.message),
+                match &d.suggestion {
+                    Some(s) => json_string(s),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str(&format!("],\"errors\":{},\"warnings\":{}}}", self.errors(), self.warnings()));
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry must be unique and in code order");
+        assert!(rule("SXV101").is_some());
+        assert!(rule("SXV999").is_none());
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let mut config = LintConfig::new();
+        config.set_level("SXV107", Level::Allow).unwrap();
+        config.set_level("SXV202", Level::Deny).unwrap();
+        config.set_level("SXV101", Level::Warn).unwrap();
+        assert!(config.set_level("SXV999", Level::Warn).is_err());
+        let report = Report::build(
+            vec![
+                Diagnostic::new("SXV107", "a", "dropped"),
+                Diagnostic::new("SXV202", "b", "escalated"),
+                Diagnostic::new("SXV101", "c", "demoted"),
+                Diagnostic::new("SXV003", "d", "default"),
+            ],
+            &config,
+        );
+        assert_eq!(report.diagnostics.len(), 3);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 2);
+        assert_eq!(report.exit_code(false), 2);
+    }
+
+    #[test]
+    fn exit_codes() {
+        let clean = Report::build(vec![], &LintConfig::new());
+        assert!(clean.is_clean());
+        assert_eq!(clean.exit_code(true), 0);
+        let warn = Report::build(vec![Diagnostic::new("SXV003", "a", "m")], &LintConfig::new());
+        assert_eq!(warn.exit_code(false), 0);
+        assert_eq!(warn.exit_code(true), 1);
+        let err = Report::build(vec![Diagnostic::new("SXV101", "a", "m")], &LintConfig::new());
+        assert_eq!(err.exit_code(false), 2);
+    }
+
+    #[test]
+    fn text_and_json_rendering() {
+        let report = Report::build(
+            vec![Diagnostic::new("SXV202", "//a \"x\"", "empty").with_suggestion("remove it")],
+            &LintConfig::new(),
+        );
+        let text = report.to_text();
+        assert!(text.contains("warning[SXV202] //a \"x\": empty"), "{text}");
+        assert!(text.contains("help: remove it"), "{text}");
+        assert!(text.contains("0 error(s), 1 warning(s)"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"code\":\"SXV202\""), "{json}");
+        assert!(json.contains("\"subject\":\"//a \\\"x\\\"\""), "{json}");
+        assert!(json.contains("\"suggestion\":\"remove it\""), "{json}");
+        assert!(json.contains("\"errors\":0,\"warnings\":1"), "{json}");
+    }
+}

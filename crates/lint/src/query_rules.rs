@@ -1,0 +1,177 @@
+//! Query lints (`SXV201`–`SXV203`): check a view query against the view
+//! DTD before it is ever evaluated — unknown names, provable emptiness
+//! (through `rewrite` + `optimize`), and union arms subsumed by their
+//! siblings (Prop. 5.1 containment).
+
+use crate::diagnostics::Diagnostic;
+use sxv_core::{approx_contained, optimize, rewrite, SecurityView};
+use sxv_dtd::{Dtd, DtdGraph};
+use sxv_xpath::Path;
+
+/// Split a top-level union into its arms.
+fn union_arms(p: &Path) -> Vec<&Path> {
+    match p {
+        Path::Union(a, b) => {
+            let mut arms = union_arms(a);
+            arms.extend(union_arms(b));
+            arms
+        }
+        _ => vec![p],
+    }
+}
+
+/// Rebuild a union from arms (at least one).
+fn union_of(arms: &[&Path]) -> Path {
+    let mut it = arms.iter();
+    let first = (*it.next().expect("non-empty")).clone();
+    it.fold(first, |acc, arm| Path::union(acc, (*arm).clone()))
+}
+
+/// Lint one view query against the view DTD (and, through `rewrite`,
+/// against the document DTD `doc_dtd` it will ultimately run on).
+pub fn lint_query(doc_dtd: &Dtd, view: &SecurityView, query: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let subject = query.to_string();
+
+    // SXV201 — names that do not exist in the view DTD. Everything else
+    // assumes the query at least speaks the view's vocabulary.
+    let unknown: Vec<&str> =
+        query.labels().into_iter().filter(|l| view.production(l).is_none()).collect();
+    if !unknown.is_empty() {
+        let names = unknown.join("`, `");
+        diags.push(Diagnostic::new(
+            "SXV201",
+            subject,
+            format!("the view DTD has no element type(s) `{names}`; the query selects nothing"),
+        ));
+        return diags;
+    }
+
+    // SXV202 — statically empty: the σ-expanded translation is ∅, or the
+    // DTD-aware optimizer reduces it to ∅ (no conforming document can
+    // produce a result). Recursive views need a concrete document height
+    // for translation (§4.2), so they are skipped here.
+    if let Ok(translated) = rewrite(view, query) {
+        let empty = translated.is_empty_set()
+            || optimize(doc_dtd, &translated).map(|o| o.is_empty_set()).unwrap_or(false);
+        if empty {
+            diags.push(Diagnostic::new(
+                "SXV202",
+                subject,
+                "provably empty on every document conforming to the DTD".to_string(),
+            ));
+            return diags;
+        }
+    }
+
+    // SXV203 — a union arm contained in the union of its siblings is
+    // noise: evaluating it cannot add results. Checked over the view DTD
+    // (that is the vocabulary the user queries in); needs the view DTD in
+    // paper normal form and without recursion (Prop. 5.1 assumes a DAG).
+    let arms = union_arms(query);
+    if arms.len() >= 2 {
+        let view_dtd = match view.view_general_dtd().normalize() {
+            Ok(d) => d,
+            Err(_) => return diags,
+        };
+        if DtdGraph::new(&view_dtd).is_recursive() {
+            return diags;
+        }
+        // Greedy: an arm is redundant when the *surviving* siblings
+        // subsume it — so of two equivalent arms only one is flagged.
+        let mut removed = vec![false; arms.len()];
+        for i in 0..arms.len() {
+            let siblings: Vec<&Path> = arms
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i && !removed[*j])
+                .map(|(_, a)| *a)
+                .collect();
+            if siblings.is_empty() {
+                continue;
+            }
+            let rest = union_of(&siblings);
+            if approx_contained(&view_dtd, arms[i], &rest) {
+                removed[i] = true;
+                diags.push(
+                    Diagnostic::new(
+                        "SXV203",
+                        subject.clone(),
+                        format!("the union arm `{}` is contained in its sibling arm(s)", arms[i]),
+                    )
+                    .with_suggestion(format!("equivalent query: {rest}")),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_core::{derive_view, AccessSpec};
+    use sxv_dtd::parse_dtd;
+    use sxv_xpath::parse;
+
+    fn fixture() -> (Dtd, SecurityView) {
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a, b)>\
+             <!ELEMENT a (c*)>\
+             <!ELEMENT b (c*)>\
+             <!ELEMENT c (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        (dtd, view)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_query_is_clean() {
+        let (dtd, view) = fixture();
+        let diags = lint_query(&dtd, &view, &parse("a/c").unwrap());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_name_is_sxv201() {
+        let (dtd, view) = fixture();
+        let diags = lint_query(&dtd, &view, &parse("a/zebra").unwrap());
+        assert_eq!(codes(&diags), ["SXV201"]);
+        assert!(diags[0].message.contains("zebra"), "{diags:?}");
+    }
+
+    #[test]
+    fn hidden_type_is_unknown_in_the_view() {
+        let (dtd, view) = fixture();
+        // `b` exists in the document DTD but not in the view DTD.
+        let diags = lint_query(&dtd, &view, &parse("b/c").unwrap());
+        assert_eq!(codes(&diags), ["SXV201"]);
+    }
+
+    #[test]
+    fn statically_empty_query_is_sxv202() {
+        let (dtd, view) = fixture();
+        // `c` is never a child of `r`'s other children in the view:
+        // a/c exists, but c/a does not.
+        let diags = lint_query(&dtd, &view, &parse("c/a").unwrap());
+        assert_eq!(codes(&diags), ["SXV202"]);
+    }
+
+    #[test]
+    fn redundant_union_arm_is_sxv203() {
+        let (dtd, view) = fixture();
+        let diags = lint_query(&dtd, &view, &parse("a/c | */c").unwrap());
+        assert_eq!(codes(&diags), ["SXV203"]);
+        assert!(diags[0].suggestion.as_deref().unwrap_or("").contains("*/c"), "{diags:?}");
+        // Arms that genuinely differ are kept.
+        let diags = lint_query(&dtd, &view, &parse("a | a/c").unwrap());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Specification lints (`SXV001`–`SXV007`): parse errors, unknown
+//! edges, unreachable / non-productive annotations, redundancy under
+//! §3.2 inheritance, and statically decided qualifiers.
+
+use crate::diagnostics::Diagnostic;
+use sxv_core::optimize::constraints::QualEval;
+use sxv_core::{
+    parse_spec_rules, AccessSpec, Annotation, RawRule, RawValue, TypeAccessibility, ViewGraph,
+};
+use sxv_dtd::{Dtd, DtdGraph};
+
+/// What `lint_spec` produced: the findings, plus the specification built
+/// from the valid rules (so the caller can go on to audit the derived
+/// view) when the text was at least partially usable.
+pub struct SpecLint {
+    /// Findings against the specification text.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The specification assembled from the rules that survived
+    /// validation; `None` only when the text itself does not parse.
+    pub spec: Option<AccessSpec>,
+}
+
+fn subject_of(rule: &RawRule) -> String {
+    format!("ann({}, {}) [line {}]", rule.parent, rule.child, rule.line)
+}
+
+/// True iff the qualifier text of a `[q]` rule parses; pre-validated so
+/// the builder below cannot fail mid-chain.
+fn qualifier_parses(q: &str) -> bool {
+    sxv_xpath::parse(&format!(".[{q}]")).is_ok()
+}
+
+/// Lint specification text against `dtd`, binding the given
+/// `$parameters`. Unbound parameters are kept as opaque `$name` literals
+/// (they never satisfy a static truth test, keeping qualifier lints
+/// conservative).
+pub fn lint_spec(dtd: &Dtd, text: &str, params: &[(&str, &str)]) -> SpecLint {
+    let mut diags = Vec::new();
+    let rules = match parse_spec_rules(text) {
+        Ok(rules) => rules,
+        Err(e) => {
+            diags.push(Diagnostic::new("SXV001", "specification", e.to_string()));
+            return SpecLint { diagnostics: diags, spec: None };
+        }
+    };
+
+    let graph = DtdGraph::new(dtd);
+    let reachable = graph.reachable();
+    let productive = graph.productive(dtd);
+    let mut builder = AccessSpec::builder(dtd).keep_unbound_params();
+    for (name, value) in params {
+        builder = builder.bind(*name, *value);
+    }
+
+    let mut applied: Vec<&RawRule> = Vec::new();
+    // Rules already flagged dead (SXV003/SXV004) are excluded from the
+    // semantic lints below — one finding per dead edge is enough.
+    let mut dead: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for rule in &rules {
+        let subject = subject_of(rule);
+        let known = if let Some(attr) = rule.child.strip_prefix('@') {
+            dtd.attribute_defs(&rule.parent).iter().any(|d| d.name == attr)
+        } else {
+            dtd.is_child_type(&rule.parent, &rule.child)
+        };
+        if !known {
+            diags.push(Diagnostic::new(
+                "SXV002",
+                subject,
+                format!(
+                    "the document DTD has no edge {} → {}; this annotation can never apply",
+                    rule.parent, rule.child
+                ),
+            ));
+            continue;
+        }
+        if let Some(parent_idx) = graph.index_of(&rule.parent) {
+            if !reachable[parent_idx] {
+                dead.insert(rule.line);
+                diags.push(Diagnostic::new(
+                    "SXV003",
+                    subject.clone(),
+                    format!(
+                        "`{}` is unreachable from the DTD root `{}`; the annotation is dead",
+                        rule.parent,
+                        dtd.root()
+                    ),
+                ));
+            } else if !productive[parent_idx] {
+                dead.insert(rule.line);
+                diags.push(Diagnostic::new(
+                    "SXV004",
+                    subject.clone(),
+                    format!("`{}` has no finite instance; the annotation is dead", rule.parent),
+                ));
+            } else if !rule.is_attribute() {
+                if let Some(child_idx) = graph.index_of(&rule.child) {
+                    if !productive[child_idx] {
+                        dead.insert(rule.line);
+                        diags.push(Diagnostic::new(
+                            "SXV004",
+                            subject.clone(),
+                            format!(
+                                "`{}` has no finite instance; the annotation is dead",
+                                rule.child
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if let RawValue::Cond(q) = &rule.value {
+            if !qualifier_parses(q) {
+                diags.push(Diagnostic::new(
+                    "SXV001",
+                    subject,
+                    format!("qualifier [{q}] does not parse"),
+                ));
+                continue;
+            }
+        }
+        builder = builder.apply_raw(rule).expect("edge and qualifier pre-validated");
+        applied.push(rule);
+    }
+
+    let spec = match builder.build() {
+        Ok(spec) => spec,
+        Err(e) => {
+            diags.push(Diagnostic::new("SXV001", "specification", e.to_string()));
+            return SpecLint { diagnostics: diags, spec: None };
+        }
+    };
+
+    let acc = TypeAccessibility::compute(&spec);
+    let view_graph = ViewGraph::from_dtd(dtd);
+    let eval = QualEval { graph: &view_graph, dtd };
+    for rule in applied {
+        if rule.is_attribute() || dead.contains(&rule.line) {
+            continue;
+        }
+        let subject = subject_of(rule);
+        match spec.annotation(&rule.parent, &rule.child) {
+            Some(Annotation::Allow) if acc.definitely_accessible(&rule.parent) => {
+                diags.push(
+                    Diagnostic::new(
+                        "SXV005",
+                        subject,
+                        format!(
+                            "`{}` nodes are accessible in every context, so `{}` already \
+                             inherits Y",
+                            rule.parent, rule.child
+                        ),
+                    )
+                    .with_suggestion("drop the annotation; inheritance implies it"),
+                );
+            }
+            Some(Annotation::Deny) if acc.definitely_inaccessible(&rule.parent) => {
+                diags.push(
+                    Diagnostic::new(
+                        "SXV005",
+                        subject,
+                        format!(
+                            "`{}` nodes are inaccessible in every context, so `{}` already \
+                             inherits N",
+                            rule.parent, rule.child
+                        ),
+                    )
+                    .with_suggestion("drop the annotation; inheritance implies it"),
+                );
+            }
+            Some(Annotation::Cond(q)) => {
+                // Evaluated at the child's node (spec semantics: `[q]` is
+                // checked at the `B` element). Skip when an unbound
+                // `$param` survives — its value is unknowable statically.
+                if q.to_string().contains('$') {
+                    continue;
+                }
+                if let Some(node) = view_graph.node_by_label(&rule.child) {
+                    match eval.truth(q, node) {
+                        Some(false) => diags.push(
+                            Diagnostic::new(
+                                "SXV006",
+                                subject,
+                                format!(
+                                    "[{q}] is false on every document conforming to the DTD; \
+                                     the edge is always hidden"
+                                ),
+                            )
+                            .with_suggestion(format!(
+                                "write `ann({}, {}) = N` if that is intended",
+                                rule.parent, rule.child
+                            )),
+                        ),
+                        Some(true) => diags.push(
+                            Diagnostic::new(
+                                "SXV007",
+                                subject,
+                                format!(
+                                    "[{q}] is true on every document conforming to the DTD; \
+                                     the condition never hides anything"
+                                ),
+                            )
+                            .with_suggestion(format!(
+                                "write `ann({}, {}) = Y` if that is intended",
+                                rule.parent, rule.child
+                            )),
+                        ),
+                        None => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    SpecLint { diagnostics: diags, spec: Some(spec) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxv_dtd::parse_dtd;
+
+    fn dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT r (a, b, c)>\
+             <!ELEMENT a (d*)>\
+             <!ELEMENT b (#PCDATA)>\
+             <!ELEMENT c (b | w)>\
+             <!ELEMENT d (#PCDATA)>\
+             <!ELEMENT z (b)>\
+             <!ELEMENT w (w, b)>\
+             <!ATTLIST r id CDATA #IMPLIED>",
+            "r",
+        )
+        .unwrap()
+    }
+
+    fn codes(lint: &SpecLint) -> Vec<&'static str> {
+        lint.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_spec_is_clean() {
+        let lint = lint_spec(&dtd(), "ann(r, b) = N\n", &[]);
+        assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+        assert!(lint.spec.is_some());
+    }
+
+    #[test]
+    fn parse_error_is_sxv001_and_fatal() {
+        let lint = lint_spec(&dtd(), "this is not a rule\n", &[]);
+        assert_eq!(codes(&lint), ["SXV001"]);
+        assert!(lint.spec.is_none());
+    }
+
+    #[test]
+    fn bad_qualifier_is_sxv001_but_rest_survives() {
+        let lint = lint_spec(&dtd(), "ann(r, b) = [((]\nann(r, c) = N\n", &[]);
+        assert_eq!(codes(&lint), ["SXV001"]);
+        let spec = lint.spec.unwrap();
+        assert!(spec.annotation("r", "b").is_none());
+        assert_eq!(spec.annotation("r", "c"), Some(&Annotation::Deny));
+    }
+
+    #[test]
+    fn unknown_edges_are_sxv002() {
+        let text = "ann(r, nosuch) = N\nann(b, a) = Y\nann(r, @nope) = N\nann(r, b) = N\n";
+        let lint = lint_spec(&dtd(), text, &[]);
+        assert_eq!(codes(&lint), ["SXV002", "SXV002", "SXV002"]);
+        assert!(lint.spec.unwrap().annotation("r", "b").is_some());
+    }
+
+    #[test]
+    fn unreachable_and_non_productive_edges_warn() {
+        // `z` is unreachable from `r`; `w` is reachable (via the choice
+        // in `c`) but has no finite instance.
+        let lint = lint_spec(&dtd(), "ann(z, b) = N\nann(w, b) = N\n", &[]);
+        assert_eq!(codes(&lint), ["SXV003", "SXV004"]);
+        // A rule whose *child* is non-productive is equally dead.
+        let lint = lint_spec(&dtd(), "ann(c, w) = Y\n", &[]);
+        assert_eq!(codes(&lint), ["SXV004"]);
+    }
+
+    #[test]
+    fn redundant_allow_and_deny_are_sxv005() {
+        // `a` is definitely accessible (no annotation on r → a), so
+        // Y on (a, d) is inherited anyway.
+        let lint = lint_spec(&dtd(), "ann(a, d) = Y\n", &[]);
+        assert_eq!(codes(&lint), ["SXV005"]);
+        // Deny r → a, making `a` definitely inaccessible: N on (a, d)
+        // is then inherited too.
+        let lint = lint_spec(&dtd(), "ann(r, a) = N\nann(a, d) = N\n", &[]);
+        assert_eq!(codes(&lint), ["SXV005"]);
+        // …but N on (a, d) under an accessible `a` is load-bearing.
+        let lint = lint_spec(&dtd(), "ann(a, d) = N\n", &[]);
+        assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+    }
+
+    #[test]
+    fn statically_decided_qualifiers_warn() {
+        // `b` has no child named `x` — [x] is unsatisfiable at `b`.
+        let lint = lint_spec(&dtd(), "ann(r, b) = [a]\n", &[]);
+        assert_eq!(codes(&lint), ["SXV006"]);
+        // `.` is trivially satisfied.
+        let lint = lint_spec(&dtd(), "ann(r, b) = [.]\n", &[]);
+        assert_eq!(codes(&lint), ["SXV007"]);
+        // A value test is statically undecidable: no finding.
+        let lint = lint_spec(&dtd(), "ann(r, a) = [d='1']\n", &[]);
+        assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+    }
+
+    #[test]
+    fn unbound_params_suppress_qualifier_lints() {
+        let lint = lint_spec(&dtd(), "ann(r, a) = [d=$who]\n", &[]);
+        assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+        assert!(lint.spec.is_some());
+    }
+}

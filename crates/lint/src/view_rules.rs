@@ -1,0 +1,109 @@
+//! View lints (`SXV101`–`SXV108`): a thin mapping from the independent
+//! view audit in [`sxv_core::analysis`] onto diagnostics. The audit
+//! re-checks any view definition — hand-authored or produced by
+//! `derive` — against the access specification using the `optimize`
+//! machinery (image graphs over the document DTD), so it shares no code
+//! with `derive` itself.
+
+use crate::diagnostics::Diagnostic;
+use sxv_core::{audit_view, AccessSpec, AuditFinding, SecurityView};
+
+/// The diagnostic code for one audit finding.
+pub fn code_of(finding: &AuditFinding) -> &'static str {
+    match finding {
+        AuditFinding::UnsoundSigma { .. } => "SXV101",
+        AuditFinding::LabelMismatch { .. } => "SXV102",
+        AuditFinding::Incomplete { .. } => "SXV103",
+        AuditFinding::DeadSigma { .. } => "SXV104",
+        AuditFinding::OrphanProduction { .. } => "SXV105",
+        AuditFinding::DummySingleExpansion { .. } => "SXV106",
+        AuditFinding::DummyChoice { .. } => "SXV107",
+        AuditFinding::DummyCardinality { .. } => "SXV108",
+    }
+}
+
+/// Audit `view` against `spec` and report each finding as a diagnostic.
+pub fn lint_view(spec: &AccessSpec, view: &SecurityView) -> Vec<Diagnostic> {
+    audit_view(spec, view)
+        .into_iter()
+        .map(|finding| Diagnostic::new(code_of(&finding), finding.subject(), finding.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use sxv_core::view::def::{ViewContent, ViewItem};
+    use sxv_core::{derive_view, parse_view_text};
+    use sxv_dtd::parse_dtd;
+    use sxv_xpath::Path;
+
+    #[test]
+    fn derived_view_yields_no_errors() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (c*)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        let diags = lint_view(&spec, &view);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn leaky_hand_view_is_sxv101() {
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+            .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("r", "b").build().unwrap();
+        // A hand-authored view that exposes the denied `b`.
+        let view = parse_view_text("/* view root: r */\nr -> a, b\na -> str\nb -> str\n").unwrap();
+        let diags = lint_view(&spec, &view);
+        assert!(diags.iter().any(|d| d.code == "SXV101"), "{diags:?}");
+    }
+
+    #[test]
+    fn every_finding_maps_to_a_registered_code() {
+        use crate::diagnostics::rule;
+        let findings = [
+            AuditFinding::UnsoundSigma {
+                parent: "a".into(),
+                child: "b".into(),
+                target: "s".into(),
+            },
+            AuditFinding::LabelMismatch {
+                parent: "a".into(),
+                child: "b".into(),
+                target: "c".into(),
+            },
+            AuditFinding::Incomplete { name: "t".into() },
+            AuditFinding::DeadSigma { parent: "a".into(), child: "b".into() },
+            AuditFinding::OrphanProduction { name: "o".into() },
+            AuditFinding::DummySingleExpansion { dummy: "dummy1".into(), child: "b".into() },
+            AuditFinding::DummyChoice { parent: "a".into(), dummies: vec!["dummy1".into()] },
+            AuditFinding::DummyCardinality { parent: "a".into(), dummy: "dummy1".into() },
+        ];
+        for f in findings {
+            assert!(rule(code_of(&f)).is_some(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn incomplete_hand_view_is_sxv103() {
+        let dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+            .unwrap();
+        let spec = AccessSpec::builder(&dtd).build().unwrap();
+        // `b` is accessible but the view omits it.
+        let view = SecurityView::new(
+            "r".to_string(),
+            vec![
+                ("r".to_string(), ViewContent::Seq(vec![ViewItem::One("a".into())])),
+                ("a".to_string(), ViewContent::Str),
+            ],
+            BTreeMap::<(String, String), Path>::new(),
+        );
+        let diags = lint_view(&spec, &view);
+        assert!(diags.iter().any(|d| d.code == "SXV103"), "{diags:?}");
+    }
+}

@@ -136,6 +136,33 @@ impl Path {
             _ => false,
         }
     }
+
+    /// All element labels mentioned anywhere in the query, including
+    /// inside qualifiers, sorted and deduped. Used by static analyses
+    /// (e.g. linting a view query against the view DTD's element types).
+    pub fn labels(&self) -> std::collections::BTreeSet<&str> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels<'a>(&'a self, out: &mut std::collections::BTreeSet<&'a str>) {
+        match self {
+            Path::Empty | Path::EmptySet | Path::Doc | Path::Wildcard | Path::Text => {}
+            Path::Label(l) => {
+                out.insert(l.as_str());
+            }
+            Path::Step(a, b) | Path::Union(a, b) => {
+                a.collect_labels(out);
+                b.collect_labels(out);
+            }
+            Path::Descendant(p) => p.collect_labels(out),
+            Path::Filter(p, q) => {
+                p.collect_labels(out);
+                q.collect_labels(out);
+            }
+        }
+    }
 }
 
 impl Qualifier {
@@ -214,6 +241,18 @@ impl Qualifier {
             _ => false,
         }
     }
+
+    fn collect_labels<'a>(&'a self, out: &mut std::collections::BTreeSet<&'a str>) {
+        match self {
+            Qualifier::True | Qualifier::False | Qualifier::Attr(_) | Qualifier::AttrEq(..) => {}
+            Qualifier::Path(p) | Qualifier::Eq(p, _) => p.collect_labels(out),
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+                a.collect_labels(out);
+                b.collect_labels(out);
+            }
+            Qualifier::Not(q) => q.collect_labels(out),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +327,22 @@ mod tests {
         let disj =
             Qualifier::or(Qualifier::path(Path::label("a")), Qualifier::path(Path::label("b")));
         assert!(!disj.is_conjunctive());
+    }
+
+    #[test]
+    fn labels_collects_from_qualifiers_too() {
+        let p = Path::step(
+            Path::descendant(Path::filter(
+                Path::label("a"),
+                Qualifier::and(
+                    Qualifier::path(Path::label("b")),
+                    Qualifier::not(Qualifier::Eq(Path::label("c"), "1".into())),
+                ),
+            )),
+            Path::union(Path::label("d"), Path::Wildcard),
+        );
+        let labels: Vec<&str> = p.labels().into_iter().collect();
+        assert_eq!(labels, ["a", "b", "c", "d"]);
     }
 
     #[test]

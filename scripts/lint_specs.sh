@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Lint every shipped policy/view artifact with `sxv lint` (run by CI).
+#
+#   - curated fixtures under examples/lint/ must stay *warning-free*
+#     (--deny-warnings, expect exit 0);
+#   - the paper assets must stay *error-free* (their real warnings —
+#     e.g. the Example 1.1 dummy-choice channel in the nurse policy —
+#     are part of the story and are allowed to remain);
+#   - the seeded leaky view must keep *failing* with exit 2 (the
+#     leakage auditor works).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SXV="${SXV:-target/release/sxv}"
+if [ ! -x "$SXV" ]; then
+  cargo build --release --bin sxv
+fi
+
+fail=0
+
+# args: expected-exit description sxv-lint-args...
+check() {
+  local want="$1" what="$2"
+  shift 2
+  "$SXV" lint "$@"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $what (exit $got, wanted $want)" >&2
+    fail=1
+  else
+    echo "ok: $what (exit $got)"
+  fi
+}
+
+echo "== curated fixtures: warning-free =="
+check 0 "examples/lint/hospital_research.spec" \
+  --dtd assets/hospital.dtd --root hospital \
+  --spec examples/lint/hospital_research.spec --deny-warnings
+
+check 0 "assets/auction_bidder.spec (clean enough for --deny-warnings)" \
+  --dtd assets/auction.dtd --root site \
+  --spec assets/auction_bidder.spec --deny-warnings
+
+echo "== paper assets: error-free =="
+check 0 "assets/hospital_nurse.spec" \
+  --dtd assets/hospital.dtd --root hospital \
+  --spec assets/hospital_nurse.spec --bind wardNo=6
+
+check 0 "examples/lint/leaky.spec (the spec itself is fine)" \
+  --dtd examples/lint/leaky.dtd --root record \
+  --spec examples/lint/leaky.spec --deny-warnings
+
+echo "== seeded leak: the auditor must catch it =="
+check 2 "examples/lint/leaky.view leaks salary (SXV101)" \
+  --dtd examples/lint/leaky.dtd --root record \
+  --spec examples/lint/leaky.spec --view examples/lint/leaky.view
+
+exit "$fail"

@@ -8,26 +8,34 @@
 //!                 [--indexed] [--stats] [--repeat N]
 //! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
 //! sxv validate    --dtd … --root … --doc data.xml
+//! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…']
+//!                 [--format text|json] [--deny-warnings] [--allow C] [--warn C] [--deny C]
 //! ```
 //!
 //! All subcommands read the document DTD (with `--root` naming the root
 //! element type) and, where applicable, a specification file in the
 //! paper's `ann(parent, child) = Y|N|[q]` syntax with `--bind` supplying
 //! `$parameter` values.
+//!
+//! `sxv lint` is the static analyzer: it audits the specification, the
+//! (derived or `--view`-supplied) view definition and any `--query`
+//! without loading a document, and exits 0 when clean, 1 when warnings
+//! remain under `--deny-warnings`, and 2 on errors.
 
 use secure_xml_views::core::{
-    derive_view, materialize, optimize, rewrite, rewrite_with_height, AccessSpec, Approach,
-    SecureEngine,
+    derive_view, materialize, optimize, parse_view_text, rewrite, rewrite_with_height, AccessSpec,
+    Approach, SecureEngine,
 };
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
+use secure_xml_views::lint::{lint_query, lint_spec, lint_view, Level, LintConfig, Report};
 use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
 use secure_xml_views::xpath::parse as parse_xpath;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("sxv: {message}");
             ExitCode::FAILURE
@@ -52,7 +60,10 @@ impl Options {
                 .ok_or_else(|| format!("expected a --flag, found {flag:?}"))?
                 .to_string();
             // Boolean flags take no value.
-            if matches!(name.as_str(), "show-sigma" | "no-optimize" | "stats" | "indexed") {
+            if matches!(
+                name.as_str(),
+                "show-sigma" | "no-optimize" | "stats" | "indexed" | "deny-warnings"
+            ) {
                 flags.push((name, String::new()));
                 continue;
             }
@@ -66,8 +77,19 @@ impl Options {
         self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
+    /// Every value of a repeatable flag, in order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+    }
+
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+        self.get(name).ok_or_else(|| {
+            format!(
+                "`sxv {cmd}` is missing required --{name}\nusage: {usage}",
+                cmd = self.command,
+                usage = subcommand_usage(&self.command)
+            )
+        })
     }
 
     fn has(&self, name: &str) -> bool {
@@ -84,20 +106,50 @@ impl Options {
 }
 
 fn usage() -> String {
-    "usage: sxv <derive|materialize|rewrite|query|generate|validate> --dtd FILE --root NAME …\n\
+    "usage: sxv <derive|materialize|rewrite|query|generate|validate|lint> \
+     --dtd FILE --root NAME …\n\
      run with a subcommand; see the crate docs for flags"
         .to_string()
 }
 
-fn run() -> Result<(), String> {
+/// The one-line usage of a specific subcommand (for `require` errors).
+fn subcommand_usage(command: &str) -> &'static str {
+    match command {
+        "derive" => "sxv derive --dtd FILE --root NAME --spec FILE [--bind k=v]… [--show-sigma]",
+        "materialize" => {
+            "sxv materialize --dtd FILE --root NAME --spec FILE --doc FILE [--bind k=v]…"
+        }
+        "rewrite" => {
+            "sxv rewrite --dtd FILE --root NAME --spec FILE --query PATH [--bind k=v]… \
+             [--height N] [--no-optimize]"
+        }
+        "query" => {
+            "sxv query --dtd FILE --root NAME --spec FILE --doc FILE --query PATH \
+             [--approach naive|rewrite|optimize] [--indexed] [--stats] [--repeat N]"
+        }
+        "generate" => "sxv generate --dtd FILE --root NAME [--branch N] [--seed N] [--depth N]",
+        "validate" => "sxv validate --dtd FILE --root NAME --doc FILE",
+        "lint" => {
+            "sxv lint --dtd FILE --root NAME [--spec FILE] [--bind k=v]… [--view FILE] \
+             [--query PATH]… [--format text|json] [--deny-warnings] [--allow CODE]… \
+             [--warn CODE]… [--deny CODE]…"
+        }
+        _ => {
+            "sxv <derive|materialize|rewrite|query|generate|validate|lint> --dtd FILE --root NAME …"
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let opts = Options::parse()?;
     match opts.command.as_str() {
-        "derive" => cmd_derive(&opts),
-        "materialize" => cmd_materialize(&opts),
-        "rewrite" => cmd_rewrite(&opts),
-        "query" => cmd_query(&opts),
-        "generate" => cmd_generate(&opts),
-        "validate" => cmd_validate(&opts),
+        "derive" => cmd_derive(&opts).map(|()| ExitCode::SUCCESS),
+        "materialize" => cmd_materialize(&opts).map(|()| ExitCode::SUCCESS),
+        "rewrite" => cmd_rewrite(&opts).map(|()| ExitCode::SUCCESS),
+        "query" => cmd_query(&opts).map(|()| ExitCode::SUCCESS),
+        "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
+        "validate" => cmd_validate(&opts).map(|()| ExitCode::SUCCESS),
+        "lint" => cmd_lint(&opts),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }
@@ -250,6 +302,78 @@ fn cmd_generate(opts: &Options) -> Result<(), String> {
         .ok_or("the DTD has no instance within the depth budget")?;
     println!("{}", to_string_pretty(&doc));
     Ok(())
+}
+
+fn cmd_lint(opts: &Options) -> Result<ExitCode, String> {
+    let dtd = load_dtd(opts)?;
+    let mut config = LintConfig::new();
+    for (flag, level) in [("allow", Level::Allow), ("warn", Level::Warn), ("deny", Level::Deny)] {
+        for code in opts.get_all(flag) {
+            config.set_level(code, level)?;
+        }
+    }
+
+    let binds = opts.binds();
+    let params: Vec<(&str, &str)> = binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let mut diags = Vec::new();
+
+    // Specification lints. `lint_spec` is lenient: it reports parse and
+    // unknown-edge problems as diagnostics and builds the specification
+    // from the surviving rules, binding unset `$parameters` to opaque
+    // literals so no user session is needed.
+    let spec = match opts.get("spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let outcome = lint_spec(&dtd, &text, &params);
+            diags.extend(outcome.diagnostics);
+            outcome.spec
+        }
+        None => None,
+    };
+
+    // View audit + query lints, both relative to the specification.
+    match &spec {
+        Some(spec) => {
+            let view = match opts.get("view") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    parse_view_text(&text).map_err(|e| e.to_string())?
+                }
+                None => derive_view(spec).map_err(|e| e.to_string())?,
+            };
+            diags.extend(lint_view(spec, &view));
+            for text in opts.get_all("query") {
+                let query = parse_xpath(text).map_err(|e| format!("--query {text:?}: {e}"))?;
+                diags.extend(lint_query(&dtd, &view, &query));
+            }
+        }
+        None if opts.get("view").is_some() || !opts.get_all("query").is_empty() => {
+            return Err(
+                "--view and --query lints need --spec (the policy to audit against)".to_string()
+            );
+        }
+        None if opts.get("spec").is_none() => {
+            return Err(format!(
+                "nothing to lint: pass --spec (and optionally --view / --query)\n\
+                 usage: {}",
+                subcommand_usage("lint")
+            ));
+        }
+        // --spec was given but did not survive parsing: the SXV001
+        // diagnostics below carry the details.
+        None => {}
+    }
+
+    let report = Report::build(diags, &config);
+    match opts.get("format").unwrap_or("text") {
+        "text" => print!("{}", report.to_text()),
+        "json" => println!("{}", report.to_json()),
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    }
+    Ok(match report.exit_code(opts.has("deny-warnings")) {
+        0 => ExitCode::SUCCESS,
+        code => ExitCode::from(code),
+    })
 }
 
 fn cmd_validate(opts: &Options) -> Result<(), String> {

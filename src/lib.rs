@@ -14,7 +14,10 @@
 //! * [`core`] — the paper's contribution: access specifications (§3.2),
 //!   security views and Algorithm `derive` (§3.3–3.4), XPath query
 //!   rewriting (`rewrite`, §4), and DTD-aware optimization (`optimize`, §5),
-//!   plus the §6 "naive" baseline.
+//!   plus the §6 "naive" baseline;
+//! * [`lint`] — the `sxv lint` static analyzer: audits specifications,
+//!   view definitions (soundness / completeness / dummy leaks) and view
+//!   queries before any document is loaded.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 pub use sxv_core as core;
 pub use sxv_dtd as dtd;
 pub use sxv_gen as gen;
+pub use sxv_lint as lint;
 pub use sxv_xml as xml;
 pub use sxv_xpath as xpath;
 

@@ -17,6 +17,16 @@ fn run(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Like [`run`] but exposing the exact exit code (`sxv lint` uses 0/1/2).
+fn run_code(args: &[&str]) -> (String, String, i32) {
+    let out = sxv().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("no signal"),
+    )
+}
+
 const DTD_ARGS: [&str; 4] = ["--dtd", "assets/hospital.dtd", "--root", "hospital"];
 
 #[test]
@@ -199,4 +209,139 @@ fn bad_usage_reports_errors() {
     let (_, stderr, ok) = run(&["derive", "--dtd", "/nonexistent", "--root", "x", "--spec", "y"]);
     assert!(!ok);
     assert!(stderr.contains("/nonexistent"), "{stderr}");
+}
+
+#[test]
+fn missing_flag_errors_name_the_subcommand() {
+    // The error must say which subcommand is incomplete and print that
+    // subcommand's usage line, not the global help.
+    let (_, stderr, ok) = run(&["derive", "--dtd", "assets/hospital.dtd"]);
+    assert!(!ok);
+    assert!(stderr.contains("`sxv derive` is missing required --root"), "{stderr}");
+    assert!(stderr.contains("usage: sxv derive --dtd FILE --root NAME --spec FILE"), "{stderr}");
+    assert!(!stderr.contains("materialize"), "global help leaked into the message: {stderr}");
+
+    let mut args = vec!["query"];
+    args.extend(DTD_ARGS);
+    args.extend(["--spec", "assets/hospital_nurse.spec", "--bind", "wardNo=6"]);
+    let (_, stderr, ok) = run(&args);
+    assert!(!ok);
+    assert!(stderr.contains("`sxv query` is missing required --doc"), "{stderr}");
+    assert!(stderr.contains("usage: sxv query"), "{stderr}");
+}
+
+const LEAKY_ARGS: [&str; 6] =
+    ["--dtd", "examples/lint/leaky.dtd", "--root", "record", "--spec", "examples/lint/leaky.spec"];
+
+#[test]
+fn lint_exit_code_0_on_clean_policy() {
+    let (stdout, stderr, code) = run_code(&[
+        "lint",
+        "--dtd",
+        "assets/auction.dtd",
+        "--root",
+        "site",
+        "--spec",
+        "assets/auction_bidder.spec",
+        "--deny-warnings",
+    ]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_exit_code_1_on_warnings_with_deny_warnings() {
+    // The nurse policy of the paper carries two real warnings: a
+    // redundant annotation and the Example 1.1 dummy-choice channel.
+    let mut args = vec!["lint"];
+    args.extend(DTD_ARGS);
+    args.extend(["--spec", "assets/hospital_nurse.spec", "--bind", "wardNo=6"]);
+    let (stdout, _, code) = run_code(&args);
+    assert_eq!(code, 0, "warnings alone must not fail without --deny-warnings: {stdout}");
+    assert!(stdout.contains("SXV005"), "{stdout}");
+    assert!(stdout.contains("SXV107"), "{stdout}");
+
+    args.push("--deny-warnings");
+    let (stdout, _, code) = run_code(&args);
+    assert_eq!(code, 1, "{stdout}");
+}
+
+#[test]
+fn lint_exit_code_2_on_seeded_leaky_view() {
+    // e2e leakage audit: a hand-authored view exposing a denied type is
+    // rejected with the σ-leak error and exit code 2.
+    let mut args = vec!["lint"];
+    args.extend(LEAKY_ARGS);
+    args.extend(["--view", "examples/lint/leaky.view"]);
+    let (stdout, stderr, code) = run_code(&args);
+    assert_eq!(code, 2, "{stdout}{stderr}");
+    assert!(stdout.contains("error[SXV101]"), "{stdout}");
+    assert!(stdout.contains("σ(record, salary)"), "{stdout}");
+    // The derived view for the same policy is sound: exit 0.
+    let mut ok_args = vec!["lint"];
+    ok_args.extend(LEAKY_ARGS);
+    ok_args.push("--deny-warnings");
+    let (stdout, _, code) = run_code(&ok_args);
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn lint_flags_statically_empty_query() {
+    // `staffInfo/patient` speaks view vocabulary but is provably empty
+    // on every conforming document — SXV202, a warning.
+    let mut args = vec!["lint"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "staffInfo/patient",
+        "--allow",
+        "SXV005",
+        "--allow",
+        "SXV107",
+    ]);
+    let (stdout, _, code) = run_code(&args);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("warning[SXV202]"), "{stdout}");
+    assert!(stdout.contains("staffInfo/patient"), "{stdout}");
+    args.push("--deny-warnings");
+    let (stdout, _, code) = run_code(&args);
+    assert_eq!(code, 1, "SXV202 must fail the build under --deny-warnings: {stdout}");
+}
+
+#[test]
+fn lint_levels_and_json_output() {
+    // --deny escalates a warning code to an error (exit 2); --format
+    // json renders machine-readable diagnostics.
+    let mut args = vec!["lint"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--deny",
+        "SXV107",
+        "--allow",
+        "SXV005",
+        "--format",
+        "json",
+    ]);
+    let (stdout, _, code) = run_code(&args);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("\"code\":\"SXV107\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+    assert!(!stdout.contains("SXV005"), "allowed code must be dropped: {stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "{stdout}");
+
+    // Unknown codes are rejected as usage errors (generic exit 1).
+    let mut bad = vec!["lint"];
+    bad.extend(LEAKY_ARGS);
+    bad.extend(["--allow", "SXV999"]);
+    let (_, stderr, code) = run_code(&bad);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("SXV999"), "{stderr}");
 }

@@ -1,0 +1,156 @@
+//! Property-based agreement between Algorithm `derive` (Fig. 5) and the
+//! independent view audit behind `sxv lint` (SXV101–SXV103): for random
+//! document DTDs and random access specifications, auditing the derived
+//! view must never report an error — `derive` is sound and complete
+//! (Thm 3.3), and the audit re-derives both facts from the `optimize`
+//! image-graph machinery without sharing code with `derive`.
+
+use proptest::prelude::*;
+use secure_xml_views::core::{audit_view, derive_view, AccessSpec};
+use secure_xml_views::dtd::{parse_dtd, Dtd};
+use secure_xml_views::lint::{lint_view, Severity};
+
+/// Build a random normal-form DTD with types `t0..t{n-1}` (root `t0`).
+/// Children are forward references (`ti` only refers to `tj` with
+/// `j > i`), keeping every type productive; kind 5 adds self-recursion
+/// through a starred content model, which `derive` handles with dummies.
+fn random_dtd(kinds: &[(u8, u8, u8)]) -> Dtd {
+    let n = kinds.len();
+    let mut source = String::new();
+    for (i, &(kind, c1, c2)) in kinds.iter().enumerate() {
+        let name = format!("t{i}");
+        let remaining = n - i - 1;
+        let pick = |c: u8| format!("t{}", i + 1 + (c as usize % remaining.max(1)));
+        let content = if remaining == 0 {
+            "(#PCDATA)".to_string()
+        } else {
+            match kind % 6 {
+                0 | 4 => "(#PCDATA)".to_string(),
+                1 => {
+                    let (a, b) = (pick(c1), pick(c2));
+                    if a == b {
+                        format!("({a})")
+                    } else {
+                        format!("({a}, {b})")
+                    }
+                }
+                2 => {
+                    let (a, b) = (pick(c1), pick(c2));
+                    if a == b {
+                        format!("({a})")
+                    } else {
+                        format!("({a} | {b})")
+                    }
+                }
+                3 => format!("({}*)", pick(c1)),
+                // Self-recursion through a star keeps the type productive.
+                _ => format!("({name}*)"),
+            }
+        };
+        source.push_str(&format!("<!ELEMENT {name} {content}>"));
+    }
+    parse_dtd(&source, "t0").expect("generated DTD is well-formed")
+}
+
+/// Every (parent, child) element edge of `dtd`, in production order.
+fn edges(dtd: &Dtd) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (name, content) in dtd.productions() {
+        for child in content.child_types() {
+            out.push((name.clone(), child.to_string()));
+        }
+    }
+    out
+}
+
+/// Annotate the DTD's edges from a byte stream: 0–1 inherit, 2 allow,
+/// 3 deny, 4 conditional (an existence qualifier over the child's own
+/// children, or `*` at leaves).
+fn random_spec(dtd: &Dtd, choices: &[u8]) -> AccessSpec {
+    let mut builder = AccessSpec::builder(dtd);
+    for ((parent, child), &choice) in edges(dtd).iter().zip(choices.iter().cycle()) {
+        builder = match choice % 5 {
+            2 => builder.allow(parent, child),
+            3 => builder.deny(parent, child),
+            4 => builder.cond_str(parent, child, "*").expect("valid qualifier"),
+            _ => builder,
+        };
+    }
+    builder.build().expect("edges come from the DTD")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// ≥100 random DTD/spec pairs: the audit never calls `derive` output
+    /// unsound (SXV101/SXV102) or incomplete (SXV103).
+    #[test]
+    fn audit_never_flags_derive_output(
+        kinds in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8), 2..9),
+        choices in proptest::collection::vec(0u8..5, 1..24),
+    ) {
+        let dtd = random_dtd(&kinds);
+        let spec = random_spec(&dtd, &choices);
+        let view = derive_view(&spec).expect("derive succeeds on every spec");
+        for finding in audit_view(&spec, &view) {
+            prop_assert!(
+                !finding.is_error(),
+                "audit flagged derive output on DTD {:?}: {}",
+                dtd.productions(), finding
+            );
+        }
+        // The same invariant through the lint layer: no error-severity
+        // diagnostics for a derived view.
+        for diag in lint_view(&spec, &view) {
+            prop_assert!(diag.severity != Severity::Error, "{}", diag);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// The same agreement over the paper's hospital DTD with random
+    /// annotations on its real edges (the Example 3.1 family).
+    #[test]
+    fn audit_never_flags_hospital_derivations(
+        choices in proptest::collection::vec(0u8..5, 12),
+        ward in proptest::option::of(0u8..2),
+    ) {
+        const EDGES: [(&str, &str); 12] = [
+            ("dept", "clinicalTrial"),
+            ("dept", "patientInfo"),
+            ("dept", "staffInfo"),
+            ("clinicalTrial", "patientInfo"),
+            ("clinicalTrial", "test"),
+            ("patient", "treatment"),
+            ("treatment", "trial"),
+            ("treatment", "regular"),
+            ("trial", "bill"),
+            ("regular", "bill"),
+            ("regular", "medication"),
+            ("staff", "nurse"),
+        ];
+        let dtd = parse_dtd(include_str!("../assets/hospital.dtd"), "hospital").unwrap();
+        let mut builder = AccessSpec::builder(&dtd);
+        for (&(parent, child), &choice) in EDGES.iter().zip(&choices) {
+            builder = match choice % 5 {
+                2 => builder.allow(parent, child),
+                3 => builder.deny(parent, child),
+                4 => builder.cond_str(parent, child, "*").expect("valid qualifier"),
+                _ => builder,
+            };
+        }
+        if let Some(w) = ward {
+            let ward = if w == 0 { "6" } else { "7" };
+            builder = builder
+                .cond_str("hospital", "dept", &format!("*/patient/wardNo='{ward}'"))
+                .expect("valid qualifier");
+        }
+        let spec = builder.build().unwrap();
+        let view = derive_view(&spec).expect("derive succeeds");
+        for finding in audit_view(&spec, &view) {
+            prop_assert!(!finding.is_error(), "audit flagged derive output: {finding}");
+        }
+    }
+}
