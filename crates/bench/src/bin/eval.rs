@@ -1,0 +1,242 @@
+//! Closed-loop evaluation-backend benchmark: tree-walk vs. structural-join
+//! evaluation of the translated Table-1 queries, plus `answer_batch`
+//! throughput scaling, emitting a machine-readable `BENCH_eval.json`.
+//!
+//! ```text
+//! cargo run -p sxv-bench --bin eval --release [-- --smoke] [--json FILE]
+//! ```
+//!
+//! `--smoke` restricts to dataset D1 (for CI); `--json FILE` overrides the
+//! artifact path (default `BENCH_eval.json`). The two backends' answers are
+//! asserted identical before anything is timed.
+
+use std::fmt::Write as _;
+use sxv_bench::{json_escape, time_us, AdexWorkload, Timing, DATASETS};
+use sxv_core::{Approach, Backend, SecureEngine};
+use sxv_xml::{DocIndex, Document};
+use sxv_xpath::{EvalStats, Path};
+
+struct Row {
+    query: &'static str,
+    dataset: &'static str,
+    approach: &'static str,
+    backend: Backend,
+    timing: Timing,
+    stats: EvalStats,
+    result_count: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_eval.json".to_string());
+
+    let datasets: Vec<(&str, usize)> = if smoke { vec![DATASETS[0]] } else { DATASETS.to_vec() };
+
+    let workload = AdexWorkload::new();
+    let mut docs = Vec::new();
+    for &(name, branch) in &datasets {
+        let (doc, annotated) = workload.dataset(branch, 0xADE0 + branch as u64);
+        let index = DocIndex::new(&doc).expect("generated docs are in document order");
+        let naive_index = DocIndex::new(&annotated).expect("annotation preserves document order");
+        println!(
+            "{name}: max_branch={branch}, {} nodes ({} elements)",
+            doc.len(),
+            doc.element_count()
+        );
+        docs.push((name, doc, annotated, index, naive_index));
+    }
+    println!();
+
+    // The approaches pair a translated query with the document it runs
+    // over: naive evaluates its `//`-widened, qualifier-heavy translation
+    // against the annotated copy (the descendant-heavy case where the
+    // join backend should win); rewrite/optimize run root-anchored
+    // child paths over the original document.
+    let approaches: [(&str, Approach); 3] = [
+        ("naive", Approach::Naive),
+        ("rewrite", Approach::Rewrite),
+        ("optimize", Approach::Optimize),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<5} {:<4} {:<9} {:>12} {:>6} {:>12} {:>6} {:>7} {:>10} {:>10} {:>9} {:>9}",
+        "Query",
+        "Data",
+        "Approach",
+        "walk(us)",
+        "reps",
+        "join(us)",
+        "reps",
+        "W/J",
+        "W-touched",
+        "J-touched",
+        "merges",
+        "probes"
+    );
+    for q in &workload.queries {
+        for (name, doc, annotated, index, naive_index) in &docs {
+            for &(aname, approach) in &approaches {
+                let (eval_doc, eval_index): (&Document, &DocIndex) = match approach {
+                    Approach::Naive => (annotated, naive_index),
+                    _ => (doc, index),
+                };
+                // Answers must agree exactly before anything is timed.
+                let (walk_ans, walk_stats) =
+                    workload.run_backend(q, approach, eval_doc, Some(eval_index), Backend::Walk);
+                let (join_ans, join_stats) =
+                    workload.run_backend(q, approach, eval_doc, Some(eval_index), Backend::Join);
+                assert_eq!(
+                    walk_ans, join_ans,
+                    "{} {aname} on {name}: join backend disagrees with walk",
+                    q.name
+                );
+                let mut timed = [Timing { median_us: 0.0, reps: 0 }; 2];
+                for (slot, backend) in [Backend::Walk, Backend::Join].into_iter().enumerate() {
+                    timed[slot] = time_us(|| {
+                        workload.run_backend(q, approach, eval_doc, Some(eval_index), backend)
+                    });
+                }
+                let [walk_t, join_t] = timed;
+                println!(
+                    "{:<5} {:<4} {:<9} {:>12.1} {:>6} {:>12.1} {:>6} {:>6.2}x {:>10} {:>10} {:>9} {:>9}",
+                    q.name,
+                    name,
+                    aname,
+                    walk_t.median_us,
+                    walk_t.reps,
+                    join_t.median_us,
+                    join_t.reps,
+                    walk_t.median_us / join_t.median_us.max(1e-9),
+                    walk_stats.nodes_touched,
+                    join_stats.nodes_touched,
+                    join_stats.merge_steps,
+                    join_stats.interval_probes
+                );
+                for (backend, timing, stats) in
+                    [(Backend::Walk, walk_t, walk_stats), (Backend::Join, join_t, join_stats)]
+                {
+                    rows.push(Row {
+                        query: q.name,
+                        dataset: name,
+                        approach: aname,
+                        backend,
+                        timing,
+                        stats,
+                        result_count: walk_ans.len(),
+                    });
+                }
+            }
+        }
+    }
+    println!();
+
+    // Batch throughput: fan the four view queries (x32 round-robin copies)
+    // across worker threads sharing one immutable document + index. On a
+    // single-core host the thread counts measure overhead, not speedup;
+    // the JSON records whatever the hardware gives us.
+    let engine = SecureEngine::new(&workload.spec, &workload.view);
+    let (_, batch_doc, _, batch_index, _) = &docs[0];
+    let queries: Vec<Path> =
+        (0..32).flat_map(|_| workload.queries.iter().map(|q| q.view_query.clone())).collect();
+    // Warm the translation cache so the batch measures evaluation fan-out,
+    // not first-call translation.
+    for q in &workload.queries {
+        engine
+            .answer_report(batch_doc, Some(batch_index), &q.view_query, Approach::Rewrite)
+            .expect("warmup query answers");
+    }
+    let mut batch: Vec<(usize, Timing, f64)> = Vec::new();
+    let mut single_us = 0.0f64;
+    println!(
+        "answer_batch throughput ({} queries, rewrite approach, join backend):",
+        queries.len()
+    );
+    for threads in [1usize, 2, 4] {
+        let timing = time_us(|| {
+            let results = engine.answer_batch(
+                batch_doc,
+                Some(batch_index),
+                &queries,
+                Approach::Rewrite,
+                Backend::Join,
+                threads,
+            );
+            assert!(results.iter().all(|r| r.is_ok()), "batch worker failed");
+            results
+        });
+        if threads == 1 {
+            single_us = timing.median_us;
+        }
+        let speedup = single_us / timing.median_us.max(1e-9);
+        let qps = queries.len() as f64 / (timing.median_us / 1e6);
+        println!(
+            "  threads={threads}: {:>10.1} us/batch ({} reps), {:>9.0} queries/s, {:.2}x vs 1 thread",
+            timing.median_us, timing.reps, qps, speedup
+        );
+        batch.push((threads, timing, speedup));
+    }
+    println!();
+
+    let json = render_json(&rows, &batch, queries.len(), smoke);
+    std::fs::write(&json_path, json).expect("write JSON artifact");
+    println!("wrote {json_path}");
+}
+
+fn render_json(
+    rows: &[Row],
+    batch: &[(usize, Timing, f64)],
+    batch_queries: usize,
+    smoke: bool,
+) -> String {
+    let mut out = String::new();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"eval\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"approach\": \"{}\", \
+             \"backend\": \"{}\", \"median_us\": {:.3}, \"reps\": {}, \"result_count\": {}, \
+             \"nodes_touched\": {}, \"qualifier_checks\": {}, \"index_lookups\": {}, \
+             \"merge_steps\": {}, \"interval_probes\": {}}}{comma}",
+            json_escape(r.query),
+            json_escape(r.dataset),
+            json_escape(r.approach),
+            r.backend,
+            r.timing.median_us,
+            r.timing.reps,
+            r.result_count,
+            r.stats.nodes_touched,
+            r.stats.qualifier_checks,
+            r.stats.index_lookups,
+            r.stats.merge_steps,
+            r.stats.interval_probes
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"batch\": [");
+    for (i, (threads, timing, speedup)) in batch.iter().enumerate() {
+        let comma = if i + 1 < batch.len() { "," } else { "" };
+        let qps = batch_queries as f64 / (timing.median_us / 1e6);
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {threads}, \"queries\": {batch_queries}, \"median_us\": {:.3}, \
+             \"reps\": {}, \"queries_per_sec\": {qps:.1}, \"speedup_vs_1\": {speedup:.3}}}{comma}",
+            timing.median_us, timing.reps
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

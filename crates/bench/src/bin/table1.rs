@@ -1,21 +1,31 @@
-//! Regenerate Table 1 of the paper: evaluation time (milliseconds) of the
-//! naive / rewrite / optimize approaches for queries Q1–Q4 over datasets
-//! D1–D4 generated from the Adex DTD.
+//! Regenerate Table 1 of the paper: evaluation time of the naive /
+//! rewrite / optimize approaches for queries Q1–Q4 over datasets D1–D4
+//! generated from the Adex DTD. Times are reported in microseconds with
+//! adaptive repetition counts (fast cells repeat until ≥ 20 ms of wall
+//! time), so sub-millisecond evaluations no longer print as `0.00`.
 //!
 //! ```text
-//! cargo run -p sxv-bench --bin table1 --release [-- --quick]
+//! cargo run -p sxv-bench --bin table1 --release [-- --quick] [--json FILE]
 //! ```
 //!
-//! `--quick` runs smaller datasets (for smoke-testing the harness).
+//! `--quick` runs smaller datasets (for smoke-testing the harness);
+//! `--json FILE` writes a machine-readable artifact (default
+//! `BENCH_table1.json` — only when the flag is present).
 //! Answers are cross-checked between the approaches before timing.
 
+use std::fmt::Write as _;
 use std::time::Instant;
-use sxv_bench::{AdexWorkload, DATASETS};
+use sxv_bench::{json_escape, time_us, AdexWorkload, Timing, DATASETS};
 use sxv_core::Approach;
 use sxv_xml::DocIndex;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "BENCH_table1.json".to_string()));
     let datasets: Vec<(&str, usize)> =
         if quick { vec![("D1", 12), ("D2", 20)] } else { DATASETS.to_vec() };
 
@@ -81,14 +91,14 @@ fn main() {
         .collect();
 
     println!(
-        "{:<6} {:<9} {:>10} {:>11} {:>11} {:>11} {:>8} \
+        "{:<6} {:<9} {:>12} {:>12} {:>12} {:>12} {:>8} \
          {:>11} {:>11} {:>11} {:>9} {:>10}",
         "Query",
         "Data Set",
-        "Naive(ms)",
-        "N-Idx(ms)",
-        "Rewrite(ms)",
-        "Opt(ms)",
+        "Naive(us)",
+        "N-Idx(us)",
+        "Rewrite(us)",
+        "Opt(us)",
         "N/R",
         "N-touched",
         "NIdx-touch",
@@ -96,14 +106,16 @@ fn main() {
         "Q-checks",
         "Idx-probes"
     );
+    println!("(each cell is the median of adaptively many repetitions; see Reps lines)");
+    let mut json_rows: Vec<String> = Vec::new();
     for q in &workload.queries {
         for ((name, doc, annotated), (index, naive_index)) in docs.iter().zip(&indexes) {
-            let naive_ms = time_ms(|| workload.run(q, Approach::Naive, annotated));
-            let naive_idx_ms =
-                time_ms(|| workload.run_counted(q, Approach::Naive, annotated, Some(naive_index)));
-            let rewrite_ms = time_ms(|| workload.run(q, Approach::Rewrite, doc));
-            let optimize_ms =
-                time_ms(|| workload.run_counted(q, Approach::Optimize, doc, Some(index)));
+            let naive_t = time_us(|| workload.run(q, Approach::Naive, annotated));
+            let naive_idx_t =
+                time_us(|| workload.run_counted(q, Approach::Naive, annotated, Some(naive_index)));
+            let rewrite_t = time_us(|| workload.run(q, Approach::Rewrite, doc));
+            let optimize_t =
+                time_us(|| workload.run_counted(q, Approach::Optimize, doc, Some(index)));
             // Machine-independent work counters: how many nodes each
             // strategy actually touches, independent of the host's clock.
             let (naive_ans, naive_stats) =
@@ -115,16 +127,17 @@ fn main() {
             // The paper prints "-" where optimize cannot improve on
             // rewrite (Q1/Q2: identical translated queries).
             let same = q.optimized == q.rewritten;
-            let opt_cell = if same { "-".to_string() } else { format!("{optimize_ms:.2}") };
-            let n_over_r = naive_ms / rewrite_ms.max(1e-9);
+            let opt_cell =
+                if same { "-".to_string() } else { format!("{:.1}", optimize_t.median_us) };
+            let n_over_r = naive_t.median_us / rewrite_t.median_us.max(1e-9);
             println!(
-                "{:<6} {:<9} {:>10.2} {:>11.2} {:>11.2} {:>11} {:>7.0}x \
+                "{:<6} {:<9} {:>12.1} {:>12.1} {:>12.1} {:>12} {:>7.0}x \
                  {:>11} {:>11} {:>11} {:>9} {:>10}",
                 q.name,
                 name,
-                naive_ms,
-                naive_idx_ms,
-                rewrite_ms,
+                naive_t.median_us,
+                naive_idx_t.median_us,
+                rewrite_t.median_us,
                 opt_cell,
                 n_over_r,
                 naive_stats.nodes_touched,
@@ -133,18 +146,71 @@ fn main() {
                 naive_stats.qualifier_checks,
                 naive_idx_stats.index_lookups
             );
+            println!(
+                "{:<6} {:<9} {:>12} {:>12} {:>12} {:>12}",
+                "",
+                "  Reps",
+                naive_t.reps,
+                naive_idx_t.reps,
+                rewrite_t.reps,
+                if same { 0 } else { optimize_t.reps }
+            );
+            if json_path.is_some() {
+                json_rows.push(table1_json_row(
+                    q.name,
+                    name,
+                    naive_ans.len(),
+                    [
+                        ("naive", naive_t),
+                        ("naive_indexed", naive_idx_t),
+                        ("rewrite", rewrite_t),
+                        ("optimize", optimize_t),
+                    ],
+                    naive_stats.nodes_touched,
+                    rewrite_stats.nodes_touched,
+                ));
+            }
         }
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"table1\",");
+        let _ = writeln!(out, "  \"quick\": {quick},");
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, row) in json_rows.iter().enumerate() {
+            let comma = if i + 1 < json_rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {row}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        std::fs::write(&path, out).expect("write JSON artifact");
+        println!();
+        println!("wrote {path}");
     }
 }
 
-/// Median-of-5 wall-clock milliseconds.
-fn time_ms<T>(mut f: impl FnMut() -> T) -> f64 {
-    let mut samples = Vec::with_capacity(5);
-    for _ in 0..5 {
-        let start = Instant::now();
-        std::hint::black_box(f());
-        samples.push(start.elapsed().as_secs_f64() * 1e3);
+/// One table-1 cell group as a JSON object line.
+fn table1_json_row(
+    query: &str,
+    dataset: &str,
+    result_count: usize,
+    timings: [(&str, Timing); 4],
+    naive_touched: u64,
+    rewrite_touched: u64,
+) -> String {
+    let mut s = format!(
+        "{{\"query\": \"{}\", \"dataset\": \"{}\", \"result_count\": {result_count}",
+        json_escape(query),
+        json_escape(dataset)
+    );
+    for (label, t) in timings {
+        let _ = write!(s, ", \"{label}_us\": {:.3}, \"{label}_reps\": {}", t.median_us, t.reps);
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[2]
+    let _ = write!(
+        s,
+        ", \"naive_nodes_touched\": {naive_touched}, \"rewrite_nodes_touched\": {rewrite_touched}}}"
+    );
+    s
 }

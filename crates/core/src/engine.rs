@@ -6,16 +6,18 @@
 //! is evaluated over the original document. The security view itself is
 //! never materialized on this path.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::naive::NaiveBaseline;
 use crate::optimize::{optimize, optimize_with_height};
 use crate::rewrite::{rewrite, rewrite_with_height};
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sxv_xml::{DocIndex, Document, NodeId};
-use sxv_xpath::{simplify, EvalStats, Path};
+use sxv_xpath::{eval_at_root_backend, simplify, Backend, EvalStats, Path};
 
 /// Query evaluation strategy (the three columns of Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,47 +44,106 @@ struct CacheKey {
     height: usize,
 }
 
-/// Bounded LRU map of translated queries. Capacity is small and lookups
-/// dominate, so eviction does a linear minimum scan over last-use ticks
-/// instead of maintaining an intrusive list.
-#[derive(Debug, Default)]
+/// Most shards a translation cache will split into; small capacities use
+/// fewer so per-shard LRU still approximates global LRU.
+const MAX_CACHE_SHARDS: usize = 8;
+
+/// Reacquire a read guard even if a previous holder panicked: the cache
+/// only memoizes pure translation results, so a poisoned entry is never
+/// half-written and recovery is always safe. A dead worker thread must
+/// not take the whole serving path down with it.
+fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock twin of [`read_recover`].
+fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One cache shard: translation outcome plus its atomic LRU tick, per key.
+type CacheShard = HashMap<CacheKey, (Result<Path>, AtomicU64)>;
+
+/// Sharded, read-mostly map of translated queries. Keys hash to one of a
+/// few independently locked shards, so concurrent [`SecureEngine`]
+/// readers (the `answer_batch` workers) do not serialize on one mutex:
+/// a cache *hit* takes only a shard read lock — the LRU tick lives in an
+/// `AtomicU64` per entry — and only misses take a shard write lock.
+/// Eviction is per-shard LRU via a linear minimum scan (capacities are
+/// small and lookups dominate).
+#[derive(Debug)]
 struct TranslationCache {
-    cap: usize,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    map: HashMap<CacheKey, (Result<Path>, u64)>,
+    shards: Vec<RwLock<CacheShard>>,
+    /// Per-shard entry budget; 0 disables caching entirely.
+    shard_cap: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl TranslationCache {
-    fn lookup(&mut self, key: &CacheKey) -> Option<Result<Path>> {
-        self.tick += 1;
-        match self.map.get_mut(key) {
-            Some((p, t)) => {
-                *t = self.tick;
-                self.hits += 1;
+    fn new(capacity: usize) -> TranslationCache {
+        // One shard per ~8 entries of budget: capacity 64 → 8 shards;
+        // tiny caches stay single-sharded so LRU order is exact.
+        let shard_count = if capacity == 0 {
+            1
+        } else {
+            (capacity / MAX_CACHE_SHARDS).clamp(1, MAX_CACHE_SHARDS)
+        };
+        TranslationCache {
+            shards: (0..shard_count).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_cap: capacity.div_ceil(shard_count),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<CacheShard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<Result<Path>> {
+        let shard = read_recover(self.shard(key));
+        match shard.get(key) {
+            Some((p, used)) => {
+                used.store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(p.clone())
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    fn insert(&mut self, key: CacheKey, translated: Result<Path>) {
-        if self.cap == 0 {
+    fn insert(&self, key: CacheKey, translated: Result<Path>) {
+        if self.shard_cap == 0 {
             return;
         }
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            if let Some(oldest) =
-                self.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+        let mut shard = write_recover(self.shard(&key));
+        if shard.len() >= self.shard_cap && !shard.contains_key(&key) {
+            if let Some(oldest) = shard
+                .iter()
+                .min_by_key(|(_, (_, t))| t.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
             {
-                self.map.remove(&oldest);
+                shard.remove(&oldest);
             }
         }
-        self.tick += 1;
-        self.map.insert(key, (translated, self.tick));
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.insert(key, (translated, AtomicU64::new(now)));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| read_recover(s).len()).sum(),
+        }
     }
 }
 
@@ -112,11 +173,15 @@ pub struct QueryReport {
 }
 
 /// A query engine bound to one access policy.
+///
+/// The engine is `Sync`: all interior mutability is the sharded
+/// translation cache, so one engine can serve concurrent callers (see
+/// [`SecureEngine::answer_batch`]) over a shared immutable
+/// `Document` + [`DocIndex`].
 pub struct SecureEngine<'a> {
     spec: &'a AccessSpec,
     view: &'a SecurityView,
-    /// `Mutex` for interior mutability: answering queries takes `&self`.
-    cache: Mutex<TranslationCache>,
+    cache: TranslationCache,
     /// The engine only needs the height for recursive unfoldings; cache
     /// keys normalize it to 0 otherwise so documents of different heights
     /// share entries.
@@ -137,12 +202,7 @@ impl<'a> SecureEngine<'a> {
     ) -> Self {
         let height_sensitive =
             view.is_recursive() || sxv_dtd::DtdGraph::new(spec.dtd()).is_recursive();
-        SecureEngine {
-            spec,
-            view,
-            cache: Mutex::new(TranslationCache { cap: capacity, ..TranslationCache::default() }),
-            height_sensitive,
-        }
+        SecureEngine { spec, view, cache: TranslationCache::new(capacity), height_sensitive }
     }
 
     /// The view DTD text exposed to users of this policy.
@@ -152,27 +212,37 @@ impl<'a> SecureEngine<'a> {
 
     /// Cumulative cache counters since the engine was built.
     pub fn cache_stats(&self) -> CacheStats {
-        let c = self.cache.lock().unwrap();
-        CacheStats { hits: c.hits, misses: c.misses, entries: c.map.len() }
+        self.cache.stats()
     }
 
     /// Translate a view query to a document query.
     ///
     /// `doc_height` is only consulted for recursive views (§4.2 unfolding).
-    /// Results are memoized in a bounded LRU keyed by the normalized
-    /// query, the approach, and (for recursive views only) the height.
+    /// Results are memoized in a bounded sharded LRU keyed by the
+    /// normalized query, the approach, and (for recursive views only) the
+    /// height.
     pub fn translate(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
+        self.translate_report(p, approach, doc_height).0
+    }
+
+    /// Translation plus whether it was served from the cache.
+    fn translate_report(
+        &self,
+        p: &Path,
+        approach: Approach,
+        doc_height: usize,
+    ) -> (Result<Path>, bool) {
         let key = CacheKey {
             query: simplify(p),
             approach,
             height: if self.height_sensitive { doc_height } else { 0 },
         };
-        if let Some(cached) = self.cache.lock().unwrap().lookup(&key) {
-            return cached;
+        if let Some(cached) = self.cache.lookup(&key) {
+            return (cached, true);
         }
         let translated = self.translate_uncached(&key.query, approach, doc_height);
-        self.cache.lock().unwrap().insert(key, translated.clone());
-        translated
+        self.cache.insert(key, translated.clone());
+        (translated, false)
     }
 
     fn translate_uncached(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
@@ -239,18 +309,90 @@ impl<'a> SecureEngine<'a> {
         p: &Path,
         approach: Approach,
     ) -> Result<(Vec<NodeId>, QueryReport)> {
-        let hits_before = self.cache.lock().unwrap().hits;
-        let q = self.translate(p, approach, doc.height())?;
-        let cache_hit = self.cache.lock().unwrap().hits > hits_before;
-        let (answer, eval) = match (approach, index) {
-            (Approach::Naive, _) => {
+        self.answer_report_backend(doc, index, p, approach, Backend::Walk)
+    }
+
+    /// [`SecureEngine::answer_report`] with an explicit evaluation
+    /// backend. [`Backend::Join`] evaluates the translated query with
+    /// structural joins over the index's occurrence lists (sorted-list
+    /// merges and interval-containment probes) and requires `index`;
+    /// without one it degrades to the unindexed walk.
+    /// [`Approach::Naive`] always walks its on-the-fly annotated copy —
+    /// the given index describes `doc`, not the copy.
+    pub fn answer_report_backend(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        p: &Path,
+        approach: Approach,
+        backend: Backend,
+    ) -> Result<(Vec<NodeId>, QueryReport)> {
+        let (translated, cache_hit) = self.translate_report(p, approach, doc.height());
+        let q = translated?;
+        let (answer, eval) = match approach {
+            Approach::Naive => {
                 let annotated = NaiveBaseline::annotate(self.spec, doc);
                 sxv_xpath::eval_at_root_with_stats(&annotated, &q)
             }
-            (_, Some(idx)) => sxv_xpath::eval_at_root_indexed_with_stats(doc, idx, &q),
-            (_, None) => sxv_xpath::eval_at_root_with_stats(doc, &q),
+            _ => eval_at_root_backend(doc, index, &q, backend),
         };
         Ok((answer, QueryReport { translated: q, cache_hit, eval }))
+    }
+
+    /// Answer a batch of view queries concurrently over one shared
+    /// immutable document (and optional index), fanning the queries
+    /// across `threads` scoped workers that pull from a shared cursor.
+    /// Results come back in input order, one `Result` per query; a worker
+    /// that panics mid-query costs only its own unreported queries
+    /// ([`Error::WorkerLost`]) — the translation cache recovers poisoned
+    /// shard locks instead of propagating the panic.
+    pub fn answer_batch(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        queries: &[Path],
+        approach: Approach,
+        backend: Backend,
+        threads: usize,
+    ) -> Vec<Result<(Vec<NodeId>, QueryReport)>> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return queries
+                .iter()
+                .map(|p| self.answer_report_backend(doc, index, p, approach, backend))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Result<(Vec<NodeId>, QueryReport)>> =
+            queries.iter().map(|_| Err(Error::WorkerLost)).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut answered = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(p) = queries.get(i) else { break };
+                            answered.push((
+                                i,
+                                self.answer_report_backend(doc, index, p, approach, backend),
+                            ));
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for worker in workers {
+                // A panicked worker loses its slots (they keep the
+                // WorkerLost placeholder); everyone else's answers land.
+                if let Ok(answered) = worker.join() {
+                    for (i, r) in answered {
+                        results[i] = r;
+                    }
+                }
+            }
+        });
+        results
     }
 }
 
@@ -482,5 +624,118 @@ mod tests {
             engine.answer(&doc, &p).unwrap(),
             engine.answer_with(&doc, &p, Approach::Optimize).unwrap()
         );
+    }
+
+    #[test]
+    fn join_backend_answers_match_walk() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).unwrap();
+        for q in ["//patient/name", "//bill", "//clinicalTrial", "dept/*", "//name"] {
+            let p = parse(q).unwrap();
+            for approach in [Approach::Rewrite, Approach::Optimize] {
+                let (walk, _) =
+                    engine.answer_report_backend(&doc, None, &p, approach, Backend::Walk).unwrap();
+                let (join, _) = engine
+                    .answer_report_backend(&doc, Some(&index), &p, approach, Backend::Join)
+                    .unwrap();
+                assert_eq!(walk, join, "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn answer_batch_matches_sequential_and_keeps_order() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).unwrap();
+        let queries: Vec<Path> = ["//patient/name", "//bill", "//name", "dept/*", "//wardNo"]
+            .iter()
+            .cycle()
+            .take(40)
+            .map(|q| parse(q).unwrap())
+            .collect();
+        let sequential: Vec<Vec<NodeId>> =
+            queries.iter().map(|p| engine.answer_indexed(&doc, &index, p).unwrap()).collect();
+        for threads in [1, 2, 4] {
+            let batch = engine.answer_batch(
+                &doc,
+                Some(&index),
+                &queries,
+                Approach::Optimize,
+                Backend::Join,
+                threads,
+            );
+            assert_eq!(batch.len(), queries.len());
+            for (i, result) in batch.iter().enumerate() {
+                let (ans, _) = result.as_ref().expect("no worker died");
+                assert_eq!(ans, &sequential[i], "query {i} at {threads} threads");
+            }
+        }
+        // The shared cache served repeats: 5 distinct queries, many hits.
+        let stats = engine.cache_stats();
+        assert!(stats.hits > stats.misses, "hits {} misses {}", stats.hits, stats.misses);
+    }
+
+    #[test]
+    fn answer_batch_empty_and_oversubscribed() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        assert!(engine
+            .answer_batch(&doc, None, &[], Approach::Optimize, Backend::Walk, 8)
+            .is_empty());
+        let queries = [parse("//bill").unwrap()];
+        let batch =
+            engine.answer_batch(&doc, None, &queries, Approach::Optimize, Backend::Walk, 64);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].as_ref().unwrap().0.len(), 2);
+    }
+
+    #[test]
+    fn cache_survives_poisoned_shard() {
+        // Poison every shard lock by panicking while holding the write
+        // guard, then check the cache still serves lookups and inserts.
+        let (spec, view, _) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//bill").unwrap();
+        engine.translate(&p, Approach::Optimize, 0).unwrap();
+        let before = engine.cache_stats();
+        std::thread::scope(|s| {
+            for shard in &engine.cache.shards {
+                let _ = s
+                    .spawn(|| {
+                        let _guard = shard.write().unwrap();
+                        panic!("poison the shard");
+                    })
+                    .join();
+            }
+        });
+        assert!(engine.cache.shards.iter().all(|s| s.is_poisoned()), "shards must be poisoned");
+        engine.translate(&p, Approach::Optimize, 0).unwrap();
+        let after = engine.cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "lookup recovers the poisoned guard");
+        let p2 = parse("//name").unwrap();
+        engine.translate(&p2, Approach::Optimize, 0).unwrap();
+        assert_eq!(engine.cache_stats().entries, before.entries + 1, "insert recovers too");
+    }
+
+    #[test]
+    fn cache_shards_scale_with_capacity() {
+        let (spec, view, _) = setup();
+        let small = SecureEngine::with_cache_capacity(&spec, &view, 2);
+        assert_eq!(small.cache.shards.len(), 1, "tiny caches stay exact-LRU");
+        let default = SecureEngine::new(&spec, &view);
+        assert_eq!(default.cache.shards.len(), MAX_CACHE_SHARDS);
+        let off = SecureEngine::with_cache_capacity(&spec, &view, 0);
+        let p = parse("//bill").unwrap();
+        off.translate(&p, Approach::Optimize, 0).unwrap();
+        off.translate(&p, Approach::Optimize, 0).unwrap();
+        assert_eq!(off.cache_stats().entries, 0, "capacity 0 disables caching");
+    }
+
+    #[test]
+    fn engine_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SecureEngine<'_>>();
     }
 }

@@ -56,6 +56,9 @@ pub enum Error {
     /// The query uses a feature the algorithm does not support (e.g. an
     /// absolute path inside a qualifier during rewriting).
     UnsupportedQuery(String),
+    /// A batch worker thread died before reporting its queries' answers
+    /// (the surviving workers' answers are unaffected).
+    WorkerLost,
     /// Wrapped DTD-layer error.
     Dtd(sxv_dtd::Error),
     /// Wrapped XPath-layer error.
@@ -89,6 +92,9 @@ impl fmt::Display for Error {
                 write!(f, "view DTD has no instance of height ≤ {height}; cannot unfold")
             }
             Error::UnsupportedQuery(what) => write!(f, "unsupported query feature: {what}"),
+            Error::WorkerLost => {
+                write!(f, "a batch worker thread panicked before answering its queries")
+            }
             Error::Dtd(e) => write!(f, "{e}"),
             Error::XPath(e) => write!(f, "{e}"),
         }

@@ -66,6 +66,7 @@ pub use registry::PolicyRegistry;
 pub use rewrite::{rewrite, rewrite_paper_merge, rewrite_with_height, ViewGraph};
 pub use spec::{parse_spec_rules, RawRule, RawValue};
 pub use spec::{AccessSpec, AccessSpecBuilder, Annotation};
+pub use sxv_xpath::Backend;
 pub use view::def::{SecurityView, ViewContent, ViewItem};
 pub use view::derive::derive_view;
 pub use view::materialize::{materialize, Materialized};

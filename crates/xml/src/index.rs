@@ -17,8 +17,17 @@ use std::collections::HashMap;
 pub struct DocIndex {
     /// `subtree_end[v]` = largest node id inside the subtree rooted at `v`.
     subtree_end: Vec<u32>,
+    /// `post[v]` = post-order rank of `v` (0-based). Together with the
+    /// pre-order rank (= the node id itself) this is the classic pre/post
+    /// interval numbering: `u` is a descendant of `v` iff
+    /// `pre(u) > pre(v) ∧ post(u) < post(v)`.
+    post: Vec<u32>,
+    /// `depth[v]` = number of edges from the root to `v`.
+    depth: Vec<u32>,
     /// Element occurrences per label, in document order.
     by_label: HashMap<String, Vec<NodeId>>,
+    /// Every element node, in document order (the `*` occurrence list).
+    elements: Vec<NodeId>,
     /// Text-node occurrences in document order.
     text_nodes: Vec<NodeId>,
     /// All text content concatenated in document order; because subtrees
@@ -51,11 +60,30 @@ impl DocIndex {
             }
             subtree_end[i] = end;
         }
+        // Post-order rank: `v` finishes right after its last descendant,
+        // so ordering ids by (subtree_end asc, id desc) *is* post-order
+        // (ancestors sharing a final leaf finish deepest-first).
+        let mut post = vec![0u32; n];
+        let mut by_finish: Vec<u32> = (0..n as u32).collect();
+        by_finish.sort_by_key(|&v| (subtree_end[v as usize], std::cmp::Reverse(v)));
+        for (rank, &v) in by_finish.iter().enumerate() {
+            post[v as usize] = rank as u32;
+        }
+        // Parents precede children in id order, so one forward pass fills
+        // the depth table.
+        let mut depth = vec![0u32; n];
+        let mut elements = Vec::new();
         let mut text_buf = String::new();
         let mut text_offsets = Vec::new();
         for id in doc.all_ids() {
+            if let Some(p) = doc.parent(id) {
+                depth[id.index()] = depth[p.index()] + 1;
+            }
             match doc.label_opt(id) {
-                Some(l) => by_label.entry(l.to_string()).or_default().push(id),
+                Some(l) => {
+                    by_label.entry(l.to_string()).or_default().push(id);
+                    elements.push(id);
+                }
                 None => {
                     text_offsets.push(text_buf.len());
                     if let Ok(t) = doc.text(id) {
@@ -66,7 +94,16 @@ impl DocIndex {
             }
         }
         text_offsets.push(text_buf.len());
-        Some(DocIndex { subtree_end, by_label, text_nodes, text_buf, text_offsets })
+        Some(DocIndex {
+            subtree_end,
+            post,
+            depth,
+            by_label,
+            elements,
+            text_nodes,
+            text_buf,
+            text_offsets,
+        })
     }
 
     /// Largest node id inside the subtree of `v`.
@@ -77,6 +114,51 @@ impl DocIndex {
     /// O(1) proper-descendant test.
     pub fn is_descendant(&self, maybe_desc: NodeId, anc: NodeId) -> bool {
         maybe_desc > anc && maybe_desc <= self.subtree_end(anc)
+    }
+
+    /// Pre-order rank of `v` (the node id itself — ids are allocated in
+    /// pre-order for every tree this index accepts).
+    pub fn pre_rank(&self, v: NodeId) -> u32 {
+        v.index() as u32
+    }
+
+    /// Post-order rank of `v`. `is_descendant(u, v)` is equivalent to
+    /// `pre_rank(u) > pre_rank(v) && post_rank(u) < post_rank(v)`.
+    pub fn post_rank(&self, v: NodeId) -> u32 {
+        self.post[v.index()]
+    }
+
+    /// Depth of `v` in edges (root = 0), precomputed at build time.
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Number of nodes (elements + text) in the subtree of `v`, `v`
+    /// included — the interval width, an O(1) cost estimate for scans.
+    pub fn subtree_size(&self, v: NodeId) -> usize {
+        self.subtree_end[v.index()] as usize - v.index() + 1
+    }
+
+    /// The full document-order occurrence list of a label (empty slice
+    /// for labels that never occur).
+    pub fn label_list(&self, label: &str) -> &[NodeId] {
+        self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every element node in document order.
+    pub fn element_nodes(&self) -> &[NodeId] {
+        &self.elements
+    }
+
+    /// Every text node in document order.
+    pub fn text_list(&self) -> &[NodeId] {
+        &self.text_nodes
+    }
+
+    /// All element nodes strictly inside the subtree of `v`, in document
+    /// order (the `//*` occurrence slice).
+    pub fn element_descendants(&self, v: NodeId) -> &[NodeId] {
+        slice_in_range(&self.elements, v, self.subtree_end(v))
     }
 
     /// All `label` elements strictly inside the subtree of `v`
@@ -190,5 +272,50 @@ mod tests {
         let d = Document::new();
         let idx = DocIndex::new(&d).unwrap();
         assert_eq!(idx.label_count("a"), 0);
+        assert!(idx.element_nodes().is_empty());
+    }
+
+    #[test]
+    fn pre_post_numbering_characterizes_descendants() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        // post ranks are a permutation.
+        let mut seen: Vec<u32> = d.all_ids().map(|v| idx.post_rank(v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..d.len() as u32).collect::<Vec<_>>());
+        // pre/post interval condition ≡ interval containment ≡ ancestry.
+        for u in d.all_ids() {
+            for v in d.all_ids() {
+                let by_prepost =
+                    idx.pre_rank(u) > idx.pre_rank(v) && idx.post_rank(u) < idx.post_rank(v);
+                assert_eq!(by_prepost, idx.is_descendant(u, v), "u={u} v={v}");
+                assert_eq!(by_prepost, d.is_ancestor(v, u), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_matches_document() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        for v in d.all_ids() {
+            assert_eq!(idx.depth(v) as usize, d.depth(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn occurrence_lists_and_sizes() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(idx.subtree_size(root), d.len());
+        assert_eq!(idx.label_list("b").len(), 3);
+        assert_eq!(idx.label_list("nope").len(), 0);
+        assert_eq!(idx.element_nodes().len(), d.element_count());
+        assert_eq!(idx.element_descendants(root).len(), d.element_count() - 1);
+        assert_eq!(idx.text_list().len(), 3);
+        // Occurrence lists are in document order.
+        assert!(idx.label_list("b").windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.element_nodes().windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -65,6 +65,13 @@ pub struct EvalStats {
     /// Structural-index probes (interval lookups and memoized
     /// string-value reads) that replaced subtree scans.
     pub index_lookups: u64,
+    /// Candidates examined during sorted-list merges (structural-join
+    /// backend only: child-step merges, staircase pruning, union merges).
+    pub merge_steps: u64,
+    /// Interval-containment probes — binary searches slicing a label /
+    /// text / element occurrence list to one subtree's id range
+    /// (structural-join backend only).
+    pub interval_probes: u64,
 }
 
 impl EvalStats {
@@ -73,6 +80,8 @@ impl EvalStats {
         self.nodes_touched += other.nodes_touched;
         self.qualifier_checks += other.qualifier_checks;
         self.index_lookups += other.index_lookups;
+        self.merge_steps += other.merge_steps;
+        self.interval_probes += other.interval_probes;
     }
 }
 

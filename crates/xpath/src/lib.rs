@@ -27,6 +27,7 @@ pub mod ast;
 pub mod display;
 pub mod error;
 pub mod eval;
+pub mod join;
 pub mod parser;
 pub mod simplify;
 pub mod subq;
@@ -38,6 +39,7 @@ pub use eval::{
     eval_at_root_with_stats, eval_qualifier, eval_qualifier_indexed, eval_set_counting,
     eval_set_counting_indexed, EvalStats,
 };
+pub use join::{eval_at_root_backend, eval_at_root_join, eval_at_root_join_with_stats, Backend};
 pub use parser::parse;
 pub use simplify::{factored_union, simplify};
 pub use subq::{postorder, SubExpr};

@@ -10,7 +10,10 @@ echo "== 2. correctness: full test suite (incl. property tests) =="
 cargo test --workspace --release
 
 echo "== 3. Table 1 (naive / rewrite / optimize over D1–D4) =="
-cargo run -p sxv-bench --bin table1 --release
+cargo run -p sxv-bench --bin table1 --release -- --json BENCH_table1.json
+
+echo "== 3b. walk vs structural-join backends + batch throughput =="
+cargo run -p sxv-bench --bin eval --release -- --json BENCH_eval.json
 
 echo "== 4. maintenance ablation (virtual vs materialized views) =="
 cargo run -p sxv-bench --bin maintenance --release

@@ -5,7 +5,7 @@
 //! sxv materialize --dtd … --root … --spec … --doc data.xml
 //! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
 //! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize]
-//!                 [--indexed] [--stats] [--repeat N]
+//!                 [--backend walk|join] [--indexed] [--stats] [--repeat N] [--threads N]
 //! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
 //! sxv validate    --dtd … --root … --doc data.xml
 //! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…']
@@ -24,7 +24,7 @@
 
 use secure_xml_views::core::{
     derive_view, materialize, optimize, parse_view_text, rewrite, rewrite_with_height, AccessSpec,
-    Approach, SecureEngine,
+    Approach, Backend, SecureEngine,
 };
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
@@ -125,7 +125,8 @@ fn subcommand_usage(command: &str) -> &'static str {
         }
         "query" => {
             "sxv query --dtd FILE --root NAME --spec FILE --doc FILE --query PATH \
-             [--approach naive|rewrite|optimize] [--indexed] [--stats] [--repeat N]"
+             [--approach naive|rewrite|optimize] [--backend walk|join] [--indexed] [--stats] \
+             [--repeat N] [--threads N]"
         }
         "generate" => "sxv generate --dtd FILE --root NAME [--branch N] [--seed N] [--depth N]",
         "validate" => "sxv validate --dtd FILE --root NAME --doc FILE",
@@ -234,6 +235,10 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         "optimize" => Approach::Optimize,
         other => return Err(format!("unknown approach {other:?}")),
     };
+    let backend: Backend = match opts.get("backend") {
+        None => Backend::Walk,
+        Some(v) => v.parse().map_err(|e| format!("--backend: {e}"))?,
+    };
     let repeat: usize = match opts.get("repeat") {
         None => 1,
         Some(v) => v.parse().map_err(|e| format!("--repeat: {e}"))?,
@@ -241,31 +246,60 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     if repeat == 0 {
         return Err("--repeat must be at least 1".into());
     }
-    let index = if opts.has("indexed") {
-        Some(DocIndex::new(&doc).ok_or("--indexed: document ids are not in document order")?)
+    let threads: usize = match opts.get("threads") {
+        None => 1,
+        Some(v) => v.parse().map_err(|e| format!("--threads: {e}"))?,
+    };
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    // The join backend evaluates over the index's occurrence lists, so
+    // --backend join builds the index even without --indexed.
+    let index = if opts.has("indexed") || backend == Backend::Join {
+        Some(DocIndex::new(&doc).ok_or("document ids are not in document order; cannot index")?)
     } else {
         None
     };
     let view = derive_view(&spec).map_err(|e| e.to_string())?;
     let engine = SecureEngine::new(&spec, &view);
-    let mut answer = Vec::new();
-    let mut last_report = None;
-    for _ in 0..repeat {
-        let (ans, report) = engine
-            .answer_report(&doc, index.as_ref(), &query, approach)
-            .map_err(|e| e.to_string())?;
-        answer = ans;
-        last_report = Some(report);
-    }
+    let (answer, last_report) = if threads > 1 {
+        // Fan the repeat copies across worker threads sharing the one
+        // immutable document + index.
+        let queries: Vec<_> = (0..repeat).map(|_| query.clone()).collect();
+        let mut results =
+            engine.answer_batch(&doc, index.as_ref(), &queries, approach, backend, threads);
+        let (ans, report) = results.pop().expect("repeat >= 1").map_err(|e| e.to_string())?;
+        for r in results {
+            let (other, _) = r.map_err(|e| e.to_string())?;
+            if other != ans {
+                return Err("batch workers disagree on the answer".into());
+            }
+        }
+        (ans, report)
+    } else {
+        let mut answer = Vec::new();
+        let mut last_report = None;
+        for _ in 0..repeat {
+            let (ans, report) = engine
+                .answer_report_backend(&doc, index.as_ref(), &query, approach, backend)
+                .map_err(|e| e.to_string())?;
+            answer = ans;
+            last_report = Some(report);
+        }
+        (answer, last_report.expect("repeat >= 1"))
+    };
     if opts.has("stats") {
-        let report = last_report.expect("repeat >= 1");
+        let report = last_report;
         let cache = engine.cache_stats();
         eprintln!("translated query: {}", report.translated);
         eprintln!(
-            "evaluation: nodes_touched={} qualifier_checks={} index_lookups={}{}",
+            "evaluation ({backend} backend): nodes_touched={} qualifier_checks={} \
+             index_lookups={} merge_steps={} interval_probes={}{}",
             report.eval.nodes_touched,
             report.eval.qualifier_checks,
             report.eval.index_lookups,
+            report.eval.merge_steps,
+            report.eval.interval_probes,
             if index.is_some() { " (indexed)" } else { "" },
         );
         eprintln!(

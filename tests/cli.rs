@@ -168,6 +168,84 @@ fn query_stats_reports_cache_and_eval_counters() {
 }
 
 #[test]
+fn query_backend_join_and_threaded_batch_agree_with_walk() {
+    let dir = std::env::temp_dir().join(format!("sxv-cli-backend-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("h.xml");
+    std::fs::write(
+        &doc_path,
+        "<hospital><dept><patientInfo><patient><name>A</name><wardNo>6</wardNo>\
+         <treatment><trial><bill>9</bill></trial></treatment></patient></patientInfo>\
+         <patientInfo><patient><name>B</name><wardNo>7</wardNo>\
+         <treatment><trial><bill>3</bill></trial></treatment></patient></patientInfo>\
+         <staffInfo/></dept></hospital>",
+    )
+    .unwrap();
+    let doc_str = doc_path.to_str().unwrap();
+    let base = [
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--doc",
+        doc_str,
+        "--query",
+        "//patient/name",
+        "--stats",
+    ];
+    let mut walk_args = vec!["query"];
+    walk_args.extend(DTD_ARGS);
+    walk_args.extend(base);
+    walk_args.extend(["--backend", "walk", "--indexed"]);
+    let (walk_out, walk_err, ok) = run(&walk_args);
+    assert!(ok, "{walk_err}");
+    assert!(walk_err.contains("evaluation (walk backend)"), "{walk_err}");
+
+    // --backend join builds the index implicitly and must return the
+    // same answer, reporting its merge/probe counters.
+    let mut join_args = vec!["query"];
+    join_args.extend(DTD_ARGS);
+    join_args.extend(base);
+    join_args.extend(["--backend", "join"]);
+    let (join_out, join_err, ok) = run(&join_args);
+    assert!(ok, "{join_err}");
+    assert_eq!(walk_out, join_out, "join backend answer differs from walk");
+    assert!(join_err.contains("evaluation (join backend)"), "{join_err}");
+    assert!(join_err.contains("merge_steps="), "{join_err}");
+    assert!(join_err.contains("interval_probes="), "{join_err}");
+    assert!(join_err.contains("(indexed)"), "join must build the index: {join_err}");
+
+    // Threaded batch over repeat copies: same answer, all workers agree.
+    let mut batch_args = vec!["query"];
+    batch_args.extend(DTD_ARGS);
+    batch_args.extend(base);
+    batch_args.extend(["--backend", "join", "--repeat", "6", "--threads", "3"]);
+    let (batch_out, batch_err, ok) = run(&batch_args);
+    assert!(ok, "{batch_err}");
+    assert_eq!(walk_out, batch_out, "threaded batch answer differs from walk");
+    // The ward qualifier guards the dept edge, so both patients in the
+    // qualifying dept are visible.
+    assert!(batch_err.contains("2 result(s)"), "{batch_err}");
+
+    // Bad values are rejected with the flag named.
+    let mut bad = vec!["query"];
+    bad.extend(DTD_ARGS);
+    bad.extend(base);
+    bad.extend(["--backend", "turbo"]);
+    let (_, bad_err, ok) = run(&bad);
+    assert!(!ok);
+    assert!(bad_err.contains("--backend"), "{bad_err}");
+    let mut zero = vec!["query"];
+    zero.extend(DTD_ARGS);
+    zero.extend(base);
+    zero.extend(["--threads", "0"]);
+    let (_, zero_err, ok) = run(&zero);
+    assert!(!ok);
+    assert!(zero_err.contains("--threads"), "{zero_err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn materialize_strips_hidden_content() {
     let dir = std::env::temp_dir().join(format!("sxv-cli-mat-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -304,6 +304,20 @@ proptest! {
     }
 
     #[test]
+    fn join_backend_matches_walk(spec in tree_strategy(), p in xpath_strategy()) {
+        use secure_xml_views::xml::DocIndex;
+        use secure_xml_views::xpath::{eval_at_root, eval_at_root_join};
+        let mut doc = Document::new();
+        build(&mut doc, None, &root_element(spec));
+        let idx = DocIndex::new(&doc).expect("builder order is document order");
+        prop_assert_eq!(
+            eval_at_root(&doc, &p),
+            eval_at_root_join(&doc, &idx, &p),
+            "query {}", p
+        );
+    }
+
+    #[test]
     fn generated_documents_conform(seed in 0u64..10_000, branch in 1usize..6) {
         let dtd = parse_general_dtd(
             "<!ELEMENT r (a*, (b | c), d?)>\
