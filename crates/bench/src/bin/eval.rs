@@ -1,40 +1,49 @@
-//! Closed-loop evaluation-backend benchmark: tree-walk vs. structural-join
-//! evaluation of the translated Table-1 queries, plus `answer_batch`
-//! throughput scaling, emitting a machine-readable `BENCH_eval.json`.
+//! Closed-loop evaluation-backend benchmark: compiled plans under the
+//! walk / join / auto policies evaluating the translated Table-1 queries,
+//! plus warm plan-cache repeat latency and `answer_batch` throughput
+//! scaling, emitting a machine-readable `BENCH_eval.json` and a plan-dump
+//! artifact `PLANS_eval.json`.
 //!
 //! ```text
-//! cargo run -p sxv-bench --bin eval --release [-- --smoke] [--json FILE]
+//! cargo run -p sxv-bench --bin eval --release [-- --smoke] [--json FILE] [--plans FILE]
 //! ```
 //!
-//! `--smoke` restricts to dataset D1 (for CI); `--json FILE` overrides the
-//! artifact path (default `BENCH_eval.json`). The two backends' answers are
-//! asserted identical before anything is timed.
+//! `--smoke` restricts to dataset D1 (for CI); `--json FILE` / `--plans FILE`
+//! override the artifact paths. Every policy's answers are asserted
+//! identical to the reference tree-walk before anything is timed.
 
 use std::fmt::Write as _;
 use sxv_bench::{json_escape, time_us, AdexWorkload, Timing, DATASETS};
-use sxv_core::{Approach, Backend, SecureEngine};
+use sxv_core::{Approach, PlanPolicy, SecureEngine};
 use sxv_xml::{DocIndex, Document};
-use sxv_xpath::{EvalStats, Path};
+use sxv_xpath::{compile, CostModel, EvalStats, Path, PlanSummary};
+
+const POLICIES: [PlanPolicy; 3] = [PlanPolicy::ForceWalk, PlanPolicy::ForceJoin, PlanPolicy::Auto];
 
 struct Row {
     query: &'static str,
     dataset: &'static str,
     approach: &'static str,
-    backend: Backend,
+    policy: PlanPolicy,
     timing: Timing,
     stats: EvalStats,
+    plan: PlanSummary,
     result_count: usize,
+}
+
+fn flag_value(args: &[String], flag: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_eval.json".to_string());
+    let json_path = flag_value(&args, "--json", "BENCH_eval.json");
+    let plans_path = flag_value(&args, "--plans", "PLANS_eval.json");
 
     let datasets: Vec<(&str, usize)> = if smoke { vec![DATASETS[0]] } else { DATASETS.to_vec() };
 
@@ -55,9 +64,9 @@ fn main() {
 
     // The approaches pair a translated query with the document it runs
     // over: naive evaluates its `//`-widened, qualifier-heavy translation
-    // against the annotated copy (the descendant-heavy case where the
-    // join backend should win); rewrite/optimize run root-anchored
-    // child paths over the original document.
+    // against the annotated copy (the descendant-heavy case where join
+    // plans should win); rewrite/optimize run root-anchored child paths
+    // over the original document.
     let approaches: [(&str, Approach); 3] = [
         ("naive", Approach::Naive),
         ("rewrite", Approach::Rewrite),
@@ -66,14 +75,13 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     println!(
-        "{:<5} {:<4} {:<9} {:>12} {:>6} {:>12} {:>6} {:>7} {:>10} {:>10} {:>9} {:>9}",
+        "{:<5} {:<4} {:<9} {:>12} {:>12} {:>12} {:>7} {:>10} {:>10} {:>9} {:>9}  auto-mix",
         "Query",
         "Data",
         "Approach",
         "walk(us)",
-        "reps",
         "join(us)",
-        "reps",
+        "auto(us)",
         "W/J",
         "W-touched",
         "J-touched",
@@ -87,49 +95,51 @@ fn main() {
                     Approach::Naive => (annotated, naive_index),
                     _ => (doc, index),
                 };
-                // Answers must agree exactly before anything is timed.
-                let (walk_ans, walk_stats) =
-                    workload.run_backend(q, approach, eval_doc, Some(eval_index), Backend::Walk);
-                let (join_ans, join_stats) =
-                    workload.run_backend(q, approach, eval_doc, Some(eval_index), Backend::Join);
-                assert_eq!(
-                    walk_ans, join_ans,
-                    "{} {aname} on {name}: join backend disagrees with walk",
-                    q.name
-                );
-                let mut timed = [Timing { median_us: 0.0, reps: 0 }; 2];
-                for (slot, backend) in [Backend::Walk, Backend::Join].into_iter().enumerate() {
-                    timed[slot] = time_us(|| {
-                        workload.run_backend(q, approach, eval_doc, Some(eval_index), backend)
+                // Every policy's answer must agree exactly with the
+                // reference recursive walk before anything is timed.
+                let reference = workload.run(q, approach, eval_doc);
+                let mut measured = Vec::with_capacity(POLICIES.len());
+                for policy in POLICIES {
+                    let (ans, stats, plan) =
+                        workload.run_policy(q, approach, eval_doc, Some(eval_index), policy);
+                    assert_eq!(
+                        reference, ans,
+                        "{} {aname} on {name}: {policy} plan disagrees with the walk",
+                        q.name
+                    );
+                    let timing = time_us(|| {
+                        workload.run_policy(q, approach, eval_doc, Some(eval_index), policy)
                     });
+                    measured.push((policy, timing, stats, plan));
                 }
-                let [walk_t, join_t] = timed;
+                let (_, walk_t, walk_stats, _) = measured[0];
+                let (_, join_t, join_stats, _) = measured[1];
+                let (_, auto_t, _, auto_plan) = measured[2];
                 println!(
-                    "{:<5} {:<4} {:<9} {:>12.1} {:>6} {:>12.1} {:>6} {:>6.2}x {:>10} {:>10} {:>9} {:>9}",
+                    "{:<5} {:<4} {:<9} {:>12.1} {:>12.1} {:>12.1} {:>6.2}x {:>10} {:>10} {:>9} {:>9}  {}",
                     q.name,
                     name,
                     aname,
                     walk_t.median_us,
-                    walk_t.reps,
                     join_t.median_us,
-                    join_t.reps,
+                    auto_t.median_us,
                     walk_t.median_us / join_t.median_us.max(1e-9),
                     walk_stats.nodes_touched,
                     join_stats.nodes_touched,
                     join_stats.merge_steps,
-                    join_stats.interval_probes
+                    join_stats.interval_probes,
+                    auto_plan.mix()
                 );
-                for (backend, timing, stats) in
-                    [(Backend::Walk, walk_t, walk_stats), (Backend::Join, join_t, join_stats)]
-                {
+                for (policy, timing, stats, plan) in measured {
                     rows.push(Row {
                         query: q.name,
                         dataset: name,
                         approach: aname,
-                        backend,
+                        policy,
                         timing,
                         stats,
-                        result_count: walk_ans.len(),
+                        plan,
+                        result_count: reference.len(),
                     });
                 }
             }
@@ -137,27 +147,51 @@ fn main() {
     }
     println!();
 
-    // Batch throughput: fan the four view queries (x32 round-robin copies)
-    // across worker threads sharing one immutable document + index. On a
-    // single-core host the thread counts measure overhead, not speedup;
-    // the JSON records whatever the hardware gives us.
+    // Warm plan-cache repeats: after one cold answer per query, repeated
+    // serving must hit the cache — `plans_compiled` stays flat while the
+    // timer runs, so the medians measure pure plan execution.
     let engine = SecureEngine::new(&workload.spec, &workload.view);
-    let (_, batch_doc, _, batch_index, _) = &docs[0];
-    let queries: Vec<Path> =
-        (0..32).flat_map(|_| workload.queries.iter().map(|q| q.view_query.clone())).collect();
-    // Warm the translation cache so the batch measures evaluation fan-out,
-    // not first-call translation.
+    let (_, batch_doc, _, batch_index, _) = &docs[docs.len() - 1];
     for q in &workload.queries {
         engine
             .answer_report(batch_doc, Some(batch_index), &q.view_query, Approach::Rewrite)
             .expect("warmup query answers");
     }
+    let compiled_before = engine.cache_stats().plans_compiled;
+    let mut warm: Vec<(&str, Timing)> = Vec::new();
+    println!("warm plan-cache repeat latency (rewrite approach, walk policy):");
+    for q in &workload.queries {
+        let timing = time_us(|| {
+            engine
+                .answer_report(batch_doc, Some(batch_index), &q.view_query, Approach::Rewrite)
+                .expect("warm query answers")
+        });
+        println!("  {}: {:>10.1} us ({} reps)", q.name, timing.median_us, timing.reps);
+        warm.push((q.name, timing));
+    }
+    let cache = engine.cache_stats();
+    assert_eq!(
+        compiled_before, cache.plans_compiled,
+        "warm repeats must reuse cached plans, not recompile"
+    );
+    println!(
+        "  plan cache: hits={} misses={} hit_rate={:.1}% plans_compiled={} (flat)",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate(),
+        cache.plans_compiled
+    );
+    println!();
+
+    // Batch throughput: fan the four view queries (x32 round-robin copies)
+    // across worker threads sharing one immutable document + index. On a
+    // single-core host the thread counts measure overhead, not speedup;
+    // the JSON records whatever the hardware gives us.
+    let queries: Vec<Path> =
+        (0..32).flat_map(|_| workload.queries.iter().map(|q| q.view_query.clone())).collect();
     let mut batch: Vec<(usize, Timing, f64)> = Vec::new();
     let mut single_us = 0.0f64;
-    println!(
-        "answer_batch throughput ({} queries, rewrite approach, join backend):",
-        queries.len()
-    );
+    println!("answer_batch throughput ({} queries, rewrite approach, join policy):", queries.len());
     for threads in [1usize, 2, 4] {
         let timing = time_us(|| {
             let results = engine.answer_batch(
@@ -165,7 +199,7 @@ fn main() {
                 Some(batch_index),
                 &queries,
                 Approach::Rewrite,
-                Backend::Join,
+                PlanPolicy::ForceJoin,
                 threads,
             );
             assert!(results.iter().all(|r| r.is_ok()), "batch worker failed");
@@ -184,13 +218,24 @@ fn main() {
     }
     println!();
 
-    let json = render_json(&rows, &batch, queries.len(), smoke);
+    let json = render_json(&rows, &warm, &cache_tuple(&engine), &batch, queries.len(), smoke);
     std::fs::write(&json_path, json).expect("write JSON artifact");
     println!("wrote {json_path}");
+
+    let plans = render_plans(&workload, &docs[0].3);
+    std::fs::write(&plans_path, plans).expect("write plan-dump artifact");
+    println!("wrote {plans_path}");
+}
+
+fn cache_tuple(engine: &SecureEngine) -> (u64, u64, u64) {
+    let c = engine.cache_stats();
+    (c.hits, c.misses, c.plans_compiled)
 }
 
 fn render_json(
     rows: &[Row],
+    warm: &[(&str, Timing)],
+    cache: &(u64, u64, u64),
     batch: &[(usize, Timing, f64)],
     batch_queries: usize,
     smoke: bool,
@@ -209,11 +254,12 @@ fn render_json(
             "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"approach\": \"{}\", \
              \"backend\": \"{}\", \"median_us\": {:.3}, \"reps\": {}, \"result_count\": {}, \
              \"nodes_touched\": {}, \"qualifier_checks\": {}, \"index_lookups\": {}, \
-             \"merge_steps\": {}, \"interval_probes\": {}}}{comma}",
+             \"merge_steps\": {}, \"interval_probes\": {}, \
+             \"plan_ops\": {}, \"plan_mix\": \"{}\", \"est_rows\": {}}}{comma}",
             json_escape(r.query),
             json_escape(r.dataset),
             json_escape(r.approach),
-            r.backend,
+            r.policy,
             r.timing.median_us,
             r.timing.reps,
             r.result_count,
@@ -221,10 +267,32 @@ fn render_json(
             r.stats.qualifier_checks,
             r.stats.index_lookups,
             r.stats.merge_steps,
-            r.stats.interval_probes
+            r.stats.interval_probes,
+            r.plan.total_ops(),
+            json_escape(&r.plan.mix()),
+            r.plan.est_rows
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"warm_cache\": {{");
+    let _ = writeln!(
+        out,
+        "    \"hits\": {}, \"misses\": {}, \"plans_compiled\": {},",
+        cache.0, cache.1, cache.2
+    );
+    let _ = writeln!(out, "    \"repeats\": [");
+    for (i, (name, timing)) in warm.iter().enumerate() {
+        let comma = if i + 1 < warm.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"query\": \"{}\", \"median_us\": {:.3}, \"reps\": {}}}{comma}",
+            json_escape(name),
+            timing.median_us,
+            timing.reps
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"batch\": [");
     for (i, (threads, timing, speedup)) in batch.iter().enumerate() {
         let comma = if i + 1 < batch.len() { "," } else { "" };
@@ -235,6 +303,40 @@ fn render_json(
              \"reps\": {}, \"queries_per_sec\": {qps:.1}, \"speedup_vs_1\": {speedup:.3}}}{comma}",
             timing.median_us, timing.reps
         );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Dump every Table-1 query's auto-policy plan (compiled against the
+/// first dataset's real occurrence lists) as a JSON artifact, one
+/// `explain --format json` object per query × approach.
+fn render_plans(workload: &AdexWorkload, index: &DocIndex) -> String {
+    let approaches: [(&str, Approach); 3] = [
+        ("naive", Approach::Naive),
+        ("rewrite", Approach::Rewrite),
+        ("optimize", Approach::Optimize),
+    ];
+    let cost = CostModel::from_index(index);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"eval-plans\",");
+    let _ = writeln!(out, "  \"plans\": [");
+    let total = workload.queries.len() * approaches.len();
+    let mut emitted = 0usize;
+    for q in &workload.queries {
+        for &(aname, approach) in &approaches {
+            let plan = compile(q.translated(approach), PlanPolicy::Auto, &cost);
+            emitted += 1;
+            let comma = if emitted < total { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"query\": \"{}\", \"approach\": \"{aname}\", \"plan\": {}}}{comma}",
+                json_escape(q.name),
+                plan.explain_json()
+            );
+        }
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");

@@ -9,15 +9,18 @@
 use crate::error::{Error, Result};
 use crate::naive::NaiveBaseline;
 use crate::optimize::{optimize, optimize_with_height};
+use crate::plancost::dtd_cost_model;
 use crate::rewrite::{rewrite, rewrite_with_height};
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sxv_xml::{DocIndex, Document, NodeId};
-use sxv_xpath::{eval_at_root_backend, simplify, Backend, EvalStats, Path};
+use sxv_xpath::{
+    compile, simplify, Backend, CompiledQuery, CostModel, EvalStats, Path, PlanPolicy, PlanSummary,
+};
 
 /// Query evaluation strategy (the three columns of Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,14 +36,15 @@ pub enum Approach {
 /// Default number of translated queries kept by the engine's cache.
 pub const DEFAULT_TRANSLATION_CACHE_CAPACITY: usize = 64;
 
-/// Key of one translation cache entry: the *normalized* view query (so
-/// `a | a` and `a` share an entry), the strategy, and the unfolding
-/// height — which is part of the translation's meaning only for
-/// recursive views/DTDs and is normalized to 0 otherwise.
+/// Key of one plan-cache entry: the *normalized* view query (so `a | a`
+/// and `a` share an entry), the strategy, the planner policy, and the
+/// unfolding height — which is part of the translation's meaning only
+/// for recursive views/DTDs and is normalized to 0 otherwise.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     query: Path,
     approach: Approach,
+    policy: PlanPolicy,
     height: usize,
 }
 
@@ -61,28 +65,33 @@ fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One cache shard: translation outcome plus its atomic LRU tick, per key.
-type CacheShard = HashMap<CacheKey, (Result<Path>, AtomicU64)>;
+/// One cache shard: planning outcome plus its atomic LRU tick, per key.
+/// The value is the whole compiled artifact — a hit skips parse
+/// normalization, rewriting, optimization *and* planning.
+type CacheShard = HashMap<CacheKey, (Result<Arc<CompiledQuery>>, AtomicU64)>;
 
-/// Sharded, read-mostly map of translated queries. Keys hash to one of a
-/// few independently locked shards, so concurrent [`SecureEngine`]
+/// Sharded, read-mostly map of compiled query plans. Keys hash to one of
+/// a few independently locked shards, so concurrent [`SecureEngine`]
 /// readers (the `answer_batch` workers) do not serialize on one mutex:
 /// a cache *hit* takes only a shard read lock — the LRU tick lives in an
 /// `AtomicU64` per entry — and only misses take a shard write lock.
 /// Eviction is per-shard LRU via a linear minimum scan (capacities are
 /// small and lookups dominate).
 #[derive(Debug)]
-struct TranslationCache {
+struct PlanCache {
     shards: Vec<RwLock<CacheShard>>,
     /// Per-shard entry budget; 0 disables caching entirely.
     shard_cap: usize,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Plans compiled on the miss path — flat across repeats of a cached
+    /// query, which is the observable proof of compile-once.
+    plans_compiled: AtomicU64,
 }
 
-impl TranslationCache {
-    fn new(capacity: usize) -> TranslationCache {
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
         // One shard per ~8 entries of budget: capacity 64 → 8 shards;
         // tiny caches stay single-sharded so LRU order is exact.
         let shard_count = if capacity == 0 {
@@ -90,12 +99,13 @@ impl TranslationCache {
         } else {
             (capacity / MAX_CACHE_SHARDS).clamp(1, MAX_CACHE_SHARDS)
         };
-        TranslationCache {
+        PlanCache {
             shards: (0..shard_count).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_cap: capacity.div_ceil(shard_count),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            plans_compiled: AtomicU64::new(0),
         }
     }
 
@@ -105,7 +115,7 @@ impl TranslationCache {
         &self.shards[hasher.finish() as usize % self.shards.len()]
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<Result<Path>> {
+    fn lookup(&self, key: &CacheKey) -> Option<Result<Arc<CompiledQuery>>> {
         let shard = read_recover(self.shard(key));
         match shard.get(key) {
             Some((p, used)) => {
@@ -120,7 +130,7 @@ impl TranslationCache {
         }
     }
 
-    fn insert(&self, key: CacheKey, translated: Result<Path>) {
+    fn insert(&self, key: CacheKey, planned: Result<Arc<CompiledQuery>>) {
         if self.shard_cap == 0 {
             return;
         }
@@ -135,7 +145,7 @@ impl TranslationCache {
             }
         }
         let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        shard.insert(key, (translated, AtomicU64::new(now)));
+        shard.insert(key, (planned, AtomicU64::new(now)));
     }
 
     fn stats(&self) -> CacheStats {
@@ -143,33 +153,56 @@ impl TranslationCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| read_recover(s).len()).sum(),
+            plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Cumulative translation-cache counters, readable at any time via
+/// Cumulative plan-cache counters, readable at any time via
 /// [`SecureEngine::cache_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Translations served from the cache.
+    /// Plans served from the cache.
     pub hits: u64,
-    /// Translations computed (and inserted) on miss.
+    /// Plans compiled (and inserted) on miss.
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Successful translate-and-plan compilations since the engine was
+    /// built; stays flat while repeats hit the cache.
+    pub plans_compiled: u64,
 }
 
-/// Work report for one answered query: where the translation came from,
-/// what it was, and the evaluator's machine-independent cost counters.
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Work report for one answered query: where the plan came from, what
+/// the translation was, the plan's operator mix with its estimated
+/// cardinality, and the executor's machine-independent cost counters
+/// (the actual work, to compare against the estimate).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryReport {
     /// The translated (document-side) query that was evaluated.
     pub translated: Path,
-    /// The translation was served from the cache.
+    /// The compiled plan was served from the cache.
     pub cache_hit: bool,
-    /// Evaluator work counters (`index_lookups` is non-zero only on the
+    /// Executor work counters (`index_lookups` is non-zero only on the
     /// indexed path).
     pub eval: EvalStats,
+    /// Operator counts and planned result cardinality of the executed
+    /// plan (compare `plan.est_rows` against the actual answer length).
+    pub plan: PlanSummary,
+    /// The planner policy the executed plan was compiled under.
+    pub policy: PlanPolicy,
 }
 
 /// A query engine bound to one access policy.
@@ -181,11 +214,15 @@ pub struct QueryReport {
 pub struct SecureEngine<'a> {
     spec: &'a AccessSpec,
     view: &'a SecurityView,
-    cache: TranslationCache,
+    cache: PlanCache,
     /// The engine only needs the height for recursive unfoldings; cache
     /// keys normalize it to 0 otherwise so documents of different heights
     /// share entries.
     height_sensitive: bool,
+    /// Planner statistics derived once from the document DTD (expected
+    /// per-label counts and fan-out); serving is assumed indexed, and
+    /// plans degrade gracefully when a call arrives without an index.
+    cost: CostModel,
 }
 
 impl<'a> SecureEngine<'a> {
@@ -202,7 +239,13 @@ impl<'a> SecureEngine<'a> {
     ) -> Self {
         let height_sensitive =
             view.is_recursive() || sxv_dtd::DtdGraph::new(spec.dtd()).is_recursive();
-        SecureEngine { spec, view, cache: TranslationCache::new(capacity), height_sensitive }
+        SecureEngine {
+            spec,
+            view,
+            cache: PlanCache::new(capacity),
+            height_sensitive,
+            cost: dtd_cost_model(spec.dtd(), true),
+        }
     }
 
     /// The view DTD text exposed to users of this policy.
@@ -218,31 +261,50 @@ impl<'a> SecureEngine<'a> {
     /// Translate a view query to a document query.
     ///
     /// `doc_height` is only consulted for recursive views (§4.2 unfolding).
-    /// Results are memoized in a bounded sharded LRU keyed by the
-    /// normalized query, the approach, and (for recursive views only) the
-    /// height.
+    /// Results are memoized (as full compiled plans) in a bounded sharded
+    /// LRU keyed by the normalized query, the approach, the planner
+    /// policy, and (for recursive views only) the height.
     pub fn translate(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
-        self.translate_report(p, approach, doc_height).0
+        self.plan(p, approach, doc_height, PlanPolicy::from(Backend::default()))
+            .0
+            .map(|plan| plan.translated.clone())
     }
 
-    /// Translation plus whether it was served from the cache.
-    fn translate_report(
+    /// Plan a view query end to end (translate → optimize → compile),
+    /// memoized: the bool says whether the plan came from the cache, in
+    /// which case *none* of those phases ran.
+    pub fn plan_report(
         &self,
         p: &Path,
         approach: Approach,
         doc_height: usize,
-    ) -> (Result<Path>, bool) {
+        policy: PlanPolicy,
+    ) -> (Result<Arc<CompiledQuery>>, bool) {
+        self.plan(p, approach, doc_height, policy)
+    }
+
+    fn plan(
+        &self,
+        p: &Path,
+        approach: Approach,
+        doc_height: usize,
+        policy: PlanPolicy,
+    ) -> (Result<Arc<CompiledQuery>>, bool) {
         let key = CacheKey {
             query: simplify(p),
             approach,
+            policy,
             height: if self.height_sensitive { doc_height } else { 0 },
         };
         if let Some(cached) = self.cache.lookup(&key) {
             return (cached, true);
         }
-        let translated = self.translate_uncached(&key.query, approach, doc_height);
-        self.cache.insert(key, translated.clone());
-        (translated, false)
+        let planned = self.translate_uncached(&key.query, approach, doc_height).map(|translated| {
+            self.cache.plans_compiled.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compile(&translated, policy, &self.cost))
+        });
+        self.cache.insert(key, planned.clone());
+        (planned, false)
     }
 
     fn translate_uncached(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
@@ -313,12 +375,10 @@ impl<'a> SecureEngine<'a> {
     }
 
     /// [`SecureEngine::answer_report`] with an explicit evaluation
-    /// backend. [`Backend::Join`] evaluates the translated query with
-    /// structural joins over the index's occurrence lists (sorted-list
-    /// merges and interval-containment probes) and requires `index`;
-    /// without one it degrades to the unindexed walk.
-    /// [`Approach::Naive`] always walks its on-the-fly annotated copy —
-    /// the given index describes `doc`, not the copy.
+    /// backend — kept as the stable surface; backends map onto planner
+    /// policies ([`Backend::Walk`] → force-walk, [`Backend::Join`] →
+    /// force-join). Prefer [`SecureEngine::answer_report_policy`] with
+    /// [`PlanPolicy::Auto`] to let the planner choose per step.
     pub fn answer_report_backend(
         &self,
         doc: &Document,
@@ -327,16 +387,44 @@ impl<'a> SecureEngine<'a> {
         approach: Approach,
         backend: Backend,
     ) -> Result<(Vec<NodeId>, QueryReport)> {
-        let (translated, cache_hit) = self.translate_report(p, approach, doc.height());
-        let q = translated?;
+        self.answer_report_policy(doc, index, p, approach, PlanPolicy::from(backend))
+    }
+
+    /// Answer by compiled plan: fetch (or compile-and-cache) the plan for
+    /// `(query, approach, policy)` and execute it. A cache hit skips
+    /// parse-normalize, rewrite, optimize *and* planning — only the
+    /// executor runs. The index is a pure accelerator: plans are compiled
+    /// for indexed serving and degrade to subtree scans without one.
+    /// [`Approach::Naive`] executes its plan over an on-the-fly annotated
+    /// copy, so the given index (built for `doc`, not the copy) is
+    /// ignored on that path.
+    pub fn answer_report_policy(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        p: &Path,
+        approach: Approach,
+        policy: PlanPolicy,
+    ) -> Result<(Vec<NodeId>, QueryReport)> {
+        let (planned, cache_hit) = self.plan(p, approach, doc.height(), policy);
+        let plan = planned?;
         let (answer, eval) = match approach {
             Approach::Naive => {
                 let annotated = NaiveBaseline::annotate(self.spec, doc);
-                sxv_xpath::eval_at_root_with_stats(&annotated, &q)
+                plan.execute(&annotated, None)
             }
-            _ => eval_at_root_backend(doc, index, &q, backend),
+            _ => plan.execute(doc, index),
         };
-        Ok((answer, QueryReport { translated: q, cache_hit, eval }))
+        Ok((
+            answer,
+            QueryReport {
+                translated: plan.translated.clone(),
+                cache_hit,
+                eval,
+                plan: plan.summary(),
+                policy,
+            },
+        ))
     }
 
     /// Answer a batch of view queries concurrently over one shared
@@ -344,7 +432,7 @@ impl<'a> SecureEngine<'a> {
     /// across `threads` scoped workers that pull from a shared cursor.
     /// Results come back in input order, one `Result` per query; a worker
     /// that panics mid-query costs only its own unreported queries
-    /// ([`Error::WorkerLost`]) — the translation cache recovers poisoned
+    /// ([`Error::WorkerLost`]) — the plan cache recovers poisoned
     /// shard locks instead of propagating the panic.
     pub fn answer_batch(
         &self,
@@ -352,14 +440,14 @@ impl<'a> SecureEngine<'a> {
         index: Option<&DocIndex>,
         queries: &[Path],
         approach: Approach,
-        backend: Backend,
+        policy: PlanPolicy,
         threads: usize,
     ) -> Vec<Result<(Vec<NodeId>, QueryReport)>> {
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
             return queries
                 .iter()
-                .map(|p| self.answer_report_backend(doc, index, p, approach, backend))
+                .map(|p| self.answer_report_policy(doc, index, p, approach, policy))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -375,7 +463,7 @@ impl<'a> SecureEngine<'a> {
                             let Some(p) = queries.get(i) else { break };
                             answered.push((
                                 i,
-                                self.answer_report_backend(doc, index, p, approach, backend),
+                                self.answer_report_policy(doc, index, p, approach, policy),
                             ));
                         }
                         answered
@@ -552,6 +640,74 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_hits_skip_compilation() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient/name").unwrap();
+        for _ in 0..3 {
+            engine.answer(&doc, &p).unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.plans_compiled, 1, "repeats must not re-plan");
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9, "{}", stats.hit_rate());
+        // A different policy is a different plan: exactly one more compile.
+        engine.answer_report_policy(&doc, None, &p, Approach::Optimize, PlanPolicy::Auto).unwrap();
+        assert_eq!(engine.cache_stats().plans_compiled, 2);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn auto_policy_matches_forced_plans() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).unwrap();
+        for q in ["//patient/name", "//bill", "dept/*", "//name", "//clinicalTrial"] {
+            let p = parse(q).unwrap();
+            let mut answers = Vec::new();
+            for policy in PlanPolicy::ALL {
+                let (ans, report) = engine
+                    .answer_report_policy(&doc, Some(&index), &p, Approach::Optimize, policy)
+                    .unwrap();
+                assert_eq!(report.policy, policy);
+                answers.push(ans);
+            }
+            assert!(answers.windows(2).all(|w| w[0] == w[1]), "{q}: policies disagree");
+        }
+    }
+
+    #[test]
+    fn report_carries_plan_metadata() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient/name").unwrap();
+        let (ans, report) = engine.answer_report(&doc, None, &p, Approach::Optimize).unwrap();
+        assert!(report.plan.total_ops() > 0, "plan summary must count operators");
+        assert!(report.plan.est_rows > 0, "DTD estimates should expect some names");
+        assert!(!ans.is_empty());
+        // Walk-policy plans never contain merge-join operators.
+        assert_eq!(report.plan.child_merge_join, 0);
+        let (_, joined) = engine
+            .answer_report_policy(&doc, None, &p, Approach::Optimize, PlanPolicy::ForceJoin)
+            .unwrap();
+        assert_eq!(joined.plan.child_walk, 0, "{:?}", joined.plan);
+    }
+
+    #[test]
+    fn plan_report_exposes_compiled_plan() {
+        let (spec, view, _) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//bill").unwrap();
+        let (planned, hit) = engine.plan_report(&p, Approach::Optimize, 0, PlanPolicy::Auto);
+        let plan = planned.unwrap();
+        assert!(!hit);
+        assert_eq!(plan.translated, engine.translate(&p, Approach::Optimize, 0).unwrap());
+        let (again, hit2) = engine.plan_report(&p, Approach::Optimize, 0, PlanPolicy::Auto);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&plan, &again.unwrap()), "hits share the cached Arc");
+    }
+
+    #[test]
     fn translation_cache_evicts_least_recently_used() {
         let (spec, view, _) = setup();
         let engine = SecureEngine::with_cache_capacity(&spec, &view, 2);
@@ -663,7 +819,7 @@ mod tests {
                 Some(&index),
                 &queries,
                 Approach::Optimize,
-                Backend::Join,
+                PlanPolicy::ForceJoin,
                 threads,
             );
             assert_eq!(batch.len(), queries.len());
@@ -682,11 +838,17 @@ mod tests {
         let (spec, view, doc) = setup();
         let engine = SecureEngine::new(&spec, &view);
         assert!(engine
-            .answer_batch(&doc, None, &[], Approach::Optimize, Backend::Walk, 8)
+            .answer_batch(&doc, None, &[], Approach::Optimize, PlanPolicy::ForceWalk, 8)
             .is_empty());
         let queries = [parse("//bill").unwrap()];
-        let batch =
-            engine.answer_batch(&doc, None, &queries, Approach::Optimize, Backend::Walk, 64);
+        let batch = engine.answer_batch(
+            &doc,
+            None,
+            &queries,
+            Approach::Optimize,
+            PlanPolicy::ForceWalk,
+            64,
+        );
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].as_ref().unwrap().0.len(), 2);
     }

@@ -51,6 +51,7 @@ pub mod error;
 pub mod materialized_baseline;
 pub mod naive;
 pub mod optimize;
+pub mod plancost;
 pub mod registry;
 pub mod rewrite;
 pub mod spec;
@@ -62,11 +63,13 @@ pub use error::{Error, Result};
 pub use materialized_baseline::MaterializedBaseline;
 pub use naive::NaiveBaseline;
 pub use optimize::{approx_contained, optimize, optimize_with_height};
+pub use plancost::dtd_cost_model;
 pub use registry::PolicyRegistry;
 pub use rewrite::{rewrite, rewrite_paper_merge, rewrite_with_height, ViewGraph};
 pub use spec::{parse_spec_rules, RawRule, RawValue};
 pub use spec::{AccessSpec, AccessSpecBuilder, Annotation};
 pub use sxv_xpath::Backend;
+pub use sxv_xpath::{CompiledQuery, CostModel, PlanPolicy, PlanSummary};
 pub use view::def::{SecurityView, ViewContent, ViewItem};
 pub use view::derive::derive_view;
 pub use view::materialize::{materialize, Materialized};

@@ -145,6 +145,17 @@ impl DocIndex {
         self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Every indexed label with its occurrence count (arbitrary order) —
+    /// the cardinality statistics query planners read.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.by_label.iter().map(|(l, v)| (l.as_str(), v.len()))
+    }
+
+    /// Total indexed nodes (elements + text).
+    pub fn node_count(&self) -> usize {
+        self.elements.len() + self.text_nodes.len()
+    }
+
     /// Every element node in document order.
     pub fn element_nodes(&self) -> &[NodeId] {
         &self.elements

@@ -83,6 +83,19 @@ impl EvalStats {
         self.merge_steps += other.merge_steps;
         self.interval_probes += other.interval_probes;
     }
+
+    /// Zero every counter (reuse one struct across evaluations).
+    pub fn reset(&mut self) {
+        *self = EvalStats::default();
+    }
+
+    /// Run one qualifier check, counting it — the shared helper every
+    /// evaluator's `Filter` branch goes through, so the counting
+    /// discipline lives in exactly one place.
+    pub fn counted_check(&mut self, check: impl FnOnce(&mut Self) -> bool) -> bool {
+        self.qualifier_checks += 1;
+        check(self)
+    }
 }
 
 /// Evaluate `p` with an explicit context node list. Returns the result in
@@ -263,8 +276,7 @@ fn eval_impl(
                 .nodes
                 .into_iter()
                 .filter(|&v| {
-                    stats.qualifier_checks += 1;
-                    qual_holds(doc, index, q, &NodeSet::single(v), stats)
+                    stats.counted_check(|s| qual_holds(doc, index, q, &NodeSet::single(v), s))
                 })
                 .collect();
             let doc_kept = base.doc && qual_holds(doc, index, q, &NodeSet::document(), stats);
@@ -384,8 +396,7 @@ fn indexed_descendant(
                 .nodes
                 .into_iter()
                 .filter(|&v| {
-                    stats.qualifier_checks += 1;
-                    qual_holds(doc, Some(idx), q, &NodeSet::single(v), stats)
+                    stats.counted_check(|s| qual_holds(doc, Some(idx), q, &NodeSet::single(v), s))
                 })
                 .collect();
             Some(NodeSet { doc: false, nodes })
@@ -476,6 +487,24 @@ mod tests {
         assert_eq!(labels(&d, &r), ["dept"]);
         let none = eval_at_root(&d, &parse("patient").unwrap());
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn stats_reset_absorb_and_counted_check() {
+        let mut a = EvalStats { nodes_touched: 3, qualifier_checks: 1, ..EvalStats::default() };
+        let b = EvalStats { nodes_touched: 2, index_lookups: 5, ..EvalStats::default() };
+        a.absorb(b);
+        assert_eq!((a.nodes_touched, a.qualifier_checks, a.index_lookups), (5, 1, 5));
+        // counted_check counts exactly one qualifier evaluation and hands
+        // the same counters to the nested check.
+        let hit = a.counted_check(|s| {
+            s.index_lookups += 1;
+            true
+        });
+        assert!(hit);
+        assert_eq!((a.qualifier_checks, a.index_lookups), (2, 6));
+        a.reset();
+        assert_eq!(a, EvalStats::default());
     }
 
     #[test]

@@ -1,33 +1,20 @@
-//! Structural-join evaluation backend.
+//! Structural-join evaluation backend — now a thin facade over the plan
+//! IR of [`crate::plan`].
 //!
-//! The recursive evaluator in [`crate::eval`] walks the tree: a `//` step
-//! expands every context subtree node by node, and a qualifier probe
-//! re-walks the candidate's subtree. This module answers the same fragment
-//! with *structural joins* over the occurrence lists of a
-//! [`DocIndex`]: sorted per-label node lists in document order plus
-//! pre/post-order interval numbering turn
-//!
-//! * `//label` steps into interval-containment slices (two binary
-//!   searches per context subtree, staircase-pruned so nested contexts
-//!   are scanned once),
-//! * `label` child steps into a merge of the occurrence list against the
-//!   sorted context list (each candidate checks `parent ∈ context`), and
-//! * existence qualifiers `[//label]` into O(log n) emptiness probes of
-//!   the same slices,
-//!
-//! choosing per step between the merge and the tree walk with a cost
-//! heuristic (occurrence count within the context span vs. the number of
-//! child links a walk would traverse). Work is metered by
-//! [`EvalStats::merge_steps`] (candidates examined by merges) and
-//! [`EvalStats::interval_probes`] (occurrence-list slices located by
-//! binary search), alongside the walk-backend counters.
-//!
-//! Results are bit-identical to the walk backend — the equivalence is
-//! pinned by unit tests here and a random-document × random-query
-//! property test in the workspace test suite.
+//! Historically this module held a second, divergent recursive evaluator
+//! that re-ran its child-step cost heuristic on every evaluation. That
+//! machinery (occurrence-list merges, staircase-pruned interval slices,
+//! existence probes) lives in the shared plan executor now: this module
+//! compiles the query once under [`PlanPolicy::ForceJoin`]
+//! and interprets the plan, so `Backend` is planner *policy*, not a
+//! separate engine. Results remain bit-identical to the walk backend —
+//! pinned by the shared [`crate::plan::EQUIVALENCE_QUERIES`] suite here
+//! and a random-document × random-query property test in the workspace
+//! test suite.
 
-use crate::ast::{Path, Qualifier};
+use crate::ast::Path;
 use crate::eval::{eval_at_root_with_stats, EvalStats};
+use crate::plan::{compile, CostModel, PlanPolicy};
 use std::fmt;
 use sxv_xml::{DocIndex, Document, NodeId};
 
@@ -38,8 +25,9 @@ pub enum Backend {
     /// index-assisted); the default, and the only choice without an index.
     #[default]
     Walk,
-    /// Structural joins over [`DocIndex`] occurrence lists; requires an
-    /// index built for the queried document.
+    /// Structural joins over [`DocIndex`] occurrence lists via a
+    /// force-join compiled plan; requires an index built for the queried
+    /// document.
     Join,
 }
 
@@ -64,7 +52,7 @@ impl std::str::FromStr for Backend {
         match s {
             "walk" => Ok(Backend::Walk),
             "join" => Ok(Backend::Join),
-            other => Err(format!("unknown backend {other:?} (walk|join)")),
+            other => Err(format!("unknown backend {other:?} (valid values: walk, join)")),
         }
     }
 }
@@ -90,449 +78,16 @@ pub fn eval_at_root_join(doc: &Document, index: &DocIndex, p: &Path) -> Vec<Node
     eval_at_root_join_with_stats(doc, index, p).0
 }
 
-/// Structural-join evaluation at the root element, with work counters.
+/// Structural-join evaluation at the root element, with work counters:
+/// compile a force-join plan against the index's cardinalities, execute
+/// it once. Callers that evaluate repeatedly should compile once via
+/// [`crate::plan::compile`] (or the engine's plan cache) instead.
 pub fn eval_at_root_join_with_stats(
     doc: &Document,
     index: &DocIndex,
     p: &Path,
 ) -> (Vec<NodeId>, EvalStats) {
-    let mut stats = EvalStats::default();
-    let result = match doc.root_opt() {
-        Some(root) => {
-            let ctx = JoinSet { doc: false, nodes: vec![root] };
-            eval_join(doc, index, p, &ctx, &mut stats).nodes
-        }
-        None => Vec::new(),
-    };
-    (result, stats)
-}
-
-/// A context/result set for the join evaluator: strictly increasing
-/// (document-order) node ids plus the virtual document-node flag —
-/// the sorted-`Vec` twin of [`crate::eval::NodeSet`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct JoinSet {
-    doc: bool,
-    nodes: Vec<NodeId>,
-}
-
-impl JoinSet {
-    fn empty() -> JoinSet {
-        JoinSet::default()
-    }
-
-    fn single(v: NodeId) -> JoinSet {
-        JoinSet { doc: false, nodes: vec![v] }
-    }
-
-    fn document() -> JoinSet {
-        JoinSet { doc: true, nodes: Vec::new() }
-    }
-
-    fn is_empty(&self) -> bool {
-        !self.doc && self.nodes.is_empty()
-    }
-
-    /// Restore the sorted-unique invariant after out-of-order pushes.
-    fn normalize(&mut self) {
-        self.nodes.sort_unstable();
-        self.nodes.dedup();
-    }
-
-    /// Merge-union with another set (both sorted-unique).
-    fn union_with(&mut self, other: JoinSet, stats: &mut EvalStats) {
-        self.doc |= other.doc;
-        if other.nodes.is_empty() {
-            return;
-        }
-        if self.nodes.is_empty() {
-            self.nodes = other.nodes;
-            return;
-        }
-        stats.merge_steps += (self.nodes.len() + other.nodes.len()) as u64;
-        let mut merged = Vec::with_capacity(self.nodes.len() + other.nodes.len());
-        let (a, b) = (&self.nodes, &other.nodes);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    merged.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    merged.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    merged.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        merged.extend_from_slice(&a[i..]);
-        merged.extend_from_slice(&b[j..]);
-        self.nodes = merged;
-    }
-}
-
-/// Core join evaluator: context set → result set, same semantics as
-/// [`crate::eval::eval_set_counting_indexed`].
-fn eval_join(
-    doc: &Document,
-    idx: &DocIndex,
-    p: &Path,
-    ctx: &JoinSet,
-    stats: &mut EvalStats,
-) -> JoinSet {
-    if ctx.is_empty() {
-        return JoinSet::empty();
-    }
-    match p {
-        Path::Empty => ctx.clone(),
-        Path::EmptySet => JoinSet::empty(),
-        Path::Doc => JoinSet::document(),
-        Path::Label(l) => child_join(doc, idx, ctx, Axis::Label(l), stats),
-        Path::Wildcard => child_join(doc, idx, ctx, Axis::AnyElement, stats),
-        Path::Text => child_join(doc, idx, ctx, Axis::Text, stats),
-        Path::Step(p1, p2) => {
-            let mid = eval_join(doc, idx, p1, ctx, stats);
-            eval_join(doc, idx, p2, &mid, stats)
-        }
-        Path::Descendant(p1) => descendant_join(doc, idx, p1, ctx, stats),
-        Path::Union(p1, p2) => {
-            let mut out = eval_join(doc, idx, p1, ctx, stats);
-            out.union_with(eval_join(doc, idx, p2, ctx, stats), stats);
-            out
-        }
-        Path::Filter(p1, q) => {
-            let base = eval_join(doc, idx, p1, ctx, stats);
-            let nodes = base
-                .nodes
-                .into_iter()
-                .filter(|&v| {
-                    stats.qualifier_checks += 1;
-                    qual_join(doc, idx, q, &JoinSet::single(v), stats)
-                })
-                .collect();
-            let doc_kept = base.doc && qual_join(doc, idx, q, &JoinSet::document(), stats);
-            JoinSet { doc: doc_kept, nodes }
-        }
-    }
-}
-
-/// What a single child step selects.
-#[derive(Clone, Copy)]
-enum Axis<'a> {
-    Label(&'a str),
-    AnyElement,
-    Text,
-}
-
-impl Axis<'_> {
-    /// The document-order occurrence list for this axis test.
-    fn occurrences<'i>(&self, idx: &'i DocIndex) -> &'i [NodeId] {
-        match self {
-            Axis::Label(l) => idx.label_list(l),
-            Axis::AnyElement => idx.element_nodes(),
-            Axis::Text => idx.text_list(),
-        }
-    }
-
-    fn matches(&self, doc: &Document, v: NodeId) -> bool {
-        match self {
-            Axis::Label(l) => doc.label_opt(v) == Some(l),
-            Axis::AnyElement => doc.node(v).is_element(),
-            Axis::Text => doc.node(v).is_text(),
-        }
-    }
-}
-
-/// One child-axis step, chosen per context between a children walk and a
-/// merge of the occurrence list against the context list.
-fn child_join(
-    doc: &Document,
-    idx: &DocIndex,
-    ctx: &JoinSet,
-    axis: Axis,
-    stats: &mut EvalStats,
-) -> JoinSet {
-    let mut out = JoinSet::empty();
-    // The document node's only child is the root element.
-    if ctx.doc {
-        if let Some(root) = doc.root_opt() {
-            if axis.matches(doc, root) {
-                out.nodes.push(root);
-            }
-        }
-    }
-    if ctx.nodes.is_empty() {
-        return out;
-    }
-    // Cost model: a walk traverses every child link under the context
-    // (`walk_cost`); a merge examines each occurrence inside the context
-    // span and pays one binary search into the context per candidate.
-    let walk_cost: usize = ctx.nodes.iter().map(|&v| doc.children(v).len()).sum();
-    let occ = axis.occurrences(idx);
-    let span_lo = ctx.nodes[0];
-    let span_hi = ctx.nodes.iter().map(|&v| idx.subtree_end(v)).max().expect("non-empty ctx");
-    let lo = occ.partition_point(|&x| x <= span_lo);
-    let hi = occ.partition_point(|&x| x <= span_hi);
-    stats.interval_probes += 1;
-    let candidates = &occ[lo..hi];
-    let probe_cost = (usize::BITS - ctx.nodes.len().leading_zeros()) as usize + 1;
-    if candidates.len() * probe_cost < walk_cost {
-        // Merge: every candidate in the span checks its parent against
-        // the sorted context list. Candidates arrive in document order,
-        // each child has one parent, so the output is sorted-unique.
-        stats.merge_steps += candidates.len() as u64;
-        for &c in candidates {
-            let Some(parent) = doc.parent(c) else { continue };
-            if ctx.nodes.binary_search(&parent).is_ok() {
-                out.nodes.push(c);
-            }
-        }
-    } else {
-        // Walk: children lists of nested contexts can interleave in
-        // document order, so normalize at the end.
-        stats.merge_steps += walk_cost as u64;
-        let had_root = out.nodes.len();
-        for &v in &ctx.nodes {
-            for &c in doc.children(v) {
-                if axis.matches(doc, c) {
-                    out.nodes.push(c);
-                }
-            }
-        }
-        if had_root > 0 || !ctx.nodes.windows(2).all(|w| idx.subtree_end(w[0]) < w[1]) {
-            out.normalize();
-        }
-    }
-    stats.nodes_touched += out.nodes.len() as u64;
-    out
-}
-
-/// `//p1`: staircase-prune the context to outermost subtrees, answer the
-/// leading step of `p1` by interval-containment slices of the occurrence
-/// lists, and continue with the join evaluator.
-fn descendant_join(
-    doc: &Document,
-    idx: &DocIndex,
-    p1: &Path,
-    ctx: &JoinSet,
-    stats: &mut EvalStats,
-) -> JoinSet {
-    // Effective roots. The document node's descendant-or-self set is the
-    // whole tree plus itself; a child step from that reaches the root
-    // element too, which no tree interval covers — flag it separately.
-    let (roots, include_root_match) = if ctx.doc {
-        match doc.root_opt() {
-            Some(r) => (vec![r], true),
-            None => return JoinSet::empty(),
-        }
-    } else {
-        (staircase(idx, &ctx.nodes, stats), false)
-    };
-    match p1 {
-        Path::Label(_) | Path::Wildcard | Path::Text => {
-            let axis = match p1 {
-                Path::Label(l) => Axis::Label(l),
-                Path::Wildcard => Axis::AnyElement,
-                _ => Axis::Text,
-            };
-            let mut out = JoinSet::empty();
-            for &r in &roots {
-                // Roots have disjoint, ascending intervals and `r`
-                // precedes its slice, so pushes stay sorted.
-                if include_root_match && axis.matches(doc, r) && !matches!(axis, Axis::Text) {
-                    out.nodes.push(r);
-                }
-                let hits = slice_for(idx, axis, r);
-                stats.interval_probes += 1;
-                stats.nodes_touched += hits.len() as u64;
-                out.nodes.extend_from_slice(hits);
-            }
-            out
-        }
-        Path::Step(a, b) => {
-            let first = descendant_join(doc, idx, a, ctx, stats);
-            eval_join(doc, idx, b, &first, stats)
-        }
-        Path::Union(a, b) => {
-            let mut out = descendant_join(doc, idx, a, ctx, stats);
-            out.union_with(descendant_join(doc, idx, b, ctx, stats), stats);
-            out
-        }
-        Path::Filter(base, q) => {
-            let base_set = descendant_join(doc, idx, base, ctx, stats);
-            let nodes = base_set
-                .nodes
-                .into_iter()
-                .filter(|&v| {
-                    stats.qualifier_checks += 1;
-                    qual_join(doc, idx, q, &JoinSet::single(v), stats)
-                })
-                .collect();
-            let doc_kept = base_set.doc && qual_join(doc, idx, q, &JoinSet::document(), stats);
-            JoinSet { doc: doc_kept, nodes }
-        }
-        // ε, ∅, `doc()`, nested `//`: materialize descendant-or-self of
-        // the pruned roots (contiguous id ranges — no tree walk) and let
-        // the generic evaluator take it from there.
-        _ => {
-            let mut expanded = JoinSet { doc: ctx.doc, nodes: Vec::new() };
-            for &r in &roots {
-                let end = idx.subtree_end(r).index();
-                stats.interval_probes += 1;
-                expanded.nodes.extend((r.index()..=end).map(NodeId::from_index));
-            }
-            stats.nodes_touched += expanded.nodes.len() as u64;
-            eval_join(doc, idx, p1, &expanded, stats)
-        }
-    }
-}
-
-/// Keep only context nodes not contained in an earlier context's subtree
-/// (the staircase step: the survivors have pairwise-disjoint intervals
-/// whose union covers every descendant-or-self of the input).
-fn staircase(idx: &DocIndex, nodes: &[NodeId], stats: &mut EvalStats) -> Vec<NodeId> {
-    let mut roots: Vec<NodeId> = Vec::new();
-    let mut last_end: Option<NodeId> = None;
-    stats.merge_steps += nodes.len() as u64;
-    for &v in nodes {
-        if last_end.is_none_or(|e| v > e) {
-            roots.push(v);
-            last_end = Some(idx.subtree_end(v));
-        }
-    }
-    roots
-}
-
-fn slice_for<'i>(idx: &'i DocIndex, axis: Axis, v: NodeId) -> &'i [NodeId] {
-    match axis {
-        Axis::Label(l) => idx.labelled_descendants(l, v),
-        Axis::AnyElement => idx.element_descendants(v),
-        Axis::Text => idx.text_descendants(v),
-    }
-}
-
-/// Qualifier truth at one context (singleton node or the document node),
-/// with interval-probe fast paths for existence tests.
-fn qual_join(
-    doc: &Document,
-    idx: &DocIndex,
-    q: &Qualifier,
-    ctx: &JoinSet,
-    stats: &mut EvalStats,
-) -> bool {
-    match q {
-        Qualifier::True => true,
-        Qualifier::False => false,
-        Qualifier::Path(p) => exists_join(doc, idx, p, ctx, stats),
-        Qualifier::Eq(p, c) => {
-            let result = eval_join(doc, idx, p, ctx, stats);
-            result.nodes.iter().any(|&n| {
-                stats.index_lookups += 1;
-                idx.string_value(n) == *c
-            })
-        }
-        Qualifier::Attr(name) => {
-            ctx.nodes.first().map(|&v| doc.attribute(v, name).is_some()).unwrap_or(false)
-        }
-        Qualifier::AttrEq(name, value) => ctx
-            .nodes
-            .first()
-            .map(|&v| doc.attribute(v, name) == Some(value.as_str()))
-            .unwrap_or(false),
-        Qualifier::And(a, b) => {
-            qual_join(doc, idx, a, ctx, stats) && qual_join(doc, idx, b, ctx, stats)
-        }
-        Qualifier::Or(a, b) => {
-            qual_join(doc, idx, a, ctx, stats) || qual_join(doc, idx, b, ctx, stats)
-        }
-        Qualifier::Not(inner) => !qual_join(doc, idx, inner, ctx, stats),
-    }
-}
-
-/// `[p]` existence without materializing `p`'s full result where a probe
-/// suffices: `[//label]` and friends are emptiness checks on one
-/// interval slice, `[label]` a bounded children scan.
-fn exists_join(
-    doc: &Document,
-    idx: &DocIndex,
-    p: &Path,
-    ctx: &JoinSet,
-    stats: &mut EvalStats,
-) -> bool {
-    if ctx.is_empty() {
-        return false;
-    }
-    match p {
-        Path::Empty => true,
-        Path::EmptySet => false,
-        Path::Doc => true,
-        Path::Label(_) | Path::Wildcard | Path::Text => {
-            let axis = match p {
-                Path::Label(l) => Axis::Label(l),
-                Path::Wildcard => Axis::AnyElement,
-                _ => Axis::Text,
-            };
-            if ctx.doc {
-                if let Some(root) = doc.root_opt() {
-                    if axis.matches(doc, root) {
-                        return true;
-                    }
-                }
-            }
-            ctx.nodes.iter().any(|&v| {
-                let kids = doc.children(v);
-                stats.merge_steps += kids.len() as u64;
-                kids.iter().any(|&c| axis.matches(doc, c))
-            })
-        }
-        Path::Descendant(inner) => match &**inner {
-            Path::Label(_) | Path::Wildcard | Path::Text => {
-                let axis = match &**inner {
-                    Path::Label(l) => Axis::Label(l),
-                    Path::Wildcard => Axis::AnyElement,
-                    _ => Axis::Text,
-                };
-                if ctx.doc {
-                    let Some(root) = doc.root_opt() else { return false };
-                    if !matches!(axis, Axis::Text) && axis.matches(doc, root) {
-                        return true;
-                    }
-                    stats.interval_probes += 1;
-                    return !slice_for(idx, axis, root).is_empty();
-                }
-                ctx.nodes.iter().any(|&v| {
-                    stats.interval_probes += 1;
-                    !slice_for(idx, axis, v).is_empty()
-                })
-            }
-            _ => !eval_join(doc, idx, p, ctx, stats).is_empty(),
-        },
-        Path::Step(a, b) => {
-            let mid = eval_join(doc, idx, a, ctx, stats);
-            exists_join(doc, idx, b, &mid, stats)
-        }
-        Path::Union(a, b) => {
-            exists_join(doc, idx, a, ctx, stats) || exists_join(doc, idx, b, ctx, stats)
-        }
-        Path::Filter(base, inner_q) => {
-            let base_set = eval_join(doc, idx, base, ctx, stats);
-            if base_set.doc {
-                stats.qualifier_checks += 1;
-                if qual_join(doc, idx, inner_q, &JoinSet::document(), stats) {
-                    return true;
-                }
-            }
-            base_set.nodes.iter().any(|&v| {
-                stats.qualifier_checks += 1;
-                qual_join(doc, idx, inner_q, &JoinSet::single(v), stats)
-            })
-        }
-    }
+    compile(p, PlanPolicy::ForceJoin, &CostModel::from_index(index)).execute(doc, Some(index))
 }
 
 #[cfg(test)]
@@ -540,6 +95,7 @@ mod tests {
     use super::*;
     use crate::eval::eval_at_root;
     use crate::parser::parse;
+    use crate::plan::EQUIVALENCE_QUERIES;
     use sxv_xml::parse as parse_xml;
 
     fn hospital() -> Document {
@@ -561,36 +117,11 @@ mod tests {
         .unwrap()
     }
 
-    const QUERIES: &[&str] = &[
-        "//patient",
-        "//patient/name",
-        "//dept//patientInfo/patient/name",
-        "//patient[wardNo='6']",
-        "//patient[name and wardNo]",
-        "//patient[not(wardNo='6')]",
-        "//name | //wardNo",
-        "//text()",
-        "//*",
-        "//.",
-        "dept//patient",
-        "dept/*",
-        "dept/patientInfo/patient",
-        "dept[//wardNo='7']",
-        "//patientInfo[patient/wardNo='7']//name",
-        "//patient[//name]",
-        "text()",
-        "∅",
-        ".",
-        "(clinicalTrial | .)/patientInfo",
-        "//patientInfo//name",
-        "//text()[.='Bob']",
-    ];
-
     #[test]
     fn join_matches_walk_on_hospital() {
         let d = hospital();
         let idx = DocIndex::new(&d).unwrap();
-        for q in QUERIES {
+        for q in EQUIVALENCE_QUERIES {
             let p = parse(q).unwrap();
             assert_eq!(eval_at_root(&d, &p), eval_at_root_join(&d, &idx, &p), "{q}");
         }
@@ -600,7 +131,7 @@ mod tests {
     fn join_results_sorted_unique() {
         let d = hospital();
         let idx = DocIndex::new(&d).unwrap();
-        for q in QUERIES {
+        for q in EQUIVALENCE_QUERIES {
             let p = parse(q).unwrap();
             let r = eval_at_root_join(&d, &idx, &p);
             assert!(r.windows(2).all(|w| w[0] < w[1]), "{q}: {r:?}");
@@ -658,9 +189,9 @@ mod tests {
         let idx = DocIndex::new(&d).unwrap();
         for q in ["//hospital", "/hospital/dept", "//patient", "//."] {
             let p = parse(q).unwrap();
-            let mut stats = EvalStats::default();
-            let joined = eval_join(&d, &idx, &p, &JoinSet::document(), &mut stats);
-            assert_eq!(eval_at_document(&d, &p), joined.nodes, "{q}");
+            let plan = compile(&p, PlanPolicy::ForceJoin, &CostModel::from_index(&idx));
+            let (joined, _) = plan.execute_at_document(&d, Some(&idx));
+            assert_eq!(eval_at_document(&d, &p), joined, "{q}");
         }
     }
 
@@ -670,17 +201,16 @@ mod tests {
         let idx = DocIndex::new(&d).unwrap();
         let p = parse("//a[b]").unwrap();
         assert!(eval_at_root_join(&d, &idx, &p).is_empty());
-        let d2 = hospital();
-        let idx2 = DocIndex::new(&d2).unwrap();
-        let mut stats = EvalStats::default();
-        assert!(eval_join(&d2, &idx2, &p, &JoinSet::empty(), &mut stats).is_empty());
+        let plan = compile(&p, PlanPolicy::ForceJoin, &CostModel::from_index(&idx));
+        assert!(plan.execute_at_document(&d, Some(&idx)).0.is_empty());
     }
 
     #[test]
     fn backend_parses_and_prints() {
         assert_eq!("walk".parse::<Backend>().unwrap(), Backend::Walk);
         assert_eq!("join".parse::<Backend>().unwrap(), Backend::Join);
-        assert!("tree".parse::<Backend>().is_err());
+        let err = "tree".parse::<Backend>().unwrap_err();
+        assert!(err.contains("valid values: walk, join"), "{err}");
         assert_eq!(Backend::Join.to_string(), "join");
         assert_eq!(Backend::default(), Backend::Walk);
     }

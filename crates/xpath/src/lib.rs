@@ -29,6 +29,7 @@ pub mod error;
 pub mod eval;
 pub mod join;
 pub mod parser;
+pub mod plan;
 pub mod simplify;
 pub mod subq;
 
@@ -41,5 +42,9 @@ pub use eval::{
 };
 pub use join::{eval_at_root_backend, eval_at_root_join, eval_at_root_join_with_stats, Backend};
 pub use parser::parse;
+pub use plan::{
+    compile, AxisTest, CompiledQuery, CostModel, PlanNode, PlanOp, PlanPolicy, PlanSummary,
+    QualPlan, EQUIVALENCE_QUERIES,
+};
 pub use simplify::{factored_union, simplify};
 pub use subq::{postorder, SubExpr};

@@ -1,0 +1,1509 @@
+//! Compile-once query plans: a typed operator IR shared by every
+//! evaluation surface.
+//!
+//! [`compile`] lowers an (already translated and optimized) [`Path`] into a
+//! [`CompiledQuery`] — a flat pipeline of [`PlanOp`]s — choosing each
+//! operator **once at plan time** from a [`CostModel`] (occurrence-list
+//! cardinalities of a [`DocIndex`], or DTD fan-out estimates when no
+//! document is at hand) instead of re-running per-evaluation heuristics.
+//! A single executor ([`CompiledQuery::execute`]) interprets plans; the
+//! historical `Backend::{Walk,Join}` split becomes a [`PlanPolicy`]
+//! (force-walk / force-join / auto) fed to the planner.
+//!
+//! The operator set mirrors the two evaluators it replaces:
+//!
+//! * `child-walk` — scan the children of every context node (tree walk);
+//! * `child-merge-join` — merge the axis occurrence list against the
+//!   sorted context, one parent probe per candidate (structural join);
+//! * `descendant-slice` — answer `//axis` by interval-containment slices
+//!   of the occurrence lists (staircase-pruned). Without an index at
+//!   execution time it degrades to a subtree scan, so a plan compiled for
+//!   indexed serving still answers index-less calls correctly;
+//! * `descendant-expand` — materialize descendants(-or-self) for the
+//!   generic `//p` fall-back shapes;
+//! * `label-filter` — keep context nodes matching an axis test (the
+//!   walk-policy lowering of `//axis` when no index will exist);
+//! * `union-merge` — run arm sub-pipelines off one context, merge-union;
+//! * `qualifier-probe` — filter by a compiled [`QualPlan`], with interval
+//!   emptiness probes for existence tests.
+//!
+//! Results are bit-identical to the walk evaluator of [`crate::eval`];
+//! the equivalence is pinned by [`EQUIVALENCE_QUERIES`] here and a random
+//! document × query property test in the workspace suite.
+
+use crate::ast::{Path, Qualifier};
+use crate::eval::EvalStats;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use sxv_xml::{DocIndex, Document, NodeId};
+
+/// How the planner chooses between walk and join operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlanPolicy {
+    /// Child steps always walk; `//axis` slices only degrade-safely.
+    ForceWalk,
+    /// Child steps always merge-join against occurrence lists.
+    ForceJoin,
+    /// Pick per step from the cost model (the recommended policy).
+    #[default]
+    Auto,
+}
+
+impl PlanPolicy {
+    /// All policies, for benchmark sweeps.
+    pub const ALL: [PlanPolicy; 3] =
+        [PlanPolicy::ForceWalk, PlanPolicy::ForceJoin, PlanPolicy::Auto];
+}
+
+impl fmt::Display for PlanPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanPolicy::ForceWalk => "walk",
+            PlanPolicy::ForceJoin => "join",
+            PlanPolicy::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for PlanPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PlanPolicy, String> {
+        match s {
+            "walk" | "force-walk" => Ok(PlanPolicy::ForceWalk),
+            "join" | "force-join" => Ok(PlanPolicy::ForceJoin),
+            "auto" => Ok(PlanPolicy::Auto),
+            other => Err(format!("unknown plan policy {other:?} (valid values: walk, join, auto)")),
+        }
+    }
+}
+
+impl From<crate::join::Backend> for PlanPolicy {
+    fn from(b: crate::join::Backend) -> PlanPolicy {
+        match b {
+            crate::join::Backend::Walk => PlanPolicy::ForceWalk,
+            crate::join::Backend::Join => PlanPolicy::ForceJoin,
+        }
+    }
+}
+
+/// What a single axis step selects (the owned twin of the evaluators'
+/// borrowed axis tests, so plans can outlive the query AST).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxisTest {
+    /// Child elements with this label.
+    Label(String),
+    /// Any child element (`*`).
+    AnyElement,
+    /// Child text nodes (`text()`).
+    Text,
+}
+
+impl AxisTest {
+    fn matches(&self, doc: &Document, v: NodeId) -> bool {
+        match self {
+            AxisTest::Label(l) => doc.label_opt(v) == Some(l),
+            AxisTest::AnyElement => doc.node(v).is_element(),
+            AxisTest::Text => doc.node(v).is_text(),
+        }
+    }
+
+    /// The document-order occurrence list for this test.
+    fn occurrences<'i>(&self, idx: &'i DocIndex) -> &'i [NodeId] {
+        match self {
+            AxisTest::Label(l) => idx.label_list(l),
+            AxisTest::AnyElement => idx.element_nodes(),
+            AxisTest::Text => idx.text_list(),
+        }
+    }
+
+    /// The occurrence slice strictly inside the subtree of `v`.
+    fn slice<'i>(&self, idx: &'i DocIndex, v: NodeId) -> &'i [NodeId] {
+        match self {
+            AxisTest::Label(l) => idx.labelled_descendants(l, v),
+            AxisTest::AnyElement => idx.element_descendants(v),
+            AxisTest::Text => idx.text_descendants(v),
+        }
+    }
+}
+
+impl fmt::Display for AxisTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisTest::Label(l) => f.write_str(l),
+            AxisTest::AnyElement => f.write_str("*"),
+            AxisTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+/// One typed plan operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Seed the pipeline with the root element (always the first op).
+    RootSeed,
+    /// Reset the context to the virtual document node (`doc()`).
+    DocSeed,
+    /// The empty query `∅`.
+    EmptySet,
+    /// One child step answered by walking every context node's children.
+    ChildWalk(AxisTest),
+    /// One child step answered by merging the axis occurrence list
+    /// against the sorted context (one parent probe per candidate).
+    ChildMergeJoin(AxisTest),
+    /// `//axis` answered by interval-containment slices of the occurrence
+    /// lists (staircase-pruned); degrades to a subtree scan off-index.
+    DescendantSlice(AxisTest),
+    /// Materialize descendants (`or_self` controls self-inclusion) — the
+    /// generic `//p` fall-back for complex inner paths.
+    DescendantExpand {
+        /// Include each context node itself (descendant-or-self).
+        or_self: bool,
+    },
+    /// Keep context nodes matching the axis test (drops the doc node).
+    LabelFilter(AxisTest),
+    /// Run each arm's sub-pipeline off the same context and merge-union.
+    UnionMerge(Vec<Vec<PlanNode>>),
+    /// Keep context nodes satisfying a compiled qualifier.
+    QualifierProbe(QualPlan),
+}
+
+impl PlanOp {
+    /// Short operator name (explain output and summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::RootSeed => "root-seed",
+            PlanOp::DocSeed => "doc-seed",
+            PlanOp::EmptySet => "empty-set",
+            PlanOp::ChildWalk(_) => "child-walk",
+            PlanOp::ChildMergeJoin(_) => "child-merge-join",
+            PlanOp::DescendantSlice(_) => "descendant-slice",
+            PlanOp::DescendantExpand { .. } => "descendant-expand",
+            PlanOp::LabelFilter(_) => "label-filter",
+            PlanOp::UnionMerge(_) => "union-merge",
+            PlanOp::QualifierProbe(_) => "qualifier-probe",
+        }
+    }
+}
+
+/// One pipeline slot: the operator plus its planned output cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Estimated rows (nodes) flowing out of this operator.
+    pub est_rows: u64,
+}
+
+/// A compiled qualifier: the boolean structure with its path probes
+/// lowered to sub-pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QualPlan {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// `[p]` — the sub-pipeline yields at least one node (the last
+    /// operator is probed for emptiness instead of materialized where an
+    /// interval or bounded children scan suffices).
+    Exists(Vec<PlanNode>),
+    /// `[p = c]` — some result node's string value equals the constant.
+    Eq(Vec<PlanNode>, String),
+    /// `[@a]` — attribute exists on the context element.
+    Attr(String),
+    /// `[@a = 'v']` — attribute equals the constant.
+    AttrEq(String, String),
+    /// Conjunction.
+    And(Box<QualPlan>, Box<QualPlan>),
+    /// Disjunction.
+    Or(Box<QualPlan>, Box<QualPlan>),
+    /// Negation.
+    Not(Box<QualPlan>),
+}
+
+/// Cardinality statistics the planner reads: per-label occurrence counts,
+/// element/text totals and average fan-out — exact when built
+/// [`CostModel::from_index`], estimated when derived from a DTD, and
+/// deliberately vague when [`CostModel::uninformed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    labels: HashMap<String, f64>,
+    elements: f64,
+    texts: f64,
+    fanout: f64,
+    default_label: f64,
+    has_index: bool,
+}
+
+impl CostModel {
+    /// Exact statistics from a built structural index.
+    pub fn from_index(idx: &DocIndex) -> CostModel {
+        let elements = idx.element_nodes().len() as f64;
+        let texts = idx.text_list().len() as f64;
+        let total = elements + texts;
+        CostModel {
+            labels: idx.labels().map(|(l, n)| (l.to_string(), n as f64)).collect(),
+            elements,
+            texts,
+            fanout: if elements > 0.0 { (total - 1.0).max(0.0) / elements } else { 0.0 },
+            default_label: 0.0,
+            has_index: true,
+        }
+    }
+
+    /// Estimated statistics (e.g. propagated from DTD fan-out).
+    /// `has_index` says whether execution will have a [`DocIndex`].
+    pub fn from_estimates(
+        labels: impl IntoIterator<Item = (String, f64)>,
+        texts: f64,
+        has_index: bool,
+    ) -> CostModel {
+        let labels: HashMap<String, f64> = labels.into_iter().collect();
+        let elements: f64 = labels.values().sum::<f64>().max(1.0);
+        let total = elements + texts.max(0.0);
+        CostModel {
+            labels,
+            elements,
+            texts: texts.max(0.0),
+            fanout: (total - 1.0).max(0.0) / elements,
+            default_label: 0.0,
+            has_index,
+        }
+    }
+
+    /// No statistics at all: a small synthetic document shape. Unknown
+    /// labels get a non-zero default so plans stay meaningful.
+    pub fn uninformed() -> CostModel {
+        CostModel {
+            labels: HashMap::new(),
+            elements: 64.0,
+            texts: 32.0,
+            fanout: 3.0,
+            default_label: 8.0,
+            has_index: true,
+        }
+    }
+
+    /// Whether execution is expected to have a structural index.
+    pub fn has_index(&self) -> bool {
+        self.has_index
+    }
+
+    fn nodes(&self) -> f64 {
+        self.elements + self.texts
+    }
+
+    fn occurrence(&self, axis: &AxisTest) -> f64 {
+        match axis {
+            AxisTest::Label(l) => self.labels.get(l).copied().unwrap_or(self.default_label),
+            AxisTest::AnyElement => self.elements,
+            AxisTest::Text => self.texts,
+        }
+    }
+}
+
+/// A fully planned query, ready for repeated execution. This is the
+/// artifact the engine's sharded cache stores: a hit skips
+/// parse-normalize, rewrite, optimize *and* planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledQuery {
+    /// The translated (document-side) query this plan was compiled from.
+    pub translated: Path,
+    /// The policy the planner ran under.
+    pub policy: PlanPolicy,
+    /// The operator pipeline (first op is always [`PlanOp::RootSeed`]).
+    pub ops: Vec<PlanNode>,
+}
+
+/// Lower an optimized [`Path`] into an executable plan, choosing every
+/// operator now from `cost` and `policy`.
+pub fn compile(p: &Path, policy: PlanPolicy, cost: &CostModel) -> CompiledQuery {
+    let mut ops = vec![PlanNode { op: PlanOp::RootSeed, est_rows: 1 }];
+    lower(p, 1.0, policy, cost, &mut ops);
+    CompiledQuery { translated: p.clone(), policy, ops }
+}
+
+fn clamp_est(est: f64, cost: &CostModel) -> u64 {
+    est.clamp(0.0, cost.nodes().max(1.0)).round() as u64
+}
+
+/// Append the pipeline for `p` to `out`; returns the estimated output
+/// cardinality given `est_in` context rows.
+fn lower(
+    p: &Path,
+    est_in: f64,
+    policy: PlanPolicy,
+    cost: &CostModel,
+    out: &mut Vec<PlanNode>,
+) -> f64 {
+    match p {
+        Path::Empty => est_in,
+        Path::EmptySet => {
+            out.push(PlanNode { op: PlanOp::EmptySet, est_rows: 0 });
+            0.0
+        }
+        Path::Doc => {
+            out.push(PlanNode { op: PlanOp::DocSeed, est_rows: 1 });
+            1.0
+        }
+        Path::Label(l) => child(AxisTest::Label(l.clone()), est_in, policy, cost, out),
+        Path::Wildcard => child(AxisTest::AnyElement, est_in, policy, cost, out),
+        Path::Text => child(AxisTest::Text, est_in, policy, cost, out),
+        Path::Step(p1, p2) => {
+            let mid = lower(p1, est_in, policy, cost, out);
+            lower(p2, mid, policy, cost, out)
+        }
+        Path::Descendant(inner) => lower_descendant(inner, policy, cost, out),
+        Path::Union(p1, p2) => {
+            let mut arm1 = Vec::new();
+            let e1 = lower(p1, est_in, policy, cost, &mut arm1);
+            let mut arm2 = Vec::new();
+            let e2 = lower(p2, est_in, policy, cost, &mut arm2);
+            let est = (e1 + e2).min(cost.nodes());
+            out.push(PlanNode {
+                op: PlanOp::UnionMerge(vec![arm1, arm2]),
+                est_rows: clamp_est(est, cost),
+            });
+            est
+        }
+        Path::Filter(p1, q) => {
+            let base = lower(p1, est_in, policy, cost, out);
+            let qp = lower_qual(q, policy, cost);
+            let est = base * selectivity(&qp);
+            out.push(PlanNode { op: PlanOp::QualifierProbe(qp), est_rows: clamp_est(est, cost) });
+            est
+        }
+    }
+}
+
+/// `//inner`: axis heads become interval slices (or expand + filter for
+/// walk plans that will never see an index); complex heads recurse the
+/// way the evaluators do.
+fn lower_descendant(
+    inner: &Path,
+    policy: PlanPolicy,
+    cost: &CostModel,
+    out: &mut Vec<PlanNode>,
+) -> f64 {
+    let axis = match inner {
+        Path::Label(l) => Some(AxisTest::Label(l.clone())),
+        Path::Wildcard => Some(AxisTest::AnyElement),
+        Path::Text => Some(AxisTest::Text),
+        _ => None,
+    };
+    if let Some(axis) = axis {
+        let occ = cost.occurrence(&axis);
+        if policy == PlanPolicy::ForceWalk && !cost.has_index {
+            let expanded = cost.nodes();
+            out.push(PlanNode {
+                op: PlanOp::DescendantExpand { or_self: false },
+                est_rows: clamp_est(expanded, cost),
+            });
+            out.push(PlanNode { op: PlanOp::LabelFilter(axis), est_rows: clamp_est(occ, cost) });
+        } else {
+            out.push(PlanNode {
+                op: PlanOp::DescendantSlice(axis),
+                est_rows: clamp_est(occ, cost),
+            });
+        }
+        return occ;
+    }
+    match inner {
+        Path::Step(a, b) => {
+            let mid = lower_descendant(a, policy, cost, out);
+            lower(b, mid, policy, cost, out)
+        }
+        Path::Union(a, b) => {
+            let mut arm1 = Vec::new();
+            let e1 = lower_descendant(a, policy, cost, &mut arm1);
+            let mut arm2 = Vec::new();
+            let e2 = lower_descendant(b, policy, cost, &mut arm2);
+            let est = (e1 + e2).min(cost.nodes());
+            out.push(PlanNode {
+                op: PlanOp::UnionMerge(vec![arm1, arm2]),
+                est_rows: clamp_est(est, cost),
+            });
+            est
+        }
+        Path::Filter(base, q) => {
+            let b = lower_descendant(base, policy, cost, out);
+            let qp = lower_qual(q, policy, cost);
+            let est = b * selectivity(&qp);
+            out.push(PlanNode { op: PlanOp::QualifierProbe(qp), est_rows: clamp_est(est, cost) });
+            est
+        }
+        // ε, ∅, doc(), nested //: materialize descendant-or-self and let
+        // the generic pipeline continue.
+        _ => {
+            let expanded = cost.nodes();
+            out.push(PlanNode {
+                op: PlanOp::DescendantExpand { or_self: true },
+                est_rows: clamp_est(expanded, cost),
+            });
+            lower(inner, expanded, policy, cost, out)
+        }
+    }
+}
+
+/// One child step, with the walk/merge decision made here — at plan time.
+fn child(
+    axis: AxisTest,
+    est_in: f64,
+    policy: PlanPolicy,
+    cost: &CostModel,
+    out: &mut Vec<PlanNode>,
+) -> f64 {
+    let occ = cost.occurrence(&axis);
+    let est = occ.min(est_in * cost.fanout.max(1.0));
+    let merge = match policy {
+        PlanPolicy::ForceWalk => false,
+        PlanPolicy::ForceJoin => true,
+        PlanPolicy::Auto => {
+            // A merge examines every occurrence (paying one binary probe
+            // into the context each); a walk traverses every child link
+            // under the context. Same trade-off join evaluators made per
+            // evaluation — priced once, here.
+            let probe = est_in.max(1.0).log2() + 1.0;
+            cost.has_index && occ * probe < est_in.max(1.0) * cost.fanout.max(1.0)
+        }
+    };
+    let op = if merge { PlanOp::ChildMergeJoin(axis) } else { PlanOp::ChildWalk(axis) };
+    out.push(PlanNode { op, est_rows: clamp_est(est, cost) });
+    est
+}
+
+fn lower_qual(q: &Qualifier, policy: PlanPolicy, cost: &CostModel) -> QualPlan {
+    match q {
+        Qualifier::True => QualPlan::True,
+        Qualifier::False => QualPlan::False,
+        Qualifier::Path(p) => {
+            let mut ops = Vec::new();
+            lower(p, 1.0, policy, cost, &mut ops);
+            QualPlan::Exists(ops)
+        }
+        Qualifier::Eq(p, c) => {
+            let mut ops = Vec::new();
+            lower(p, 1.0, policy, cost, &mut ops);
+            QualPlan::Eq(ops, c.clone())
+        }
+        Qualifier::Attr(name) => QualPlan::Attr(name.clone()),
+        Qualifier::AttrEq(name, value) => QualPlan::AttrEq(name.clone(), value.clone()),
+        Qualifier::And(a, b) => QualPlan::And(
+            Box::new(lower_qual(a, policy, cost)),
+            Box::new(lower_qual(b, policy, cost)),
+        ),
+        Qualifier::Or(a, b) => QualPlan::Or(
+            Box::new(lower_qual(a, policy, cost)),
+            Box::new(lower_qual(b, policy, cost)),
+        ),
+        Qualifier::Not(inner) => QualPlan::Not(Box::new(lower_qual(inner, policy, cost))),
+    }
+}
+
+/// Planned qualifier selectivity (crude, but consistent and documented:
+/// equality probes are assumed pickier than existence probes).
+fn selectivity(q: &QualPlan) -> f64 {
+    match q {
+        QualPlan::True => 1.0,
+        QualPlan::False => 0.0,
+        QualPlan::Exists(_) => 0.7,
+        QualPlan::Eq(..) => 0.3,
+        QualPlan::Attr(_) => 0.5,
+        QualPlan::AttrEq(..) => 0.3,
+        QualPlan::And(a, b) => selectivity(a) * selectivity(b),
+        QualPlan::Or(a, b) => {
+            let (sa, sb) = (selectivity(a), selectivity(b));
+            1.0 - (1.0 - sa) * (1.0 - sb)
+        }
+        QualPlan::Not(inner) => 1.0 - selectivity(inner),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// A context/result set for the plan executor: strictly increasing
+/// (document-order) node ids plus the virtual document-node flag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ExecSet {
+    doc: bool,
+    nodes: Vec<NodeId>,
+}
+
+impl ExecSet {
+    fn empty() -> ExecSet {
+        ExecSet::default()
+    }
+
+    fn single(v: NodeId) -> ExecSet {
+        ExecSet { doc: false, nodes: vec![v] }
+    }
+
+    fn document() -> ExecSet {
+        ExecSet { doc: true, nodes: Vec::new() }
+    }
+
+    fn is_empty(&self) -> bool {
+        !self.doc && self.nodes.is_empty()
+    }
+
+    /// Restore the sorted-unique invariant after out-of-order pushes.
+    fn normalize(&mut self) {
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+    }
+
+    /// Merge-union with another set (both sorted-unique).
+    fn union_with(&mut self, other: ExecSet, stats: &mut EvalStats) {
+        self.doc |= other.doc;
+        if other.nodes.is_empty() {
+            return;
+        }
+        if self.nodes.is_empty() {
+            self.nodes = other.nodes;
+            return;
+        }
+        stats.merge_steps += (self.nodes.len() + other.nodes.len()) as u64;
+        let mut merged = Vec::with_capacity(self.nodes.len() + other.nodes.len());
+        let (a, b) = (&self.nodes, &other.nodes);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.nodes = merged;
+    }
+}
+
+impl CompiledQuery {
+    /// Execute at the root element (the context the paper's rewriting
+    /// assumes). `index` is a pure accelerator: plans compiled for
+    /// indexed serving degrade gracefully without one.
+    pub fn execute(&self, doc: &Document, index: Option<&DocIndex>) -> (Vec<NodeId>, EvalStats) {
+        let mut stats = EvalStats::default();
+        let result = match doc.root_opt() {
+            Some(root) => run_ops(doc, index, self.body(), ExecSet::single(root), &mut stats).nodes,
+            None => Vec::new(),
+        };
+        (result, stats)
+    }
+
+    /// Execute at the virtual document node (standard XPath document
+    /// semantics for absolute and descendant queries).
+    pub fn execute_at_document(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+    ) -> (Vec<NodeId>, EvalStats) {
+        let mut stats = EvalStats::default();
+        let result = run_ops(doc, index, self.body(), ExecSet::document(), &mut stats).nodes;
+        (result, stats)
+    }
+
+    /// The pipeline after the seed marker.
+    fn body(&self) -> &[PlanNode] {
+        match self.ops.first() {
+            Some(PlanNode { op: PlanOp::RootSeed, .. }) => &self.ops[1..],
+            _ => &self.ops,
+        }
+    }
+
+    /// Per-operator counts and the planned result cardinality.
+    pub fn summary(&self) -> PlanSummary {
+        let mut s = PlanSummary {
+            est_rows: self.ops.last().map(|n| n.est_rows).unwrap_or(0),
+            ..PlanSummary::default()
+        };
+        count_ops(&self.ops, &mut s);
+        s
+    }
+}
+
+fn run_ops(
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    ops: &[PlanNode],
+    ctx: ExecSet,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut cur = ctx;
+    for node in ops {
+        if cur.is_empty() {
+            return ExecSet::empty();
+        }
+        cur = run_op(doc, idx, &node.op, &cur, stats);
+    }
+    cur
+}
+
+fn run_op(
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    op: &PlanOp,
+    ctx: &ExecSet,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    match op {
+        PlanOp::RootSeed => match doc.root_opt() {
+            Some(root) => ExecSet::single(root),
+            None => ExecSet::empty(),
+        },
+        PlanOp::DocSeed => ExecSet::document(),
+        PlanOp::EmptySet => ExecSet::empty(),
+        PlanOp::ChildWalk(axis) => child_walk(doc, ctx, axis, stats),
+        PlanOp::ChildMergeJoin(axis) => match idx {
+            Some(idx) => child_merge(doc, idx, ctx, axis, stats),
+            None => child_walk(doc, ctx, axis, stats),
+        },
+        PlanOp::DescendantSlice(axis) => match idx {
+            Some(idx) => descendant_slice(doc, idx, ctx, axis, stats),
+            None => descendant_scan(doc, ctx, axis, stats),
+        },
+        PlanOp::DescendantExpand { or_self } => descendant_expand(doc, idx, ctx, *or_self, stats),
+        PlanOp::LabelFilter(axis) => {
+            stats.nodes_touched += ctx.nodes.len() as u64;
+            ExecSet {
+                doc: false,
+                nodes: ctx.nodes.iter().copied().filter(|&v| axis.matches(doc, v)).collect(),
+            }
+        }
+        PlanOp::UnionMerge(arms) => {
+            let mut out = ExecSet::empty();
+            for arm in arms {
+                out.union_with(run_ops(doc, idx, arm, ctx.clone(), stats), stats);
+            }
+            out
+        }
+        PlanOp::QualifierProbe(q) => {
+            let doc_kept = ctx.doc && qual_probe(doc, idx, q, &ExecSet::document(), stats);
+            let nodes = ctx
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    stats.counted_check(|s| qual_probe(doc, idx, q, &ExecSet::single(v), s))
+                })
+                .collect();
+            ExecSet { doc: doc_kept, nodes }
+        }
+    }
+}
+
+/// Child step by walking children lists (the document node's only child
+/// is the root element).
+fn child_walk(doc: &Document, ctx: &ExecSet, axis: &AxisTest, stats: &mut EvalStats) -> ExecSet {
+    let mut out = ExecSet::empty();
+    if ctx.doc {
+        if let Some(root) = doc.root_opt() {
+            if axis.matches(doc, root) {
+                out.nodes.push(root);
+            }
+        }
+    }
+    stats.nodes_touched += ctx.nodes.len() as u64;
+    for &v in &ctx.nodes {
+        for &c in doc.children(v) {
+            if axis.matches(doc, c) {
+                out.nodes.push(c);
+            }
+        }
+    }
+    // Children of nested context nodes can interleave in document order.
+    out.normalize();
+    out
+}
+
+/// Child step by merging the occurrence list against the context: every
+/// candidate inside the context span checks its parent membership.
+fn child_merge(
+    doc: &Document,
+    idx: &DocIndex,
+    ctx: &ExecSet,
+    axis: &AxisTest,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut out = ExecSet::empty();
+    if ctx.doc {
+        if let Some(root) = doc.root_opt() {
+            if axis.matches(doc, root) {
+                out.nodes.push(root);
+            }
+        }
+    }
+    if ctx.nodes.is_empty() {
+        return out;
+    }
+    let occ = axis.occurrences(idx);
+    let span_lo = ctx.nodes[0];
+    let span_hi = ctx.nodes.iter().map(|&v| idx.subtree_end(v)).max().expect("non-empty ctx");
+    let lo = occ.partition_point(|&x| x <= span_lo);
+    let hi = occ.partition_point(|&x| x <= span_hi);
+    stats.interval_probes += 1;
+    let candidates = &occ[lo..hi];
+    stats.merge_steps += candidates.len() as u64;
+    // Candidates arrive in document order and each child has exactly one
+    // parent, so pushes after any root-element hit stay sorted-unique.
+    for &c in candidates {
+        let Some(parent) = doc.parent(c) else { continue };
+        if ctx.nodes.binary_search(&parent).is_ok() {
+            out.nodes.push(c);
+        }
+    }
+    stats.nodes_touched += out.nodes.len() as u64;
+    out
+}
+
+/// Keep only context nodes not contained in an earlier context's subtree
+/// (the survivors have pairwise-disjoint intervals whose union covers
+/// every descendant-or-self of the input).
+fn staircase(idx: &DocIndex, nodes: &[NodeId], stats: &mut EvalStats) -> Vec<NodeId> {
+    let mut roots: Vec<NodeId> = Vec::new();
+    let mut last_end: Option<NodeId> = None;
+    stats.merge_steps += nodes.len() as u64;
+    for &v in nodes {
+        if last_end.is_none_or(|e| v > e) {
+            roots.push(v);
+            last_end = Some(idx.subtree_end(v));
+        }
+    }
+    roots
+}
+
+/// `//axis` with an index: slice the occurrence list per pruned root.
+fn descendant_slice(
+    doc: &Document,
+    idx: &DocIndex,
+    ctx: &ExecSet,
+    axis: &AxisTest,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    // The document node's descendant-or-self set is the whole tree plus
+    // itself; a child step from that reaches the root element too, which
+    // no tree interval covers — flag it separately.
+    let (roots, include_root_match) = if ctx.doc {
+        match doc.root_opt() {
+            Some(r) => (vec![r], true),
+            None => return ExecSet::empty(),
+        }
+    } else {
+        (staircase(idx, &ctx.nodes, stats), false)
+    };
+    let mut out = ExecSet::empty();
+    for &r in &roots {
+        // Roots have disjoint, ascending intervals and `r` precedes its
+        // slice, so pushes stay sorted.
+        if include_root_match && axis.matches(doc, r) {
+            out.nodes.push(r);
+        }
+        let hits = axis.slice(idx, r);
+        stats.interval_probes += 1;
+        stats.nodes_touched += hits.len() as u64;
+        out.nodes.extend_from_slice(hits);
+    }
+    out
+}
+
+/// `//axis` without an index: scan subtrees (the degraded twin of
+/// [`descendant_slice`] — same result, linear work).
+fn descendant_scan(
+    doc: &Document,
+    ctx: &ExecSet,
+    axis: &AxisTest,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut out = ExecSet::empty();
+    let mut touched = 0u64;
+    if ctx.doc {
+        if let Some(root) = doc.root_opt() {
+            for v in doc.descendants_or_self(root) {
+                touched += 1;
+                if axis.matches(doc, v) {
+                    out.nodes.push(v);
+                }
+            }
+        }
+    }
+    for &v in &ctx.nodes {
+        for d in doc.descendants(v) {
+            touched += 1;
+            if axis.matches(doc, d) {
+                out.nodes.push(d);
+            }
+        }
+    }
+    stats.nodes_touched += touched;
+    out.normalize();
+    out
+}
+
+/// Materialize descendants(-or-self): contiguous id ranges with an index,
+/// subtree walks without.
+fn descendant_expand(
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    ctx: &ExecSet,
+    or_self: bool,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut out = ExecSet { doc: ctx.doc && or_self, nodes: Vec::new() };
+    // The document node's proper descendants are the root plus its
+    // subtree, i.e. the root's descendant-or-self range.
+    let push_range =
+        |from: NodeId, include_self: bool, out: &mut ExecSet, stats: &mut EvalStats| match idx {
+            Some(idx) => {
+                let end = idx.subtree_end(from).index();
+                stats.interval_probes += 1;
+                let start = if include_self { from.index() } else { from.index() + 1 };
+                out.nodes.extend((start..=end).map(NodeId::from_index));
+                stats.nodes_touched += (end + 1 - start) as u64;
+            }
+            None => {
+                let mut n = 0u64;
+                for d in doc.descendants_or_self(from).skip(if include_self { 0 } else { 1 }) {
+                    out.nodes.push(d);
+                    n += 1;
+                }
+                stats.nodes_touched += n;
+            }
+        };
+    if ctx.doc {
+        if let Some(root) = doc.root_opt() {
+            push_range(root, true, &mut out, stats);
+        }
+    }
+    match idx {
+        Some(idx) => {
+            for &r in &staircase(idx, &ctx.nodes, stats) {
+                push_range(r, or_self, &mut out, stats);
+            }
+            // Nested context nodes dropped by the staircase are proper
+            // descendants of a survivor, so their ranges are covered —
+            // but a dropped node itself is already in the range too.
+            out.normalize();
+        }
+        None => {
+            for &v in &ctx.nodes {
+                push_range(v, or_self, &mut out, stats);
+            }
+            out.normalize();
+        }
+    }
+    out
+}
+
+fn qual_probe(
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    q: &QualPlan,
+    ctx: &ExecSet,
+    stats: &mut EvalStats,
+) -> bool {
+    match q {
+        QualPlan::True => true,
+        QualPlan::False => false,
+        QualPlan::Exists(ops) => exists_ops(doc, idx, ops, ctx, stats),
+        QualPlan::Eq(ops, c) => {
+            let result = run_ops(doc, idx, ops, ctx.clone(), stats);
+            match idx {
+                // Memoized string values: one O(log n) slice of the
+                // index's text buffer per candidate.
+                Some(idx) => result.nodes.iter().any(|&n| {
+                    stats.index_lookups += 1;
+                    idx.string_value(n) == *c
+                }),
+                None => result.nodes.iter().any(|&n| doc.string_value(n) == *c),
+            }
+        }
+        QualPlan::Attr(name) => {
+            ctx.nodes.first().map(|&v| doc.attribute(v, name).is_some()).unwrap_or(false)
+        }
+        QualPlan::AttrEq(name, value) => ctx
+            .nodes
+            .first()
+            .map(|&v| doc.attribute(v, name) == Some(value.as_str()))
+            .unwrap_or(false),
+        QualPlan::And(a, b) => {
+            qual_probe(doc, idx, a, ctx, stats) && qual_probe(doc, idx, b, ctx, stats)
+        }
+        QualPlan::Or(a, b) => {
+            qual_probe(doc, idx, a, ctx, stats) || qual_probe(doc, idx, b, ctx, stats)
+        }
+        QualPlan::Not(inner) => !qual_probe(doc, idx, inner, ctx, stats),
+    }
+}
+
+/// `[p]` existence without materializing the final operator where a probe
+/// suffices: the pipeline prefix runs normally, then the last op is
+/// answered by emptiness probes (interval slices, bounded children
+/// scans) instead of building its result set.
+fn exists_ops(
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    ops: &[PlanNode],
+    ctx: &ExecSet,
+    stats: &mut EvalStats,
+) -> bool {
+    if ctx.is_empty() {
+        return false;
+    }
+    let Some((last, prefix)) = ops.split_last() else {
+        return true; // the empty pipeline is the identity: ctx is non-empty
+    };
+    let mid = run_ops(doc, idx, prefix, ctx.clone(), stats);
+    if mid.is_empty() {
+        return false;
+    }
+    match &last.op {
+        PlanOp::RootSeed => doc.root_opt().is_some(),
+        PlanOp::DocSeed => true,
+        PlanOp::EmptySet => false,
+        PlanOp::DescendantSlice(axis) => {
+            if let Some(idx) = idx {
+                if mid.doc {
+                    if let Some(root) = doc.root_opt() {
+                        if axis.matches(doc, root) {
+                            return true;
+                        }
+                        stats.interval_probes += 1;
+                        if !axis.slice(idx, root).is_empty() {
+                            return true;
+                        }
+                    }
+                }
+                mid.nodes.iter().any(|&v| {
+                    stats.interval_probes += 1;
+                    !axis.slice(idx, v).is_empty()
+                })
+            } else {
+                !descendant_scan(doc, &mid, axis, stats).is_empty()
+            }
+        }
+        PlanOp::ChildWalk(axis) | PlanOp::ChildMergeJoin(axis) => {
+            if mid.doc {
+                if let Some(root) = doc.root_opt() {
+                    if axis.matches(doc, root) {
+                        return true;
+                    }
+                }
+            }
+            mid.nodes.iter().any(|&v| {
+                let kids = doc.children(v);
+                stats.merge_steps += kids.len() as u64;
+                kids.iter().any(|&c| axis.matches(doc, c))
+            })
+        }
+        PlanOp::LabelFilter(axis) => mid.nodes.iter().any(|&v| axis.matches(doc, v)),
+        PlanOp::DescendantExpand { or_self } => {
+            if *or_self {
+                true // mid is non-empty and expansion keeps each node
+            } else {
+                (mid.doc && doc.root_opt().is_some())
+                    || mid.nodes.iter().any(|&v| !doc.children(v).is_empty())
+            }
+        }
+        PlanOp::UnionMerge(arms) => arms.iter().any(|arm| exists_ops(doc, idx, arm, &mid, stats)),
+        PlanOp::QualifierProbe(q) => {
+            (mid.doc && stats.counted_check(|s| qual_probe(doc, idx, q, &ExecSet::document(), s)))
+                || mid.nodes.iter().any(|&v| {
+                    stats.counted_check(|s| qual_probe(doc, idx, q, &ExecSet::single(v), s))
+                })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Summaries and explain rendering
+// ---------------------------------------------------------------------
+
+/// Per-operator plan counts (recursive: union arms and qualifier
+/// sub-pipelines included) plus the planned result cardinality — the
+/// metadata query reports carry and benchmarks record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// `child-walk` operators.
+    pub child_walk: u32,
+    /// `child-merge-join` operators.
+    pub child_merge_join: u32,
+    /// `descendant-slice` operators.
+    pub descendant_slice: u32,
+    /// `descendant-expand` operators.
+    pub descendant_expand: u32,
+    /// `label-filter` operators.
+    pub label_filter: u32,
+    /// `union-merge` operators.
+    pub union_merge: u32,
+    /// `qualifier-probe` operators (counting nested qualifiers).
+    pub qualifier_probe: u32,
+    /// Planned cardinality of the final operator.
+    pub est_rows: u64,
+}
+
+impl PlanSummary {
+    /// Total operators counted (seeds excluded).
+    pub fn total_ops(&self) -> u32 {
+        self.child_walk
+            + self.child_merge_join
+            + self.descendant_slice
+            + self.descendant_expand
+            + self.label_filter
+            + self.union_merge
+            + self.qualifier_probe
+    }
+
+    /// Compact `name:count` mix of the non-zero counters (for benchmark
+    /// columns), e.g. `slice:1,walk:2,qual:1`.
+    pub fn mix(&self) -> String {
+        let parts = [
+            ("walk", self.child_walk),
+            ("merge", self.child_merge_join),
+            ("slice", self.descendant_slice),
+            ("expand", self.descendant_expand),
+            ("filter", self.label_filter),
+            ("union", self.union_merge),
+            ("qual", self.qualifier_probe),
+        ];
+        let mix: Vec<String> =
+            parts.iter().filter(|(_, n)| *n > 0).map(|(k, n)| format!("{k}:{n}")).collect();
+        if mix.is_empty() {
+            "none".to_string()
+        } else {
+            mix.join(",")
+        }
+    }
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ops[{}] est_rows≈{}", self.mix(), self.est_rows)
+    }
+}
+
+fn count_ops(ops: &[PlanNode], s: &mut PlanSummary) {
+    for node in ops {
+        match &node.op {
+            PlanOp::RootSeed | PlanOp::DocSeed | PlanOp::EmptySet => {}
+            PlanOp::ChildWalk(_) => s.child_walk += 1,
+            PlanOp::ChildMergeJoin(_) => s.child_merge_join += 1,
+            PlanOp::DescendantSlice(_) => s.descendant_slice += 1,
+            PlanOp::DescendantExpand { .. } => s.descendant_expand += 1,
+            PlanOp::LabelFilter(_) => s.label_filter += 1,
+            PlanOp::UnionMerge(arms) => {
+                s.union_merge += 1;
+                for arm in arms {
+                    count_ops(arm, s);
+                }
+            }
+            PlanOp::QualifierProbe(q) => {
+                s.qualifier_probe += 1;
+                count_qual(q, s);
+            }
+        }
+    }
+}
+
+fn count_qual(q: &QualPlan, s: &mut PlanSummary) {
+    match q {
+        QualPlan::Exists(ops) | QualPlan::Eq(ops, _) => count_ops(ops, s),
+        QualPlan::And(a, b) | QualPlan::Or(a, b) => {
+            count_qual(a, s);
+            count_qual(b, s);
+        }
+        QualPlan::Not(inner) => count_qual(inner, s),
+        _ => {}
+    }
+}
+
+impl CompiledQuery {
+    /// Human-readable plan dump (the `sxv explain` text format).
+    pub fn explain_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "plan (policy={}, {}):", self.policy, self.summary());
+        render_ops(&self.ops, 1, &mut out);
+        out
+    }
+
+    /// Machine-readable plan dump (the `sxv explain --format json`
+    /// payload; an object, not a fragment).
+    pub fn explain_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"translated\": \"");
+        out.push_str(&json_escape(&self.translated.to_string()));
+        let _ = write!(
+            out,
+            "\", \"policy\": \"{}\", \"est_rows\": {}, \"ops\": ",
+            self.policy,
+            self.summary().est_rows
+        );
+        render_ops_json(&self.ops, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+fn op_detail(op: &PlanOp) -> String {
+    match op {
+        PlanOp::ChildWalk(a)
+        | PlanOp::ChildMergeJoin(a)
+        | PlanOp::DescendantSlice(a)
+        | PlanOp::LabelFilter(a) => format!("{}({a})", op.name()),
+        PlanOp::DescendantExpand { or_self } => {
+            format!("{}({})", op.name(), if *or_self { "or-self" } else { "proper" })
+        }
+        other => other.name().to_string(),
+    }
+}
+
+fn render_ops(ops: &[PlanNode], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for node in ops {
+        let _ = writeln!(out, "{pad}{:<32} est_rows≈{}", op_detail(&node.op), node.est_rows);
+        match &node.op {
+            PlanOp::UnionMerge(arms) => {
+                for (i, arm) in arms.iter().enumerate() {
+                    let _ = writeln!(out, "{pad}  arm {}:", i + 1);
+                    render_ops(arm, depth + 2, out);
+                }
+            }
+            PlanOp::QualifierProbe(q) => render_qual(q, depth + 1, out),
+            _ => {}
+        }
+    }
+}
+
+fn render_qual(q: &QualPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match q {
+        QualPlan::True => {
+            let _ = writeln!(out, "{pad}true");
+        }
+        QualPlan::False => {
+            let _ = writeln!(out, "{pad}false");
+        }
+        QualPlan::Exists(ops) => {
+            let _ = writeln!(out, "{pad}exists:");
+            render_ops(ops, depth + 1, out);
+        }
+        QualPlan::Eq(ops, c) => {
+            let _ = writeln!(out, "{pad}eq {c:?}:");
+            render_ops(ops, depth + 1, out);
+        }
+        QualPlan::Attr(a) => {
+            let _ = writeln!(out, "{pad}attr @{a}");
+        }
+        QualPlan::AttrEq(a, v) => {
+            let _ = writeln!(out, "{pad}attr @{a} = {v:?}");
+        }
+        QualPlan::And(a, b) => {
+            let _ = writeln!(out, "{pad}and:");
+            render_qual(a, depth + 1, out);
+            render_qual(b, depth + 1, out);
+        }
+        QualPlan::Or(a, b) => {
+            let _ = writeln!(out, "{pad}or:");
+            render_qual(a, depth + 1, out);
+            render_qual(b, depth + 1, out);
+        }
+        QualPlan::Not(inner) => {
+            let _ = writeln!(out, "{pad}not:");
+            render_qual(inner, depth + 1, out);
+        }
+    }
+}
+
+fn render_ops_json(ops: &[PlanNode], out: &mut String) {
+    out.push('[');
+    for (i, node) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"op\": \"{}\"", node.op.name());
+        match &node.op {
+            PlanOp::ChildWalk(a)
+            | PlanOp::ChildMergeJoin(a)
+            | PlanOp::DescendantSlice(a)
+            | PlanOp::LabelFilter(a) => {
+                let _ = write!(out, ", \"test\": \"{}\"", json_escape(&a.to_string()));
+            }
+            PlanOp::DescendantExpand { or_self } => {
+                let _ = write!(out, ", \"or_self\": {or_self}");
+            }
+            PlanOp::UnionMerge(arms) => {
+                out.push_str(", \"arms\": [");
+                for (j, arm) in arms.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    render_ops_json(arm, out);
+                }
+                out.push(']');
+            }
+            PlanOp::QualifierProbe(q) => {
+                out.push_str(", \"qual\": ");
+                render_qual_json(q, out);
+            }
+            _ => {}
+        }
+        let _ = write!(out, ", \"est_rows\": {}}}", node.est_rows);
+    }
+    out.push(']');
+}
+
+fn render_qual_json(q: &QualPlan, out: &mut String) {
+    match q {
+        QualPlan::True => out.push_str("{\"kind\": \"true\"}"),
+        QualPlan::False => out.push_str("{\"kind\": \"false\"}"),
+        QualPlan::Exists(ops) => {
+            out.push_str("{\"kind\": \"exists\", \"ops\": ");
+            render_ops_json(ops, out);
+            out.push('}');
+        }
+        QualPlan::Eq(ops, c) => {
+            let _ = write!(out, "{{\"kind\": \"eq\", \"value\": \"{}\", \"ops\": ", json_escape(c));
+            render_ops_json(ops, out);
+            out.push('}');
+        }
+        QualPlan::Attr(a) => {
+            let _ = write!(out, "{{\"kind\": \"attr\", \"name\": \"{}\"}}", json_escape(a));
+        }
+        QualPlan::AttrEq(a, v) => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"attr-eq\", \"name\": \"{}\", \"value\": \"{}\"}}",
+                json_escape(a),
+                json_escape(v)
+            );
+        }
+        QualPlan::And(a, b) | QualPlan::Or(a, b) => {
+            let kind = if matches!(q, QualPlan::And(..)) { "and" } else { "or" };
+            let _ = write!(out, "{{\"kind\": \"{kind}\", \"args\": [");
+            render_qual_json(a, out);
+            out.push_str(", ");
+            render_qual_json(b, out);
+            out.push_str("]}");
+        }
+        QualPlan::Not(inner) => {
+            out.push_str("{\"kind\": \"not\", \"arg\": ");
+            render_qual_json(inner, out);
+            out.push('}');
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The shared walk-equivalence query suite: every fragment-`C` shape the
+/// plan executor (under every policy) must answer bit-identically to the
+/// reference walk evaluator.
+pub const EQUIVALENCE_QUERIES: &[&str] = &[
+    "//patient",
+    "//patient/name",
+    "//dept//patientInfo/patient/name",
+    "//patient[wardNo='6']",
+    "//patient[name and wardNo]",
+    "//patient[not(wardNo='6')]",
+    "//name | //wardNo",
+    "//text()",
+    "//*",
+    "//.",
+    "dept//patient",
+    "dept/*",
+    "dept/patientInfo/patient",
+    "dept[//wardNo='7']",
+    "//patientInfo[patient/wardNo='7']//name",
+    "//patient[//name]",
+    "text()",
+    "∅",
+    ".",
+    "(clinicalTrial | .)/patientInfo",
+    "//patientInfo//name",
+    "//text()[.='Bob']",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_at_document, eval_at_root};
+    use crate::parser::parse;
+    use sxv_xml::parse as parse_xml;
+
+    fn hospital() -> Document {
+        parse_xml(
+            r#"<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>Ann</name><wardNo>6</wardNo></patient>
+      </patientInfo>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>Bob</name><wardNo>6</wardNo></patient>
+      <patient><name>Cat</name><wardNo>7</wardNo></patient>
+    </patientInfo>
+  </dept>
+</hospital>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn policy_parses_and_prints() {
+        assert_eq!("walk".parse::<PlanPolicy>().unwrap(), PlanPolicy::ForceWalk);
+        assert_eq!("force-join".parse::<PlanPolicy>().unwrap(), PlanPolicy::ForceJoin);
+        assert_eq!("auto".parse::<PlanPolicy>().unwrap(), PlanPolicy::Auto);
+        let err = "turbo".parse::<PlanPolicy>().unwrap_err();
+        assert!(err.contains("valid values: walk, join, auto"), "{err}");
+        assert_eq!(PlanPolicy::Auto.to_string(), "auto");
+        assert_eq!(PlanPolicy::default(), PlanPolicy::Auto);
+        assert_eq!(PlanPolicy::from(crate::join::Backend::Join), PlanPolicy::ForceJoin);
+    }
+
+    #[test]
+    fn all_policies_match_walk_on_equivalence_suite() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let costs = [
+            ("index", CostModel::from_index(&idx)),
+            ("uninformed", CostModel::uninformed()),
+            ("no-index", CostModel::from_estimates([("patient".to_string(), 3.0)], 6.0, false)),
+        ];
+        for q in EQUIVALENCE_QUERIES {
+            let p = parse(q).unwrap();
+            let reference = eval_at_root(&d, &p);
+            for policy in PlanPolicy::ALL {
+                for (cname, cost) in &costs {
+                    let cq = compile(&p, policy, cost);
+                    let (with_idx, _) = cq.execute(&d, Some(&idx));
+                    let (without, _) = cq.execute(&d, None);
+                    assert_eq!(reference, with_idx, "{q} ({policy}, {cname}, indexed)");
+                    assert_eq!(reference, without, "{q} ({policy}, {cname}, no index)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn document_context_matches_walk() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        for q in ["//hospital", "/hospital/dept", "//patient", "//.", "hospital"] {
+            let p = parse(q).unwrap();
+            let reference = eval_at_document(&d, &p);
+            for policy in PlanPolicy::ALL {
+                let cq = compile(&p, policy, &CostModel::from_index(&idx));
+                assert_eq!(reference, cq.execute_at_document(&d, Some(&idx)).0, "{q} ({policy})");
+                assert_eq!(reference, cq.execute_at_document(&d, None).0, "{q} ({policy}, scan)");
+            }
+        }
+    }
+
+    #[test]
+    fn operators_are_chosen_at_plan_time() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let cost = CostModel::from_index(&idx);
+        let p = parse("//patient/name").unwrap();
+        let walk = compile(&p, PlanPolicy::ForceWalk, &cost).summary();
+        assert_eq!((walk.descendant_slice, walk.child_walk, walk.child_merge_join), (1, 1, 0));
+        let join = compile(&p, PlanPolicy::ForceJoin, &cost).summary();
+        assert_eq!((join.descendant_slice, join.child_walk, join.child_merge_join), (1, 0, 1));
+        let auto = compile(&p, PlanPolicy::Auto, &cost).summary();
+        assert_eq!(auto.descendant_slice, 1);
+        assert_eq!(auto.child_walk + auto.child_merge_join, 1, "auto picked exactly one child op");
+    }
+
+    #[test]
+    fn walk_plans_without_index_expand_and_filter() {
+        let cost = CostModel::from_estimates([("patient".to_string(), 3.0)], 6.0, false);
+        let p = parse("//patient").unwrap();
+        let s = compile(&p, PlanPolicy::ForceWalk, &cost).summary();
+        assert_eq!((s.descendant_expand, s.label_filter, s.descendant_slice), (1, 1, 0));
+        // Index-ready cost models plan interval slices instead.
+        let s2 = compile(&p, PlanPolicy::ForceWalk, &CostModel::uninformed()).summary();
+        assert_eq!((s2.descendant_expand, s2.label_filter, s2.descendant_slice), (0, 0, 1));
+    }
+
+    #[test]
+    fn existence_probe_avoids_materialization() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let p = parse("dept[//wardNo]").unwrap();
+        let cq = compile(&p, PlanPolicy::ForceJoin, &CostModel::from_index(&idx));
+        let (r, stats) = cq.execute(&d, Some(&idx));
+        assert_eq!(r.len(), 1);
+        assert!(stats.interval_probes >= 1);
+        assert!(stats.nodes_touched <= 2, "touched {}", stats.nodes_touched);
+    }
+
+    #[test]
+    fn summary_counts_nested_pipelines() {
+        let p = parse("//patientInfo[patient/wardNo='7']//name | dept/*").unwrap();
+        let cq = compile(&p, PlanPolicy::Auto, &CostModel::uninformed());
+        let s = cq.summary();
+        assert_eq!(s.union_merge, 1);
+        assert_eq!(s.qualifier_probe, 1);
+        assert!(s.total_ops() >= 5, "{s:?}");
+        assert!(s.mix().contains("qual:1"), "{}", s.mix());
+    }
+
+    #[test]
+    fn explain_renders_text_and_json() {
+        let p = parse("//patient[wardNo='6']/name").unwrap();
+        let cq = compile(&p, PlanPolicy::Auto, &CostModel::uninformed());
+        let text = cq.explain_text();
+        assert!(text.contains("descendant-slice(patient)"), "{text}");
+        assert!(text.contains("qualifier-probe"), "{text}");
+        assert!(text.contains("eq \"6\""), "{text}");
+        assert!(text.contains("est_rows≈"), "{text}");
+        let json = cq.explain_json();
+        assert!(json.contains("\"op\": \"descendant-slice\""), "{json}");
+        assert!(json.contains("\"test\": \"patient\""), "{json}");
+        assert!(json.contains("\"kind\": \"eq\""), "{json}");
+        // Minimal structural sanity: balanced braces/brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn empty_document_and_empty_set() {
+        let d = Document::new();
+        let idx = DocIndex::new(&d).unwrap();
+        let p = parse("//a[b]").unwrap();
+        let cq = compile(&p, PlanPolicy::Auto, &CostModel::from_index(&idx));
+        assert!(cq.execute(&d, Some(&idx)).0.is_empty());
+        let empty = compile(&parse("∅").unwrap(), PlanPolicy::Auto, &CostModel::uninformed());
+        assert_eq!(empty.summary().est_rows, 0);
+        assert!(empty.execute(&hospital(), None).0.is_empty());
+    }
+}

@@ -5,7 +5,9 @@
 //! sxv materialize --dtd … --root … --spec … --doc data.xml
 //! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
 //! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize]
-//!                 [--backend walk|join] [--indexed] [--stats] [--repeat N] [--threads N]
+//!                 [--backend walk|join|auto] [--indexed] [--stats] [--repeat N] [--threads N]
+//! sxv explain     --dtd … --root … --spec … --query '…' [--approach …] [--policy walk|join|auto]
+//!                 [--doc data.xml] [--height N] [--format text|json]
 //! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
 //! sxv validate    --dtd … --root … --doc data.xml
 //! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…']
@@ -23,14 +25,14 @@
 //! remain under `--deny-warnings`, and 2 on errors.
 
 use secure_xml_views::core::{
-    derive_view, materialize, optimize, parse_view_text, rewrite, rewrite_with_height, AccessSpec,
-    Approach, Backend, SecureEngine,
+    derive_view, dtd_cost_model, materialize, optimize, parse_view_text, rewrite,
+    rewrite_with_height, AccessSpec, Approach, CostModel, PlanPolicy, SecureEngine,
 };
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
 use secure_xml_views::lint::{lint_query, lint_spec, lint_view, Level, LintConfig, Report};
 use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
-use secure_xml_views::xpath::parse as parse_xpath;
+use secure_xml_views::xpath::{compile, parse as parse_xpath};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -106,7 +108,7 @@ impl Options {
 }
 
 fn usage() -> String {
-    "usage: sxv <derive|materialize|rewrite|query|generate|validate|lint> \
+    "usage: sxv <derive|materialize|rewrite|query|explain|generate|validate|lint> \
      --dtd FILE --root NAME …\n\
      run with a subcommand; see the crate docs for flags"
         .to_string()
@@ -125,8 +127,13 @@ fn subcommand_usage(command: &str) -> &'static str {
         }
         "query" => {
             "sxv query --dtd FILE --root NAME --spec FILE --doc FILE --query PATH \
-             [--approach naive|rewrite|optimize] [--backend walk|join] [--indexed] [--stats] \
+             [--approach naive|rewrite|optimize] [--backend walk|join|auto] [--indexed] [--stats] \
              [--repeat N] [--threads N]"
+        }
+        "explain" => {
+            "sxv explain --dtd FILE --root NAME --spec FILE --query PATH \
+             [--approach naive|rewrite|optimize] [--policy walk|join|auto] [--doc FILE] \
+             [--height N] [--format text|json]"
         }
         "generate" => "sxv generate --dtd FILE --root NAME [--branch N] [--seed N] [--depth N]",
         "validate" => "sxv validate --dtd FILE --root NAME --doc FILE",
@@ -136,7 +143,8 @@ fn subcommand_usage(command: &str) -> &'static str {
              [--warn CODE]… [--deny CODE]…"
         }
         _ => {
-            "sxv <derive|materialize|rewrite|query|generate|validate|lint> --dtd FILE --root NAME …"
+            "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint> \
+             --dtd FILE --root NAME …"
         }
     }
 }
@@ -148,6 +156,7 @@ fn run() -> Result<ExitCode, String> {
         "materialize" => cmd_materialize(&opts).map(|()| ExitCode::SUCCESS),
         "rewrite" => cmd_rewrite(&opts).map(|()| ExitCode::SUCCESS),
         "query" => cmd_query(&opts).map(|()| ExitCode::SUCCESS),
+        "explain" => cmd_explain(&opts).map(|()| ExitCode::SUCCESS),
         "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
         "validate" => cmd_validate(&opts).map(|()| ExitCode::SUCCESS),
         "lint" => cmd_lint(&opts),
@@ -235,8 +244,8 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         "optimize" => Approach::Optimize,
         other => return Err(format!("unknown approach {other:?}")),
     };
-    let backend: Backend = match opts.get("backend") {
-        None => Backend::Walk,
+    let policy: PlanPolicy = match opts.get("backend") {
+        None => PlanPolicy::ForceWalk,
         Some(v) => v.parse().map_err(|e| format!("--backend: {e}"))?,
     };
     let repeat: usize = match opts.get("repeat") {
@@ -253,9 +262,9 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    // The join backend evaluates over the index's occurrence lists, so
-    // --backend join builds the index even without --indexed.
-    let index = if opts.has("indexed") || backend == Backend::Join {
+    // Join and auto plans evaluate over the index's occurrence lists, so
+    // any --backend other than walk builds the index even without --indexed.
+    let index = if opts.has("indexed") || policy != PlanPolicy::ForceWalk {
         Some(DocIndex::new(&doc).ok_or("document ids are not in document order; cannot index")?)
     } else {
         None
@@ -267,7 +276,7 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         // immutable document + index.
         let queries: Vec<_> = (0..repeat).map(|_| query.clone()).collect();
         let mut results =
-            engine.answer_batch(&doc, index.as_ref(), &queries, approach, backend, threads);
+            engine.answer_batch(&doc, index.as_ref(), &queries, approach, policy, threads);
         let (ans, report) = results.pop().expect("repeat >= 1").map_err(|e| e.to_string())?;
         for r in results {
             let (other, _) = r.map_err(|e| e.to_string())?;
@@ -281,7 +290,7 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         let mut last_report = None;
         for _ in 0..repeat {
             let (ans, report) = engine
-                .answer_report_backend(&doc, index.as_ref(), &query, approach, backend)
+                .answer_report_policy(&doc, index.as_ref(), &query, approach, policy)
                 .map_err(|e| e.to_string())?;
             answer = ans;
             last_report = Some(report);
@@ -293,7 +302,14 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         let cache = engine.cache_stats();
         eprintln!("translated query: {}", report.translated);
         eprintln!(
-            "evaluation ({backend} backend): nodes_touched={} qualifier_checks={} \
+            "plan ({} policy): ops={} mix={} est_rows≈{}",
+            report.policy,
+            report.plan.total_ops(),
+            report.plan.mix(),
+            report.plan.est_rows,
+        );
+        eprintln!(
+            "evaluation ({policy} backend): nodes_touched={} qualifier_checks={} \
              index_lookups={} merge_steps={} interval_probes={}{}",
             report.eval.nodes_touched,
             report.eval.qualifier_checks,
@@ -303,10 +319,13 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
             if index.is_some() { " (indexed)" } else { "" },
         );
         eprintln!(
-            "translation cache: hits={} misses={} entries={} (last query: {})",
+            "translation cache: hits={} misses={} entries={} hit_rate={:.1}% \
+             plans_compiled={} (last query: {})",
             cache.hits,
             cache.misses,
             cache.entries,
+            100.0 * cache.hit_rate(),
+            cache.plans_compiled,
             if report.cache_hit { "hit" } else { "miss" },
         );
     }
@@ -316,6 +335,58 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
             Some(label) => println!("<{label}> {}", doc.string_value(node)),
             None => println!("#text {}", doc.string_value(node)),
         }
+    }
+    Ok(())
+}
+
+fn cmd_explain(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let spec = load_spec(opts, &dtd)?;
+    let query = parse_xpath(opts.require("query")?).map_err(|e| e.to_string())?;
+    let approach = match opts.get("approach").unwrap_or("optimize") {
+        "naive" => Approach::Naive,
+        "rewrite" => Approach::Rewrite,
+        "optimize" => Approach::Optimize,
+        other => return Err(format!("unknown approach {other:?}")),
+    };
+    let policy: PlanPolicy = match opts.get("policy") {
+        None => PlanPolicy::Auto,
+        Some(v) => v.parse().map_err(|e| format!("--policy: {e}"))?,
+    };
+    let json = match opts.get("format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("unknown format {other:?} (valid values: text, json)")),
+    };
+    // With --doc the planner sees the document's real occurrence lists;
+    // without one it falls back to DTD-derived expected cardinalities and
+    // plans for index-less execution.
+    let doc = match opts.get("doc") {
+        Some(_) => Some(load_doc(opts)?),
+        None => None,
+    };
+    let height: usize = match (opts.get("height"), &doc) {
+        (Some(v), _) => v.parse().map_err(|e| format!("--height: {e}"))?,
+        (None, Some(d)) => d.height(),
+        (None, None) => 0,
+    };
+    let cost = match &doc {
+        Some(d) => {
+            let idx =
+                DocIndex::new(d).ok_or("document ids are not in document order; cannot index")?;
+            CostModel::from_index(&idx)
+        }
+        None => dtd_cost_model(&dtd, false),
+    };
+    let view = derive_view(&spec).map_err(|e| e.to_string())?;
+    let engine = SecureEngine::new(&spec, &view);
+    let translated = engine.translate(&query, approach, height).map_err(|e| e.to_string())?;
+    let plan = compile(&translated, policy, &cost);
+    if json {
+        println!("{}", plan.explain_json());
+    } else {
+        println!("translated query: {}", plan.translated);
+        print!("{}", plan.explain_text());
     }
     Ok(())
 }

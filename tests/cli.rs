@@ -153,7 +153,11 @@ fn query_stats_reports_cache_and_eval_counters() {
     assert!(ok, "{stderr}");
     assert!(stderr.contains("translated query:"), "{stderr}");
     assert!(stderr.contains("nodes_touched="), "{stderr}");
+    assert!(stderr.contains("plan (walk policy): ops="), "{stderr}");
+    assert!(stderr.contains("est_rows≈"), "{stderr}");
     assert!(stderr.contains("hits=2 misses=1"), "three repeats = 1 miss + 2 hits: {stderr}");
+    assert!(stderr.contains("hit_rate=66.7%"), "{stderr}");
+    assert!(stderr.contains("plans_compiled=1"), "repeats must reuse the cached plan: {stderr}");
     assert!(stderr.contains("last query: hit"), "{stderr}");
     assert!(stderr.contains("1 result(s)"), "{stderr}");
 
@@ -215,6 +219,18 @@ fn query_backend_join_and_threaded_batch_agree_with_walk() {
     assert!(join_err.contains("interval_probes="), "{join_err}");
     assert!(join_err.contains("(indexed)"), "join must build the index: {join_err}");
 
+    // --backend auto lets the planner pick operators from the index's
+    // cardinalities; the answer must still match the walk exactly.
+    let mut auto_args = vec!["query"];
+    auto_args.extend(DTD_ARGS);
+    auto_args.extend(base);
+    auto_args.extend(["--backend", "auto"]);
+    let (auto_out, auto_err, ok) = run(&auto_args);
+    assert!(ok, "{auto_err}");
+    assert_eq!(walk_out, auto_out, "auto policy answer differs from walk");
+    assert!(auto_err.contains("evaluation (auto backend)"), "{auto_err}");
+    assert!(auto_err.contains("(indexed)"), "auto must build the index: {auto_err}");
+
     // Threaded batch over repeat copies: same answer, all workers agree.
     let mut batch_args = vec!["query"];
     batch_args.extend(DTD_ARGS);
@@ -235,6 +251,7 @@ fn query_backend_join_and_threaded_batch_agree_with_walk() {
     let (_, bad_err, ok) = run(&bad);
     assert!(!ok);
     assert!(bad_err.contains("--backend"), "{bad_err}");
+    assert!(bad_err.contains("valid values: walk, join, auto"), "{bad_err}");
     let mut zero = vec!["query"];
     zero.extend(DTD_ARGS);
     zero.extend(base);
@@ -242,6 +259,91 @@ fn query_backend_join_and_threaded_batch_agree_with_walk() {
     let (_, zero_err, ok) = run(&zero);
     assert!(!ok);
     assert!(zero_err.contains("--threads"), "{zero_err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_renders_plans_text_and_json() {
+    let mut args = vec!["explain"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//patient/name",
+    ]);
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("translated query:"), "{stdout}");
+    assert!(stdout.contains("plan (policy=auto"), "{stdout}");
+    assert!(stdout.contains("est_rows≈"), "{stdout}");
+
+    let mut json_args = args.clone();
+    json_args.extend(["--format", "json"]);
+    let (json, j_err, ok) = run(&json_args);
+    assert!(ok, "{j_err}");
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"policy\": \"auto\""), "{json}");
+    assert!(json.contains("\"ops\":"), "{json}");
+    assert!(json.contains("\"est_rows\":"), "{json}");
+
+    // The policy picks the operators: the naive translation is
+    // `//`-heavy, so a walk plan without a document expands subtrees
+    // while a join plan slices the (future) index's occurrence lists.
+    let mut naive = args.clone();
+    naive.extend(["--approach", "naive"]);
+    let mut walk = naive.clone();
+    walk.extend(["--policy", "walk"]);
+    let (walk_plan, _, ok) = run(&walk);
+    assert!(ok);
+    assert!(walk_plan.contains("descendant-expand"), "{walk_plan}");
+    let mut join = naive.clone();
+    join.extend(["--policy", "join"]);
+    let (join_plan, _, ok) = run(&join);
+    assert!(ok);
+    assert!(join_plan.contains("descendant-slice"), "{join_plan}");
+
+    // Bad values are rejected with the flag named and the choices listed.
+    let mut bad = args.clone();
+    bad.extend(["--policy", "turbo"]);
+    let (_, bad_err, ok) = run(&bad);
+    assert!(!ok);
+    assert!(bad_err.contains("--policy"), "{bad_err}");
+    assert!(bad_err.contains("valid values: walk, join, auto"), "{bad_err}");
+}
+
+#[test]
+fn explain_with_document_uses_real_cardinalities() {
+    let dir = std::env::temp_dir().join(format!("sxv-cli-explain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("h.xml");
+    std::fs::write(
+        &doc_path,
+        "<hospital><dept><patientInfo><patient><name>A</name><wardNo>6</wardNo>\
+         <treatment><trial><bill>9</bill></trial></treatment></patient></patientInfo>\
+         <staffInfo/></dept></hospital>",
+    )
+    .unwrap();
+    let mut args = vec!["explain"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//patient/name",
+        "--doc",
+        doc_path.to_str().unwrap(),
+    ]);
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("plan (policy=auto"), "{stdout}");
+    // One patient in the document: estimates come from the index, not
+    // the DTD's expected fan-out, so the plan's estimate stays small.
+    assert!(stdout.contains("est_rows≈1") || stdout.contains("est_rows≈0"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,91 @@
+//! Golden-file snapshots of `sxv explain` over the paper's Table 1
+//! queries (§6) under the Adex policy of `assets/adex_section6.spec`.
+//!
+//! Without a `--doc`, explain plans against DTD-derived expected
+//! cardinalities, which are deterministic for a fixed DTD — so the full
+//! text dump (operators, per-operator `est_rows`) is stable and any
+//! planner change shows up as a readable diff. Regenerate after an
+//! intentional change with:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test explain_snapshots
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Table 1's queries (kept in sync with `sxv_bench::TABLE1_QUERIES`).
+const TABLE1: [(&str, &str); 4] = [
+    ("q1", "//buyer-info/contact-info"),
+    ("q2", "//house/r-e.warranty | //apartment/r-e.warranty"),
+    ("q3", "//buyer-info[//company-id and //contact-info]"),
+    ("q4", "//real-estate[//r-e.asking-price and //r-e.unit-type]"),
+];
+
+fn explain(query: &str, extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_sxv"))
+        .args([
+            "explain",
+            "--dtd",
+            "assets/adex.dtd",
+            "--root",
+            "adex",
+            "--spec",
+            "assets/adex_section6.spec",
+            "--query",
+            query,
+        ])
+        .args(extra)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "explain {query:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 plan dump")
+}
+
+fn check_snapshot(name: &str, got: &str) {
+    let path = PathBuf::from("tests/snapshots").join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun UPDATE_SNAPSHOTS=1 cargo test --test explain_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name}: plan drifted; if intentional, regenerate with \
+         UPDATE_SNAPSHOTS=1 cargo test --test explain_snapshots"
+    );
+}
+
+#[test]
+fn table1_text_plans_match_snapshots() {
+    for (name, query) in TABLE1 {
+        check_snapshot(&format!("explain_{name}.txt"), &explain(query, &[]));
+    }
+}
+
+#[test]
+fn table1_rewrite_plans_match_snapshots() {
+    // The un-optimized rewrite keeps Q4's dead qualifier, so these pin
+    // the qualifier-probe rendering too.
+    for (name, query) in TABLE1 {
+        check_snapshot(
+            &format!("explain_{name}_rewrite.txt"),
+            &explain(query, &["--approach", "rewrite"]),
+        );
+    }
+}
+
+#[test]
+fn q1_json_plan_matches_snapshot() {
+    check_snapshot("explain_q1.json", &explain(TABLE1[0].1, &["--format", "json"]));
+}

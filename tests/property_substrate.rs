@@ -318,6 +318,31 @@ proptest! {
     }
 
     #[test]
+    fn compiled_plan_matches_walk(spec in tree_strategy(), p in xpath_strategy()) {
+        use secure_xml_views::xml::DocIndex;
+        use secure_xml_views::xpath::{compile, eval_at_root, CostModel, PlanPolicy};
+        let mut doc = Document::new();
+        build(&mut doc, None, &root_element(spec));
+        let idx = DocIndex::new(&doc).expect("builder order is document order");
+        let expected = eval_at_root(&doc, &p);
+        // Every policy × cost-model × runtime-index combination must agree
+        // with the reference walk — including the engine's mismatch case
+        // (plans costed for an index but executed without one).
+        for policy in [PlanPolicy::ForceWalk, PlanPolicy::ForceJoin, PlanPolicy::Auto] {
+            for cost in [CostModel::from_index(&idx), CostModel::uninformed()] {
+                let plan = compile(&p, policy, &cost);
+                for index in [Some(&idx), None] {
+                    let (got, _) = plan.execute(&doc, index);
+                    prop_assert_eq!(
+                        &expected, &got,
+                        "query {} under {} (index: {})", p, policy, index.is_some()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn generated_documents_conform(seed in 0u64..10_000, branch in 1usize..6) {
         let dtd = parse_general_dtd(
             "<!ELEMENT r (a*, (b | c), d?)>\
