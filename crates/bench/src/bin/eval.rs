@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 use sxv_bench::{json_escape, time_us, AdexWorkload, Timing, DATASETS};
 use sxv_core::{Approach, PlanPolicy, SecureEngine};
 use sxv_xml::{DocIndex, Document};
-use sxv_xpath::{compile, CostModel, EvalStats, Path, PlanSummary};
+use sxv_xpath::{compile, compile_annotate, CostModel, EvalStats, Path, PlanSummary};
 
 const POLICIES: [PlanPolicy; 3] = [PlanPolicy::ForceWalk, PlanPolicy::ForceJoin, PlanPolicy::Auto];
 
@@ -53,12 +53,19 @@ fn main() {
         let (doc, annotated) = workload.dataset(branch, 0xADE0 + branch as u64);
         let index = DocIndex::new(&doc).expect("generated docs are in document order");
         let naive_index = DocIndex::new(&annotated).expect("annotation preserves document order");
+        // The annotate approach's one-time preparation: build the
+        // accessibility artifact once per dataset, outside the timers.
+        let access = workload.access_view(&doc, Some(&index));
         println!(
-            "{name}: max_branch={branch}, {} nodes ({} elements)",
+            "{name}: max_branch={branch}, {} nodes ({} elements); \
+             access bitmap: {} us build, {} bytes ({:.2} bytes/node)",
             doc.len(),
-            doc.element_count()
+            doc.element_count(),
+            access.build_micros(),
+            access.bytes(),
+            access.bytes() as f64 / doc.len().max(1) as f64
         );
-        docs.push((name, doc, annotated, index, naive_index));
+        docs.push((name, doc, annotated, index, naive_index, access));
     }
     println!();
 
@@ -67,10 +74,11 @@ fn main() {
     // against the annotated copy (the descendant-heavy case where join
     // plans should win); rewrite/optimize run root-anchored child paths
     // over the original document.
-    let approaches: [(&str, Approach); 3] = [
+    let approaches: [(&str, Approach); 4] = [
         ("naive", Approach::Naive),
         ("rewrite", Approach::Rewrite),
         ("optimize", Approach::Optimize),
+        ("annotate", Approach::Annotate),
     ];
 
     let mut rows: Vec<Row> = Vec::new();
@@ -89,27 +97,35 @@ fn main() {
         "probes"
     );
     for q in &workload.queries {
-        for (name, doc, annotated, index, naive_index) in &docs {
+        for (name, doc, annotated, index, naive_index, access) in &docs {
             for &(aname, approach) in &approaches {
                 let (eval_doc, eval_index): (&Document, &DocIndex) = match approach {
                     Approach::Naive => (annotated, naive_index),
                     _ => (doc, index),
                 };
                 // Every policy's answer must agree exactly with the
-                // reference recursive walk before anything is timed.
-                let reference = workload.run(q, approach, eval_doc);
+                // reference recursive walk before anything is timed; the
+                // annotate approach is measured against its prepared
+                // artifact and gated on exact agreement with rewrite.
+                let reference = match approach {
+                    Approach::Annotate => workload.run(q, Approach::Rewrite, doc),
+                    _ => workload.run(q, approach, eval_doc),
+                };
+                let serve = |policy: PlanPolicy| match approach {
+                    Approach::Annotate => {
+                        workload.run_annotate(q, doc, Some(index), policy, access)
+                    }
+                    _ => workload.run_policy(q, approach, eval_doc, Some(eval_index), policy),
+                };
                 let mut measured = Vec::with_capacity(POLICIES.len());
                 for policy in POLICIES {
-                    let (ans, stats, plan) =
-                        workload.run_policy(q, approach, eval_doc, Some(eval_index), policy);
+                    let (ans, stats, plan) = serve(policy);
                     assert_eq!(
                         reference, ans,
-                        "{} {aname} on {name}: {policy} plan disagrees with the walk",
+                        "{} {aname} on {name}: {policy} plan disagrees with the reference",
                         q.name
                     );
-                    let timing = time_us(|| {
-                        workload.run_policy(q, approach, eval_doc, Some(eval_index), policy)
-                    });
+                    let timing = time_us(|| serve(policy));
                     measured.push((policy, timing, stats, plan));
                 }
                 let (_, walk_t, walk_stats, _) = measured[0];
@@ -151,7 +167,7 @@ fn main() {
     // serving must hit the cache — `plans_compiled` stays flat while the
     // timer runs, so the medians measure pure plan execution.
     let engine = SecureEngine::new(&workload.spec, &workload.view);
-    let (_, batch_doc, _, batch_index, _) = &docs[docs.len() - 1];
+    let (_, batch_doc, _, batch_index, _, _) = &docs[docs.len() - 1];
     for q in &workload.queries {
         engine
             .answer_report(batch_doc, Some(batch_index), &q.view_query, Approach::Rewrite)
@@ -218,7 +234,21 @@ fn main() {
     }
     println!();
 
-    let json = render_json(&rows, &warm, &cache_tuple(&engine), &batch, queries.len(), smoke);
+    let access_rows: Vec<(&str, usize, u64, usize)> = docs
+        .iter()
+        .map(|(name, doc, _, _, _, access)| {
+            (*name, doc.len(), access.build_micros(), access.bytes())
+        })
+        .collect();
+    let json = render_json(
+        &rows,
+        &access_rows,
+        &warm,
+        &cache_tuple(&engine),
+        &batch,
+        queries.len(),
+        smoke,
+    );
     std::fs::write(&json_path, json).expect("write JSON artifact");
     println!("wrote {json_path}");
 
@@ -234,6 +264,7 @@ fn cache_tuple(engine: &SecureEngine) -> (u64, u64, u64) {
 
 fn render_json(
     rows: &[Row],
+    access: &[(&str, usize, u64, usize)],
     warm: &[(&str, Timing)],
     cache: &(u64, u64, u64),
     batch: &[(usize, Timing, f64)],
@@ -271,6 +302,18 @@ fn render_json(
             r.plan.total_ops(),
             json_escape(&r.plan.mix()),
             r.plan.est_rows
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"access_bitmaps\": [");
+    for (i, (name, nodes, build_us, bytes)) in access.iter().enumerate() {
+        let comma = if i + 1 < access.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"nodes\": {nodes}, \"build_us\": {build_us}, \
+             \"bytes\": {bytes}, \"bytes_per_node\": {:.3}}}{comma}",
+            json_escape(name),
+            *bytes as f64 / (*nodes).max(1) as f64
         );
     }
     let _ = writeln!(out, "  ],");
@@ -313,10 +356,11 @@ fn render_json(
 /// first dataset's real occurrence lists) as a JSON artifact, one
 /// `explain --format json` object per query × approach.
 fn render_plans(workload: &AdexWorkload, index: &DocIndex) -> String {
-    let approaches: [(&str, Approach); 3] = [
+    let approaches: [(&str, Approach); 4] = [
         ("naive", Approach::Naive),
         ("rewrite", Approach::Rewrite),
         ("optimize", Approach::Optimize),
+        ("annotate", Approach::Annotate),
     ];
     let cost = CostModel::from_index(index);
     let mut out = String::new();
@@ -327,7 +371,10 @@ fn render_plans(workload: &AdexWorkload, index: &DocIndex) -> String {
     let mut emitted = 0usize;
     for q in &workload.queries {
         for &(aname, approach) in &approaches {
-            let plan = compile(q.translated(approach), PlanPolicy::Auto, &cost);
+            let plan = match approach {
+                Approach::Annotate => compile_annotate(&q.view_query, PlanPolicy::Auto, &cost),
+                _ => compile(q.translated(approach), PlanPolicy::Auto, &cost),
+            };
             emitted += 1;
             let comma = if emitted < total { "," } else { "" };
             let _ = writeln!(

@@ -15,57 +15,77 @@
 //! ancestor qualifiers to hold.
 
 use crate::spec::{AccessSpec, Annotation};
-use sxv_xml::{Document, NodeId};
-use sxv_xpath::eval_qualifier;
+use sxv_xml::{DocIndex, Document, NodeBitmap, NodeId};
+use sxv_xpath::eval_qualifier_indexed;
 
 /// Per-node accessibility, indexed by [`NodeId::index`].
 #[derive(Debug, Clone)]
 pub struct Accessibility {
-    flags: Vec<bool>,
+    flags: NodeBitmap,
 }
 
 impl Accessibility {
     /// Is `id` accessible?
     pub fn is_accessible(&self, id: NodeId) -> bool {
-        self.flags[id.index()]
+        self.flags.contains(id)
     }
 
     /// Ids of all accessible nodes, in document order.
     pub fn accessible_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.flags.iter().enumerate().filter(|&(_, &a)| a).map(|(i, _)| NodeId::from_index(i))
+        self.flags.iter()
     }
 
     /// Number of accessible nodes.
     pub fn count(&self) -> usize {
-        self.flags.iter().filter(|&&a| a).count()
+        self.flags.count_ones()
+    }
+
+    /// The underlying accessibility bitmap.
+    pub fn bitmap(&self) -> &NodeBitmap {
+        &self.flags
     }
 }
 
 /// Compute the accessibility of every node of `doc` w.r.t. `spec`
 /// (Prop. 3.1: uniquely defined for every node).
 pub fn compute(spec: &AccessSpec, doc: &Document) -> Accessibility {
-    let mut flags = vec![false; doc.len()];
+    Accessibility { flags: compute_accessibility(spec, doc, None) }
+}
+
+/// Compute the §3.2 accessibility of every node as a dense [`NodeBitmap`]
+/// in one pre-order pass: each edge annotation is evaluated once per
+/// node, inheritance and overriding propagate down the traversal stack,
+/// and qualifier probes use the structural index when one is given.
+pub fn compute_accessibility(
+    spec: &AccessSpec,
+    doc: &Document,
+    index: Option<&DocIndex>,
+) -> NodeBitmap {
+    let mut flags = NodeBitmap::new(doc.len());
     let Some(root) = doc.root_opt() else {
-        return Accessibility { flags };
+        return flags;
     };
     // Stack entries: (node, parent_accessible, ancestor_qualifiers_ok).
     let mut stack: Vec<(NodeId, bool, bool)> = vec![(root, true, true)];
     // The root itself: annotated Y by default, no ancestors.
     while let Some((v, parent_accessible, anc_ok)) = stack.pop() {
-        let (accessible, own_qual_ok) = classify(spec, doc, v, parent_accessible, anc_ok);
-        flags[v.index()] = accessible;
+        let (accessible, own_qual_ok) = classify(spec, doc, index, v, parent_accessible, anc_ok);
+        if accessible {
+            flags.set(v);
+        }
         let child_anc_ok = anc_ok && own_qual_ok;
         for &c in doc.children(v) {
             stack.push((c, accessible, child_anc_ok));
         }
     }
-    Accessibility { flags }
+    flags
 }
 
 /// Returns `(accessible, own qualifier holds or absent)`.
 fn classify(
     spec: &AccessSpec,
     doc: &Document,
+    index: Option<&DocIndex>,
     v: NodeId,
     parent_accessible: bool,
     anc_ok: bool,
@@ -85,7 +105,7 @@ fn classify(
         Some(Annotation::Allow) => (anc_ok, true),
         Some(Annotation::Deny) => (false, true),
         Some(Annotation::Cond(q)) => {
-            let holds = eval_qualifier(doc, q, v);
+            let holds = eval_qualifier_indexed(doc, index, q, v);
             (anc_ok && holds, holds)
         }
     }
@@ -279,6 +299,18 @@ mod tests {
         let spec = AccessSpec::builder(&hospital_dtd()).build().unwrap();
         let acc = compute(&spec, &d);
         assert_eq!(acc.count(), d.len());
+    }
+
+    #[test]
+    fn indexed_bitmap_matches_unindexed() {
+        let d = doc();
+        let idx = sxv_xml::DocIndex::new(&d).unwrap();
+        for spec in [nurse_spec("6"), nurse_spec("7")] {
+            let plain = compute_accessibility(&spec, &d, None);
+            let indexed = compute_accessibility(&spec, &d, Some(&idx));
+            assert_eq!(plain.to_ids(), indexed.to_ids());
+            assert_eq!(plain.count_ones(), compute(&spec, &d).count());
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! is evaluated over the original document. The security view itself is
 //! never materialized on this path.
 
+use crate::annotate::build_access_view;
 use crate::error::{Error, Result};
 use crate::naive::NaiveBaseline;
 use crate::optimize::{optimize, optimize_with_height};
@@ -19,10 +20,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sxv_xml::{DocIndex, Document, NodeId};
 use sxv_xpath::{
-    compile, simplify, Backend, CompiledQuery, CostModel, EvalStats, Path, PlanPolicy, PlanSummary,
+    compile, compile_annotate, simplify, AccessView, Backend, CompiledQuery, CostModel, EvalStats,
+    Path, PlanPolicy, PlanSummary,
 };
 
-/// Query evaluation strategy (the three columns of Table 1).
+/// Query evaluation strategy (the three columns of Table 1, plus the
+/// accessibility-bitmap approach).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Approach {
     /// Element-level annotations, child→descendant widening (§6 baseline).
@@ -31,6 +34,10 @@ pub enum Approach {
     Rewrite,
     /// Rewriting plus DTD-constraint optimization (Fig. 10).
     Optimize,
+    /// Accessibility bitmaps: evaluate the view query directly over the
+    /// document, filtering every step through a cached word-parallel
+    /// [`AccessView`] artifact instead of rewriting the query.
+    Annotate,
 }
 
 /// Default number of translated queries kept by the engine's cache.
@@ -158,6 +165,41 @@ impl PlanCache {
     }
 }
 
+/// Most accessibility artifacts kept resident at once; an engine rarely
+/// serves more than a handful of distinct documents.
+const ACCESS_CACHE_CAPACITY: usize = 8;
+
+/// Cached [`AccessView`] artifacts, one per served document, plus the
+/// counters `sxv query --stats` reports. Documents are identified by
+/// address and size, which is sound as long as a served document is not
+/// dropped and replaced by a different one at the same allocation while
+/// the same engine keeps serving — the engine borrows spec and view, so
+/// engines are short-lived relative to their documents in practice.
+#[derive(Debug, Default)]
+struct AccessCache {
+    map: RwLock<HashMap<(usize, usize), Arc<AccessView>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+    build_micros: AtomicU64,
+}
+
+/// Cumulative accessibility-bitmap cache counters, readable at any time
+/// via [`SecureEngine::access_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCacheStats {
+    /// Artifacts built (a second query over the same document must show
+    /// this flat — that is the observable proof of build-once).
+    pub builds: u64,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Total resident footprint of the cached artifacts, in bytes.
+    pub bytes: usize,
+    /// Cumulative build time across all builds, in microseconds.
+    pub build_micros: u64,
+}
+
 /// Cumulative plan-cache counters, readable at any time via
 /// [`SecureEngine::cache_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -223,6 +265,9 @@ pub struct SecureEngine<'a> {
     /// per-label counts and fan-out); serving is assumed indexed, and
     /// plans degrade gracefully when a call arrives without an index.
     cost: CostModel,
+    /// Accessibility artifacts for [`Approach::Annotate`], built once per
+    /// served document and shared across queries and batch workers.
+    access: AccessCache,
 }
 
 impl<'a> SecureEngine<'a> {
@@ -245,6 +290,7 @@ impl<'a> SecureEngine<'a> {
             cache: PlanCache::new(capacity),
             height_sensitive,
             cost: dtd_cost_model(spec.dtd(), true),
+            access: AccessCache::default(),
         }
     }
 
@@ -256,6 +302,43 @@ impl<'a> SecureEngine<'a> {
     /// Cumulative cache counters since the engine was built.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cumulative accessibility-bitmap cache counters since the engine
+    /// was built (all zero unless [`Approach::Annotate`] was used).
+    pub fn access_stats(&self) -> AccessCacheStats {
+        let map = read_recover(&self.access.map);
+        AccessCacheStats {
+            builds: self.access.builds.load(Ordering::Relaxed),
+            hits: self.access.hits.load(Ordering::Relaxed),
+            entries: map.len(),
+            bytes: map.values().map(|a| a.bytes()).sum(),
+            build_micros: self.access.build_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cached [`AccessView`] of `doc`, building (and caching) it on
+    /// first use. The build runs the §3.2 accessibility pass — indexed
+    /// when `index` is given — and one σ expansion; every later query
+    /// over the same document shares the artifact.
+    pub fn access_view(&self, doc: &Document, index: Option<&DocIndex>) -> Arc<AccessView> {
+        let key = (doc as *const Document as usize, doc.len());
+        if let Some(av) = read_recover(&self.access.map).get(&key) {
+            self.access.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(av);
+        }
+        let built = Arc::new(build_access_view(self.spec, self.view, doc, index));
+        self.access.builds.fetch_add(1, Ordering::Relaxed);
+        self.access.build_micros.fetch_add(built.build_micros(), Ordering::Relaxed);
+        let mut map = write_recover(&self.access.map);
+        if map.len() >= ACCESS_CACHE_CAPACITY && !map.contains_key(&key) {
+            if let Some(evict) = map.keys().next().copied() {
+                map.remove(&evict);
+            }
+        }
+        // A racing builder may have inserted first; keep its artifact so
+        // all concurrent callers share one copy.
+        Arc::clone(map.entry(key).or_insert(built))
     }
 
     /// Translate a view query to a document query.
@@ -301,7 +384,13 @@ impl<'a> SecureEngine<'a> {
         }
         let planned = self.translate_uncached(&key.query, approach, doc_height).map(|translated| {
             self.cache.plans_compiled.fetch_add(1, Ordering::Relaxed);
-            Arc::new(compile(&translated, policy, &self.cost))
+            if approach == Approach::Annotate {
+                // The view query is not rewritten: compile it to a plan
+                // whose steps filter through the accessibility artifact.
+                Arc::new(compile_annotate(&translated, policy, &self.cost))
+            } else {
+                Arc::new(compile(&translated, policy, &self.cost))
+            }
         });
         self.cache.insert(key, planned.clone());
         (planned, false)
@@ -309,6 +398,9 @@ impl<'a> SecureEngine<'a> {
 
     fn translate_uncached(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
         match approach {
+            // Annotate serves the view query as-is; security comes from
+            // the per-document accessibility artifact at execution time.
+            Approach::Annotate => Ok(p.clone()),
             Approach::Naive => Ok(NaiveBaseline::rewrite(p)),
             Approach::Rewrite | Approach::Optimize => {
                 let recursive = self.view.is_recursive();
@@ -412,6 +504,10 @@ impl<'a> SecureEngine<'a> {
             Approach::Naive => {
                 let annotated = NaiveBaseline::annotate(self.spec, doc);
                 plan.execute(&annotated, None)
+            }
+            Approach::Annotate => {
+                let access = self.access_view(doc, index);
+                plan.execute_with_access(doc, index, Some(&access))
             }
             _ => plan.execute(doc, index),
         };
@@ -557,6 +653,91 @@ mod tests {
             // NodeIds are directly comparable.
             assert_eq!(rewrite_ans, naive_ans, "{q}");
         }
+    }
+
+    #[test]
+    fn annotate_agrees_with_rewrite() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).unwrap();
+        for q in ["//patient/name", "//bill", "dept/patientInfo/patient", "//name", "dept/*", "//*"]
+        {
+            let p = parse(q).unwrap();
+            let rewrite_ans = engine.answer_with(&doc, &p, Approach::Rewrite).unwrap();
+            for index in [None, Some(&index)] {
+                for policy in PlanPolicy::ALL {
+                    let (ans, report) = engine
+                        .answer_report_policy(&doc, index, &p, Approach::Annotate, policy)
+                        .unwrap();
+                    assert_eq!(ans, rewrite_ans, "{q} ({policy:?}, indexed={})", index.is_some());
+                    assert_eq!(report.translated, simplify(&p), "annotate must not rewrite");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annotate_blocks_sensitive_labels() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        for q in ["//clinicalTrial", "//trial", "//test", "//regular"] {
+            let ans = engine.answer_with(&doc, &parse(q).unwrap(), Approach::Annotate).unwrap();
+            assert!(ans.is_empty(), "{q} leaked {} nodes", ans.len());
+        }
+        let bills =
+            engine.answer_with(&doc, &parse("//bill").unwrap(), Approach::Annotate).unwrap();
+        assert_eq!(bills.len(), 2);
+    }
+
+    #[test]
+    fn access_view_built_once_per_document() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        assert_eq!(engine.access_stats(), AccessCacheStats::default());
+        let p = parse("//patient/name").unwrap();
+        engine.answer_with(&doc, &p, Approach::Annotate).unwrap();
+        let first = engine.access_stats();
+        assert_eq!((first.builds, first.hits, first.entries), (1, 0, 1));
+        assert!(first.bytes > 0);
+        engine.answer_with(&doc, &parse("//bill").unwrap(), Approach::Annotate).unwrap();
+        let second = engine.access_stats();
+        assert_eq!(second.builds, 1, "second query must not rebuild the artifact");
+        assert_eq!(second.hits, 1);
+        assert_eq!(second.build_micros, first.build_micros);
+        // A different document gets its own artifact.
+        let other = parse_xml("<hospital><dept/></hospital>").unwrap();
+        engine.answer_with(&other, &p, Approach::Annotate).unwrap();
+        assert_eq!(engine.access_stats().builds, 2);
+    }
+
+    #[test]
+    fn annotate_batch_matches_sequential() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc).unwrap();
+        let queries: Vec<Path> = ["//patient/name", "//bill", "//name", "dept/*"]
+            .iter()
+            .cycle()
+            .take(24)
+            .map(|q| parse(q).unwrap())
+            .collect();
+        let sequential: Vec<Vec<NodeId>> = queries
+            .iter()
+            .map(|p| engine.answer_with(&doc, p, Approach::Annotate).unwrap())
+            .collect();
+        let batch = engine.answer_batch(
+            &doc,
+            Some(&index),
+            &queries,
+            Approach::Annotate,
+            PlanPolicy::Auto,
+            4,
+        );
+        for (i, result) in batch.iter().enumerate() {
+            assert_eq!(result.as_ref().unwrap().0, sequential[i], "query {i}");
+        }
+        let stats = engine.access_stats();
+        assert_eq!(stats.entries, 1, "workers share one artifact");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod accessibility;
 pub mod analysis;
+pub mod annotate;
 pub mod engine;
 pub mod error;
 pub mod materialized_baseline;
@@ -57,8 +58,10 @@ pub mod rewrite;
 pub mod spec;
 pub mod view;
 
+pub use accessibility::{compute_accessibility, Accessibility};
 pub use analysis::{audit_view, AuditFinding, TypeAccessibility};
-pub use engine::{Approach, CacheStats, QueryReport, SecureEngine};
+pub use annotate::build_access_view;
+pub use engine::{AccessCacheStats, Approach, CacheStats, QueryReport, SecureEngine};
 pub use error::{Error, Result};
 pub use materialized_baseline::MaterializedBaseline;
 pub use naive::NaiveBaseline;
@@ -69,6 +72,7 @@ pub use rewrite::{rewrite, rewrite_paper_merge, rewrite_with_height, ViewGraph};
 pub use spec::{parse_spec_rules, RawRule, RawValue};
 pub use spec::{AccessSpec, AccessSpecBuilder, Annotation};
 pub use sxv_xpath::Backend;
+pub use sxv_xpath::{is_dummy_label, AccessView};
 pub use sxv_xpath::{CompiledQuery, CostModel, PlanPolicy, PlanSummary};
 pub use view::def::{SecurityView, ViewContent, ViewItem};
 pub use view::derive::derive_view;

@@ -7,7 +7,7 @@
 //! searches over per-label occurrence lists — the classic structural-join
 //! layout used by XML query engines.
 
-use crate::node::{Document, NodeId};
+use crate::node::{Document, LabelId, NodeId};
 use std::collections::HashMap;
 
 /// An immutable structural index over one document.
@@ -24,8 +24,13 @@ pub struct DocIndex {
     post: Vec<u32>,
     /// `depth[v]` = number of edges from the root to `v`.
     depth: Vec<u32>,
-    /// Element occurrences per label, in document order.
-    by_label: HashMap<String, Vec<NodeId>>,
+    /// Element occurrences per interned label, in document order, keyed
+    /// by [`LabelId::index`] (dense — one slot per table entry).
+    by_label: Vec<Vec<NodeId>>,
+    /// The document's label table at build time (`LabelId` → name).
+    label_names: Vec<String>,
+    /// Name → interned id, for the string-keyed lookup API.
+    name_ids: HashMap<String, LabelId>,
     /// Every element node, in document order (the `*` occurrence list).
     elements: Vec<NodeId>,
     /// Text-node occurrences in document order.
@@ -48,7 +53,10 @@ impl DocIndex {
         }
         let n = doc.len();
         let mut subtree_end = vec![0u32; n];
-        let mut by_label: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let label_names: Vec<String> = doc.label_table().to_vec();
+        let name_ids: HashMap<String, LabelId> =
+            label_names.iter().enumerate().map(|(i, l)| (l.clone(), LabelId(i as u32))).collect();
+        let mut by_label: Vec<Vec<NodeId>> = vec![Vec::new(); label_names.len()];
         let mut text_nodes = Vec::new();
         // Ids are pre-order, so iterating in reverse sees children before
         // parents: the subtree end is the max over self and children ends.
@@ -79,9 +87,9 @@ impl DocIndex {
             if let Some(p) = doc.parent(id) {
                 depth[id.index()] = depth[p.index()] + 1;
             }
-            match doc.label_opt(id) {
+            match doc.label_id_of(id) {
                 Some(l) => {
-                    by_label.entry(l.to_string()).or_default().push(id);
+                    by_label[l.index()].push(id);
                     elements.push(id);
                 }
                 None => {
@@ -99,6 +107,8 @@ impl DocIndex {
             post,
             depth,
             by_label,
+            label_names,
+            name_ids,
             elements,
             text_nodes,
             text_buf,
@@ -139,16 +149,27 @@ impl DocIndex {
         self.subtree_end[v.index()] as usize - v.index() + 1
     }
 
+    /// The interned id of `label` at index-build time, if it occurs.
+    pub fn label_id(&self, label: &str) -> Option<LabelId> {
+        self.name_ids.get(label).copied()
+    }
+
     /// The full document-order occurrence list of a label (empty slice
     /// for labels that never occur).
     pub fn label_list(&self, label: &str) -> &[NodeId] {
-        self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
+        self.label_id(label).map(|l| self.label_list_id(l)).unwrap_or(&[])
     }
 
-    /// Every indexed label with its occurrence count (arbitrary order) —
+    /// Occurrence list keyed directly by interned label id — the integer
+    /// fast path behind [`DocIndex::label_list`].
+    pub fn label_list_id(&self, label: LabelId) -> &[NodeId] {
+        self.by_label.get(label.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every indexed label with its occurrence count (table order) —
     /// the cardinality statistics query planners read.
     pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
-        self.by_label.iter().map(|(l, v)| (l.as_str(), v.len()))
+        self.label_names.iter().map(|l| l.as_str()).zip(self.by_label.iter().map(Vec::len))
     }
 
     /// Total indexed nodes (elements + text).
@@ -176,10 +197,15 @@ impl DocIndex {
     /// (`v` itself excluded — matching `//label`'s child-step semantics),
     /// in document order.
     pub fn labelled_descendants<'a>(&'a self, label: &str, v: NodeId) -> &'a [NodeId] {
-        match self.by_label.get(label) {
+        match self.label_id(label) {
             None => &[],
-            Some(list) => slice_in_range(list, v, self.subtree_end(v)),
+            Some(l) => self.labelled_descendants_id(l, v),
         }
+    }
+
+    /// [`DocIndex::labelled_descendants`] keyed by interned label id.
+    pub fn labelled_descendants_id(&self, label: LabelId, v: NodeId) -> &[NodeId] {
+        slice_in_range(self.label_list_id(label), v, self.subtree_end(v))
     }
 
     /// All text nodes inside the subtree of `v`, in document order.
@@ -189,7 +215,7 @@ impl DocIndex {
 
     /// Total occurrences of a label in the document.
     pub fn label_count(&self, label: &str) -> usize {
-        self.by_label.get(label).map(Vec::len).unwrap_or(0)
+        self.label_list(label).len()
     }
 
     /// XPath string value of `v` without walking the subtree: the text

@@ -22,6 +22,7 @@
 //! * No reference counting, no interior mutability: mutation goes through
 //!   `&mut Document`.
 
+pub mod bitmap;
 pub mod error;
 pub mod index;
 pub mod iter;
@@ -29,9 +30,10 @@ pub mod node;
 pub mod parser;
 pub mod serializer;
 
+pub use bitmap::NodeBitmap;
 pub use error::{Error, Result};
 pub use index::DocIndex;
 pub use iter::{Ancestors, Children, Descendants};
-pub use node::{Document, Node, NodeId, NodeKind};
+pub use node::{Document, LabelId, Node, NodeId, NodeKind};
 pub use parser::parse;
 pub use serializer::{to_string, to_string_pretty};

@@ -6,6 +6,7 @@
 //! and builders (see [`Document::in_document_order`]).
 
 use crate::error::{Error, Result};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a node inside a [`Document`] arena.
@@ -31,13 +32,29 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Interned element-type name, an index into the owning [`Document`]'s
+/// label symbol table. Comparing two `LabelId`s from the same document
+/// compares the labels in one integer instruction; resolve back to the
+/// string with [`Document::label_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub(crate) u32);
+
+impl LabelId {
+    /// Raw index into the document's label table (for dense side tables
+    /// keyed by label).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// The payload of a node: an element with a label, or a text leaf.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// An element node labelled with an element-type name.
     Element {
-        /// Element-type name (the paper's `Ele` labels).
-        label: String,
+        /// Element-type name (the paper's `Ele` labels), interned in the
+        /// owning document's symbol table.
+        label: LabelId,
         /// Attributes in definition order. Small enough that a vec of pairs
         /// beats a map for the handful of attributes we ever carry.
         attributes: Vec<(String, String)>,
@@ -89,6 +106,10 @@ impl Node {
 pub struct Document {
     nodes: Vec<Node>,
     root: Option<NodeId>,
+    /// Label symbol table: `labels[id.index()]` is the element-type name
+    /// interned as `LabelId(id)`.
+    labels: Vec<String>,
+    label_ids: HashMap<String, LabelId>,
 }
 
 impl Document {
@@ -131,12 +152,13 @@ impl Document {
     }
 
     /// Create the root element. Fails if a root already exists.
-    pub fn create_root(&mut self, label: impl Into<String>) -> Result<NodeId> {
+    pub fn create_root(&mut self, label: impl AsRef<str>) -> Result<NodeId> {
         if self.root.is_some() {
             return Err(Error::Parse { offset: 0, message: "document already has a root".into() });
         }
+        let label = self.intern(label.as_ref());
         let id = self.push(Node {
-            kind: NodeKind::Element { label: label.into(), attributes: Vec::new() },
+            kind: NodeKind::Element { label, attributes: Vec::new() },
             parent: None,
             children: Vec::new(),
         });
@@ -145,14 +167,53 @@ impl Document {
     }
 
     /// Append a new element child under `parent`, returning its id.
-    pub fn append_element(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+    pub fn append_element(&mut self, parent: NodeId, label: impl AsRef<str>) -> NodeId {
+        let label = self.intern(label.as_ref());
         let id = self.push(Node {
-            kind: NodeKind::Element { label: label.into(), attributes: Vec::new() },
+            kind: NodeKind::Element { label, attributes: Vec::new() },
             parent: Some(parent),
             children: Vec::new(),
         });
         self.nodes[parent.index()].children.push(id);
         id
+    }
+
+    /// Intern `label`, returning its stable id in this document's symbol
+    /// table (allocates only on the first occurrence of a name).
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(&id) = self.label_ids.get(label) {
+            return id;
+        }
+        let id = LabelId(self.labels.len() as u32);
+        self.label_ids.insert(label.to_string(), id);
+        self.labels.push(label.to_string());
+        id
+    }
+
+    /// The id `label` was interned under, if it occurs in this document.
+    pub fn label_id(&self, label: &str) -> Option<LabelId> {
+        self.label_ids.get(label).copied()
+    }
+
+    /// Resolve an interned label id back to the element-type name.
+    ///
+    /// # Panics
+    /// Panics if `id` does not come from this document's table.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// The interned label of `id` if it is an element, `None` for text.
+    pub fn label_id_of(&self, id: NodeId) -> Option<LabelId> {
+        match &self.node(id).kind {
+            NodeKind::Element { label, .. } => Some(*label),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The label symbol table, indexed by [`LabelId::index`].
+    pub fn label_table(&self) -> &[String] {
+        &self.labels
     }
 
     /// Append a new text child under `parent`, returning its id.
@@ -175,7 +236,7 @@ impl Document {
     /// Element label of `id`, or an error for text nodes.
     pub fn label(&self, id: NodeId) -> Result<&str> {
         match &self.node(id).kind {
-            NodeKind::Element { label, .. } => Ok(label),
+            NodeKind::Element { label, .. } => Ok(self.label_name(*label)),
             other => Err(Error::WrongNodeKind { expected: "element", found: other.kind_name() }),
         }
     }
@@ -183,7 +244,7 @@ impl Document {
     /// Element label if `id` is an element, `None` for text nodes.
     pub fn label_opt(&self, id: NodeId) -> Option<&str> {
         match &self.node(id).kind {
-            NodeKind::Element { label, .. } => Some(label),
+            NodeKind::Element { label, .. } => Some(self.label_name(*label)),
             NodeKind::Text(_) => None,
         }
     }
@@ -334,10 +395,13 @@ impl Document {
         (0..self.nodes.len()).map(|i| NodeId(i as u32))
     }
 
-    /// All elements with the given label, in document order (linear scan;
-    /// use [`crate::DocIndex`] for repeated lookups).
-    pub fn elements_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = NodeId> + 'a {
-        self.all_ids().filter(move |&id| self.label_opt(id) == Some(label))
+    /// All elements with the given label, in document order (linear scan
+    /// with the label resolved to its interned id once, so the per-node
+    /// test is an integer compare; use [`crate::DocIndex`] for repeated
+    /// lookups).
+    pub fn elements_with_label<'a>(&'a self, label: &str) -> impl Iterator<Item = NodeId> + 'a {
+        let want = self.label_id(label);
+        self.all_ids().filter(move |&id| want.is_some() && self.label_id_of(id) == want)
     }
 }
 
@@ -460,6 +524,23 @@ mod tests {
         assert_eq!(bs.len(), 2);
         assert!(bs[0] < bs[1]);
         assert_eq!(d.elements_with_label("zzz").count(), 0);
+    }
+
+    #[test]
+    fn labels_are_interned_once() {
+        let mut d = Document::new();
+        let a = d.create_root("a").unwrap();
+        let b1 = d.append_element(a, "b");
+        let b2 = d.append_element(a, "b");
+        let c = d.append_element(a, "c");
+        assert_eq!(d.label_table().len(), 3);
+        assert_eq!(d.label_id_of(b1), d.label_id_of(b2));
+        assert_ne!(d.label_id_of(b1), d.label_id_of(c));
+        let b_id = d.label_id("b").unwrap();
+        assert_eq!(d.label_name(b_id), "b");
+        assert_eq!(d.label_id("zzz"), None);
+        let t = d.append_text(c, "hi");
+        assert_eq!(d.label_id_of(t), None);
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<usize
             escape_text(t, out);
         }
         NodeKind::Element { label, attributes } => {
+            let label = doc.label_name(*label);
             if let Some(width) = indent {
                 if depth > 0 {
                     out.push('\n');

@@ -294,16 +294,26 @@ fn child_step(
 ) -> NodeSet {
     let mut out = NodeSet::empty();
     stats.nodes_touched += ctx.nodes.len() as u64;
+    // Resolve the label to its interned id once; per-child tests below
+    // are then integer compares. A label absent from the document's
+    // symbol table matches nothing.
+    let want = match label {
+        None => None,
+        Some(l) => match doc.label_id(l) {
+            Some(id) => Some(id),
+            None => return out,
+        },
+    };
     if ctx.doc {
         if let Some(root) = doc.root_opt() {
-            if label.is_none_or(|l| doc.label_opt(root) == Some(l)) {
+            if want.is_none_or(|l| doc.label_id_of(root) == Some(l)) {
                 out.nodes.insert(root);
             }
         }
     }
     for &v in &ctx.nodes {
         for &c in doc.children(v) {
-            match (label, doc.label_opt(c)) {
+            match (want, doc.label_id_of(c)) {
                 (None, Some(_)) => {
                     out.nodes.insert(c);
                 }

@@ -23,6 +23,7 @@
 //! * an absolute-path marker (leading `/`) — the §6 rewritten queries are
 //!   written absolutely (`/adex/head/buyer-info`).
 
+pub mod access;
 pub mod ast;
 pub mod display;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod plan;
 pub mod simplify;
 pub mod subq;
 
+pub use access::{is_dummy_label, AccessView};
 pub use ast::{Path, Qualifier};
 pub use error::{Error, Result};
 pub use eval::{
@@ -43,8 +45,8 @@ pub use eval::{
 pub use join::{eval_at_root_backend, eval_at_root_join, eval_at_root_join_with_stats, Backend};
 pub use parser::parse;
 pub use plan::{
-    compile, AxisTest, CompiledQuery, CostModel, PlanNode, PlanOp, PlanPolicy, PlanSummary,
-    QualPlan, EQUIVALENCE_QUERIES,
+    compile, compile_annotate, AccessFilter, AxisTest, CompiledQuery, CostModel, PlanNode, PlanOp,
+    PlanPolicy, PlanSummary, QualPlan, EQUIVALENCE_QUERIES,
 };
 pub use simplify::{factored_union, simplify};
 pub use subq::{postorder, SubExpr};

@@ -30,13 +30,27 @@
 //! Results are bit-identical to the walk evaluator of [`crate::eval`];
 //! the equivalence is pinned by [`EQUIVALENCE_QUERIES`] here and a random
 //! document × query property test in the workspace suite.
+//!
+//! ## Annotation plans
+//!
+//! [`compile_annotate`] lowers a *view* query into a plan that runs
+//! directly over the **document**, filtering by an [`AccessView`] instead
+//! of rewriting the query first. Four extra operators appear only in
+//! these plans: `bitmap-filter` (word-parallel AND against the
+//! membership bitmaps, fused into a preceding `descendant-slice` at
+//! execution time), `view-child` / `view-descendant` (axis steps over
+//! the view tree), and `view-expand` (materialize view descendants).
+//! The executor also switches result sets between sorted-vec and dense
+//! bitmap representations by density, so `//`-expansions feed the
+//! bitmap filter without materializing node lists.
 
+use crate::access::{is_dummy_label, AccessView};
 use crate::ast::{Path, Qualifier};
 use crate::eval::EvalStats;
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use sxv_xml::{DocIndex, Document, NodeId};
+use sxv_xml::{DocIndex, Document, NodeBitmap, NodeId};
 
 /// How the planner chooses between walk and join operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -167,6 +181,50 @@ pub enum PlanOp {
     UnionMerge(Vec<Vec<PlanNode>>),
     /// Keep context nodes satisfying a compiled qualifier.
     QualifierProbe(QualPlan),
+    /// Keep context nodes set in an [`AccessView`] bitmap (word-parallel
+    /// on dense contexts; fused into a preceding `descendant-slice`).
+    /// Annotation plans only.
+    BitmapFilter(AccessFilter),
+    /// One child step over the *view* tree (CSR view-children lists plus
+    /// an axis test on view labels). Annotation plans only.
+    ViewChild(AxisTest),
+    /// `//axis` over the view: occurrence-list candidates filtered by
+    /// view membership and a view-ancestor chain check. Annotation
+    /// plans only.
+    ViewDescendant(AxisTest),
+    /// Materialize view descendants(-or-self) — the generic `//p`
+    /// fall-back over the view tree. Annotation plans only.
+    ViewExpand {
+        /// Include each context node itself (descendant-or-self).
+        or_self: bool,
+    },
+}
+
+/// Which [`AccessView`] bitmap a [`PlanOp::BitmapFilter`] ANDs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessFilter {
+    /// Non-dummy view members (elements and text).
+    Member,
+    /// View element nodes (member elements plus dummies) — `//*`.
+    Element,
+}
+
+impl AccessFilter {
+    fn bitmap<'a>(&self, av: &'a AccessView) -> &'a NodeBitmap {
+        match self {
+            AccessFilter::Member => av.members(),
+            AccessFilter::Element => av.elements(),
+        }
+    }
+}
+
+impl fmt::Display for AccessFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessFilter::Member => "member",
+            AccessFilter::Element => "element",
+        })
+    }
 }
 
 impl PlanOp {
@@ -183,6 +241,10 @@ impl PlanOp {
             PlanOp::LabelFilter(_) => "label-filter",
             PlanOp::UnionMerge(_) => "union-merge",
             PlanOp::QualifierProbe(_) => "qualifier-probe",
+            PlanOp::BitmapFilter(_) => "bitmap-filter",
+            PlanOp::ViewChild(_) => "view-child",
+            PlanOp::ViewDescendant(_) => "view-descendant",
+            PlanOp::ViewExpand { .. } => "view-expand",
         }
     }
 }
@@ -521,15 +583,217 @@ fn selectivity(q: &QualPlan) -> f64 {
 }
 
 // ---------------------------------------------------------------------
+// Annotation plans
+// ---------------------------------------------------------------------
+
+/// Lower a *view* query into a plan executed directly over the document
+/// and filtered by an [`AccessView`]
+/// ([`CompiledQuery::execute_with_access`]). Axis steps become view-tree
+/// operators; the dominant seed-context `//axis` shapes lower to a
+/// document `descendant-slice` AND-ed against the membership bitmap
+/// (fused at execution time), which is exact because every view node is
+/// a view descendant of the root and a member's view label is its
+/// document label.
+pub fn compile_annotate(p: &Path, policy: PlanPolicy, cost: &CostModel) -> CompiledQuery {
+    let mut ops = vec![PlanNode { op: PlanOp::RootSeed, est_rows: 1 }];
+    lower_annotate(p, 1.0, true, policy, cost, &mut ops);
+    CompiledQuery { translated: p.clone(), policy, ops }
+}
+
+/// Append the annotation pipeline for `p`; returns the estimated output
+/// cardinality and whether the output context is still a *seed* (the
+/// root element or document node only), which gates the fused
+/// slice-plus-bitmap lowering of `//axis`.
+fn lower_annotate(
+    p: &Path,
+    est_in: f64,
+    from_seed: bool,
+    policy: PlanPolicy,
+    cost: &CostModel,
+    out: &mut Vec<PlanNode>,
+) -> (f64, bool) {
+    match p {
+        Path::Empty => (est_in, from_seed),
+        Path::EmptySet => {
+            out.push(PlanNode { op: PlanOp::EmptySet, est_rows: 0 });
+            (0.0, false)
+        }
+        Path::Doc => {
+            out.push(PlanNode { op: PlanOp::DocSeed, est_rows: 1 });
+            (1.0, true)
+        }
+        Path::Label(l) => (view_child(AxisTest::Label(l.clone()), est_in, cost, out), false),
+        Path::Wildcard => (view_child(AxisTest::AnyElement, est_in, cost, out), false),
+        Path::Text => (view_child(AxisTest::Text, est_in, cost, out), false),
+        Path::Step(p1, p2) => {
+            let (mid, seed) = lower_annotate(p1, est_in, from_seed, policy, cost, out);
+            lower_annotate(p2, mid, seed, policy, cost, out)
+        }
+        Path::Descendant(inner) => {
+            (lower_descendant_annotate(inner, from_seed, policy, cost, out), false)
+        }
+        Path::Union(p1, p2) => {
+            let mut arm1 = Vec::new();
+            let (e1, _) = lower_annotate(p1, est_in, from_seed, policy, cost, &mut arm1);
+            let mut arm2 = Vec::new();
+            let (e2, _) = lower_annotate(p2, est_in, from_seed, policy, cost, &mut arm2);
+            let est = (e1 + e2).min(cost.nodes());
+            out.push(PlanNode {
+                op: PlanOp::UnionMerge(vec![arm1, arm2]),
+                est_rows: clamp_est(est, cost),
+            });
+            (est, false)
+        }
+        Path::Filter(p1, q) => {
+            let (base, seed) = lower_annotate(p1, est_in, from_seed, policy, cost, out);
+            let qp = lower_qual_annotate(q, policy, cost);
+            let est = base * selectivity(&qp);
+            out.push(PlanNode { op: PlanOp::QualifierProbe(qp), est_rows: clamp_est(est, cost) });
+            (est, seed)
+        }
+    }
+}
+
+/// `//inner` over the view. From a seed context, non-dummy axis heads
+/// lower to the fused document slice + membership bitmap; everywhere
+/// else the view-descendant chain walk is used.
+fn lower_descendant_annotate(
+    inner: &Path,
+    from_seed: bool,
+    policy: PlanPolicy,
+    cost: &CostModel,
+    out: &mut Vec<PlanNode>,
+) -> f64 {
+    let axis = match inner {
+        Path::Label(l) => Some(AxisTest::Label(l.clone())),
+        Path::Wildcard => Some(AxisTest::AnyElement),
+        Path::Text => Some(AxisTest::Text),
+        _ => None,
+    };
+    if let Some(axis) = axis {
+        let occ = cost.occurrence(&axis);
+        let dummy = matches!(&axis, AxisTest::Label(l) if is_dummy_label(l));
+        if from_seed && !dummy {
+            // A document slice over-approximates the view axis only by
+            // non-member nodes: every member under the root is a view
+            // descendant of it, and members keep their document label.
+            let filter = match &axis {
+                AxisTest::AnyElement => AccessFilter::Element,
+                _ => AccessFilter::Member,
+            };
+            out.push(PlanNode {
+                op: PlanOp::DescendantSlice(axis),
+                est_rows: clamp_est(occ, cost),
+            });
+            out.push(PlanNode { op: PlanOp::BitmapFilter(filter), est_rows: clamp_est(occ, cost) });
+        } else {
+            out.push(PlanNode { op: PlanOp::ViewDescendant(axis), est_rows: clamp_est(occ, cost) });
+        }
+        return occ;
+    }
+    match inner {
+        Path::Step(a, b) => {
+            let mid = lower_descendant_annotate(a, from_seed, policy, cost, out);
+            lower_annotate(b, mid, false, policy, cost, out).0
+        }
+        Path::Union(a, b) => {
+            let mut arm1 = Vec::new();
+            let e1 = lower_descendant_annotate(a, from_seed, policy, cost, &mut arm1);
+            let mut arm2 = Vec::new();
+            let e2 = lower_descendant_annotate(b, from_seed, policy, cost, &mut arm2);
+            let est = (e1 + e2).min(cost.nodes());
+            out.push(PlanNode {
+                op: PlanOp::UnionMerge(vec![arm1, arm2]),
+                est_rows: clamp_est(est, cost),
+            });
+            est
+        }
+        Path::Filter(base, q) => {
+            let b = lower_descendant_annotate(base, from_seed, policy, cost, out);
+            let qp = lower_qual_annotate(q, policy, cost);
+            let est = b * selectivity(&qp);
+            out.push(PlanNode { op: PlanOp::QualifierProbe(qp), est_rows: clamp_est(est, cost) });
+            est
+        }
+        // ε, ∅, doc(), nested //: materialize view descendant-or-self
+        // and let the generic pipeline continue.
+        _ => {
+            let expanded = cost.nodes();
+            out.push(PlanNode {
+                op: PlanOp::ViewExpand { or_self: true },
+                est_rows: clamp_est(expanded, cost),
+            });
+            lower_annotate(inner, expanded, false, policy, cost, out).0
+        }
+    }
+}
+
+/// One view child step (always a CSR walk; view children lists are
+/// materialized, so there is no walk/merge choice to make).
+fn view_child(axis: AxisTest, est_in: f64, cost: &CostModel, out: &mut Vec<PlanNode>) -> f64 {
+    let occ = cost.occurrence(&axis);
+    let est = occ.min(est_in * cost.fanout.max(1.0));
+    out.push(PlanNode { op: PlanOp::ViewChild(axis), est_rows: clamp_est(est, cost) });
+    est
+}
+
+fn lower_qual_annotate(q: &Qualifier, policy: PlanPolicy, cost: &CostModel) -> QualPlan {
+    match q {
+        Qualifier::True => QualPlan::True,
+        Qualifier::False => QualPlan::False,
+        Qualifier::Path(p) => {
+            let mut ops = Vec::new();
+            lower_annotate(p, 1.0, false, policy, cost, &mut ops);
+            QualPlan::Exists(ops)
+        }
+        Qualifier::Eq(p, c) => {
+            let mut ops = Vec::new();
+            lower_annotate(p, 1.0, false, policy, cost, &mut ops);
+            QualPlan::Eq(ops, c.clone())
+        }
+        Qualifier::Attr(name) => QualPlan::Attr(name.clone()),
+        Qualifier::AttrEq(name, value) => QualPlan::AttrEq(name.clone(), value.clone()),
+        Qualifier::And(a, b) => QualPlan::And(
+            Box::new(lower_qual_annotate(a, policy, cost)),
+            Box::new(lower_qual_annotate(b, policy, cost)),
+        ),
+        Qualifier::Or(a, b) => QualPlan::Or(
+            Box::new(lower_qual_annotate(a, policy, cost)),
+            Box::new(lower_qual_annotate(b, policy, cost)),
+        ),
+        Qualifier::Not(inner) => QualPlan::Not(Box::new(lower_qual_annotate(inner, policy, cost))),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------
 
-/// A context/result set for the plan executor: strictly increasing
-/// (document-order) node ids plus the virtual document-node flag.
+/// The node ids of an [`ExecSet`], in one of two representations the
+/// executor switches between by density: a sorted-unique vec (the
+/// default; document order is ascending id order) or a dense bitmap
+/// (produced by wide `//`-expansions, consumed word-parallel by
+/// `bitmap-filter` and union).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Rows {
+    /// Strictly increasing (document-order) node ids.
+    Sorted(Vec<NodeId>),
+    /// One bit per document node.
+    Dense(NodeBitmap),
+}
+
+impl Default for Rows {
+    fn default() -> Rows {
+        Rows::Sorted(Vec::new())
+    }
+}
+
+/// A context/result set for the plan executor: the member ids (sorted
+/// vec or dense bitmap) plus the virtual document-node flag.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct ExecSet {
     doc: bool,
-    nodes: Vec<NodeId>,
+    rows: Rows,
 }
 
 impl ExecSet {
@@ -538,36 +802,103 @@ impl ExecSet {
     }
 
     fn single(v: NodeId) -> ExecSet {
-        ExecSet { doc: false, nodes: vec![v] }
+        ExecSet::from_sorted(vec![v])
     }
 
     fn document() -> ExecSet {
-        ExecSet { doc: true, nodes: Vec::new() }
+        ExecSet { doc: true, rows: Rows::default() }
+    }
+
+    fn from_sorted(nodes: Vec<NodeId>) -> ExecSet {
+        ExecSet { doc: false, rows: Rows::Sorted(nodes) }
     }
 
     fn is_empty(&self) -> bool {
-        !self.doc && self.nodes.is_empty()
+        !self.doc
+            && match &self.rows {
+                Rows::Sorted(v) => v.is_empty(),
+                Rows::Dense(b) => b.count_ones() == 0,
+            }
     }
 
-    /// Restore the sorted-unique invariant after out-of-order pushes.
+    /// Materialize dense rows back into the sorted-vec representation.
+    /// Every operator except `bitmap-filter` and union consumes sorted
+    /// rows; [`run_ops`] calls this before dispatching to them.
+    fn make_sorted(&mut self) {
+        if let Rows::Dense(b) = &self.rows {
+            self.rows = Rows::Sorted(b.to_ids());
+        }
+    }
+
+    /// The sorted ids. Callers run behind [`ExecSet::make_sorted`].
+    fn ids(&self) -> &[NodeId] {
+        match &self.rows {
+            Rows::Sorted(v) => v,
+            Rows::Dense(_) => unreachable!("dense rows must be materialized before id access"),
+        }
+    }
+
+    fn into_ids(mut self) -> Vec<NodeId> {
+        self.make_sorted();
+        match self.rows {
+            Rows::Sorted(v) => v,
+            Rows::Dense(_) => unreachable!(),
+        }
+    }
+
+    fn push(&mut self, v: NodeId) {
+        match &mut self.rows {
+            Rows::Sorted(nodes) => nodes.push(v),
+            Rows::Dense(b) => b.set(v),
+        }
+    }
+
+    fn extend_slice(&mut self, ids: &[NodeId]) {
+        match &mut self.rows {
+            Rows::Sorted(nodes) => nodes.extend_from_slice(ids),
+            Rows::Dense(b) => {
+                for &v in ids {
+                    b.set(v);
+                }
+            }
+        }
+    }
+
+    /// Restore the sorted-unique invariant after out-of-order pushes
+    /// (dense rows are inherently normalized).
     fn normalize(&mut self) {
-        self.nodes.sort_unstable();
-        self.nodes.dedup();
+        if let Rows::Sorted(nodes) = &mut self.rows {
+            nodes.sort_unstable();
+            nodes.dedup();
+        }
     }
 
-    /// Merge-union with another set (both sorted-unique).
-    fn union_with(&mut self, other: ExecSet, stats: &mut EvalStats) {
+    /// Union with another set: word-parallel OR when both sides are
+    /// dense, merge of sorted-unique vecs otherwise.
+    fn union_with(&mut self, mut other: ExecSet, stats: &mut EvalStats) {
         self.doc |= other.doc;
-        if other.nodes.is_empty() {
+        if let (Rows::Dense(a), Rows::Dense(b)) = (&mut self.rows, &other.rows) {
+            stats.merge_steps += (a.len().div_ceil(64)) as u64;
+            a.or_assign(b);
             return;
         }
-        if self.nodes.is_empty() {
-            self.nodes = other.nodes;
+        self.make_sorted();
+        other.make_sorted();
+        let other_nodes = match other.rows {
+            Rows::Sorted(v) => v,
+            Rows::Dense(_) => unreachable!(),
+        };
+        let Rows::Sorted(nodes) = &mut self.rows else { unreachable!() };
+        if other_nodes.is_empty() {
             return;
         }
-        stats.merge_steps += (self.nodes.len() + other.nodes.len()) as u64;
-        let mut merged = Vec::with_capacity(self.nodes.len() + other.nodes.len());
-        let (a, b) = (&self.nodes, &other.nodes);
+        if nodes.is_empty() {
+            *nodes = other_nodes;
+            return;
+        }
+        stats.merge_steps += (nodes.len() + other_nodes.len()) as u64;
+        let mut merged = Vec::with_capacity(nodes.len() + other_nodes.len());
+        let (a, b) = (&*nodes, &other_nodes);
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
             match a[i].cmp(&b[j]) {
@@ -588,7 +919,22 @@ impl ExecSet {
         }
         merged.extend_from_slice(&a[i..]);
         merged.extend_from_slice(&b[j..]);
-        self.nodes = merged;
+        *nodes = merged;
+    }
+}
+
+/// Everything the executor reads per call: the document, the optional
+/// structural index, and (annotation plans only) the access view.
+#[derive(Clone, Copy)]
+struct Exec<'a> {
+    doc: &'a Document,
+    idx: Option<&'a DocIndex>,
+    access: Option<&'a AccessView>,
+}
+
+impl<'a> Exec<'a> {
+    fn access(&self) -> &'a AccessView {
+        self.access.expect("annotation plan executed without an AccessView (engine invariant)")
     }
 }
 
@@ -597,9 +943,22 @@ impl CompiledQuery {
     /// assumes). `index` is a pure accelerator: plans compiled for
     /// indexed serving degrade gracefully without one.
     pub fn execute(&self, doc: &Document, index: Option<&DocIndex>) -> (Vec<NodeId>, EvalStats) {
+        self.execute_with_access(doc, index, None)
+    }
+
+    /// Execute at the root element with an [`AccessView`] — required for
+    /// plans from [`compile_annotate`], ignored by rewrite plans (whose
+    /// operators never consult it).
+    pub fn execute_with_access(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        access: Option<&AccessView>,
+    ) -> (Vec<NodeId>, EvalStats) {
         let mut stats = EvalStats::default();
+        let ex = Exec { doc, idx: index, access };
         let result = match doc.root_opt() {
-            Some(root) => run_ops(doc, index, self.body(), ExecSet::single(root), &mut stats).nodes,
+            Some(root) => run_ops(ex, self.body(), ExecSet::single(root), &mut stats).into_ids(),
             None => Vec::new(),
         };
         (result, stats)
@@ -613,7 +972,8 @@ impl CompiledQuery {
         index: Option<&DocIndex>,
     ) -> (Vec<NodeId>, EvalStats) {
         let mut stats = EvalStats::default();
-        let result = run_ops(doc, index, self.body(), ExecSet::document(), &mut stats).nodes;
+        let ex = Exec { doc, idx: index, access: None };
+        let result = run_ops(ex, self.body(), ExecSet::document(), &mut stats).into_ids();
         (result, stats)
     }
 
@@ -636,30 +996,37 @@ impl CompiledQuery {
     }
 }
 
-fn run_ops(
-    doc: &Document,
-    idx: Option<&DocIndex>,
-    ops: &[PlanNode],
-    ctx: ExecSet,
-    stats: &mut EvalStats,
-) -> ExecSet {
+fn run_ops(ex: Exec, ops: &[PlanNode], ctx: ExecSet, stats: &mut EvalStats) -> ExecSet {
     let mut cur = ctx;
-    for node in ops {
+    let mut i = 0;
+    while i < ops.len() {
         if cur.is_empty() {
             return ExecSet::empty();
         }
-        cur = run_op(doc, idx, &node.op, &cur, stats);
+        // Fused hot path: a descendant slice feeding a bitmap filter
+        // never materializes the unfiltered slice.
+        match (&ops[i].op, ops.get(i + 1).map(|n| &n.op), ex.idx, ex.access) {
+            (PlanOp::DescendantSlice(axis), Some(PlanOp::BitmapFilter(f)), Some(idx), Some(av)) => {
+                cur.make_sorted();
+                cur = descendant_slice_filtered(ex.doc, idx, av, &cur, axis, *f, stats);
+                i += 2;
+            }
+            _ => {
+                // Only the bitmap filter (and union, internally) consume
+                // dense rows; every other operator reads sorted ids.
+                if !matches!(ops[i].op, PlanOp::BitmapFilter(_)) {
+                    cur.make_sorted();
+                }
+                cur = run_op(ex, &ops[i].op, &cur, stats);
+                i += 1;
+            }
+        }
     }
     cur
 }
 
-fn run_op(
-    doc: &Document,
-    idx: Option<&DocIndex>,
-    op: &PlanOp,
-    ctx: &ExecSet,
-    stats: &mut EvalStats,
-) -> ExecSet {
+fn run_op(ex: Exec, op: &PlanOp, ctx: &ExecSet, stats: &mut EvalStats) -> ExecSet {
+    let (doc, idx) = (ex.doc, ex.idx);
     match op {
         PlanOp::RootSeed => match doc.root_opt() {
             Some(root) => ExecSet::single(root),
@@ -678,32 +1045,222 @@ fn run_op(
         },
         PlanOp::DescendantExpand { or_self } => descendant_expand(doc, idx, ctx, *or_self, stats),
         PlanOp::LabelFilter(axis) => {
-            stats.nodes_touched += ctx.nodes.len() as u64;
-            ExecSet {
-                doc: false,
-                nodes: ctx.nodes.iter().copied().filter(|&v| axis.matches(doc, v)).collect(),
-            }
+            stats.nodes_touched += ctx.ids().len() as u64;
+            ExecSet::from_sorted(
+                ctx.ids().iter().copied().filter(|&v| axis.matches(doc, v)).collect(),
+            )
         }
         PlanOp::UnionMerge(arms) => {
             let mut out = ExecSet::empty();
             for arm in arms {
-                out.union_with(run_ops(doc, idx, arm, ctx.clone(), stats), stats);
+                out.union_with(run_ops(ex, arm, ctx.clone(), stats), stats);
             }
             out
         }
         PlanOp::QualifierProbe(q) => {
-            let doc_kept = ctx.doc && qual_probe(doc, idx, q, &ExecSet::document(), stats);
+            let doc_kept = ctx.doc && qual_probe(ex, q, &ExecSet::document(), stats);
             let nodes = ctx
-                .nodes
+                .ids()
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    stats.counted_check(|s| qual_probe(doc, idx, q, &ExecSet::single(v), s))
-                })
+                .filter(|&v| stats.counted_check(|s| qual_probe(ex, q, &ExecSet::single(v), s)))
                 .collect();
-            ExecSet { doc: doc_kept, nodes }
+            ExecSet { doc: doc_kept, rows: Rows::Sorted(nodes) }
+        }
+        PlanOp::BitmapFilter(f) => bitmap_filter(ex.access(), ctx, *f, stats),
+        PlanOp::ViewChild(axis) => view_child_step(doc, ex.access(), ctx, axis, stats),
+        PlanOp::ViewDescendant(axis) => view_descendant(ex, ex.access(), ctx, axis, stats),
+        PlanOp::ViewExpand { or_self } => view_expand(ex.access(), ctx, *or_self, stats),
+    }
+}
+
+/// AND the context against an [`AccessView`] bitmap: word-parallel on
+/// dense rows, a contains-probe per id on sorted rows. Drops the doc
+/// flag (the virtual document node is in no bitmap).
+fn bitmap_filter(
+    av: &AccessView,
+    ctx: &ExecSet,
+    filter: AccessFilter,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let bm = filter.bitmap(av);
+    match &ctx.rows {
+        Rows::Dense(rows) => {
+            let mut out = rows.clone();
+            stats.merge_steps += (out.len().div_ceil(64)) as u64;
+            out.and_assign(bm);
+            ExecSet { doc: false, rows: Rows::Dense(out) }
+        }
+        Rows::Sorted(rows) => {
+            stats.nodes_touched += rows.len() as u64;
+            ExecSet::from_sorted(rows.iter().copied().filter(|&v| bm.contains(v)).collect())
         }
     }
+}
+
+/// One child step over the view tree: CSR children lists plus the axis
+/// test on *view* labels. The document node's only view child is the
+/// root.
+fn view_child_step(
+    doc: &Document,
+    av: &AccessView,
+    ctx: &ExecSet,
+    axis: &AxisTest,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut out = ExecSet::empty();
+    if ctx.doc {
+        if let Some(root) = doc.root_opt() {
+            if av.test_matches(doc, root, axis) {
+                out.push(root);
+            }
+        }
+    }
+    stats.nodes_touched += ctx.ids().len() as u64;
+    for &v in ctx.ids() {
+        for &c in av.view_children(v) {
+            if av.test_matches(doc, c, axis) {
+                out.push(c);
+            }
+        }
+    }
+    // View children of nested context nodes can interleave in id order.
+    out.normalize();
+    out
+}
+
+/// Does some context node view-dominate `c`? Walks `c`'s view-parent
+/// chain (strictly descending ids) probing the sorted context, stopping
+/// once the chain passes below the smallest context id.
+fn ctx_view_dominates(av: &AccessView, ctx: &[NodeId], c: NodeId, stats: &mut EvalStats) -> bool {
+    let Some(&lo) = ctx.first() else { return false };
+    let mut cur = av.view_parent(c);
+    while let Some(p) = cur {
+        stats.merge_steps += 1;
+        if ctx.binary_search(&p).is_ok() {
+            return true;
+        }
+        if p < lo {
+            return false;
+        }
+        cur = av.view_parent(p);
+    }
+    false
+}
+
+/// `//axis` over the view from an arbitrary context: occurrence-list
+/// candidates (dummy lists for dummy labels) filtered by the view test
+/// and a view-ancestor chain probe against the context.
+fn view_descendant(
+    ex: Exec,
+    av: &AccessView,
+    ctx: &ExecSet,
+    axis: &AxisTest,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let doc = ex.doc;
+    let dummy_list: Vec<NodeId>;
+    let scan: Vec<NodeId>;
+    let candidates: &[NodeId] = match (axis, ex.idx) {
+        (AxisTest::Label(l), _) if is_dummy_label(l) => {
+            dummy_list = av.dummy_list(l).to_vec();
+            &dummy_list
+        }
+        (axis, Some(idx)) => axis.occurrences(idx),
+        (_, None) => {
+            scan = (0..doc.len()).map(NodeId::from_index).collect();
+            &scan
+        }
+    };
+    let mut out = ExecSet::empty();
+    // View parents are strict document ancestors, so a view descendant
+    // of an element context is always a document descendant of it: with
+    // an index, only candidates inside the contexts' subtree intervals
+    // can qualify — slice instead of scanning the whole occurrence list.
+    if let (false, Some(idx)) = (ctx.doc, ex.idx) {
+        for r in staircase(idx, ctx.ids(), stats) {
+            let end = idx.subtree_end(r);
+            let lo = candidates.partition_point(|&x| x <= r);
+            let hi = candidates.partition_point(|&x| x <= end);
+            stats.interval_probes += 1;
+            stats.nodes_touched += (hi - lo) as u64;
+            for &c in &candidates[lo..hi] {
+                if av.test_matches(doc, c, axis) && ctx_view_dominates(av, ctx.ids(), c, stats) {
+                    out.push(c);
+                }
+            }
+        }
+        return out;
+    }
+    stats.nodes_touched += candidates.len() as u64;
+    for &c in candidates {
+        if !av.test_matches(doc, c, axis) {
+            continue;
+        }
+        // From the document node, the view descendants-or-self cover
+        // every view node; from element contexts, probe the chain.
+        let dominated = (ctx.doc && av.in_view(c))
+            || (!ctx.ids().is_empty() && ctx_view_dominates(av, ctx.ids(), c, stats));
+        if dominated {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Materialize the view descendants(-or-self) of the context.
+fn view_expand(av: &AccessView, ctx: &ExecSet, or_self: bool, stats: &mut EvalStats) -> ExecSet {
+    let mut all = av.members().clone();
+    all.or_assign(av.dummies());
+    let mut out = ExecSet { doc: ctx.doc && or_self, rows: Rows::default() };
+    for c in all.iter() {
+        stats.nodes_touched += 1;
+        let keep = ctx.doc
+            || (or_self && ctx.ids().binary_search(&c).is_ok())
+            || (!ctx.ids().is_empty() && ctx_view_dominates(av, ctx.ids(), c, stats));
+        if keep {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The fused slice-plus-bitmap hot path: per pruned context root, push
+/// only the slice candidates set in the access bitmap — inaccessible
+/// nodes never enter the intermediate set.
+fn descendant_slice_filtered(
+    doc: &Document,
+    idx: &DocIndex,
+    av: &AccessView,
+    ctx: &ExecSet,
+    axis: &AxisTest,
+    filter: AccessFilter,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let bm = filter.bitmap(av);
+    let (roots, include_root_match) = if ctx.doc {
+        match doc.root_opt() {
+            Some(r) => (vec![r], true),
+            None => return ExecSet::empty(),
+        }
+    } else {
+        (staircase(idx, ctx.ids(), stats), false)
+    };
+    let mut out = ExecSet::empty();
+    for &r in &roots {
+        if include_root_match && axis.matches(doc, r) && bm.contains(r) {
+            out.push(r);
+        }
+        let hits = axis.slice(idx, r);
+        stats.interval_probes += 1;
+        stats.nodes_touched += hits.len() as u64;
+        for &h in hits {
+            if bm.contains(h) {
+                out.push(h);
+            }
+        }
+    }
+    out
 }
 
 /// Child step by walking children lists (the document node's only child
@@ -713,15 +1270,15 @@ fn child_walk(doc: &Document, ctx: &ExecSet, axis: &AxisTest, stats: &mut EvalSt
     if ctx.doc {
         if let Some(root) = doc.root_opt() {
             if axis.matches(doc, root) {
-                out.nodes.push(root);
+                out.push(root);
             }
         }
     }
-    stats.nodes_touched += ctx.nodes.len() as u64;
-    for &v in &ctx.nodes {
+    stats.nodes_touched += ctx.ids().len() as u64;
+    for &v in ctx.ids() {
         for &c in doc.children(v) {
             if axis.matches(doc, c) {
-                out.nodes.push(c);
+                out.push(c);
             }
         }
     }
@@ -743,16 +1300,16 @@ fn child_merge(
     if ctx.doc {
         if let Some(root) = doc.root_opt() {
             if axis.matches(doc, root) {
-                out.nodes.push(root);
+                out.push(root);
             }
         }
     }
-    if ctx.nodes.is_empty() {
+    if ctx.ids().is_empty() {
         return out;
     }
     let occ = axis.occurrences(idx);
-    let span_lo = ctx.nodes[0];
-    let span_hi = ctx.nodes.iter().map(|&v| idx.subtree_end(v)).max().expect("non-empty ctx");
+    let span_lo = ctx.ids()[0];
+    let span_hi = ctx.ids().iter().map(|&v| idx.subtree_end(v)).max().expect("non-empty ctx");
     let lo = occ.partition_point(|&x| x <= span_lo);
     let hi = occ.partition_point(|&x| x <= span_hi);
     stats.interval_probes += 1;
@@ -762,11 +1319,11 @@ fn child_merge(
     // parent, so pushes after any root-element hit stay sorted-unique.
     for &c in candidates {
         let Some(parent) = doc.parent(c) else { continue };
-        if ctx.nodes.binary_search(&parent).is_ok() {
-            out.nodes.push(c);
+        if ctx.ids().binary_search(&parent).is_ok() {
+            out.push(c);
         }
     }
-    stats.nodes_touched += out.nodes.len() as u64;
+    stats.nodes_touched += out.ids().len() as u64;
     out
 }
 
@@ -803,19 +1360,19 @@ fn descendant_slice(
             None => return ExecSet::empty(),
         }
     } else {
-        (staircase(idx, &ctx.nodes, stats), false)
+        (staircase(idx, ctx.ids(), stats), false)
     };
     let mut out = ExecSet::empty();
     for &r in &roots {
         // Roots have disjoint, ascending intervals and `r` precedes its
         // slice, so pushes stay sorted.
         if include_root_match && axis.matches(doc, r) {
-            out.nodes.push(r);
+            out.push(r);
         }
         let hits = axis.slice(idx, r);
         stats.interval_probes += 1;
         stats.nodes_touched += hits.len() as u64;
-        out.nodes.extend_from_slice(hits);
+        out.extend_slice(hits);
     }
     out
 }
@@ -835,16 +1392,16 @@ fn descendant_scan(
             for v in doc.descendants_or_self(root) {
                 touched += 1;
                 if axis.matches(doc, v) {
-                    out.nodes.push(v);
+                    out.push(v);
                 }
             }
         }
     }
-    for &v in &ctx.nodes {
+    for &v in ctx.ids() {
         for d in doc.descendants(v) {
             touched += 1;
             if axis.matches(doc, d) {
-                out.nodes.push(d);
+                out.push(d);
             }
         }
     }
@@ -853,8 +1410,14 @@ fn descendant_scan(
     out
 }
 
-/// Materialize descendants(-or-self): contiguous id ranges with an index,
-/// subtree walks without.
+/// Sparse-to-dense switch point: expansions covering at least this
+/// fraction of the document materialize as a bitmap instead of an id
+/// vec, so a following `bitmap-filter` (or union) runs word-parallel.
+const DENSE_FRACTION: usize = 16;
+
+/// Materialize descendants(-or-self): contiguous id ranges with an index
+/// (as a dense bitmap when they cover enough of the document), subtree
+/// walks without.
 fn descendant_expand(
     doc: &Document,
     idx: Option<&DocIndex>,
@@ -862,45 +1425,61 @@ fn descendant_expand(
     or_self: bool,
     stats: &mut EvalStats,
 ) -> ExecSet {
-    let mut out = ExecSet { doc: ctx.doc && or_self, nodes: Vec::new() };
-    // The document node's proper descendants are the root plus its
-    // subtree, i.e. the root's descendant-or-self range.
-    let push_range =
-        |from: NodeId, include_self: bool, out: &mut ExecSet, stats: &mut EvalStats| match idx {
-            Some(idx) => {
-                let end = idx.subtree_end(from).index();
-                stats.interval_probes += 1;
-                let start = if include_self { from.index() } else { from.index() + 1 };
-                out.nodes.extend((start..=end).map(NodeId::from_index));
-                stats.nodes_touched += (end + 1 - start) as u64;
+    let mut out = ExecSet { doc: ctx.doc && or_self, rows: Rows::default() };
+    match idx {
+        Some(idx) => {
+            // The document node's proper descendants are the root plus
+            // its subtree, i.e. the root's descendant-or-self range.
+            let mut ranges: Vec<(usize, usize)> = Vec::new();
+            if ctx.doc {
+                if let Some(root) = doc.root_opt() {
+                    ranges.push((root.index(), idx.subtree_end(root).index()));
+                }
             }
-            None => {
+            for &r in &staircase(idx, ctx.ids(), stats) {
+                let start = if or_self { r.index() } else { r.index() + 1 };
+                let end = idx.subtree_end(r).index();
+                if start <= end {
+                    ranges.push((start, end));
+                }
+            }
+            stats.interval_probes += ranges.len() as u64;
+            let total: usize = ranges.iter().map(|&(s, e)| e + 1 - s).sum();
+            stats.nodes_touched += total as u64;
+            if doc.len() >= 64 && total >= doc.len() / DENSE_FRACTION {
+                let mut bm = NodeBitmap::new(doc.len());
+                for &(s, e) in &ranges {
+                    bm.set_range(NodeId::from_index(s), NodeId::from_index(e));
+                }
+                out.rows = Rows::Dense(bm);
+            } else {
+                for &(s, e) in &ranges {
+                    out.extend_slice(&(s..=e).map(NodeId::from_index).collect::<Vec<_>>());
+                }
+                // Ranges can overlap (doc-context range covers staircase
+                // roots); nested context nodes dropped by the staircase
+                // are inside a survivor's range already.
+                out.normalize();
+            }
+        }
+        None => {
+            if ctx.doc {
+                if let Some(root) = doc.root_opt() {
+                    let mut n = 0u64;
+                    for d in doc.descendants_or_self(root) {
+                        out.push(d);
+                        n += 1;
+                    }
+                    stats.nodes_touched += n;
+                }
+            }
+            for &v in ctx.ids() {
                 let mut n = 0u64;
-                for d in doc.descendants_or_self(from).skip(if include_self { 0 } else { 1 }) {
-                    out.nodes.push(d);
+                for d in doc.descendants_or_self(v).skip(if or_self { 0 } else { 1 }) {
+                    out.push(d);
                     n += 1;
                 }
                 stats.nodes_touched += n;
-            }
-        };
-    if ctx.doc {
-        if let Some(root) = doc.root_opt() {
-            push_range(root, true, &mut out, stats);
-        }
-    }
-    match idx {
-        Some(idx) => {
-            for &r in &staircase(idx, &ctx.nodes, stats) {
-                push_range(r, or_self, &mut out, stats);
-            }
-            // Nested context nodes dropped by the staircase are proper
-            // descendants of a survivor, so their ranges are covered —
-            // but a dropped node itself is already in the range too.
-            out.normalize();
-        }
-        None => {
-            for &v in &ctx.nodes {
-                push_range(v, or_self, &mut out, stats);
             }
             out.normalize();
         }
@@ -908,44 +1487,53 @@ fn descendant_expand(
     out
 }
 
-fn qual_probe(
-    doc: &Document,
-    idx: Option<&DocIndex>,
-    q: &QualPlan,
-    ctx: &ExecSet,
-    stats: &mut EvalStats,
-) -> bool {
+fn qual_probe(ex: Exec, q: &QualPlan, ctx: &ExecSet, stats: &mut EvalStats) -> bool {
+    let (doc, idx) = (ex.doc, ex.idx);
     match q {
         QualPlan::True => true,
         QualPlan::False => false,
-        QualPlan::Exists(ops) => exists_ops(doc, idx, ops, ctx, stats),
+        QualPlan::Exists(ops) => exists_ops(ex, ops, ctx, stats),
         QualPlan::Eq(ops, c) => {
-            let result = run_ops(doc, idx, ops, ctx.clone(), stats);
+            let mut result = run_ops(ex, ops, ctx.clone(), stats);
+            result.make_sorted();
             match idx {
                 // Memoized string values: one O(log n) slice of the
                 // index's text buffer per candidate.
-                Some(idx) => result.nodes.iter().any(|&n| {
+                Some(idx) => result.ids().iter().any(|&n| {
                     stats.index_lookups += 1;
                     idx.string_value(n) == *c
                 }),
-                None => result.nodes.iter().any(|&n| doc.string_value(n) == *c),
+                None => result.ids().iter().any(|&n| doc.string_value(n) == *c),
             }
         }
-        QualPlan::Attr(name) => {
-            ctx.nodes.first().map(|&v| doc.attribute(v, name).is_some()).unwrap_or(false)
-        }
-        QualPlan::AttrEq(name, value) => ctx
-            .nodes
+        // Attribute tests consult the access view when one is present
+        // (annotation plans): hidden attributes and dummy nodes test
+        // false, exactly as the §4 rewriting neutralizes them.
+        QualPlan::Attr(name) => ctx
+            .ids()
             .first()
-            .map(|&v| doc.attribute(v, name) == Some(value.as_str()))
+            .map(|&v| attr_in_view(ex.access, doc, v, name) && doc.attribute(v, name).is_some())
             .unwrap_or(false),
-        QualPlan::And(a, b) => {
-            qual_probe(doc, idx, a, ctx, stats) && qual_probe(doc, idx, b, ctx, stats)
-        }
-        QualPlan::Or(a, b) => {
-            qual_probe(doc, idx, a, ctx, stats) || qual_probe(doc, idx, b, ctx, stats)
-        }
-        QualPlan::Not(inner) => !qual_probe(doc, idx, inner, ctx, stats),
+        QualPlan::AttrEq(name, value) => ctx
+            .ids()
+            .first()
+            .map(|&v| {
+                attr_in_view(ex.access, doc, v, name)
+                    && doc.attribute(v, name) == Some(value.as_str())
+            })
+            .unwrap_or(false),
+        QualPlan::And(a, b) => qual_probe(ex, a, ctx, stats) && qual_probe(ex, b, ctx, stats),
+        QualPlan::Or(a, b) => qual_probe(ex, a, ctx, stats) || qual_probe(ex, b, ctx, stats),
+        QualPlan::Not(inner) => !qual_probe(ex, inner, ctx, stats),
+    }
+}
+
+/// Attribute visibility gate: unrestricted without an access view
+/// (rewrite plans keep their exact historical behavior).
+fn attr_in_view(access: Option<&AccessView>, doc: &Document, v: NodeId, name: &str) -> bool {
+    match access {
+        Some(av) => av.attr_visible(doc, v, name),
+        None => true,
     }
 }
 
@@ -953,23 +1541,19 @@ fn qual_probe(
 /// suffices: the pipeline prefix runs normally, then the last op is
 /// answered by emptiness probes (interval slices, bounded children
 /// scans) instead of building its result set.
-fn exists_ops(
-    doc: &Document,
-    idx: Option<&DocIndex>,
-    ops: &[PlanNode],
-    ctx: &ExecSet,
-    stats: &mut EvalStats,
-) -> bool {
+fn exists_ops(ex: Exec, ops: &[PlanNode], ctx: &ExecSet, stats: &mut EvalStats) -> bool {
+    let (doc, idx) = (ex.doc, ex.idx);
     if ctx.is_empty() {
         return false;
     }
     let Some((last, prefix)) = ops.split_last() else {
         return true; // the empty pipeline is the identity: ctx is non-empty
     };
-    let mid = run_ops(doc, idx, prefix, ctx.clone(), stats);
+    let mut mid = run_ops(ex, prefix, ctx.clone(), stats);
     if mid.is_empty() {
         return false;
     }
+    mid.make_sorted();
     match &last.op {
         PlanOp::RootSeed => doc.root_opt().is_some(),
         PlanOp::DocSeed => true,
@@ -987,7 +1571,7 @@ fn exists_ops(
                         }
                     }
                 }
-                mid.nodes.iter().any(|&v| {
+                mid.ids().iter().any(|&v| {
                     stats.interval_probes += 1;
                     !axis.slice(idx, v).is_empty()
                 })
@@ -1003,27 +1587,58 @@ fn exists_ops(
                     }
                 }
             }
-            mid.nodes.iter().any(|&v| {
+            mid.ids().iter().any(|&v| {
                 let kids = doc.children(v);
                 stats.merge_steps += kids.len() as u64;
                 kids.iter().any(|&c| axis.matches(doc, c))
             })
         }
-        PlanOp::LabelFilter(axis) => mid.nodes.iter().any(|&v| axis.matches(doc, v)),
+        PlanOp::LabelFilter(axis) => mid.ids().iter().any(|&v| axis.matches(doc, v)),
         PlanOp::DescendantExpand { or_self } => {
             if *or_self {
                 true // mid is non-empty and expansion keeps each node
             } else {
                 (mid.doc && doc.root_opt().is_some())
-                    || mid.nodes.iter().any(|&v| !doc.children(v).is_empty())
+                    || mid.ids().iter().any(|&v| !doc.children(v).is_empty())
             }
         }
-        PlanOp::UnionMerge(arms) => arms.iter().any(|arm| exists_ops(doc, idx, arm, &mid, stats)),
+        PlanOp::UnionMerge(arms) => arms.iter().any(|arm| exists_ops(ex, arm, &mid, stats)),
         PlanOp::QualifierProbe(q) => {
-            (mid.doc && stats.counted_check(|s| qual_probe(doc, idx, q, &ExecSet::document(), s)))
-                || mid.nodes.iter().any(|&v| {
-                    stats.counted_check(|s| qual_probe(doc, idx, q, &ExecSet::single(v), s))
-                })
+            (mid.doc && stats.counted_check(|s| qual_probe(ex, q, &ExecSet::document(), s)))
+                || mid
+                    .ids()
+                    .iter()
+                    .any(|&v| stats.counted_check(|s| qual_probe(ex, q, &ExecSet::single(v), s)))
+        }
+        PlanOp::BitmapFilter(f) => {
+            let bm = f.bitmap(ex.access());
+            stats.nodes_touched += mid.ids().len() as u64;
+            mid.ids().iter().any(|&v| bm.contains(v))
+        }
+        PlanOp::ViewChild(axis) => {
+            let av = ex.access();
+            if mid.doc {
+                if let Some(root) = doc.root_opt() {
+                    if av.test_matches(doc, root, axis) {
+                        return true;
+                    }
+                }
+            }
+            mid.ids().iter().any(|&v| {
+                let kids = av.view_children(v);
+                stats.merge_steps += kids.len() as u64;
+                kids.iter().any(|&c| av.test_matches(doc, c, axis))
+            })
+        }
+        PlanOp::ViewDescendant(axis) => {
+            !view_descendant(ex, ex.access(), &mid, axis, stats).is_empty()
+        }
+        PlanOp::ViewExpand { or_self } => {
+            if *or_self {
+                true // mid is non-empty and expansion keeps each node
+            } else {
+                !view_expand(ex.access(), &mid, false, stats).is_empty()
+            }
         }
     }
 }
@@ -1051,6 +1666,14 @@ pub struct PlanSummary {
     pub union_merge: u32,
     /// `qualifier-probe` operators (counting nested qualifiers).
     pub qualifier_probe: u32,
+    /// `bitmap-filter` operators (annotation plans).
+    pub bitmap_filter: u32,
+    /// `view-child` operators (annotation plans).
+    pub view_child: u32,
+    /// `view-descendant` operators (annotation plans).
+    pub view_descendant: u32,
+    /// `view-expand` operators (annotation plans).
+    pub view_expand: u32,
     /// Planned cardinality of the final operator.
     pub est_rows: u64,
 }
@@ -1065,6 +1688,10 @@ impl PlanSummary {
             + self.label_filter
             + self.union_merge
             + self.qualifier_probe
+            + self.bitmap_filter
+            + self.view_child
+            + self.view_descendant
+            + self.view_expand
     }
 
     /// Compact `name:count` mix of the non-zero counters (for benchmark
@@ -1078,6 +1705,10 @@ impl PlanSummary {
             ("filter", self.label_filter),
             ("union", self.union_merge),
             ("qual", self.qualifier_probe),
+            ("bitmap", self.bitmap_filter),
+            ("vchild", self.view_child),
+            ("vdesc", self.view_descendant),
+            ("vexpand", self.view_expand),
         ];
         let mix: Vec<String> =
             parts.iter().filter(|(_, n)| *n > 0).map(|(k, n)| format!("{k}:{n}")).collect();
@@ -1114,6 +1745,10 @@ fn count_ops(ops: &[PlanNode], s: &mut PlanSummary) {
                 s.qualifier_probe += 1;
                 count_qual(q, s);
             }
+            PlanOp::BitmapFilter(_) => s.bitmap_filter += 1,
+            PlanOp::ViewChild(_) => s.view_child += 1,
+            PlanOp::ViewDescendant(_) => s.view_descendant += 1,
+            PlanOp::ViewExpand { .. } => s.view_expand += 1,
         }
     }
 }
@@ -1162,10 +1797,13 @@ fn op_detail(op: &PlanOp) -> String {
         PlanOp::ChildWalk(a)
         | PlanOp::ChildMergeJoin(a)
         | PlanOp::DescendantSlice(a)
-        | PlanOp::LabelFilter(a) => format!("{}({a})", op.name()),
-        PlanOp::DescendantExpand { or_self } => {
+        | PlanOp::LabelFilter(a)
+        | PlanOp::ViewChild(a)
+        | PlanOp::ViewDescendant(a) => format!("{}({a})", op.name()),
+        PlanOp::DescendantExpand { or_self } | PlanOp::ViewExpand { or_self } => {
             format!("{}({})", op.name(), if *or_self { "or-self" } else { "proper" })
         }
+        PlanOp::BitmapFilter(f) => format!("{}({f})", op.name()),
         other => other.name().to_string(),
     }
 }
@@ -1238,11 +1876,16 @@ fn render_ops_json(ops: &[PlanNode], out: &mut String) {
             PlanOp::ChildWalk(a)
             | PlanOp::ChildMergeJoin(a)
             | PlanOp::DescendantSlice(a)
-            | PlanOp::LabelFilter(a) => {
+            | PlanOp::LabelFilter(a)
+            | PlanOp::ViewChild(a)
+            | PlanOp::ViewDescendant(a) => {
                 let _ = write!(out, ", \"test\": \"{}\"", json_escape(&a.to_string()));
             }
-            PlanOp::DescendantExpand { or_self } => {
+            PlanOp::DescendantExpand { or_self } | PlanOp::ViewExpand { or_self } => {
                 let _ = write!(out, ", \"or_self\": {or_self}");
+            }
+            PlanOp::BitmapFilter(f) => {
+                let _ = write!(out, ", \"filter\": \"{f}\"");
             }
             PlanOp::UnionMerge(arms) => {
                 out.push_str(", \"arms\": [");
@@ -1493,6 +2136,137 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes, "{json}");
+    }
+
+    /// The identity access view: every document node is a member under
+    /// its document parent. Annotation plans over it must match plain
+    /// document evaluation.
+    fn identity_access(doc: &Document) -> AccessView {
+        let mut av = AccessView::new(doc.len());
+        if let Some(root) = doc.root_opt() {
+            av.record_root(root);
+            for v in doc.descendants(root) {
+                av.record_member(v, doc.parent(v).unwrap(), doc.node(v).is_element());
+            }
+        }
+        av.finalize();
+        av
+    }
+
+    #[test]
+    fn annotate_plans_match_walk_under_identity_view() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let av = identity_access(&d);
+        let costs = [
+            ("index", CostModel::from_index(&idx)),
+            ("uninformed", CostModel::uninformed()),
+            ("no-index", CostModel::from_estimates([("patient".to_string(), 3.0)], 6.0, false)),
+        ];
+        for q in EQUIVALENCE_QUERIES {
+            let p = parse(q).unwrap();
+            let reference = eval_at_root(&d, &p);
+            for policy in PlanPolicy::ALL {
+                for (cname, cost) in &costs {
+                    let cq = compile_annotate(&p, policy, cost);
+                    let (with_idx, _) = cq.execute_with_access(&d, Some(&idx), Some(&av));
+                    let (without, _) = cq.execute_with_access(&d, None, Some(&av));
+                    assert_eq!(reference, with_idx, "{q} ({policy}, {cname}, indexed)");
+                    assert_eq!(reference, without, "{q} ({policy}, {cname}, no index)");
+                }
+            }
+        }
+    }
+
+    /// An access view hiding `clinicalTrial` behind a dummy label:
+    /// its subtree stays visible but the element itself is renamed.
+    fn dummy_access(doc: &Document) -> AccessView {
+        let mut av = AccessView::new(doc.len());
+        let root = doc.root_opt().unwrap();
+        av.record_root(root);
+        for v in doc.descendants(root) {
+            let parent = doc.parent(v).unwrap();
+            if doc.label_opt(v) == Some("clinicalTrial") {
+                av.record_dummy(v, parent, "dummy1");
+            } else {
+                av.record_member(v, parent, doc.node(v).is_element());
+            }
+        }
+        av.finalize();
+        av
+    }
+
+    #[test]
+    fn annotate_respects_dummy_renaming() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let av = dummy_access(&d);
+        let trial = d.elements_with_label("clinicalTrial").next().unwrap();
+        let run = |q: &str| {
+            let p = parse(q).unwrap();
+            let cq = compile_annotate(&p, PlanPolicy::Auto, &CostModel::from_index(&idx));
+            let (indexed, _) = cq.execute_with_access(&d, Some(&idx), Some(&av));
+            let (scanned, _) = cq.execute_with_access(&d, None, Some(&av));
+            assert_eq!(indexed, scanned, "{q}: index/no-index disagree");
+            indexed
+        };
+        assert!(run("//clinicalTrial").is_empty(), "doc label hidden behind dummy");
+        assert_eq!(run("//dummy1"), vec![trial]);
+        assert_eq!(run("dept/dummy1/patientInfo").len(), 1, "dummy subtree stays reachable");
+        assert_eq!(run("//patient").len(), 3, "members unaffected");
+        // All 14 hospital elements are view elements; `//*` excludes the
+        // root itself and includes the dummy.
+        assert_eq!(run("//*").len(), 13);
+    }
+
+    #[test]
+    fn annotate_lowering_fuses_seed_descendants() {
+        let cost = CostModel::uninformed();
+        let p = parse("//patient/name").unwrap();
+        let s = compile_annotate(&p, PlanPolicy::Auto, &cost).summary();
+        assert_eq!((s.descendant_slice, s.bitmap_filter, s.view_child), (1, 1, 1), "{s:?}");
+        assert!(s.mix().contains("bitmap:1"), "{}", s.mix());
+        // Off the seed context, descendants walk the view tree instead.
+        let nested = parse("dept//patient//name").unwrap();
+        let s2 = compile_annotate(&nested, PlanPolicy::Auto, &cost).summary();
+        assert_eq!((s2.view_child, s2.descendant_slice, s2.bitmap_filter), (1, 0, 0), "{s2:?}");
+        assert_eq!(s2.view_descendant, 2, "{s2:?}");
+        // Dummy labels never take the fused document slice.
+        let dummy = parse("//dummy1").unwrap();
+        let s3 = compile_annotate(&dummy, PlanPolicy::Auto, &cost).summary();
+        assert_eq!((s3.view_descendant, s3.descendant_slice), (1, 0), "{s3:?}");
+        let text = compile_annotate(&parse("//dummy1").unwrap(), PlanPolicy::Auto, &cost);
+        assert!(text.explain_text().contains("view-descendant(dummy1)"), "{}", text.explain_text());
+        let json = compile_annotate(&p, PlanPolicy::Auto, &cost).explain_json();
+        assert!(json.contains("\"op\": \"bitmap-filter\""), "{json}");
+        assert!(json.contains("\"filter\": \"member\""), "{json}");
+    }
+
+    #[test]
+    fn dense_rows_survive_expansion_and_filtering() {
+        // A document wide enough to cross the dense threshold.
+        let mut src = String::from("<r>");
+        for i in 0..200 {
+            src.push_str(&format!("<a><b>{i}</b></a>"));
+        }
+        src.push_str("</r>");
+        let d = parse_xml(&src).unwrap();
+        let idx = DocIndex::new(&d).unwrap();
+        let av = identity_access(&d);
+        for q in ["//.", "//./b", "//*", ".//text()"] {
+            let p = parse(q).unwrap();
+            let reference = eval_at_root(&d, &p);
+            for policy in PlanPolicy::ALL {
+                let cq = compile(&p, policy, &CostModel::from_index(&idx));
+                assert_eq!(reference, cq.execute(&d, Some(&idx)).0, "{q} ({policy})");
+                let an = compile_annotate(&p, policy, &CostModel::from_index(&idx));
+                assert_eq!(
+                    reference,
+                    an.execute_with_access(&d, Some(&idx), Some(&av)).0,
+                    "{q} ({policy}, annotate)"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! sxv derive      --dtd hospital.dtd --root hospital --spec nurse.spec [--bind wardNo=6] [--show-sigma]
 //! sxv materialize --dtd … --root … --spec … --doc data.xml
 //! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
-//! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize]
+//! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize|annotate]
 //!                 [--backend walk|join|auto] [--indexed] [--stats] [--repeat N] [--threads N]
 //! sxv explain     --dtd … --root … --spec … --query '…' [--approach …] [--policy walk|join|auto]
 //!                 [--doc data.xml] [--height N] [--format text|json]
@@ -32,7 +32,7 @@ use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
 use secure_xml_views::lint::{lint_query, lint_spec, lint_view, Level, LintConfig, Report};
 use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
-use secure_xml_views::xpath::{compile, parse as parse_xpath};
+use secure_xml_views::xpath::{compile, compile_annotate, parse as parse_xpath};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -127,12 +127,12 @@ fn subcommand_usage(command: &str) -> &'static str {
         }
         "query" => {
             "sxv query --dtd FILE --root NAME --spec FILE --doc FILE --query PATH \
-             [--approach naive|rewrite|optimize] [--backend walk|join|auto] [--indexed] [--stats] \
-             [--repeat N] [--threads N]"
+             [--approach naive|rewrite|optimize|annotate] [--backend walk|join|auto] [--indexed] \
+             [--stats] [--repeat N] [--threads N]"
         }
         "explain" => {
             "sxv explain --dtd FILE --root NAME --spec FILE --query PATH \
-             [--approach naive|rewrite|optimize] [--policy walk|join|auto] [--doc FILE] \
+             [--approach naive|rewrite|optimize|annotate] [--policy walk|join|auto] [--doc FILE] \
              [--height N] [--format text|json]"
         }
         "generate" => "sxv generate --dtd FILE --root NAME [--branch N] [--seed N] [--depth N]",
@@ -242,7 +242,12 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         "naive" => Approach::Naive,
         "rewrite" => Approach::Rewrite,
         "optimize" => Approach::Optimize,
-        other => return Err(format!("unknown approach {other:?}")),
+        "annotate" => Approach::Annotate,
+        other => {
+            return Err(format!(
+                "unknown approach {other:?} (valid values: naive, rewrite, optimize, annotate)"
+            ))
+        }
     };
     let policy: PlanPolicy = match opts.get("backend") {
         None => PlanPolicy::ForceWalk,
@@ -328,6 +333,14 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
             cache.plans_compiled,
             if report.cache_hit { "hit" } else { "miss" },
         );
+        if approach == Approach::Annotate {
+            let access = engine.access_stats();
+            eprintln!(
+                "accessibility bitmaps: builds={} hits={} entries={} build_time={}us \
+                 footprint={} bytes",
+                access.builds, access.hits, access.entries, access.build_micros, access.bytes,
+            );
+        }
     }
     eprintln!("{} result(s)", answer.len());
     for node in answer {
@@ -347,7 +360,12 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
         "naive" => Approach::Naive,
         "rewrite" => Approach::Rewrite,
         "optimize" => Approach::Optimize,
-        other => return Err(format!("unknown approach {other:?}")),
+        "annotate" => Approach::Annotate,
+        other => {
+            return Err(format!(
+                "unknown approach {other:?} (valid values: naive, rewrite, optimize, annotate)"
+            ))
+        }
     };
     let policy: PlanPolicy = match opts.get("policy") {
         None => PlanPolicy::Auto,
@@ -381,7 +399,12 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
     let view = derive_view(&spec).map_err(|e| e.to_string())?;
     let engine = SecureEngine::new(&spec, &view);
     let translated = engine.translate(&query, approach, height).map_err(|e| e.to_string())?;
-    let plan = compile(&translated, policy, &cost);
+    let plan = match approach {
+        // Annotate serves the view query itself through access-filtered
+        // view operators; there is no document-side translation to plan.
+        Approach::Annotate => compile_annotate(&translated, policy, &cost),
+        _ => compile(&translated, policy, &cost),
+    };
     if json {
         println!("{}", plan.explain_json());
     } else {

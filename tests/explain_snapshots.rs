@@ -89,3 +89,23 @@ fn table1_rewrite_plans_match_snapshots() {
 fn q1_json_plan_matches_snapshot() {
     check_snapshot("explain_q1.json", &explain(TABLE1[0].1, &["--format", "json"]));
 }
+
+#[test]
+fn table1_annotate_plans_match_snapshots() {
+    // Annotate plans serve the view query itself: the snapshots pin the
+    // bitmap-filter / view-child / view-descendant operator rendering.
+    for (name, query) in TABLE1 {
+        check_snapshot(
+            &format!("explain_{name}_annotate.txt"),
+            &explain(query, &["--approach", "annotate"]),
+        );
+    }
+}
+
+#[test]
+fn q2_annotate_json_plan_matches_snapshot() {
+    check_snapshot(
+        "explain_q2_annotate.json",
+        &explain(TABLE1[1].1, &["--approach", "annotate", "--format", "json"]),
+    );
+}

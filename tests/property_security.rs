@@ -13,12 +13,15 @@
 
 use proptest::prelude::*;
 use secure_xml_views::core::{
-    accessibility, derive_view, materialize, optimize, rewrite, AccessSpec, NaiveBaseline,
+    accessibility, build_access_view, derive_view, materialize, optimize, rewrite, AccessSpec,
+    NaiveBaseline,
 };
 use secure_xml_views::dtd::{parse_dtd, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
-use secure_xml_views::xml::Document;
-use secure_xml_views::xpath::{eval_at_root, Path, Qualifier};
+use secure_xml_views::xml::{DocIndex, Document};
+use secure_xml_views::xpath::{
+    compile_annotate, eval_at_root, CostModel, Path, PlanPolicy, Qualifier,
+};
 
 const HOSPITAL_DTD: &str = include_str!("../assets/hospital.dtd");
 
@@ -218,6 +221,42 @@ proptest! {
         over_view.dedup();
         let over_doc = eval_at_root(&doc, &pt);
         prop_assert_eq!(over_view, over_doc, "query {} rewritten to {}", p, pt);
+    }
+
+    /// The annotate approach is equivalent to both the rewrite approach
+    /// and the materialized baseline: for random (spec, doc, query)
+    /// triples where materialization succeeds, executing the view query
+    /// through the accessibility artifact returns exactly the source
+    /// nodes the materialized view would — under all three plan
+    /// policies, indexed and unindexed.
+    #[test]
+    fn annotate_is_equivalent(
+        spec in spec_strategy(),
+        p in path_strategy(),
+        seed in 0u64..500,
+        branch in 1usize..5,
+    ) {
+        let doc = hospital_doc(seed, branch);
+        let view = derive_view(&spec).unwrap();
+        let Ok(m) = materialize(&spec, &view, &doc) else { return Ok(()) };
+        let mut over_view = m.sources_of(&eval_at_root(&m.doc, &p));
+        over_view.sort();
+        over_view.dedup();
+        let pt = rewrite(&view, &p).unwrap();
+        let over_doc = eval_at_root(&doc, &pt);
+        prop_assert_eq!(&over_view, &over_doc, "rewrite baseline diverged for {}", &p);
+        let index = DocIndex::new(&doc);
+        let access = build_access_view(&spec, &view, &doc, index.as_ref());
+        for policy in [PlanPolicy::ForceWalk, PlanPolicy::ForceJoin, PlanPolicy::Auto] {
+            let plan = compile_annotate(&p, policy, &CostModel::uninformed());
+            for idx in [None, index.as_ref()] {
+                let (ans, _) = plan.execute_with_access(&doc, idx, Some(&access));
+                prop_assert_eq!(
+                    &ans, &over_view,
+                    "query {} under {:?} (indexed={})", &p, policy, idx.is_some()
+                );
+            }
+        }
     }
 
     /// §5: optimize preserves semantics over conforming instances.
