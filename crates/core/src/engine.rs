@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use sxv_xml::{DocIndex, Document, NodeId};
+use sxv_xml::{DocId, DocIndex, Document, NodeId};
 use sxv_xpath::{
     compile, compile_annotate, simplify, AccessView, Backend, CompiledQuery, CostModel, EvalStats,
     Path, PlanPolicy, PlanSummary,
@@ -171,13 +171,16 @@ const ACCESS_CACHE_CAPACITY: usize = 8;
 
 /// Cached [`AccessView`] artifacts, one per served document, plus the
 /// counters `sxv query --stats` reports. Documents are identified by
-/// address and size, which is sound as long as a served document is not
-/// dropped and replaced by a different one at the same allocation while
-/// the same engine keeps serving — the engine borrows spec and view, so
-/// engines are short-lived relative to their documents in practice.
+/// their stable [`DocId`] — a process-wide monotonic stamp that is never
+/// reused — so a long-lived engine (e.g. the `sxv serve` daemon) can
+/// watch documents come and go without ever serving one document's
+/// accessibility bitmaps for another. (An earlier revision keyed by
+/// `(address, len)`, which aliases as soon as a dropped document's
+/// allocation is recycled for a same-length one — a security bug, not
+/// just a stale-perf bug; see `access_cache_does_not_alias_replaced_documents`.)
 #[derive(Debug, Default)]
 struct AccessCache {
-    map: RwLock<HashMap<(usize, usize), Arc<AccessView>>>,
+    map: RwLock<HashMap<DocId, Arc<AccessView>>>,
     builds: AtomicU64,
     hits: AtomicU64,
     build_micros: AtomicU64,
@@ -322,7 +325,7 @@ impl<'a> SecureEngine<'a> {
     /// when `index` is given — and one σ expansion; every later query
     /// over the same document shares the artifact.
     pub fn access_view(&self, doc: &Document, index: Option<&DocIndex>) -> Arc<AccessView> {
-        let key = (doc as *const Document as usize, doc.len());
+        let key = doc.doc_id();
         if let Some(av) = read_recover(&self.access.map).get(&key) {
             self.access.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(av);
@@ -708,6 +711,119 @@ mod tests {
         let other = parse_xml("<hospital><dept/></hospital>").unwrap();
         engine.answer_with(&other, &p, Approach::Annotate).unwrap();
         assert_eq!(engine.access_stats().builds, 2);
+    }
+
+    #[test]
+    fn access_cache_does_not_alias_replaced_documents() {
+        // Regression test for the pointer-keyed AccessView cache: keying
+        // by `(address, len)` serves a *dropped* document's bitmaps to a
+        // different same-length document whose allocation lands on the
+        // same address — which boxed same-size allocations routinely do.
+        // With `DocId` keys the second document always builds its own
+        // artifact.
+        let (spec, view, _) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient/name").unwrap();
+        // Same node count and shape; only the ward number differs, so
+        // document A has a visible dept (wardNo=6) and document B hides
+        // everything (wardNo=7 fails the σ qualifier).
+        let xml = |ward: &str| {
+            format!(
+                "<hospital><dept><patientInfo><patient><name>Ann</name><wardNo>{ward}</wardNo>\
+                 <treatment><trial><bill>9</bill></trial></treatment></patient></patientInfo>\
+                 <staffInfo/></dept></hospital>"
+            )
+        };
+        let a = Box::new(parse_xml(&xml("6")).unwrap());
+        let len_a = a.len();
+        let visible = engine.answer_with(&a, &p, Approach::Annotate).unwrap();
+        assert_eq!(visible.len(), 1, "ward 6 exposes Ann");
+        drop(a);
+        // B is a distinct same-length document; a recycled allocation
+        // must not resurrect A's accessibility bitmaps.
+        let b = Box::new(parse_xml(&xml("7")).unwrap());
+        assert_eq!(b.len(), len_a, "the aliasing trap needs equal lengths");
+        let hidden = engine.answer_with(&b, &p, Approach::Annotate).unwrap();
+        let fresh = SecureEngine::new(&spec, &view);
+        assert_eq!(
+            hidden,
+            fresh.answer_with(&b, &p, Approach::Annotate).unwrap(),
+            "cached engine must answer exactly like a cold engine"
+        );
+        assert!(hidden.is_empty(), "ward 7 dept is hidden; stale bitmaps leaked a name");
+        assert_eq!(
+            engine.access_stats().builds,
+            2,
+            "the second document must build its own artifact, not hit A's"
+        );
+    }
+
+    #[test]
+    fn access_cache_concurrent_eviction_stays_consistent() {
+        // Many callers racing the ACCESS_CACHE_CAPACITY eviction path:
+        // more distinct documents than the cache holds, hammered from
+        // several threads. Every call must either hit or build (never
+        // both, never neither), the resident set must respect capacity,
+        // and all answers must match a cold engine's.
+        let (spec, view, _) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient/name").unwrap();
+        let docs: Vec<Document> = (0..ACCESS_CACHE_CAPACITY + 4)
+            .map(|i| {
+                parse_xml(&format!(
+                    "<hospital><dept><patientInfo><patient><name>P{i}</name>\
+                     <wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment>\
+                     </patient></patientInfo><staffInfo/></dept></hospital>"
+                ))
+                .unwrap()
+            })
+            .collect();
+        const ROUNDS: usize = 8;
+        let threads = 4;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let engine = &engine;
+                    let docs = &docs;
+                    let p = &p;
+                    s.spawn(move || {
+                        for r in 0..ROUNDS {
+                            // Different threads walk the documents in
+                            // different orders so hits, builds and
+                            // evictions interleave.
+                            for i in 0..docs.len() {
+                                let doc = &docs[(i * (t + 1) + r) % docs.len()];
+                                let ans = engine.answer_with(doc, p, Approach::Annotate).unwrap();
+                                assert_eq!(ans.len(), 1, "every doc exposes its one patient");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let stats = engine.access_stats();
+        let calls = (threads * ROUNDS * docs.len()) as u64;
+        assert_eq!(
+            stats.builds + stats.hits,
+            calls,
+            "each access_view call hits or builds exactly once"
+        );
+        assert!(stats.builds >= docs.len() as u64, "every distinct document built at least once");
+        assert!(stats.entries <= ACCESS_CACHE_CAPACITY, "eviction respects capacity");
+        assert!(stats.bytes > 0);
+        // Racing builders on one document must still share a single Arc.
+        let shared: Vec<Arc<AccessView>> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..threads).map(|_| s.spawn(|| engine.access_view(&docs[0], None))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            shared.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+            "concurrent callers over one document share one artifact"
+        );
     }
 
     #[test]

@@ -82,6 +82,14 @@ impl PolicyRegistry {
         Ok(&self.policy(group)?.view)
     }
 
+    /// The registered access specification of a group. Together with
+    /// [`PolicyRegistry::view`], this lets long-lived callers (the
+    /// `sxv serve` daemon) build one [`crate::SecureEngine`] per group
+    /// borrowing from the registry.
+    pub fn spec(&self, group: &str) -> Result<&AccessSpec> {
+        Ok(&self.policy(group)?.spec)
+    }
+
     /// Translate a group's view query into a document query
     /// (rewrite + optimize; recursive views unfold to `doc_height`).
     pub fn translate(&self, group: &str, p: &Path, doc_height: usize) -> Result<Path> {

@@ -1,0 +1,154 @@
+//! Bounded admission queue for the serve daemon's worker pool.
+//!
+//! The accept loop pushes work with [`Bounded::try_push`], which fails
+//! immediately when the queue is full — that failure becomes a 503 so
+//! overload produces fast, explicit rejections instead of unbounded
+//! memory growth and collapsing tail latency. Workers block in
+//! [`Bounded::pop`] until work or shutdown arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A fixed-capacity MPMC queue with explicit shutdown.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed the request.
+    Full,
+    /// The queue has been shut down; no new work is accepted.
+    Shutdown,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items at a time.
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner { items: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking; `Err(Full)` means shed the request.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err(PushError::Shutdown);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is shut down.
+    /// Returns `None` only on shutdown with an empty queue, so enqueued
+    /// work is always drained before workers exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Current depth (for /stats).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop accepting work and wake every blocked worker.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panicking worker must not wedge the daemon; the queue state
+        // (VecDeque + bool) is valid at every await point.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        q.pop();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = Bounded::new(0);
+        assert_eq!(q.try_push(1), Err(PushError::Full));
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_workers_and_drains_backlog() {
+        let q = Arc::new(Bounded::new(8));
+        q.try_push(7).unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give workers a moment to block, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort();
+        // Exactly one worker got the backlog item; the rest saw shutdown.
+        assert_eq!(results, vec![None, None, Some(7)]);
+        assert_eq!(q.try_push(9), Err(PushError::Shutdown));
+    }
+}

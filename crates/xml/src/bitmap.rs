@@ -109,13 +109,32 @@ impl NodeBitmap {
     }
 
     /// Word-parallel union: `self |= other`.
+    ///
+    /// A longer `other` *grows* `self` to cover its domain first — a
+    /// plain `zip` would silently drop every member of `other` beyond
+    /// `self`'s last word, the asymmetric twin of the tail-zeroing in
+    /// [`NodeBitmap::and_assign`]. (A shorter `other` needs nothing: its
+    /// missing tail is implicitly zero.)
     pub fn or_assign(&mut self, other: &NodeBitmap) {
+        if other.len > self.len {
+            self.len = other.len;
+            // Words past other's `len` are clear by invariant, so
+            // copying whole words cannot smuggle in out-of-range bits.
+            self.words.resize(other.words.len(), 0);
+        }
         for (w, o) in self.words.iter_mut().zip(&other.words) {
             *w |= o;
         }
     }
 
     /// Word-parallel difference: `self &= !other`.
+    ///
+    /// Length handling is explicit: ids beyond `self`'s domain are never
+    /// members of `self`, so a longer `other` has nothing extra to
+    /// remove and its tail words are deliberately ignored; a shorter
+    /// `other` subtracts nothing from `self`'s tail. Unlike
+    /// [`NodeBitmap::or_assign`], the truncating `zip` is exactly the
+    /// set-difference semantics.
     pub fn and_not_assign(&mut self, other: &NodeBitmap) {
         for (w, o) in self.words.iter_mut().zip(&other.words) {
             *w &= !o;
@@ -230,6 +249,51 @@ mod tests {
         let mut diff = a.clone();
         diff.and_not_assign(&b);
         assert_eq!(diff.to_ids(), ids(&[1, 100]));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_handled_setwise() {
+        // or_assign with a longer other must not drop the tail members
+        // (the old zip-only version lost ids 64.. entirely).
+        let mut short = NodeBitmap::from_ids(10, &ids(&[1, 9]));
+        let long = NodeBitmap::from_ids(200, &ids(&[9, 64, 190]));
+        short.or_assign(&long);
+        assert_eq!(short.len(), 200, "union grows to the larger domain");
+        assert_eq!(short.to_ids(), ids(&[1, 9, 64, 190]));
+        // ...and a shorter other leaves the tail untouched.
+        let mut wide = NodeBitmap::from_ids(200, &ids(&[0, 150]));
+        wide.or_assign(&NodeBitmap::from_ids(10, &ids(&[3])));
+        assert_eq!(wide.to_ids(), ids(&[0, 3, 150]));
+        assert_eq!(wide.len(), 200);
+
+        // and_assign zeroes the tail beyond a shorter other (intersection
+        // with a domain that cannot contain those ids).
+        let mut inter = NodeBitmap::from_ids(200, &ids(&[3, 70, 199]));
+        inter.and_assign(&NodeBitmap::from_ids(10, &ids(&[3])));
+        assert_eq!(inter.to_ids(), ids(&[3]));
+
+        // and_not_assign: a longer other removes only ids inside self's
+        // domain; a shorter one leaves self's tail alone.
+        let mut diff = NodeBitmap::from_ids(10, &ids(&[1, 9]));
+        diff.and_not_assign(&NodeBitmap::from_ids(200, &ids(&[9, 64])));
+        assert_eq!(diff.to_ids(), ids(&[1]));
+        assert_eq!(diff.len(), 10, "difference never changes self's domain");
+        let mut keep = NodeBitmap::from_ids(200, &ids(&[5, 150]));
+        keep.and_not_assign(&NodeBitmap::from_ids(10, &ids(&[5])));
+        assert_eq!(keep.to_ids(), ids(&[150]));
+    }
+
+    #[test]
+    fn or_assign_growth_keeps_counts_and_negate_exact() {
+        // The grown tail must obey the clear-beyond-len invariant so
+        // count/rank/negate stay exact afterwards.
+        let mut b = NodeBitmap::from_ids(5, &ids(&[0, 4]));
+        b.or_assign(&NodeBitmap::from_ids(70, &ids(&[69])));
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.rank(NodeId::from_index(70)), 3);
+        b.negate();
+        assert_eq!(b.count_ones(), 70 - 3);
+        assert!(b.to_ids().iter().all(|id| id.index() < 70));
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub use bitmap::NodeBitmap;
 pub use error::{Error, Result};
 pub use index::DocIndex;
 pub use iter::{Ancestors, Children, Descendants};
-pub use node::{Document, LabelId, Node, NodeId, NodeKind};
+pub use node::{DocId, Document, LabelId, Node, NodeId, NodeKind};
 pub use parser::parse;
 pub use serializer::{to_string, to_string_pretty};

@@ -8,6 +8,38 @@
 use crate::error::{Error, Result};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stable identity of one [`Document`] value, stamped at construction
+/// from a process-wide monotonic counter and never reused.
+///
+/// Two live documents never share a `DocId`, and — unlike an address —
+/// a dropped document's id is never recycled for a later allocation, so
+/// `DocId` is the sound key for caches that outlive individual
+/// documents (see `SecureEngine`'s AccessView cache). Cloning a
+/// document stamps a *fresh* id: the clone is a distinct value that may
+/// be mutated independently, so identity must not carry over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(u64);
+
+static NEXT_DOC_ID: AtomicU64 = AtomicU64::new(1);
+
+impl DocId {
+    fn fresh() -> DocId {
+        DocId(NEXT_DOC_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw counter value (for logs and stats keys).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc@{}", self.0)
+    }
+}
 
 /// Index of a node inside a [`Document`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -102,8 +134,10 @@ impl Node {
 /// Nodes are appended in pre-order by the parser and by the
 /// [`Document::append_element`]/[`Document::append_text`] builders, so
 /// `NodeId` order is document order for such trees.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Document {
+    /// Process-unique identity, stamped at construction (fresh on clone).
+    id: DocId,
     nodes: Vec<Node>,
     root: Option<NodeId>,
     /// Label symbol table: `labels[id.index()]` is the element-type name
@@ -112,10 +146,42 @@ pub struct Document {
     label_ids: HashMap<String, LabelId>,
 }
 
+impl Default for Document {
+    fn default() -> Self {
+        Document {
+            id: DocId::fresh(),
+            nodes: Vec::new(),
+            root: None,
+            labels: Vec::new(),
+            label_ids: HashMap::new(),
+        }
+    }
+}
+
+impl Clone for Document {
+    /// Clones carry a fresh [`DocId`]: the copy is an independent value
+    /// (it may be mutated, e.g. the naive baseline's annotated copy), so
+    /// identity-keyed caches must treat it as a different document.
+    fn clone(&self) -> Self {
+        Document {
+            id: DocId::fresh(),
+            nodes: self.nodes.clone(),
+            root: self.root,
+            labels: self.labels.clone(),
+            label_ids: self.label_ids.clone(),
+        }
+    }
+}
+
 impl Document {
     /// Create an empty document (no root yet).
     pub fn new() -> Self {
         Document::default()
+    }
+
+    /// This document's stable, never-reused identity.
+    pub fn doc_id(&self) -> DocId {
+        self.id
     }
 
     /// Number of nodes (elements + text) in the arena.
@@ -541,6 +607,17 @@ mod tests {
         assert_eq!(d.label_id("zzz"), None);
         let t = d.append_text(c, "hi");
         assert_eq!(d.label_id_of(t), None);
+    }
+
+    #[test]
+    fn doc_ids_are_unique_and_fresh_on_clone() {
+        let (d, ..) = small_doc();
+        let (e, ..) = small_doc();
+        assert_ne!(d.doc_id(), e.doc_id(), "distinct documents get distinct ids");
+        let c = d.clone();
+        assert_ne!(c.doc_id(), d.doc_id(), "clones are independent values");
+        assert_eq!(d.doc_id(), d.doc_id(), "identity is stable over a value's life");
+        assert!(Document::new().doc_id().as_u64() > 0);
     }
 
     #[test]

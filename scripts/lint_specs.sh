@@ -46,6 +46,10 @@ check 0 "assets/hospital_nurse.spec" \
   --dtd assets/hospital.dtd --root hospital \
   --spec assets/hospital_nurse.spec --bind wardNo=6
 
+check 0 "assets/hospital_doctor.spec (serve smoke's second role)" \
+  --dtd assets/hospital.dtd --root hospital \
+  --spec assets/hospital_doctor.spec --deny-warnings
+
 check 0 "examples/lint/leaky.spec (the spec itself is fine)" \
   --dtd examples/lint/leaky.dtd --root record \
   --spec examples/lint/leaky.spec --deny-warnings

@@ -12,6 +12,8 @@
 //! sxv validate    --dtd … --root … --doc data.xml
 //! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…']
 //!                 [--format text|json] [--deny-warnings] [--allow C] [--warn C] [--deny C]
+//! sxv serve       --dtd … --root … --role NAME=SPECFILE … --doc NAME=XMLFILE … [--bind k=v]
+//!                 [--port N] [--workers N] [--queue N] [--timeout-ms N] [--stats-interval N]
 //! ```
 //!
 //! All subcommands read the document DTD (with `--root` naming the root
@@ -31,6 +33,7 @@ use secure_xml_views::core::{
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
 use secure_xml_views::lint::{lint_query, lint_spec, lint_view, Level, LintConfig, Report};
+use secure_xml_views::serve::{run as serve_run, ServeConfig};
 use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
 use secure_xml_views::xpath::{compile, compile_annotate, parse as parse_xpath};
 use std::process::ExitCode;
@@ -108,7 +111,7 @@ impl Options {
 }
 
 fn usage() -> String {
-    "usage: sxv <derive|materialize|rewrite|query|explain|generate|validate|lint> \
+    "usage: sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve> \
      --dtd FILE --root NAME …\n\
      run with a subcommand; see the crate docs for flags"
         .to_string()
@@ -142,8 +145,13 @@ fn subcommand_usage(command: &str) -> &'static str {
              [--query PATH]… [--format text|json] [--deny-warnings] [--allow CODE]… \
              [--warn CODE]… [--deny CODE]…"
         }
+        "serve" => {
+            "sxv serve --dtd FILE --root NAME --role NAME=SPECFILE… --doc NAME=XMLFILE… \
+             [--bind k=v]… [--port N] [--workers N] [--queue N] [--timeout-ms N] \
+             [--stats-interval N]"
+        }
         _ => {
-            "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint> \
+            "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve> \
              --dtd FILE --root NAME …"
         }
     }
@@ -160,6 +168,7 @@ fn run() -> Result<ExitCode, String> {
         "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
         "validate" => cmd_validate(&opts).map(|()| ExitCode::SUCCESS),
         "lint" => cmd_lint(&opts),
+        "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }
@@ -512,4 +521,63 @@ fn cmd_validate(opts: &Options) -> Result<(), String> {
     validate_attributes(&general, &doc).map_err(|e| e.to_string())?;
     println!("valid: {} nodes conform", doc.len());
     Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let dtd = load_dtd(opts)?;
+    let binds = opts.binds();
+    let params: Vec<(&str, &str)> = binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    // --role nurse=assets/hospital_nurse.spec, repeatable. The same
+    // --bind values are shared by every spec (one parameter namespace).
+    let mut roles = Vec::new();
+    for entry in opts.get_all("role") {
+        let (name, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--role {entry:?}: expected NAME=SPECFILE"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let spec = AccessSpec::parse(&dtd, &text, &params)
+            .map_err(|e| format!("role {name:?} ({path}): {e}"))?;
+        roles.push((name.to_string(), spec));
+    }
+    // --doc d1=assets/hospital.xml, repeatable. A bare FILE (no '=') is
+    // also accepted and served under its path as the name.
+    let mut docs = Vec::new();
+    for entry in opts.get_all("doc") {
+        let (name, path) = entry.split_once('=').unwrap_or((entry, entry));
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = parse_xml(&text).map_err(|e| format!("doc {name:?} ({path}): {e}"))?;
+        docs.push((name.to_string(), doc));
+    }
+    let mut config = ServeConfig::new(roles, docs);
+    if let Some(port) = opts.get("port") {
+        let port: u16 = port.parse().map_err(|e| format!("--port: {e}"))?;
+        config.addr = format!("127.0.0.1:{port}");
+    }
+    if let Some(workers) = opts.get("workers") {
+        config.workers = workers.parse().map_err(|e| format!("--workers: {e}"))?;
+        if config.workers == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+    }
+    if let Some(queue) = opts.get("queue") {
+        config.queue_capacity = queue.parse().map_err(|e| format!("--queue: {e}"))?;
+    }
+    if let Some(timeout) = opts.get("timeout-ms") {
+        config.timeout_ms = timeout.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
+    }
+    if let Some(interval) = opts.get("stats-interval") {
+        config.stats_interval_secs =
+            interval.parse().map_err(|e| format!("--stats-interval: {e}"))?;
+    }
+    // The CLI prints the bound address itself (the daemon also logs it);
+    // scripts parse this line to find an ephemeral --port 0 listener.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let printer = std::thread::spawn(move || {
+        if let Ok(addr) = ready_rx.recv() {
+            println!("listening on {addr}");
+        }
+    });
+    let result = serve_run(config, ready_tx);
+    printer.join().ok();
+    result
 }

@@ -17,7 +17,11 @@
 //!   plus the §6 "naive" baseline;
 //! * [`lint`] — the `sxv lint` static analyzer: audits specifications,
 //!   view definitions (soundness / completeness / dummy leaks) and view
-//!   queries before any document is loaded.
+//!   queries before any document is loaded;
+//! * [`serve`] — the `sxv serve` daemon: a persistent multi-tenant
+//!   HTTP/1.1 + JSON query server hosting many `(role, document)`
+//!   tenants over one warm engine set, with admission control and
+//!   per-tenant observability.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub use sxv_core as core;
 pub use sxv_dtd as dtd;
 pub use sxv_gen as gen;
 pub use sxv_lint as lint;
+pub use sxv_serve as serve;
 pub use sxv_xml as xml;
 pub use sxv_xpath as xpath;
 

@@ -252,6 +252,8 @@ fn query_backend_join_and_threaded_batch_agree_with_walk() {
     assert!(!ok);
     assert!(bad_err.contains("--backend"), "{bad_err}");
     assert!(bad_err.contains("valid values: walk, join, auto"), "{bad_err}");
+    // Zero worker/repeat counts are usage errors, not silent clamps: the
+    // message must name the flag and the minimum.
     let mut zero = vec!["query"];
     zero.extend(DTD_ARGS);
     zero.extend(base);
@@ -259,6 +261,15 @@ fn query_backend_join_and_threaded_batch_agree_with_walk() {
     let (_, zero_err, ok) = run(&zero);
     assert!(!ok);
     assert!(zero_err.contains("--threads"), "{zero_err}");
+    assert!(zero_err.contains("at least 1"), "{zero_err}");
+    let mut zero_rep = vec!["query"];
+    zero_rep.extend(DTD_ARGS);
+    zero_rep.extend(base);
+    zero_rep.extend(["--repeat", "0"]);
+    let (_, rep_err, ok) = run(&zero_rep);
+    assert!(!ok);
+    assert!(rep_err.contains("--repeat"), "{rep_err}");
+    assert!(rep_err.contains("at least 1"), "{rep_err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,248 @@
+//! End-to-end tests for the `sxv serve` daemon: boot it in-process on
+//! an ephemeral port, drive it over real sockets with the hand-rolled
+//! HTTP client, and check the multi-tenant contract — answers byte-
+//! identical to the one-shot engine, correct 4xx/5xx semantics under
+//! bad input and overload, per-tenant stats, clean shutdown.
+
+use secure_xml_views::core::{derive_view, AccessSpec, Approach, PlanPolicy, SecureEngine};
+use secure_xml_views::dtd::{parse_dtd, Dtd};
+use secure_xml_views::serve::http::Client;
+use secure_xml_views::serve::{parse_answers, query_body, run, ServeConfig};
+use secure_xml_views::xml::{parse as parse_xml, Document};
+use secure_xml_views::xpath::parse as parse_xpath;
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn dtd() -> Dtd {
+    parse_dtd(
+        "<!ELEMENT r (pub, sec, fin)>\
+         <!ELEMENT pub (#PCDATA)><!ELEMENT sec (#PCDATA)><!ELEMENT fin (#PCDATA)>",
+        "r",
+    )
+    .unwrap()
+}
+
+fn docs() -> Vec<(String, Document)> {
+    vec![
+        ("d1".into(), parse_xml("<r><pub>p1</pub><sec>s1</sec><fin>f1</fin></r>").unwrap()),
+        ("d2".into(), parse_xml("<r><pub>p2</pub><sec>s2</sec><fin>f2</fin></r>").unwrap()),
+    ]
+}
+
+fn roles(dtd: &Dtd) -> Vec<(String, AccessSpec)> {
+    vec![
+        (
+            "public".into(),
+            AccessSpec::builder(dtd).deny("r", "sec").deny("r", "fin").build().unwrap(),
+        ),
+        ("finance".into(), AccessSpec::builder(dtd).deny("r", "sec").build().unwrap()),
+    ]
+}
+
+/// Boot a server on a background thread; returns its address and the
+/// join handle (join after POST /shutdown).
+fn boot(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<(), String>>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || run(config, tx));
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("server should come up");
+    (addr, handle)
+}
+
+fn client(addr: SocketAddr) -> Client {
+    Client::connect(&addr.to_string(), Duration::from_secs(10)).unwrap()
+}
+
+/// What the one-shot path (`sxv query` defaults: optimize + walk, no
+/// index) answers for this (role, doc, query) — the server must match
+/// these lines byte for byte.
+fn direct_answers(dtd: &Dtd, role: &str, doc_name: &str, query: &str) -> Vec<String> {
+    let spec = roles(dtd).into_iter().find(|(n, _)| n == role).unwrap().1;
+    let doc = docs().into_iter().find(|(n, _)| n == doc_name).unwrap().1;
+    let view = derive_view(&spec).unwrap();
+    let engine = SecureEngine::new(&spec, &view);
+    let q = parse_xpath(query).unwrap();
+    let (nodes, _) = engine
+        .answer_report_policy(&doc, None, &q, Approach::Optimize, PlanPolicy::ForceWalk)
+        .unwrap();
+    nodes
+        .into_iter()
+        .map(|node| match doc.label_opt(node) {
+            Some(label) => format!("<{label}> {}", doc.string_value(node)),
+            None => format!("#text {}", doc.string_value(node)),
+        })
+        .collect()
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<Result<(), String>>) {
+    let (status, _) = client(addr).post("/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_mixed_role_answers_match_the_one_shot_engine() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.stats_interval_secs = 0;
+    let (addr, handle) = boot(config);
+
+    // 4 concurrent clients × 2 roles × 2 docs; every answer must be
+    // byte-identical to what the one-shot engine produces.
+    let cases = [
+        ("public", "d1", "*"),
+        ("public", "d2", "//pub"),
+        ("finance", "d1", "*"),
+        ("finance", "d2", "//fin"),
+        ("public", "d1", "//sec"),  // hidden: empty answer
+        ("finance", "d2", "//sec"), // hidden for finance too
+    ];
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let dtd = &dtd;
+            scope.spawn(move || {
+                let mut c = client(addr);
+                for round in 0..6 {
+                    let (role, doc, query) = cases[(worker + round) % cases.len()];
+                    let (status, body) = c.post("/query", &query_body(role, doc, query)).unwrap();
+                    assert_eq!(status, 200, "{body}");
+                    let got = parse_answers(&body).unwrap();
+                    assert_eq!(got, direct_answers(dtd, role, doc, query), "{role}/{doc} {query}");
+                }
+            });
+        }
+    });
+
+    // /stats shows every tenant that saw traffic, with sane counters.
+    let (status, stats) = client(addr).get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let v = secure_xml_views::serve::json::Json::parse(&stats).unwrap();
+    let tenants = match v.get("tenants") {
+        Some(secure_xml_views::serve::json::Json::Array(t)) => t.clone(),
+        other => panic!("bad tenants: {other:?}"),
+    };
+    assert!(tenants.len() >= 4, "expected ≥4 tenants with traffic: {stats}");
+    let total: u64 =
+        tenants.iter().map(|t| t.get("requests").and_then(|r| r.as_u64()).unwrap()).sum();
+    assert_eq!(total, 24, "{stats}");
+    for t in &tenants {
+        assert!(t.get("p50_us").is_some() && t.get("p99_us").is_some(), "{stats}");
+        assert!(t.get("plan_cache_hit_rate").is_some(), "{stats}");
+    }
+    // Warm plan caches: repeated queries per (role, query) must hit.
+    let roles_stats = match v.get("roles") {
+        Some(secure_xml_views::serve::json::Json::Array(r)) => r.clone(),
+        other => panic!("bad roles: {other:?}"),
+    };
+    assert_eq!(roles_stats.len(), 2);
+    for r in &roles_stats {
+        let hits = r.get("plan_cache").unwrap().get("hits").unwrap().as_u64().unwrap();
+        assert!(hits > 0, "warm engine should see plan-cache hits: {stats}");
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.stats_interval_secs = 0;
+    let (addr, handle) = boot(config);
+    let mut c = client(addr);
+    for _ in 0..10 {
+        let (status, body) = c.post("/query", &query_body("public", "d1", "*")).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, _) = c.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn unknown_tenants_and_bad_bodies_get_4xx() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.stats_interval_secs = 0;
+    let (addr, handle) = boot(config);
+    let mut c = client(addr);
+
+    let (status, body) = c.post("/query", &query_body("ghost", "d1", "*")).unwrap();
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("unknown role"), "{body}");
+
+    let (status, body) = c.post("/query", &query_body("public", "nope", "*")).unwrap();
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("unknown doc"), "{body}");
+
+    let (status, body) = c.post("/query", "{\"role\": \"public\"}").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("doc"), "{body}");
+
+    let (status, body) = c.post("/query", "not json at all").unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    let (status, body) = c.post("/query", &query_body("public", "d1", "//(((")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("query parse"), "{body}");
+
+    let (status, _) = c.get("/no-such-endpoint").unwrap();
+    assert_eq!(status, 404);
+
+    // Errors and rejections never leak another tenant's data and the
+    // server stays healthy afterwards.
+    let (status, _) = c.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn zero_capacity_queue_sheds_with_503() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.queue_capacity = 0;
+    config.stats_interval_secs = 0;
+    let (addr, handle) = boot(config);
+    let mut c = client(addr);
+    let (status, body) = c.post("/query", &query_body("public", "d1", "*")).unwrap();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("shed"), "{body}");
+    let (_, stats) = c.get("/stats").unwrap();
+    assert!(stats.contains("\"rejected\": 1"), "{stats}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn expired_deadline_times_out_with_504() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.timeout_ms = 0; // every deadline is already expired at pop
+    config.stats_interval_secs = 0;
+    let (addr, handle) = boot(config);
+    let mut c = client(addr);
+    let (status, body) = c.post("/query", &query_body("finance", "d2", "*")).unwrap();
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline"), "{body}");
+    let (_, stats) = c.get("/stats").unwrap();
+    assert!(stats.contains("\"timed_out\": 1"), "{stats}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn boot_rejects_empty_or_invalid_configs() {
+    let dtd = dtd();
+    let (tx, _rx) = mpsc::channel();
+    let err = run(ServeConfig::new(Vec::new(), docs()), tx).unwrap_err();
+    assert!(err.contains("--role"), "{err}");
+
+    let (tx, _rx) = mpsc::channel();
+    let err = run(ServeConfig::new(roles(&dtd), Vec::new()), tx).unwrap_err();
+    assert!(err.contains("--doc"), "{err}");
+
+    let (tx, _rx) = mpsc::channel();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.workers = 0;
+    let err = run(config, tx).unwrap_err();
+    assert!(err.contains("--workers"), "{err}");
+}
