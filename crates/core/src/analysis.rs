@@ -109,6 +109,81 @@ impl TypeAccessibility {
     }
 }
 
+/// Build the plain-data context the plan certifier
+/// ([`sxv_xpath::certify`]) needs, from a specification and its view:
+/// the DTD edge graph, the §3.2 type-accessibility sets, and the
+/// dummy-label information (which document types the view deliberately
+/// serves under a renamed dummy label — σ-image propagation, the same
+/// machinery as [`audit_view`]).
+pub fn certify_context(spec: &AccessSpec, view: &SecurityView) -> sxv_xpath::CertifyContext {
+    let dtd = spec.dtd();
+    let graph = DtdGraph::new(dtd);
+    let mut children: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for i in 0..graph.len() {
+        let kids: BTreeSet<String> =
+            graph.children(i).iter().map(|&c| graph.name_of(c).to_string()).collect();
+        children.insert(graph.name_of(i).to_string(), kids);
+    }
+    let text_types: BTreeSet<String> = dtd
+        .productions()
+        .iter()
+        .filter(|(_, p)| p.to_content().allows_text())
+        .map(|(n, _)| n.clone())
+        .collect();
+    let acc = TypeAccessibility::compute(spec);
+    let accessible = acc.can_acc.clone();
+    let hideable = acc.can_inacc.clone();
+    let inaccessible: BTreeSet<String> = hideable.difference(&accessible).cloned().collect();
+
+    // σ-context propagation (as in `audit_view`, findings elided):
+    // which document nodes can stand behind each view type? Dummy view
+    // types expose their targets' labels under a renamed label — those
+    // document types are emittable by design.
+    let vgraph = ViewGraph::from_dtd(dtd);
+    let mut ctx: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    ctx.insert(view.root().to_string(), BTreeSet::from([vgraph.root_node()]));
+    let mut queue: VecDeque<String> = VecDeque::from([view.root().to_string()]);
+    let mut dummy_visible: BTreeSet<String> = BTreeSet::new();
+    let mut dummy_labels: BTreeSet<String> = BTreeSet::new();
+    while let Some(a) = queue.pop_front() {
+        let Some(content) = view.production(&a) else { continue };
+        let parents: Vec<usize> = ctx.get(&a).into_iter().flatten().copied().collect();
+        for b in content.child_types().into_iter().map(str::to_string) {
+            let default_path = Path::label(&b);
+            let p = view.sigma(&a, &b).unwrap_or(&default_path);
+            let mut targets = BTreeSet::new();
+            for &n in &parents {
+                if let Some(img) = image(&vgraph, p, n) {
+                    targets.extend(img.targets);
+                }
+            }
+            if SecurityView::is_dummy(&b) && !targets.is_empty() {
+                dummy_labels.insert(b.clone());
+                for &t in &targets {
+                    dummy_visible.insert(vgraph.label_of(t).to_string());
+                }
+            }
+            let entry = ctx.entry(b.clone()).or_default();
+            let before = entry.len();
+            entry.extend(targets);
+            if entry.len() != before {
+                queue.push_back(b);
+            }
+        }
+    }
+
+    sxv_xpath::CertifyContext {
+        root: dtd.root().to_string(),
+        children,
+        text_types,
+        accessible,
+        inaccessible,
+        hideable,
+        dummy_visible,
+        dummy_labels,
+    }
+}
+
 /// One finding of the view audit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuditFinding {
@@ -479,6 +554,28 @@ mod tests {
         }
         // name is reachable both under patient (acc) and doctor/nurse (acc) — always acc.
         assert!(acc.definitely_accessible("name"));
+    }
+
+    #[test]
+    fn certify_context_from_nurse_spec() {
+        let spec = nurse();
+        let view = derive_view(&spec).unwrap();
+        let ctx = certify_context(&spec, &view);
+        assert_eq!(ctx.root, "hospital");
+        assert!(ctx.children["dept"].contains("clinicalTrial"));
+        assert!(ctx.text_types.contains("name") && !ctx.text_types.contains("patient"));
+        assert!(ctx.accessible.contains("bill"), "allow override is emittable");
+        assert!(ctx.inaccessible.contains("trial") && ctx.inaccessible.contains("clinicalTrial"));
+        assert!(ctx.hideable.contains("trial"));
+        // The nurse view renames the hidden treatment branches into
+        // dummies; their σ-image types are emittable by design.
+        assert!(!ctx.dummy_labels.is_empty(), "{:?}", ctx.dummy_labels);
+        assert!(
+            ctx.dummy_visible.contains("trial") || ctx.dummy_visible.contains("regular"),
+            "{:?}",
+            ctx.dummy_visible
+        );
+        assert!(ctx.emittable("bill") && !ctx.emittable("test"));
     }
 
     #[test]

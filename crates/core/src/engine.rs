@@ -6,6 +6,7 @@
 //! is evaluated over the original document. The security view itself is
 //! never materialized on this path.
 
+use crate::analysis::certify_context;
 use crate::annotate::build_access_view;
 use crate::error::{Error, Result};
 use crate::naive::NaiveBaseline;
@@ -20,8 +21,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sxv_xml::{DocId, DocIndex, Document, NodeId};
 use sxv_xpath::{
-    compile, compile_annotate, simplify, AccessView, Backend, CompiledQuery, CostModel, EvalStats,
-    Path, PlanPolicy, PlanSummary,
+    certify, compile, compile_annotate, simplify, AccessView, Backend, CertifyContext,
+    CompiledQuery, CostModel, EvalStats, Path, PlanCertificate, PlanPolicy, PlanSummary,
 };
 
 /// Query evaluation strategy (the three columns of Table 1, plus the
@@ -72,10 +73,23 @@ fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// A compiled plan paired with the static certificate the engine
+/// produced for it at compile time (see [`sxv_xpath::certify`]). Both
+/// halves are `Arc`-shared, so cloning a `Planned` out of the cache is
+/// two refcount bumps.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// The compiled, executable plan.
+    pub plan: Arc<CompiledQuery>,
+    /// The plan's static certificate (checked once, cached alongside).
+    pub cert: Arc<PlanCertificate>,
+}
+
 /// One cache shard: planning outcome plus its atomic LRU tick, per key.
 /// The value is the whole compiled artifact — a hit skips parse
-/// normalization, rewriting, optimization *and* planning.
-type CacheShard = HashMap<CacheKey, (Result<Arc<CompiledQuery>>, AtomicU64)>;
+/// normalization, rewriting, optimization, planning *and*
+/// certification.
+type CacheShard = HashMap<CacheKey, (Result<Planned>, AtomicU64)>;
 
 /// Sharded, read-mostly map of compiled query plans. Keys hash to one of
 /// a few independently locked shards, so concurrent [`SecureEngine`]
@@ -95,6 +109,13 @@ struct PlanCache {
     /// Plans compiled on the miss path — flat across repeats of a cached
     /// query, which is the observable proof of compile-once.
     plans_compiled: AtomicU64,
+    /// Plans put through the static certifier (one per compile).
+    plans_certified: AtomicU64,
+    /// Certificates with error findings (the plan would emit data that
+    /// is not provably accessible; `--verify` refuses to serve these).
+    certify_failures: AtomicU64,
+    /// Cumulative certification time, in microseconds.
+    certify_micros: AtomicU64,
 }
 
 impl PlanCache {
@@ -113,6 +134,9 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             plans_compiled: AtomicU64::new(0),
+            plans_certified: AtomicU64::new(0),
+            certify_failures: AtomicU64::new(0),
+            certify_micros: AtomicU64::new(0),
         }
     }
 
@@ -122,7 +146,7 @@ impl PlanCache {
         &self.shards[hasher.finish() as usize % self.shards.len()]
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<Result<Arc<CompiledQuery>>> {
+    fn lookup(&self, key: &CacheKey) -> Option<Result<Planned>> {
         let shard = read_recover(self.shard(key));
         match shard.get(key) {
             Some((p, used)) => {
@@ -137,7 +161,7 @@ impl PlanCache {
         }
     }
 
-    fn insert(&self, key: CacheKey, planned: Result<Arc<CompiledQuery>>) {
+    fn insert(&self, key: CacheKey, planned: Result<Planned>) {
         if self.shard_cap == 0 {
             return;
         }
@@ -161,6 +185,9 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| read_recover(s).len()).sum(),
             plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
+            plans_certified: self.plans_certified.load(Ordering::Relaxed),
+            certify_failures: self.certify_failures.load(Ordering::Relaxed),
+            certify_micros: self.certify_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -216,6 +243,15 @@ pub struct CacheStats {
     /// Successful translate-and-plan compilations since the engine was
     /// built; stays flat while repeats hit the cache.
     pub plans_compiled: u64,
+    /// Plans put through the static certifier (one per compile; flat on
+    /// cache hits — the certificate is cached with the plan).
+    pub plans_certified: u64,
+    /// Certificates with error findings. Under `--verify` these plans
+    /// are refused; otherwise they still serve (runtime enforcement
+    /// keeps the answer safe) and this counter is the audit trail.
+    pub certify_failures: u64,
+    /// Cumulative static-certification time in microseconds.
+    pub certify_micros: u64,
 }
 
 impl CacheStats {
@@ -248,6 +284,11 @@ pub struct QueryReport {
     pub plan: PlanSummary,
     /// The planner policy the executed plan was compiled under.
     pub policy: PlanPolicy,
+    /// The plan's static certificate has no error findings (see
+    /// [`sxv_xpath::certify`]). Uncertified plans still serve safely —
+    /// runtime enforcement is unchanged — unless the engine is in
+    /// strict verify mode, which refuses them before execution.
+    pub certified: bool,
 }
 
 /// A query engine bound to one access policy.
@@ -271,6 +312,12 @@ pub struct SecureEngine<'a> {
     /// Accessibility artifacts for [`Approach::Annotate`], built once per
     /// served document and shared across queries and batch workers.
     access: AccessCache,
+    /// Schema + accessibility context for the static plan certifier,
+    /// built once from the specification and its view.
+    certctx: CertifyContext,
+    /// Strict verification: refuse to serve plans whose certificate has
+    /// error findings instead of relying on runtime enforcement alone.
+    verify: bool,
 }
 
 impl<'a> SecureEngine<'a> {
@@ -294,7 +341,26 @@ impl<'a> SecureEngine<'a> {
             height_sensitive,
             cost: dtd_cost_model(spec.dtd(), true),
             access: AccessCache::default(),
+            certctx: certify_context(spec, view),
+            verify: false,
         }
+    }
+
+    /// Toggle strict verification: when on, answering refuses any plan
+    /// whose static certificate has error findings
+    /// ([`Error::Uncertified`]) instead of executing it.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Whether strict verification is on.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify
+    }
+
+    /// The certifier context this engine checks plans against.
+    pub fn certify_context(&self) -> &CertifyContext {
+        &self.certctx
     }
 
     /// The view DTD text exposed to users of this policy.
@@ -353,7 +419,7 @@ impl<'a> SecureEngine<'a> {
     pub fn translate(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
         self.plan(p, approach, doc_height, PlanPolicy::from(Backend::default()))
             .0
-            .map(|plan| plan.translated.clone())
+            .map(|planned| planned.plan.translated.clone())
     }
 
     /// Plan a view query end to end (translate → optimize → compile),
@@ -366,6 +432,19 @@ impl<'a> SecureEngine<'a> {
         doc_height: usize,
         policy: PlanPolicy,
     ) -> (Result<Arc<CompiledQuery>>, bool) {
+        let (planned, hit) = self.plan(p, approach, doc_height, policy);
+        (planned.map(|pl| pl.plan), hit)
+    }
+
+    /// Like [`SecureEngine::plan_report`], but returns the plan together
+    /// with its cached static certificate.
+    pub fn plan_certified(
+        &self,
+        p: &Path,
+        approach: Approach,
+        doc_height: usize,
+        policy: PlanPolicy,
+    ) -> (Result<Planned>, bool) {
         self.plan(p, approach, doc_height, policy)
     }
 
@@ -375,7 +454,7 @@ impl<'a> SecureEngine<'a> {
         approach: Approach,
         doc_height: usize,
         policy: PlanPolicy,
-    ) -> (Result<Arc<CompiledQuery>>, bool) {
+    ) -> (Result<Planned>, bool) {
         let key = CacheKey {
             query: simplify(p),
             approach,
@@ -387,13 +466,25 @@ impl<'a> SecureEngine<'a> {
         }
         let planned = self.translate_uncached(&key.query, approach, doc_height).map(|translated| {
             self.cache.plans_compiled.fetch_add(1, Ordering::Relaxed);
-            if approach == Approach::Annotate {
+            let plan = if approach == Approach::Annotate {
                 // The view query is not rewritten: compile it to a plan
                 // whose steps filter through the accessibility artifact.
                 Arc::new(compile_annotate(&translated, policy, &self.cost))
             } else {
                 Arc::new(compile(&translated, policy, &self.cost))
+            };
+            // Certify once per compile; the certificate rides in the
+            // cache entry so hits pay nothing.
+            let started = std::time::Instant::now();
+            let cert = Arc::new(certify(&plan, &self.certctx));
+            self.cache
+                .certify_micros
+                .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            self.cache.plans_certified.fetch_add(1, Ordering::Relaxed);
+            if !cert.certified() {
+                self.cache.certify_failures.fetch_add(1, Ordering::Relaxed);
             }
+            Planned { plan, cert }
         });
         self.cache.insert(key, planned.clone());
         (planned, false)
@@ -502,7 +593,20 @@ impl<'a> SecureEngine<'a> {
         policy: PlanPolicy,
     ) -> Result<(Vec<NodeId>, QueryReport)> {
         let (planned, cache_hit) = self.plan(p, approach, doc.height(), policy);
-        let plan = planned?;
+        let planned = planned?;
+        let certified = planned.cert.certified();
+        if self.verify && !certified {
+            return Err(Error::Uncertified {
+                query: p.to_string(),
+                findings: planned
+                    .cert
+                    .errors()
+                    .map(|f| f.describe())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            });
+        }
+        let plan = &planned.plan;
         let (answer, eval) = match approach {
             Approach::Naive => {
                 let annotated = NaiveBaseline::annotate(self.spec, doc);
@@ -522,6 +626,7 @@ impl<'a> SecureEngine<'a> {
                 eval,
                 plan: plan.summary(),
                 policy,
+                certified,
             },
         ))
     }
@@ -1002,6 +1107,86 @@ mod tests {
         let (again, hit2) = engine.plan_report(&p, Approach::Optimize, 0, PlanPolicy::Auto);
         assert!(hit2);
         assert!(Arc::ptr_eq(&plan, &again.unwrap()), "hits share the cached Arc");
+    }
+
+    #[test]
+    fn pipeline_plans_certify_across_approaches_and_policies() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        for q in ["//patient/name", "//bill", "dept/patientInfo/patient", "//name", "//test"] {
+            let p = parse(q).unwrap();
+            for approach in [Approach::Rewrite, Approach::Optimize, Approach::Annotate] {
+                for policy in PlanPolicy::ALL {
+                    let (planned, _) = engine.plan_certified(&p, approach, doc.height(), policy);
+                    let planned = planned.unwrap();
+                    assert!(
+                        planned.cert.certified(),
+                        "{q} ({approach:?}, {policy:?}): {:?}",
+                        planned.cert.errors().map(|f| f.describe()).collect::<Vec<_>>()
+                    );
+                    let (_, report) =
+                        engine.answer_report_policy(&doc, None, &p, approach, policy).unwrap();
+                    assert!(report.certified, "{q} ({approach:?}, {policy:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_mode_refuses_uncertified_naive_plan() {
+        let (spec, view, doc) = setup();
+        // The naive baseline's plan walks the *document* DTD and relies on
+        // runtime `@accessibility` filtering, which the certifier cannot
+        // credit: a query into a hidden region must be refused under
+        // --verify even though runtime enforcement would empty it.
+        let mut engine = SecureEngine::new(&spec, &view);
+        let p = parse("//test").unwrap();
+        let (_, report) =
+            engine.answer_report_policy(&doc, None, &p, Approach::Naive, PlanPolicy::Auto).unwrap();
+        assert!(!report.certified, "naive //test should carry a failing certificate");
+        engine.set_verify(true);
+        assert!(engine.verify_enabled());
+        let err = engine
+            .answer_report_policy(&doc, None, &p, Approach::Naive, PlanPolicy::Auto)
+            .unwrap_err();
+        match err {
+            Error::Uncertified { query, findings } => {
+                assert_eq!(query, p.to_string());
+                assert!(findings.contains("test"), "{findings}");
+            }
+            other => panic!("expected Uncertified, got {other:?}"),
+        }
+        // Certified plans still serve under strict verification.
+        let p_ok = parse("//bill").unwrap();
+        let (ans, report) = engine
+            .answer_report_policy(&doc, None, &p_ok, Approach::Optimize, PlanPolicy::Auto)
+            .unwrap();
+        assert!(report.certified);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn certify_counters_track_compiles_and_failures() {
+        let (spec, view, doc) = setup();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//bill").unwrap();
+        engine.answer(&doc, &p).unwrap();
+        engine.answer(&doc, &p).unwrap(); // hit: no re-certification
+        let stats = engine.cache_stats();
+        assert_eq!(stats.plans_certified, 1, "one certificate per compile");
+        assert_eq!(stats.certify_failures, 0);
+        engine
+            .answer_report_policy(
+                &doc,
+                None,
+                &parse("//test").unwrap(),
+                Approach::Naive,
+                PlanPolicy::Auto,
+            )
+            .unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.plans_certified, 2);
+        assert_eq!(stats.certify_failures, 1, "the naive hidden-region plan fails");
     }
 
     #[test]

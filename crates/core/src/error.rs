@@ -59,6 +59,14 @@ pub enum Error {
     /// A batch worker thread died before reporting its queries' answers
     /// (the surviving workers' answers are unaffected).
     WorkerLost,
+    /// Strict verification mode refused to execute a plan whose static
+    /// certificate (see [`sxv_xpath::certify`]) reported errors.
+    Uncertified {
+        /// The user query whose plan failed certification.
+        query: String,
+        /// Semicolon-joined descriptions of the certificate's error findings.
+        findings: String,
+    },
     /// Wrapped DTD-layer error.
     Dtd(sxv_dtd::Error),
     /// Wrapped XPath-layer error.
@@ -94,6 +102,9 @@ impl fmt::Display for Error {
             Error::UnsupportedQuery(what) => write!(f, "unsupported query feature: {what}"),
             Error::WorkerLost => {
                 write!(f, "a batch worker thread panicked before answering its queries")
+            }
+            Error::Uncertified { query, findings } => {
+                write!(f, "plan for `{query}` failed static certification: {findings}")
             }
             Error::Dtd(e) => write!(f, "{e}"),
             Error::XPath(e) => write!(f, "{e}"),
@@ -138,6 +149,9 @@ mod tests {
         assert!(Error::UnboundParameter("wardNo".into()).to_string().contains("$wardNo"));
         assert!(Error::RecursiveView.to_string().contains("non-recursive"));
         assert!(Error::UnfoldImpossible { height: 3 }.to_string().contains("≤ 3"));
+        assert!(Error::Uncertified { query: "//salary".into(), findings: "emits salary".into() }
+            .to_string()
+            .contains("failed static certification"));
     }
 
     #[test]

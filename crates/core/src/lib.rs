@@ -59,9 +59,9 @@ pub mod spec;
 pub mod view;
 
 pub use accessibility::{compute_accessibility, Accessibility};
-pub use analysis::{audit_view, AuditFinding, TypeAccessibility};
+pub use analysis::{audit_view, certify_context, AuditFinding, TypeAccessibility};
 pub use annotate::build_access_view;
-pub use engine::{AccessCacheStats, Approach, CacheStats, QueryReport, SecureEngine};
+pub use engine::{AccessCacheStats, Approach, CacheStats, Planned, QueryReport, SecureEngine};
 pub use error::{Error, Result};
 pub use materialized_baseline::MaterializedBaseline;
 pub use naive::NaiveBaseline;
@@ -72,6 +72,7 @@ pub use rewrite::{rewrite, rewrite_paper_merge, rewrite_with_height, ViewGraph};
 pub use spec::{parse_spec_rules, RawRule, RawValue};
 pub use spec::{AccessSpec, AccessSpecBuilder, Annotation};
 pub use sxv_xpath::Backend;
+pub use sxv_xpath::{certify, CertFinding, CertifyContext, PlanCertificate, TraceLine};
 pub use sxv_xpath::{is_dummy_label, AccessView};
 pub use sxv_xpath::{CompiledQuery, CostModel, PlanPolicy, PlanSummary};
 pub use view::def::{SecurityView, ViewContent, ViewItem};

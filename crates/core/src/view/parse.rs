@@ -105,6 +105,15 @@ pub fn parse_view_text(text: &str) -> Result<SecurityView> {
             });
         }
     }
+    // Edges without an explicit σ line default to selecting the child's
+    // own label, σ(A, B) = B (see the module docs) — without this a
+    // hand-authored view is unusable by rewrite/materialize.
+    for (name, content) in &productions {
+        for child in content.child_types() {
+            let key = (name.clone(), child.to_string());
+            sigma.entry(key).or_insert_with(|| Path::label(child));
+        }
+    }
     Ok(SecurityView::new(root, productions, sigma))
 }
 
@@ -207,7 +216,11 @@ mod tests {
             "dept[*/patient/wardNo='6']"
         );
         assert_eq!(view.sigma("dummy1", "bill").unwrap().to_string(), "trial/bill");
-        assert!(view.sigma("dept", "staffInfo").is_none(), "defaults are left implicit");
+        assert_eq!(
+            view.sigma("dept", "staffInfo").unwrap().to_string(),
+            "staffInfo",
+            "an edge without a σ line defaults to the child's own label"
+        );
     }
 
     #[test]

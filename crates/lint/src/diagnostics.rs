@@ -239,6 +239,41 @@ pub const RULES: &[Rule] = &[
         summary: "a union arm is contained in its sibling arms",
         paper: "§5 (Prop. 5.1)",
     },
+    Rule {
+        code: "SXV301",
+        name: "plan-uncertified",
+        default: Severity::Error,
+        summary: "the compiled plan's static certificate has error findings",
+        paper: "§3.2 (accessibility)",
+    },
+    Rule {
+        code: "SXV302",
+        name: "plan-unguarded-probe",
+        default: Severity::Warning,
+        summary: "a qualifier probes an inaccessible region without an accessibility guard",
+        paper: "§1 (Ex. 1.1)",
+    },
+    Rule {
+        code: "SXV303",
+        name: "plan-emits-inaccessible",
+        default: Severity::Error,
+        summary: "the plan can emit a node type that is not provably accessible",
+        paper: "§3.2 (Prop. 3.1)",
+    },
+    Rule {
+        code: "SXV304",
+        name: "plan-dead-operator",
+        default: Severity::Warning,
+        summary: "an operator's abstract input is empty — it can never produce output",
+        paper: "§5 (Fig. 10)",
+    },
+    Rule {
+        code: "SXV305",
+        name: "plan-certificate-mismatch",
+        default: Severity::Error,
+        summary: "the plan's cached certificate disagrees with a fresh certification",
+        paper: "§3.2",
+    },
 ];
 
 /// Look a rule up by code.

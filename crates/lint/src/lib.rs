@@ -17,7 +17,12 @@
 //!   cardinality exposure — the Example 1.1 inference channels);
 //! * **view queries** (`SXV2xx`) — names missing from the view DTD,
 //!   queries provably empty on every conforming document, and union arms
-//!   subsumed by their siblings (Prop. 5.1 containment).
+//!   subsumed by their siblings (Prop. 5.1 containment);
+//! * **compiled plans** (`SXV3xx`, `sxv lint --plans`) — runs the static
+//!   plan certifier ([`sxv_xpath::certify`]) over every compiled plan:
+//!   uncertified plans, emitted types that are not provably accessible,
+//!   unguarded probes into hidden regions (the Example 1.1 channel at
+//!   plan level), dead operators, and cache/certificate mismatches.
 //!
 //! The rule registry lives in [`RULES`]; each rule carries its default
 //! severity and the paper section it is grounded in. [`LintConfig`]
@@ -27,11 +32,13 @@
 //! 2 errors).
 
 pub mod diagnostics;
+pub mod plan_rules;
 pub mod query_rules;
 pub mod spec_rules;
 pub mod view_rules;
 
 pub use diagnostics::{rule, Diagnostic, Level, LintConfig, Report, Rule, Severity, RULES};
+pub use plan_rules::lint_plan;
 pub use query_rules::lint_query;
 pub use spec_rules::{lint_spec, SpecLint};
 pub use view_rules::lint_view;

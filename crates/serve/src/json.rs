@@ -207,7 +207,7 @@ impl Parser<'_> {
                     // byte cursor into a str, so slice at char boundaries).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = s.chars().next().unwrap();
+                    let c = s.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -224,27 +224,13 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-utf-8 number at byte {start}"))?;
         text.parse::<f64>().map(Json::Number).map_err(|e| format!("bad number {text:?}: {e}"))
     }
 }
 
-/// Escape a string for embedding inside a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+pub use sxv_xml::json_escape;
 
 #[cfg(test)]
 mod tests {
@@ -277,6 +263,13 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in ["", "{", "{\"a\" 1}", "[1,]", "{\"a\":1} x", "\"unterminated", "nul"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_error_instead_of_panicking() {
+        for bad in ["-", "1.2.3", "1e", "--5", "-e3"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }

@@ -67,6 +67,10 @@ pub struct ServeConfig {
     pub timeout_ms: u64,
     /// Seconds between periodic per-tenant stats log lines (0 disables).
     pub stats_interval_secs: u64,
+    /// Strict verification: every engine refuses plans whose static
+    /// certificate has error findings; such requests get 403 instead of
+    /// an answer.
+    pub verify: bool,
 }
 
 impl ServeConfig {
@@ -81,6 +85,7 @@ impl ServeConfig {
             queue_capacity: 64,
             timeout_ms: 2_000,
             stats_interval_secs: 30,
+            verify: false,
         }
     }
 }
@@ -158,7 +163,9 @@ pub fn run(config: ServeConfig, ready: mpsc::Sender<SocketAddr>) -> Result<(), S
         .map(|name| {
             let spec = registry.spec(name).expect("registered above");
             let view = registry.view(name).expect("registered above");
-            SecureEngine::new(spec, view)
+            let mut engine = SecureEngine::new(spec, view);
+            engine.set_verify(config.verify);
+            engine
         })
         .collect();
 
@@ -183,12 +190,13 @@ pub fn run(config: ServeConfig, ready: mpsc::Sender<SocketAddr>) -> Result<(), S
     };
 
     eprintln!(
-        "sxv serve: listening on {addr} ({} roles × {} docs, {} workers, queue {}, timeout {}ms)",
+        "sxv serve: listening on {addr} ({} roles × {} docs, {} workers, queue {}, timeout {}ms{})",
         state.role_names.len(),
         state.docs.len(),
         config.workers,
         config.queue_capacity,
         config.timeout_ms,
+        if config.verify { ", verify" } else { "" },
     );
     ready.send(addr).ok();
 
@@ -293,10 +301,13 @@ fn execute(state: &ServerState<'_>, job: &Job) -> Reply {
         }
         Err(e) => {
             tenant.record_error();
-            Reply {
-                status: 400,
-                body: format!("{{\"error\": \"{}\"}}", json_escape(&e.to_string())),
-            }
+            // A certification refusal is the policy saying no, not a bad
+            // request: surface it as 403 so clients can distinguish it.
+            let status = match &e {
+                sxv_core::Error::Uncertified { .. } => 403,
+                _ => 400,
+            };
+            Reply { status, body: format!("{{\"error\": \"{}\"}}", json_escape(&e.to_string())) }
         }
     }
 }
@@ -467,6 +478,7 @@ fn stats_json(state: &ServerState<'_>) -> String {
         roles.push(format!(
             "{{\"role\": \"{}\", \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \
              \"entries\": {}, \"plans_compiled\": {}, \"hit_rate\": {:.4}}}, \
+             \"certify\": {{\"certified\": {}, \"failures\": {}, \"micros\": {}}}, \
              \"access_cache\": {{\"builds\": {}, \"hits\": {}, \"entries\": {}}}}}",
             json_escape(role),
             cache.hits,
@@ -474,6 +486,9 @@ fn stats_json(state: &ServerState<'_>) -> String {
             cache.entries,
             cache.plans_compiled,
             cache.hit_rate(),
+            cache.plans_certified,
+            cache.certify_failures,
+            cache.certify_micros,
             access.builds,
             access.hits,
             access.entries,

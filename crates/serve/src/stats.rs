@@ -120,7 +120,7 @@ impl TenantStats {
             p50_us: pick(0.50),
             p95_us: pick(0.95),
             p99_us: pick(0.99),
-            max_us: *sorted.last().unwrap(),
+            max_us: sorted.last().copied().unwrap_or_default(),
         }
     }
 

@@ -1,0 +1,107 @@
+//! Shared JSON string escaping.
+//!
+//! Several layers of the workspace emit hand-rolled JSON (the plan
+//! explainer, the serve daemon, the bench reports, the plan
+//! certificate). They all need the same escaping rules, so the helper
+//! lives once, here in the substrate crate everything already depends
+//! on.
+
+/// Escape `s` for embedding inside a JSON string literal.
+///
+/// Escapes the two mandatory characters (`"` and `\`), the common
+/// whitespace controls (`\n`, `\t`, `\r`) with their short forms, and
+/// every other control character below U+0020 as `\u00XX`. All other
+/// characters (including non-ASCII) pass through verbatim, which is
+/// valid JSON as long as the output is encoded as UTF-8 — and all our
+/// emitters write UTF-8.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal JSON string-literal unescaper, used only to check that
+    /// `json_escape` roundtrips: parse what we emitted and require the
+    /// original bytes back.
+    fn json_unescape(s: &str) -> Option<String> {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000c}'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\tc\rd"), r"a\nb\tc\rd");
+        assert_eq!(json_escape("\u{0001}"), r"\u0001");
+        assert_eq!(json_escape("naïve — ünïcode"), "naïve — ünïcode");
+    }
+
+    #[test]
+    fn roundtrips_through_a_json_string_parser() {
+        let cases = [
+            "",
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "line\nbreaks\tand\rreturns",
+            "control \u{0000}\u{001f} bytes",
+            "mixed ünïcode → 漢字 and \"ascii\"",
+        ];
+        for case in cases {
+            let escaped = json_escape(case);
+            assert_eq!(
+                json_unescape(&escaped).as_deref(),
+                Some(case),
+                "roundtrip failed for {case:?} (escaped {escaped:?})"
+            );
+            // The escaped form must itself be free of raw controls and
+            // unescaped quotes, i.e. directly embeddable in a literal.
+            assert!(escaped.chars().all(|c| (c as u32) >= 0x20));
+            let mut prev = ' ';
+            for c in escaped.chars() {
+                assert!(c != '"' || prev == '\\', "unescaped quote in {escaped:?}");
+                prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod bitmap;
 pub mod error;
 pub mod index;
 pub mod iter;
+pub mod json;
 pub mod node;
 pub mod parser;
 pub mod serializer;
@@ -34,6 +35,7 @@ pub use bitmap::NodeBitmap;
 pub use error::{Error, Result};
 pub use index::DocIndex;
 pub use iter::{Ancestors, Children, Descendants};
+pub use json::json_escape;
 pub use node::{DocId, Document, LabelId, Node, NodeId, NodeKind};
 pub use parser::parse;
 pub use serializer::{to_string, to_string_pretty};

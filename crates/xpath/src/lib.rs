@@ -25,6 +25,7 @@
 
 pub mod access;
 pub mod ast;
+pub mod certify;
 pub mod display;
 pub mod error;
 pub mod eval;
@@ -36,6 +37,9 @@ pub mod subq;
 
 pub use access::{is_dummy_label, AccessView};
 pub use ast::{Path, Qualifier};
+pub use certify::{
+    certify, certify_ops, AbsState, CertFinding, CertifyContext, PlanCertificate, TraceLine,
+};
 pub use error::{Error, Result};
 pub use eval::{
     eval, eval_at_document, eval_at_root, eval_at_root_indexed, eval_at_root_indexed_with_stats,

@@ -50,7 +50,7 @@ use crate::eval::EvalStats;
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use sxv_xml::{DocIndex, Document, NodeBitmap, NodeId};
+use sxv_xml::{json_escape, DocIndex, Document, NodeBitmap, NodeId};
 
 /// How the planner chooses between walk and join operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -1792,7 +1792,7 @@ impl CompiledQuery {
     }
 }
 
-fn op_detail(op: &PlanOp) -> String {
+pub(crate) fn op_detail(op: &PlanOp) -> String {
     match op {
         PlanOp::ChildWalk(a)
         | PlanOp::ChildMergeJoin(a)
@@ -1947,22 +1947,6 @@ fn render_qual_json(q: &QualPlan, out: &mut String) {
             out.push('}');
         }
     }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// The shared walk-equivalence query suite: every fragment-`C` shape the

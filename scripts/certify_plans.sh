@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Statically certify every compiled plan for the shipped policies
+# (run by CI).
+#
+# `sxv lint --plans` compiles each --query under every serving approach
+# (rewrite, optimize, annotate) × every plan policy (walk, join, auto)
+# and runs the abstract-interpretation certifier over each plan
+# (SXV301–SXV305). Any uncertified plan is an error → exit 2 → the job
+# fails. Warnings (probe channels, dead operators) are reported but
+# tolerated, matching the paper assets' real Example 1.1 channel.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SXV="${SXV:-target/release/sxv}"
+if [ ! -x "$SXV" ]; then
+  cargo build --release --bin sxv
+fi
+
+fail=0
+
+# args: expected-exit description sxv-lint-args...
+check() {
+  local want="$1" what="$2"
+  shift 2
+  "$SXV" lint --plans "$@"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $what (exit $got, wanted $want)" >&2
+    fail=1
+  else
+    echo "ok: $what (exit $got)"
+  fi
+}
+
+echo "== adex §6 policy × the Table 1 queries =="
+check 0 "assets/adex_section6.spec plans certify" \
+  --dtd assets/adex.dtd --root adex --spec assets/adex_section6.spec \
+  --query '//buyer-info/contact-info' \
+  --query '//house/r-e.warranty | //apartment/r-e.warranty' \
+  --query '//buyer-info[//company-id and //contact-info]' \
+  --query '//real-estate[//r-e.asking-price and //r-e.unit-type]'
+
+echo "== hospital policies =="
+check 0 "assets/hospital_nurse.spec plans certify" \
+  --dtd assets/hospital.dtd --root hospital \
+  --spec assets/hospital_nurse.spec --bind wardNo=6 \
+  --query '//bill' \
+  --query '//patient/name' \
+  --query "//patient[wardNo='6']" \
+  --query '//dept/patientInfo'
+
+check 0 "assets/hospital_doctor.spec plans certify" \
+  --dtd assets/hospital.dtd --root hospital \
+  --spec assets/hospital_doctor.spec \
+  --query '//bill' \
+  --query '//patient/name' \
+  --query '//treatment'
+
+echo "== auction bidder policy =="
+check 0 "assets/auction_bidder.spec plans certify" \
+  --dtd assets/auction.dtd --root site \
+  --spec assets/auction_bidder.spec \
+  --query '//open-auction/current' \
+  --query '//bid/amount' \
+  --query '//closed-auction/final-price' \
+  --query '//category/cat-name'
+
+echo "== seeded leak: the certifier must refuse these plans =="
+check 2 "examples/lint/leaky.view plans are uncertified (SXV301/SXV303)" \
+  --dtd examples/lint/leaky.dtd --root record \
+  --spec examples/lint/leaky.spec --view examples/lint/leaky.view \
+  --query '//salary'
+
+exit "$fail"

@@ -5,15 +5,15 @@
 //! sxv materialize --dtd … --root … --spec … --doc data.xml
 //! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
 //! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize|annotate]
-//!                 [--backend walk|join|auto] [--indexed] [--stats] [--repeat N] [--threads N]
+//!                 [--backend walk|join|auto] [--indexed] [--stats] [--repeat N] [--threads N] [--verify]
 //! sxv explain     --dtd … --root … --spec … --query '…' [--approach …] [--policy walk|join|auto]
-//!                 [--doc data.xml] [--height N] [--format text|json]
+//!                 [--doc data.xml] [--height N] [--format text|json] [--verify]
 //! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
 //! sxv validate    --dtd … --root … --doc data.xml
-//! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…']
+//! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…'] [--plans]
 //!                 [--format text|json] [--deny-warnings] [--allow C] [--warn C] [--deny C]
 //! sxv serve       --dtd … --root … --role NAME=SPECFILE … --doc NAME=XMLFILE … [--bind k=v]
-//!                 [--port N] [--workers N] [--queue N] [--timeout-ms N] [--stats-interval N]
+//!                 [--port N] [--workers N] [--queue N] [--timeout-ms N] [--stats-interval N] [--verify]
 //! ```
 //!
 //! All subcommands read the document DTD (with `--root` naming the root
@@ -24,15 +24,24 @@
 //! `sxv lint` is the static analyzer: it audits the specification, the
 //! (derived or `--view`-supplied) view definition and any `--query`
 //! without loading a document, and exits 0 when clean, 1 when warnings
-//! remain under `--deny-warnings`, and 2 on errors.
+//! remain under `--deny-warnings`, and 2 on errors. With `--plans` it
+//! also compiles every `--query` under every approach × plan policy and
+//! runs the static plan certifier over each compiled plan (`SXV3xx`).
+//!
+//! `--verify` (on `query`, `explain`, `serve`) is strict certification:
+//! plans whose certificate has error findings are refused instead of
+//! executed (`explain --verify` prints the certificate trace and exits
+//! 1 when uncertified).
 
 use secure_xml_views::core::{
-    derive_view, dtd_cost_model, materialize, optimize, parse_view_text, rewrite,
+    certify, derive_view, dtd_cost_model, materialize, optimize, parse_view_text, rewrite,
     rewrite_with_height, AccessSpec, Approach, CostModel, PlanPolicy, SecureEngine,
 };
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
-use secure_xml_views::lint::{lint_query, lint_spec, lint_view, Level, LintConfig, Report};
+use secure_xml_views::lint::{
+    lint_plan, lint_query, lint_spec, lint_view, Level, LintConfig, Report,
+};
 use secure_xml_views::serve::{run as serve_run, ServeConfig};
 use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
 use secure_xml_views::xpath::{compile, compile_annotate, parse as parse_xpath};
@@ -67,7 +76,13 @@ impl Options {
             // Boolean flags take no value.
             if matches!(
                 name.as_str(),
-                "show-sigma" | "no-optimize" | "stats" | "indexed" | "deny-warnings"
+                "show-sigma"
+                    | "no-optimize"
+                    | "stats"
+                    | "indexed"
+                    | "deny-warnings"
+                    | "verify"
+                    | "plans"
             ) {
                 flags.push((name, String::new()));
                 continue;
@@ -131,24 +146,24 @@ fn subcommand_usage(command: &str) -> &'static str {
         "query" => {
             "sxv query --dtd FILE --root NAME --spec FILE --doc FILE --query PATH \
              [--approach naive|rewrite|optimize|annotate] [--backend walk|join|auto] [--indexed] \
-             [--stats] [--repeat N] [--threads N]"
+             [--stats] [--repeat N] [--threads N] [--verify]"
         }
         "explain" => {
             "sxv explain --dtd FILE --root NAME --spec FILE --query PATH \
              [--approach naive|rewrite|optimize|annotate] [--policy walk|join|auto] [--doc FILE] \
-             [--height N] [--format text|json]"
+             [--height N] [--format text|json] [--verify]"
         }
         "generate" => "sxv generate --dtd FILE --root NAME [--branch N] [--seed N] [--depth N]",
         "validate" => "sxv validate --dtd FILE --root NAME --doc FILE",
         "lint" => {
             "sxv lint --dtd FILE --root NAME [--spec FILE] [--bind k=v]… [--view FILE] \
-             [--query PATH]… [--format text|json] [--deny-warnings] [--allow CODE]… \
+             [--query PATH]… [--plans] [--format text|json] [--deny-warnings] [--allow CODE]… \
              [--warn CODE]… [--deny CODE]…"
         }
         "serve" => {
             "sxv serve --dtd FILE --root NAME --role NAME=SPECFILE… --doc NAME=XMLFILE… \
              [--bind k=v]… [--port N] [--workers N] [--queue N] [--timeout-ms N] \
-             [--stats-interval N]"
+             [--stats-interval N] [--verify]"
         }
         _ => {
             "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve> \
@@ -164,7 +179,7 @@ fn run() -> Result<ExitCode, String> {
         "materialize" => cmd_materialize(&opts).map(|()| ExitCode::SUCCESS),
         "rewrite" => cmd_rewrite(&opts).map(|()| ExitCode::SUCCESS),
         "query" => cmd_query(&opts).map(|()| ExitCode::SUCCESS),
-        "explain" => cmd_explain(&opts).map(|()| ExitCode::SUCCESS),
+        "explain" => cmd_explain(&opts),
         "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
         "validate" => cmd_validate(&opts).map(|()| ExitCode::SUCCESS),
         "lint" => cmd_lint(&opts),
@@ -284,7 +299,10 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         None
     };
     let view = derive_view(&spec).map_err(|e| e.to_string())?;
-    let engine = SecureEngine::new(&spec, &view);
+    let mut engine = SecureEngine::new(&spec, &view);
+    if opts.has("verify") {
+        engine.set_verify(true);
+    }
     let (answer, last_report) = if threads > 1 {
         // Fan the repeat copies across worker threads sharing the one
         // immutable document + index.
@@ -342,6 +360,14 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
             cache.plans_compiled,
             if report.cache_hit { "hit" } else { "miss" },
         );
+        eprintln!(
+            "certifier: plans_certified={} failures={} time={}us (last plan: {}{})",
+            cache.plans_certified,
+            cache.certify_failures,
+            cache.certify_micros,
+            if report.certified { "certified" } else { "NOT certified" },
+            if engine.verify_enabled() { ", verify on" } else { "" },
+        );
         if approach == Approach::Annotate {
             let access = engine.access_stats();
             eprintln!(
@@ -361,7 +387,7 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(opts: &Options) -> Result<(), String> {
+fn cmd_explain(opts: &Options) -> Result<ExitCode, String> {
     let dtd = load_dtd(opts)?;
     let spec = load_spec(opts, &dtd)?;
     let query = parse_xpath(opts.require("query")?).map_err(|e| e.to_string())?;
@@ -414,13 +440,27 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
         Approach::Annotate => compile_annotate(&translated, policy, &cost),
         _ => compile(&translated, policy, &cost),
     };
+    // --verify runs the static certifier over the plan and appends its
+    // trace; an uncertified plan turns the exit code nonzero.
+    let cert = opts.has("verify").then(|| certify(&plan, engine.certify_context()));
     if json {
-        println!("{}", plan.explain_json());
+        match &cert {
+            Some(c) => {
+                println!("{{\"plan\": {}, \"certificate\": {}}}", plan.explain_json(), c.to_json())
+            }
+            None => println!("{}", plan.explain_json()),
+        }
     } else {
         println!("translated query: {}", plan.translated);
         print!("{}", plan.explain_text());
+        if let Some(c) = &cert {
+            print!("{}", c.to_text());
+        }
     }
-    Ok(())
+    Ok(match cert {
+        Some(c) if !c.certified() => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    })
 }
 
 fn cmd_generate(opts: &Options) -> Result<(), String> {
@@ -482,6 +522,37 @@ fn cmd_lint(opts: &Options) -> Result<ExitCode, String> {
             for text in opts.get_all("query") {
                 let query = parse_xpath(text).map_err(|e| format!("--query {text:?}: {e}"))?;
                 diags.extend(lint_query(&dtd, &view, &query));
+            }
+            // --plans: compile every --query under every approach ×
+            // policy and run the static plan certifier (SXV3xx) over
+            // each compiled plan, checking the engine's cached
+            // certificate against a fresh one along the way.
+            if opts.has("plans") {
+                let engine = SecureEngine::new(spec, &view);
+                let approaches = [
+                    (Approach::Rewrite, "rewrite"),
+                    (Approach::Optimize, "optimize"),
+                    (Approach::Annotate, "annotate"),
+                ];
+                for text in opts.get_all("query") {
+                    let query = parse_xpath(text).map_err(|e| format!("--query {text:?}: {e}"))?;
+                    for (approach, approach_name) in approaches {
+                        for policy in PlanPolicy::ALL {
+                            let (planned, _) = engine.plan_certified(&query, approach, 0, policy);
+                            // Translation failures (unknown names, recursive
+                            // views without a height) already surface through
+                            // the SXV2xx query lints or `sxv rewrite`.
+                            let Ok(planned) = planned else { continue };
+                            let label = format!("{text} ({approach_name}, {policy})");
+                            diags.extend(lint_plan(
+                                &label,
+                                &planned.plan,
+                                engine.certify_context(),
+                                Some(&planned.cert),
+                            ));
+                        }
+                    }
+                }
             }
         }
         None if opts.get("view").is_some() || !opts.get_all("query").is_empty() => {
@@ -568,6 +639,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     if let Some(interval) = opts.get("stats-interval") {
         config.stats_interval_secs =
             interval.parse().map_err(|e| format!("--stats-interval: {e}"))?;
+    }
+    if opts.has("verify") {
+        config.verify = true;
     }
     // The CLI prints the bound address itself (the daemon also logs it);
     // scripts parse this line to find an ephemeral --port 0 listener.

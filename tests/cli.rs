@@ -425,6 +425,140 @@ const LEAKY_ARGS: [&str; 6] =
     ["--dtd", "examples/lint/leaky.dtd", "--root", "record", "--spec", "examples/lint/leaky.spec"];
 
 #[test]
+fn explain_verify_prints_certificate_and_flags_leaks() {
+    let mut args = vec!["explain"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//bill",
+        "--verify",
+    ]);
+    let (stdout, stderr, code) = run_code(&args);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("certificate: certified"), "{stdout}");
+    assert!(stdout.contains("emitted:"), "{stdout}");
+    assert!(stdout.contains("trace:"), "{stdout}");
+
+    // JSON mode nests the plan and the certificate side by side.
+    let mut json_args = args.clone();
+    json_args.extend(["--format", "json"]);
+    let (json, j_err, code) = run_code(&json_args);
+    assert_eq!(code, 0, "{j_err}");
+    assert!(json.contains("\"plan\":"), "{json}");
+    assert!(json.contains("\"certificate\":"), "{json}");
+    assert!(json.contains("\"certified\": true"), "{json}");
+
+    // A naive plan emitting the hidden `test` type is uncertified and
+    // turns the exit code to 1 so CI pipelines can gate on it.
+    let mut bad = vec!["explain"];
+    bad.extend(DTD_ARGS);
+    bad.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//test",
+        "--approach",
+        "naive",
+        "--verify",
+    ]);
+    let (stdout, _, code) = run_code(&bad);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("NOT CERTIFIED"), "{stdout}");
+    assert!(stdout.contains("emitted type `test`"), "{stdout}");
+
+    // Without --verify the same plan explains fine: no certificate, exit 0.
+    bad.pop();
+    let (stdout, _, code) = run_code(&bad);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.contains("certificate"), "{stdout}");
+}
+
+#[test]
+fn query_verify_refuses_uncertified_plans() {
+    let dir = std::env::temp_dir().join(format!("sxv-cli-verify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("h.xml");
+    std::fs::write(
+        &doc_path,
+        "<hospital><dept><clinicalTrial><patientInfo/><test>t</test></clinicalTrial>\
+         <patientInfo><patient><name>A</name><wardNo>6</wardNo>\
+         <treatment><trial><bill>9</bill></trial></treatment></patient></patientInfo>\
+         <staffInfo/></dept></hospital>",
+    )
+    .unwrap();
+    let doc_str = doc_path.to_str().unwrap();
+    let base = ["--spec", "assets/hospital_nurse.spec", "--bind", "wardNo=6", "--doc", doc_str];
+
+    // An uncertified naive plan is refused outright under --verify —
+    // the engine never executes it.
+    let mut bad = vec!["query"];
+    bad.extend(DTD_ARGS);
+    bad.extend(base);
+    bad.extend(["--query", "//test", "--approach", "naive", "--verify"]);
+    let (_, stderr, ok) = run(&bad);
+    assert!(!ok, "uncertified plan must be refused: {stderr}");
+    assert!(stderr.contains("failed static certification"), "{stderr}");
+    assert!(stderr.contains("test"), "{stderr}");
+
+    // The certified pipeline keeps serving under --verify, and --stats
+    // surfaces the certifier counters.
+    let mut good = vec!["query"];
+    good.extend(DTD_ARGS);
+    good.extend(base);
+    good.extend(["--query", "//bill", "--verify", "--stats"]);
+    let (_, stderr, ok) = run(&good);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("certifier: plans_certified=1"), "{stderr}");
+    assert!(stderr.contains("last plan: certified"), "{stderr}");
+    assert!(stderr.contains("verify on"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_plans_passes_the_pipeline_and_rejects_leaky_views() {
+    // The derived nurse pipeline certifies across every approach and
+    // policy: --plans adds no diagnostics even under --deny-warnings.
+    let mut args = vec!["lint"];
+    args.extend(DTD_ARGS);
+    args.extend([
+        "--spec",
+        "assets/hospital_nurse.spec",
+        "--bind",
+        "wardNo=6",
+        "--query",
+        "//bill",
+        "--query",
+        "//patient/name",
+        "--plans",
+        "--allow",
+        "SXV005",
+        "--allow",
+        "SXV107",
+        "--deny-warnings",
+    ]);
+    let (stdout, stderr, code) = run_code(&args);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+
+    // A hand-authored view that σ-selects denied data produces plans
+    // that emit the hidden type: SXV301 + SXV303 per plan, exit 2.
+    let mut bad = vec!["lint"];
+    bad.extend(LEAKY_ARGS);
+    bad.extend(["--view", "examples/lint/leaky.view", "--query", "//salary", "--plans"]);
+    let (stdout, _, code) = run_code(&bad);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("error[SXV301]"), "{stdout}");
+    assert!(stdout.contains("error[SXV303]"), "{stdout}");
+    assert!(stdout.contains("salary"), "{stdout}");
+}
+
+#[test]
 fn lint_exit_code_0_on_clean_policy() {
     let (stdout, stderr, code) = run_code(&[
         "lint",

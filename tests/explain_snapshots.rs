@@ -103,6 +103,33 @@ fn table1_annotate_plans_match_snapshots() {
 }
 
 #[test]
+fn table1_rewrite_verify_traces_match_snapshots() {
+    // `--verify` appends the static certificate (verdict, abstract
+    // emitted/probed states, per-operator trace) to the text dump. The
+    // certifier consults only the DTD and the policy, so the trace is
+    // exactly as deterministic as the plan itself; snapshotting it pins
+    // both the abstract transfer functions and the rendering.
+    for (name, query) in TABLE1 {
+        check_snapshot(
+            &format!("explain_{name}_rewrite_verify.txt"),
+            &explain(query, &["--approach", "rewrite", "--verify"]),
+        );
+    }
+}
+
+#[test]
+fn table1_annotate_verify_traces_match_snapshots() {
+    // Annotate plans run view operators; their certificates show the
+    // bitmap-guarded confinement to accessible-or-dummy states.
+    for (name, query) in TABLE1 {
+        check_snapshot(
+            &format!("explain_{name}_annotate_verify.txt"),
+            &explain(query, &["--approach", "annotate", "--verify"]),
+        );
+    }
+}
+
+#[test]
 fn q2_annotate_json_plan_matches_snapshot() {
     check_snapshot(
         "explain_q2_annotate.json",

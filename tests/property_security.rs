@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use secure_xml_views::core::{
     accessibility, build_access_view, derive_view, materialize, optimize, rewrite, AccessSpec,
-    NaiveBaseline,
+    Approach, NaiveBaseline, SecureEngine,
 };
 use secure_xml_views::dtd::{parse_dtd, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
@@ -341,6 +341,63 @@ proptest! {
                 "query {} translated to {} leaked node {} (<{}>)",
                 p, pt, node, doc.label_opt(node).unwrap_or("#text")
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Static certification is sound for the secure pipeline: every
+    /// plan it compiles (rewrite/optimize/annotate × every policy)
+    /// carries a clean certificate, and the certificate's final
+    /// abstract state really over-approximates the concrete answer —
+    /// each element the executor returns has its label in the emitted
+    /// type set (or stands behind a dummy the certificate records), and
+    /// text answers require the emitted text marker.
+    #[test]
+    fn pipeline_plans_certify_and_overapproximate_answers(
+        spec in spec_strategy(),
+        p in path_strategy(),
+        seed in 0u64..300,
+        branch in 1usize..4,
+    ) {
+        let doc = hospital_doc(seed, branch);
+        let view = derive_view(&spec).unwrap();
+        if materialize(&spec, &view, &doc).is_err() {
+            return Ok(());
+        }
+        let engine = SecureEngine::new(&spec, &view);
+        let hideable = &engine.certify_context().hideable;
+        for approach in [Approach::Rewrite, Approach::Optimize, Approach::Annotate] {
+            for policy in PlanPolicy::ALL {
+                let (planned, _) = engine.plan_certified(&p, approach, doc.height(), policy);
+                let Ok(planned) = planned else { continue };
+                prop_assert!(
+                    planned.cert.certified(),
+                    "{:?}/{:?} plan for {} is uncertified: {:?}",
+                    approach, policy, p, planned.cert.findings
+                );
+                let Ok((nodes, _)) =
+                    engine.answer_report_policy(&doc, None, &p, approach, policy)
+                else { continue };
+                for node in nodes {
+                    match doc.label_opt(node) {
+                        None => prop_assert!(
+                            planned.cert.emitted.text,
+                            "{:?}/{:?} {} emitted a text node outside its certificate",
+                            approach, policy, p
+                        ),
+                        Some(label) => prop_assert!(
+                            planned.cert.emitted.types.contains(label)
+                                || (!planned.cert.emitted.dummies.is_empty()
+                                    && hideable.contains(label)),
+                            "{:?}/{:?} {} emitted <{}> outside its certificate {}",
+                            approach, policy, p, label, planned.cert.emitted.render()
+                        ),
+                    }
+                }
+            }
         }
     }
 }

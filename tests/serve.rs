@@ -230,6 +230,49 @@ fn expired_deadline_times_out_with_504() {
 }
 
 #[test]
+fn verify_mode_refuses_uncertified_plans_with_403() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.stats_interval_secs = 0;
+    config.verify = true;
+    let (addr, handle) = boot(config);
+    let mut c = client(addr);
+
+    // Certified plans keep serving under strict verification.
+    let (status, body) = c.post("/query", &query_body("public", "d1", "//pub")).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // A naive plan that would emit the hidden `sec` subtree fails
+    // static certification: the engine refuses to execute it and the
+    // server answers 403 (a policy refusal, not a bad request).
+    let naive = |query: &str| {
+        format!(
+            "{{\"role\": \"public\", \"doc\": \"d1\", \"query\": \"{query}\", \
+             \"approach\": \"naive\"}}"
+        )
+    };
+    let (status, body) = c.post("/query", &naive("//sec")).unwrap();
+    assert_eq!(status, 403, "{body}");
+    assert!(body.contains("failed static certification"), "{body}");
+    assert!(body.contains("sec"), "{body}");
+
+    // The same naive approach over accessible data certifies and serves.
+    let (status, body) = c.post("/query", &naive("//pub")).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // /stats surfaces the per-role certifier counters.
+    let (_, stats) = c.get("/stats").unwrap();
+    assert!(stats.contains("\"certify\""), "{stats}");
+    assert!(stats.contains("\"failures\": 1"), "{stats}");
+
+    // The refusal is sticky across the plan cache: the cached entry
+    // stays uncertified on repeat.
+    let (status, _) = c.post("/query", &naive("//sec")).unwrap();
+    assert_eq!(status, 403);
+    shutdown(addr, handle);
+}
+
+#[test]
 fn boot_rejects_empty_or_invalid_configs() {
     let dtd = dtd();
     let (tx, _rx) = mpsc::channel();
