@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run -p sxv-bench --bin loadgen --release [-- --smoke]
 //!     [--rate N] [--requests N] [--clients N] [--workers N]
-//!     [--branch N] [--seed N] [--json FILE]
+//!     [--branch N] [--seed N] [--json FILE] [--package]
 //! ```
 //!
 //! Open loop: request *i* is scheduled at `start + i/rate` regardless of
@@ -16,6 +16,12 @@
 //! in the percentiles instead of being hidden by client backpressure.
 //! Before any timing, every `(role, query, doc)` combination is checked
 //! byte-for-byte against a direct in-process engine.
+//!
+//! Boot-to-ready is always measured both ways — XML files parsed at
+//! boot vs `.sxvpkg` packages loaded at boot (per-tenant artifacts
+//! preloaded) — and recorded under `"boot"` in `BENCH_serve.json`.
+//! `--package` additionally makes the daemon under load the packaged
+//! one, so the latency percentiles come from package-served tenants.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -23,12 +29,16 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use sxv_bench::{adex_dtd, adex_restricted_spec, adex_spec, json_escape, TABLE1_QUERIES};
-use sxv_core::{derive_view, Approach, PlanPolicy, SecureEngine};
+use sxv_bench::{
+    adex_dtd, adex_restricted_spec, adex_spec, json_escape, ADEX_DTD, ADEX_RESTRICTED_SPEC,
+    ADEX_SECTION6_SPEC, TABLE1_QUERIES,
+};
+use sxv_core::{build_access_view, derive_view, Approach, PlanPolicy, SecureEngine};
 use sxv_gen::{GenConfig, Generator};
+use sxv_pack::{load_package_file, write_package_file, RoleArtifacts};
 use sxv_serve::http::Client;
 use sxv_serve::{parse_answers, query_body, run, ServeConfig};
-use sxv_xml::Document;
+use sxv_xml::{parse as parse_xml, DocIndex, Document};
 use sxv_xpath::parse as parse_xpath;
 
 struct Args {
@@ -40,6 +50,7 @@ struct Args {
     branch: usize,
     seed: u64,
     json_path: String,
+    package: bool,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +70,7 @@ fn parse_args() -> Args {
         branch: num("--branch", if smoke { 8.0 } else { 24.0 }) as usize,
         seed: num("--seed", 0xADE5 as f64) as u64,
         json_path: get("--json").unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        package: argv.iter().any(|a| a == "--package"),
     }
 }
 
@@ -93,6 +105,45 @@ struct Sample {
     latency_us: u64,
 }
 
+/// Boot a daemon and wait for its ready signal, returning the bound
+/// address, the server thread, and boot-to-ready wall time in µs.
+fn boot_daemon(config: ServeConfig) -> (String, std::thread::JoinHandle<Result<(), String>>, u128) {
+    let started = Instant::now();
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let server = std::thread::spawn(move || run(config, ready_tx));
+    let addr = ready_rx.recv_timeout(Duration::from_secs(60)).expect("server boots").to_string();
+    (addr, server, started.elapsed().as_micros())
+}
+
+fn shutdown_daemon(addr: &str, server: std::thread::JoinHandle<Result<(), String>>) {
+    let mut client = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+    let _ = client.post("/shutdown", "").expect("shutdown");
+    server.join().expect("server thread").expect("clean shutdown");
+}
+
+/// Tenant state from `.sxvpkg` files: documents, their shipped indexes,
+/// and `(role, doc, artifact)` access views ready to preload.
+type PackagedTenants = (
+    Vec<(String, Document)>,
+    Vec<(String, sxv_xml::DocIndex)>,
+    Vec<(String, String, std::sync::Arc<sxv_xpath::AccessView>)>,
+);
+
+fn load_packaged_tenants(pkg_paths: &[(String, std::path::PathBuf)]) -> PackagedTenants {
+    let mut docs = Vec::new();
+    let mut indexes = Vec::new();
+    let mut views = Vec::new();
+    for (name, path) in pkg_paths {
+        let pkg = load_package_file(path).expect("package loads");
+        for role in &pkg.roles {
+            views.push((role.name.clone(), name.clone(), role.access.clone()));
+        }
+        indexes.push((name.clone(), pkg.index));
+        docs.push((name.clone(), pkg.doc));
+    }
+    (docs, indexes, views)
+}
+
 fn main() {
     let args = parse_args();
     let dtd = adex_dtd();
@@ -120,22 +171,128 @@ fn main() {
         println!("{name}: {} nodes (branch {})", doc.len(), args.branch);
     }
 
-    // Boot the daemon in-process on an ephemeral port.
-    let mut config =
-        ServeConfig::new(specs.clone(), docs.iter().map(|(n, d)| (n.clone(), d.clone())).collect());
-    config.workers = args.workers;
-    config.queue_capacity = 256;
-    config.timeout_ms = 5_000;
-    config.stats_interval_secs = 0;
-    let (ready_tx, ready_rx) = mpsc::channel();
-    let server = std::thread::spawn(move || run(config, ready_tx));
-    let addr = ready_rx.recv_timeout(Duration::from_secs(30)).expect("server boots").to_string();
-    println!("daemon up at {addr} ({} workers)", args.workers);
+    // Derive each role's view once (packaging + correctness gate).
+    let views: Vec<_> =
+        specs.iter().map(|(_, s)| derive_view(s).expect("derivation succeeds")).collect();
+
+    // --- boot-to-ready: parse path vs package path ---------------------
+    // Stage both on-disk tenant forms: the XML files `sxv serve --doc`
+    // boots from (stream-generated: same seed ⇒ byte-identical document)
+    // and one `.sxvpkg` per document carrying both roles' artifacts.
+    let stage = std::env::temp_dir().join("sxv_loadgen");
+    std::fs::create_dir_all(&stage).expect("stage dir");
+    let spec_texts = [ADEX_SECTION6_SPEC, ADEX_RESTRICTED_SPEC];
+    let mut xml_paths: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let mut pkg_paths: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let mut pack_us = 0u128;
+    for (i, (name, doc)) in docs.iter().enumerate() {
+        let xml_path = stage.join(format!("{name}.xml"));
+        {
+            let mut w =
+                std::io::BufWriter::new(std::fs::File::create(&xml_path).expect("xml file"));
+            let cfg = GenConfig::seeded(args.seed + i as u64)
+                .with_max_branch(args.branch)
+                .with_min_branch(args.branch / 2)
+                .with_max_depth(64);
+            Generator::for_dtd(&dtd, cfg)
+                .generate_to(&mut w)
+                .expect("stream generation")
+                .expect("Adex DTD is consistent");
+            use std::io::Write as _;
+            w.flush().expect("flush xml");
+        }
+        let pkg_path = stage.join(format!("{name}.sxvpkg"));
+        let packed = Instant::now();
+        let index = DocIndex::new(doc).expect("non-empty document");
+        let accesses: Vec<_> = specs
+            .iter()
+            .zip(&views)
+            .map(|((_, spec), view)| build_access_view(spec, view, doc, Some(&index)))
+            .collect();
+        let role_artifacts: Vec<RoleArtifacts<'_>> = specs
+            .iter()
+            .zip(&spec_texts)
+            .zip(&accesses)
+            .map(|(((role, _), text), access)| RoleArtifacts {
+                name: role,
+                spec_text: text,
+                binds: &[],
+                access,
+            })
+            .collect();
+        write_package_file(&pkg_path, ADEX_DTD, "adex", doc, &index, &role_artifacts)
+            .expect("package writes");
+        pack_us += packed.elapsed().as_micros();
+        xml_paths.push((name.clone(), xml_path));
+        pkg_paths.push((name.clone(), pkg_path));
+    }
+
+    let serving_knobs = |mut config: ServeConfig| {
+        config.workers = args.workers;
+        config.queue_capacity = 256;
+        config.timeout_ms = 5_000;
+        config.stats_interval_secs = 0;
+        config
+    };
+
+    // Parse path: read + parse every tenant XML inside the timed boot.
+    let parse_boot_us = {
+        let started = Instant::now();
+        let parsed: Vec<(String, Document)> = xml_paths
+            .iter()
+            .map(|(name, p)| {
+                let xml = std::fs::read_to_string(p).expect("read xml");
+                (name.clone(), parse_xml(&xml).expect("xml parses"))
+            })
+            .collect();
+        let (addr, server, _) = boot_daemon(serving_knobs(ServeConfig::new(specs.clone(), parsed)));
+        let us = started.elapsed().as_micros();
+        shutdown_daemon(&addr, server);
+        us
+    };
+
+    // Package path: load every `.sxvpkg` inside the timed boot; indexes
+    // attach and access artifacts preload, so tenants are query-ready.
+    let package_boot_us = {
+        let started = Instant::now();
+        let (pdocs, pidx, pviews) = load_packaged_tenants(&pkg_paths);
+        let mut config = serving_knobs(ServeConfig::new(specs.clone(), pdocs));
+        config.indexes = pidx;
+        config.preloaded_views = pviews;
+        let (addr, server, _) = boot_daemon(config);
+        let us = started.elapsed().as_micros();
+        shutdown_daemon(&addr, server);
+        us
+    };
+    println!(
+        "boot-to-ready: parse {:.1}ms, package {:.1}ms ({:.1}x); one-time pack {:.1}ms",
+        parse_boot_us as f64 / 1e3,
+        package_boot_us as f64 / 1e3,
+        parse_boot_us as f64 / package_boot_us.max(1) as f64,
+        pack_us as f64 / 1e3,
+    );
+
+    // Boot the daemon under load: packaged tenants with --package,
+    // in-memory documents otherwise.
+    let mut config = serving_knobs(ServeConfig::new(
+        specs.clone(),
+        docs.iter().map(|(n, d)| (n.clone(), d.clone())).collect(),
+    ));
+    if args.package {
+        let (pdocs, pidx, pviews) = load_packaged_tenants(&pkg_paths);
+        config.docs = pdocs;
+        config.indexes = pidx;
+        config.preloaded_views = pviews;
+    }
+    let (addr, server, _) = boot_daemon(config);
+    println!(
+        "daemon up at {addr} ({} workers{})",
+        args.workers,
+        if args.package { ", packaged tenants" } else { "" },
+    );
 
     // Correctness gate before any timing: every (role, query, doc) must
     // answer byte-identically over HTTP and in-process.
-    let views: Vec<_> =
-        specs.iter().map(|(_, s)| derive_view(s).expect("derivation succeeds")).collect();
     let engines: Vec<_> =
         specs.iter().zip(&views).map(|((_, s), v)| SecureEngine::new(s, v)).collect();
     let mut checked = 0;
@@ -289,7 +446,7 @@ fn main() {
     let _ = writeln!(
         out,
         "  \"config\": {{\"rate\": {:.0}, \"requests\": {}, \"clients\": {}, \
-         \"workers\": {}, \"branch\": {}, \"roles\": {}, \"docs\": {}}},",
+         \"workers\": {}, \"branch\": {}, \"roles\": {}, \"docs\": {}, \"package\": {}}},",
         args.rate,
         args.requests,
         args.clients,
@@ -297,8 +454,17 @@ fn main() {
         args.branch,
         role_names.len(),
         n_docs,
+        args.package,
     );
     let _ = writeln!(out, "  \"correctness\": {{\"checked\": {checked}, \"mismatches\": 0}},");
+    let _ = writeln!(
+        out,
+        "  \"boot\": {{\"parse_boot_us\": {parse_boot_us}, \
+         \"package_boot_us\": {package_boot_us}, \"pack_us\": {pack_us}, \
+         \"speedup\": {:.2}, \"tenants_under_load\": \"{}\"}},",
+        parse_boot_us as f64 / package_boot_us.max(1) as f64,
+        if args.package { "package" } else { "memory" },
+    );
     let _ = writeln!(
         out,
         "  \"overall\": {{\"sent\": {}, \"ok\": {ok_total}, \"wall_secs\": {:.3}, \

@@ -67,7 +67,7 @@ pub fn build_access_view(
             ViewContent::Str => {
                 // §3.3 case (2): the text children of the source.
                 for &c in doc.children(src) {
-                    if doc.node(c).is_text() && !av.is_recorded(c) {
+                    if doc.is_text(c) && !av.is_recorded(c) {
                         av.record_member(c, src, false);
                     }
                 }
@@ -93,7 +93,7 @@ pub fn build_access_view(
                         if is_dummy_label(child_label) {
                             av.record_dummy(hit, src, child_label);
                         } else {
-                            av.record_member(hit, src, doc.node(hit).is_element());
+                            av.record_member(hit, src, doc.is_element(hit));
                         }
                         stack.push((child_label, hit));
                     }

@@ -36,7 +36,7 @@ impl NaiveBaseline {
         let access = accessibility::compute(spec, doc);
         let mut out = doc.clone();
         for id in doc.all_ids() {
-            if doc.node(id).is_element() {
+            if doc.is_element(id) {
                 let flag = if access.is_accessible(id) { "1" } else { "0" };
                 out.set_attribute(id, ACCESS_ATTR, flag).expect("element node accepts attributes");
             }

@@ -54,7 +54,7 @@ pub fn validate_subtree(dtd: &GeneralDtd, doc: &Document, node: NodeId) -> Resul
             });
         }
         if !content.allows_text() {
-            if let Some(&t) = doc.children(id).iter().find(|&&c| doc.node(c).is_text()) {
+            if let Some(&t) = doc.children(id).iter().find(|&&c| doc.is_text(c)) {
                 return Err(Error::Invalid {
                     node: format!("<{label}>"),
                     message: format!(
@@ -65,7 +65,7 @@ pub fn validate_subtree(dtd: &GeneralDtd, doc: &Document, node: NodeId) -> Resul
             }
         }
         for &c in doc.children(id) {
-            if doc.node(c).is_element() {
+            if doc.is_element(c) {
                 stack.push(c);
             }
         }

@@ -1,0 +1,118 @@
+//! Load-path error taxonomy for `.sxvpkg` packages.
+//!
+//! Every way a package file can be wrong maps to a distinct typed
+//! variant with a message naming the offending structure — loading
+//! never panics, whatever bytes are fed in.
+
+use std::fmt;
+
+/// Errors produced when writing or loading a package.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file ends before a structure completes.
+    Truncated {
+        /// Which structure was being read.
+        what: String,
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The file does not start with the `.sxvpkg` magic.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The package was written by an incompatible format version.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+        /// The version this build reads.
+        supported: u32,
+    },
+    /// A section's payload does not hash to its recorded checksum.
+    ChecksumMismatch {
+        /// Human name of the damaged section.
+        section: String,
+    },
+    /// The section table is geometrically invalid: an extent is out of
+    /// bounds, misaligned, or overlaps another section.
+    BadLayout(String),
+    /// Sections decoded but their contents are mutually inconsistent.
+    Malformed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "package I/O error: {e}"),
+            Error::Truncated { what, needed, available } => {
+                write!(f, "truncated package: {what} needs {needed} bytes, {available} available")
+            }
+            Error::BadMagic { found } => {
+                write!(f, "not a .sxvpkg package (magic bytes {found:02x?})")
+            }
+            Error::VersionMismatch { found, supported } => write!(
+                f,
+                "package format version {found} is not supported \
+                 (this build reads version {supported}); re-run `sxv pack`"
+            ),
+            Error::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}: package is corrupt")
+            }
+            Error::BadLayout(msg) => write!(f, "invalid package section table: {msg}"),
+            Error::Malformed(msg) => write!(f, "malformed package contents: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<sxv_xml::Error> for Error {
+    fn from(e: sxv_xml::Error) -> Self {
+        Error::Malformed(e.to_string())
+    }
+}
+
+impl From<sxv_xpath::Error> for Error {
+    fn from(e: sxv_xpath::Error) -> Self {
+        Error::Malformed(e.to_string())
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let t = Error::Truncated { what: "header".into(), needed: 24, available: 3 };
+        assert!(t.to_string().contains("truncated"));
+        assert!(t.to_string().contains("header"));
+        assert!(Error::BadMagic { found: *b"ELFELF\0\0" }.to_string().contains("magic"));
+        let v = Error::VersionMismatch { found: 9, supported: 1 };
+        assert!(v.to_string().contains("version 9"));
+        assert!(v.to_string().contains("version 1"));
+        let c = Error::ChecksumMismatch { section: "node labels".into() };
+        assert!(c.to_string().contains("node labels"));
+        assert!(Error::BadLayout("overlap".into()).to_string().contains("overlap"));
+    }
+}

@@ -35,11 +35,11 @@ use crate::stats::{elapsed_us, TenantStats};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use sxv_core::{derive_view, AccessSpec, Approach, PlanPolicy, PolicyRegistry, SecureEngine};
-use sxv_xml::Document;
-use sxv_xpath::parse as parse_xpath;
+use sxv_xml::{DocIndex, Document};
+use sxv_xpath::{parse as parse_xpath, AccessView};
 
 /// Maximum simultaneously open connections; excess connections get an
 /// immediate 503 and close.
@@ -71,6 +71,14 @@ pub struct ServeConfig {
     /// certificate has error findings; such requests get 403 instead of
     /// an answer.
     pub verify: bool,
+    /// Pre-built structural indexes by doc name (e.g. loaded from an
+    /// `.sxvpkg` package). Docs without one are served index-less, as
+    /// before; a stale name is a boot error.
+    pub indexes: Vec<(String, DocIndex)>,
+    /// Pre-built `(role name, doc name, artifact)` accessibility views
+    /// to seed each role engine's cache with at boot, so the first
+    /// annotate-approach query over a packaged document builds nothing.
+    pub preloaded_views: Vec<(String, String, Arc<AccessView>)>,
 }
 
 impl ServeConfig {
@@ -86,6 +94,8 @@ impl ServeConfig {
             timeout_ms: 2_000,
             stats_interval_secs: 30,
             verify: false,
+            indexes: Vec::new(),
+            preloaded_views: Vec::new(),
         }
     }
 }
@@ -114,6 +124,9 @@ struct ServerState<'a> {
     role_index: BTreeMap<String, usize>,
     docs: Vec<(String, Document)>,
     doc_index: BTreeMap<String, usize>,
+    /// Structural index per doc (aligned with `docs`); `None` serves
+    /// the walk path exactly as before.
+    indexes: Vec<Option<DocIndex>>,
     tenants: Vec<TenantStats>, // role-major: role_idx * docs.len() + doc_idx
     queue: Bounded<Job>,
     shutdown: AtomicBool,
@@ -175,12 +188,31 @@ pub fn run(config: ServeConfig, ready: mpsc::Sender<SocketAddr>) -> Result<(), S
         config.docs.iter().enumerate().map(|(i, (n, _))| (n.clone(), i)).collect();
     let tenant_count = role_names.len() * config.docs.len();
 
+    // Attach pre-built indexes and seed access caches with pre-built
+    // artifacts (both typically from `.sxvpkg` packages): the first
+    // query over a packaged tenant pays evaluation only.
+    let mut indexes: Vec<Option<DocIndex>> = config.docs.iter().map(|_| None).collect();
+    for (name, idx) in config.indexes {
+        let &i = doc_index.get(&name).ok_or_else(|| format!("index for unknown doc {name:?}"))?;
+        indexes[i] = Some(idx);
+    }
+    for (role, doc_name, view) in config.preloaded_views {
+        let &r = role_index
+            .get(&role)
+            .ok_or_else(|| format!("preloaded view for unknown role {role:?}"))?;
+        let &d = doc_index
+            .get(&doc_name)
+            .ok_or_else(|| format!("preloaded view for unknown doc {doc_name:?}"))?;
+        engines[r].preload_access_view(config.docs[d].1.doc_id(), view);
+    }
+
     let state = ServerState {
         engines,
         role_names,
         role_index,
         docs: config.docs,
         doc_index,
+        indexes,
         tenants: (0..tenant_count).map(|_| TenantStats::default()).collect(),
         queue: Bounded::new(config.queue_capacity),
         shutdown: AtomicBool::new(false),
@@ -265,7 +297,8 @@ fn execute(state: &ServerState<'_>, job: &Job) -> Reply {
             };
         }
     };
-    match engine.answer_report_policy(doc, None, &query, job.approach, PlanPolicy::ForceWalk) {
+    let index = state.indexes[job.doc_idx].as_ref();
+    match engine.answer_report_policy(doc, index, &query, job.approach, PlanPolicy::ForceWalk) {
         Ok((nodes, report)) => {
             // Answer lines are byte-identical to `sxv query` stdout:
             // `<label> value` for elements, `#text value` for text nodes.

@@ -36,6 +36,25 @@ impl NodeBitmap {
         b
     }
 
+    /// Rehydrate from raw bit words (the persisted-package load path).
+    /// Returns `None` when the word count does not match `len`; stray
+    /// bits beyond `len` in the final word are masked off so the
+    /// clear-beyond-len invariant holds regardless of input.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Option<NodeBitmap> {
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return None;
+        }
+        let mut b = NodeBitmap { words, len };
+        b.mask_tail();
+        Some(b)
+    }
+
+    /// The raw bit words, one `u64` per 64 node ids (the persisted-
+    /// package store path). Bits at positions `>= len` are always clear.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of node ids the bitmap covers (the arena length).
     pub fn len(&self) -> usize {
         self.len
@@ -335,5 +354,20 @@ mod tests {
     fn footprint_is_one_bit_per_node() {
         let b = NodeBitmap::new(1 << 16);
         assert_eq!(b.bytes(), (1 << 16) / 8);
+    }
+
+    #[test]
+    fn words_roundtrip_through_from_words() {
+        let picks = [0usize, 63, 64, 129];
+        let b = NodeBitmap::from_ids(130, &ids(&picks));
+        let back = NodeBitmap::from_words(130, b.words().to_vec()).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.to_ids(), ids(&picks));
+        // Wrong word count is rejected; stray tail bits are masked.
+        assert!(NodeBitmap::from_words(130, vec![0; 2]).is_none());
+        assert!(NodeBitmap::from_words(130, vec![0; 4]).is_none());
+        let masked = NodeBitmap::from_words(70, vec![0, u64::MAX]).unwrap();
+        assert_eq!(masked.count_ones(), 6, "bits past len are cleared on load");
+        assert!(masked.to_ids().iter().all(|id| id.index() < 70));
     }
 }

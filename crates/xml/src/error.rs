@@ -24,6 +24,9 @@ pub enum Error {
     InvalidNodeId(usize),
     /// The document has no root element (empty document).
     NoRoot,
+    /// Raw-parts construction (e.g. loading a persisted package) was
+    /// handed structurally inconsistent arrays.
+    MalformedParts(String),
 }
 
 impl fmt::Display for Error {
@@ -37,6 +40,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidNodeId(id) => write!(f, "invalid node id {id}"),
             Error::NoRoot => write!(f, "document has no root element"),
+            Error::MalformedParts(msg) => write!(f, "malformed document parts: {msg}"),
         }
     }
 }

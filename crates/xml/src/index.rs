@@ -6,9 +6,67 @@
 //! descendant tests into interval checks and `//label` steps into binary
 //! searches over per-label occurrence lists — the classic structural-join
 //! layout used by XML query engines.
+//!
+//! Every per-node table is a [`U32s`]/[`Str`] column, so a persisted
+//! package can hand the index buffer-borrowed views and construction is
+//! O(1) per column (see [`DocIndex::from_packed`]).
 
+use crate::column::{Str, U32s};
+use crate::error::{Error, Result};
 use crate::node::{Document, LabelId, NodeId};
 use std::collections::HashMap;
+
+/// The flat arrays behind a [`DocIndex`], the input of
+/// [`DocIndex::from_raw_parts`] — the owned, fully-validated load path.
+/// Field meanings match the same-named [`DocIndex`] fields; post-order
+/// ranks are absent because they are determined by
+/// `post[v] = subtree_end[v] − depth[v]` (see [`DocIndex::post_rank`]).
+#[derive(Debug, Clone, Default)]
+pub struct DocIndexParts {
+    /// Largest node id inside each node's subtree.
+    pub subtree_end: Vec<u32>,
+    /// Depths in edges.
+    pub depth: Vec<u32>,
+    /// Per-label occurrence lists, indexed by [`LabelId::index`].
+    pub by_label: Vec<Vec<NodeId>>,
+    /// Label table at build time.
+    pub label_names: Vec<String>,
+    /// Every element node in document order.
+    pub elements: Vec<NodeId>,
+    /// Every text node in document order.
+    pub text_nodes: Vec<NodeId>,
+    /// All text content concatenated in document order.
+    pub text_buf: String,
+    /// Byte offsets of each text node's content plus one trailing sentinel.
+    pub text_offsets: Vec<u32>,
+}
+
+/// Pre-derived columns for [`DocIndex::from_packed`] — the zero-copy
+/// package load path. The nested `by_label` lists travel flattened as
+/// one CSR pair (`label_offsets`/`label_ids`), matching the on-disk
+/// layout, so no per-label allocation happens at load time.
+#[derive(Debug, Default)]
+pub struct PackedDocIndexParts {
+    /// Largest node id inside each node's subtree.
+    pub subtree_end: U32s,
+    /// Depths in edges.
+    pub depth: U32s,
+    /// Occurrence-list CSR offsets (`label_names.len() + 1` entries).
+    pub label_offsets: U32s,
+    /// Occurrence-list CSR ids: label `l`'s occurrences are
+    /// `label_ids[label_offsets[l]..label_offsets[l + 1]]`.
+    pub label_ids: U32s,
+    /// Label table at build time.
+    pub label_names: Vec<String>,
+    /// Every element node in document order.
+    pub elements: U32s,
+    /// Every text node in document order.
+    pub text_nodes: U32s,
+    /// All text content concatenated in document order.
+    pub text_buf: Str,
+    /// Byte offsets of each text node's content plus one trailing sentinel.
+    pub text_offsets: U32s,
+}
 
 /// An immutable structural index over one document.
 ///
@@ -16,32 +74,33 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct DocIndex {
     /// `subtree_end[v]` = largest node id inside the subtree rooted at `v`.
-    subtree_end: Vec<u32>,
-    /// `post[v]` = post-order rank of `v` (0-based). Together with the
-    /// pre-order rank (= the node id itself) this is the classic pre/post
-    /// interval numbering: `u` is a descendant of `v` iff
-    /// `pre(u) > pre(v) ∧ post(u) < post(v)`.
-    post: Vec<u32>,
+    ///
+    /// Post-order ranks are not stored: `post[v] = subtree_end[v] −
+    /// depth[v]` (see [`DocIndex::post_rank`]), so the pre/post interval
+    /// numbering costs no third doc-sized array.
+    subtree_end: U32s,
     /// `depth[v]` = number of edges from the root to `v`.
-    depth: Vec<u32>,
-    /// Element occurrences per interned label, in document order, keyed
-    /// by [`LabelId::index`] (dense — one slot per table entry).
-    by_label: Vec<Vec<NodeId>>,
+    depth: U32s,
+    /// Element occurrences per interned label, in document order, as one
+    /// CSR pair keyed by [`LabelId::index`]: label `l`'s list is
+    /// `label_ids[label_offsets[l]..label_offsets[l + 1]]`.
+    label_offsets: U32s,
+    label_ids: U32s,
     /// The document's label table at build time (`LabelId` → name).
     label_names: Vec<String>,
     /// Name → interned id, for the string-keyed lookup API.
     name_ids: HashMap<String, LabelId>,
     /// Every element node, in document order (the `*` occurrence list).
-    elements: Vec<NodeId>,
+    elements: U32s,
     /// Text-node occurrences in document order.
-    text_nodes: Vec<NodeId>,
+    text_nodes: U32s,
     /// All text content concatenated in document order; because subtrees
     /// are contiguous id ranges, the string value of *any* element is a
     /// contiguous slice of this buffer.
-    text_buf: String,
+    text_buf: Str,
     /// `text_offsets[i]` = byte offset of `text_nodes[i]`'s content in
     /// `text_buf` (one trailing sentinel = `text_buf.len()`).
-    text_offsets: Vec<usize>,
+    text_offsets: U32s,
 }
 
 impl DocIndex {
@@ -56,8 +115,6 @@ impl DocIndex {
         let label_names: Vec<String> = doc.label_table().to_vec();
         let name_ids: HashMap<String, LabelId> =
             label_names.iter().enumerate().map(|(i, l)| (l.clone(), LabelId(i as u32))).collect();
-        let mut by_label: Vec<Vec<NodeId>> = vec![Vec::new(); label_names.len()];
-        let mut text_nodes = Vec::new();
         // Ids are pre-order, so iterating in reverse sees children before
         // parents: the subtree end is the max over self and children ends.
         for i in (0..n).rev() {
@@ -68,45 +125,242 @@ impl DocIndex {
             }
             subtree_end[i] = end;
         }
-        // Post-order rank: `v` finishes right after its last descendant,
-        // so ordering ids by (subtree_end asc, id desc) *is* post-order
-        // (ancestors sharing a final leaf finish deepest-first).
-        let mut post = vec![0u32; n];
-        let mut by_finish: Vec<u32> = (0..n as u32).collect();
-        by_finish.sort_by_key(|&v| (subtree_end[v as usize], std::cmp::Reverse(v)));
-        for (rank, &v) in by_finish.iter().enumerate() {
-            post[v as usize] = rank as u32;
+        // Occurrence lists as CSR by counting sort: one pass counts per
+        // label, a prefix sum places each list, a second pass fills in
+        // ascending id (= document) order.
+        let mut label_offsets = vec![0u32; label_names.len() + 1];
+        let mut text_count = 0usize;
+        for id in doc.all_ids() {
+            match doc.label_id_of(id) {
+                Some(l) => label_offsets[l.index() + 1] += 1,
+                None => text_count += 1,
+            }
         }
-        // Parents precede children in id order, so one forward pass fills
-        // the depth table.
+        for i in 0..label_names.len() {
+            label_offsets[i + 1] += label_offsets[i];
+        }
+        let mut label_ids = vec![0u32; n - text_count];
+        let mut cursor = label_offsets.clone();
+        // Parents precede children in id order, so the same forward pass
+        // fills the depth table.
         let mut depth = vec![0u32; n];
-        let mut elements = Vec::new();
+        let mut elements = Vec::with_capacity(n - text_count);
+        let mut text_nodes = Vec::with_capacity(text_count);
         let mut text_buf = String::new();
-        let mut text_offsets = Vec::new();
+        let mut text_offsets = Vec::with_capacity(text_count + 1);
         for id in doc.all_ids() {
             if let Some(p) = doc.parent(id) {
                 depth[id.index()] = depth[p.index()] + 1;
             }
             match doc.label_id_of(id) {
                 Some(l) => {
-                    by_label[l.index()].push(id);
-                    elements.push(id);
+                    let slot = &mut cursor[l.index()];
+                    label_ids[*slot as usize] = id.index() as u32;
+                    *slot += 1;
+                    elements.push(id.index() as u32);
                 }
                 None => {
-                    text_offsets.push(text_buf.len());
+                    text_offsets.push(text_buf.len() as u32);
                     if let Ok(t) = doc.text(id) {
                         text_buf.push_str(t);
                     }
-                    text_nodes.push(id);
+                    text_nodes.push(id.index() as u32);
                 }
             }
         }
-        text_offsets.push(text_buf.len());
+        text_offsets.push(text_buf.len() as u32);
         Some(DocIndex {
+            subtree_end: U32s::from_vec(subtree_end),
+            depth: U32s::from_vec(depth),
+            label_offsets: U32s::from_vec(label_offsets),
+            label_ids: U32s::from_vec(label_ids),
+            label_names,
+            name_ids,
+            elements: U32s::from_vec(elements),
+            text_nodes: U32s::from_vec(text_nodes),
+            text_buf: Str::from_string(text_buf),
+            text_offsets: U32s::from_vec(text_offsets),
+        })
+    }
+
+    /// Rehydrate an index from flat arrays, skipping the traversal build
+    /// of [`DocIndex::new`]. Post-order ranks are not an input: they are
+    /// computed from the closed form `post[v] = subtree_end[v] − depth[v]`
+    /// — `v` finishes right after its last descendant (id
+    /// `subtree_end[v]`), and of the `subtree_end[v] + 1` nodes with ids
+    /// `<= subtree_end[v]`, exactly the `depth[v]` ancestors of `v`
+    /// finish later — so the caller ships one fewer doc-sized array.
+    ///
+    /// Validation is a constant number of O(n) scans: array lengths must
+    /// agree, every id must be in bounds, `depth[v] <= subtree_end[v]`
+    /// must hold (true of every real tree since a node's `depth[v]`
+    /// ancestors all have ids below `v <= subtree_end[v]`), occurrence
+    /// lists must be strictly increasing (binary searches depend on it),
+    /// and text offsets must be monotone, end at the buffer length, and
+    /// fall on UTF-8 boundaries. Semantic agreement with a particular
+    /// document is the caller's concern.
+    pub fn from_raw_parts(parts: DocIndexParts) -> Result<DocIndex> {
+        let DocIndexParts {
             subtree_end,
-            post,
             depth,
             by_label,
+            label_names,
+            elements,
+            text_nodes,
+            text_buf,
+            text_offsets,
+        } = parts;
+        let n = subtree_end.len();
+        let malformed = |msg: String| Error::MalformedParts(msg);
+        if depth.len() != n {
+            return Err(malformed(format!("{} subtree ends, {} depths", n, depth.len())));
+        }
+        if by_label.len() != label_names.len() {
+            return Err(malformed(format!(
+                "{} occurrence lists for {} labels",
+                by_label.len(),
+                label_names.len()
+            )));
+        }
+        if elements.len() + text_nodes.len() != n {
+            return Err(malformed(format!(
+                "{} elements + {} text nodes != {n} nodes",
+                elements.len(),
+                text_nodes.len()
+            )));
+        }
+        let sorted_in_bounds = |list: &[NodeId], what: &str| -> Result<()> {
+            if let Some(bad) = list.iter().find(|v| v.index() >= n) {
+                return Err(malformed(format!("{what}: id {} out of bounds ({n} nodes)", bad)));
+            }
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed(format!("{what}: ids are not strictly increasing")));
+            }
+            Ok(())
+        };
+        sorted_in_bounds(&elements, "element list")?;
+        sorted_in_bounds(&text_nodes, "text list")?;
+        for (i, list) in by_label.iter().enumerate() {
+            sorted_in_bounds(list, &format!("occurrence list for label {i}"))?;
+        }
+        if subtree_end.iter().enumerate().any(|(v, &e)| (e as usize) < v || e as usize >= n) {
+            return Err(malformed("subtree ends must satisfy v <= end < n".into()));
+        }
+        if subtree_end.iter().zip(&depth).any(|(&e, &d)| d > e) {
+            return Err(malformed("depths must not exceed subtree ends".into()));
+        }
+        if text_offsets.len() != text_nodes.len() + 1 {
+            return Err(malformed(format!(
+                "{} text offsets for {} text nodes (need one extra sentinel)",
+                text_offsets.len(),
+                text_nodes.len()
+            )));
+        }
+        if text_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(malformed("text offsets are not monotone".into()));
+        }
+        if text_offsets.last().copied().unwrap_or(0) as usize != text_buf.len() {
+            return Err(malformed(format!(
+                "text offsets end at {:?} but the buffer has {} bytes",
+                text_offsets.last(),
+                text_buf.len()
+            )));
+        }
+        if text_offsets.iter().any(|&o| !text_buf.is_char_boundary(o as usize)) {
+            return Err(malformed("text offset not on a UTF-8 boundary".into()));
+        }
+        let mut name_ids = HashMap::with_capacity(label_names.len());
+        for (i, name) in label_names.iter().enumerate() {
+            if name_ids.insert(name.clone(), LabelId(i as u32)).is_some() {
+                return Err(malformed(format!("duplicate label {name:?} in symbol table")));
+            }
+        }
+        // Flatten the nested lists into the CSR layout the accessors use.
+        let mut label_offsets = Vec::with_capacity(by_label.len() + 1);
+        label_offsets.push(0u32);
+        let mut label_ids = Vec::with_capacity(by_label.iter().map(Vec::len).sum());
+        for list in &by_label {
+            label_ids.extend(list.iter().map(|v| v.index() as u32));
+            label_offsets.push(label_ids.len() as u32);
+        }
+        Ok(DocIndex {
+            subtree_end: U32s::from_vec(subtree_end),
+            depth: U32s::from_vec(depth),
+            label_offsets: U32s::from_vec(label_offsets),
+            label_ids: U32s::from_vec(label_ids),
+            label_names,
+            name_ids,
+            elements: U32s::from_vec(elements.iter().map(|v| v.index() as u32).collect()),
+            text_nodes: U32s::from_vec(text_nodes.iter().map(|v| v.index() as u32).collect()),
+            text_buf: Str::from_string(text_buf),
+            text_offsets: U32s::from_vec(text_offsets),
+        })
+    }
+
+    /// Assemble an index from pre-derived, pre-validated packed columns —
+    /// the zero-copy package load path. Only O(1) arity facts are
+    /// checked; the columns themselves are trusted (the package
+    /// checksums establish integrity — see [`Document::from_packed`] for
+    /// the full trust-model discussion).
+    pub fn from_packed(parts: PackedDocIndexParts) -> Result<DocIndex> {
+        let PackedDocIndexParts {
+            subtree_end,
+            depth,
+            label_offsets,
+            label_ids,
+            label_names,
+            elements,
+            text_nodes,
+            text_buf,
+            text_offsets,
+        } = parts;
+        let n = subtree_end.len();
+        let malformed = |msg: String| Error::MalformedParts(msg);
+        if depth.len() != n {
+            return Err(malformed(format!("{} subtree ends, {} depths", n, depth.len())));
+        }
+        if label_offsets.len() != label_names.len() + 1 {
+            return Err(malformed(format!(
+                "label CSR: expected {} offsets for {} labels, got {}",
+                label_names.len() + 1,
+                label_names.len(),
+                label_offsets.len()
+            )));
+        }
+        if label_offsets.as_slice().last().copied().unwrap_or(0) as usize != label_ids.len() {
+            return Err(malformed(format!(
+                "label CSR: offsets end at {:?} but there are {} occurrence ids",
+                label_offsets.as_slice().last(),
+                label_ids.len()
+            )));
+        }
+        if elements.len() + text_nodes.len() != n {
+            return Err(malformed(format!(
+                "{} elements + {} text nodes != {n} nodes",
+                elements.len(),
+                text_nodes.len()
+            )));
+        }
+        if !(text_nodes.is_empty() && text_offsets.is_empty())
+            && text_offsets.len() != text_nodes.len() + 1
+        {
+            return Err(malformed(format!(
+                "{} text offsets for {} text nodes (need one extra sentinel)",
+                text_offsets.len(),
+                text_nodes.len()
+            )));
+        }
+        let mut name_ids = HashMap::with_capacity(label_names.len());
+        for (i, name) in label_names.iter().enumerate() {
+            if name_ids.insert(name.clone(), LabelId(i as u32)).is_some() {
+                return Err(malformed(format!("duplicate label {name:?} in symbol table")));
+            }
+        }
+        Ok(DocIndex {
+            subtree_end,
+            depth,
+            label_offsets,
+            label_ids,
             label_names,
             name_ids,
             elements,
@@ -116,9 +370,45 @@ impl DocIndex {
         })
     }
 
+    /// The raw per-node subtree-end table (persisted-package store path).
+    pub fn subtree_end_table(&self) -> &[u32] {
+        self.subtree_end.as_slice()
+    }
+
+    /// The raw per-node depth table.
+    pub fn depth_table(&self) -> &[u32] {
+        self.depth.as_slice()
+    }
+
+    /// The occurrence-list CSR offsets (one per label plus a sentinel).
+    pub fn label_offset_table(&self) -> &[u32] {
+        self.label_offsets.as_slice()
+    }
+
+    /// The occurrence-list CSR ids, grouped by label.
+    pub fn label_id_table(&self) -> &[u32] {
+        self.label_ids.as_slice()
+    }
+
+    /// The label table at build time, indexed by [`LabelId::index`].
+    pub fn label_table(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// The concatenated document-order text buffer.
+    pub fn text_buffer(&self) -> &str {
+        self.text_buf.as_str()
+    }
+
+    /// Byte offsets into [`DocIndex::text_buffer`], one per text node
+    /// plus a trailing sentinel equal to the buffer length.
+    pub fn text_offset_table(&self) -> &[u32] {
+        self.text_offsets.as_slice()
+    }
+
     /// Largest node id inside the subtree of `v`.
     pub fn subtree_end(&self, v: NodeId) -> NodeId {
-        NodeId::from_index(self.subtree_end[v.index()] as usize)
+        NodeId::from_index(self.subtree_end.as_slice()[v.index()] as usize)
     }
 
     /// O(1) proper-descendant test.
@@ -132,21 +422,25 @@ impl DocIndex {
         v.index() as u32
     }
 
-    /// Post-order rank of `v`. `is_descendant(u, v)` is equivalent to
-    /// `pre_rank(u) > pre_rank(v) && post_rank(u) < post_rank(v)`.
+    /// Post-order rank of `v`, from the closed form
+    /// `post[v] = subtree_end[v] − depth[v]`: `v` finishes right after
+    /// its last descendant, and of the nodes with ids `<= subtree_end[v]`
+    /// exactly `v`'s `depth[v]` ancestors finish later. `is_descendant(u,
+    /// v)` is equivalent to `pre_rank(u) > pre_rank(v) && post_rank(u) <
+    /// post_rank(v)`.
     pub fn post_rank(&self, v: NodeId) -> u32 {
-        self.post[v.index()]
+        self.subtree_end.as_slice()[v.index()] - self.depth.as_slice()[v.index()]
     }
 
     /// Depth of `v` in edges (root = 0), precomputed at build time.
     pub fn depth(&self, v: NodeId) -> u32 {
-        self.depth[v.index()]
+        self.depth.as_slice()[v.index()]
     }
 
     /// Number of nodes (elements + text) in the subtree of `v`, `v`
     /// included — the interval width, an O(1) cost estimate for scans.
     pub fn subtree_size(&self, v: NodeId) -> usize {
-        self.subtree_end[v.index()] as usize - v.index() + 1
+        self.subtree_end.as_slice()[v.index()] as usize - v.index() + 1
     }
 
     /// The interned id of `label` at index-build time, if it occurs.
@@ -163,13 +457,22 @@ impl DocIndex {
     /// Occurrence list keyed directly by interned label id — the integer
     /// fast path behind [`DocIndex::label_list`].
     pub fn label_list_id(&self, label: LabelId) -> &[NodeId] {
-        self.by_label.get(label.index()).map(Vec::as_slice).unwrap_or(&[])
+        let offsets = self.label_offsets.as_slice();
+        let l = label.index();
+        if l + 1 >= offsets.len() {
+            return &[];
+        }
+        &self.label_ids.as_ids()[offsets[l] as usize..offsets[l + 1] as usize]
     }
 
     /// Every indexed label with its occurrence count (table order) —
     /// the cardinality statistics query planners read.
     pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
-        self.label_names.iter().map(|l| l.as_str()).zip(self.by_label.iter().map(Vec::len))
+        let offsets = self.label_offsets.as_slice();
+        self.label_names
+            .iter()
+            .enumerate()
+            .map(move |(i, l)| (l.as_str(), (offsets[i + 1] - offsets[i]) as usize))
     }
 
     /// Total indexed nodes (elements + text).
@@ -179,18 +482,18 @@ impl DocIndex {
 
     /// Every element node in document order.
     pub fn element_nodes(&self) -> &[NodeId] {
-        &self.elements
+        self.elements.as_ids()
     }
 
     /// Every text node in document order.
     pub fn text_list(&self) -> &[NodeId] {
-        &self.text_nodes
+        self.text_nodes.as_ids()
     }
 
     /// All element nodes strictly inside the subtree of `v`, in document
     /// order (the `//*` occurrence slice).
     pub fn element_descendants(&self, v: NodeId) -> &[NodeId] {
-        slice_in_range(&self.elements, v, self.subtree_end(v))
+        slice_in_range(self.elements.as_ids(), v, self.subtree_end(v))
     }
 
     /// All `label` elements strictly inside the subtree of `v`
@@ -210,7 +513,7 @@ impl DocIndex {
 
     /// All text nodes inside the subtree of `v`, in document order.
     pub fn text_descendants(&self, v: NodeId) -> &[NodeId] {
-        slice_in_range(&self.text_nodes, v, self.subtree_end(v))
+        slice_in_range(self.text_nodes.as_ids(), v, self.subtree_end(v))
     }
 
     /// Total occurrences of a label in the document.
@@ -228,10 +531,12 @@ impl DocIndex {
     /// allocation-free instead of O(|subtree|).
     pub fn string_value(&self, v: NodeId) -> &str {
         let end = self.subtree_end(v);
+        let texts = self.text_nodes.as_ids();
         // `< v` (not `<= v`) keeps `v` itself in range when it is a text node.
-        let lo = self.text_nodes.partition_point(|&x| x < v);
-        let hi = self.text_nodes.partition_point(|&x| x <= end);
-        &self.text_buf[self.text_offsets[lo]..self.text_offsets[hi]]
+        let lo = texts.partition_point(|&x| x < v);
+        let hi = texts.partition_point(|&x| x <= end);
+        let offs = self.text_offsets.as_slice();
+        &self.text_buf.as_str()[offs[lo] as usize..offs[hi] as usize]
     }
 }
 
@@ -337,6 +642,134 @@ mod tests {
         let idx = DocIndex::new(&d).unwrap();
         for v in d.all_ids() {
             assert_eq!(idx.depth(v) as usize, d.depth(v), "{v}");
+        }
+    }
+
+    fn parts_of(idx: &DocIndex) -> DocIndexParts {
+        let by_label = (0..idx.label_table().len())
+            .map(|i| idx.label_list_id(LabelId::from_index(i)).to_vec())
+            .collect();
+        DocIndexParts {
+            subtree_end: idx.subtree_end_table().to_vec(),
+            depth: idx.depth_table().to_vec(),
+            by_label,
+            label_names: idx.label_names.clone(),
+            elements: idx.element_nodes().to_vec(),
+            text_nodes: idx.text_list().to_vec(),
+            text_buf: idx.text_buffer().to_string(),
+            text_offsets: idx.text_offset_table().to_vec(),
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_all_queries() {
+        let d = parse("<r><a><b>x</b><a><b>y</b></a></a><b>z</b>tail</r>").unwrap();
+        let idx = DocIndex::new(&d).unwrap();
+        let back = DocIndex::from_raw_parts(parts_of(&idx)).unwrap();
+        for v in d.all_ids() {
+            assert_eq!(back.subtree_end(v), idx.subtree_end(v), "{v}");
+            assert_eq!(back.post_rank(v), idx.post_rank(v), "{v}");
+            assert_eq!(back.depth(v), idx.depth(v), "{v}");
+            assert_eq!(back.string_value(v), idx.string_value(v), "{v}");
+        }
+        assert_eq!(back.label_list("b"), idx.label_list("b"));
+        assert_eq!(back.label_id("a"), idx.label_id("a"));
+        assert_eq!(back.element_nodes(), idx.element_nodes());
+        assert_eq!(back.text_list(), idx.text_list());
+        assert_eq!(back.node_count(), idx.node_count());
+    }
+
+    #[test]
+    fn from_packed_roundtrips_all_queries() {
+        let d = parse("<r><a><b>x</b><a><b>y</b></a></a><b>z</b>tail</r>").unwrap();
+        let idx = DocIndex::new(&d).unwrap();
+        let back = DocIndex::from_packed(PackedDocIndexParts {
+            subtree_end: U32s::from_vec(idx.subtree_end_table().to_vec()),
+            depth: U32s::from_vec(idx.depth_table().to_vec()),
+            label_offsets: U32s::from_vec(idx.label_offset_table().to_vec()),
+            label_ids: U32s::from_vec(idx.label_id_table().to_vec()),
+            label_names: idx.label_names.clone(),
+            elements: U32s::from_vec(
+                idx.element_nodes().iter().map(|v| v.index() as u32).collect(),
+            ),
+            text_nodes: U32s::from_vec(idx.text_list().iter().map(|v| v.index() as u32).collect()),
+            text_buf: Str::from_string(idx.text_buffer().to_string()),
+            text_offsets: U32s::from_vec(idx.text_offset_table().to_vec()),
+        })
+        .unwrap();
+        for v in d.all_ids() {
+            assert_eq!(back.subtree_end(v), idx.subtree_end(v), "{v}");
+            assert_eq!(back.post_rank(v), idx.post_rank(v), "{v}");
+            assert_eq!(back.depth(v), idx.depth(v), "{v}");
+            assert_eq!(back.string_value(v), idx.string_value(v), "{v}");
+        }
+        assert_eq!(back.label_list("b"), idx.label_list("b"));
+        assert_eq!(back.element_nodes(), idx.element_nodes());
+        let counts: Vec<_> = back.labels().collect();
+        assert_eq!(counts, idx.labels().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_packed_rejects_bad_arity() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        let parts = || PackedDocIndexParts {
+            subtree_end: U32s::from_vec(idx.subtree_end_table().to_vec()),
+            depth: U32s::from_vec(idx.depth_table().to_vec()),
+            label_offsets: U32s::from_vec(idx.label_offset_table().to_vec()),
+            label_ids: U32s::from_vec(idx.label_id_table().to_vec()),
+            label_names: idx.label_names.clone(),
+            elements: U32s::from_vec(
+                idx.element_nodes().iter().map(|v| v.index() as u32).collect(),
+            ),
+            text_nodes: U32s::from_vec(idx.text_list().iter().map(|v| v.index() as u32).collect()),
+            text_buf: Str::from_string(idx.text_buffer().to_string()),
+            text_offsets: U32s::from_vec(idx.text_offset_table().to_vec()),
+        };
+        let mut p = parts();
+        p.depth = U32s::from_vec(vec![0]);
+        assert!(DocIndex::from_packed(p).is_err(), "depth arity");
+        let mut p = parts();
+        p.label_offsets = U32s::from_vec(vec![0]);
+        assert!(DocIndex::from_packed(p).is_err(), "label CSR arity");
+        let mut p = parts();
+        p.label_ids = U32s::empty();
+        assert!(DocIndex::from_packed(p).is_err(), "label CSR sentinel");
+        let mut p = parts();
+        p.elements = U32s::empty();
+        assert!(DocIndex::from_packed(p).is_err(), "element/text split");
+        let mut p = parts();
+        p.text_offsets = U32s::empty();
+        assert!(DocIndex::from_packed(p).is_err(), "text offset arity");
+        let mut p = parts();
+        p.label_names[1] = p.label_names[0].clone();
+        assert!(DocIndex::from_packed(p).is_err(), "duplicate label");
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_arrays() {
+        let d = doc();
+        let idx = DocIndex::new(&d).unwrap();
+        type Mutation = Box<dyn Fn(&mut DocIndexParts)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("depth too short", Box::new(|p| p.depth.truncate(1))),
+            ("depth exceeds subtree end", Box::new(|p| p.depth[3] = 999)),
+            ("label lists vs names", Box::new(|p| p.label_names.push("extra".into()))),
+            ("element/text split", Box::new(|p| p.elements.truncate(1))),
+            ("unsorted elements", Box::new(|p| p.elements.swap(0, 1))),
+            ("element out of bounds", Box::new(|p| p.elements[0] = NodeId::from_index(999))),
+            ("unsorted label list", Box::new(|p| p.by_label[1].swap(0, 1))),
+            ("subtree end below id", Box::new(|p| p.subtree_end[3] = 0)),
+            ("subtree end out of bounds", Box::new(|p| p.subtree_end[0] = 999)),
+            ("offset arity", Box::new(|p| p.text_offsets.truncate(2))),
+            ("offsets not monotone", Box::new(|p| p.text_offsets.swap(0, 1))),
+            ("offset sentinel", Box::new(|p| *p.text_offsets.last_mut().unwrap() = 999)),
+            ("duplicate label name", Box::new(|p| p.label_names[1] = p.label_names[0].clone())),
+        ];
+        for (what, corrupt) in cases {
+            let mut parts = parts_of(&idx);
+            corrupt(&mut parts);
+            assert!(DocIndex::from_raw_parts(parts).is_err(), "{what} must be rejected");
         }
     }
 

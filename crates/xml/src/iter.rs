@@ -19,7 +19,7 @@ impl<'d> Children<'d> {
     /// Restrict to element children only.
     pub fn elements(self) -> impl Iterator<Item = NodeId> + 'd {
         let doc = self.doc;
-        self.filter(move |&id| doc.node(id).is_element())
+        self.filter(move |&id| doc.is_element(id))
     }
 }
 

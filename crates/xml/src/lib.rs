@@ -23,6 +23,7 @@
 //!   `&mut Document`.
 
 pub mod bitmap;
+pub mod column;
 pub mod error;
 pub mod index;
 pub mod iter;
@@ -32,10 +33,15 @@ pub mod parser;
 pub mod serializer;
 
 pub use bitmap::NodeBitmap;
+pub use column::{Bytes, Str, U32s};
 pub use error::{Error, Result};
-pub use index::DocIndex;
+pub use index::{DocIndex, DocIndexParts, PackedDocIndexParts};
 pub use iter::{Ancestors, Children, Descendants};
 pub use json::json_escape;
-pub use node::{DocId, Document, LabelId, Node, NodeId, NodeKind};
+pub use node::{
+    DocId, Document, DocumentParts, LabelId, Node, NodeId, NodeKind, PackedDocumentParts,
+};
 pub use parser::parse;
-pub use serializer::{to_string, to_string_pretty};
+pub use serializer::{
+    to_string, to_string_pretty, write_document, write_escaped_attr, write_escaped_text,
+};

@@ -1,7 +1,8 @@
 //! Serialize a [`Document`] back to XML text.
 
-use crate::node::{Document, NodeId, NodeKind};
+use crate::node::{Document, NodeId};
 use std::fmt::Write;
+use std::io;
 
 /// Serialize compactly (no added whitespace). Round-trips through
 /// [`crate::parse`] for documents without mixed whitespace content.
@@ -24,50 +25,121 @@ pub fn to_string_pretty(doc: &Document) -> String {
     out
 }
 
+/// Serialize compactly straight to an [`io::Write`] — the path for
+/// documents too large to hold as one in-memory string (wrap the sink
+/// in a `BufWriter`; this emits many small writes).
+pub fn write_document<W: io::Write>(doc: &Document, w: &mut W) -> io::Result<()> {
+    match doc.root_opt() {
+        Some(root) => write_node_io(doc, root, w),
+        None => Ok(()),
+    }
+}
+
+fn write_node_io<W: io::Write>(doc: &Document, id: NodeId, w: &mut W) -> io::Result<()> {
+    if let Some(t) = doc.text_opt(id) {
+        return write_escaped_text(t, w);
+    }
+    let label = doc.label_opt(id).expect("non-text node is an element");
+    w.write_all(b"<")?;
+    w.write_all(label.as_bytes())?;
+    for (name, value) in doc.attributes(id) {
+        w.write_all(b" ")?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(b"=\"")?;
+        write_escaped_attr(value, w)?;
+        w.write_all(b"\"")?;
+    }
+    let children = doc.children(id);
+    if children.is_empty() {
+        return w.write_all(b"/>");
+    }
+    w.write_all(b">")?;
+    for &c in children {
+        write_node_io(doc, c, w)?;
+    }
+    w.write_all(b"</")?;
+    w.write_all(label.as_bytes())?;
+    w.write_all(b">")
+}
+
+/// Stream `s` to `w` with `<`, `>`, `&` escaped (element text content).
+/// Writes maximal clean runs, so typical text costs one write.
+pub fn write_escaped_text<W: io::Write>(s: &str, w: &mut W) -> io::Result<()> {
+    write_escaped(s, w, |c| match c {
+        '<' => Some("&lt;"),
+        '>' => Some("&gt;"),
+        '&' => Some("&amp;"),
+        _ => None,
+    })
+}
+
+/// Stream `s` to `w` with `<`, `&`, `"` escaped (attribute values).
+pub fn write_escaped_attr<W: io::Write>(s: &str, w: &mut W) -> io::Result<()> {
+    write_escaped(s, w, |c| match c {
+        '<' => Some("&lt;"),
+        '&' => Some("&amp;"),
+        '"' => Some("&quot;"),
+        _ => None,
+    })
+}
+
+fn write_escaped<W: io::Write>(
+    s: &str,
+    w: &mut W,
+    escape: impl Fn(char) -> Option<&'static str>,
+) -> io::Result<()> {
+    let mut rest = s;
+    while let Some((i, c, esc)) =
+        rest.char_indices().find_map(|(i, c)| escape(c).map(|e| (i, c, e)))
+    {
+        w.write_all(&rest.as_bytes()[..i])?;
+        w.write_all(esc.as_bytes())?;
+        rest = &rest[i + c.len_utf8()..];
+    }
+    w.write_all(rest.as_bytes())
+}
+
 fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
-    match doc.node(id).kind() {
-        NodeKind::Text(t) => {
-            escape_text(t, out);
+    if let Some(t) = doc.text_opt(id) {
+        escape_text(t, out);
+        return;
+    }
+    let label = doc.label_opt(id).expect("non-text node is an element");
+    if let Some(width) = indent {
+        if depth > 0 {
+            out.push('\n');
         }
-        NodeKind::Element { label, attributes } => {
-            let label = doc.label_name(*label);
-            if let Some(width) = indent {
-                if depth > 0 {
-                    out.push('\n');
-                }
-                for _ in 0..width * depth {
-                    out.push(' ');
-                }
-            }
-            out.push('<');
-            out.push_str(label);
-            for (name, value) in attributes {
-                let _ = write!(out, " {name}=\"");
-                escape_attr(value, out);
-                out.push('"');
-            }
-            let children = doc.children(id);
-            if children.is_empty() {
-                out.push_str("/>");
-                return;
-            }
-            out.push('>');
-            let only_text = children.len() == 1 && doc.node(children[0]).is_text();
-            for &c in children {
-                let child_indent = if only_text { None } else { indent };
-                write_node(doc, c, out, child_indent, depth + 1);
-            }
-            if indent.is_some() && !only_text {
-                out.push('\n');
-                for _ in 0..indent.unwrap_or(0) * depth {
-                    out.push(' ');
-                }
-            }
-            out.push_str("</");
-            out.push_str(label);
-            out.push('>');
+        for _ in 0..width * depth {
+            out.push(' ');
         }
     }
+    out.push('<');
+    out.push_str(label);
+    for (name, value) in doc.attributes(id) {
+        let _ = write!(out, " {name}=\"");
+        escape_attr(value, out);
+        out.push('"');
+    }
+    let children = doc.children(id);
+    if children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let only_text = children.len() == 1 && doc.is_text(children[0]);
+    for &c in children {
+        let child_indent = if only_text { None } else { indent };
+        write_node(doc, c, out, child_indent, depth + 1);
+    }
+    if indent.is_some() && !only_text {
+        out.push('\n');
+        for _ in 0..indent.unwrap_or(0) * depth {
+            out.push(' ');
+        }
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
 }
 
 fn escape_text(s: &str, out: &mut String) {
@@ -129,6 +201,22 @@ mod tests {
     #[test]
     fn empty_document_serializes_empty() {
         assert_eq!(to_string(&Document::new()), "");
+    }
+
+    #[test]
+    fn streamed_output_matches_to_string() {
+        let mut d = Document::new();
+        let a = d.create_root("a").unwrap();
+        d.set_attribute(a, "k", "a\"<&").unwrap();
+        let b = d.append_element(a, "b");
+        d.append_text(b, "x<&>y");
+        d.append_element(a, "c");
+        let mut buf = Vec::new();
+        write_document(&d, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_string(&d));
+        let mut empty = Vec::new();
+        write_document(&Document::new(), &mut empty).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -19,8 +19,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::io;
 use sxv_dtd::{Content, Dtd, GeneralDtd};
-use sxv_xml::{Document, NodeId};
+use sxv_xml::{write_escaped_attr, write_escaped_text, Document, NodeId};
 
 /// Generation parameters.
 #[derive(Debug, Clone)]
@@ -130,6 +131,140 @@ impl Generator {
         Some(doc)
     }
 
+    /// Generate one conforming document straight to a writer without ever
+    /// materializing it — the path for D5–D7-scale data sets (tens of
+    /// millions of nodes) where an in-memory [`Document`] or intermediate
+    /// `String` would dominate peak RSS. Wrap the sink in a
+    /// `std::io::BufWriter`; this emits many small writes.
+    ///
+    /// Draws from the RNG in the same order as [`Generator::generate`], so
+    /// for equal seed and config the streamed bytes equal
+    /// `sxv_xml::to_string(&generate())`.
+    ///
+    /// Returns `Ok(None)` when the DTD has no instance within the depth
+    /// budget (nothing is written), otherwise `Ok(Some(n))` where `n` is
+    /// the number of tree nodes (elements + text) written.
+    pub fn generate_to<W: io::Write>(&mut self, out: &mut W) -> io::Result<Option<u64>> {
+        let Some(&root_min) = self.min_depth.get(self.dtd.root()) else { return Ok(None) };
+        if root_min == usize::MAX || root_min > self.config.max_depth {
+            return Ok(None);
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.config.seed = self.config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let root_label = self.dtd.root().to_string();
+        let mut nodes = 0u64;
+        self.write_element(out, &root_label, self.config.max_depth, &mut rng, &mut nodes)?;
+        Ok(Some(nodes))
+    }
+
+    /// Streamed counterpart of [`Generator::fill`]: open tag + attributes,
+    /// content, close tag (`/>` when the content emitted nothing, matching
+    /// the compact serializer).
+    fn write_element<W: io::Write>(
+        &mut self,
+        out: &mut W,
+        label: &str,
+        budget: usize,
+        rng: &mut StdRng,
+        nodes: &mut u64,
+    ) -> io::Result<()> {
+        *nodes += 1;
+        out.write_all(b"<")?;
+        out.write_all(label.as_bytes())?;
+        for (name, value) in self.sample_attributes(label, rng) {
+            out.write_all(b" ")?;
+            out.write_all(name.as_bytes())?;
+            out.write_all(b"=\"")?;
+            write_escaped_attr(&value, out)?;
+            out.write_all(b"\"")?;
+        }
+        let content = self.dtd.content(label).expect("validated at construction").clone();
+        let mut open = false;
+        self.write_content(out, label, &content, budget, rng, &mut open, nodes)?;
+        if open {
+            out.write_all(b"</")?;
+            out.write_all(label.as_bytes())?;
+            out.write_all(b">")
+        } else {
+            out.write_all(b"/>")
+        }
+    }
+
+    /// Streamed counterpart of [`Generator::emit`]. `open` tracks whether
+    /// the parent's start tag has been closed with `>` yet — it flips on
+    /// the first child so childless elements can self-close.
+    #[allow(clippy::too_many_arguments)]
+    fn write_content<W: io::Write>(
+        &mut self,
+        out: &mut W,
+        parent_label: &str,
+        content: &Content,
+        budget: usize,
+        rng: &mut StdRng,
+        open: &mut bool,
+        nodes: &mut u64,
+    ) -> io::Result<()> {
+        fn ensure_open<W: io::Write>(out: &mut W, open: &mut bool) -> io::Result<()> {
+            if !*open {
+                *open = true;
+                out.write_all(b">")?;
+            }
+            Ok(())
+        }
+        match content {
+            Content::Empty => Ok(()),
+            Content::PcData => {
+                let value = self.sample_text(parent_label, rng);
+                ensure_open(out, open)?;
+                *nodes += 1;
+                write_escaped_text(&value, out)
+            }
+            Content::Name(name) => {
+                ensure_open(out, open)?;
+                let name = name.clone();
+                self.write_element(out, &name, budget - 1, rng, nodes)
+            }
+            Content::Seq(items) => {
+                for item in items {
+                    self.write_content(out, parent_label, item, budget, rng, open, nodes)?;
+                }
+                Ok(())
+            }
+            Content::Choice(items) => {
+                let viable: Vec<&Content> =
+                    items.iter().filter(|item| self.content_min(item) <= budget).collect();
+                let pick = viable[rng.gen_range(0..viable.len())].clone();
+                self.write_content(out, parent_label, &pick, budget, rng, open, nodes)
+            }
+            Content::Star(inner) => {
+                let count = if self.content_min(inner) <= budget {
+                    let lo = self.config.min_branch.min(self.config.max_branch);
+                    rng.gen_range(lo..=self.config.max_branch)
+                } else {
+                    0
+                };
+                for _ in 0..count {
+                    self.write_content(out, parent_label, inner, budget, rng, open, nodes)?;
+                }
+                Ok(())
+            }
+            Content::Plus(inner) => {
+                let lo = self.config.min_branch.clamp(1, self.config.max_branch.max(1));
+                let count = rng.gen_range(lo..=self.config.max_branch.max(1));
+                for _ in 0..count {
+                    self.write_content(out, parent_label, inner, budget, rng, open, nodes)?;
+                }
+                Ok(())
+            }
+            Content::Opt(inner) => {
+                if self.content_min(inner) <= budget && rng.gen_bool(self.config.opt_probability) {
+                    self.write_content(out, parent_label, inner, budget, rng, open, nodes)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Generate children for `node` of type `label` with `budget` depth
     /// levels available below it.
     fn fill(
@@ -149,7 +284,17 @@ impl Generator {
     /// configured probability; values come from a `"label@attr"` pool,
     /// the declared default, the enumerated set, or a synthetic value.
     fn emit_attributes(&mut self, doc: &mut Document, node: NodeId, label: &str, rng: &mut StdRng) {
+        for (name, value) in self.sample_attributes(label, rng) {
+            doc.set_attribute(node, &name, value).expect("element node");
+        }
+    }
+
+    /// Sample the attribute list for one element. Both the in-memory and
+    /// the streamed path go through here, so they draw from the RNG in
+    /// exactly the same order and produce identical documents per seed.
+    fn sample_attributes(&mut self, label: &str, rng: &mut StdRng) -> Vec<(String, String)> {
         let defs = self.dtd.attribute_defs(label).to_vec();
+        let mut out = Vec::with_capacity(defs.len());
         for def in defs {
             if !def.required && !rng.gen_bool(self.config.opt_probability) {
                 continue;
@@ -167,8 +312,9 @@ impl Generator {
                 self.text_counter += 1;
                 format!("{}-{}", def.name, self.text_counter)
             };
-            doc.set_attribute(node, &def.name, value).expect("element node");
+            out.push((def.name, value));
         }
+        out
     }
 
     fn emit(
@@ -441,6 +587,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn streamed_bytes_equal_in_memory_serialization() {
+        let dtd = hospital_dtd();
+        let config = GenConfig::seeded(21).with_max_branch(4).with_values("wardNo", ["6", "7"]);
+        let doc = Generator::new(&dtd, config.clone()).generate().unwrap();
+        let mut buf = Vec::new();
+        let nodes = Generator::new(&dtd, config).generate_to(&mut buf).unwrap().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), sxv_xml::to_string(&doc));
+        assert_eq!(nodes, doc.len() as u64);
+    }
+
+    #[test]
+    fn streamed_output_parses_and_conforms() {
+        let dtd = parse_general_dtd(
+            r#"<!ELEMENT r (a*)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST r version CDATA #REQUIRED>
+<!ATTLIST a id CDATA #REQUIRED>"#,
+            "r",
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        let config = GenConfig::seeded(9).with_max_branch(6).with_values("a", ["x<&>y", "plain"]);
+        Generator::new(&dtd, config).generate_to(&mut buf).unwrap().unwrap();
+        let doc = sxv_xml::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        validate(&dtd, &doc).unwrap();
+        sxv_dtd::validate_attributes(&dtd, &doc).unwrap();
+    }
+
+    #[test]
+    fn streamed_inconsistent_dtd_writes_nothing() {
+        let dtd = parse_general_dtd("<!ELEMENT a (a, b)><!ELEMENT b EMPTY>", "a").unwrap();
+        let mut buf = Vec::new();
+        let r = Generator::new(&dtd, GenConfig::default()).generate_to(&mut buf).unwrap();
+        assert!(r.is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn successive_streamed_generates_differ() {
+        let dtd = hospital_dtd();
+        let mut g = Generator::new(&dtd, GenConfig::seeded(1).with_max_branch(5));
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        g.generate_to(&mut b1).unwrap().unwrap();
+        g.generate_to(&mut b2).unwrap().unwrap();
+        assert_ne!(b1, b2);
     }
 
     #[test]

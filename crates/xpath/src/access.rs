@@ -19,9 +19,75 @@
 //! this module only defines the queryable structure the plan executor
 //! consumes.
 
+use crate::error::{Error, Result};
 use crate::plan::AxisTest;
 use std::collections::BTreeMap;
-use sxv_xml::{Document, NodeBitmap, NodeId};
+use sxv_xml::{Document, NodeBitmap, NodeId, U32s};
+
+/// The flat arrays behind an [`AccessView`], the input of
+/// [`AccessView::from_raw_parts`] — the shape a persisted package
+/// stores. Field meanings match the same-named [`AccessView`] fields;
+/// `dummy_lists` is absent because it is derived from `dummy_labels`,
+/// and the view-children CSR is absent because it is derived from
+/// `view_parent` by the same counting sort [`AccessView::finalize`]
+/// uses.
+#[derive(Debug, Clone)]
+pub struct AccessViewParts {
+    /// Document node count the artifact covers.
+    pub len: usize,
+    /// Non-dummy member bitmap (must cover `len` ids).
+    pub members: NodeBitmap,
+    /// Dummy-source bitmap (must cover `len` ids).
+    pub dummies: NodeBitmap,
+    /// View element bitmap (must cover `len` ids).
+    pub view_elements: NodeBitmap,
+    /// Per-node view parent, `u32::MAX` for "none"; always a strict
+    /// document ancestor, so `view_parent[v] < v`.
+    pub view_parent: Vec<u32>,
+    /// Dummy label per dummy source, sorted by node id.
+    pub dummy_labels: Vec<(NodeId, String)>,
+    /// Visible attributes per view label.
+    pub visible_attrs: BTreeMap<String, Vec<String>>,
+    /// §3.2-accessible node count.
+    pub accessible_count: usize,
+    /// Original build wall-clock, microseconds.
+    pub build_micros: u64,
+    /// The view root source node.
+    pub root: Option<NodeId>,
+}
+
+/// Pre-derived columns for [`AccessView::from_packed`] — the zero-copy
+/// package load path. Unlike [`AccessViewParts`], the view-children CSR
+/// travels pre-derived (it is stored fat in the package), so assembly
+/// needs no counting sort; the per-node columns may be buffer-borrowed
+/// views.
+#[derive(Debug)]
+pub struct PackedAccessViewParts {
+    /// Document node count the artifact covers.
+    pub len: usize,
+    /// Non-dummy member bitmap (must cover `len` ids).
+    pub members: NodeBitmap,
+    /// Dummy-source bitmap (must cover `len` ids).
+    pub dummies: NodeBitmap,
+    /// View element bitmap (must cover `len` ids).
+    pub view_elements: NodeBitmap,
+    /// Per-node view parent, `u32::MAX` for "none".
+    pub view_parent: U32s,
+    /// View-children CSR offsets (`len + 1` entries).
+    pub child_offsets: U32s,
+    /// View-children CSR ids, grouped by parent in document order.
+    pub child_ids: U32s,
+    /// Dummy label per dummy source, sorted by node id.
+    pub dummy_labels: Vec<(NodeId, String)>,
+    /// Visible attributes per view label.
+    pub visible_attrs: BTreeMap<String, Vec<String>>,
+    /// §3.2-accessible node count.
+    pub accessible_count: usize,
+    /// Original build wall-clock, microseconds.
+    pub build_micros: u64,
+    /// The view root source node.
+    pub root: Option<NodeId>,
+}
 
 /// True iff `name` is a generated dummy label (the §3.4 renaming that
 /// hides an inaccessible element type's name). Kept in sync with the
@@ -48,16 +114,18 @@ pub struct AccessView {
     /// `view_parent[v]` = doc source of `v`'s parent in the view
     /// (`NO_PARENT` for the root and non-members). Always a strict
     /// document ancestor of `v`, so parent chains ascend node ids.
-    view_parent: Vec<u32>,
+    view_parent: U32s,
     /// Dummy label per dummy source, sorted by node id.
     dummy_labels: Vec<(NodeId, String)>,
     /// Occurrence list per dummy label, document order.
     dummy_lists: BTreeMap<String, Vec<NodeId>>,
     /// Visible attributes per (non-dummy) view label.
     visible_attrs: BTreeMap<String, Vec<String>>,
-    /// CSR view-children adjacency (built by [`AccessView::finalize`]).
-    child_offsets: Vec<u32>,
-    child_ids: Vec<NodeId>,
+    /// CSR view-children adjacency (built by [`AccessView::finalize`],
+    /// or borrowed pre-derived from a package by
+    /// [`AccessView::from_packed`]).
+    child_offsets: U32s,
+    child_ids: U32s,
     /// §3.2-accessible node count (for reporting).
     accessible_count: usize,
     /// Wall-clock build time recorded by the builder, microseconds.
@@ -74,12 +142,12 @@ impl AccessView {
             members: NodeBitmap::new(len),
             dummies: NodeBitmap::new(len),
             view_elements: NodeBitmap::new(len),
-            view_parent: vec![NO_PARENT; len],
+            view_parent: U32s::from_vec(vec![NO_PARENT; len]),
             dummy_labels: Vec::new(),
             dummy_lists: BTreeMap::new(),
             visible_attrs: BTreeMap::new(),
-            child_offsets: Vec::new(),
-            child_ids: Vec::new(),
+            child_offsets: U32s::empty(),
+            child_ids: U32s::empty(),
             accessible_count: 0,
             build_micros: 0,
             root: None,
@@ -102,14 +170,14 @@ impl AccessView {
         if is_element {
             self.view_elements.set(id);
         }
-        self.view_parent[id.index()] = id_to_u32(parent);
+        self.view_parent.make_mut()[id.index()] = id_to_u32(parent);
     }
 
     /// Record a dummy source under `parent` with its minted view label.
     pub fn record_dummy(&mut self, id: NodeId, parent: NodeId, label: &str) {
         self.dummies.set(id);
         self.view_elements.set(id);
-        self.view_parent[id.index()] = id_to_u32(parent);
+        self.view_parent.make_mut()[id.index()] = id_to_u32(parent);
         self.dummy_labels.push((id, label.to_string()));
         self.dummy_lists.entry(label.to_string()).or_default().push(id);
     }
@@ -143,29 +211,173 @@ impl AccessView {
             list.sort_unstable();
             list.dedup();
         }
-        let mut counts = vec![0u32; self.len + 1];
-        for &p in &self.view_parent {
-            if p != NO_PARENT {
-                counts[p as usize + 1] += 1;
+        let (offsets, ids) = view_children_csr(self.len, self.view_parent.as_slice());
+        self.child_offsets = U32s::from_vec(offsets);
+        self.child_ids = U32s::from_vec(ids);
+    }
+
+    /// Rehydrate an artifact from flat arrays (the persisted-package
+    /// load path), skipping the σ-expansion build entirely. The derived
+    /// `dummy_lists` occurrence index is rebuilt from `dummy_labels` in
+    /// one pass and the view-children CSR from `view_parent` by the
+    /// [`AccessView::finalize`] counting sort; everything else is
+    /// validated with a constant number of O(n) scans and moved into
+    /// place without per-node work.
+    pub fn from_raw_parts(parts: AccessViewParts) -> Result<AccessView> {
+        let AccessViewParts {
+            len,
+            members,
+            dummies,
+            view_elements,
+            view_parent,
+            dummy_labels,
+            visible_attrs,
+            accessible_count,
+            build_micros,
+            root,
+        } = parts;
+        let malformed = |msg: String| Error::MalformedParts(msg);
+        for (bitmap, what) in
+            [(&members, "members"), (&dummies, "dummies"), (&view_elements, "view elements")]
+        {
+            if bitmap.len() != len {
+                return Err(malformed(format!(
+                    "{what} bitmap covers {} ids, artifact covers {len}",
+                    bitmap.len()
+                )));
             }
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
+        if view_parent.len() != len {
+            return Err(malformed(format!(
+                "view parent table has {} entries for {len} nodes",
+                view_parent.len()
+            )));
         }
-        self.child_offsets = counts;
-        let mut ids =
-            vec![NodeId::from_index(0); *self.child_offsets.last().unwrap_or(&0) as usize];
-        let mut cursor = self.child_offsets.clone();
-        // Iterating children in ascending id order fills each parent's
-        // CSR slot in document order.
-        for (i, &p) in self.view_parent.iter().enumerate() {
-            if p != NO_PARENT {
-                let slot = &mut cursor[p as usize];
-                ids[*slot as usize] = NodeId::from_index(i);
-                *slot += 1;
+        if view_parent.iter().enumerate().any(|(i, &p)| p != NO_PARENT && p as usize >= i) {
+            return Err(malformed(
+                "view parent must be a strict document ancestor (parent id < node id)".into(),
+            ));
+        }
+        if dummy_labels.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(malformed("dummy labels are not sorted by node id".into()));
+        }
+        if dummy_labels.iter().any(|(id, _)| id.index() >= len) {
+            return Err(malformed(format!("dummy source out of bounds ({len} nodes)")));
+        }
+        if let Some(r) = root {
+            if r.index() >= len {
+                return Err(malformed(format!("root {} out of bounds ({len} nodes)", r.index())));
             }
         }
-        self.child_ids = ids;
+        let mut dummy_lists: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        // dummy_labels is id-sorted, so each per-label list comes out in
+        // document order without a sort.
+        for (id, label) in &dummy_labels {
+            dummy_lists.entry(label.clone()).or_default().push(*id);
+        }
+        let (child_offsets, child_ids) = view_children_csr(len, &view_parent);
+        Ok(AccessView {
+            len,
+            members,
+            dummies,
+            view_elements,
+            view_parent: U32s::from_vec(view_parent),
+            dummy_labels,
+            dummy_lists,
+            visible_attrs,
+            child_offsets: U32s::from_vec(child_offsets),
+            child_ids: U32s::from_vec(child_ids),
+            accessible_count,
+            build_micros,
+            root,
+        })
+    }
+
+    /// Assemble an artifact from pre-derived, pre-validated packed
+    /// columns — the zero-copy package load path. The view-children CSR
+    /// arrives pre-derived from the package (no counting sort), and only
+    /// O(1) arity facts are checked: the columns are trusted, integrity
+    /// being established by the package's per-section checksums (see
+    /// `Document::from_packed` for the trust-model discussion). The
+    /// small side tables (dummy labels, visible attributes) stay owned
+    /// and are checked as before — they are DTD-sized, not
+    /// document-sized.
+    pub fn from_packed(parts: PackedAccessViewParts) -> Result<AccessView> {
+        let PackedAccessViewParts {
+            len,
+            members,
+            dummies,
+            view_elements,
+            view_parent,
+            child_offsets,
+            child_ids,
+            dummy_labels,
+            visible_attrs,
+            accessible_count,
+            build_micros,
+            root,
+        } = parts;
+        let malformed = |msg: String| Error::MalformedParts(msg);
+        for (bitmap, what) in
+            [(&members, "members"), (&dummies, "dummies"), (&view_elements, "view elements")]
+        {
+            if bitmap.len() != len {
+                return Err(malformed(format!(
+                    "{what} bitmap covers {} ids, artifact covers {len}",
+                    bitmap.len()
+                )));
+            }
+        }
+        if view_parent.len() != len {
+            return Err(malformed(format!(
+                "view parent table has {} entries for {len} nodes",
+                view_parent.len()
+            )));
+        }
+        if child_offsets.len() != len + 1 {
+            return Err(malformed(format!(
+                "view-children CSR: expected {} offsets, got {}",
+                len + 1,
+                child_offsets.len()
+            )));
+        }
+        if child_offsets.as_slice().last().copied().unwrap_or(0) as usize != child_ids.len() {
+            return Err(malformed(format!(
+                "view-children CSR: offsets end at {:?} but there are {} child ids",
+                child_offsets.as_slice().last(),
+                child_ids.len()
+            )));
+        }
+        if dummy_labels.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(malformed("dummy labels are not sorted by node id".into()));
+        }
+        if dummy_labels.iter().any(|(id, _)| id.index() >= len) {
+            return Err(malformed(format!("dummy source out of bounds ({len} nodes)")));
+        }
+        if let Some(r) = root {
+            if r.index() >= len {
+                return Err(malformed(format!("root {} out of bounds ({len} nodes)", r.index())));
+            }
+        }
+        let mut dummy_lists: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (id, label) in &dummy_labels {
+            dummy_lists.entry(label.clone()).or_default().push(*id);
+        }
+        Ok(AccessView {
+            len,
+            members,
+            dummies,
+            view_elements,
+            view_parent,
+            dummy_labels,
+            dummy_lists,
+            visible_attrs,
+            child_offsets,
+            child_ids,
+            accessible_count,
+            build_micros,
+            root,
+        })
     }
 
     // --- executor surface ---
@@ -173,6 +385,33 @@ impl AccessView {
     /// The document root (= view root source), if the view is non-empty.
     pub fn root(&self) -> Option<NodeId> {
         self.root
+    }
+
+    // --- raw store surface (persisted packages) ---
+
+    /// The raw per-node view-parent table (`u32::MAX` = no parent).
+    pub fn view_parent_table(&self) -> &[u32] {
+        self.view_parent.as_slice()
+    }
+
+    /// The raw CSR view-children offsets (`len + 1` entries).
+    pub fn child_offset_table(&self) -> &[u32] {
+        self.child_offsets.as_slice()
+    }
+
+    /// The raw CSR view-children ids.
+    pub fn child_id_table(&self) -> &[NodeId] {
+        self.child_ids.as_ids()
+    }
+
+    /// The id-sorted (dummy source, minted label) table.
+    pub fn dummy_label_table(&self) -> &[(NodeId, String)] {
+        &self.dummy_labels
+    }
+
+    /// The visible-attribute sets per view label.
+    pub fn visible_attr_table(&self) -> &BTreeMap<String, Vec<String>> {
+        &self.visible_attrs
     }
 
     /// Does `id` appear in the view at all (member or dummy source)?
@@ -208,7 +447,7 @@ impl AccessView {
 
     /// The view parent of `id` (`None` for the root and non-members).
     pub fn view_parent(&self, id: NodeId) -> Option<NodeId> {
-        match self.view_parent.get(id.index()) {
+        match self.view_parent.as_slice().get(id.index()) {
             Some(&p) if p != NO_PARENT => Some(NodeId::from_index(p as usize)),
             _ => None,
         }
@@ -216,8 +455,8 @@ impl AccessView {
 
     /// The view children of `id`, in document order.
     pub fn view_children(&self, id: NodeId) -> &[NodeId] {
-        match self.child_offsets.get(id.index()..id.index() + 2) {
-            Some(&[lo, hi]) => &self.child_ids[lo as usize..hi as usize],
+        match self.child_offsets.as_slice().get(id.index()..id.index() + 2) {
+            Some(&[lo, hi]) => &self.child_ids.as_ids()[lo as usize..hi as usize],
             _ => &[],
         }
     }
@@ -268,7 +507,7 @@ impl AccessView {
                 }
             }
             AxisTest::AnyElement => self.view_elements.contains(v),
-            AxisTest::Text => self.members.contains(v) && doc.node(v).is_text(),
+            AxisTest::Text => self.members.contains(v) && doc.is_text(v),
         }
     }
 
@@ -336,6 +575,34 @@ impl AccessView {
 
 fn id_to_u32(id: NodeId) -> u32 {
     id.index() as u32
+}
+
+/// View-children CSR from the parent table by counting sort: count each
+/// parent's children, prefix-sum into offsets, then fill. Iterating
+/// children in ascending id order fills each parent's CSR slot in
+/// document order. Shared by [`AccessView::finalize`] (builder path)
+/// and [`AccessView::from_raw_parts`] (package-load path), so the
+/// persisted format only ships `view_parent`.
+fn view_children_csr(len: usize, view_parent: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; len + 1];
+    for &p in view_parent {
+        if p != NO_PARENT {
+            offsets[p as usize + 1] += 1;
+        }
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut ids = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+    let mut cursor = offsets.clone();
+    for (i, &p) in view_parent.iter().enumerate() {
+        if p != NO_PARENT {
+            let slot = &mut cursor[p as usize];
+            ids[*slot as usize] = i as u32;
+            *slot += 1;
+        }
+    }
+    (offsets, ids)
 }
 
 #[cfg(test)]
@@ -434,5 +701,73 @@ mod tests {
         assert!(av.bytes() > 0);
         assert!(!is_dummy_label("patient"));
         assert!(is_dummy_label("dummy7"));
+    }
+
+    fn parts_of(av: &AccessView) -> AccessViewParts {
+        AccessViewParts {
+            len: av.len(),
+            members: av.members().clone(),
+            dummies: av.dummies().clone(),
+            view_elements: av.elements().clone(),
+            view_parent: av.view_parent_table().to_vec(),
+            dummy_labels: av.dummy_label_table().to_vec(),
+            visible_attrs: av.visible_attr_table().clone(),
+            accessible_count: av.accessible_count(),
+            build_micros: av.build_micros(),
+            root: av.root(),
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_executor_surface() {
+        let (doc, av) = sample();
+        let back = AccessView::from_raw_parts(parts_of(&av)).unwrap();
+        assert_eq!(back.root(), av.root());
+        assert_eq!(back.len(), av.len());
+        assert_eq!(back.member_count(), av.member_count());
+        assert_eq!(back.dummy_count(), av.dummy_count());
+        assert_eq!(back.accessible_count(), av.accessible_count());
+        for id in doc.all_ids() {
+            assert_eq!(back.in_view(id), av.in_view(id), "{id}");
+            assert_eq!(back.is_member(id), av.is_member(id), "{id}");
+            assert_eq!(back.is_dummy(id), av.is_dummy(id), "{id}");
+            assert_eq!(back.view_parent(id), av.view_parent(id), "{id}");
+            assert_eq!(back.view_children(id), av.view_children(id), "{id}");
+            assert_eq!(back.dummy_label(id), av.dummy_label(id), "{id}");
+        }
+        assert_eq!(back.dummy_list("dummy1"), av.dummy_list("dummy1"));
+        let a = NodeId::from_index(2);
+        assert!(back.attr_visible(&doc, a, "id"));
+        assert!(!back.attr_visible(&doc, a, "secret"));
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_arrays() {
+        let (_, av) = sample();
+        type Mutation = Box<dyn Fn(&mut AccessViewParts)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("members bitmap domain", Box::new(|p| p.members = NodeBitmap::new(3))),
+            ("dummies bitmap domain", Box::new(|p| p.dummies = NodeBitmap::new(99))),
+            ("parent table arity", Box::new(|p| p.view_parent.truncate(2))),
+            ("parent out of bounds", Box::new(|p| p.view_parent[2] = 77)),
+            ("parent not an ancestor", Box::new(|p| p.view_parent[2] = 2)),
+            (
+                "dummy table unsorted",
+                Box::new(|p| p.dummy_labels.push((NodeId::from_index(0), "dummy9".into()))),
+            ),
+            (
+                "dummy out of bounds",
+                Box::new(|p| p.dummy_labels = vec![(NodeId::from_index(50), "dummy9".into())]),
+            ),
+            ("root out of bounds", Box::new(|p| p.root = Some(NodeId::from_index(50)))),
+        ];
+        for (what, corrupt) in cases {
+            let mut parts = parts_of(&av);
+            corrupt(&mut parts);
+            match AccessView::from_raw_parts(parts) {
+                Err(Error::MalformedParts(_)) => {}
+                other => panic!("{what}: expected MalformedParts, got {other:?}"),
+            }
+        }
     }
 }

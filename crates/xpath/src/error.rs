@@ -12,6 +12,9 @@ pub enum Error {
         /// Human-readable description of what was expected.
         message: String,
     },
+    /// Raw-parts construction (e.g. loading a persisted package) was
+    /// handed structurally inconsistent arrays.
+    MalformedParts(String),
 }
 
 impl fmt::Display for Error {
@@ -20,6 +23,7 @@ impl fmt::Display for Error {
             Error::Parse { offset, message } => {
                 write!(f, "XPath parse error at byte {offset}: {message}")
             }
+            Error::MalformedParts(msg) => write!(f, "malformed access view parts: {msg}"),
         }
     }
 }

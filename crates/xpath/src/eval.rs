@@ -235,7 +235,7 @@ fn eval_impl(
             stats.nodes_touched += ctx.nodes.len() as u64;
             for &v in &ctx.nodes {
                 for &c in doc.children(v) {
-                    if doc.node(c).is_text() {
+                    if doc.is_text(c) {
                         out.nodes.insert(c);
                     }
                 }
@@ -370,7 +370,7 @@ fn indexed_descendant(
                 stats.index_lookups += 1;
                 for i in v.index() + 1..=end.index() {
                     let id = NodeId::from_index(i);
-                    if doc.node(id).is_element() {
+                    if doc.is_element(id) {
                         out.nodes.insert(id);
                     }
                 }

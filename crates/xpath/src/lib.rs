@@ -35,7 +35,7 @@ pub mod plan;
 pub mod simplify;
 pub mod subq;
 
-pub use access::{is_dummy_label, AccessView};
+pub use access::{is_dummy_label, AccessView, AccessViewParts, PackedAccessViewParts};
 pub use ast::{Path, Qualifier};
 pub use certify::{
     certify, certify_ops, AbsState, CertFinding, CertifyContext, PlanCertificate, TraceLine,

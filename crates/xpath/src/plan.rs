@@ -118,8 +118,8 @@ impl AxisTest {
     fn matches(&self, doc: &Document, v: NodeId) -> bool {
         match self {
             AxisTest::Label(l) => doc.label_opt(v) == Some(l),
-            AxisTest::AnyElement => doc.node(v).is_element(),
-            AxisTest::Text => doc.node(v).is_text(),
+            AxisTest::AnyElement => doc.is_element(v),
+            AxisTest::Text => doc.is_text(v),
         }
     }
 
@@ -2130,7 +2130,7 @@ mod tests {
         if let Some(root) = doc.root_opt() {
             av.record_root(root);
             for v in doc.descendants(root) {
-                av.record_member(v, doc.parent(v).unwrap(), doc.node(v).is_element());
+                av.record_member(v, doc.parent(v).unwrap(), doc.is_element(v));
             }
         }
         av.finalize();
@@ -2173,7 +2173,7 @@ mod tests {
             if doc.label_opt(v) == Some("clinicalTrial") {
                 av.record_dummy(v, parent, "dummy1");
             } else {
-                av.record_member(v, parent, doc.node(v).is_element());
+                av.record_member(v, parent, doc.is_element(v));
             }
         }
         av.finalize();

@@ -18,6 +18,11 @@ cargo run -p sxv-bench --bin eval --release -- --json BENCH_eval.json
 echo "== 4. maintenance ablation (virtual vs materialized views) =="
 cargo run -p sxv-bench --bin maintenance --release
 
+echo "== 4b. cold start: package load vs parse, D1-D7 =="
+# Generates up to ~450 MB of XML and a ~1.5 GB package in a temp dir
+# (cleaned up afterwards); pass --smoke for a D1-D2-only quick check.
+cargo run -p sxv-bench --bin coldstart --release -- --json BENCH_coldstart.json
+
 echo "== 5. algorithm scaling benches (Criterion) =="
 cargo bench -p sxv-bench
 

@@ -6,6 +6,10 @@
 //! sxv rewrite     --dtd … --root … --spec … --query '//patient//bill' [--no-optimize]
 //! sxv query       --dtd … --root … --spec … --doc data.xml --query '…' [--approach naive|rewrite|optimize|annotate]
 //!                 [--backend walk|join|auto] [--indexed] [--stats] [--repeat N] [--threads N] [--verify]
+//! sxv query       --package pkg.sxvpkg --query '…' [--role NAME] [--approach …] [--backend …] [--indexed]
+//!                 [--stats] [--repeat N] [--threads N] [--verify]
+//! sxv pack        --dtd … --root … --doc data.xml --out pkg.sxvpkg (--spec FILE | --role NAME=SPECFILE …)
+//!                 [--bind k=v]…
 //! sxv explain     --dtd … --root … --spec … --query '…' [--approach …] [--policy walk|join|auto]
 //!                 [--doc data.xml] [--height N] [--format text|json] [--verify]
 //! sxv generate    --dtd … --root … [--branch 4] [--seed 1] [--depth 30]
@@ -13,7 +17,8 @@
 //! sxv lint        --dtd … --root … [--spec …] [--bind k=v] [--view view.txt] [--query '…'] [--plans]
 //!                 [--format text|json] [--deny-warnings] [--allow C] [--warn C] [--deny C]
 //! sxv serve       --dtd … --root … --role NAME=SPECFILE … --doc NAME=XMLFILE … [--bind k=v]
-//!                 [--port N] [--workers N] [--queue N] [--timeout-ms N] [--stats-interval N] [--verify]
+//!                 [--package NAME=PKGFILE …] [--port N] [--workers N] [--queue N] [--timeout-ms N]
+//!                 [--stats-interval N] [--verify]
 //! ```
 //!
 //! All subcommands read the document DTD (with `--root` naming the root
@@ -32,20 +37,33 @@
 //! plans whose certificate has error findings are refused instead of
 //! executed (`explain --verify` prints the certificate trace and exits
 //! 1 when uncertified).
+//!
+//! `sxv pack` serializes everything derived from one DTD + document +
+//! role specs — the parsed arena document, its structural index, and
+//! one accessibility artifact per role — into a single `.sxvpkg` file;
+//! `sxv query --package` and `sxv serve --package NAME=PKG` then skip
+//! XML parsing, indexing and σ expansion at startup entirely, loading
+//! the artifacts with bulk word decoding instead. Answers from a
+//! package are byte-identical to the in-memory build.
 
 use secure_xml_views::core::{
-    certify, derive_view, dtd_cost_model, materialize, optimize, parse_view_text, rewrite,
-    rewrite_with_height, AccessSpec, Approach, CostModel, PlanPolicy, SecureEngine,
+    build_access_view, certify, derive_view, dtd_cost_model, materialize, optimize,
+    parse_view_text, rewrite, rewrite_with_height, AccessSpec, Approach, CostModel, PlanPolicy,
+    SecureEngine,
 };
 use secure_xml_views::dtd::{parse_dtd, validate, validate_attributes, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
 use secure_xml_views::lint::{
     lint_plan, lint_query, lint_spec, lint_view, Level, LintConfig, Report,
 };
+use secure_xml_views::pack::{load_package_file, write_package_file, Package, RoleArtifacts};
 use secure_xml_views::serve::{run as serve_run, ServeConfig};
 use secure_xml_views::xml::{parse as parse_xml, to_string_pretty, DocIndex, Document};
-use secure_xml_views::xpath::{compile, compile_annotate, parse as parse_xpath};
+use secure_xml_views::xpath::{compile, compile_annotate, parse as parse_xpath, AccessView};
+use std::path::Path as FsPath;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     match run() {
@@ -126,7 +144,7 @@ impl Options {
 }
 
 fn usage() -> String {
-    "usage: sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve> \
+    "usage: sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve|pack> \
      --dtd FILE --root NAME …\n\
      run with a subcommand; see the crate docs for flags"
         .to_string()
@@ -144,9 +162,14 @@ fn subcommand_usage(command: &str) -> &'static str {
              [--height N] [--no-optimize]"
         }
         "query" => {
-            "sxv query --dtd FILE --root NAME --spec FILE --doc FILE --query PATH \
+            "sxv query (--dtd FILE --root NAME --spec FILE --doc FILE | --package PKGFILE \
+             [--role NAME]) --query PATH \
              [--approach naive|rewrite|optimize|annotate] [--backend walk|join|auto] [--indexed] \
              [--stats] [--repeat N] [--threads N] [--verify]"
+        }
+        "pack" => {
+            "sxv pack --dtd FILE --root NAME --doc FILE --out PKGFILE \
+             (--spec FILE | --role NAME=SPECFILE…) [--bind k=v]…"
         }
         "explain" => {
             "sxv explain --dtd FILE --root NAME --spec FILE --query PATH \
@@ -161,12 +184,12 @@ fn subcommand_usage(command: &str) -> &'static str {
              [--warn CODE]… [--deny CODE]…"
         }
         "serve" => {
-            "sxv serve --dtd FILE --root NAME --role NAME=SPECFILE… --doc NAME=XMLFILE… \
-             [--bind k=v]… [--port N] [--workers N] [--queue N] [--timeout-ms N] \
-             [--stats-interval N] [--verify]"
+            "sxv serve (--dtd FILE --root NAME --role NAME=SPECFILE… --doc NAME=XMLFILE… | \
+             --package NAME=PKGFILE…) [--bind k=v]… [--port N] [--workers N] [--queue N] \
+             [--timeout-ms N] [--stats-interval N] [--verify]"
         }
         _ => {
-            "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve> \
+            "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve|pack> \
              --dtd FILE --root NAME …"
         }
     }
@@ -184,6 +207,7 @@ fn run() -> Result<ExitCode, String> {
         "validate" => cmd_validate(&opts).map(|()| ExitCode::SUCCESS),
         "lint" => cmd_lint(&opts),
         "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
+        "pack" => cmd_pack(&opts).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }
@@ -257,10 +281,97 @@ fn cmd_rewrite(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Everything `sxv query` needs before the first evaluation, with how
+/// long the one-time setup took (reported separately from query time by
+/// `--stats` so `--repeat` timings isolate per-query cost).
+struct QuerySetup {
+    dtd: Dtd,
+    spec_text: String,
+    doc: Document,
+    /// Index shipped in the package (`None` on the parse path; the
+    /// parse path builds one on demand instead).
+    prebuilt_index: Option<DocIndex>,
+    /// Accessibility artifact shipped in the package, preloaded into
+    /// the engine's cache.
+    prebuilt_access: Option<Arc<AccessView>>,
+    binds: Vec<(String, String)>,
+    /// One-line provenance for the `--stats` setup report.
+    source: String,
+}
+
+/// Load setup state from `--package` (bulk decode, no XML parse) or
+/// from `--dtd`/`--spec`/`--doc` source files.
+fn load_query_setup(opts: &Options) -> Result<QuerySetup, String> {
+    if let Some(path) = opts.get("package") {
+        if opts.has("bind") {
+            return Err("--bind cannot be combined with --package: parameter bindings \
+                        are baked in at `sxv pack` time"
+                .into());
+        }
+        for flag in ["dtd", "root", "spec", "doc"] {
+            if opts.has(flag) {
+                return Err(format!(
+                    "--{flag} cannot be combined with --package (the package \
+                                    carries the DTD, spec and document)"
+                ));
+            }
+        }
+        let pkg = load_package_file(FsPath::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        let dtd = parse_dtd(&pkg.dtd_text, &pkg.root_name).map_err(|e| format!("{path}: {e}"))?;
+        let Package { doc, index, mut roles, .. } = pkg;
+        let role = match opts.get("role") {
+            Some(name) => {
+                let i = roles
+                    .iter()
+                    .position(|r| r.name == name)
+                    .ok_or_else(|| format!("{path}: no role {name:?} in package"))?;
+                roles.swap_remove(i)
+            }
+            None if roles.len() == 1 => roles.pop().expect("len checked"),
+            None => {
+                let names: Vec<&str> = roles.iter().map(|r| r.name.as_str()).collect();
+                return Err(format!(
+                    "{path} has {} roles ({}); pick one with --role NAME",
+                    roles.len(),
+                    names.join(", ")
+                ));
+            }
+        };
+        Ok(QuerySetup {
+            dtd,
+            spec_text: role.spec_text,
+            doc,
+            prebuilt_index: Some(index),
+            prebuilt_access: Some(role.access),
+            binds: role.binds,
+            source: format!("package {path} (role {:?})", role.name),
+        })
+    } else {
+        let dtd = load_dtd(opts)?;
+        let spec_path = opts.require("spec")?;
+        let spec_text =
+            std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+        let doc = load_doc(opts)?;
+        Ok(QuerySetup {
+            dtd,
+            spec_text,
+            doc,
+            prebuilt_index: None,
+            prebuilt_access: None,
+            binds: opts.binds(),
+            source: format!("parsed {}", opts.require("doc")?),
+        })
+    }
+}
+
 fn cmd_query(opts: &Options) -> Result<(), String> {
-    let dtd = load_dtd(opts)?;
-    let spec = load_spec(opts, &dtd)?;
-    let doc = load_doc(opts)?;
+    let setup_started = Instant::now();
+    let setup = load_query_setup(opts)?;
+    let params: Vec<(&str, &str)> =
+        setup.binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let spec =
+        AccessSpec::parse(&setup.dtd, &setup.spec_text, &params).map_err(|e| e.to_string())?;
+    let doc = setup.doc;
     let query = parse_xpath(opts.require("query")?).map_err(|e| e.to_string())?;
     let approach = match opts.get("approach").unwrap_or("optimize") {
         "naive" => Approach::Naive,
@@ -293,8 +404,14 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     }
     // Join and auto plans evaluate over the index's occurrence lists, so
     // any --backend other than walk builds the index even without --indexed.
+    // A package ships its index pre-built, so there the fast path is free.
     let index = if opts.has("indexed") || policy != PlanPolicy::ForceWalk {
-        Some(DocIndex::new(&doc).ok_or("document ids are not in document order; cannot index")?)
+        Some(match setup.prebuilt_index {
+            Some(idx) => idx,
+            None => {
+                DocIndex::new(&doc).ok_or("document ids are not in document order; cannot index")?
+            }
+        })
     } else {
         None
     };
@@ -303,6 +420,11 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     if opts.has("verify") {
         engine.set_verify(true);
     }
+    if let Some(access) = setup.prebuilt_access {
+        engine.preload_access_view(doc.doc_id(), access);
+    }
+    let setup_us = setup_started.elapsed().as_micros();
+    let query_started = Instant::now();
     let (answer, last_report) = if threads > 1 {
         // Fan the repeat copies across worker threads sharing the one
         // immutable document + index.
@@ -329,9 +451,22 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         }
         (answer, last_report.expect("repeat >= 1"))
     };
+    let query_us = query_started.elapsed().as_micros();
     if opts.has("stats") {
         let report = last_report;
         let cache = engine.cache_stats();
+        // Phase timings: setup is everything done once per invocation
+        // (load/parse/index/derive); the query phase covers all --repeat
+        // runs, whose per-run average isolates steady-state query cost
+        // (run 1 still pays plan compilation and, for naive/annotate,
+        // the per-document artifact — later runs hit the caches).
+        eprintln!("setup: {} in {}us ({} nodes)", setup.source, setup_us, doc.len(),);
+        eprintln!(
+            "query: {} run(s) in {}us (avg {}us/run)",
+            repeat,
+            query_us,
+            query_us / repeat as u128,
+        );
         eprintln!("translated query: {}", report.translated);
         eprintln!(
             "plan ({} policy): ops={} mix={} est_rows≈{}",
@@ -594,8 +729,79 @@ fn cmd_validate(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Build an `.sxvpkg` package: parse + index the document, build each
+/// role's accessibility artifact, and serialize the lot.
+fn cmd_pack(opts: &Options) -> Result<(), String> {
+    let dtd_path = opts.require("dtd")?;
+    let root = opts.require("root")?;
+    let dtd_text = std::fs::read_to_string(dtd_path).map_err(|e| format!("{dtd_path}: {e}"))?;
+    let dtd = parse_dtd(&dtd_text, root).map_err(|e| e.to_string())?;
+    let out = opts.require("out")?;
+    let doc = load_doc(opts)?;
+    let index =
+        DocIndex::new(&doc).ok_or("document ids are not in document order; cannot index")?;
+    let binds = opts.binds();
+    let params: Vec<(&str, &str)> = binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    // Roles: repeatable --role NAME=SPECFILE, or --spec FILE packed as
+    // the single role "default".
+    let mut role_sources: Vec<(String, String)> = Vec::new();
+    if let Some(path) = opts.get("spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        role_sources.push(("default".to_string(), text));
+    }
+    for entry in opts.get_all("role") {
+        let (name, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--role {entry:?}: expected NAME=SPECFILE"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        role_sources.push((name.to_string(), text));
+    }
+    if role_sources.is_empty() {
+        return Err(format!(
+            "`sxv pack` needs at least one role: pass --spec FILE or --role NAME=SPECFILE\n\
+             usage: {}",
+            subcommand_usage("pack")
+        ));
+    }
+    let mut built = Vec::new();
+    for (name, text) in &role_sources {
+        let spec =
+            AccessSpec::parse(&dtd, text, &params).map_err(|e| format!("role {name:?}: {e}"))?;
+        let view = derive_view(&spec).map_err(|e| format!("role {name:?}: {e}"))?;
+        let access = build_access_view(&spec, &view, &doc, Some(&index));
+        built.push((name, text, access));
+    }
+    let roles: Vec<RoleArtifacts<'_>> = built
+        .iter()
+        .map(|(name, text, access)| RoleArtifacts { name, spec_text: text, binds: &binds, access })
+        .collect();
+    write_package_file(FsPath::new(out), &dtd_text, root, &doc, &index, &roles)
+        .map_err(|e| format!("{out}: {e}"))?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("packed {out}: {} nodes, {} role(s), {} bytes", doc.len(), roles.len(), bytes,);
+    Ok(())
+}
+
 fn cmd_serve(opts: &Options) -> Result<(), String> {
-    let dtd = load_dtd(opts)?;
+    // Packaged tenants: --package NAME=PKGFILE, repeatable. Each package
+    // contributes its document (under NAME), its pre-built index, its
+    // roles, and per-role pre-built accessibility artifacts. The DTD
+    // comes from the first package when --dtd is absent.
+    let mut packages: Vec<(String, Package)> = Vec::new();
+    for entry in opts.get_all("package") {
+        let (name, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--package {entry:?}: expected NAME=PKGFILE"))?;
+        let pkg = load_package_file(FsPath::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        packages.push((name.to_string(), pkg));
+    }
+    let dtd = if opts.has("dtd") {
+        load_dtd(opts)?
+    } else if let Some((name, pkg)) = packages.first() {
+        parse_dtd(&pkg.dtd_text, &pkg.root_name).map_err(|e| format!("package {name:?}: {e}"))?
+    } else {
+        load_dtd(opts)? // surfaces the missing --dtd usage error
+    };
     let binds = opts.binds();
     let params: Vec<(&str, &str)> = binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
     // --role nurse=assets/hospital_nurse.spec, repeatable. The same
@@ -619,7 +825,55 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         let doc = parse_xml(&text).map_err(|e| format!("doc {name:?} ({path}): {e}"))?;
         docs.push((name.to_string(), doc));
     }
+    // Fold the packages in: their roles register once (identical spec
+    // text + binds required across packages — a silently-diverging spec
+    // under one role name would serve one package's artifact under
+    // another package's policy), their docs/indexes/artifacts attach
+    // under the package name.
+    let mut role_sources: std::collections::BTreeMap<String, (String, Vec<(String, String)>)> =
+        std::collections::BTreeMap::new();
+    let mut indexes = Vec::new();
+    let mut preloaded_views = Vec::new();
+    for (doc_name, pkg) in packages {
+        let Package { doc, index, roles: pkg_roles, .. } = pkg;
+        if docs.iter().any(|(n, _)| *n == doc_name) {
+            return Err(format!("--package {doc_name:?} collides with a --doc of the same name"));
+        }
+        docs.push((doc_name.clone(), doc));
+        indexes.push((doc_name.clone(), index));
+        for role in pkg_roles {
+            match role_sources.get(&role.name) {
+                None => {
+                    let spec_params: Vec<(&str, &str)> =
+                        role.binds.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                    let spec = AccessSpec::parse(&dtd, &role.spec_text, &spec_params)
+                        .map_err(|e| format!("package role {:?}: {e}", role.name))?;
+                    if roles.iter().any(|(n, _)| *n == role.name) {
+                        return Err(format!(
+                            "package role {:?} collides with a --role of the same name",
+                            role.name
+                        ));
+                    }
+                    roles.push((role.name.clone(), spec));
+                    role_sources
+                        .insert(role.name.clone(), (role.spec_text.clone(), role.binds.clone()));
+                }
+                Some((text, prev_binds)) => {
+                    if *text != role.spec_text || *prev_binds != role.binds {
+                        return Err(format!(
+                            "role {:?} has a different spec (or binds) across packages; \
+                             repack with one policy per role name",
+                            role.name
+                        ));
+                    }
+                }
+            }
+            preloaded_views.push((role.name.clone(), doc_name.clone(), role.access));
+        }
+    }
     let mut config = ServeConfig::new(roles, docs);
+    config.indexes = indexes;
+    config.preloaded_views = preloaded_views;
     if let Some(port) = opts.get("port") {
         let port: u16 = port.parse().map_err(|e| format!("--port: {e}"))?;
         config.addr = format!("127.0.0.1:{port}");

@@ -18,6 +18,10 @@
 //! * [`lint`] — the `sxv lint` static analyzer: audits specifications,
 //!   view definitions (soundness / completeness / dummy leaks) and view
 //!   queries before any document is loaded;
+//! * [`pack`] — the `.sxvpkg` on-disk package format: flat checksummed
+//!   little-endian serialization of a document, its index and per-role
+//!   accessibility artifacts, loaded back with bulk word decoding for
+//!   millisecond cold starts (`sxv pack` / `--package`);
 //! * [`serve`] — the `sxv serve` daemon: a persistent multi-tenant
 //!   HTTP/1.1 + JSON query server hosting many `(role, document)`
 //!   tenants over one warm engine set, with admission control and
@@ -48,6 +52,7 @@ pub use sxv_core as core;
 pub use sxv_dtd as dtd;
 pub use sxv_gen as gen;
 pub use sxv_lint as lint;
+pub use sxv_pack as pack;
 pub use sxv_serve as serve;
 pub use sxv_xml as xml;
 pub use sxv_xpath as xpath;

@@ -65,13 +65,13 @@ fn oracle_equivalence_on_generated_sites() {
             let mut over_view = m.sources_of(
                 &eval_at_root(&m.doc, &p)
                     .into_iter()
-                    .filter(|&n| m.doc.node(n).is_element())
+                    .filter(|&n| m.doc.is_element(n))
                     .collect::<Vec<_>>(),
             );
             over_view.sort();
             over_view.dedup();
             let over_doc: Vec<_> =
-                eval_at_root(&doc, &pt).into_iter().filter(|&n| doc.node(n).is_element()).collect();
+                eval_at_root(&doc, &pt).into_iter().filter(|&n| doc.is_element(n)).collect();
             assert_eq!(over_view, over_doc, "seed {seed}: {q} → {pt}");
         }
     }
