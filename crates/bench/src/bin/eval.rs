@@ -13,10 +13,12 @@
 //! identical to the reference tree-walk before anything is timed.
 
 use std::fmt::Write as _;
-use sxv_bench::{json_escape, time_us, AdexWorkload, Timing, DATASETS};
-use sxv_core::{Approach, PlanPolicy, SecureEngine};
+use sxv_bench::{json_escape, time_us, AdexWorkload, BomWorkload, Timing, BOM_QUERIES, DATASETS};
+use sxv_core::{optimize, rewrite, rewrite_with_height, Approach, PlanPolicy, SecureEngine};
 use sxv_xml::{DocIndex, Document};
-use sxv_xpath::{compile, compile_annotate, CostModel, EvalStats, Path, PlanSummary};
+use sxv_xpath::{
+    compile, compile_annotate, eval_at_root, parse, CostModel, EvalStats, Path, PlanSummary,
+};
 
 const POLICIES: [PlanPolicy; 3] = [PlanPolicy::ForceWalk, PlanPolicy::ForceJoin, PlanPolicy::Auto];
 
@@ -29,6 +31,21 @@ struct Row {
     stats: EvalStats,
     plan: PlanSummary,
     result_count: usize,
+}
+
+/// One unfold-vs-direct measurement over the recursive BOM family: the
+/// direct Kleene-closure translation (the serving path) against the
+/// §4.2 height-bounded unfolding oracle, on one document.
+struct RecRow {
+    query: &'static str,
+    dataset: &'static str,
+    nodes: usize,
+    height: usize,
+    result_count: usize,
+    direct_translate: Timing,
+    unfold_translate: Timing,
+    direct_eval: Timing,
+    unfold_eval: Timing,
 }
 
 fn flag_value(args: &[String], flag: &str, default: &str) -> String {
@@ -234,6 +251,89 @@ fn main() {
     }
     println!();
 
+    // Recursive views, unfold vs direct: the BOM family's part cycle
+    // makes the derived view recursive, so the serving path translates
+    // queries into Kleene-closure expressions while the §4.2
+    // height-bounded unfolding survives only as an oracle. Every pair
+    // of answers is asserted node-identical — and the engine-served
+    // answer certified — before anything is timed; the documents nest
+    // deeper than any fixed unfold height a per-height cache would key.
+    let bom = BomWorkload::new();
+    let rec_datasets: Vec<(&str, usize)> =
+        if smoke { vec![("R1", 12)] } else { vec![("R1", 12), ("R2", 24)] };
+    let rec_engine = SecureEngine::new(&bom.spec, &bom.view);
+    let mut rec_rows: Vec<RecRow> = Vec::new();
+    println!("recursive views (BOM family): direct closure vs height-bounded unfolding oracle:");
+    println!(
+        "{:<5} {:<4} {:>8} {:>7} {:>8} {:>14} {:>14} {:>12} {:>12}",
+        "Query",
+        "Data",
+        "nodes",
+        "height",
+        "results",
+        "direct-xl(us)",
+        "unfold-xl(us)",
+        "direct(us)",
+        "unfold(us)"
+    );
+    for &(dname, depth) in &rec_datasets {
+        let doc = bom.document(depth, 2, 0xB0B0 + depth as u64);
+        let index = DocIndex::new(&doc).expect("generated docs are in document order");
+        let height = doc.height();
+        for (qname, text) in BOM_QUERIES {
+            let q = parse(text).expect("BOM query parses");
+            let direct =
+                optimize(bom.spec.dtd(), &rewrite(&bom.view, &q).expect("closure rewrite"))
+                    .expect("closure optimize");
+            let unfolded =
+                rewrite_with_height(&bom.view, &q, height).expect("unfolding oracle translates");
+            let reference = eval_at_root(&doc, &direct);
+            assert!(!reference.is_empty(), "{qname} on {dname}: recursive query must match");
+            assert_eq!(
+                reference,
+                eval_at_root(&doc, &unfolded),
+                "{qname} on {dname}: unfolding oracle disagrees with the closure translation"
+            );
+            let (served, report) = rec_engine
+                .answer_report(&doc, Some(&index), &q, Approach::Optimize)
+                .expect("recursive query answers");
+            assert_eq!(
+                reference, served,
+                "{qname} on {dname}: engine answer disagrees with the closure translation"
+            );
+            assert!(report.certified, "{qname} on {dname}: the closure plan must certify");
+            let direct_translate =
+                time_us(|| optimize(bom.spec.dtd(), &rewrite(&bom.view, &q).unwrap()).unwrap());
+            let unfold_translate = time_us(|| rewrite_with_height(&bom.view, &q, height).unwrap());
+            let direct_eval = time_us(|| eval_at_root(&doc, &direct));
+            let unfold_eval = time_us(|| eval_at_root(&doc, &unfolded));
+            println!(
+                "{:<5} {:<4} {:>8} {:>7} {:>8} {:>14.1} {:>14.1} {:>12.1} {:>12.1}",
+                qname,
+                dname,
+                doc.len(),
+                height,
+                reference.len(),
+                direct_translate.median_us,
+                unfold_translate.median_us,
+                direct_eval.median_us,
+                unfold_eval.median_us
+            );
+            rec_rows.push(RecRow {
+                query: qname,
+                dataset: dname,
+                nodes: doc.len(),
+                height,
+                result_count: reference.len(),
+                direct_translate,
+                unfold_translate,
+                direct_eval,
+                unfold_eval,
+            });
+        }
+    }
+    println!();
+
     let access_rows: Vec<(&str, usize, u64, usize)> = docs
         .iter()
         .map(|(name, doc, _, _, _, access)| {
@@ -242,6 +342,7 @@ fn main() {
         .collect();
     let json = render_json(
         &rows,
+        &rec_rows,
         &access_rows,
         &warm,
         &cache_tuple(&engine),
@@ -262,8 +363,10 @@ fn cache_tuple(engine: &SecureEngine) -> (u64, u64, u64) {
     (c.hits, c.misses, c.plans_compiled)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[Row],
+    rec: &[RecRow],
     access: &[(&str, usize, u64, usize)],
     warm: &[(&str, Timing)],
     cache: &(u64, u64, u64),
@@ -345,6 +448,28 @@ fn render_json(
             "    {{\"threads\": {threads}, \"queries\": {batch_queries}, \"median_us\": {:.3}, \
              \"reps\": {}, \"queries_per_sec\": {qps:.1}, \"speedup_vs_1\": {speedup:.3}}}{comma}",
             timing.median_us, timing.reps
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"recursive\": [");
+    for (i, r) in rec.iter().enumerate() {
+        let comma = if i + 1 < rec.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"nodes\": {}, \"height\": {}, \
+             \"direct_count\": {}, \"unfold_count\": {}, \
+             \"direct_translate_us\": {:.3}, \"unfold_translate_us\": {:.3}, \
+             \"direct_eval_us\": {:.3}, \"unfold_eval_us\": {:.3}}}{comma}",
+            json_escape(r.query),
+            json_escape(r.dataset),
+            r.nodes,
+            r.height,
+            r.result_count,
+            r.result_count,
+            r.direct_translate.median_us,
+            r.unfold_translate.median_us,
+            r.direct_eval.median_us,
+            r.unfold_eval.median_us
         );
     }
     let _ = writeln!(out, "  ]");

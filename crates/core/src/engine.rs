@@ -10,9 +10,9 @@ use crate::analysis::certify_context;
 use crate::annotate::build_access_view;
 use crate::error::{Error, Result};
 use crate::naive::NaiveBaseline;
-use crate::optimize::{optimize, optimize_with_height};
+use crate::optimize::optimize;
 use crate::plancost::dtd_cost_model;
-use crate::rewrite::{rewrite, rewrite_with_height};
+use crate::rewrite::rewrite;
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
 use std::collections::HashMap;
@@ -45,15 +45,15 @@ pub enum Approach {
 pub const DEFAULT_TRANSLATION_CACHE_CAPACITY: usize = 64;
 
 /// Key of one plan-cache entry: the *normalized* view query (so `a | a`
-/// and `a` share an entry), the strategy, the planner policy, and the
-/// unfolding height — which is part of the translation's meaning only
-/// for recursive views/DTDs and is normalized to 0 otherwise.
+/// and `a` share an entry), the strategy, and the planner policy.
+/// Deliberately document-free: recursive views translate to closure
+/// plans (`(…)*`) instead of height-bounded unfoldings, so one entry
+/// serves documents of every height.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     query: Path,
     approach: Approach,
     policy: PlanPolicy,
-    height: usize,
 }
 
 /// Most shards a translation cache will split into; small capacities use
@@ -301,10 +301,6 @@ pub struct SecureEngine<'a> {
     spec: &'a AccessSpec,
     view: &'a SecurityView,
     cache: PlanCache,
-    /// The engine only needs the height for recursive unfoldings; cache
-    /// keys normalize it to 0 otherwise so documents of different heights
-    /// share entries.
-    height_sensitive: bool,
     /// Planner statistics derived once from the document DTD (expected
     /// per-label counts and fan-out); serving is assumed indexed, and
     /// plans degrade gracefully when a call arrives without an index.
@@ -336,13 +332,10 @@ impl<'a> SecureEngine<'a> {
         view: &'a SecurityView,
         capacity: usize,
     ) -> Self {
-        let height_sensitive =
-            view.is_recursive() || sxv_dtd::DtdGraph::new(spec.dtd()).is_recursive();
         SecureEngine {
             spec,
             view,
             cache: PlanCache::new(capacity),
-            height_sensitive,
             cost: dtd_cost_model(spec.dtd(), true),
             access: AccessCache::default(),
             naive: RwLock::new(HashMap::new()),
@@ -453,12 +446,13 @@ impl<'a> SecureEngine<'a> {
 
     /// Translate a view query to a document query.
     ///
-    /// `doc_height` is only consulted for recursive views (§4.2 unfolding).
-    /// Results are memoized (as full compiled plans) in a bounded sharded
-    /// LRU keyed by the normalized query, the approach, the planner
-    /// policy, and (for recursive views only) the height.
-    pub fn translate(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
-        self.plan(p, approach, doc_height, PlanPolicy::from(Backend::default()))
+    /// Recursive views translate directly into regular path expressions
+    /// with Kleene closures — no document height is involved. Results
+    /// are memoized (as full compiled plans) in a bounded sharded LRU
+    /// keyed by the normalized query, the approach, and the planner
+    /// policy.
+    pub fn translate(&self, p: &Path, approach: Approach) -> Result<Path> {
+        self.plan(p, approach, PlanPolicy::from(Backend::default()))
             .0
             .map(|planned| planned.plan.translated.clone())
     }
@@ -470,10 +464,9 @@ impl<'a> SecureEngine<'a> {
         &self,
         p: &Path,
         approach: Approach,
-        doc_height: usize,
         policy: PlanPolicy,
     ) -> (Result<Arc<CompiledQuery>>, bool) {
-        let (planned, hit) = self.plan(p, approach, doc_height, policy);
+        let (planned, hit) = self.plan(p, approach, policy);
         (planned.map(|pl| pl.plan), hit)
     }
 
@@ -483,29 +476,17 @@ impl<'a> SecureEngine<'a> {
         &self,
         p: &Path,
         approach: Approach,
-        doc_height: usize,
         policy: PlanPolicy,
     ) -> (Result<Planned>, bool) {
-        self.plan(p, approach, doc_height, policy)
+        self.plan(p, approach, policy)
     }
 
-    fn plan(
-        &self,
-        p: &Path,
-        approach: Approach,
-        doc_height: usize,
-        policy: PlanPolicy,
-    ) -> (Result<Planned>, bool) {
-        let key = CacheKey {
-            query: simplify(p),
-            approach,
-            policy,
-            height: if self.height_sensitive { doc_height } else { 0 },
-        };
+    fn plan(&self, p: &Path, approach: Approach, policy: PlanPolicy) -> (Result<Planned>, bool) {
+        let key = CacheKey { query: simplify(p), approach, policy };
         if let Some(cached) = self.cache.lookup(&key) {
             return (cached, true);
         }
-        let planned = self.translate_uncached(&key.query, approach, doc_height).map(|translated| {
+        let planned = self.translate_uncached(&key.query, approach).map(|translated| {
             self.cache.plans_compiled.fetch_add(1, Ordering::Relaxed);
             let plan = if approach == Approach::Annotate {
                 // The view query is not rewritten: compile it to a plan
@@ -531,25 +512,19 @@ impl<'a> SecureEngine<'a> {
         (planned, false)
     }
 
-    fn translate_uncached(&self, p: &Path, approach: Approach, doc_height: usize) -> Result<Path> {
+    fn translate_uncached(&self, p: &Path, approach: Approach) -> Result<Path> {
         match approach {
             // Annotate serves the view query as-is; security comes from
             // the per-document accessibility artifact at execution time.
             Approach::Annotate => Ok(p.clone()),
             Approach::Naive => Ok(NaiveBaseline::rewrite(p)),
             Approach::Rewrite | Approach::Optimize => {
-                let recursive = self.view.is_recursive();
-                let rewritten = if recursive {
-                    rewrite_with_height(self.view, p, doc_height)?
-                } else {
-                    rewrite(self.view, p)?
-                };
+                // Recursive views rewrite (and optimize) directly into
+                // Kleene-closure expressions — the §4.2 unfolding oracle
+                // (`rewrite_with_height`) stays out of the serving path.
+                let rewritten = rewrite(self.view, p)?;
                 if approach == Approach::Optimize {
-                    if sxv_dtd::DtdGraph::new(self.spec.dtd()).is_recursive() {
-                        optimize_with_height(self.spec.dtd(), &rewritten, doc_height)
-                    } else {
-                        optimize(self.spec.dtd(), &rewritten)
-                    }
+                    optimize(self.spec.dtd(), &rewritten)
                 } else {
                     Ok(rewritten)
                 }
@@ -633,7 +608,7 @@ impl<'a> SecureEngine<'a> {
         approach: Approach,
         policy: PlanPolicy,
     ) -> Result<(Vec<NodeId>, QueryReport)> {
-        let (planned, cache_hit) = self.plan(p, approach, doc.height(), policy);
+        let (planned, cache_hit) = self.plan(p, approach, policy);
         let planned = planned?;
         let certified = planned.cert.certified();
         if self.verify && !certified {
@@ -1106,10 +1081,7 @@ mod tests {
         assert!(!report.cache_hit);
         let (_, report) = engine.answer_report(&doc, None, &p, Approach::Optimize).unwrap();
         assert!(report.cache_hit);
-        assert_eq!(
-            report.translated,
-            engine.translate(&p, Approach::Optimize, doc.height()).unwrap()
-        );
+        assert_eq!(report.translated, engine.translate(&p, Approach::Optimize).unwrap());
     }
 
     #[test]
@@ -1128,6 +1100,53 @@ mod tests {
         engine.answer_report_policy(&doc, None, &p, Approach::Optimize, PlanPolicy::Auto).unwrap();
         assert_eq!(engine.cache_stats().plans_compiled, 2);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn plan_cache_key_is_height_free_for_recursive_views() {
+        // part → sub → part keeps a cycle in the derived view, so
+        // translation goes through the Kleene closure and the cache key
+        // carries no document height: one compiled plan serves documents
+        // of every depth. Under the old per-height unfolding key, the
+        // deeper document below would have missed and recompiled.
+        let dtd = parse_dtd(
+            r#"
+<!ELEMENT bom (part*)>
+<!ELEMENT part (partno, cost, sub)>
+<!ELEMENT sub (part*)>
+<!ELEMENT partno (#PCDATA)>
+<!ELEMENT cost (#PCDATA)>
+"#,
+            "bom",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("part", "cost").build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        assert!(view.is_recursive(), "the part cycle must survive derivation");
+        let engine = SecureEngine::new(&spec, &view);
+        let shallow =
+            parse_xml("<bom><part><partno>a</partno><cost>1</cost><sub/></part></bom>").unwrap();
+        let deep = parse_xml(
+            "<bom><part><partno>a</partno><cost>1</cost><sub>\
+             <part><partno>b</partno><cost>2</cost><sub>\
+             <part><partno>c</partno><cost>3</cost><sub>\
+             <part><partno>d</partno><cost>4</cost><sub/></part>\
+             </sub></part></sub></part></sub></part></bom>",
+        )
+        .unwrap();
+        assert!(deep.height() > shallow.height());
+        let p = parse("//partno").unwrap();
+        let (ans, report) = engine.answer_report(&shallow, None, &p, Approach::Optimize).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(!report.cache_hit, "first answer compiles the closure plan");
+        let (ans, report) = engine.answer_report(&deep, None, &p, Approach::Optimize).unwrap();
+        assert_eq!(ans.len(), 4, "the closure reaches every nesting level");
+        assert!(report.cache_hit, "a deeper document must not miss the cache");
+        assert_eq!(engine.cache_stats().plans_compiled, 1, "one plan serves both heights");
+        // The cached entry is one shared Arc, not a per-document clone.
+        let (a, _) = engine.plan_report(&p, Approach::Optimize, PlanPolicy::ForceWalk);
+        let (b, _) = engine.plan_report(&p, Approach::Optimize, PlanPolicy::ForceWalk);
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
     }
 
     #[test]
@@ -1171,11 +1190,11 @@ mod tests {
         let (spec, view, _) = setup();
         let engine = SecureEngine::new(&spec, &view);
         let p = parse("//bill").unwrap();
-        let (planned, hit) = engine.plan_report(&p, Approach::Optimize, 0, PlanPolicy::Auto);
+        let (planned, hit) = engine.plan_report(&p, Approach::Optimize, PlanPolicy::Auto);
         let plan = planned.unwrap();
         assert!(!hit);
-        assert_eq!(plan.translated, engine.translate(&p, Approach::Optimize, 0).unwrap());
-        let (again, hit2) = engine.plan_report(&p, Approach::Optimize, 0, PlanPolicy::Auto);
+        assert_eq!(plan.translated, engine.translate(&p, Approach::Optimize).unwrap());
+        let (again, hit2) = engine.plan_report(&p, Approach::Optimize, PlanPolicy::Auto);
         assert!(hit2);
         assert!(Arc::ptr_eq(&plan, &again.unwrap()), "hits share the cached Arc");
     }
@@ -1188,7 +1207,7 @@ mod tests {
             let p = parse(q).unwrap();
             for approach in [Approach::Rewrite, Approach::Optimize, Approach::Annotate] {
                 for policy in PlanPolicy::ALL {
-                    let (planned, _) = engine.plan_certified(&p, approach, doc.height(), policy);
+                    let (planned, _) = engine.plan_certified(&p, approach, policy);
                     let planned = planned.unwrap();
                     assert!(
                         planned.cert.certified(),
@@ -1267,14 +1286,14 @@ mod tests {
         let a = parse("//bill").unwrap();
         let b = parse("//name").unwrap();
         let c = parse("//patient").unwrap();
-        engine.translate(&a, Approach::Optimize, 0).unwrap();
-        engine.translate(&b, Approach::Optimize, 0).unwrap();
-        engine.translate(&a, Approach::Optimize, 0).unwrap(); // refresh a
-        engine.translate(&c, Approach::Optimize, 0).unwrap(); // evicts b
+        engine.translate(&a, Approach::Optimize).unwrap();
+        engine.translate(&b, Approach::Optimize).unwrap();
+        engine.translate(&a, Approach::Optimize).unwrap(); // refresh a
+        engine.translate(&c, Approach::Optimize).unwrap(); // evicts b
         let before = engine.cache_stats();
-        engine.translate(&a, Approach::Optimize, 0).unwrap(); // still cached
+        engine.translate(&a, Approach::Optimize).unwrap(); // still cached
         assert_eq!(engine.cache_stats().hits, before.hits + 1);
-        engine.translate(&b, Approach::Optimize, 0).unwrap(); // was evicted
+        engine.translate(&b, Approach::Optimize).unwrap(); // was evicted
         assert_eq!(engine.cache_stats().misses, before.misses + 1);
         assert!(engine.cache_stats().entries <= 2);
     }
@@ -1413,7 +1432,7 @@ mod tests {
         let (spec, view, _) = setup();
         let engine = SecureEngine::new(&spec, &view);
         let p = parse("//bill").unwrap();
-        engine.translate(&p, Approach::Optimize, 0).unwrap();
+        engine.translate(&p, Approach::Optimize).unwrap();
         let before = engine.cache_stats();
         std::thread::scope(|s| {
             for shard in &engine.cache.shards {
@@ -1426,11 +1445,11 @@ mod tests {
             }
         });
         assert!(engine.cache.shards.iter().all(|s| s.is_poisoned()), "shards must be poisoned");
-        engine.translate(&p, Approach::Optimize, 0).unwrap();
+        engine.translate(&p, Approach::Optimize).unwrap();
         let after = engine.cache_stats();
         assert_eq!(after.hits, before.hits + 1, "lookup recovers the poisoned guard");
         let p2 = parse("//name").unwrap();
-        engine.translate(&p2, Approach::Optimize, 0).unwrap();
+        engine.translate(&p2, Approach::Optimize).unwrap();
         assert_eq!(engine.cache_stats().entries, before.entries + 1, "insert recovers too");
     }
 
@@ -1443,8 +1462,8 @@ mod tests {
         assert_eq!(default.cache.shards.len(), MAX_CACHE_SHARDS);
         let off = SecureEngine::with_cache_capacity(&spec, &view, 0);
         let p = parse("//bill").unwrap();
-        off.translate(&p, Approach::Optimize, 0).unwrap();
-        off.translate(&p, Approach::Optimize, 0).unwrap();
+        off.translate(&p, Approach::Optimize).unwrap();
+        off.translate(&p, Approach::Optimize).unwrap();
         assert_eq!(off.cache_stats().entries, 0, "capacity 0 disables caching");
     }
 

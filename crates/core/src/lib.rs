@@ -19,7 +19,10 @@
 //! * **Algorithm `rewrite`** (§4, Fig. 6): [`rewrite()`](rewrite::rewrite) transforms a view
 //!   query into an equivalent document query by dynamic programming over
 //!   (sub-query, view-DTD-node) pairs, with `recProc` precomputation for
-//!   `//` and §4.2 unfolding for recursive views ([`rewrite_with_height`]).
+//!   `//`. Recursive views translate *directly* into Kleene-closure
+//!   expressions by state elimination over the cyclic view graph — the
+//!   §4.2 height-bounded unfolding ([`rewrite_with_height`]) is kept only
+//!   as a differential-testing oracle.
 //! * **Algorithm `optimize`** (§5, Fig. 10): [`optimize()`](optimize::optimize) prunes rewritten
 //!   queries using DTD structural constraints (co-existence / exclusive /
 //!   non-existence) and an approximate containment test based on

@@ -66,6 +66,9 @@ fn widen(p: &Path) -> Path {
             Path::Descendant(x) => Path::descendant(*x),
             other => Path::descendant(other),
         },
+        // Widening inside a closure body keeps the closure semantics
+        // sound under the view-edge-to-document-path mapping.
+        Path::Closure(inner) => Path::closure(widen(inner)),
         Path::Union(a, b) => Path::union(widen(a), widen(b)),
         Path::Filter(base, q) => Path::filter(widen(base), widen_qual(q)),
     }

@@ -160,6 +160,25 @@ impl<'a> QualEval<'a> {
                 };
                 (cert, targets)
             }
+            Path::Closure(inner) => {
+                // ε ∈ (p)*: the context node itself is always in the
+                // answer, so a closure qualifier can never be empty.
+                // Reach is the fixpoint of inner-steps from the context
+                // (terminates: monotone over the finite node set — safe
+                // on cyclic graphs).
+                let mut targets = BTreeSet::from([node]);
+                loop {
+                    let mut next = targets.clone();
+                    for &b in &targets {
+                        let (_, r) = self.certainty(inner, b);
+                        next.extend(r);
+                    }
+                    if next == targets {
+                        return (Certainty::Always, targets);
+                    }
+                    targets = next;
+                }
+            }
             Path::Union(p1, p2) => {
                 let (c1, r1) = self.certainty(p1, node);
                 let (c2, r2) = self.certainty(p2, node);
@@ -325,6 +344,13 @@ impl<'a> QualEval<'a> {
         if a == &Qualifier::False || b == &Qualifier::True {
             return true;
         }
+        // Prop. 5.1 assumes a DAG: on a cyclic graph, per-label image
+        // nodes conflate occurrences at different depths (e.g. both
+        // `part`s of `part/subpart/part`), so a simulation can certify
+        // implications that fail on real instances. Decline instead.
+        if self.graph.is_cyclic() {
+            return a == b;
+        }
         let (Some(ia), Some(ib)) =
             (qual_images(self.graph, a, node), qual_images(self.graph, b, node))
         else {
@@ -351,6 +377,15 @@ impl<'a> QualEval<'a> {
         if contains_text(p1) || contains_text(p2) {
             return p1 == p2;
         }
+        // Cyclic graphs are outside Prop. 5.1's DAG setting: the image
+        // construction identifies every occurrence of a label, so e.g.
+        // `assembly/part/partno ⊆ assembly/part/subpart/part/partno`
+        // would be (wrongly) certified over a recursive BOM DTD and
+        // union reduction would drop real answers. Syntactic equality
+        // is the only containment certified here.
+        if self.graph.is_cyclic() {
+            return p1 == p2;
+        }
         let (Some(b1), Some(b2)) = (branches(p1), branches(p2)) else {
             return false;
         };
@@ -372,7 +407,7 @@ fn contains_text(p: &Path) -> bool {
     match p {
         Path::Text => true,
         Path::Step(a, b) | Path::Union(a, b) => contains_text(a) || contains_text(b),
-        Path::Descendant(i) => contains_text(i),
+        Path::Descendant(i) | Path::Closure(i) => contains_text(i),
         Path::Filter(base, q) => contains_text(base) || qual_contains_text(q),
         _ => false,
     }

@@ -112,6 +112,10 @@ pub fn branches(p: &Path) -> Option<Vec<Path>> {
             out
         }
         Path::Descendant(inner) => branches(inner)?.into_iter().map(Path::descendant).collect(),
+        // Kleene closures are outside Prop. 5.1's image construction
+        // (their walk sets are not captured by a finite sub-DAG of
+        // branches); give up, so containment is simply not certified.
+        Path::Closure(_) => return None,
         // Qualifiers are not decomposed: they become attached subgraphs.
         Path::Filter(base, q) => {
             branches(base)?.into_iter().map(|b| Path::filter(b, (**q).clone())).collect()
@@ -127,6 +131,11 @@ pub fn image(graph: &ViewGraph, p: &Path, node: usize) -> Option<ImageGraph> {
         // text() has no DTD-node image; containment involving it is never
         // certified (callers check `contains_text` first).
         Path::Text => None,
+        // Closures never reach here on the sound path ([`branches`] and
+        // [`qual_images`] opt out first); an empty image is NOT a safe
+        // answer for the p2 side of a containment, so this arm must stay
+        // unreachable rather than approximate.
+        Path::Closure(_) => None,
         // Case (6)-adjacent: ε keeps the context node.
         Path::Empty => Some(ImageGraph::single(node)),
         Path::EmptySet => None,
@@ -267,6 +276,8 @@ pub fn qual_images(graph: &ViewGraph, q: &Qualifier, node: usize) -> Option<Vec<
     match q {
         Qualifier::True => Some(Vec::new()),
         Qualifier::False => None,
+        Qualifier::Path(p) if contains_closure(p) => opaque(q, node),
+        Qualifier::Eq(p, _) if contains_closure(p) => opaque(q, node),
         Qualifier::Path(p) => {
             // Union inside a qualifier: merge branch images (the
             // conservative direction for qualifier usage is handled in the
@@ -287,11 +298,42 @@ pub fn qual_images(graph: &ViewGraph, q: &Qualifier, node: usize) -> Option<Vec<
         // Outside the conjunctive fragment (or DTD-invisible): opaque
         // marker compared by equality only.
         Qualifier::Or(..) | Qualifier::Not(_) | Qualifier::Attr(_) | Qualifier::AttrEq(..) => {
-            Some(vec![QualImage {
-                eq_const: Some(format!("⟨opaque:{q}⟩")),
-                graph: ImageGraph::single(node),
-            }])
+            opaque(q, node)
         }
+    }
+}
+
+/// Opaque qualifier marker: compared by syntactic equality only.
+/// Closure-bearing qualifier paths take this route too — a `None`
+/// (unsatisfiable) image would be unsound for them, since `ε ∈ (p)*`
+/// makes a closure qualifier satisfiable wherever its context exists.
+fn opaque(q: &Qualifier, node: usize) -> Option<Vec<QualImage>> {
+    Some(vec![QualImage {
+        eq_const: Some(format!("⟨opaque:{q}⟩")),
+        graph: ImageGraph::single(node),
+    }])
+}
+
+/// Does the path contain a Kleene closure anywhere (including nested
+/// qualifiers)?
+fn contains_closure(p: &Path) -> bool {
+    match p {
+        Path::Closure(_) => true,
+        Path::Step(a, b) | Path::Union(a, b) => contains_closure(a) || contains_closure(b),
+        Path::Descendant(i) => contains_closure(i),
+        Path::Filter(base, q) => contains_closure(base) || qual_contains_closure(q),
+        _ => false,
+    }
+}
+
+fn qual_contains_closure(q: &Qualifier) -> bool {
+    match q {
+        Qualifier::Path(p) | Qualifier::Eq(p, _) => contains_closure(p),
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            qual_contains_closure(a) || qual_contains_closure(b)
+        }
+        Qualifier::Not(i) => qual_contains_closure(i),
+        _ => false,
     }
 }
 

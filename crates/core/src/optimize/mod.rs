@@ -21,35 +21,40 @@
 //! combination can be unsound).
 //!
 //! Recursive document DTDs are outside Fig. 10's DAG setting (§5.1
-//! restricts to non-recursive DTDs and refers back to §4.2); [`optimize`]
-//! returns the query unchanged for them, and [`optimize_with_height`]
-//! handles them by unfolding to the concrete document's height.
+//! restricts to non-recursive DTDs and refers back to §4.2), but the
+//! shared `recProc` now falls back to Kleene state elimination on
+//! cyclic graphs, so [`optimize`] handles them directly — `//` expands
+//! into `(…)*` closure expressions instead of requiring an unfolding
+//! height. [`optimize_with_height`] (the §4.2 unfolding) is retained as
+//! a differential-testing oracle. The Prop. 5.1 containment test
+//! ([`approx_contained`]) stays DAG-only: its image-graph simulation is
+//! sound but conservative, and simply declines to certify on recursion
+//! (and on closure-bearing queries), so union reduction never fires
+//! unsoundly there.
 
 pub mod constraints;
 pub mod image;
 pub mod simulate;
 
 use crate::error::Result;
-use crate::rewrite::{continue_from_text, Target, ViewGraph};
+use crate::rewrite::{continue_from_text, kleene_reach, Target, ViewGraph};
 use constraints::QualEval;
 use std::collections::{BTreeMap, HashMap};
 use sxv_dtd::{Dtd, DtdGraph};
 use sxv_xpath::{Path, Qualifier};
 
 /// Optimize `p` for evaluation at the root of instances of `dtd`.
+/// Recursive DTDs are handled directly: `//` expands through Kleene
+/// closures instead of requiring a height-bounded unfolding.
 pub fn optimize(dtd: &Dtd, p: &Path) -> Result<Path> {
-    if DtdGraph::new(dtd).is_recursive() {
-        // §5 assumes a DAG DTD; recursive DTDs need a concrete instance
-        // height — use [`optimize_with_height`] (§4.2 unfolding).
-        return Ok(p.clone());
-    }
     let graph = ViewGraph::from_dtd(dtd);
     optimize_over(dtd, &graph, p)
 }
 
-/// Optimize over a *recursive* document DTD by unfolding it to the height
+/// Optimize over a recursive document DTD by unfolding it to the height
 /// of the concrete document (§4.2 applied to the optimization side).
-/// Also valid for DAG DTDs, where it simply bounds path lengths.
+/// Kept as a differential-testing oracle for the direct closure-based
+/// expansion; also valid for DAG DTDs, where it bounds path lengths.
 pub fn optimize_with_height(dtd: &Dtd, p: &Path, height: usize) -> Result<Path> {
     let graph = ViewGraph::from_dtd_unfolded(dtd, height)?;
     optimize_over(dtd, &graph, p)
@@ -89,6 +94,7 @@ fn normalize_filters(p: &Path) -> Path {
         }
         Path::Step(a, b) => Path::step(normalize_filters(a), normalize_filters(b)),
         Path::Descendant(inner) => Path::descendant(normalize_filters(inner)),
+        Path::Closure(inner) => Path::closure(normalize_filters(inner)),
         Path::Union(a, b) => Path::union(normalize_filters(a), normalize_filters(b)),
         Path::Filter(base, q) => {
             let nq = normalize_qual(q);
@@ -202,6 +208,50 @@ impl<'a> Optimizer<'a> {
                             Target::TextOf(b),
                             Path::step(prefix, Path::step(Path::Text, text_cont.clone())),
                         );
+                    }
+                }
+            }
+            // Kleene closure: discover the graph whose edge x→y is p1's
+            // per-target optimization at x, then Kleene-eliminate it
+            // (shared with the rewrite module's closure translation).
+            // Text targets are closure endpoints — text is a leaf.
+            Path::Closure(p1) => {
+                let mut nodes: Vec<usize> = vec![node];
+                let mut edges: HashMap<(usize, usize), Path> = HashMap::new();
+                let mut texts: Vec<(usize, usize, Path)> = Vec::new();
+                let mut i = 0;
+                while i < nodes.len() {
+                    let x = nodes[i];
+                    i += 1;
+                    for (t, q) in self.opt(p1, x) {
+                        match t {
+                            Target::Node(y) => {
+                                match edges.remove(&(x, y)) {
+                                    Some(prev) => {
+                                        edges.insert((x, y), Path::union(prev, q));
+                                    }
+                                    None => {
+                                        edges.insert((x, y), q);
+                                    }
+                                }
+                                if !nodes.contains(&y) {
+                                    nodes.push(y);
+                                }
+                            }
+                            Target::TextOf(ty) => texts.push((x, ty, q)),
+                        }
+                    }
+                }
+                let reach_expr = kleene_reach(&nodes, &edges, node);
+                for (&y, e) in &reach_expr {
+                    if !e.is_empty_set() {
+                        merge(&mut out, Target::Node(y), e.clone());
+                    }
+                }
+                for (x, ty, q) in texts {
+                    let prefix = &reach_expr[&x];
+                    if !prefix.is_empty_set() {
+                        merge(&mut out, Target::TextOf(ty), Path::step(prefix.clone(), q));
                     }
                 }
             }
@@ -420,10 +470,80 @@ mod tests {
     }
 
     #[test]
-    fn recursive_dtd_left_unchanged_without_height() {
+    fn recursive_dtd_optimized_directly_with_closure() {
+        // a → a | b: `//b` expands through the cycle as a closure and
+        // stays correct at any instance depth (no height parameter).
         let dtd = parse_dtd("<!ELEMENT a (a | b)><!ELEMENT b EMPTY>", "a").unwrap();
         let p = parse("//b").unwrap();
-        assert_eq!(optimize(&dtd, &p).unwrap(), p);
+        let o = optimize(&dtd, &p).unwrap();
+        assert!(o.to_string().contains(")*"), "cycle optimized to a closure: {o}");
+        for doc_src in
+            ["<a><b/></a>", "<a><a><a><b/></a></a></a>", "<a><a><a><a><a><b/></a></a></a></a></a>"]
+        {
+            let doc = parse_xml(doc_src).unwrap();
+            assert_eq!(eval_at_root(&doc, &p), eval_at_root(&doc, &o), "{doc_src}: {o}");
+        }
+        // Dead labels still prune on recursive DTDs.
+        assert!(optimize(&dtd, &parse("//zzz").unwrap()).unwrap().is_empty_set());
+        // Exclusive-choice qualifiers still evaluate at cyclic nodes.
+        let excl = optimize(&dtd, &parse("//.[a and b]").unwrap()).unwrap();
+        assert!(excl.is_empty_set(), "{excl}");
+    }
+
+    #[test]
+    fn recursive_dtd_union_arms_survive_optimization() {
+        // Regression: over a recursive DTD, the per-label image graphs
+        // conflate the two `part` occurrences of the longer arm, so the
+        // Prop. 5.1 simulation would certify the shorter arm as contained
+        // and union reduction would drop its (real) answers. Containment
+        // must decline on cyclic graphs and keep both arms.
+        let dtd = parse_dtd(
+            "<!ELEMENT bom (assembly*)><!ELEMENT assembly (part*)>\
+             <!ELEMENT part (partno, subpart)><!ELEMENT subpart (part*)>\
+             <!ELEMENT partno (#PCDATA)>",
+            "bom",
+        )
+        .unwrap();
+        let p = parse("assembly/part/partno | assembly/part/subpart/part/partno").unwrap();
+        let o = optimize(&dtd, &p).unwrap();
+        let doc = parse_xml(
+            "<bom><assembly><part><partno>p1</partno><subpart>\
+             <part><partno>p2</partno><subpart/></part>\
+             </subpart></part></assembly></bom>",
+        )
+        .unwrap();
+        let direct = eval_at_root(&doc, &p);
+        assert_eq!(direct.len(), 2, "both depths match");
+        assert_eq!(direct, eval_at_root(&doc, &o), "union arm dropped: {o}");
+        // Qualifier implication likewise declines on cyclic graphs: in
+        // the collapsed image, [partno] would falsely imply
+        // [subpart/part/partno] (the image of the longer path gains a
+        // direct part → partno edge), and And-reduction would drop the
+        // stronger conjunct. Both conjuncts must survive.
+        let q = parse("//part[partno and subpart/part/partno]/partno").unwrap();
+        let oq = optimize(&dtd, &q).unwrap();
+        let shallow =
+            parse_xml("<bom><assembly><part><partno>p1</partno><subpart/></part></assembly></bom>")
+                .unwrap();
+        for d in [&doc, &shallow] {
+            assert_eq!(eval_at_root(d, &q), eval_at_root(d, &oq), "qualifier weakened: {oq}");
+        }
+    }
+
+    #[test]
+    fn closure_query_optimized_on_dag() {
+        // A user-written closure over a DAG DTD: `(b)*` from the root
+        // can iterate at most once (no b → b edge), so the optimizer
+        // unrolls it into `ε ∪ b` — no closure survives.
+        let dtd = fig9_dtd();
+        let p = parse("(b)*/d").unwrap();
+        let o = optimize(&dtd, &p).unwrap();
+        assert!(!o.to_string().contains(")*"), "DAG closure unrolled: {o}");
+        let doc = parse_xml(
+            "<a><b><d><e><g/></e><f><g/></f></d></b><c><d><e><g/></e><f><g/></f></d></c></a>",
+        )
+        .unwrap();
+        assert_eq!(eval_at_root(&doc, &p), eval_at_root(&doc, &o), "{o}");
     }
 
     #[test]

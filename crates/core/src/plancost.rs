@@ -18,13 +18,26 @@ use sxv_xpath::CostModel;
 /// documents of the benchmark generator closely enough to order plans.
 pub const STAR_BRANCH: f64 = 4.0;
 
-/// Ceiling on any propagated estimate; recursive DTDs would otherwise
-/// diverge (each unfolding pass multiplies by the cycle's fan-out).
+/// Assumed continuation ratio of one recursion level: along an edge that
+/// participates in a production cycle, each additional nesting level is
+/// taken to be half as populated as the one above. With every cycle
+/// edge damped below 1 the root-down propagation becomes a convergent
+/// geometric series, so recursive DTDs get a finite *fixpoint*
+/// cardinality (`est / (1 - r)` in the single-cycle case) instead of a
+/// divergent unfolding that slams into an arbitrary ceiling.
+pub const RECURSE_DECAY: f64 = 0.5;
+
+/// Ceiling on any propagated estimate — a backstop for pathological
+/// DTDs whose parallel cycle paths still sum to a gain ≥ 1.
 const MAX_EST: f64 = 1e9;
 
-/// Passes of root-down propagation: exact for DAG DTDs up to this depth,
-/// a bounded unfolding for recursive ones.
-const MAX_PASSES: usize = 24;
+/// Upper bound on propagation passes. DAG DTDs converge in at most
+/// their depth; damped cycles converge geometrically; this cap only
+/// matters for the pathological gain ≥ 1 case.
+const MAX_PASSES: usize = 256;
+
+/// Convergence tolerance for the fixpoint iteration.
+const TOLERANCE: f64 = 1e-6;
 
 fn child_weights(content: &NormalContent) -> Vec<(&str, f64)> {
     match content {
@@ -38,45 +51,90 @@ fn child_weights(content: &NormalContent) -> Vec<(&str, f64)> {
     }
 }
 
+/// For each production slot, the set of slots reachable through child
+/// edges (used to find edges that participate in a cycle).
+fn reachability(adj: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let n = adj.len();
+    let mut reach = vec![vec![false; n]; n];
+    for (start, row) in reach.iter_mut().enumerate() {
+        let mut stack = vec![start];
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if !row[y] {
+                    row[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    reach
+}
+
 /// Expected per-label element counts (and text-node total) for documents
 /// conforming to `dtd`, packaged as a planner [`CostModel`].
 /// `has_index` declares whether execution will have a structural index —
 /// the engine's serving path passes `true`.
 ///
-/// Estimates are computed by fixed-point iteration over the production
-/// list in declaration order, so the result is deterministic for a given
-/// DTD (no hash-map iteration order leaks into the numbers).
+/// Estimates solve `est = root + est · W` by fixed-point iteration over
+/// the production list in declaration order, so the result is
+/// deterministic for a given DTD (no hash-map iteration order leaks
+/// into the numbers). Edges that close a production cycle are damped to
+/// [`RECURSE_DECAY`] so the iteration converges to the geometric-series
+/// fixpoint instead of unfolding the cycle to a clamp.
 pub fn dtd_cost_model(dtd: &Dtd, has_index: bool) -> CostModel {
     let productions = dtd.productions();
     let n = productions.len();
     let slot: HashMap<&str, usize> =
         productions.iter().enumerate().map(|(i, (name, _))| (name.as_str(), i)).collect();
+    // Per-slot weighted child edges, with cycle edges damped: an edge
+    // i→j is in a cycle iff j reaches i (including i == j self-loops).
+    let adj: Vec<Vec<usize>> = productions
+        .iter()
+        .map(|(_, content)| {
+            child_weights(content).iter().filter_map(|(c, _)| slot.get(c).copied()).collect()
+        })
+        .collect();
+    let reach = reachability(&adj);
+    let edges: Vec<Vec<(usize, f64)>> = productions
+        .iter()
+        .enumerate()
+        .map(|(i, (_, content))| {
+            child_weights(content)
+                .iter()
+                .filter_map(|&(child, w)| {
+                    let j = *slot.get(child)?;
+                    let damped = if reach[j][i] { w.min(RECURSE_DECAY) } else { w };
+                    Some((j, damped))
+                })
+                .collect()
+        })
+        .collect();
     let mut est = vec![0.0f64; n];
     if let Some(&r) = slot.get(dtd.root()) {
         est[r] = 1.0;
     }
     // est_{k+1} = root + est_k · W accumulates expected counts over all
-    // root-to-type paths of length ≤ k+1; exact once k reaches the DAG
-    // depth, clamped for recursive DTDs.
-    for _ in 0..MAX_PASSES.min(n.max(1)) {
+    // root-to-type walks of length ≤ k+1; exact once k reaches the DAG
+    // depth, geometrically convergent through damped cycles.
+    for _ in 0..MAX_PASSES {
         let mut next = vec![0.0f64; n];
         if let Some(&r) = slot.get(dtd.root()) {
             next[r] = 1.0;
         }
-        for (i, (_, content)) in productions.iter().enumerate() {
+        for (i, out) in edges.iter().enumerate() {
             if est[i] <= 0.0 {
                 continue;
             }
-            for (child, w) in child_weights(content) {
-                if let Some(&j) = slot.get(child) {
-                    next[j] = (next[j] + est[i] * w).min(MAX_EST);
-                }
+            for &(j, w) in out {
+                next[j] = (next[j] + est[i] * w).min(MAX_EST);
             }
         }
-        if next == est {
+        let converged =
+            next.iter().zip(&est).all(|(a, b)| (a - b).abs() <= TOLERANCE * b.abs().max(1.0));
+        est = next;
+        if converged {
             break;
         }
-        est = next;
     }
     let texts: f64 = productions
         .iter()
@@ -133,7 +191,7 @@ mod tests {
     }
 
     #[test]
-    fn recursive_dtd_terminates_with_capped_estimates() {
+    fn recursive_dtd_converges_to_geometric_fixpoint() {
         let dtd = parse_dtd(
             r#"
 <!ELEMENT part (part*)>
@@ -143,7 +201,36 @@ mod tests {
         .unwrap();
         let cost = dtd_cost_model(&dtd, true);
         let s = compile(&parse("//part").unwrap(), PlanPolicy::Auto, &cost).summary();
-        // Clamped to the model's total-node ceiling, not infinity.
-        assert!(s.est_rows > 0);
+        // The self-loop damps to RECURSE_DECAY, so the fixpoint is the
+        // geometric series 1/(1 - 0.5) = 2 parts expected — a small
+        // finite number, not a divergent unfolding hitting the clamp.
+        assert!(s.est_rows >= 1, "{s:?}");
+        assert!(s.est_rows <= 4, "recursive estimate must stay near the fixpoint: {s:?}");
+    }
+
+    #[test]
+    fn cycle_damping_leaves_acyclic_regions_exact() {
+        // A recursive region (part) hanging off an acyclic spine: the
+        // spine's estimates keep their exact DAG propagation while the
+        // cycle converges instead of clamping.
+        let dtd = parse_dtd(
+            r#"
+<!ELEMENT bom (assembly*)>
+<!ELEMENT assembly (part)>
+<!ELEMENT part (part*, name)>
+<!ELEMENT name (#PCDATA)>
+"#,
+            "bom",
+        )
+        .unwrap();
+        let cost = dtd_cost_model(&dtd, true);
+        let assemblies =
+            compile(&parse("//assembly").unwrap(), PlanPolicy::Auto, &cost).summary().est_rows;
+        assert_eq!(assemblies, 4, "starred spine child keeps the exact STAR_BRANCH estimate");
+        let parts = compile(&parse("//part").unwrap(), PlanPolicy::Auto, &cost).summary().est_rows;
+        // 4 seed parts, doubled by the damped self-loop fixpoint.
+        assert!((4..=16).contains(&parts), "parts estimate should be finite and plural: {parts}");
+        let names = compile(&parse("//name").unwrap(), PlanPolicy::Auto, &cost).summary().est_rows;
+        assert!(names >= parts, "every part carries a name: {names} < {parts}");
     }
 }

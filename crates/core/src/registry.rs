@@ -11,7 +11,7 @@
 use crate::analysis::audit_view;
 use crate::error::{Error, Result};
 use crate::optimize::optimize;
-use crate::rewrite::{rewrite, rewrite_with_height};
+use crate::rewrite::rewrite;
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
 use crate::view::derive::derive_view;
@@ -91,20 +91,17 @@ impl PolicyRegistry {
     }
 
     /// Translate a group's view query into a document query
-    /// (rewrite + optimize; recursive views unfold to `doc_height`).
-    pub fn translate(&self, group: &str, p: &Path, doc_height: usize) -> Result<Path> {
+    /// (rewrite + optimize; recursive views rewrite to Kleene-closure
+    /// expressions directly, so no document height is needed).
+    pub fn translate(&self, group: &str, p: &Path) -> Result<Path> {
         let policy = self.policy(group)?;
-        let rewritten = if policy.view.is_recursive() {
-            rewrite_with_height(&policy.view, p, doc_height)?
-        } else {
-            rewrite(&policy.view, p)?
-        };
+        let rewritten = rewrite(&policy.view, p)?;
         optimize(policy.spec.dtd(), &rewritten)
     }
 
     /// Answer a group's query over the shared document.
     pub fn answer(&self, group: &str, doc: &Document, p: &Path) -> Result<Vec<NodeId>> {
-        let translated = self.translate(group, p, doc.height())?;
+        let translated = self.translate(group, p)?;
         Ok(eval_at_root(doc, &translated))
     }
 

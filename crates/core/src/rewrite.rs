@@ -24,25 +24,35 @@
 //!   each intermediate node's path expression is built once and reused
 //!   (`recrw(a, g) = (l_b ∪ ε)/l_c/(l_e ∪ l_f)/l_g` for Fig. 7(a)).
 //!
-//! **Recursive views** (§4.2): `//` cannot be translated over a cyclic
-//! view DTD (infinitely many paths, and regular expressions like
-//! `(a/c)*/b` are beyond XPath). [`rewrite_with_height`] unfolds the view
-//! DTD to the height of the concrete document — applying non-recursive
-//! rules at the cutoff — and rewrites over the resulting DAG.
+//! **Recursive views** (§4.2): over a cyclic view DTD `//` has
+//! infinitely many σ-paths, and the paper observes the finite-union
+//! translation fails — the answer is a *regular* path expression like
+//! `(a/c)*/b`, beyond standard XPath. Our query language carries the
+//! Kleene closure operator (`Path::Closure`), so [`rewrite`] handles
+//! recursive views directly: `recProc` falls back from the DAG
+//! topological accumulation to Kleene state elimination
+//! (McNaughton–Yamada) whose loop expressions become `(…)*` closures,
+//! executed natively by the plan layer's `closure-expand` operator.
+//! [`rewrite_with_height`] (unfolding to the document height, §4.2's
+//! original workaround) is retained as a differential-testing oracle.
 
 use crate::error::{Error, Result};
 use crate::view::def::{SecurityView, ViewContent, ViewItem};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use sxv_xpath::{factored_union, Path, Qualifier};
+use sxv_xpath::{factored_union, simplify, Path, Qualifier};
 
-/// Rewrite a view query to a document query (non-recursive views).
+/// Rewrite a view query to a document query. Recursive views are
+/// handled directly: cycles in the view DTD graph translate to Kleene
+/// closures (`(…)*`) instead of requiring height-bounded unfolding.
 pub fn rewrite(view: &SecurityView, p: &Path) -> Result<Path> {
     let graph = ViewGraph::from_view(view)?;
     graph.rewrite(p)
 }
 
-/// Rewrite over a recursive view by unfolding to `height` (§4.2); also
-/// valid for non-recursive views (where it simply bounds the DAG).
+/// Rewrite over a (possibly recursive) view by unfolding to `height` —
+/// §4.2's original workaround. Kept as a differential-testing oracle
+/// for the direct closure-based translation; also valid for
+/// non-recursive views (where it simply bounds the DAG).
 pub fn rewrite_with_height(view: &SecurityView, p: &Path, height: usize) -> Result<Path> {
     let graph = ViewGraph::unfolded(view, height)?;
     graph.rewrite(p)
@@ -73,11 +83,9 @@ pub struct ViewGraph {
 }
 
 impl ViewGraph {
-    /// Build directly from a non-recursive view.
+    /// Build directly from a view. Recursive views yield a cyclic
+    /// graph, which `recProc` handles via Kleene state elimination.
     pub fn from_view(view: &SecurityView) -> Result<Self> {
-        if view.is_recursive() {
-            return Err(Error::RecursiveView);
-        }
         let mut labels: Vec<String> = vec![String::new()]; // 0 = document node
         let mut index: HashMap<&str, usize> = HashMap::new();
         for (name, _) in view.productions() {
@@ -278,6 +286,41 @@ impl ViewGraph {
         self.labels.iter().position(|l| l == label)
     }
 
+    /// Does the graph contain a cycle (recursive view or DTD)? The
+    /// Prop. 5.1 image/simulation machinery assumes a DAG — per-label
+    /// nodes conflate distinct occurrences once a cycle lets a label
+    /// repeat along a path — so containment tests consult this and
+    /// decline to certify on cyclic graphs.
+    pub fn is_cyclic(&self) -> bool {
+        // Iterative three-color DFS: 0 = white, 1 = on stack, 2 = done.
+        let mut color = vec![0u8; self.children.len()];
+        for start in 0..self.children.len() {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            color[start] = 1;
+            while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+                if *i < self.children[n].len() {
+                    let c = self.children[n][*i];
+                    *i += 1;
+                    match color[c] {
+                        0 => {
+                            color[c] = 1;
+                            stack.push((c, 0));
+                        }
+                        1 => return true,
+                        _ => {}
+                    }
+                } else {
+                    color[n] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
     /// Nodes reachable from `n`, including `n` (descendant-or-self).
     pub fn descendants_or_self(&self, n: usize) -> BTreeSet<usize> {
         let mut reach = BTreeSet::new();
@@ -351,8 +394,6 @@ impl ViewGraph {
                 }
             }
         }
-        // `a` can have nonzero indegree only through cycles; the graph is
-        // a DAG by construction here.
         let mut queue: Vec<usize> = reach.iter().copied().filter(|n| indegree[n] == 0).collect();
         let mut order = Vec::with_capacity(reach.len());
         while let Some(x) = queue.pop() {
@@ -365,6 +406,24 @@ impl ViewGraph {
                     }
                 }
             }
+        }
+        if order.len() < reach.len() {
+            // Cyclic reachable subgraph (recursive view or DTD): Kahn's
+            // order is partial, so the symbolic DAG accumulation below
+            // does not apply. Fall back to Kleene state elimination —
+            // recrw entries become regular path expressions whose loops
+            // are `(…)*` closures (§4.2 handled directly, no unfolding).
+            let nodes: Vec<usize> = reach.iter().copied().collect();
+            let mut edges: HashMap<(usize, usize), Path> = HashMap::new();
+            for &x in &nodes {
+                for &y in &self.children[x] {
+                    if reach.contains(&y) {
+                        edges.insert((x, y), self.sigma_edge(x, y).clone());
+                    }
+                }
+            }
+            let recrw = kleene_reach(&nodes, &edges, a);
+            return (nodes, recrw);
         }
         let mut recrw: HashMap<usize, Path> = HashMap::new();
         recrw.insert(a, Path::Empty);
@@ -399,6 +458,58 @@ impl ViewGraph {
     }
 }
 
+/// Walk expressions from `start` over an edge-labelled graph, by Kleene
+/// state elimination (McNaughton–Yamada): `out[y]` is a path expression
+/// selecting, from `start`'s document context, the document nodes of
+/// every walk ending at `y` (including the empty walk when
+/// `y == start`). Cycles become `(…)*` closures — exactly the regular
+/// path expressions §4.2 shows finite unions cannot express, supplied
+/// here by the extended `Path::Closure` operator.
+///
+/// Soundness of composing σ annotations along walks is the same
+/// argument as the `Step` case of `rw`: each edge expression is
+/// evaluated at the document nodes its source view node translates to.
+/// Intermediate expressions are re-simplified each round to keep the
+/// (worst-case exponential) elimination bounded on the small graphs
+/// view DTDs produce.
+pub(crate) fn kleene_reach(
+    nodes: &[usize],
+    edges: &HashMap<(usize, usize), Path>,
+    start: usize,
+) -> HashMap<usize, Path> {
+    let mut r: HashMap<(usize, usize), Path> = edges.clone();
+    for &k in nodes {
+        // R^k_ij = R_ij ∪ R_ik (R_kk)* R_kj, all taken at round k-1:
+        // snapshot row k and column k before updating.
+        let kk_star = Path::closure(r.get(&(k, k)).cloned().unwrap_or(Path::EmptySet));
+        let row_k: Vec<(usize, Path)> =
+            nodes.iter().filter_map(|&j| r.get(&(k, j)).map(|p| (j, p.clone()))).collect();
+        let col_k: Vec<(usize, Path)> =
+            nodes.iter().filter_map(|&i| r.get(&(i, k)).map(|p| (i, p.clone()))).collect();
+        for (i, ik) in &col_k {
+            for (j, kj) in &row_k {
+                let via = Path::step(ik.clone(), Path::step(kk_star.clone(), kj.clone()));
+                if via.is_empty_set() {
+                    continue;
+                }
+                let cur = r.remove(&(*i, *j)).unwrap_or(Path::EmptySet);
+                r.insert((*i, *j), simplify(&Path::union(cur, via)));
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    for &y in nodes {
+        let walks = r.get(&(start, y)).cloned().unwrap_or(Path::EmptySet);
+        // The empty walk reaches `start` itself; `R_ss` is closed under
+        // concatenation, so `(R_ss)* = ε ∪ R_ss` — the closure form is
+        // both compact and a single plan operator. Without loops this
+        // is `closure(∅) = ε`, matching the DAG accumulation.
+        let e = if y == start { Path::closure(walks) } else { walks };
+        out.insert(y, simplify(&e));
+    }
+    out
+}
+
 /// Continuation of a query from a *text* node: text nodes are leaves, so
 /// only `ε` (and qualifiers over the text itself) survive; label, wildcard
 /// and text steps become `∅`. This mapping is exact — view text nodes and
@@ -410,6 +521,9 @@ pub(crate) fn continue_from_text(p: &Path) -> Path {
         Path::Step(a, b) => Path::step(continue_from_text(a), continue_from_text(b)),
         // descendant-or-self of a leaf is the leaf itself.
         Path::Descendant(inner) => continue_from_text(inner),
+        // ε ∈ (p)*, and no iteration leaves the leaf: the closure at a
+        // text node is the text node itself.
+        Path::Closure(_) => Path::Empty,
         Path::Union(a, b) => Path::union(continue_from_text(a), continue_from_text(b)),
         Path::Filter(base, q) => Path::filter(continue_from_text(base), text_qual(q)),
     }
@@ -606,6 +720,51 @@ impl<'a> Rewriter<'a> {
                     merge(&mut out, w, q);
                 }
             }
+            Path::Closure(p1) => {
+                // `(p1)*` over the view: discover the graph whose edge
+                // x→y is p1's per-target translation at x, then Kleene-
+                // eliminate it — the same machinery recProc uses for
+                // cyclic σ graphs. Text targets are closure endpoints
+                // (text is a leaf; re-applying p1 there never leaves it).
+                let mut nodes: Vec<usize> = vec![node];
+                let mut edges: HashMap<(usize, usize), Path> = HashMap::new();
+                let mut texts: Vec<(usize, usize, Path)> = Vec::new();
+                let mut i = 0;
+                while i < nodes.len() {
+                    let x = nodes[i];
+                    i += 1;
+                    for (t, q) in self.rw_path(p1, x)? {
+                        match t {
+                            Target::Node(y) => {
+                                match edges.remove(&(x, y)) {
+                                    Some(prev) => {
+                                        edges.insert((x, y), Path::union(prev, q));
+                                    }
+                                    None => {
+                                        edges.insert((x, y), q);
+                                    }
+                                }
+                                if !nodes.contains(&y) {
+                                    nodes.push(y);
+                                }
+                            }
+                            Target::TextOf(ty) => texts.push((x, ty, q)),
+                        }
+                    }
+                }
+                let reach_expr = kleene_reach(&nodes, &edges, node);
+                for (&y, e) in &reach_expr {
+                    if !e.is_empty_set() {
+                        merge(&mut out, Target::Node(y), e.clone());
+                    }
+                }
+                for (x, ty, q) in texts {
+                    let prefix = &reach_expr[&x];
+                    if !prefix.is_empty_set() {
+                        merge(&mut out, Target::TextOf(ty), Path::step(prefix.clone(), q));
+                    }
+                }
+            }
             Path::Filter(base, q) => {
                 for (t, qb) in self.rw_path(base, node)? {
                     let rq = match t {
@@ -663,6 +822,13 @@ impl<'a> Rewriter<'a> {
                 // per-target rewriting supports it.
                 return Err(Error::UnsupportedQuery(
                     "text() in the Fig. 6 merged comparison mode".into(),
+                ));
+            }
+            Path::Closure(_) => {
+                // Fig. 6 has no Kleene case; the per-target rewriting
+                // supports closures via state elimination.
+                return Err(Error::UnsupportedQuery(
+                    "Kleene closure in the Fig. 6 merged comparison mode".into(),
                 ));
             }
             Path::Empty => (Path::Empty, BTreeSet::from([node])),
@@ -971,9 +1137,10 @@ mod tests {
     }
 
     #[test]
-    fn recursive_view_requires_height() {
-        // A recursive view DTD (a → b, clist; clist → c*; c → a): `//`
-        // cannot be rewritten directly (Fig. 7(b) argument).
+    fn recursive_view_rewrites_directly_with_closure() {
+        // A recursive view DTD (a → b, clist; clist → c*; c → a): the
+        // Fig. 7(b) argument shows `//` needs a *regular* expression —
+        // which the direct translation now produces as a `(…)*` closure.
         let dtd = parse_dtd(
             "<!ELEMENT a (b, clist)><!ELEMENT clist (c*)>\
              <!ELEMENT c (a)><!ELEMENT b (#PCDATA)>",
@@ -984,13 +1151,23 @@ mod tests {
         let view = derive_view(&spec).unwrap();
         assert!(view.is_recursive());
         let p = parse("//b").unwrap();
-        assert!(matches!(rewrite(&view, &p), Err(Error::RecursiveView)));
-        // With the document height known, unfolding makes it work (§4.2).
+        let pt = rewrite(&view, &p).unwrap();
+        assert!(pt.to_string().contains(")*"), "cycle translated to a closure: {pt}");
         let doc =
             parse_xml("<a><b>1</b><clist><c><a><b>2</b><clist/></a></c></clist></a>").unwrap();
-        let pt = rewrite_with_height(&view, &p, doc.height()).unwrap();
         let r = eval_at_root(&doc, &pt);
         assert_eq!(r.len(), 2, "both b's found: {pt}");
+        // The direct translation agrees with the §4.2 unfolding oracle
+        // at the document's height.
+        let oracle = rewrite_with_height(&view, &p, doc.height()).unwrap();
+        assert_eq!(r, eval_at_root(&doc, &oracle), "direct ≠ unfolded: {pt} vs {oracle}");
+        // And keeps working on a document deeper than that height.
+        let deep = parse_xml(
+            "<a><b>1</b><clist><c><a><b>2</b><clist><c><a><b>3</b><clist><c><a><b>4</b>\
+             <clist/></a></c></clist></a></c></clist></a></c></clist></a>",
+        )
+        .unwrap();
+        assert_eq!(eval_at_root(&deep, &pt).len(), 4, "{pt}");
     }
 
     #[test]

@@ -340,6 +340,7 @@ pub fn substitute_path(p: &Path, params: &HashMap<String, String>) -> Result<Pat
         }
         Path::Step(a, b) => Path::step(substitute_path(a, params)?, substitute_path(b, params)?),
         Path::Descendant(inner) => Path::descendant(substitute_path(inner, params)?),
+        Path::Closure(inner) => Path::closure(substitute_path(inner, params)?),
         Path::Union(a, b) => Path::union(substitute_path(a, params)?, substitute_path(b, params)?),
         Path::Filter(base, q) => {
             Path::filter(substitute_path(base, params)?, substitute_qual(q, params)?)
@@ -398,7 +399,7 @@ fn collect_param_names_path(p: &Path, out: &mut std::collections::BTreeSet<Strin
             collect_param_names_path(a, out);
             collect_param_names_path(b, out);
         }
-        Path::Descendant(inner) => collect_param_names_path(inner, out),
+        Path::Descendant(inner) | Path::Closure(inner) => collect_param_names_path(inner, out),
         Path::Filter(base, q) => {
             collect_param_names_path(base, out);
             collect_param_names(q, out);

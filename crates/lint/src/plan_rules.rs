@@ -112,6 +112,60 @@ mod tests {
         assert!(diags.iter().all(|d| d.subject == "//b (rewrite, auto)"));
     }
 
+    /// A recursive context (part → sub → part), as a recursive security
+    /// view induces: closure plans certify through the fixpoint
+    /// transfer, and a closure body emitting a hidden type is caught.
+    fn recursive_ctx() -> CertifyContext {
+        let mut ctx = CertifyContext { root: "part".into(), ..Default::default() };
+        for (parent, kids) in [
+            ("part", vec!["part-id", "serial", "sub"]),
+            ("sub", vec!["part"]),
+            ("part-id", vec![]),
+            ("serial", vec![]),
+        ] {
+            ctx.children.insert(parent.into(), kids.into_iter().map(String::from).collect());
+        }
+        ctx.text_types.insert("part-id".into());
+        ctx.text_types.insert("serial".into());
+        for t in ["part", "sub", "part-id"] {
+            ctx.accessible.insert(t.into());
+        }
+        ctx.inaccessible.insert("serial".into());
+        ctx.hideable.insert("serial".into());
+        ctx
+    }
+
+    #[test]
+    fn closure_plan_certifies_clean() {
+        use sxv_xpath::Path;
+        // (sub/part)*/part-id — the shape the rewriter emits for a
+        // recursive view; the certifier's fixpoint transfer must land on
+        // a clean certificate, no unfolding anywhere.
+        let q = Path::step(
+            Path::closure(Path::step(Path::label("sub"), Path::label("part"))),
+            Path::label("part-id"),
+        );
+        let plan = compile(&q, PlanPolicy::Auto, &CostModel::uninformed());
+        let diags = lint_plan("closure", &plan, &recursive_ctx(), None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn closure_plan_emitting_hidden_type_gets_301_and_303() {
+        use sxv_xpath::Path;
+        let q = Path::step(
+            Path::closure(Path::step(Path::label("sub"), Path::label("part"))),
+            Path::label("serial"),
+        );
+        let plan = compile(&q, PlanPolicy::Auto, &CostModel::uninformed());
+        let codes: Vec<&str> = lint_plan("closure-leak", &plan, &recursive_ctx(), None)
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        assert!(codes.contains(&"SXV301"), "{codes:?}");
+        assert!(codes.contains(&"SXV303"), "{codes:?}");
+    }
+
     #[test]
     fn matching_cached_certificate_is_silent_and_mismatch_is_305() {
         let plan = plan_for("//c");

@@ -49,8 +49,10 @@ pub fn lint_query(doc_dtd: &Dtd, view: &SecurityView, query: &Path) -> Vec<Diagn
 
     // SXV202 — statically empty: the σ-expanded translation is ∅, or the
     // DTD-aware optimizer reduces it to ∅ (no conforming document can
-    // produce a result). Recursive views need a concrete document height
-    // for translation (§4.2), so they are skipped here.
+    // produce a result). Recursive views are covered too: `rewrite`
+    // translates them directly into Kleene-closure expressions (no
+    // document height needed), and both the emptiness check and the
+    // optimizer understand the closure operator.
     if let Ok(translated) = rewrite(view, query) {
         let empty = translated.is_empty_set()
             || optimize(doc_dtd, &translated).map(|o| o.is_empty_set()).unwrap_or(false);
@@ -172,6 +174,61 @@ mod tests {
         assert!(diags[0].suggestion.as_deref().unwrap_or("").contains("*/c"), "{diags:?}");
         // Arms that genuinely differ are kept.
         let diags = lint_query(&dtd, &view, &parse("a | a/c").unwrap());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// A recursive fixture: the part → sub → part cycle survives in the
+    /// view, so translations go through the Kleene closure.
+    fn recursive_fixture() -> (Dtd, SecurityView) {
+        let dtd = parse_dtd(
+            "<!ELEMENT part (part-id, serial, sub)>\
+             <!ELEMENT sub (part*)>\
+             <!ELEMENT part-id (#PCDATA)>\
+             <!ELEMENT serial (#PCDATA)>",
+            "part",
+        )
+        .unwrap();
+        let spec = AccessSpec::builder(&dtd).deny("part", "serial").build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        assert!(view.is_recursive());
+        (dtd, view)
+    }
+
+    #[test]
+    fn recursive_view_clean_query_is_clean() {
+        // Queries over recursive views lint without any height: the
+        // SXV202 check runs over the direct closure translation.
+        let (dtd, view) = recursive_fixture();
+        for q in ["//part-id", "sub/part", "//sub//part-id"] {
+            let diags = lint_query(&dtd, &view, &parse(q).unwrap());
+            assert!(diags.is_empty(), "{q}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_view_hidden_type_is_sxv201() {
+        let (dtd, view) = recursive_fixture();
+        // `serial` is denied, so the view DTD drops the type entirely.
+        let diags = lint_query(&dtd, &view, &parse("//serial").unwrap());
+        assert_eq!(codes(&diags), ["SXV201"]);
+    }
+
+    #[test]
+    fn recursive_view_statically_empty_is_sxv202() {
+        let (dtd, view) = recursive_fixture();
+        // `part-id` has no element children at any nesting depth, so the
+        // closure-carrying translation is provably empty.
+        let diags = lint_query(&dtd, &view, &parse("part-id/part").unwrap());
+        assert_eq!(codes(&diags), ["SXV202"], "{diags:?}");
+    }
+
+    #[test]
+    fn recursive_view_union_redundancy_is_conservatively_skipped() {
+        // Prop. 5.1 containment assumes a DAG, so SXV203 stays silent on
+        // recursive view DTDs — even for syntactically identical arms —
+        // rather than risk a wrong "redundant" verdict.
+        let (dtd, view) = recursive_fixture();
+        let diags = lint_query(&dtd, &view, &parse("//part-id | //part-id").unwrap());
         assert!(diags.is_empty(), "{diags:?}");
     }
 }

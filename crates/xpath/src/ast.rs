@@ -32,6 +32,11 @@ pub enum Path {
     Union(Box<Path>, Box<Path>),
     /// `p[q]` — `p` filtered by qualifier `q`.
     Filter(Box<Path>, Box<Qualifier>),
+    /// `(p)*` — reflexive-transitive closure (Kleene star): zero or more
+    /// applications of `p`. This is the regular-XPath extension that lets
+    /// recursive view DTDs be rewritten without height-bounded unfolding
+    /// (Mahfoud & Imine 2011); `ε ∈ (p)*` always holds.
+    Closure(Box<Path>),
 }
 
 /// A qualifier `[q]`.
@@ -96,6 +101,16 @@ impl Path {
         }
     }
 
+    /// `(p)*` with `(∅)* ≡ (ε)* ≡ ε` (zero iterations always succeed and
+    /// stay put) and `((p)*)* ≡ (p)*` (idempotence).
+    pub fn closure(p: Path) -> Path {
+        match p {
+            Path::EmptySet | Path::Empty => Path::Empty,
+            p @ Path::Closure(_) => p,
+            p => Path::Closure(Box::new(p)),
+        }
+    }
+
     /// `p[q]`, with `∅[q] ≡ ∅`, `p[true] ≡ p` and `p[false] ≡ ∅`.
     pub fn filter(p: Path, q: Qualifier) -> Path {
         match (p, q) {
@@ -122,7 +137,7 @@ impl Path {
             | Path::Wildcard
             | Path::Text => 1,
             Path::Step(a, b) | Path::Union(a, b) => 1 + a.size() + b.size(),
-            Path::Descendant(p) => 1 + p.size(),
+            Path::Descendant(p) | Path::Closure(p) => 1 + p.size(),
             Path::Filter(p, q) => 1 + p.size() + q.size(),
         }
     }
@@ -130,7 +145,9 @@ impl Path {
     /// True iff the query contains a descendant (`//`) axis anywhere.
     pub fn has_descendant(&self) -> bool {
         match self {
-            Path::Descendant(_) => true,
+            // A closure is a recursion axis: for every analysis that asks
+            // "can this query skip levels?" it behaves like `//`.
+            Path::Descendant(_) | Path::Closure(_) => true,
             Path::Step(a, b) | Path::Union(a, b) => a.has_descendant() || b.has_descendant(),
             Path::Filter(p, q) => p.has_descendant() || q.has_descendant(),
             _ => false,
@@ -156,7 +173,7 @@ impl Path {
                 a.collect_labels(out);
                 b.collect_labels(out);
             }
-            Path::Descendant(p) => p.collect_labels(out),
+            Path::Descendant(p) | Path::Closure(p) => p.collect_labels(out),
             Path::Filter(p, q) => {
                 p.collect_labels(out);
                 q.collect_labels(out);

@@ -519,6 +519,43 @@ impl Interp<'_> {
                 );
                 return out;
             }
+            PlanOp::ClosureExpand { body } => {
+                // Reflexive-transitive closure: the abstract result is
+                // the least fixpoint of `S ↦ S ⊔ body(S)` above the
+                // input state. The lattice is finite (types and dummy
+                // labels are bounded by the schema), and the transfer is
+                // monotone, so iteration terminates. Each round
+                // re-interprets the body from the accumulated state;
+                // intermediate rounds' trace lines, findings, and op
+                // counts are discarded so the certificate records one
+                // body interpretation — the one at the fixpoint.
+                let mark = self.trace.len();
+                let mut acc = state;
+                loop {
+                    self.trace.truncate(mark);
+                    let findings_mark = self.findings.len();
+                    let ops_mark = self.ops_checked;
+                    self.trace.push(TraceLine {
+                        depth: depth + 1,
+                        detail: "body".into(),
+                        state: String::new(),
+                    });
+                    let r = self.run_pipeline(body, acc.clone(), depth + 2);
+                    let mut next = acc.clone();
+                    next.join(&r);
+                    if next == acc {
+                        break;
+                    }
+                    self.findings.truncate(findings_mark);
+                    self.ops_checked = ops_mark;
+                    acc = next;
+                }
+                self.trace.insert(
+                    mark,
+                    TraceLine { depth, detail: "closure-expand".into(), state: acc.render() },
+                );
+                return acc;
+            }
             PlanOp::ViewChild(test) => self.view_step(&state, test, false),
             PlanOp::ViewDescendant(test) => self.view_step(&state, test, true),
             PlanOp::ViewExpand { or_self } => {
@@ -940,6 +977,61 @@ mod tests {
         let cert = certify_ops(&ops, &c);
         assert!(cert.certified());
         assert_eq!(cert.emitted.dummies, BTreeSet::from(["dummy1".to_string()]));
+    }
+
+    /// Recursive bill-of-materials context: `part` contains `part`.
+    fn recursive_ctx() -> CertifyContext {
+        let edges: &[(&str, &[&str])] =
+            &[("bom", &["part"]), ("part", &["part", "name", "serial"])];
+        let mut children: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (p, kids) in edges {
+            children.insert(p.to_string(), kids.iter().map(|k| k.to_string()).collect());
+        }
+        let set =
+            |names: &[&str]| -> BTreeSet<String> { names.iter().map(|n| n.to_string()).collect() };
+        CertifyContext {
+            root: "bom".into(),
+            children,
+            text_types: set(&["name", "serial"]),
+            accessible: set(&["bom", "part", "name"]),
+            inaccessible: set(&["serial"]),
+            hideable: set(&["serial"]),
+            dummy_visible: BTreeSet::new(),
+            dummy_labels: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn closure_reaches_fixpoint_on_recursive_schema() {
+        // `(part)*/name` over the cyclic part → part production: the
+        // closure transfer iterates to a fixpoint instead of unrolling.
+        let p = plan("part/(part)*/name", PlanPolicy::ForceWalk);
+        let cert = certify(&p, &recursive_ctx());
+        assert!(cert.certified(), "{:?}", cert.findings);
+        assert_eq!(cert.emitted.types, BTreeSet::from(["name".to_string()]));
+        assert!(cert.to_text().contains("closure-expand"));
+    }
+
+    #[test]
+    fn closure_emitting_hidden_type_is_rejected() {
+        let p = plan("part/(part)*/serial", PlanPolicy::ForceWalk);
+        let cert = certify(&p, &recursive_ctx());
+        assert!(!cert.certified());
+        assert!(cert
+            .errors()
+            .any(|f| matches!(f, CertFinding::EmittedInaccessible { ty } if ty == "serial")));
+    }
+
+    #[test]
+    fn closure_probe_into_hidden_region_still_warns() {
+        // The Example 1.1 channel survives under a closure: probing
+        // `serial` deep inside the recursion without a bitmap guard.
+        let p = plan("part[(part)*/serial]", PlanPolicy::ForceWalk);
+        let cert = certify(&p, &recursive_ctx());
+        assert!(cert
+            .findings
+            .iter()
+            .any(|f| matches!(f, CertFinding::UnguardedProbe { ty, .. } if ty == "serial")));
     }
 
     #[test]

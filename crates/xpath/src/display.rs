@@ -55,6 +55,7 @@ impl fmt::Display for Path {
                 write_descendant_operand(f, p)
             }
             Path::Union(a, b) => write!(f, "{a} | {b}"),
+            Path::Closure(p) => write!(f, "({p})*"),
             Path::Filter(p, q) => {
                 write_filter_base(f, p)?;
                 write!(f, "[{q}]")
@@ -103,7 +104,9 @@ fn write_filter_base(f: &mut fmt::Formatter<'_>, p: &Path) -> fmt::Result {
         | Path::Label(_)
         | Path::Wildcard
         | Path::Text
-        | Path::Filter(..) => write!(f, "{p}"),
+        | Path::Filter(..)
+        // `(p)*[q]` reparses with the qualifier on the closure step.
+        | Path::Closure(..) => write!(f, "{p}"),
         _ => write!(f, "({p})"),
     }
 }
@@ -214,6 +217,12 @@ mod tests {
             "(clinicalTrial | .)/patientInfo",
             "a[(b or c) and d]",
             "a[b][c]",
+            "(a)*",
+            "(a/b)*/c",
+            "//(a)*",
+            "(a)*[b]",
+            "(a | b)*",
+            "a/(b[c])*/d",
         ] {
             roundtrip(src);
         }

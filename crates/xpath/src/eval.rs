@@ -270,6 +270,29 @@ fn eval_impl(
             out.union_with(eval_impl(doc, index, p2, ctx, stats));
             out
         }
+        Path::Closure(p1) => {
+            // Reflexive-transitive closure: worklist over the frontier of
+            // newly reached nodes. Terminates — the accumulator only grows
+            // and is bounded by the node count.
+            let mut acc = ctx.clone();
+            let mut frontier = ctx.clone();
+            loop {
+                let step = eval_impl(doc, index, p1, &frontier, stats);
+                let mut new = NodeSet::empty();
+                new.doc = step.doc && !acc.doc;
+                for &n in &step.nodes {
+                    if !acc.nodes.contains(&n) {
+                        new.nodes.insert(n);
+                    }
+                }
+                if new.is_empty() {
+                    break;
+                }
+                acc.union_with(new.clone());
+                frontier = new;
+            }
+            acc
+        }
         Path::Filter(p1, q) => {
             let base = eval_impl(doc, index, p1, ctx, stats);
             let nodes = base
@@ -748,6 +771,42 @@ mod tests {
         );
         assert!(expensive.qualifier_checks >= 3);
         assert_eq!(cheap.qualifier_checks, 0);
+    }
+
+    #[test]
+    fn closure_walks_recursive_nesting() {
+        // part ▷ part ▷ part: `(part)*` from the root element reaches the
+        // root itself (zero steps) and every nested part.
+        let d = parse_xml(
+            "<part><name>x</name><part><name>y</name><part><name>z</name></part></part></part>",
+        )
+        .unwrap();
+        let all = eval_at_root(&d, &parse("(part)*").unwrap());
+        assert_eq!(all.len(), 3, "root + two nested parts");
+        let names = eval_at_root(&d, &parse("(part)*/name").unwrap());
+        assert_eq!(names.len(), 3);
+        // Closure of a two-step body skips a level per iteration.
+        let every_other = eval_at_root(&d, &parse("(part/part)*").unwrap());
+        assert_eq!(every_other.len(), 2, "root and the grandchild");
+        // Closure of something absent = just the context (reflexivity).
+        let none = eval_at_root(&d, &parse("(missing)*").unwrap());
+        assert_eq!(none.len(), 1);
+        // Closure under a filter and in a qualifier.
+        let filtered = eval_at_root(&d, &parse("(part)*[name='y']").unwrap());
+        assert_eq!(filtered.len(), 1);
+        let via_qual = eval_at_root(&d, &parse(".[(part)*/name='z']").unwrap());
+        assert_eq!(via_qual.len(), 1);
+    }
+
+    #[test]
+    fn closure_matches_descendant_of_wildcard_closure() {
+        // `(*)*` ≡ `//.` over element nodes (text excluded: `*` is an
+        // element step).
+        let d = hospital();
+        let stars = eval_at_root(&d, &parse("(*)*").unwrap());
+        let descs = eval_at_root(&d, &parse("//.").unwrap());
+        let elements: Vec<_> = descs.into_iter().filter(|&n| d.is_element(n)).collect();
+        assert_eq!(stars, elements);
     }
 
     #[test]

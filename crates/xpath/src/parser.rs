@@ -3,7 +3,7 @@
 //! ```text
 //! query     := path ('|' path)*                 // union (paper's ∪)
 //! path      := ('/' | '//')? step (('/' | '//') step)*
-//! step      := primary ('[' qual ']')*
+//! step      := primary ('[' qual ']' | '*')*    // postfix '*': Kleene closure
 //! primary   := '.' | '*' | name | '(' query ')'
 //! qual      := qor
 //! qor       := qand ('or' qand)*
@@ -153,6 +153,12 @@ impl<'a> Parser<'a> {
                     return Err(self.err("expected ']'"));
                 }
                 primary = Path::filter(primary, q);
+            } else if self.peek() == Some(b'*') {
+                // Postfix Kleene star: `(p)*`. Kept raw (no smart-ctor
+                // folding) for the same display/parse faithfulness reason
+                // as unions.
+                self.pos += 1;
+                primary = Path::Closure(Box::new(primary));
             } else {
                 return Ok(primary);
             }
@@ -249,8 +255,9 @@ impl<'a> Parser<'a> {
                 self.skip_ws();
                 if self.eat(")") {
                     self.skip_ws();
-                    // Must not be followed by path continuation or '='.
-                    if !matches!(self.peek(), Some(b'/' | b'=' | b'[' | b'|')) {
+                    // Must not be followed by path continuation, '=' or
+                    // a postfix Kleene star (`[(p)*]` is a path atom).
+                    if !matches!(self.peek(), Some(b'/' | b'=' | b'[' | b'|' | b'*')) {
                         return Ok(inner);
                     }
                 }
@@ -499,6 +506,28 @@ mod tests {
         assert_eq!(parse("//text()").unwrap(), Path::descendant(Path::Text));
         // A name that merely starts with "text" stays a name.
         assert_eq!(parse("textual").unwrap(), Path::label("textual"));
+    }
+
+    #[test]
+    fn closure_postfix() {
+        assert_eq!(parse("(a)*").unwrap(), Path::Closure(Box::new(l("a"))));
+        assert_eq!(parse("a*").unwrap(), Path::Closure(Box::new(l("a"))));
+        assert_eq!(
+            parse("(a/b)*/c").unwrap(),
+            Path::step(Path::Closure(Box::new(Path::step(l("a"), l("b")))), l("c"))
+        );
+        assert_eq!(parse("x/(a)*").unwrap(), Path::step(l("x"), Path::Closure(Box::new(l("a")))));
+        // Qualifier then star and star then qualifier both parse.
+        assert_eq!(
+            parse("a[b]*").unwrap(),
+            Path::Closure(Box::new(Path::filter(l("a"), Qualifier::path(l("b")))))
+        );
+        assert_eq!(
+            parse("(a)*[b]").unwrap(),
+            Path::filter(Path::Closure(Box::new(l("a"))), Qualifier::path(l("b")))
+        );
+        // A lone `*` stays the wildcard; `a/*` is untouched.
+        assert_eq!(parse("a/*").unwrap(), Path::step(l("a"), Path::Wildcard));
     }
 
     #[test]

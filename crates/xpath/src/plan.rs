@@ -179,6 +179,15 @@ pub enum PlanOp {
     LabelFilter(AxisTest),
     /// Run each arm's sub-pipeline off the same context and merge-union.
     UnionMerge(Vec<Vec<PlanNode>>),
+    /// `(p)*` — reflexive-transitive closure of the body pipeline,
+    /// executed natively with a worklist: the body runs from the frontier
+    /// of newly reached nodes only, accumulating into a visited set until
+    /// no new node appears. This is what serves recursive view DTDs
+    /// without height-bounded unfolding.
+    ClosureExpand {
+        /// The pipeline applied per closure iteration.
+        body: Vec<PlanNode>,
+    },
     /// Keep context nodes satisfying a compiled qualifier.
     QualifierProbe(QualPlan),
     /// Keep context nodes set in an [`AccessView`] bitmap (word-parallel
@@ -240,6 +249,7 @@ impl PlanOp {
             PlanOp::DescendantExpand { .. } => "descendant-expand",
             PlanOp::LabelFilter(_) => "label-filter",
             PlanOp::UnionMerge(_) => "union-merge",
+            PlanOp::ClosureExpand { .. } => "closure-expand",
             PlanOp::QualifierProbe(_) => "qualifier-probe",
             PlanOp::BitmapFilter(_) => "bitmap-filter",
             PlanOp::ViewChild(_) => "view-child",
@@ -436,7 +446,27 @@ fn lower(
             out.push(PlanNode { op: PlanOp::QualifierProbe(qp), est_rows: clamp_est(est, cost) });
             est
         }
+        Path::Closure(inner) => {
+            let mut body = Vec::new();
+            let e_body = lower(inner, est_in, policy, cost, &mut body);
+            let est = closure_est(est_in, e_body, cost);
+            out.push(PlanNode {
+                op: PlanOp::ClosureExpand { body },
+                est_rows: clamp_est(est, cost),
+            });
+            est
+        }
     }
+}
+
+/// Assumed closure iteration budget for cardinality estimates — the
+/// planner cannot know recursion depth statically, so it prices a few
+/// rounds of body growth, capped at the document size (the true fixpoint
+/// bound).
+const CLOSURE_ROUNDS: f64 = 4.0;
+
+fn closure_est(est_in: f64, e_body: f64, cost: &CostModel) -> f64 {
+    (est_in + e_body * CLOSURE_ROUNDS).min(cost.nodes()).max(est_in)
 }
 
 /// `//inner`: axis heads become interval slices (or expand + filter for
@@ -650,6 +680,20 @@ fn lower_annotate(
             let est = base * selectivity(&qp);
             out.push(PlanNode { op: PlanOp::QualifierProbe(qp), est_rows: clamp_est(est, cost) });
             (est, seed)
+        }
+        Path::Closure(inner) => {
+            // After one iteration the context is arbitrary, so the body
+            // lowers off-seed: closure steps navigate the view CSR
+            // (view-child / view-descendant), never the fused document
+            // slice.
+            let mut body = Vec::new();
+            let (e_body, _) = lower_annotate(inner, est_in, false, policy, cost, &mut body);
+            let est = closure_est(est_in, e_body, cost);
+            out.push(PlanNode {
+                op: PlanOp::ClosureExpand { body },
+                est_rows: clamp_est(est, cost),
+            });
+            (est, false)
         }
     }
 }
@@ -1056,6 +1100,32 @@ fn run_op(ex: Exec, op: &PlanOp, ctx: &ExecSet, stats: &mut EvalStats) -> ExecSe
                 out.union_with(run_ops(ex, arm, ctx.clone(), stats), stats);
             }
             out
+        }
+        PlanOp::ClosureExpand { body } => {
+            // Worklist fixpoint: the body runs from the frontier of newly
+            // reached nodes only; the accumulator grows monotonically and
+            // is bounded by the document, so this terminates.
+            let mut acc = ctx.clone();
+            acc.make_sorted();
+            let mut frontier = acc.clone();
+            loop {
+                let mut step = run_ops(ex, body, frontier, stats);
+                step.make_sorted();
+                let new_doc = step.doc && !acc.doc;
+                let new_ids: Vec<NodeId> = step
+                    .ids()
+                    .iter()
+                    .copied()
+                    .filter(|v| acc.ids().binary_search(v).is_err())
+                    .collect();
+                if !new_doc && new_ids.is_empty() {
+                    break;
+                }
+                let new = ExecSet { doc: new_doc, rows: Rows::Sorted(new_ids) };
+                acc.union_with(new.clone(), stats);
+                frontier = new;
+            }
+            acc
         }
         PlanOp::QualifierProbe(q) => {
             let doc_kept = ctx.doc && qual_probe(ex, q, &ExecSet::document(), stats);
@@ -1603,6 +1673,8 @@ fn exists_ops(ex: Exec, ops: &[PlanNode], ctx: &ExecSet, stats: &mut EvalStats) 
             }
         }
         PlanOp::UnionMerge(arms) => arms.iter().any(|arm| exists_ops(ex, arm, &mid, stats)),
+        // Reflexive: the (non-empty) mid context itself is in the closure.
+        PlanOp::ClosureExpand { .. } => true,
         PlanOp::QualifierProbe(q) => {
             (mid.doc && stats.counted_check(|s| qual_probe(ex, q, &ExecSet::document(), s)))
                 || mid
@@ -1664,6 +1736,8 @@ pub struct PlanSummary {
     pub label_filter: u32,
     /// `union-merge` operators.
     pub union_merge: u32,
+    /// `closure-expand` operators (recursive-view plans).
+    pub closure_expand: u32,
     /// `qualifier-probe` operators (counting nested qualifiers).
     pub qualifier_probe: u32,
     /// `bitmap-filter` operators (annotation plans).
@@ -1687,6 +1761,7 @@ impl PlanSummary {
             + self.descendant_expand
             + self.label_filter
             + self.union_merge
+            + self.closure_expand
             + self.qualifier_probe
             + self.bitmap_filter
             + self.view_child
@@ -1704,6 +1779,7 @@ impl PlanSummary {
             ("expand", self.descendant_expand),
             ("filter", self.label_filter),
             ("union", self.union_merge),
+            ("closure", self.closure_expand),
             ("qual", self.qualifier_probe),
             ("bitmap", self.bitmap_filter),
             ("vchild", self.view_child),
@@ -1740,6 +1816,10 @@ fn count_ops(ops: &[PlanNode], s: &mut PlanSummary) {
                 for arm in arms {
                     count_ops(arm, s);
                 }
+            }
+            PlanOp::ClosureExpand { body } => {
+                s.closure_expand += 1;
+                count_ops(body, s);
             }
             PlanOp::QualifierProbe(q) => {
                 s.qualifier_probe += 1;
@@ -1819,6 +1899,10 @@ fn render_ops(ops: &[PlanNode], depth: usize, out: &mut String) {
                     render_ops(arm, depth + 2, out);
                 }
             }
+            PlanOp::ClosureExpand { body } => {
+                let _ = writeln!(out, "{pad}  body:");
+                render_ops(body, depth + 2, out);
+            }
             PlanOp::QualifierProbe(q) => render_qual(q, depth + 1, out),
             _ => {}
         }
@@ -1896,6 +1980,10 @@ fn render_ops_json(ops: &[PlanNode], out: &mut String) {
                     render_ops_json(arm, out);
                 }
                 out.push(']');
+            }
+            PlanOp::ClosureExpand { body } => {
+                out.push_str(", \"body\": ");
+                render_ops_json(body, out);
             }
             PlanOp::QualifierProbe(q) => {
                 out.push_str(", \"qual\": ");

@@ -21,6 +21,7 @@ pub fn simplify(p: &Path) -> Path {
         }
         Path::Step(a, b) => Path::step(simplify(a), simplify(b)),
         Path::Descendant(inner) => Path::descendant(simplify(inner)),
+        Path::Closure(inner) => Path::closure(simplify(inner)),
         Path::Union(..) => {
             let mut arms = Vec::new();
             collect_union(p, &mut arms);

@@ -33,7 +33,7 @@ fn visit_path<'a>(p: &'a Path, out: &mut Vec<SubExpr<'a>>) {
             visit_path(a, out);
             visit_path(b, out);
         }
-        Path::Descendant(inner) => visit_path(inner, out),
+        Path::Descendant(inner) | Path::Closure(inner) => visit_path(inner, out),
         Path::Filter(base, q) => {
             visit_path(base, out);
             visit_qual(q, out);

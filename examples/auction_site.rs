@@ -68,6 +68,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show a translated query: the rewriting bakes the policy in.
     let p = parse_xpath("//bid/*")?;
-    println!("\n//bid/*  rewrites to  {}", engine.translate(&p, Approach::Rewrite, doc.height())?);
+    println!("\n//bid/*  rewrites to  {}", engine.translate(&p, Approach::Rewrite)?);
     Ok(())
 }

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", registry.exposed_view_dtd(group)?);
         for q in ["//patient/name", "//test", "//bill"] {
             let p = parse_xpath(q)?;
-            let translated = registry.translate(group, &p, doc.height())?;
+            let translated = registry.translate(group, &p)?;
             let answer = registry.answer(group, &doc, &p)?;
             let values: Vec<String> = answer.iter().map(|&n| doc.string_value(n)).collect();
             println!("  {q}  →  {translated}");

@@ -1,11 +1,13 @@
-//! Recursive security views (§4.2): rewriting `//` over a cyclic view DTD
-//! by unfolding to the concrete document's height.
+//! Recursive security views: rewriting `//` over a cyclic view DTD
+//! directly into Kleene-closure expressions — no document height
+//! anywhere. The §4.2 height-bounded unfolding survives as a
+//! differential-testing oracle and is cross-checked at the end.
 //!
 //! ```text
 //! cargo run --example recursive_views
 //! ```
 
-use secure_xml_views::core::{materialize, rewrite, rewrite_with_height, Error};
+use secure_xml_views::core::{materialize, rewrite, rewrite_with_height, SecureEngine};
 use secure_xml_views::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,31 +40,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          </replies></message></thread>",
     )?;
 
-    // Direct rewriting refuses: `//` over a cyclic view DTD would need
-    // infinitely many paths (Fig. 7(b) argument).
+    // The cycle is no obstacle: state elimination over the cyclic view
+    // graph turns `//author` into a closed-form closure expression that
+    // reaches authors at *every* nesting depth of *any* document.
     let p = parse_xpath("//author")?;
-    match rewrite(&view, &p) {
-        Err(Error::RecursiveView) => println!("direct rewrite: RecursiveView (as §4.2 predicts)"),
-        other => panic!("expected RecursiveView, got {other:?}"),
-    }
-
-    // Unfolding to the document height makes it work.
-    let translated = rewrite_with_height(&view, &p, doc.height())?;
-    println!("\n//author unfolded to height {}:\n  {translated}", doc.height());
+    let translated = rewrite(&view, &p)?;
+    println!("//author translated directly (no height):\n  {translated}");
     let authors = secure_xml_views::xpath::eval_at_root(&doc, &translated);
     let names: Vec<String> = authors.iter().map(|&n| doc.string_value(n)).collect();
     println!("authors at every nesting level: {names:?}");
     assert_eq!(names, ["ann", "bob", "cat"]);
 
     // Moderation notes are invisible at every depth.
-    let blocked = rewrite_with_height(&view, &parse_xpath("//moderation")?, doc.height())?;
+    let blocked = rewrite(&view, &parse_xpath("//moderation")?)?;
     assert!(secure_xml_views::xpath::eval_at_root(&doc, &blocked).is_empty());
     println!("//moderation rewrites to a query with no matches: {blocked}");
 
-    // Cross-check against the materialized view semantics.
+    // The serving engine compiles the closure into one cached plan; the
+    // same entry would serve a thread nested a thousand replies deep.
+    let engine = SecureEngine::new(&spec, &view);
+    assert_eq!(engine.answer(&doc, &p)?, authors);
+
+    // Cross-check 1: the §4.2 unfolding oracle, given a sufficient
+    // height, must agree with the direct closure translation.
+    let unfolded = rewrite_with_height(&view, &p, doc.height())?;
+    assert_eq!(
+        secure_xml_views::xpath::eval_at_root(&doc, &unfolded),
+        authors,
+        "closure ≡ unfolding oracle"
+    );
+    println!("\nunfolding oracle at height {} agrees exactly.", doc.height());
+
+    // Cross-check 2: the materialized view semantics.
     let m = materialize(&spec, &view, &doc)?;
     let over_view = secure_xml_views::xpath::eval_at_root(&m.doc, &p);
     assert_eq!(m.sources_of(&over_view), authors, "rewrite ≡ view semantics");
-    println!("\nrewrite answers match the materialized view exactly.");
+    println!("rewrite answers match the materialized view exactly.");
     Ok(())
 }

@@ -65,6 +65,19 @@ check 0 "assets/auction_bidder.spec plans certify" \
   --query '//closed-auction/final-price' \
   --query '//category/cat-name'
 
+echo "== recursive BOM contractor policy (closure plans) =="
+# The contractor view keeps the part -> subpart -> part cycle, so these
+# queries translate into Kleene-closure expressions and compile to
+# ClosureExpand plans; the certifier's fixpoint transfer must certify
+# every one of them (no height-bounded unfolding anywhere).
+check 0 "assets/bom_contractor.spec recursive plans certify" \
+  --dtd assets/bom.dtd --root bom \
+  --spec assets/bom_contractor.spec \
+  --query '//partno' \
+  --query '//part/name' \
+  --query 'assembly/part/subpart//partno' \
+  --query '//part[name]/partno'
+
 echo "== seeded leak: the certifier must refuse these plans =="
 check 2 "examples/lint/leaky.view plans are uncertified (SXV301/SXV303)" \
   --dtd examples/lint/leaky.dtd --root record \

@@ -262,15 +262,15 @@ fn cmd_rewrite(opts: &Options) -> Result<(), String> {
     let spec = load_spec(opts, &dtd)?;
     let query = parse_xpath(opts.require("query")?).map_err(|e| e.to_string())?;
     let view = derive_view(&spec).map_err(|e| e.to_string())?;
-    let translated = if view.is_recursive() {
-        let height: usize = opts
-            .get("height")
-            .ok_or("recursive view: pass --height (the document height, §4.2)")?
-            .parse()
-            .map_err(|e| format!("--height: {e}"))?;
-        rewrite_with_height(&view, &query, height).map_err(|e| e.to_string())?
-    } else {
-        rewrite(&view, &query).map_err(|e| e.to_string())?
+    // Recursive views rewrite directly to Kleene-closure expressions;
+    // `--height` opts into the §4.2 unfolding oracle instead (kept for
+    // differential testing against the closure translation).
+    let translated = match opts.get("height") {
+        Some(v) => {
+            let height: usize = v.parse().map_err(|e| format!("--height: {e}"))?;
+            rewrite_with_height(&view, &query, height).map_err(|e| e.to_string())?
+        }
+        None => rewrite(&view, &query).map_err(|e| e.to_string())?,
     };
     if opts.has("no-optimize") {
         println!("{translated}");
@@ -553,11 +553,6 @@ fn cmd_explain(opts: &Options) -> Result<ExitCode, String> {
         Some(_) => Some(load_doc(opts)?),
         None => None,
     };
-    let height: usize = match (opts.get("height"), &doc) {
-        (Some(v), _) => v.parse().map_err(|e| format!("--height: {e}"))?,
-        (None, Some(d)) => d.height(),
-        (None, None) => 0,
-    };
     let cost = match &doc {
         Some(d) => {
             let idx =
@@ -568,7 +563,7 @@ fn cmd_explain(opts: &Options) -> Result<ExitCode, String> {
     };
     let view = derive_view(&spec).map_err(|e| e.to_string())?;
     let engine = SecureEngine::new(&spec, &view);
-    let translated = engine.translate(&query, approach, height).map_err(|e| e.to_string())?;
+    let translated = engine.translate(&query, approach).map_err(|e| e.to_string())?;
     let plan = match approach {
         // Annotate serves the view query itself through access-filtered
         // view operators; there is no document-side translation to plan.
@@ -673,10 +668,10 @@ fn cmd_lint(opts: &Options) -> Result<ExitCode, String> {
                     let query = parse_xpath(text).map_err(|e| format!("--query {text:?}: {e}"))?;
                     for (approach, approach_name) in approaches {
                         for policy in PlanPolicy::ALL {
-                            let (planned, _) = engine.plan_certified(&query, approach, 0, policy);
-                            // Translation failures (unknown names, recursive
-                            // views without a height) already surface through
-                            // the SXV2xx query lints or `sxv rewrite`.
+                            let (planned, _) = engine.plan_certified(&query, approach, policy);
+                            // Translation failures (unknown names) already
+                            // surface through the SXV2xx query lints or
+                            // `sxv rewrite`.
                             let Ok(planned) = planned else { continue };
                             let label = format!("{text} ({approach_name}, {policy})");
                             diags.extend(lint_plan(

@@ -22,19 +22,16 @@ const TABLE1: [(&str, &str); 4] = [
     ("q4", "//real-estate[//r-e.asking-price and //r-e.unit-type]"),
 ];
 
-fn explain(query: &str, extra: &[&str]) -> String {
+/// Queries over the recursive BOM contractor view (kept in sync with
+/// `sxv_bench::BOM_QUERIES`): the part → subpart → part cycle makes the
+/// view recursive, so these translate into Kleene-closure expressions
+/// and compile to closure-expand operators.
+const BOM: [(&str, &str); 3] =
+    [("b1", "//partno"), ("b2", "//part/name"), ("b3", "assembly/part/subpart//partno")];
+
+fn explain_policy(dtd: &str, root: &str, spec: &str, query: &str, extra: &[&str]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_sxv"))
-        .args([
-            "explain",
-            "--dtd",
-            "assets/adex.dtd",
-            "--root",
-            "adex",
-            "--spec",
-            "assets/adex_section6.spec",
-            "--query",
-            query,
-        ])
+        .args(["explain", "--dtd", dtd, "--root", root, "--spec", spec, "--query", query])
         .args(extra)
         .output()
         .expect("binary runs");
@@ -44,6 +41,14 @@ fn explain(query: &str, extra: &[&str]) -> String {
         String::from_utf8_lossy(&out.stderr)
     );
     String::from_utf8(out.stdout).expect("utf-8 plan dump")
+}
+
+fn explain(query: &str, extra: &[&str]) -> String {
+    explain_policy("assets/adex.dtd", "adex", "assets/adex_section6.spec", query, extra)
+}
+
+fn explain_bom(query: &str, extra: &[&str]) -> String {
+    explain_policy("assets/bom.dtd", "bom", "assets/bom_contractor.spec", query, extra)
 }
 
 fn check_snapshot(name: &str, got: &str) {
@@ -135,4 +140,41 @@ fn q2_annotate_json_plan_matches_snapshot() {
         "explain_q2_annotate.json",
         &explain(TABLE1[1].1, &["--approach", "annotate", "--format", "json"]),
     );
+}
+
+#[test]
+fn bom_recursive_text_plans_match_snapshots() {
+    // The recursive contractor view serves every query through the
+    // direct closure translation — these pin the `(…)*` expression
+    // rendering and the closure-expand operator in the plan dump.
+    for (name, query) in BOM {
+        check_snapshot(&format!("explain_{name}.txt"), &explain_bom(query, &[]));
+    }
+}
+
+#[test]
+fn bom_recursive_rewrite_plans_match_snapshots() {
+    // The un-optimized rewrite keeps the raw Kleene elimination output.
+    for (name, query) in BOM {
+        check_snapshot(
+            &format!("explain_{name}_rewrite.txt"),
+            &explain_bom(query, &["--approach", "rewrite"]),
+        );
+    }
+}
+
+#[test]
+fn b1_rewrite_verify_trace_matches_snapshot() {
+    // `--verify` on a closure plan pins the certifier's fixpoint
+    // transfer rendering: the closure-expand trace line shows the
+    // saturated abstract state, not a height-bounded unfolding.
+    check_snapshot(
+        "explain_b1_rewrite_verify.txt",
+        &explain_bom(BOM[0].1, &["--approach", "rewrite", "--verify"]),
+    );
+}
+
+#[test]
+fn b1_json_plan_matches_snapshot() {
+    check_snapshot("explain_b1.json", &explain_bom(BOM[0].1, &["--format", "json"]));
 }

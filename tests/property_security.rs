@@ -371,7 +371,7 @@ proptest! {
         let hideable = &engine.certify_context().hideable;
         for approach in [Approach::Rewrite, Approach::Optimize, Approach::Annotate] {
             for policy in PlanPolicy::ALL {
-                let (planned, _) = engine.plan_certified(&p, approach, doc.height(), policy);
+                let (planned, _) = engine.plan_certified(&p, approach, policy);
                 let Ok(planned) = planned else { continue };
                 prop_assert!(
                     planned.cert.certified(),
@@ -466,6 +466,101 @@ proptest! {
             eval_at_root(&doc, &o),
             "query {} optimized to {}", p, o
         );
+    }
+
+    /// Recursive views served *without* unfolding: for random recursive
+    /// specs and documents nesting deeper than any fixed unfold height,
+    /// the direct Kleene-closure translation agrees with the
+    /// height-bounded §4.2 unfolding oracle and the materialization
+    /// oracle — and the serving engine returns the same answer under
+    /// every approach (rewrite/optimize/annotate) × plan policy
+    /// (walk/join/auto), all through the height-free plan cache.
+    #[test]
+    fn closure_matches_unfolding(
+        seed in 0u64..300,
+        depth in 8usize..16,
+        serial_denied in proptest::bool::ANY,
+        cond in proptest::option::of(0u8..2),
+        shape in 0usize..5,
+    ) {
+        use secure_xml_views::core::rewrite_with_height;
+        let dtd = parse_dtd(
+            "<!ELEMENT part (part-id, serial, sub-parts)>\
+             <!ELEMENT sub-parts (part*)>\
+             <!ELEMENT part-id (#PCDATA)>\
+             <!ELEMENT serial (#PCDATA)>",
+            "part",
+        )
+        .unwrap();
+        let mut builder = AccessSpec::builder(&dtd);
+        if serial_denied {
+            builder = builder.deny("part", "serial");
+        }
+        if let Some(c) = cond {
+            let v = if c == 0 { "p1" } else { "p2" };
+            builder = builder
+                .cond_str("sub-parts", "part", &format!("part-id='{v}'"))
+                .expect("valid qualifier");
+        }
+        let spec = builder.build().unwrap();
+        let view = derive_view(&spec).unwrap();
+        prop_assume!(view.is_recursive());
+        let config = GenConfig::seeded(seed)
+            .with_max_branch(2)
+            .with_min_branch(1)
+            .with_max_depth(depth)
+            .with_values("part-id", ["p1", "p2"]);
+        let doc = Generator::for_dtd(&dtd, config).generate().unwrap();
+        prop_assume!(doc.height() >= 6);
+        let Ok(m) = materialize(&spec, &view, &doc) else { return Ok(()) };
+        let p = match shape {
+            0 => Path::descendant(Path::label("part")),
+            1 => Path::descendant(Path::label("part-id")),
+            2 => Path::step(Path::descendant(Path::label("part")), Path::label("part-id")),
+            3 => Path::step(
+                Path::descendant(Path::label("sub-parts")),
+                Path::descendant(Path::label("part-id")),
+            ),
+            _ => Path::step(
+                Path::filter(
+                    Path::descendant(Path::label("part")),
+                    Qualifier::Eq(Path::label("part-id"), "p1".to_string()),
+                ),
+                Path::label("part-id"),
+            ),
+        };
+        let mut over_view = m.sources_of(&eval_at_root(&m.doc, &p));
+        over_view.sort();
+        over_view.dedup();
+        // The direct closure translation — no height anywhere.
+        let direct = rewrite(&view, &p).unwrap();
+        prop_assert_eq!(&over_view, &eval_at_root(&doc, &direct), "direct {} for {}", &direct, &p);
+        let optimized = optimize(spec.dtd(), &direct).unwrap();
+        prop_assert_eq!(
+            &over_view, &eval_at_root(&doc, &optimized),
+            "optimized {} for {}", &optimized, &p
+        );
+        // The §4.2 unfolding oracle, given a height sufficient for this
+        // document (the serving path never needs one).
+        let unfolded = rewrite_with_height(&view, &p, doc.height()).unwrap();
+        prop_assert_eq!(
+            &over_view, &eval_at_root(&doc, &unfolded),
+            "unfolded {} for {}", &unfolded, &p
+        );
+        // The serving engine, across every approach × plan policy.
+        let engine = SecureEngine::new(&spec, &view);
+        let index = DocIndex::new(&doc);
+        for approach in [Approach::Rewrite, Approach::Optimize, Approach::Annotate] {
+            for policy in PlanPolicy::ALL {
+                let (ans, _) = engine
+                    .answer_report_policy(&doc, index.as_ref(), &p, approach, policy)
+                    .unwrap();
+                prop_assert_eq!(
+                    &over_view, &ans,
+                    "{:?}/{:?} diverged for {}", approach, policy, &p
+                );
+            }
+        }
     }
 }
 
