@@ -11,18 +11,19 @@ use crate::annotate::build_access_view;
 use crate::error::{Error, Result};
 use crate::naive::NaiveBaseline;
 use crate::optimize::optimize;
-use crate::plancost::dtd_cost_model;
+use crate::plancost::{calibrate, dtd_cost_model};
 use crate::rewrite::rewrite;
 use crate::spec::AccessSpec;
 use crate::view::def::SecurityView;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sxv_xml::{DocId, DocIndex, Document, NodeId};
 use sxv_xpath::{
-    certify, compile, compile_annotate, simplify, AccessView, Backend, CertifyContext,
-    CompiledQuery, CostModel, EvalStats, Path, PlanCertificate, PlanPolicy, PlanSummary,
+    certify, compile, compile_annotate, simplify, AccessView, AxisTest, Backend, CertifyContext,
+    CompiledQuery, CostModel, EvalStats, Path, PlanCertificate, PlanNode, PlanOp, PlanPolicy,
+    PlanSummary,
 };
 
 /// Query evaluation strategy (the three columns of Table 1, plus the
@@ -73,16 +74,36 @@ fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Runtime feedback slot shared by every clone of a cached plan: a
+/// one-shot latch deciding which execution of an `Auto` plan runs
+/// profiled (recording observed per-operator cardinalities). The
+/// recompile decision happens inside that same call, so the latch is
+/// the only cross-call state needed.
+#[derive(Debug, Default)]
+pub struct PlanFeedback {
+    profiled: AtomicBool,
+}
+
+impl PlanFeedback {
+    /// A feedback slot that is already latched — used for recompiled
+    /// plans, which must not profile (and potentially recompile) again.
+    fn latched() -> PlanFeedback {
+        PlanFeedback { profiled: AtomicBool::new(true) }
+    }
+}
+
 /// A compiled plan paired with the static certificate the engine
 /// produced for it at compile time (see [`sxv_xpath::certify`]). Both
 /// halves are `Arc`-shared, so cloning a `Planned` out of the cache is
-/// two refcount bumps.
+/// a few refcount bumps.
 #[derive(Debug, Clone)]
 pub struct Planned {
     /// The compiled, executable plan.
     pub plan: Arc<CompiledQuery>,
     /// The plan's static certificate (checked once, cached alongside).
     pub cert: Arc<PlanCertificate>,
+    /// Adaptive-execution feedback shared across cache clones.
+    pub feedback: Arc<PlanFeedback>,
 }
 
 /// One cache shard: planning outcome plus its atomic LRU tick, per key.
@@ -111,6 +132,10 @@ struct PlanCache {
     plans_compiled: AtomicU64,
     /// Plans put through the static certifier (one per compile).
     plans_certified: AtomicU64,
+    /// Adaptive recompiles: cached `Auto` plans replaced after observed
+    /// cardinalities diverged from the static estimates (never counted
+    /// in `plans_compiled`, which stays the compile-once proof).
+    plans_recompiled: AtomicU64,
     /// Certificates with error findings (the plan would emit data that
     /// is not provably accessible; `--verify` refuses to serve these).
     certify_failures: AtomicU64,
@@ -135,6 +160,7 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             plans_compiled: AtomicU64::new(0),
             plans_certified: AtomicU64::new(0),
+            plans_recompiled: AtomicU64::new(0),
             certify_failures: AtomicU64::new(0),
             certify_micros: AtomicU64::new(0),
         }
@@ -186,10 +212,40 @@ impl PlanCache {
             entries: self.shards.iter().map(|s| read_recover(s).len()).sum(),
             plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
             plans_certified: self.plans_certified.load(Ordering::Relaxed),
+            plans_recompiled: self.plans_recompiled.load(Ordering::Relaxed),
             certify_failures: self.certify_failures.load(Ordering::Relaxed),
             certify_micros: self.certify_micros.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Divergence ratio that triggers an adaptive recompile: an operator's
+/// observed output must be ≥8x above (or below) its planned `est_rows`.
+const ADAPT_RATIO: u64 = 8;
+
+/// Magnitude floor for the divergence test: tiny absolute counts (a
+/// 0-vs-8-row miss on a toy document) never earn a recompile — the
+/// recompile would cost more than every future execution combined.
+const ADAPT_MIN_ROWS: u64 = 64;
+
+/// Observed per-label cardinalities harvested from a profiled
+/// execution: descendant scans (fused or not) report how many
+/// `label`-elements actually streamed out, which calibrates the cost
+/// model's per-label table. Child steps are skipped — their counts are
+/// context-local and would poison the global label statistics.
+fn label_observations(ops: &[PlanNode], observed: &[u64]) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (node, &obs) in ops.iter().zip(observed) {
+        let axis = match &node.op {
+            PlanOp::DescendantSlice(a) => Some(a),
+            PlanOp::Fused(f) if f.filter.is_none() && f.qual.is_none() => Some(&f.axis),
+            _ => None,
+        };
+        if let Some(AxisTest::Label(l)) = axis {
+            out.push((l.clone(), obs));
+        }
+    }
+    out
 }
 
 /// Most accessibility artifacts kept resident at once; an engine rarely
@@ -246,6 +302,9 @@ pub struct CacheStats {
     /// Plans put through the static certifier (one per compile; flat on
     /// cache hits — the certificate is cached with the plan).
     pub plans_certified: u64,
+    /// Adaptive recompiles of cached `Auto` plans after observed
+    /// cardinalities diverged >8x from the static estimates.
+    pub plans_recompiled: u64,
     /// Certificates with error findings. Under `--verify` these plans
     /// are refused; otherwise they still serve (runtime enforcement
     /// keeps the answer safe) and this counter is the audit trail.
@@ -497,19 +556,26 @@ impl<'a> SecureEngine<'a> {
             };
             // Certify once per compile; the certificate rides in the
             // cache entry so hits pay nothing.
-            let started = std::time::Instant::now();
-            let cert = Arc::new(certify(&plan, &self.certctx));
-            self.cache
-                .certify_micros
-                .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
-            self.cache.plans_certified.fetch_add(1, Ordering::Relaxed);
-            if !cert.certified() {
-                self.cache.certify_failures.fetch_add(1, Ordering::Relaxed);
-            }
-            Planned { plan, cert }
+            let cert = self.certify_counted(&plan);
+            Planned { plan, cert, feedback: Arc::new(PlanFeedback::default()) }
         });
         self.cache.insert(key, planned.clone());
         (planned, false)
+    }
+
+    /// Run the static certifier over a freshly compiled plan, keeping
+    /// the certification counters (time, count, failures) accurate.
+    fn certify_counted(&self, plan: &CompiledQuery) -> Arc<PlanCertificate> {
+        let started = std::time::Instant::now();
+        let cert = Arc::new(certify(plan, &self.certctx));
+        self.cache
+            .certify_micros
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.cache.plans_certified.fetch_add(1, Ordering::Relaxed);
+        if !cert.certified() {
+            self.cache.certify_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        cert
     }
 
     fn translate_uncached(&self, p: &Path, approach: Approach) -> Result<Path> {
@@ -623,16 +689,40 @@ impl<'a> SecureEngine<'a> {
             });
         }
         let plan = &planned.plan;
-        let (answer, eval) = match approach {
-            Approach::Naive => {
-                let annotated = self.naive_annotated(doc);
-                plan.execute(&annotated, None)
+        // Adaptive Auto: exactly one execution per cached plan runs
+        // profiled (a one-shot latch shared across cache clones),
+        // recording observed per-operator cardinalities. When they
+        // diverge far enough from the plancost estimates, the plan is
+        // recompiled against calibrated statistics and the cache entry
+        // replaced — this call still answers from the profiled run.
+        let adaptive =
+            policy == PlanPolicy::Auto && !planned.feedback.profiled.swap(true, Ordering::Relaxed);
+        let (answer, eval) = if adaptive {
+            let (answer, eval, observed) = match approach {
+                Approach::Naive => {
+                    let annotated = self.naive_annotated(doc);
+                    plan.execute_profiled(&annotated, None, None)
+                }
+                Approach::Annotate => {
+                    let access = self.access_view(doc, index);
+                    plan.execute_profiled(doc, index, Some(&access))
+                }
+                _ => plan.execute_profiled(doc, index, None),
+            };
+            self.maybe_recompile(p, approach, policy, plan, &observed);
+            (answer, eval)
+        } else {
+            match approach {
+                Approach::Naive => {
+                    let annotated = self.naive_annotated(doc);
+                    plan.execute(&annotated, None)
+                }
+                Approach::Annotate => {
+                    let access = self.access_view(doc, index);
+                    plan.execute_with_access(doc, index, Some(&access))
+                }
+                _ => plan.execute(doc, index),
             }
-            Approach::Annotate => {
-                let access = self.access_view(doc, index);
-                plan.execute_with_access(doc, index, Some(&access))
-            }
-            _ => plan.execute(doc, index),
         };
         Ok((
             answer,
@@ -645,6 +735,42 @@ impl<'a> SecureEngine<'a> {
                 certified,
             },
         ))
+    }
+
+    /// Decide whether a profiled `Auto` execution earned a recompile,
+    /// and perform it: any operator whose observed output diverges from
+    /// its `est_rows` by ≥ [`ADAPT_RATIO`] — and is large enough in
+    /// magnitude ([`ADAPT_MIN_ROWS`]) for the divergence to matter —
+    /// triggers one recompile against a cost model calibrated with the
+    /// observed per-label cardinalities. The replacement enters the
+    /// cache pre-latched, so it never profiles (or recompiles) again.
+    fn maybe_recompile(
+        &self,
+        p: &Path,
+        approach: Approach,
+        policy: PlanPolicy,
+        plan: &CompiledQuery,
+        observed: &[u64],
+    ) {
+        let diverged = plan.ops.iter().zip(observed).any(|(node, &obs)| {
+            let est = node.est_rows.max(1);
+            let (lo, hi) = if obs < est { (obs.max(1), est) } else { (est, obs.max(1)) };
+            hi >= ADAPT_RATIO * lo && hi >= ADAPT_MIN_ROWS
+        });
+        if !diverged {
+            return;
+        }
+        let calibrated = calibrate(&self.cost, label_observations(&plan.ops, observed));
+        let recompiled = if approach == Approach::Annotate {
+            Arc::new(compile_annotate(&plan.translated, policy, &calibrated))
+        } else {
+            Arc::new(compile(&plan.translated, policy, &calibrated))
+        };
+        let cert = self.certify_counted(&recompiled);
+        self.cache.plans_recompiled.fetch_add(1, Ordering::Relaxed);
+        let planned =
+            Planned { plan: recompiled, cert, feedback: Arc::new(PlanFeedback::latched()) };
+        self.cache.insert(CacheKey { query: simplify(p), approach, policy }, Ok(planned));
     }
 
     /// Answer a batch of view queries concurrently over one shared
@@ -1070,6 +1196,66 @@ mod tests {
         engine.answer_with(&doc, &p, Approach::Rewrite).unwrap();
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
+    }
+
+    #[test]
+    fn auto_policy_recompiles_once_on_cardinality_divergence() {
+        let (spec, view, _) = setup();
+        // A document far wider than the DTD-derived estimates: hundreds
+        // of patients where plancost expects ~32, so the profiled first
+        // execution sees a >8x divergence above the magnitude floor.
+        let mut src = String::from(
+            "<hospital><dept><clinicalTrial><patientInfo/><test>t</test></clinicalTrial><patientInfo>",
+        );
+        for i in 0..300 {
+            src.push_str(&format!(
+                "<patient><name>p{i}</name><wardNo>6</wardNo><treatment><regular>\
+                 <bill>1</bill><medication>m</medication></regular></treatment></patient>"
+            ));
+        }
+        src.push_str("</patientInfo><staffInfo/></dept></hospital>");
+        let doc = parse_xml(&src).unwrap();
+        let index = DocIndex::new(&doc).unwrap();
+        let engine = SecureEngine::new(&spec, &view);
+        let p = parse("//patient").unwrap();
+        let (first, report) = engine
+            .answer_report_policy(&doc, Some(&index), &p, Approach::Annotate, PlanPolicy::Auto)
+            .unwrap();
+        assert_eq!(first.len(), 300);
+        assert!(!report.cache_hit);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.plans_compiled, 1, "recompiles never count as compiles");
+        assert_eq!(stats.plans_recompiled, 1, "first Auto execution profiles and recompiles");
+        assert_eq!(stats.plans_certified, 2, "the replacement plan is re-certified");
+        // The replacement serves from the cache and never re-profiles.
+        let (second, report2) = engine
+            .answer_report_policy(&doc, Some(&index), &p, Approach::Annotate, PlanPolicy::Auto)
+            .unwrap();
+        assert_eq!(first, second);
+        assert!(report2.cache_hit);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.plans_compiled, stats.plans_recompiled), (1, 1));
+    }
+
+    #[test]
+    fn auto_policy_skips_recompile_on_small_documents() {
+        // The magnitude floor: toy cardinalities diverge by ratio all
+        // the time (0 observed vs 8 estimated), but a recompile there
+        // costs more than every future execution combined.
+        let (spec, view, doc) = setup();
+        let index = DocIndex::new(&doc).unwrap();
+        let engine = SecureEngine::new(&spec, &view);
+        for q in ["//patient/name", "//bill", "//name"] {
+            let p = parse(q).unwrap();
+            let (a1, _) = engine
+                .answer_report_policy(&doc, Some(&index), &p, Approach::Optimize, PlanPolicy::Auto)
+                .unwrap();
+            let (a2, _) = engine
+                .answer_report_policy(&doc, Some(&index), &p, Approach::Optimize, PlanPolicy::Auto)
+                .unwrap();
+            assert_eq!(a1, a2);
+        }
+        assert_eq!(engine.cache_stats().plans_recompiled, 0);
     }
 
     #[test]

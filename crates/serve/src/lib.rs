@@ -79,6 +79,12 @@ pub struct ServeConfig {
     /// to seed each role engine's cache with at boot, so the first
     /// annotate-approach query over a packaged document builds nothing.
     pub preloaded_views: Vec<(String, String, Arc<AccessView>)>,
+    /// Queries to pre-compile (and certify) for every role × approach at
+    /// boot (`sxv serve --warm FILE`), so the first request for a known
+    /// workload never pays translate + compile + certify. A query that
+    /// fails to parse — or, under `verify`, fails certification for any
+    /// role — is a boot error, surfaced before the listener accepts.
+    pub warm_queries: Vec<String>,
 }
 
 impl ServeConfig {
@@ -96,6 +102,7 @@ impl ServeConfig {
             verify: false,
             indexes: Vec::new(),
             preloaded_views: Vec::new(),
+            warm_queries: Vec::new(),
         }
     }
 }
@@ -133,6 +140,8 @@ struct ServerState<'a> {
     connections: AtomicUsize,
     started: Instant,
     timeout: Duration,
+    /// Plans pre-compiled at boot from `--warm` (role × approach × query).
+    warmed: usize,
 }
 
 impl ServerState<'_> {
@@ -196,6 +205,31 @@ pub fn run(config: ServeConfig, ready: mpsc::Sender<SocketAddr>) -> Result<(), S
         let &i = doc_index.get(&name).ok_or_else(|| format!("index for unknown doc {name:?}"))?;
         indexes[i] = Some(idx);
     }
+    // Pre-compile the warm-list queries for every role × approach under
+    // the serving plan policy, so known workloads start on the cache-hit
+    // path. Certification happens as part of planning; under --verify a
+    // warm query no role could ever answer fails the boot instead of
+    // 403ing its first caller.
+    let mut warmed = 0usize;
+    for q in &config.warm_queries {
+        let parsed = parse_xpath(q).map_err(|e| format!("warm query {q:?}: {e}"))?;
+        for (role, engine) in role_names.iter().zip(&engines) {
+            for approach in
+                [Approach::Naive, Approach::Rewrite, Approach::Optimize, Approach::Annotate]
+            {
+                let (planned, _) = engine.plan_certified(&parsed, approach, PlanPolicy::ForceWalk);
+                let planned =
+                    planned.map_err(|e| format!("warm query {q:?} (role {role:?}): {e}"))?;
+                if config.verify && !planned.cert.certified() {
+                    return Err(format!(
+                        "warm query {q:?} fails certification for role {role:?} ({approach:?})"
+                    ));
+                }
+                warmed += 1;
+            }
+        }
+    }
+
     for (role, doc_name, view) in config.preloaded_views {
         let &r = role_index
             .get(&role)
@@ -219,15 +253,18 @@ pub fn run(config: ServeConfig, ready: mpsc::Sender<SocketAddr>) -> Result<(), S
         connections: AtomicUsize::new(0),
         started: Instant::now(),
         timeout: Duration::from_millis(config.timeout_ms),
+        warmed,
     };
 
     eprintln!(
-        "sxv serve: listening on {addr} ({} roles × {} docs, {} workers, queue {}, timeout {}ms{})",
+        "sxv serve: listening on {addr} ({} roles × {} docs, {} workers, queue {}, timeout {}ms, \
+         {} warmed plans{})",
         state.role_names.len(),
         state.docs.len(),
         config.workers,
         config.queue_capacity,
         config.timeout_ms,
+        state.warmed,
         if config.verify { ", verify" } else { "" },
     );
     ready.send(addr).ok();
@@ -317,7 +354,7 @@ fn execute(state: &ServerState<'_>, job: &Job) -> Reply {
                 })
                 .collect();
             let latency_us = elapsed_us(job.admitted);
-            tenant.record_ok(latency_us, report.cache_hit);
+            tenant.record_ok(latency_us, report.cache_hit, u64::from(report.plan.fused_scan));
             Reply {
                 status: 200,
                 body: format!(
@@ -487,7 +524,7 @@ fn stats_json(state: &ServerState<'_>) -> String {
                 "{{\"role\": \"{}\", \"doc\": \"{}\", \"requests\": {}, \"ok\": {}, \
                  \"errors\": {}, \"rejected\": {}, \"timed_out\": {}, \"qps\": {:.2}, \
                  \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
-                 \"plan_cache_hit_rate\": {:.4}}}",
+                 \"plan_cache_hit_rate\": {:.4}, \"fused_ops\": {}}}",
                 json_escape(role),
                 json_escape(doc_name),
                 requests,
@@ -501,6 +538,7 @@ fn stats_json(state: &ServerState<'_>) -> String {
                 lat.p99_us,
                 lat.max_us,
                 t.plan_hit_rate(),
+                t.fused_ops.load(Ordering::Relaxed),
             ));
         }
     }
@@ -510,7 +548,8 @@ fn stats_json(state: &ServerState<'_>) -> String {
         let access = state.engines[role_idx].access_stats();
         roles.push(format!(
             "{{\"role\": \"{}\", \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \
-             \"entries\": {}, \"plans_compiled\": {}, \"hit_rate\": {:.4}}}, \
+             \"entries\": {}, \"plans_compiled\": {}, \"plans_recompiled\": {}, \
+             \"hit_rate\": {:.4}}}, \
              \"certify\": {{\"certified\": {}, \"failures\": {}, \"micros\": {}}}, \
              \"access_cache\": {{\"builds\": {}, \"hits\": {}, \"entries\": {}}}}}",
             json_escape(role),
@@ -518,6 +557,7 @@ fn stats_json(state: &ServerState<'_>) -> String {
             cache.misses,
             cache.entries,
             cache.plans_compiled,
+            cache.plans_recompiled,
             cache.hit_rate(),
             cache.plans_certified,
             cache.certify_failures,
@@ -529,10 +569,11 @@ fn stats_json(state: &ServerState<'_>) -> String {
     }
     format!(
         "{{\"uptime_secs\": {:.1}, \"queue_depth\": {}, \"open_connections\": {}, \
-         \"tenants\": [{}], \"roles\": [{}]}}",
+         \"warmed\": {}, \"tenants\": [{}], \"roles\": [{}]}}",
         state.started.elapsed().as_secs_f64(),
         state.queue.len(),
         state.connections.load(Ordering::SeqCst),
+        state.warmed,
         tenants.join(", "),
         roles.join(", "),
     )

@@ -30,6 +30,9 @@ pub struct TenantStats {
     pub plan_hits: AtomicU64,
     /// Translation-plan cache misses observed on this tenant's answers.
     pub plan_misses: AtomicU64,
+    /// Fused-scan operators executed across this tenant's answered
+    /// queries (how much of the workload runs on the streaming path).
+    pub fused_ops: AtomicU64,
     ring: Mutex<LatencyRing>,
 }
 
@@ -55,8 +58,9 @@ pub struct LatencySummary {
 }
 
 impl TenantStats {
-    /// Record one completed (200) request and its latency.
-    pub fn record_ok(&self, latency_us: u64, plan_cache_hit: bool) {
+    /// Record one completed (200) request, its latency, and how many
+    /// fused-scan operators its plan executed.
+    pub fn record_ok(&self, latency_us: u64, plan_cache_hit: bool, fused_ops: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.ok.fetch_add(1, Ordering::Relaxed);
         if plan_cache_hit {
@@ -64,6 +68,7 @@ impl TenantStats {
         } else {
             self.plan_misses.fetch_add(1, Ordering::Relaxed);
         }
+        self.fused_ops.fetch_add(fused_ops, Ordering::Relaxed);
         self.push_latency(latency_us);
     }
 
@@ -148,13 +153,14 @@ mod tests {
     #[test]
     fn counters_track_outcomes() {
         let t = TenantStats::default();
-        t.record_ok(100, true);
-        t.record_ok(300, false);
+        t.record_ok(100, true, 2);
+        t.record_ok(300, false, 1);
         t.record_error();
         t.record_rejected();
         t.record_timed_out();
         assert_eq!(t.requests.load(Ordering::Relaxed), 5);
         assert_eq!(t.ok.load(Ordering::Relaxed), 2);
+        assert_eq!(t.fused_ops.load(Ordering::Relaxed), 3);
         assert_eq!(t.errors.load(Ordering::Relaxed), 1);
         assert_eq!(t.rejected.load(Ordering::Relaxed), 1);
         assert_eq!(t.timed_out.load(Ordering::Relaxed), 1);
@@ -165,7 +171,7 @@ mod tests {
     fn percentiles_on_known_distribution() {
         let t = TenantStats::default();
         for us in 1..=100u64 {
-            t.record_ok(us, true);
+            t.record_ok(us, true, 0);
         }
         let s = t.latency_summary();
         assert_eq!(s.count, 100);
@@ -181,10 +187,10 @@ mod tests {
         // Overfill the window with slow samples, then refill with fast
         // ones; the summary must reflect the recent (fast) window.
         for _ in 0..LATENCY_WINDOW {
-            t.record_ok(1_000_000, true);
+            t.record_ok(1_000_000, true, 0);
         }
         for _ in 0..LATENCY_WINDOW {
-            t.record_ok(10, true);
+            t.record_ok(10, true, 0);
         }
         let s = t.latency_summary();
         assert_eq!(s.count, LATENCY_WINDOW);

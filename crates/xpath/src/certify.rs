@@ -491,6 +491,65 @@ impl Interp<'_> {
                     }
                 }
             }
+            PlanOp::Fused(f) => {
+                // A fused scan is certified by composing its
+                // constituents' transfers: the absorbed descendant-expand
+                // (if any), descendant-slice, then the bitmap
+                // intersection, then the qualifier probe. The abstract
+                // result is identical to the defused pipeline's (fusion
+                // changes evaluation order, not the emitted or probed
+                // states), which is why `--verify` keeps working on
+                // fused plans.
+                let state = if f.from_expand {
+                    let (cand, text_base) = self.descendant_candidates(&state);
+                    let mut expanded = AbsState {
+                        doc: false,
+                        text: self.ctx.any_text(&text_base),
+                        types: cand,
+                        dummies: BTreeSet::new(),
+                    };
+                    expanded.join(&state);
+                    expanded
+                } else {
+                    state
+                };
+                let (cand, text_base) = self.descendant_candidates(&state);
+                let mut out = AbsState::empty();
+                match &f.axis {
+                    AxisTest::Label(l) => {
+                        if cand.contains(l) {
+                            out.types.insert(l.clone());
+                        }
+                    }
+                    AxisTest::AnyElement => out.types = cand,
+                    AxisTest::Text => out.text = self.ctx.any_text(&text_base),
+                }
+                if let Some(filter) = f.filter {
+                    let types: BTreeSet<String> =
+                        out.types.intersection(&self.ctx.accessible).cloned().collect();
+                    out = match filter {
+                        AccessFilter::Member => {
+                            AbsState { doc: false, text: out.text, types, dummies: BTreeSet::new() }
+                        }
+                        AccessFilter::Element => {
+                            AbsState { doc: false, text: false, types, dummies: out.dummies }
+                        }
+                    };
+                }
+                if let Some(q) = &f.qual {
+                    let mark = self.trace.len();
+                    let may_hold = self.qual(q, &out, depth + 1);
+                    if !may_hold {
+                        out = AbsState::empty();
+                    }
+                    self.trace.insert(
+                        mark,
+                        TraceLine { depth, detail: op_detail(op), state: out.render() },
+                    );
+                    return out;
+                }
+                out
+            }
             PlanOp::UnionMerge(arms) => {
                 let mark = self.trace.len();
                 let mut out = AbsState::empty();
@@ -754,6 +813,7 @@ impl Interp<'_> {
 fn has_bitmap_guard(ops: &[PlanNode]) -> bool {
     ops.iter().any(|n| match &n.op {
         PlanOp::BitmapFilter(_) => true,
+        PlanOp::Fused(f) => f.filter.is_some(),
         PlanOp::UnionMerge(arms) => arms.iter().any(|arm| has_bitmap_guard(arm)),
         _ => false,
     })

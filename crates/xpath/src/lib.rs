@@ -49,8 +49,8 @@ pub use eval::{
 pub use join::{eval_at_root_backend, eval_at_root_join, eval_at_root_join_with_stats, Backend};
 pub use parser::parse;
 pub use plan::{
-    compile, compile_annotate, AccessFilter, AxisTest, CompiledQuery, CostModel, PlanNode, PlanOp,
-    PlanPolicy, PlanSummary, QualPlan, EQUIVALENCE_QUERIES,
+    compile, compile_annotate, AccessFilter, AxisTest, CompiledQuery, CostModel, FusedScan,
+    PlanNode, PlanOp, PlanPolicy, PlanSummary, QualPlan, EQUIVALENCE_QUERIES,
 };
 pub use simplify::{factored_union, simplify};
 pub use subq::{postorder, SubExpr};

@@ -152,6 +152,29 @@ impl fmt::Display for AxisTest {
     }
 }
 
+/// The fused streaming scan: a descendant axis scan whose candidates
+/// stream through an optional access-bitmap test and an optional
+/// qualifier probe inside the producing loop. No intermediate set is
+/// materialized between the fused stages, and existence qualifiers
+/// short-circuit per candidate. Produced by the compile-time fusion
+/// pass ([`CompiledQuery::defused`] reverses it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedScan {
+    /// The descendant axis producing candidates (interval slices with an
+    /// index, a subtree scan without).
+    pub axis: AxisTest,
+    /// Stream candidates through this [`AccessView`] bitmap (annotation
+    /// plans only).
+    pub filter: Option<AccessFilter>,
+    /// Stream candidates through this qualifier probe.
+    pub qual: Option<Box<QualPlan>>,
+    /// The scan absorbed a preceding `descendant-expand (or-self)`:
+    /// descendants of descendants-or-self are exactly descendants, so
+    /// the expand's materialized set never needs to exist. Kept so
+    /// [`CompiledQuery::defused`] can reconstruct the legacy pipeline.
+    pub from_expand: bool,
+}
+
 /// One typed plan operator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanOp {
@@ -169,6 +192,9 @@ pub enum PlanOp {
     /// `//axis` answered by interval-containment slices of the occurrence
     /// lists (staircase-pruned); degrades to a subtree scan off-index.
     DescendantSlice(AxisTest),
+    /// A [`FusedScan`]: `descendant-slice → bitmap-filter → qualifier-probe`
+    /// chains collapsed into one emitting loop by the fusion pass.
+    Fused(FusedScan),
     /// Materialize descendants (`or_self` controls self-inclusion) — the
     /// generic `//p` fall-back for complex inner paths.
     DescendantExpand {
@@ -246,6 +272,7 @@ impl PlanOp {
             PlanOp::ChildWalk(_) => "child-walk",
             PlanOp::ChildMergeJoin(_) => "child-merge-join",
             PlanOp::DescendantSlice(_) => "descendant-slice",
+            PlanOp::Fused(_) => "fused-scan",
             PlanOp::DescendantExpand { .. } => "descendant-expand",
             PlanOp::LabelFilter(_) => "label-filter",
             PlanOp::UnionMerge(_) => "union-merge",
@@ -362,6 +389,20 @@ impl CostModel {
         self.has_index
     }
 
+    /// A copy of this model with observed per-label cardinalities
+    /// patched in — the runtime feedback an adaptive planner feeds back
+    /// before recompiling. `elements` is raised to at least the summed
+    /// label counts so derived ratios stay internally consistent.
+    pub fn calibrated(&self, observed: impl IntoIterator<Item = (String, f64)>) -> CostModel {
+        let mut out = self.clone();
+        for (l, n) in observed {
+            out.labels.insert(l, n.max(0.0));
+        }
+        let sum: f64 = out.labels.values().sum();
+        out.elements = out.elements.max(sum.max(1.0));
+        out
+    }
+
     fn nodes(&self) -> f64 {
         self.elements + self.texts
     }
@@ -393,7 +434,7 @@ pub struct CompiledQuery {
 pub fn compile(p: &Path, policy: PlanPolicy, cost: &CostModel) -> CompiledQuery {
     let mut ops = vec![PlanNode { op: PlanOp::RootSeed, est_rows: 1 }];
     lower(p, 1.0, policy, cost, &mut ops);
-    CompiledQuery { translated: p.clone(), policy, ops }
+    CompiledQuery { translated: p.clone(), policy, ops: fuse_ops(ops) }
 }
 
 fn clamp_est(est: f64, cost: &CostModel) -> u64 {
@@ -469,9 +510,11 @@ fn closure_est(est_in: f64, e_body: f64, cost: &CostModel) -> f64 {
     (est_in + e_body * CLOSURE_ROUNDS).min(cost.nodes()).max(est_in)
 }
 
-/// `//inner`: axis heads become interval slices (or expand + filter for
-/// walk plans that will never see an index); complex heads recurse the
-/// way the evaluators do.
+/// `//inner`: axis heads become interval slices (a single streaming
+/// operator whether or not execution has an index — the historical
+/// expand-then-filter walk lowering materialized every descendant first
+/// and is strictly dominated by the slice's degraded subtree scan);
+/// complex heads recurse the way the evaluators do.
 fn lower_descendant(
     inner: &Path,
     policy: PlanPolicy,
@@ -486,19 +529,7 @@ fn lower_descendant(
     };
     if let Some(axis) = axis {
         let occ = cost.occurrence(&axis);
-        if policy == PlanPolicy::ForceWalk && !cost.has_index {
-            let expanded = cost.nodes();
-            out.push(PlanNode {
-                op: PlanOp::DescendantExpand { or_self: false },
-                est_rows: clamp_est(expanded, cost),
-            });
-            out.push(PlanNode { op: PlanOp::LabelFilter(axis), est_rows: clamp_est(occ, cost) });
-        } else {
-            out.push(PlanNode {
-                op: PlanOp::DescendantSlice(axis),
-                est_rows: clamp_est(occ, cost),
-            });
-        }
+        out.push(PlanNode { op: PlanOp::DescendantSlice(axis), est_rows: clamp_est(occ, cost) });
         return occ;
     }
     match inner {
@@ -627,7 +658,148 @@ fn selectivity(q: &QualPlan) -> f64 {
 pub fn compile_annotate(p: &Path, policy: PlanPolicy, cost: &CostModel) -> CompiledQuery {
     let mut ops = vec![PlanNode { op: PlanOp::RootSeed, est_rows: 1 }];
     lower_annotate(p, 1.0, true, policy, cost, &mut ops);
-    CompiledQuery { translated: p.clone(), policy, ops }
+    CompiledQuery { translated: p.clone(), policy, ops: fuse_ops(ops) }
+}
+
+// ---------------------------------------------------------------------
+// Fusion pass
+// ---------------------------------------------------------------------
+
+/// Compile-time fusion: collapse every
+/// `descendant-slice [→ bitmap-filter] [→ qualifier-probe]` chain into a
+/// single [`FusedScan`] so execution streams candidates straight from
+/// the occurrence-list intervals through the bitmap test and the
+/// qualifier probe without materializing intermediate sets. Applied
+/// recursively to union arms, closure bodies and qualifier
+/// sub-pipelines. A bare slice with no fusable follower stays itself.
+fn fuse_ops(ops: Vec<PlanNode>) -> Vec<PlanNode> {
+    let mut out: Vec<PlanNode> = Vec::with_capacity(ops.len());
+    let mut it = ops.into_iter().peekable();
+    while let Some(mut node) = it.next() {
+        node.op = match node.op {
+            PlanOp::UnionMerge(arms) => {
+                PlanOp::UnionMerge(arms.into_iter().map(fuse_ops).collect())
+            }
+            PlanOp::ClosureExpand { body } => PlanOp::ClosureExpand { body: fuse_ops(body) },
+            PlanOp::QualifierProbe(q) => PlanOp::QualifierProbe(fuse_qual(q)),
+            op => op,
+        };
+        // `descendant-expand (or-self) → descendant-slice` is the slice
+        // itself (descendants of descendants-or-self are exactly
+        // descendants), so the expand's intermediate set — often the
+        // whole document for `//(//p)` shapes — never needs to exist.
+        let mut from_expand = false;
+        if matches!(node.op, PlanOp::DescendantExpand { or_self: true }) {
+            match it.peek() {
+                Some(PlanNode { op: PlanOp::DescendantSlice(_), .. }) => {
+                    node = it.next().expect("peeked");
+                    from_expand = true;
+                }
+                // The follower may already be fused (inner pipelines are
+                // fused before the outer pass sees them): absorb the
+                // expand directly — descendant-or-self is idempotent, so
+                // an already-absorbed expand stays one flag.
+                Some(PlanNode { op: PlanOp::Fused(_), .. }) => {
+                    node = it.next().expect("peeked");
+                    let PlanOp::Fused(ref mut f) = node.op else { unreachable!() };
+                    f.from_expand = true;
+                }
+                _ => {}
+            }
+        }
+        if let PlanOp::DescendantSlice(axis) = &node.op {
+            let mut fused = FusedScan { axis: axis.clone(), filter: None, qual: None, from_expand };
+            let mut est = node.est_rows;
+            let mut took = from_expand;
+            if matches!(it.peek(), Some(PlanNode { op: PlanOp::BitmapFilter(_), .. })) {
+                let next = it.next().expect("peeked");
+                let PlanOp::BitmapFilter(f) = next.op else { unreachable!() };
+                fused.filter = Some(f);
+                est = next.est_rows;
+                took = true;
+            }
+            if matches!(it.peek(), Some(PlanNode { op: PlanOp::QualifierProbe(_), .. })) {
+                let next = it.next().expect("peeked");
+                let PlanOp::QualifierProbe(q) = next.op else { unreachable!() };
+                fused.qual = Some(Box::new(fuse_qual(q)));
+                est = next.est_rows;
+                took = true;
+            }
+            if took {
+                node = PlanNode { op: PlanOp::Fused(fused), est_rows: est };
+            }
+        }
+        out.push(node);
+    }
+    out
+}
+
+fn fuse_qual(q: QualPlan) -> QualPlan {
+    match q {
+        QualPlan::Exists(ops) => QualPlan::Exists(fuse_ops(ops)),
+        QualPlan::Eq(ops, c) => QualPlan::Eq(fuse_ops(ops), c),
+        QualPlan::And(a, b) => QualPlan::And(Box::new(fuse_qual(*a)), Box::new(fuse_qual(*b))),
+        QualPlan::Or(a, b) => QualPlan::Or(Box::new(fuse_qual(*a)), Box::new(fuse_qual(*b))),
+        QualPlan::Not(inner) => QualPlan::Not(Box::new(fuse_qual(*inner))),
+        leaf => leaf,
+    }
+}
+
+fn defuse_ops(ops: &[PlanNode]) -> Vec<PlanNode> {
+    let mut out = Vec::with_capacity(ops.len());
+    for node in ops {
+        match &node.op {
+            PlanOp::Fused(f) => {
+                if f.from_expand {
+                    out.push(PlanNode {
+                        op: PlanOp::DescendantExpand { or_self: true },
+                        est_rows: node.est_rows,
+                    });
+                }
+                out.push(PlanNode {
+                    op: PlanOp::DescendantSlice(f.axis.clone()),
+                    est_rows: node.est_rows,
+                });
+                if let Some(filter) = f.filter {
+                    out.push(PlanNode {
+                        op: PlanOp::BitmapFilter(filter),
+                        est_rows: node.est_rows,
+                    });
+                }
+                if let Some(q) = &f.qual {
+                    out.push(PlanNode {
+                        op: PlanOp::QualifierProbe(defuse_qual(q)),
+                        est_rows: node.est_rows,
+                    });
+                }
+            }
+            PlanOp::UnionMerge(arms) => out.push(PlanNode {
+                op: PlanOp::UnionMerge(arms.iter().map(|a| defuse_ops(a)).collect()),
+                est_rows: node.est_rows,
+            }),
+            PlanOp::ClosureExpand { body } => out.push(PlanNode {
+                op: PlanOp::ClosureExpand { body: defuse_ops(body) },
+                est_rows: node.est_rows,
+            }),
+            PlanOp::QualifierProbe(q) => out.push(PlanNode {
+                op: PlanOp::QualifierProbe(defuse_qual(q)),
+                est_rows: node.est_rows,
+            }),
+            other => out.push(PlanNode { op: other.clone(), est_rows: node.est_rows }),
+        }
+    }
+    out
+}
+
+fn defuse_qual(q: &QualPlan) -> QualPlan {
+    match q {
+        QualPlan::Exists(ops) => QualPlan::Exists(defuse_ops(ops)),
+        QualPlan::Eq(ops, c) => QualPlan::Eq(defuse_ops(ops), c.clone()),
+        QualPlan::And(a, b) => QualPlan::And(Box::new(defuse_qual(a)), Box::new(defuse_qual(b))),
+        QualPlan::Or(a, b) => QualPlan::Or(Box::new(defuse_qual(a)), Box::new(defuse_qual(b))),
+        QualPlan::Not(inner) => QualPlan::Not(Box::new(defuse_qual(inner))),
+        leaf => leaf.clone(),
+    }
 }
 
 /// Append the annotation pipeline for `p`; returns the estimated output
@@ -865,6 +1037,16 @@ impl ExecSet {
             }
     }
 
+    /// Row count as observed by profiled execution (the virtual document
+    /// node counts as one row).
+    fn observed_rows(&self) -> u64 {
+        let n = match &self.rows {
+            Rows::Sorted(v) => v.len() as u64,
+            Rows::Dense(b) => b.count_ones() as u64,
+        };
+        n + self.doc as u64
+    }
+
     /// Materialize dense rows back into the sorted-vec representation.
     /// Every operator except `bitmap-filter` and union consumes sorted
     /// rows; [`run_ops`] calls this before dispatching to them.
@@ -969,11 +1151,16 @@ impl ExecSet {
 
 /// Everything the executor reads per call: the document, the optional
 /// structural index, and (annotation plans only) the access view.
+/// `fused` selects the streaming executor; when false, fused operators
+/// run de-composed with a materialized set between every stage and the
+/// closure worklist re-sorts per pass — the pre-fusion executor, kept
+/// as the differential-testing oracle and the bench baseline.
 #[derive(Clone, Copy)]
 struct Exec<'a> {
     doc: &'a Document,
     idx: Option<&'a DocIndex>,
     access: Option<&'a AccessView>,
+    fused: bool,
 }
 
 impl<'a> Exec<'a> {
@@ -1000,7 +1187,29 @@ impl CompiledQuery {
         access: Option<&AccessView>,
     ) -> (Vec<NodeId>, EvalStats) {
         let mut stats = EvalStats::default();
-        let ex = Exec { doc, idx: index, access };
+        let ex = Exec { doc, idx: index, access, fused: true };
+        let result = match doc.root_opt() {
+            Some(root) => run_ops(ex, self.body(), ExecSet::single(root), &mut stats).into_ids(),
+            None => Vec::new(),
+        };
+        (result, stats)
+    }
+
+    /// Execute with the pre-fusion materializing executor: fused scans
+    /// run de-composed (slice, then bitmap filter, then qualifier probe,
+    /// each materializing its full result set) and `closure-expand` uses
+    /// the legacy sorted-worklist fixpoint. Answers are bit-identical to
+    /// [`CompiledQuery::execute_with_access`]; this exists as the
+    /// differential-testing oracle and the fused-vs-materialized bench
+    /// baseline.
+    pub fn execute_materialized(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        access: Option<&AccessView>,
+    ) -> (Vec<NodeId>, EvalStats) {
+        let mut stats = EvalStats::default();
+        let ex = Exec { doc, idx: index, access, fused: false };
         let result = match doc.root_opt() {
             Some(root) => run_ops(ex, self.body(), ExecSet::single(root), &mut stats).into_ids(),
             None => Vec::new(),
@@ -1016,9 +1225,61 @@ impl CompiledQuery {
         index: Option<&DocIndex>,
     ) -> (Vec<NodeId>, EvalStats) {
         let mut stats = EvalStats::default();
-        let ex = Exec { doc, idx: index, access: None };
+        let ex = Exec { doc, idx: index, access: None, fused: true };
         let result = run_ops(ex, self.body(), ExecSet::document(), &mut stats).into_ids();
         (result, stats)
+    }
+
+    /// Execute at the root element recording the observed output
+    /// cardinality of every top-level operator, aligned with
+    /// [`CompiledQuery::ops`] (seeds included). This is the feedback the
+    /// engine's adaptive `Auto` policy compares against each operator's
+    /// `est_rows` to decide whether the plan deserves a recompile
+    /// against calibrated statistics.
+    pub fn execute_profiled(
+        &self,
+        doc: &Document,
+        index: Option<&DocIndex>,
+        access: Option<&AccessView>,
+    ) -> (Vec<NodeId>, EvalStats, Vec<u64>) {
+        let mut stats = EvalStats::default();
+        let ex = Exec { doc, idx: index, access, fused: true };
+        let mut observed = Vec::with_capacity(self.ops.len());
+        let mut cur = match doc.root_opt() {
+            Some(root) => ExecSet::single(root),
+            None => ExecSet::empty(),
+        };
+        let mut ops = &self.ops[..];
+        if let Some(PlanNode { op: PlanOp::RootSeed, .. }) = self.ops.first() {
+            observed.push(cur.observed_rows());
+            ops = &ops[1..];
+        }
+        for node in ops {
+            if cur.is_empty() {
+                cur = ExecSet::empty();
+                observed.push(0);
+                continue;
+            }
+            if !matches!(node.op, PlanOp::BitmapFilter(_)) {
+                cur.make_sorted();
+            }
+            cur = run_op(ex, &node.op, &cur, &mut stats);
+            observed.push(cur.observed_rows());
+        }
+        (cur.into_ids(), stats, observed)
+    }
+
+    /// Undo the fusion pass: every fused scan splits back into its
+    /// constituent `descendant-slice` / `bitmap-filter` /
+    /// `qualifier-probe` operators (each carrying the fused node's
+    /// `est_rows`). The defused plan certifies to the same abstract
+    /// emitted/probed states — the property the fusion proptest pins.
+    pub fn defused(&self) -> CompiledQuery {
+        CompiledQuery {
+            translated: self.translated.clone(),
+            policy: self.policy,
+            ops: defuse_ops(&self.ops),
+        }
     }
 
     /// The pipeline after the seed marker.
@@ -1042,29 +1303,16 @@ impl CompiledQuery {
 
 fn run_ops(ex: Exec, ops: &[PlanNode], ctx: ExecSet, stats: &mut EvalStats) -> ExecSet {
     let mut cur = ctx;
-    let mut i = 0;
-    while i < ops.len() {
+    for node in ops {
         if cur.is_empty() {
             return ExecSet::empty();
         }
-        // Fused hot path: a descendant slice feeding a bitmap filter
-        // never materializes the unfiltered slice.
-        match (&ops[i].op, ops.get(i + 1).map(|n| &n.op), ex.idx, ex.access) {
-            (PlanOp::DescendantSlice(axis), Some(PlanOp::BitmapFilter(f)), Some(idx), Some(av)) => {
-                cur.make_sorted();
-                cur = descendant_slice_filtered(ex.doc, idx, av, &cur, axis, *f, stats);
-                i += 2;
-            }
-            _ => {
-                // Only the bitmap filter (and union, internally) consume
-                // dense rows; every other operator reads sorted ids.
-                if !matches!(ops[i].op, PlanOp::BitmapFilter(_)) {
-                    cur.make_sorted();
-                }
-                cur = run_op(ex, &ops[i].op, &cur, stats);
-                i += 1;
-            }
+        // Only the bitmap filter (and union, internally) consume dense
+        // rows; every other operator reads sorted ids.
+        if !matches!(node.op, PlanOp::BitmapFilter(_)) {
+            cur.make_sorted();
         }
+        cur = run_op(ex, &node.op, &cur, stats);
     }
     cur
 }
@@ -1087,6 +1335,13 @@ fn run_op(ex: Exec, op: &PlanOp, ctx: &ExecSet, stats: &mut EvalStats) -> ExecSe
             Some(idx) => descendant_slice(doc, idx, ctx, axis, stats),
             None => descendant_scan(doc, ctx, axis, stats),
         },
+        PlanOp::Fused(f) => {
+            if ex.fused {
+                fused_scan(ex, ctx, f, stats)
+            } else {
+                fused_materialized(ex, ctx, f, stats)
+            }
+        }
         PlanOp::DescendantExpand { or_self } => descendant_expand(doc, idx, ctx, *or_self, stats),
         PlanOp::LabelFilter(axis) => {
             stats.nodes_touched += ctx.ids().len() as u64;
@@ -1102,33 +1357,17 @@ fn run_op(ex: Exec, op: &PlanOp, ctx: &ExecSet, stats: &mut EvalStats) -> ExecSe
             out
         }
         PlanOp::ClosureExpand { body } => {
-            // Worklist fixpoint: the body runs from the frontier of newly
-            // reached nodes only; the accumulator grows monotonically and
-            // is bounded by the document, so this terminates.
-            let mut acc = ctx.clone();
-            acc.make_sorted();
-            let mut frontier = acc.clone();
-            loop {
-                let mut step = run_ops(ex, body, frontier, stats);
-                step.make_sorted();
-                let new_doc = step.doc && !acc.doc;
-                let new_ids: Vec<NodeId> = step
-                    .ids()
-                    .iter()
-                    .copied()
-                    .filter(|v| acc.ids().binary_search(v).is_err())
-                    .collect();
-                if !new_doc && new_ids.is_empty() {
-                    break;
-                }
-                let new = ExecSet { doc: new_doc, rows: Rows::Sorted(new_ids) };
-                acc.union_with(new.clone(), stats);
-                frontier = new;
+            if ex.fused {
+                closure_expand_fused(ex, body, ctx, stats)
+            } else {
+                closure_expand_materialized(ex, body, ctx, stats)
             }
-            acc
         }
         PlanOp::QualifierProbe(q) => {
-            let doc_kept = ctx.doc && qual_probe(ex, q, &ExecSet::document(), stats);
+            // The document-node probe counts as a qualifier check like
+            // every per-element probe (the existence path already did).
+            let doc_kept =
+                ctx.doc && stats.counted_check(|s| qual_probe(ex, q, &ExecSet::document(), s));
             let nodes = ctx
                 .ids()
                 .iter()
@@ -1295,42 +1534,230 @@ fn view_expand(av: &AccessView, ctx: &ExecSet, or_self: bool, stats: &mut EvalSt
     out
 }
 
-/// The fused slice-plus-bitmap hot path: per pruned context root, push
-/// only the slice candidates set in the access bitmap — inaccessible
-/// nodes never enter the intermediate set.
-fn descendant_slice_filtered(
-    doc: &Document,
-    idx: &DocIndex,
-    av: &AccessView,
-    ctx: &ExecSet,
-    axis: &AxisTest,
-    filter: AccessFilter,
+/// Candidate admission test of a [`FusedScan`]: the bitmap probe, then
+/// the (counted) qualifier probe, each short-circuiting.
+fn fused_keep(
+    ex: Exec,
+    f: &FusedScan,
+    bm: Option<&NodeBitmap>,
+    v: NodeId,
     stats: &mut EvalStats,
-) -> ExecSet {
-    let bm = filter.bitmap(av);
-    let (roots, include_root_match) = if ctx.doc {
-        match doc.root_opt() {
-            Some(r) => (vec![r], true),
-            None => return ExecSet::empty(),
-        }
-    } else {
-        (staircase(idx, ctx.ids(), stats), false)
-    };
-    let mut out = ExecSet::empty();
-    for &r in &roots {
-        if include_root_match && axis.matches(doc, r) && bm.contains(r) {
-            out.push(r);
-        }
-        let hits = axis.slice(idx, r);
-        stats.interval_probes += 1;
-        stats.nodes_touched += hits.len() as u64;
-        for &h in hits {
-            if bm.contains(h) {
-                out.push(h);
-            }
+) -> bool {
+    if let Some(bm) = bm {
+        if !bm.contains(v) {
+            return false;
         }
     }
-    out
+    match &f.qual {
+        Some(q) => stats.counted_check(|s| qual_probe(ex, q, &ExecSet::single(v), s)),
+        None => true,
+    }
+}
+
+/// The fused streaming scan: per pruned context root, candidates stream
+/// from the occurrence-list interval (or the degraded subtree scan)
+/// straight through the bitmap test and the qualifier probe —
+/// non-qualifying nodes never enter any intermediate set.
+fn fused_scan(ex: Exec, ctx: &ExecSet, f: &FusedScan, stats: &mut EvalStats) -> ExecSet {
+    let doc = ex.doc;
+    let bm = f.filter.map(|flt| flt.bitmap(ex.access()));
+    let mut out = ExecSet::empty();
+    match ex.idx {
+        Some(idx) => {
+            let (roots, include_root_match) = if ctx.doc {
+                match doc.root_opt() {
+                    Some(r) => (vec![r], true),
+                    None => return ExecSet::empty(),
+                }
+            } else {
+                (staircase(idx, ctx.ids(), stats), false)
+            };
+            for &r in &roots {
+                if include_root_match && f.axis.matches(doc, r) && fused_keep(ex, f, bm, r, stats) {
+                    out.push(r);
+                }
+                let hits = f.axis.slice(idx, r);
+                stats.interval_probes += 1;
+                stats.nodes_touched += hits.len() as u64;
+                for &h in hits {
+                    if fused_keep(ex, f, bm, h, stats) {
+                        out.push(h);
+                    }
+                }
+            }
+            out
+        }
+        None => {
+            let mut touched = 0u64;
+            if ctx.doc {
+                if let Some(root) = doc.root_opt() {
+                    for v in doc.descendants_or_self(root) {
+                        touched += 1;
+                        if f.axis.matches(doc, v) && fused_keep(ex, f, bm, v, stats) {
+                            out.push(v);
+                        }
+                    }
+                }
+            }
+            for &v in ctx.ids() {
+                for d in doc.descendants(v) {
+                    touched += 1;
+                    if f.axis.matches(doc, d) && fused_keep(ex, f, bm, d, stats) {
+                        out.push(d);
+                    }
+                }
+            }
+            stats.nodes_touched += touched;
+            out.normalize();
+            out
+        }
+    }
+}
+
+/// The de-composed twin of [`fused_scan`] (oracle mode): run the
+/// constituent slice, bitmap filter and qualifier probe as separate
+/// materializing operators, exactly as the pre-fusion executor did.
+fn fused_materialized(ex: Exec, ctx: &ExecSet, f: &FusedScan, stats: &mut EvalStats) -> ExecSet {
+    // The legacy pipeline materialized the full descendant-or-self set
+    // before slicing; the streaming scan skips it as a pure identity.
+    let expanded;
+    let ctx = if f.from_expand {
+        let mut e = descendant_expand(ex.doc, ex.idx, ctx, true, stats);
+        e.make_sorted();
+        expanded = e;
+        &expanded
+    } else {
+        ctx
+    };
+    let mut cur = match ex.idx {
+        Some(idx) => descendant_slice(ex.doc, idx, ctx, &f.axis, stats),
+        None => descendant_scan(ex.doc, ctx, &f.axis, stats),
+    };
+    if let Some(filter) = f.filter {
+        cur.make_sorted();
+        cur = bitmap_filter(ex.access(), &cur, filter, stats);
+    }
+    if let Some(q) = &f.qual {
+        cur.make_sorted();
+        let nodes = cur
+            .ids()
+            .iter()
+            .copied()
+            .filter(|&v| stats.counted_check(|s| qual_probe(ex, q, &ExecSet::single(v), s)))
+            .collect();
+        cur = ExecSet::from_sorted(nodes);
+    }
+    cur
+}
+
+/// Existence probe of a [`FusedScan`]: stream candidates per context
+/// node and exit at the first survivor — the short-circuit per-context
+/// exit fused qualifier pipelines get for free.
+fn fused_scan_any(ex: Exec, ctx: &ExecSet, f: &FusedScan, stats: &mut EvalStats) -> bool {
+    let doc = ex.doc;
+    let bm = f.filter.map(|flt| flt.bitmap(ex.access()));
+    match ex.idx {
+        Some(idx) => {
+            if ctx.doc {
+                // Same interval subsumption as the unfused probe: the
+                // root slice covers every context id's slice, so decide
+                // on the document probe alone (one interval_probes
+                // count, no per-id re-entry).
+                return match doc.root_opt() {
+                    Some(root) => {
+                        (f.axis.matches(doc, root) && fused_keep(ex, f, bm, root, stats)) || {
+                            stats.interval_probes += 1;
+                            f.axis.slice(idx, root).iter().any(|&h| fused_keep(ex, f, bm, h, stats))
+                        }
+                    }
+                    None => false,
+                };
+            }
+            ctx.ids().iter().any(|&v| {
+                stats.interval_probes += 1;
+                f.axis.slice(idx, v).iter().any(|&h| fused_keep(ex, f, bm, h, stats))
+            })
+        }
+        None => {
+            if ctx.doc {
+                if let Some(root) = doc.root_opt() {
+                    for v in doc.descendants_or_self(root) {
+                        if f.axis.matches(doc, v) && fused_keep(ex, f, bm, v, stats) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            ctx.ids().iter().any(|&v| {
+                doc.descendants(v)
+                    .filter(|&d| f.axis.matches(doc, d))
+                    .any(|d| fused_keep(ex, f, bm, d, stats))
+            })
+        }
+    }
+}
+
+/// `(p)*` worklist fixpoint with an in-place bitmap-deduped visited set:
+/// membership is one bit probe, newly reached ids need no re-sort
+/// against the accumulator, and the final sorted result falls out of the
+/// bitmap in one ascending sweep.
+fn closure_expand_fused(
+    ex: Exec,
+    body: &[PlanNode],
+    ctx: &ExecSet,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut visited = NodeBitmap::new(ex.doc.len());
+    for &v in ctx.ids() {
+        visited.set(v);
+    }
+    let mut acc_doc = ctx.doc;
+    let mut frontier = ctx.clone();
+    loop {
+        let mut step = run_ops(ex, body, frontier, stats);
+        step.make_sorted();
+        let new_doc = step.doc && !acc_doc;
+        let new_ids: Vec<NodeId> =
+            step.ids().iter().copied().filter(|&v| !visited.contains(v)).collect();
+        if !new_doc && new_ids.is_empty() {
+            break;
+        }
+        acc_doc |= new_doc;
+        for &v in &new_ids {
+            visited.set(v);
+        }
+        frontier = ExecSet { doc: new_doc, rows: Rows::Sorted(new_ids) };
+    }
+    // to_ids sweeps the bitmap ascending, so the sorted-unique invariant
+    // holds by construction.
+    ExecSet { doc: acc_doc, rows: Rows::Sorted(visited.to_ids()) }
+}
+
+/// The legacy closure worklist (oracle mode): dedup by binary search
+/// into the sorted accumulator, merge-union per pass.
+fn closure_expand_materialized(
+    ex: Exec,
+    body: &[PlanNode],
+    ctx: &ExecSet,
+    stats: &mut EvalStats,
+) -> ExecSet {
+    let mut acc = ctx.clone();
+    acc.make_sorted();
+    let mut frontier = acc.clone();
+    loop {
+        let mut step = run_ops(ex, body, frontier, stats);
+        step.make_sorted();
+        let new_doc = step.doc && !acc.doc;
+        let new_ids: Vec<NodeId> =
+            step.ids().iter().copied().filter(|v| acc.ids().binary_search(v).is_err()).collect();
+        if !new_doc && new_ids.is_empty() {
+            break;
+        }
+        let new = ExecSet { doc: new_doc, rows: Rows::Sorted(new_ids) };
+        acc.union_with(new.clone(), stats);
+        frontier = new;
+    }
+    acc
 }
 
 /// Child step by walking children lists (the document node's only child
@@ -1631,15 +2058,20 @@ fn exists_ops(ex: Exec, ops: &[PlanNode], ctx: &ExecSet, stats: &mut EvalStats) 
         PlanOp::DescendantSlice(axis) => {
             if let Some(idx) = idx {
                 if mid.doc {
-                    if let Some(root) = doc.root_opt() {
-                        if axis.matches(doc, root) {
-                            return true;
+                    // The root's interval contains every element
+                    // context's, so the document probe alone decides:
+                    // re-entering the slice path per context id would
+                    // re-count interval_probes for sub-slices that
+                    // cannot hit anything the root slice missed.
+                    return match doc.root_opt() {
+                        Some(root) => {
+                            axis.matches(doc, root) || {
+                                stats.interval_probes += 1;
+                                !axis.slice(idx, root).is_empty()
+                            }
                         }
-                        stats.interval_probes += 1;
-                        if !axis.slice(idx, root).is_empty() {
-                            return true;
-                        }
-                    }
+                        None => false,
+                    };
                 }
                 mid.ids().iter().any(|&v| {
                     stats.interval_probes += 1;
@@ -1663,6 +2095,7 @@ fn exists_ops(ex: Exec, ops: &[PlanNode], ctx: &ExecSet, stats: &mut EvalStats) 
                 kids.iter().any(|&c| axis.matches(doc, c))
             })
         }
+        PlanOp::Fused(f) => fused_scan_any(ex, &mid, f, stats),
         PlanOp::LabelFilter(axis) => mid.ids().iter().any(|&v| axis.matches(doc, v)),
         PlanOp::DescendantExpand { or_self } => {
             if *or_self {
@@ -1734,6 +2167,8 @@ pub struct PlanSummary {
     pub descendant_expand: u32,
     /// `label-filter` operators.
     pub label_filter: u32,
+    /// `fused-scan` operators (slice → bitmap → qualifier fusions).
+    pub fused_scan: u32,
     /// `union-merge` operators.
     pub union_merge: u32,
     /// `closure-expand` operators (recursive-view plans).
@@ -1760,6 +2195,7 @@ impl PlanSummary {
             + self.descendant_slice
             + self.descendant_expand
             + self.label_filter
+            + self.fused_scan
             + self.union_merge
             + self.closure_expand
             + self.qualifier_probe
@@ -1778,6 +2214,7 @@ impl PlanSummary {
             ("slice", self.descendant_slice),
             ("expand", self.descendant_expand),
             ("filter", self.label_filter),
+            ("fused", self.fused_scan),
             ("union", self.union_merge),
             ("closure", self.closure_expand),
             ("qual", self.qualifier_probe),
@@ -1811,6 +2248,12 @@ fn count_ops(ops: &[PlanNode], s: &mut PlanSummary) {
             PlanOp::DescendantSlice(_) => s.descendant_slice += 1,
             PlanOp::DescendantExpand { .. } => s.descendant_expand += 1,
             PlanOp::LabelFilter(_) => s.label_filter += 1,
+            PlanOp::Fused(f) => {
+                s.fused_scan += 1;
+                if let Some(q) = &f.qual {
+                    count_qual(q, s);
+                }
+            }
             PlanOp::UnionMerge(arms) => {
                 s.union_merge += 1;
                 for arm in arms {
@@ -1884,6 +2327,13 @@ pub(crate) fn op_detail(op: &PlanOp) -> String {
             format!("{}({})", op.name(), if *or_self { "or-self" } else { "proper" })
         }
         PlanOp::BitmapFilter(f) => format!("{}({f})", op.name()),
+        PlanOp::Fused(f) => {
+            let pre = if f.from_expand { "or-self → " } else { "" };
+            match f.filter {
+                Some(flt) => format!("{}({pre}{} ∩ {flt})", op.name(), f.axis),
+                None => format!("{}({pre}{})", op.name(), f.axis),
+            }
+        }
         other => other.name().to_string(),
     }
 }
@@ -1904,6 +2354,11 @@ fn render_ops(ops: &[PlanNode], depth: usize, out: &mut String) {
                 render_ops(body, depth + 2, out);
             }
             PlanOp::QualifierProbe(q) => render_qual(q, depth + 1, out),
+            PlanOp::Fused(f) => {
+                if let Some(q) = &f.qual {
+                    render_qual(q, depth + 1, out);
+                }
+            }
             _ => {}
         }
     }
@@ -1970,6 +2425,19 @@ fn render_ops_json(ops: &[PlanNode], out: &mut String) {
             }
             PlanOp::BitmapFilter(f) => {
                 let _ = write!(out, ", \"filter\": \"{f}\"");
+            }
+            PlanOp::Fused(f) => {
+                let _ = write!(out, ", \"test\": \"{}\"", json_escape(&f.axis.to_string()));
+                if f.from_expand {
+                    out.push_str(", \"from_expand\": true");
+                }
+                if let Some(flt) = f.filter {
+                    let _ = write!(out, ", \"filter\": \"{flt}\"");
+                }
+                if let Some(q) = &f.qual {
+                    out.push_str(", \"qual\": ");
+                    render_qual_json(q, out);
+                }
             }
             PlanOp::UnionMerge(arms) => {
                 out.push_str(", \"arms\": [");
@@ -2158,12 +2626,16 @@ mod tests {
     }
 
     #[test]
-    fn walk_plans_without_index_expand_and_filter() {
+    fn walk_plans_lower_descendants_to_slices() {
+        // Canonicalized lowering: axis heads are interval slices no
+        // matter what the cost model says about index availability —
+        // the executor degrades a slice to the subtree scan at run time
+        // (computing exactly what the old expand+filter pair did), and
+        // the single canonical shape is what the fusion pass keys on.
         let cost = CostModel::from_estimates([("patient".to_string(), 3.0)], 6.0, false);
         let p = parse("//patient").unwrap();
         let s = compile(&p, PlanPolicy::ForceWalk, &cost).summary();
-        assert_eq!((s.descendant_expand, s.label_filter, s.descendant_slice), (1, 1, 0));
-        // Index-ready cost models plan interval slices instead.
+        assert_eq!((s.descendant_expand, s.label_filter, s.descendant_slice), (0, 0, 1));
         let s2 = compile(&p, PlanPolicy::ForceWalk, &CostModel::uninformed()).summary();
         assert_eq!((s2.descendant_expand, s2.label_filter, s2.descendant_slice), (0, 0, 1));
     }
@@ -2186,9 +2658,11 @@ mod tests {
         let cq = compile(&p, PlanPolicy::Auto, &CostModel::uninformed());
         let s = cq.summary();
         assert_eq!(s.union_merge, 1);
-        assert_eq!(s.qualifier_probe, 1);
+        // The slice → qualifier pair in the first arm fuses; the
+        // qualifier's own sub-pipeline ops are still counted.
+        assert_eq!((s.fused_scan, s.qualifier_probe), (1, 0), "{s:?}");
         assert!(s.total_ops() >= 5, "{s:?}");
-        assert!(s.mix().contains("qual:1"), "{}", s.mix());
+        assert!(s.mix().contains("fused:1"), "{}", s.mix());
     }
 
     #[test]
@@ -2196,12 +2670,11 @@ mod tests {
         let p = parse("//patient[wardNo='6']/name").unwrap();
         let cq = compile(&p, PlanPolicy::Auto, &CostModel::uninformed());
         let text = cq.explain_text();
-        assert!(text.contains("descendant-slice(patient)"), "{text}");
-        assert!(text.contains("qualifier-probe"), "{text}");
+        assert!(text.contains("fused-scan(patient)"), "{text}");
         assert!(text.contains("eq \"6\""), "{text}");
         assert!(text.contains("est_rows≈"), "{text}");
         let json = cq.explain_json();
-        assert!(json.contains("\"op\": \"descendant-slice\""), "{json}");
+        assert!(json.contains("\"op\": \"fused-scan\""), "{json}");
         assert!(json.contains("\"test\": \"patient\""), "{json}");
         assert!(json.contains("\"kind\": \"eq\""), "{json}");
         // Minimal structural sanity: balanced braces/brackets.
@@ -2296,8 +2769,10 @@ mod tests {
         let cost = CostModel::uninformed();
         let p = parse("//patient/name").unwrap();
         let s = compile_annotate(&p, PlanPolicy::Auto, &cost).summary();
-        assert_eq!((s.descendant_slice, s.bitmap_filter, s.view_child), (1, 1, 1), "{s:?}");
-        assert!(s.mix().contains("bitmap:1"), "{}", s.mix());
+        // The seed slice and its bitmap guard fuse into one operator.
+        assert_eq!((s.fused_scan, s.descendant_slice, s.bitmap_filter), (1, 0, 0), "{s:?}");
+        assert_eq!(s.view_child, 1, "{s:?}");
+        assert!(s.mix().contains("fused:1"), "{}", s.mix());
         // Off the seed context, descendants walk the view tree instead.
         let nested = parse("dept//patient//name").unwrap();
         let s2 = compile_annotate(&nested, PlanPolicy::Auto, &cost).summary();
@@ -2310,7 +2785,7 @@ mod tests {
         let text = compile_annotate(&parse("//dummy1").unwrap(), PlanPolicy::Auto, &cost);
         assert!(text.explain_text().contains("view-descendant(dummy1)"), "{}", text.explain_text());
         let json = compile_annotate(&p, PlanPolicy::Auto, &cost).explain_json();
-        assert!(json.contains("\"op\": \"bitmap-filter\""), "{json}");
+        assert!(json.contains("\"op\": \"fused-scan\""), "{json}");
         assert!(json.contains("\"filter\": \"member\""), "{json}");
     }
 
@@ -2339,6 +2814,146 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn exists_probe_counts_each_interval_once() {
+        // Hand-built plan: `[exists p]` where p's prefix reaches a
+        // document-plus-every-element context before a final slice on a
+        // label with no occurrences. Hand-computed counter totals:
+        //
+        //   - qualifier_checks = 1   (one probe, from the root context)
+        //   - interval_probes  = 2   (the expand's root range + ONE
+        //     document-level slice probe; the root interval contains
+        //     every element's, so the per-id re-entry the old merge
+        //     performed — 14 more guaranteed-miss probes — is wrong)
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let qual_ops = vec![
+            PlanNode { op: PlanOp::DocSeed, est_rows: 1 },
+            PlanNode { op: PlanOp::DescendantExpand { or_self: true }, est_rows: 15 },
+            PlanNode { op: PlanOp::DescendantSlice(AxisTest::Label("absent".into())), est_rows: 0 },
+        ];
+        let ops = vec![
+            PlanNode { op: PlanOp::RootSeed, est_rows: 1 },
+            PlanNode { op: PlanOp::QualifierProbe(QualPlan::Exists(qual_ops)), est_rows: 0 },
+        ];
+        let cq = CompiledQuery { translated: parse("//.").unwrap(), policy: PlanPolicy::Auto, ops };
+        let (r, stats) = cq.execute(&d, Some(&idx));
+        assert!(r.is_empty());
+        assert_eq!(stats.qualifier_checks, 1);
+        assert_eq!(stats.interval_probes, 2, "{stats:?}");
+        // The document-context qualifier probe is a counted check too
+        // (the materializing and existence paths must agree).
+        let doc_ops = vec![
+            PlanNode { op: PlanOp::DocSeed, est_rows: 1 },
+            PlanNode { op: PlanOp::QualifierProbe(QualPlan::True), est_rows: 1 },
+        ];
+        let cq2 = CompiledQuery {
+            translated: parse("//.").unwrap(),
+            policy: PlanPolicy::Auto,
+            ops: doc_ops,
+        };
+        let (_, stats2) = cq2.execute_at_document(&d, Some(&idx));
+        assert_eq!(stats2.qualifier_checks, 1);
+    }
+
+    #[test]
+    fn fusion_collapses_slice_chains_and_defuse_round_trips() {
+        let cost = CostModel::uninformed();
+        // slice + qual → fused (no filter).
+        let p = parse("//patient[wardNo='6']/name").unwrap();
+        let cq = compile(&p, PlanPolicy::Auto, &cost);
+        let s = cq.summary();
+        assert_eq!((s.fused_scan, s.descendant_slice, s.qualifier_probe), (1, 0, 0), "{s:?}");
+        // Defusing restores the constituent operators and the defused
+        // plan keeps computing the same answers (it runs the oracle
+        // operators even under the fused executor entry point).
+        let de = cq.defused();
+        let ds = de.summary();
+        assert_eq!((ds.fused_scan, ds.descendant_slice, ds.qualifier_probe), (0, 1, 1), "{ds:?}");
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        assert_eq!(cq.execute(&d, Some(&idx)).0, de.execute(&d, Some(&idx)).0);
+        assert_eq!(cq.execute(&d, None).0, de.execute(&d, None).0);
+        // slice + bitmap + qual → one fused op in annotate plans.
+        let q2 = parse("//patient[wardNo='6']").unwrap();
+        let an = compile_annotate(&q2, PlanPolicy::Auto, &cost);
+        let sa = an.summary();
+        assert_eq!(sa.fused_scan, 1, "{sa:?}");
+        assert_eq!((sa.descendant_slice, sa.bitmap_filter, sa.qualifier_probe), (0, 0, 0));
+        let da = an.defused().summary();
+        assert_eq!((da.descendant_slice, da.bitmap_filter, da.qualifier_probe), (1, 1, 1));
+    }
+
+    #[test]
+    fn fused_executor_matches_materialized_oracle() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let av = identity_access(&d);
+        let costs =
+            [("index", CostModel::from_index(&idx)), ("uninformed", CostModel::uninformed())];
+        for q in EQUIVALENCE_QUERIES {
+            let p = parse(q).unwrap();
+            for policy in PlanPolicy::ALL {
+                for (cname, cost) in &costs {
+                    let cq = compile(&p, policy, cost);
+                    assert_eq!(
+                        cq.execute(&d, Some(&idx)).0,
+                        cq.execute_materialized(&d, Some(&idx), None).0,
+                        "{q} ({policy}, {cname}, indexed)"
+                    );
+                    assert_eq!(
+                        cq.execute(&d, None).0,
+                        cq.execute_materialized(&d, None, None).0,
+                        "{q} ({policy}, {cname}, scan)"
+                    );
+                    let an = compile_annotate(&p, policy, cost);
+                    assert_eq!(
+                        an.execute_with_access(&d, Some(&idx), Some(&av)).0,
+                        an.execute_materialized(&d, Some(&idx), Some(&av)).0,
+                        "{q} ({policy}, {cname}, annotate)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_expand_fused_matches_materialized() {
+        // A hand-built closure plan: (child::*)* from the root — the
+        // reflexive-transitive closure reaches every element. The fused
+        // worklist (bitmap-deduped) and the materialized worklist
+        // (binary-search dedup, per-pass union) must agree exactly.
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let body = vec![PlanNode { op: PlanOp::ChildWalk(AxisTest::AnyElement), est_rows: 4 }];
+        let ops = vec![
+            PlanNode { op: PlanOp::RootSeed, est_rows: 1 },
+            PlanNode { op: PlanOp::ClosureExpand { body }, est_rows: 14 },
+        ];
+        let cq = CompiledQuery { translated: parse("//.").unwrap(), policy: PlanPolicy::Auto, ops };
+        let (fused, _) = cq.execute(&d, Some(&idx));
+        let (mat, _) = cq.execute_materialized(&d, Some(&idx), None);
+        assert_eq!(fused, mat);
+        assert_eq!(fused.len(), 14, "closure reaches all elements");
+        let (fused_scan, _) = cq.execute(&d, None);
+        assert_eq!(fused_scan, fused);
+    }
+
+    #[test]
+    fn execute_profiled_aligns_observed_with_ops() {
+        let d = hospital();
+        let idx = DocIndex::new(&d).unwrap();
+        let p = parse("//patient/name").unwrap();
+        let cq = compile(&p, PlanPolicy::Auto, &CostModel::from_index(&idx));
+        let (rows, _, observed) = cq.execute_profiled(&d, Some(&idx), None);
+        assert_eq!(rows, cq.execute(&d, Some(&idx)).0);
+        assert_eq!(observed.len(), cq.ops.len(), "one observation per op");
+        // Final op's observation is the answer cardinality.
+        assert_eq!(*observed.last().unwrap(), rows.len() as u64);
+        // 3 patients flow out of the fused seed scan.
+        assert_eq!(observed[cq.ops.len() - 2], 3);
     }
 
     #[test]

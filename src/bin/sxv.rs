@@ -18,7 +18,7 @@
 //!                 [--format text|json] [--deny-warnings] [--allow C] [--warn C] [--deny C]
 //! sxv serve       --dtd … --root … --role NAME=SPECFILE … --doc NAME=XMLFILE … [--bind k=v]
 //!                 [--package NAME=PKGFILE …] [--port N] [--workers N] [--queue N] [--timeout-ms N]
-//!                 [--stats-interval N] [--verify]
+//!                 [--stats-interval N] [--warm queries.txt] [--verify]
 //! ```
 //!
 //! All subcommands read the document DTD (with `--root` naming the root
@@ -186,7 +186,7 @@ fn subcommand_usage(command: &str) -> &'static str {
         "serve" => {
             "sxv serve (--dtd FILE --root NAME --role NAME=SPECFILE… --doc NAME=XMLFILE… | \
              --package NAME=PKGFILE…) [--bind k=v]… [--port N] [--workers N] [--queue N] \
-             [--timeout-ms N] [--stats-interval N] [--verify]"
+             [--timeout-ms N] [--stats-interval N] [--warm FILE] [--verify]"
         }
         _ => {
             "sxv <derive|materialize|rewrite|query|explain|generate|validate|lint|serve|pack> \
@@ -487,12 +487,13 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         );
         eprintln!(
             "translation cache: hits={} misses={} entries={} hit_rate={:.1}% \
-             plans_compiled={} (last query: {})",
+             plans_compiled={} plans_recompiled={} (last query: {})",
             cache.hits,
             cache.misses,
             cache.entries,
             100.0 * cache.hit_rate(),
             cache.plans_compiled,
+            cache.plans_recompiled,
             if report.cache_hit { "hit" } else { "miss" },
         );
         eprintln!(
@@ -891,6 +892,17 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     }
     if opts.has("verify") {
         config.verify = true;
+    }
+    // --warm FILE: one query per line, blank lines and #-comments
+    // skipped; each is compiled + certified for every role at boot.
+    if let Some(path) = opts.get("warm") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--warm {path}: {e}"))?;
+        config.warm_queries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
     }
     // The CLI prints the bound address itself (the daemon also logs it);
     // scripts parse this line to find an ephemeral --port 0 listener.

@@ -300,16 +300,17 @@ fn explain_renders_plans_text_and_json() {
     assert!(json.contains("\"ops\":"), "{json}");
     assert!(json.contains("\"est_rows\":"), "{json}");
 
-    // The policy picks the operators: the naive translation is
-    // `//`-heavy, so a walk plan without a document expands subtrees
-    // while a join plan slices the (future) index's occurrence lists.
+    // The naive translation is `//`-heavy: under every policy the
+    // fusion pass collapses the trailing slice → qualifier chain into
+    // one streaming fused scan instead of materializing per-operator
+    // sets.
     let mut naive = args.clone();
     naive.extend(["--approach", "naive"]);
     let mut walk = naive.clone();
     walk.extend(["--policy", "walk"]);
     let (walk_plan, _, ok) = run(&walk);
     assert!(ok);
-    assert!(walk_plan.contains("descendant-expand"), "{walk_plan}");
+    assert!(walk_plan.contains("fused-scan"), "{walk_plan}");
     let mut join = naive.clone();
     join.extend(["--policy", "join"]);
     let (join_plan, _, ok) = run(&join);

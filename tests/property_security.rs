@@ -20,7 +20,7 @@ use secure_xml_views::dtd::{parse_dtd, Dtd};
 use secure_xml_views::gen::{GenConfig, Generator};
 use secure_xml_views::xml::{DocIndex, Document};
 use secure_xml_views::xpath::{
-    compile_annotate, eval_at_root, CostModel, Path, PlanPolicy, Qualifier,
+    certify, certify_ops, compile_annotate, eval_at_root, CostModel, Path, PlanPolicy, Qualifier,
 };
 
 const HOSPITAL_DTD: &str = include_str!("../assets/hospital.dtd");
@@ -396,6 +396,76 @@ proptest! {
                             approach, policy, p, label, planned.cert.emitted.render()
                         ),
                     }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The fused streaming executor is a drop-in for the materialize-
+    /// everything oracle: for random (spec, doc, query) triples, every
+    /// approach × plan policy × indexed/unindexed execution returns
+    /// identical answers, and fusing operators moves no abstract state —
+    /// certifying the fused pipeline and certifying its defused
+    /// constituents yield the same emitted/probed sets and verdict.
+    #[test]
+    fn fused_executor_matches_legacy(
+        spec in spec_strategy(),
+        p in path_strategy(),
+        seed in 0u64..400,
+        branch in 1usize..5,
+    ) {
+        let doc = hospital_doc(seed, branch);
+        let view = derive_view(&spec).unwrap();
+        if materialize(&spec, &view, &doc).is_err() {
+            return Ok(());
+        }
+        let engine = SecureEngine::new(&spec, &view);
+        let ctx = engine.certify_context();
+        let index = DocIndex::new(&doc);
+        let annotated = NaiveBaseline::annotate(&spec, &doc);
+        let access = build_access_view(&spec, &view, &doc, index.as_ref());
+        let approaches =
+            [Approach::Naive, Approach::Rewrite, Approach::Optimize, Approach::Annotate];
+        for approach in approaches {
+            for policy in PlanPolicy::ALL {
+                let (planned, _) = engine.plan_certified(&p, approach, policy);
+                let Ok(planned) = planned else { continue };
+                let plan = &planned.plan;
+                let fused_cert = certify(plan, ctx);
+                let legacy_cert = certify_ops(&plan.defused().ops, ctx);
+                prop_assert_eq!(
+                    fused_cert.emitted.render(), legacy_cert.emitted.render(),
+                    "{:?}/{:?} emitted state moved under fusion for {}", approach, policy, &p
+                );
+                prop_assert_eq!(
+                    fused_cert.probed.render(), legacy_cert.probed.render(),
+                    "{:?}/{:?} probed state moved under fusion for {}", approach, policy, &p
+                );
+                prop_assert_eq!(
+                    fused_cert.certified(), legacy_cert.certified(),
+                    "{:?}/{:?} certification verdict changed under fusion for {}",
+                    approach, policy, &p
+                );
+                for idx in [None, index.as_ref()] {
+                    let (exec_doc, exec_idx, acc) = match approach {
+                        // The naive baseline evaluates over the annotated
+                        // copy (never indexed); annotate needs the
+                        // accessibility artifact.
+                        Approach::Naive => (&annotated, None, None),
+                        Approach::Annotate => (&doc, idx, Some(&access)),
+                        _ => (&doc, idx, None),
+                    };
+                    let (streamed, _) = plan.execute_with_access(exec_doc, exec_idx, acc);
+                    let (materialized, _) = plan.execute_materialized(exec_doc, exec_idx, acc);
+                    prop_assert_eq!(
+                        &streamed, &materialized,
+                        "{:?}/{:?} (indexed={}) fused answer diverged for {}",
+                        approach, policy, idx.is_some(), &p
+                    );
                 }
             }
         }

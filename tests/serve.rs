@@ -145,6 +145,57 @@ fn concurrent_mixed_role_answers_match_the_one_shot_engine() {
 }
 
 #[test]
+fn warm_queries_precompile_plans_and_report_in_stats() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.stats_interval_secs = 0;
+    config.warm_queries = vec!["//pub".into(), "*".into()];
+    let (addr, handle) = boot(config);
+    let mut c = client(addr);
+
+    // The very first request for a warmed query is already a plan-cache
+    // hit: boot compiled it for every role × approach.
+    let (status, body) = c.post("/query", &query_body("public", "d1", "//pub")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"plan_cache_hit\": true"), "warmed query must hit: {body}");
+    let got = parse_answers(&body).unwrap();
+    assert_eq!(got, direct_answers(&dtd, "public", "d1", "//pub"));
+
+    // An unwarmed query still misses on first sight.
+    let (status, body) = c.post("/query", &query_body("public", "d1", "//fin")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"plan_cache_hit\": false"), "unwarmed query must miss: {body}");
+
+    let (status, stats) = c.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let v = secure_xml_views::serve::json::Json::parse(&stats).unwrap();
+    // 2 queries × 2 roles × 4 approaches.
+    assert_eq!(v.get("warmed").and_then(|w| w.as_u64()), Some(16), "{stats}");
+    let roles_stats = match v.get("roles") {
+        Some(secure_xml_views::serve::json::Json::Array(r)) => r.clone(),
+        other => panic!("bad roles: {other:?}"),
+    };
+    for r in &roles_stats {
+        let cache = r.get("plan_cache").unwrap();
+        let compiled = cache.get("plans_compiled").unwrap().as_u64().unwrap();
+        assert!(compiled >= 8, "each role pre-compiles its warm list: {stats}");
+        assert!(cache.get("plans_recompiled").is_some(), "{stats}");
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn warm_query_that_fails_to_parse_is_a_boot_error() {
+    let dtd = dtd();
+    let mut config = ServeConfig::new(roles(&dtd), docs());
+    config.stats_interval_secs = 0;
+    config.warm_queries = vec!["//pub[".into()];
+    let (tx, _rx) = mpsc::channel();
+    let err = run(config, tx).unwrap_err();
+    assert!(err.contains("warm query"), "{err}");
+}
+
+#[test]
 fn keep_alive_connection_serves_many_requests() {
     let dtd = dtd();
     let mut config = ServeConfig::new(roles(&dtd), docs());
